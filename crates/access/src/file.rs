@@ -1,0 +1,340 @@
+//! On-disk sorted runs: ranked retrieval from files.
+//!
+//! A *run* is a file holding tuples sorted by score descending, in a
+//! compact binary format. [`write_run`] sorts and persists rows;
+//! [`FileSource`] streams them back through a bounded read buffer, so the
+//! streaming engine can answer PT-k queries over tables that never fit in
+//! memory — and, thanks to the pruning rules, usually reads only the head
+//! of the file.
+//!
+//! ## Format (little-endian)
+//!
+//! ```text
+//! magic     8 bytes   b"PTKRUN01"
+//! tuples    u64       record count
+//! rules     u32       rule count
+//! masses    rules×f64 total membership mass per rule key
+//! records   tuples × { id: u32, rule: u32 (u32::MAX = none),
+//!                      score: f64, prob: f64 }   (24 bytes each)
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use ptk_core::TupleId;
+
+use crate::source::{RankedSource, RuleKey, SourceTuple};
+
+const MAGIC: &[u8; 8] = b"PTKRUN01";
+const RECORD_BYTES: usize = 4 + 4 + 8 + 8;
+/// Records decoded per buffered read.
+const READ_CHUNK: usize = 1024;
+const NO_RULE: u32 = u32::MAX;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Sorts `rows` (`(score, probability, rule)` triples; ids are assigned by
+/// input order) and writes them as a run file at `path`.
+///
+/// # Errors
+/// Fails on IO errors, probabilities outside `(0, 1]`, a rule key equal to
+/// `u32::MAX` (reserved), or a rule whose total mass exceeds 1.
+pub fn write_run(path: &Path, rows: &[(f64, f64, Option<u32>)]) -> io::Result<()> {
+    let mut rule_count = 0u32;
+    for (_, prob, rule) in rows {
+        if !(*prob > 0.0 && *prob <= 1.0) {
+            return Err(invalid(format!(
+                "membership probability {prob} outside (0, 1]"
+            )));
+        }
+        if let Some(r) = rule {
+            if *r == NO_RULE {
+                return Err(invalid("rule key u32::MAX is reserved"));
+            }
+            rule_count = rule_count.max(r + 1);
+        }
+    }
+    let mut masses = vec![0.0f64; rule_count as usize];
+    for (_, prob, rule) in rows {
+        if let Some(r) = rule {
+            masses[*r as usize] += prob;
+        }
+    }
+    for (r, &mass) in masses.iter().enumerate() {
+        if mass > 1.0 + 1e-9 {
+            return Err(invalid(format!("rule {r} has total mass {mass} > 1")));
+        }
+    }
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| rows[b].0.total_cmp(&rows[a].0).then(a.cmp(&b)));
+
+    let mut out = BufWriter::new(File::create(path)?);
+    let mut buf = BytesMut::with_capacity(8 + 8 + 4 + masses.len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(rows.len() as u64);
+    buf.put_u32_le(rule_count);
+    for &m in &masses {
+        buf.put_f64_le(m);
+    }
+    out.write_all(&buf)?;
+    buf.clear();
+    for &i in &order {
+        let (score, prob, rule) = rows[i];
+        buf.put_u32_le(u32::try_from(i).map_err(|_| invalid("too many rows"))?);
+        buf.put_u32_le(rule.unwrap_or(NO_RULE));
+        buf.put_f64_le(score);
+        buf.put_f64_le(prob);
+        if buf.len() >= RECORD_BYTES * READ_CHUNK {
+            out.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    out.write_all(&buf)?;
+    out.flush()
+}
+
+/// A [`RankedSource`] streaming a run file written by [`write_run`],
+/// decoding records through a bounded buffer (memory use is independent of
+/// the file size).
+#[derive(Debug)]
+pub struct FileSource {
+    reader: BufReader<File>,
+    buffer: BytesMut,
+    remaining: u64,
+    rule_masses: Vec<f64>,
+    last_score: f64,
+    retrieved: usize,
+}
+
+impl FileSource {
+    /// Opens a run file and validates its header.
+    ///
+    /// # Errors
+    /// Fails on IO errors or a malformed header.
+    pub fn open(path: &Path) -> io::Result<FileSource> {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut header = [0u8; 8 + 8 + 4];
+        reader
+            .read_exact(&mut header)
+            .map_err(|_| invalid("truncated header"))?;
+        let mut slice = &header[..];
+        let mut magic = [0u8; 8];
+        slice.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(invalid("not a ptk run file (bad magic)"));
+        }
+        let remaining = slice.get_u64_le();
+        let rule_count = slice.get_u32_le() as usize;
+        let mut mass_bytes = vec![0u8; rule_count * 8];
+        reader
+            .read_exact(&mut mass_bytes)
+            .map_err(|_| invalid("truncated rule table"))?;
+        let mut mass_slice = &mass_bytes[..];
+        let rule_masses: Vec<f64> = (0..rule_count).map(|_| mass_slice.get_f64_le()).collect();
+        Ok(FileSource {
+            reader,
+            buffer: BytesMut::new(),
+            remaining,
+            rule_masses,
+            last_score: f64::INFINITY,
+            retrieved: 0,
+        })
+    }
+
+    /// Records left to stream.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn refill(&mut self) -> io::Result<()> {
+        let want = (self.remaining as usize).min(READ_CHUNK) * RECORD_BYTES;
+        let mut chunk = vec![0u8; want];
+        self.reader
+            .read_exact(&mut chunk)
+            .map_err(|_| invalid("truncated records"))?;
+        self.buffer.put_slice(&chunk);
+        Ok(())
+    }
+
+    /// Fallible form of [`RankedSource::next_ranked`]: decoding errors are
+    /// surfaced instead of ending the stream.
+    ///
+    /// # Errors
+    /// Fails on IO errors, truncation, or out-of-order scores (corruption).
+    pub fn try_next(&mut self) -> io::Result<Option<SourceTuple>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        if self.buffer.len() < RECORD_BYTES {
+            self.refill()?;
+        }
+        let id = self.buffer.get_u32_le();
+        let rule = self.buffer.get_u32_le();
+        let score = self.buffer.get_f64_le();
+        let prob = self.buffer.get_f64_le();
+        if !(prob > 0.0 && prob <= 1.0) {
+            return Err(invalid(format!("corrupt record: probability {prob}")));
+        }
+        if score > self.last_score {
+            return Err(invalid("corrupt run: scores out of order"));
+        }
+        if rule != NO_RULE && rule as usize >= self.rule_masses.len() {
+            return Err(invalid(format!(
+                "corrupt record: rule key {rule} out of range"
+            )));
+        }
+        self.last_score = score;
+        self.remaining -= 1;
+        self.retrieved += 1;
+        Ok(Some(SourceTuple {
+            id: TupleId::new(id as usize),
+            score,
+            prob,
+            rule: (rule != NO_RULE).then_some(RuleKey(rule)),
+        }))
+    }
+}
+
+impl RankedSource for FileSource {
+    /// Streams the next record. IO and corruption errors end the stream
+    /// (use [`FileSource::try_next`] to observe them).
+    fn next_ranked(&mut self) -> Option<SourceTuple> {
+        self.try_next().ok().flatten()
+    }
+
+    fn rule_mass(&self, rule: RuleKey) -> Option<f64> {
+        self.rule_masses.get(rule.0 as usize).copied()
+    }
+
+    fn retrieved(&self) -> usize {
+        self.retrieved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct TempFile(PathBuf);
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+    fn temp() -> TempFile {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        TempFile(std::env::temp_dir().join(format!("ptk-run-test-{}-{n}.run", std::process::id())))
+    }
+
+    fn panda_rows() -> Vec<(f64, f64, Option<u32>)> {
+        vec![
+            (25.0, 0.3, None),
+            (21.0, 0.4, Some(0)),
+            (13.0, 0.5, Some(0)),
+            (12.0, 1.0, None),
+            (17.0, 0.8, Some(1)),
+            (11.0, 0.2, Some(1)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_order_and_metadata() {
+        let f = temp();
+        write_run(&f.0, &panda_rows()).unwrap();
+        let mut src = FileSource::open(&f.0).unwrap();
+        assert_eq!(src.remaining(), 6);
+        assert!((src.rule_mass(RuleKey(0)).unwrap() - 0.9).abs() < 1e-12);
+        assert!((src.rule_mass(RuleKey(1)).unwrap() - 1.0).abs() < 1e-12);
+        let all: Vec<SourceTuple> = std::iter::from_fn(|| src.next_ranked()).collect();
+        let scores: Vec<f64> = all.iter().map(|t| t.score).collect();
+        assert_eq!(scores, vec![25.0, 21.0, 17.0, 13.0, 12.0, 11.0]);
+        let ids: Vec<usize> = all.iter().map(|t| t.id.index()).collect();
+        assert_eq!(ids, vec![0, 1, 4, 2, 3, 5]);
+        assert_eq!(all[1].rule, Some(RuleKey(0)));
+        assert_eq!(all[0].rule, None);
+        assert_eq!(src.retrieved(), 6);
+        assert_eq!(src.remaining(), 0);
+    }
+
+    #[test]
+    fn large_run_streams_in_chunks() {
+        let f = temp();
+        let rows: Vec<(f64, f64, Option<u32>)> =
+            (0..10_000).map(|i| (i as f64, 0.5, None)).collect();
+        write_run(&f.0, &rows).unwrap();
+        let mut src = FileSource::open(&f.0).unwrap();
+        let mut count = 0;
+        let mut last = f64::INFINITY;
+        while let Some(t) = src.next_ranked() {
+            assert!(t.score <= last);
+            last = t.score;
+            count += 1;
+        }
+        assert_eq!(count, 10_000);
+    }
+
+    #[test]
+    fn write_validates() {
+        let f = temp();
+        assert!(write_run(&f.0, &[(1.0, 0.0, None)]).is_err());
+        assert!(write_run(&f.0, &[(1.0, 1.5, None)]).is_err());
+        assert!(write_run(&f.0, &[(1.0, 0.5, Some(u32::MAX))]).is_err());
+        assert!(write_run(&f.0, &[(1.0, 0.7, Some(0)), (2.0, 0.7, Some(0))]).is_err());
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let f = temp();
+        std::fs::write(&f.0, b"NOTARUN!xxxxxxxxxxxxxxxxxxx").unwrap();
+        let err = FileSource::open(&f.0).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn open_rejects_truncation() {
+        let f = temp();
+        write_run(&f.0, &panda_rows()).unwrap();
+        let bytes = std::fs::read(&f.0).unwrap();
+        std::fs::write(&f.0, &bytes[..bytes.len() - 10]).unwrap();
+        let mut src = FileSource::open(&f.0).unwrap();
+        let mut result = Ok(None);
+        for _ in 0..6 {
+            result = src.try_next();
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(result.is_err(), "truncation must surface as an error");
+    }
+
+    #[test]
+    fn corrupted_scores_are_detected() {
+        let f = temp();
+        write_run(&f.0, &panda_rows()).unwrap();
+        let mut bytes = std::fs::read(&f.0).unwrap();
+        // Bump the second record's score above the first's.
+        let record2 = 8 + 8 + 4 + 2 * 8 + RECORD_BYTES;
+        let score_off = record2 + 8;
+        bytes[score_off..score_off + 8].copy_from_slice(&1e9f64.to_le_bytes());
+        std::fs::write(&f.0, &bytes).unwrap();
+        let mut src = FileSource::open(&f.0).unwrap();
+        assert!(src.try_next().unwrap().is_some());
+        assert!(src.try_next().is_err());
+    }
+
+    #[test]
+    fn empty_run() {
+        let f = temp();
+        write_run(&f.0, &[]).unwrap();
+        let mut src = FileSource::open(&f.0).unwrap();
+        assert!(src.next_ranked().is_none());
+        assert_eq!(src.remaining(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # `ptk-access` — progressive ranked retrieval
+//!
+//! Section 4.4 of the paper assumes tuples satisfying the query predicate
+//! can be **retrieved progressively in the ranking order** — it cites
+//! Fagin's Threshold Algorithm (TA) as the retrieval layer — so the pruning
+//! rules can *stop retrieval* long before the whole table is read. This
+//! crate is that retrieval layer:
+//!
+//! * [`RankedSource`] — the pull interface the streaming engine consumes:
+//!   tuples arrive one by one in non-increasing score order, each carrying
+//!   its membership probability and (optionally) a generation-rule key;
+//! * [`ViewSource`] — adapter over a materialized
+//!   [`RankedView`](ptk_core::RankedView);
+//! * [`SortedVecSource`] — a sorted in-memory list built directly from
+//!   `(score, probability, rule)` triples;
+//! * [`TaSource`] — a middleware in the spirit of Fagin, Lotem and Naor's
+//!   TA: several per-attribute sorted lists, a monotone aggregation
+//!   function, and an emit-in-order loop that only descends the lists as
+//!   far as the consumer actually pulls;
+//! * [`FileSource`] / [`write_run`] — on-disk sorted runs in a compact
+//!   binary format, streamed back with a bounded read buffer, so tables
+//!   larger than memory can still be scanned in ranking order.
+//!
+//! ```
+//! use ptk_access::{RankedSource, SortedVecSource};
+//!
+//! let mut source = SortedVecSource::from_unsorted(vec![
+//!     (13.0, 0.5, Some(1)),
+//!     (25.0, 0.3, None),
+//!     (21.0, 0.4, Some(1)),
+//! ]).unwrap();
+//! let first = source.next_ranked().unwrap();
+//! assert_eq!(first.score, 25.0); // highest score first
+//! assert_eq!(source.retrieved(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod file;
+mod source;
+mod ta;
+
+pub use file::{write_run, FileSource};
+pub use source::{RankedSource, RuleKey, SortedVecSource, SourceTuple, ViewSource};
+pub use ta::{AggregateFn, SortedList, TaSource};

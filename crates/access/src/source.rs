@@ -1,0 +1,247 @@
+//! The ranked-source abstraction and its basic implementations.
+
+use ptk_core::{ModelError, Probability, RankedView, TupleId};
+
+/// Identifies a generation rule within a source's scope. Tuples sharing a
+/// key are mutually exclusive. The streaming engine never needs the rule's
+/// member list — only this identity and, optionally, the rule's total mass
+/// (for Theorem 3(2) pruning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleKey(pub u32);
+
+/// One tuple delivered by a [`RankedSource`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceTuple {
+    /// Stable identifier for reporting answers.
+    pub id: TupleId,
+    /// Ranking score — non-increasing across successive tuples.
+    pub score: f64,
+    /// Membership probability in `(0, 1]`.
+    pub prob: f64,
+    /// The generation rule this tuple belongs to, if any.
+    pub rule: Option<RuleKey>,
+}
+
+/// Progressive retrieval of tuples in ranking order (highest score first).
+///
+/// Implementations must deliver non-increasing scores; the streaming engine
+/// checks this and panics on violation, since out-of-order delivery breaks
+/// the dominant-set invariant the algorithm rests on.
+pub trait RankedSource {
+    /// Retrieves the next tuple, or `None` when the source is exhausted.
+    fn next_ranked(&mut self) -> Option<SourceTuple>;
+
+    /// The total membership mass of a rule, if the source knows it ahead of
+    /// time. Enables the engine's Theorem 3(2) pruning; returning `None` is
+    /// always safe.
+    fn rule_mass(&self, rule: RuleKey) -> Option<f64> {
+        let _ = rule;
+        None
+    }
+
+    /// Number of tuples retrieved so far (the paper's *scan depth*).
+    fn retrieved(&self) -> usize;
+}
+
+/// A [`RankedSource`] over a materialized [`RankedView`] — the adapter
+/// connecting the streaming engine to everything that already produces
+/// views (tables, generators).
+#[derive(Debug)]
+pub struct ViewSource<'v> {
+    view: &'v RankedView,
+    cursor: usize,
+}
+
+impl<'v> ViewSource<'v> {
+    /// Wraps a ranked view.
+    pub fn new(view: &'v RankedView) -> ViewSource<'v> {
+        ViewSource { view, cursor: 0 }
+    }
+}
+
+impl RankedSource for ViewSource<'_> {
+    fn next_ranked(&mut self) -> Option<SourceTuple> {
+        let pos = self.cursor;
+        if pos >= self.view.len() {
+            return None;
+        }
+        self.cursor += 1;
+        let t = self.view.tuple(pos);
+        Some(SourceTuple {
+            id: t.id,
+            // Views built from probabilities alone have no scores; positions
+            // stand in (negated so they are non-increasing).
+            score: t.key.unwrap_or(-(pos as f64)),
+            prob: t.prob,
+            rule: t.rule.map(|h| RuleKey(h.index() as u32)),
+        })
+    }
+
+    fn rule_mass(&self, rule: RuleKey) -> Option<f64> {
+        self.view.rules().get(rule.0 as usize).map(|r| r.mass)
+    }
+
+    fn retrieved(&self) -> usize {
+        self.cursor
+    }
+}
+
+/// A [`RankedSource`] over an owned, pre-sorted list of
+/// `(score, probability, rule)` triples.
+#[derive(Debug, Clone)]
+pub struct SortedVecSource {
+    tuples: Vec<SourceTuple>,
+    rule_masses: Vec<f64>,
+    cursor: usize,
+}
+
+impl SortedVecSource {
+    /// Builds a source from unsorted triples; tuple ids are assigned by the
+    /// input order (so answers can be traced back to the caller's rows).
+    ///
+    /// # Errors
+    /// Fails if a probability is outside `(0, 1]` or a rule's total mass
+    /// exceeds 1.
+    pub fn from_unsorted(
+        rows: Vec<(f64, f64, Option<u32>)>,
+    ) -> Result<SortedVecSource, ModelError> {
+        let mut max_rule = 0usize;
+        for (_, prob, rule) in &rows {
+            Probability::new_membership(*prob)?;
+            if let Some(r) = rule {
+                max_rule = max_rule.max(*r as usize + 1);
+            }
+        }
+        let mut rule_masses = vec![0.0f64; max_rule];
+        let mut tuples: Vec<SourceTuple> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (score, prob, rule))| {
+                if let Some(r) = rule {
+                    rule_masses[r as usize] += prob;
+                }
+                SourceTuple {
+                    id: TupleId::new(i),
+                    score,
+                    prob,
+                    rule: rule.map(RuleKey),
+                }
+            })
+            .collect();
+        for (r, &mass) in rule_masses.iter().enumerate() {
+            if mass > 1.0 + 1e-9 {
+                return Err(ModelError::RuleMassExceedsOne {
+                    members: tuples
+                        .iter()
+                        .filter(|t| t.rule == Some(RuleKey(r as u32)))
+                        .map(|t| t.id)
+                        .collect(),
+                    total: mass,
+                });
+            }
+        }
+        tuples.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        Ok(SortedVecSource {
+            tuples,
+            rule_masses,
+            cursor: 0,
+        })
+    }
+
+    /// Number of tuples in the source.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the source holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+impl RankedSource for SortedVecSource {
+    fn next_ranked(&mut self) -> Option<SourceTuple> {
+        let t = self.tuples.get(self.cursor).copied();
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn rule_mass(&self, rule: RuleKey) -> Option<f64> {
+        self.rule_masses.get(rule.0 as usize).copied()
+    }
+
+    fn retrieved(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_vec_orders_descending() {
+        let mut s = SortedVecSource::from_unsorted(vec![
+            (1.0, 0.5, None),
+            (3.0, 0.4, None),
+            (2.0, 0.3, None),
+        ])
+        .unwrap();
+        let scores: Vec<f64> = std::iter::from_fn(|| s.next_ranked().map(|t| t.score)).collect();
+        assert_eq!(scores, vec![3.0, 2.0, 1.0]);
+        assert_eq!(s.retrieved(), 3);
+        assert!(s.next_ranked().is_none());
+        assert_eq!(s.retrieved(), 3);
+    }
+
+    #[test]
+    fn sorted_vec_ties_break_by_input_order() {
+        let mut s =
+            SortedVecSource::from_unsorted(vec![(2.0, 0.5, None), (2.0, 0.4, None)]).unwrap();
+        assert_eq!(s.next_ranked().unwrap().id.index(), 0);
+        assert_eq!(s.next_ranked().unwrap().id.index(), 1);
+    }
+
+    #[test]
+    fn sorted_vec_tracks_rule_masses() {
+        let s = SortedVecSource::from_unsorted(vec![
+            (3.0, 0.4, Some(0)),
+            (2.0, 0.5, Some(0)),
+            (1.0, 0.9, None),
+        ])
+        .unwrap();
+        assert!((s.rule_mass(RuleKey(0)).unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(s.rule_mass(RuleKey(7)), None);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn sorted_vec_validates() {
+        assert!(SortedVecSource::from_unsorted(vec![(1.0, 0.0, None)]).is_err());
+        assert!(
+            SortedVecSource::from_unsorted(vec![(1.0, 0.7, Some(0)), (2.0, 0.7, Some(0)),])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn view_source_mirrors_the_view() {
+        let view = RankedView::from_ranked_probs(&[0.3, 0.4, 0.6], &[vec![0, 2]]).unwrap();
+        let mut s = ViewSource::new(&view);
+        let a = s.next_ranked().unwrap();
+        assert_eq!(a.prob, 0.3);
+        assert_eq!(a.rule, Some(RuleKey(0)));
+        let b = s.next_ranked().unwrap();
+        assert_eq!(b.rule, None);
+        assert!((s.rule_mass(RuleKey(0)).unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(s.rule_mass(RuleKey(9)), None);
+        assert_eq!(s.retrieved(), 2);
+        // Position-based stand-in scores are non-increasing.
+        let c = s.next_ranked().unwrap();
+        assert!(b.score >= c.score);
+        assert!(a.score >= b.score);
+    }
+}

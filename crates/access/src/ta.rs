@@ -1,0 +1,474 @@
+//! A Threshold-Algorithm-style middleware (Fagin, Lotem, Naor — the
+//! paper's reference [10]) that emits tuples in global ranking order while
+//! descending per-attribute sorted lists only as far as the consumer pulls.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ptk_core::{ModelError, Probability, TupleId};
+
+use crate::source::{RankedSource, RuleKey, SourceTuple};
+
+/// A monotone aggregation function over attribute values — the ranking
+/// function `f` of the top-k query, in the multi-attribute setting TA
+/// addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateFn {
+    /// Sum of the attributes.
+    Sum,
+    /// Minimum attribute.
+    Min,
+    /// Maximum attribute.
+    Max,
+    /// Weighted sum with nonnegative weights (monotonicity requires it).
+    WeightedSum(Vec<f64>),
+}
+
+impl AggregateFn {
+    /// Applies the aggregate to one row of attribute values.
+    ///
+    /// # Panics
+    /// Panics if `WeightedSum` weights do not match the arity.
+    pub fn apply(&self, attrs: &[f64]) -> f64 {
+        match self {
+            AggregateFn::Sum => attrs.iter().sum(),
+            AggregateFn::Min => attrs.iter().copied().fold(f64::INFINITY, f64::min),
+            AggregateFn::Max => attrs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggregateFn::WeightedSum(w) => {
+                assert_eq!(w.len(), attrs.len(), "weight arity mismatch");
+                attrs.iter().zip(w).map(|(a, w)| a * w).sum()
+            }
+        }
+    }
+
+    fn validate(&self, arity: usize) -> Result<(), ModelError> {
+        if let AggregateFn::WeightedSum(w) = self {
+            if w.len() != arity {
+                return Err(ModelError::ArityMismatch {
+                    expected: arity,
+                    actual: w.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One per-attribute sorted list: `(value, row)` pairs, value descending.
+#[derive(Debug, Clone)]
+pub struct SortedList {
+    entries: Vec<(f64, usize)>,
+}
+
+impl SortedList {
+    /// Builds the sorted list of one attribute column.
+    pub fn from_column(values: &[f64]) -> SortedList {
+        let mut entries: Vec<(f64, usize)> = values
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, v)| (v, i))
+            .collect();
+        entries.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        SortedList { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A fully-scored candidate awaiting emission.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    score: f64,
+    row: usize,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher score first; ties toward the smaller row index.
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.row.cmp(&self.row))
+    }
+}
+
+/// A [`RankedSource`] that merges several per-attribute sorted lists under
+/// a monotone aggregate, emitting tuples in non-increasing aggregate-score
+/// order.
+///
+/// The classic TA loop: one *sorted access* per list per round discovers
+/// new rows (each immediately fully scored by *random access*), and the
+/// aggregate of the per-list frontier values is the **threshold** `τ` — no
+/// unseen row can score above it, so any discovered candidate at or above
+/// `τ` is safe to emit. Pulling only the first few tuples therefore only
+/// touches the tops of the lists — exactly the property the paper's pruning
+/// rules exploit to stop retrieval early.
+#[derive(Debug)]
+pub struct TaSource {
+    lists: Vec<SortedList>,
+    /// Per-list cursor into the sorted entries.
+    cursors: Vec<usize>,
+    agg: AggregateFn,
+    probs: Vec<f64>,
+    rules: Vec<Option<RuleKey>>,
+    rule_masses: Vec<f64>,
+    scores: Vec<f64>,
+    discovered: Vec<bool>,
+    heap: BinaryHeap<Candidate>,
+    retrieved: usize,
+    sorted_accesses: u64,
+}
+
+impl TaSource {
+    /// Builds the middleware over `n` rows with `m` attribute columns.
+    ///
+    /// `attrs[row]` holds the row's attribute values; `rules[row]` is the
+    /// row's generation-rule key, if any.
+    ///
+    /// # Errors
+    /// Fails on arity mismatches, probabilities outside `(0, 1]`, or a rule
+    /// whose total mass exceeds 1.
+    pub fn new(
+        attrs: &[Vec<f64>],
+        probs: Vec<f64>,
+        rules: Vec<Option<u32>>,
+        agg: AggregateFn,
+    ) -> Result<TaSource, ModelError> {
+        let n = attrs.len();
+        if probs.len() != n || rules.len() != n {
+            return Err(ModelError::ArityMismatch {
+                expected: n,
+                actual: probs.len().min(rules.len()),
+            });
+        }
+        let arity = attrs.first().map_or(0, Vec::len);
+        if n > 0 && arity == 0 {
+            // Rows without attributes can never be discovered by sorted
+            // access; reject rather than silently emit nothing.
+            return Err(ModelError::ArityMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        agg.validate(arity)?;
+        for row in attrs {
+            if row.len() != arity {
+                return Err(ModelError::ArityMismatch {
+                    expected: arity,
+                    actual: row.len(),
+                });
+            }
+        }
+        for &p in &probs {
+            Probability::new_membership(p)?;
+        }
+        let max_rule = rules
+            .iter()
+            .flatten()
+            .map(|&r| r as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut rule_masses = vec![0.0f64; max_rule];
+        for (i, r) in rules.iter().enumerate() {
+            if let Some(r) = r {
+                rule_masses[*r as usize] += probs[i];
+            }
+        }
+        for (r, &mass) in rule_masses.iter().enumerate() {
+            if mass > 1.0 + 1e-9 {
+                return Err(ModelError::RuleMassExceedsOne {
+                    members: rules
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, rr)| **rr == Some(r as u32))
+                        .map(|(i, _)| TupleId::new(i))
+                        .collect(),
+                    total: mass,
+                });
+            }
+        }
+        let scores: Vec<f64> = attrs.iter().map(|row| agg.apply(row)).collect();
+        let lists: Vec<SortedList> = (0..arity)
+            .map(|c| {
+                let column: Vec<f64> = attrs.iter().map(|row| row[c]).collect();
+                SortedList::from_column(&column)
+            })
+            .collect();
+        Ok(TaSource {
+            cursors: vec![0; lists.len()],
+            lists,
+            agg,
+            probs,
+            rules: rules.into_iter().map(|r| r.map(RuleKey)).collect(),
+            rule_masses,
+            scores,
+            discovered: vec![false; n],
+            heap: BinaryHeap::new(),
+            retrieved: 0,
+            sorted_accesses: 0,
+        })
+    }
+
+    /// Total sorted accesses performed so far — the TA cost metric. Stays
+    /// small when the consumer stops pulling early.
+    pub fn sorted_accesses(&self) -> u64 {
+        self.sorted_accesses
+    }
+
+    /// The current threshold `τ`: the aggregate of the per-list frontier
+    /// values, an upper bound on every undiscovered row's score. `None`
+    /// once any list is exhausted (then every row has been discovered).
+    fn threshold(&self) -> Option<f64> {
+        let mut frontier = Vec::with_capacity(self.lists.len());
+        for (list, &cursor) in self.lists.iter().zip(&self.cursors) {
+            match list.entries.get(cursor) {
+                Some(&(value, _)) => frontier.push(value),
+                None => return None,
+            }
+        }
+        Some(self.agg.apply(&frontier))
+    }
+
+    /// One round of sorted access: advance every list cursor by one,
+    /// discovering (and fully scoring) any new rows.
+    fn advance_round(&mut self) {
+        for (list, cursor) in self.lists.iter().zip(self.cursors.iter_mut()) {
+            if let Some(&(_, row)) = list.entries.get(*cursor) {
+                *cursor += 1;
+                self.sorted_accesses += 1;
+                if !self.discovered[row] {
+                    self.discovered[row] = true;
+                    // Random access: the full score was precomputed.
+                    self.heap.push(Candidate {
+                        score: self.scores[row],
+                        row,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl RankedSource for TaSource {
+    fn next_ranked(&mut self) -> Option<SourceTuple> {
+        loop {
+            // Exhausted: no candidates buffered and nothing left to scan.
+            if self.heap.is_empty()
+                && self
+                    .lists
+                    .iter()
+                    .zip(&self.cursors)
+                    .all(|(l, &c)| c >= l.len())
+            {
+                return None;
+            }
+            match self.threshold() {
+                Some(tau) => {
+                    if let Some(top) = self.heap.peek() {
+                        if top.score >= tau {
+                            let c = self.heap.pop().expect("peeked");
+                            self.retrieved += 1;
+                            return Some(SourceTuple {
+                                id: TupleId::new(c.row),
+                                score: c.score,
+                                prob: self.probs[c.row],
+                                rule: self.rules[c.row],
+                            });
+                        }
+                    }
+                    self.advance_round();
+                }
+                None => {
+                    // Some list is exhausted ⇒ every row is discovered;
+                    // drain the heap.
+                    let c = self.heap.pop()?;
+                    self.retrieved += 1;
+                    return Some(SourceTuple {
+                        id: TupleId::new(c.row),
+                        score: c.score,
+                        prob: self.probs[c.row],
+                        rule: self.rules[c.row],
+                    });
+                }
+            }
+        }
+    }
+
+    fn rule_mass(&self, rule: RuleKey) -> Option<f64> {
+        self.rule_masses.get(rule.0 as usize).copied()
+    }
+
+    fn retrieved(&self) -> usize {
+        self.retrieved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 9.0], // 10
+            vec![8.0, 1.0], // 9
+            vec![7.0, 7.0], // 14
+            vec![2.0, 2.0], // 4
+            vec![6.0, 5.0], // 11
+        ]
+    }
+
+    fn drain(source: &mut TaSource) -> Vec<(usize, f64)> {
+        std::iter::from_fn(|| source.next_ranked().map(|t| (t.id.index(), t.score))).collect()
+    }
+
+    #[test]
+    fn emits_in_aggregate_order() {
+        let mut s = TaSource::new(&rows(), vec![0.5; 5], vec![None; 5], AggregateFn::Sum).unwrap();
+        let out = drain(&mut s);
+        let order: Vec<usize> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(order, vec![2, 4, 0, 1, 3]);
+        let scores: Vec<f64> = out.iter().map(|(_, s)| *s).collect();
+        assert_eq!(scores, vec![14.0, 11.0, 10.0, 9.0, 4.0]);
+        assert_eq!(s.retrieved(), 5);
+    }
+
+    #[test]
+    fn early_pull_touches_few_entries() {
+        // 100 rows; the top row dominates both lists, so the first pull
+        // must not scan everything.
+        let mut attrs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, i as f64]).collect();
+        attrs.push(vec![1000.0, 1000.0]);
+        let n = attrs.len();
+        let mut s = TaSource::new(&attrs, vec![0.5; n], vec![None; n], AggregateFn::Sum).unwrap();
+        let first = s.next_ranked().unwrap();
+        assert_eq!(first.score, 2000.0);
+        assert!(
+            s.sorted_accesses() <= 6,
+            "TA should stop near the top, did {} accesses",
+            s.sorted_accesses()
+        );
+    }
+
+    #[test]
+    fn min_and_max_aggregates() {
+        let mut s = TaSource::new(&rows(), vec![0.5; 5], vec![None; 5], AggregateFn::Min).unwrap();
+        let order: Vec<usize> = drain(&mut s).iter().map(|(i, _)| *i).collect();
+        // Min scores: 1, 1, 7, 2, 5 → order 2, 4, 3, then {0, 1} tie on 1.
+        assert_eq!(&order[..3], &[2, 4, 3]);
+        assert_eq!(
+            {
+                let mut t = order[3..].to_vec();
+                t.sort_unstable();
+                t
+            },
+            vec![0, 1]
+        );
+
+        let mut s = TaSource::new(&rows(), vec![0.5; 5], vec![None; 5], AggregateFn::Max).unwrap();
+        let scores: Vec<f64> = drain(&mut s).iter().map(|(_, v)| *v).collect();
+        assert_eq!(scores, vec![9.0, 8.0, 7.0, 6.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_sum() {
+        let mut s = TaSource::new(
+            &rows(),
+            vec![0.5; 5],
+            vec![None; 5],
+            AggregateFn::WeightedSum(vec![1.0, 0.0]),
+        )
+        .unwrap();
+        let order: Vec<usize> = drain(&mut s).iter().map(|(i, _)| *i).collect();
+        assert_eq!(order, vec![1, 2, 4, 3, 0]);
+    }
+
+    #[test]
+    fn scores_are_non_increasing_under_ties() {
+        let attrs: Vec<Vec<f64>> = vec![vec![5.0], vec![5.0], vec![5.0], vec![7.0]];
+        let mut s = TaSource::new(&attrs, vec![0.5; 4], vec![None; 4], AggregateFn::Sum).unwrap();
+        let out = drain(&mut s);
+        for w in out.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(out[0].0, 3);
+    }
+
+    #[test]
+    fn rules_flow_through() {
+        let mut s = TaSource::new(
+            &rows(),
+            vec![0.4, 0.5, 0.5, 0.5, 0.5],
+            vec![Some(0), Some(0), None, None, None],
+            AggregateFn::Sum,
+        )
+        .unwrap();
+        assert!((s.rule_mass(RuleKey(0)).unwrap() - 0.9).abs() < 1e-12);
+        let out: Vec<SourceTuple> = std::iter::from_fn(|| s.next_ranked()).collect();
+        let r0 = out.iter().find(|t| t.id.index() == 0).unwrap();
+        assert_eq!(r0.rule, Some(RuleKey(0)));
+        let r2 = out.iter().find(|t| t.id.index() == 2).unwrap();
+        assert_eq!(r2.rule, None);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(TaSource::new(&rows(), vec![0.5; 3], vec![None; 5], AggregateFn::Sum).is_err());
+        assert!(TaSource::new(&rows(), vec![1.5; 5], vec![None; 5], AggregateFn::Sum).is_err());
+        assert!(TaSource::new(
+            &rows(),
+            vec![0.9; 5],
+            vec![Some(0), Some(0), None, None, None],
+            AggregateFn::Sum
+        )
+        .is_err());
+        assert!(TaSource::new(
+            &rows(),
+            vec![0.5; 5],
+            vec![None; 5],
+            AggregateFn::WeightedSum(vec![1.0])
+        )
+        .is_err());
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(TaSource::new(&ragged, vec![0.5; 2], vec![None; 2], AggregateFn::Sum).is_err());
+    }
+
+    #[test]
+    fn empty_source() {
+        let mut s = TaSource::new(&[], vec![], vec![], AggregateFn::Sum).unwrap();
+        assert!(s.next_ranked().is_none());
+        assert_eq!(s.retrieved(), 0);
+    }
+
+    #[test]
+    fn attributeless_rows_are_rejected() {
+        let attrs: Vec<Vec<f64>> = vec![vec![], vec![]];
+        assert!(TaSource::new(&attrs, vec![0.5; 2], vec![None; 2], AggregateFn::Sum).is_err());
+    }
+
+    #[test]
+    fn sorted_list_shape() {
+        let l = SortedList::from_column(&[3.0, 1.0, 2.0]);
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert!(SortedList::from_column(&[]).is_empty());
+    }
+}

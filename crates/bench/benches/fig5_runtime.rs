@@ -1,0 +1,71 @@
+//! Criterion benchmarks backing Figure 5: PT-k runtime for the three
+//! exact-engine variants and the sampler, as k varies.
+//!
+//! The statistical rigor (warm-up, outlier rejection) comes from Criterion;
+//! the printed figure series come from the `fig5_runtime` harness binary.
+//! Datasets here are scaled to 5,000 tuples so a full `cargo bench` stays
+//! quick; the harness binary runs the paper-scale 20,000.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ptk_datagen::{SyntheticConfig, SyntheticDataset};
+use ptk_engine::{evaluate_ptk, EngineOptions, SharingVariant};
+use ptk_sampling::{sample_topk, SamplingOptions, StopCriterion};
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(&SyntheticConfig {
+        tuples: 5_000,
+        rules: 500,
+        seed: 7,
+        ..Default::default()
+    })
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("fig5_exact_variants");
+    group.sample_size(10);
+    for k in [50usize, 200] {
+        for (name, variant) in [
+            ("RC", SharingVariant::Rc),
+            ("RC+AR", SharingVariant::Aggressive),
+            ("RC+LR", SharingVariant::Lazy),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter(|| {
+                    evaluate_ptk(
+                        black_box(&ds.view),
+                        k,
+                        0.3,
+                        &EngineOptions::with_variant(variant),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("fig5_sampling");
+    group.sample_size(10);
+    for k in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("progressive", k), &k, |b, &k| {
+            let options = SamplingOptions {
+                stop: StopCriterion::Progressive {
+                    d: 500,
+                    phi: 0.002,
+                    max_units: 10_000,
+                },
+                seed: 7,
+            };
+            b.iter(|| sample_topk(black_box(&ds.view), k, &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks backing Figure 7: scalability with the number of
+//! tuples (rules at 10%) and with the number of rules (tuples fixed).
+//! Scaled down from the paper's 20k–100k so `cargo bench` stays quick; the
+//! harness binary runs the full sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ptk_datagen::{SyntheticConfig, SyntheticDataset};
+use ptk_engine::{evaluate_ptk, EngineOptions};
+use ptk_sampling::{sample_topk, SamplingOptions, StopCriterion};
+
+fn bench_tuples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_tuples");
+    group.sample_size(10);
+    for n in [5_000usize, 10_000, 20_000] {
+        let ds = SyntheticDataset::generate(&SyntheticConfig {
+            tuples: n,
+            rules: n / 10,
+            seed: 7,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("exact_rc_lr", n), &ds, |b, ds| {
+            b.iter(|| evaluate_ptk(black_box(&ds.view), 100, 0.3, &EngineOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("sampling", n), &ds, |b, ds| {
+            let options = SamplingOptions {
+                stop: StopCriterion::FixedUnits(2_000),
+                seed: 7,
+            };
+            b.iter(|| sample_topk(black_box(&ds.view), 100, &options))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_rules");
+    group.sample_size(10);
+    for rules in [125usize, 250, 500] {
+        let ds = SyntheticDataset::generate(&SyntheticConfig {
+            tuples: 5_000,
+            rules,
+            seed: 7,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("exact_rc_lr", rules), &ds, |b, ds| {
+            b.iter(|| evaluate_ptk(black_box(&ds.view), 100, 0.3, &EngineOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuples, bench_rules);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the sampler: unit generation cost with and without
+//! the early-stop improvement's preconditions (small vs. large k), and the
+//! progressive-vs-fixed stopping criteria. Ablations for §5's two
+//! improvements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use ptk_datagen::{SyntheticConfig, SyntheticDataset};
+use ptk_sampling::{sample_topk, SamplingOptions, StopCriterion, WorldSampler};
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(&SyntheticConfig {
+        tuples: 10_000,
+        rules: 1_000,
+        seed: 7,
+        ..Default::default()
+    })
+}
+
+fn bench_unit_generation(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("sample_unit_generation");
+    // Small k stops after ~k/mu positions; k = n disables the early stop.
+    for k in [10usize, 100, 10_000] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            let mut sampler = WorldSampler::new(&ds.view, k);
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut unit = Vec::new();
+            b.iter(|| {
+                sampler.draw_unit(&mut rng, black_box(&mut unit));
+                unit.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stopping(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("sampling_stopping");
+    group.sample_size(10);
+    group.bench_function("fixed_10000", |b| {
+        let options = SamplingOptions {
+            stop: StopCriterion::FixedUnits(10_000),
+            seed: 7,
+        };
+        b.iter(|| sample_topk(black_box(&ds.view), 100, &options))
+    });
+    group.bench_function("progressive", |b| {
+        let options = SamplingOptions {
+            stop: StopCriterion::Progressive {
+                d: 500,
+                phi: 0.002,
+                max_units: 10_000,
+            },
+            seed: 7,
+        };
+        b.iter(|| sample_topk(black_box(&ds.view), 100, &options))
+    });
+    group.bench_function("chernoff_eps20_delta10", |b| {
+        let options = SamplingOptions {
+            stop: StopCriterion::Chernoff {
+                epsilon: 0.2,
+                delta: 0.1,
+            },
+            seed: 7,
+        };
+        b.iter(|| sample_topk(black_box(&ds.view), 100, &options))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_generation, bench_stopping);
+criterion_main!(benches);

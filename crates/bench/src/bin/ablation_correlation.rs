@@ -1,0 +1,74 @@
+//! Ablation: how the rank/probability correlation of the workload affects
+//! the paper's pruning rules.
+//!
+//! The paper draws scores and membership probabilities independently
+//! (§6.2). This ablation adds the two extreme couplings: *correlated*
+//! (high-scoring tuples are also the confident ones — e.g. sensor quality
+//! correlates with signal strength) and *anti-correlated* (the adversarial
+//! case — outlier scores come from the least reliable readings). Pruning
+//! saturates almost immediately under correlation (Theorem 5 fires once the
+//! first k near-certain tuples pass) and degrades under anti-correlation.
+
+use ptk_bench::{sweeps, time_ms, Report};
+use ptk_datagen::{ScoreProbCorrelation, SyntheticConfig, SyntheticDataset};
+use ptk_engine::{evaluate_ptk, EngineOptions};
+use ptk_sampling::sample_topk;
+
+fn main() {
+    let mut report = Report::new(
+        "ablation_correlation",
+        &[
+            "correlation",
+            "exact (ms)",
+            "scanned",
+            "answers",
+            "stop reason",
+            "sampling avg length",
+        ],
+    );
+    let mut scanned_by_mode = Vec::new();
+    for (name, correlation) in [
+        ("correlated", ScoreProbCorrelation::Correlated),
+        ("independent", ScoreProbCorrelation::Independent),
+        ("anti-correlated", ScoreProbCorrelation::AntiCorrelated),
+    ] {
+        let ds = SyntheticDataset::generate(&SyntheticConfig {
+            seed: sweeps::SEED,
+            correlation,
+            ..Default::default()
+        });
+        let (result, ms) = time_ms(|| {
+            evaluate_ptk(
+                &ds.view,
+                sweeps::DEFAULT_K,
+                sweeps::DEFAULT_P,
+                &EngineOptions::default(),
+            )
+        });
+        let estimate = sample_topk(&ds.view, sweeps::DEFAULT_K, &sweeps::sampling_options());
+        scanned_by_mode.push(result.stats.scanned);
+        report.row(&[
+            &name,
+            &format!("{ms:.1}"),
+            &result.stats.scanned,
+            &result.answers.len(),
+            &format!("{:?}", result.stats.stop),
+            &format!("{:.1}", estimate.average_sample_length),
+        ]);
+    }
+    report.finish();
+
+    // The headline claim: correlation helps pruning, anti-correlation
+    // hurts it.
+    assert!(
+        scanned_by_mode[0] <= scanned_by_mode[1],
+        "correlated should scan no more than independent"
+    );
+    assert!(
+        scanned_by_mode[1] <= scanned_by_mode[2],
+        "anti-correlated should scan no less than independent"
+    );
+    println!(
+        "\nablation_correlation: scan depth ordered correlated <= independent <= anti-correlated"
+    );
+}

@@ -1,0 +1,57 @@
+//! Runs every experiment of the paper's evaluation in order, by invoking
+//! the sibling harness binaries' logic is not possible across binaries, so
+//! this binary simply shells out to them when available, or instructs the
+//! user.
+//!
+//! In practice: `cargo run --release -p ptk-bench --bin all_experiments`.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 8] = [
+    "table1_3",
+    "table4_walkthrough",
+    "fig2_reorder",
+    "table5_6_iip",
+    "fig4_scan_depth",
+    "fig5_runtime",
+    "fig6_quality",
+    "fig7_scalability",
+];
+
+fn main() {
+    // Locate the sibling binaries next to this one.
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = dir.join(name);
+        println!(
+            "\n=== {name} {}",
+            "=".repeat(60usize.saturating_sub(name.len()))
+        );
+        if !path.exists() {
+            println!(
+                "binary not built; run `cargo build --release -p ptk-bench --bin {name}` first"
+            );
+            failures.push(name);
+            continue;
+        }
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                println!("{name} exited with {status}");
+                failures.push(name);
+            }
+            Err(e) => {
+                println!("failed to launch {name}: {e}");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall_experiments: every table and figure regenerated");
+    } else {
+        println!("\nall_experiments: FAILURES in {failures:?}");
+        std::process::exit(1);
+    }
+}

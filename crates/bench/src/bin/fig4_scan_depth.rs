@@ -1,0 +1,77 @@
+//! Reproduces Figure 4: the number of tuples scanned (exact algorithm),
+//! the average sample length (sampling algorithm) and the answer-set size,
+//! as one knob at a time varies — (a) expected membership probability,
+//! (b) rule complexity, (c) k, (d) probability threshold p.
+//!
+//! Each test dataset has 20,000 tuples and 2,000 multi-tuple rules, like
+//! the paper's.
+
+use ptk_bench::{sweeps, Report};
+use ptk_core::RankedView;
+use ptk_engine::{evaluate_ptk, EngineOptions};
+use ptk_sampling::sample_topk;
+
+fn measure(view: &RankedView, k: usize, p: f64, report: &mut Report, x: &dyn std::fmt::Display) {
+    let exact = evaluate_ptk(view, k, p, &EngineOptions::default());
+    let estimate = sample_topk(view, k, &sweeps::sampling_options());
+    report.row(&[
+        x,
+        &exact.stats.scanned,
+        &format!("{:.1}", estimate.average_sample_length),
+        &exact.answers.len(),
+    ]);
+}
+
+fn main() {
+    let columns = [
+        "x",
+        "exact: tuples scanned",
+        "sampling: avg sample length",
+        "answer size",
+    ];
+
+    // (a) expectation of membership probability.
+    let mut report = Report::new("fig4a_scan_depth_vs_prob_mean", &columns);
+    for mu in sweeps::prob_means() {
+        let ds = sweeps::dataset(mu, 5.0);
+        measure(
+            &ds.view,
+            sweeps::DEFAULT_K,
+            sweeps::DEFAULT_P,
+            &mut report,
+            &mu,
+        );
+    }
+    report.finish();
+
+    // (b) rule complexity.
+    let mut report = Report::new("fig4b_scan_depth_vs_rule_size", &columns);
+    for size in sweeps::rule_sizes() {
+        let ds = sweeps::dataset(0.5, size);
+        measure(
+            &ds.view,
+            sweeps::DEFAULT_K,
+            sweeps::DEFAULT_P,
+            &mut report,
+            &size,
+        );
+    }
+    report.finish();
+
+    // (c) k.
+    let ds = sweeps::dataset(0.5, 5.0);
+    let mut report = Report::new("fig4c_scan_depth_vs_k", &columns);
+    for k in sweeps::ks() {
+        measure(&ds.view, k, sweeps::DEFAULT_P, &mut report, &k);
+    }
+    report.finish();
+
+    // (d) probability threshold.
+    let mut report = Report::new("fig4d_scan_depth_vs_p", &columns);
+    for p in sweeps::ps() {
+        measure(&ds.view, sweeps::DEFAULT_K, p, &mut report, &p);
+    }
+    report.finish();
+
+    println!("\nfig4_scan_depth: done");
+}

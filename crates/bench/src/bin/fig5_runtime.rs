@@ -1,0 +1,89 @@
+//! Reproduces Figure 5: runtime of the three exact-engine variants (RC,
+//! RC+AR, RC+LR) and of the sampling algorithm, over the same four sweeps
+//! as Figure 4. Also reports the number of subset-probability entries
+//! recomputed — the paper notes its trends match runtime exactly.
+
+use ptk_bench::{sweeps, time_ms, Report};
+use ptk_core::RankedView;
+use ptk_engine::{evaluate_ptk, EngineOptions, SharingVariant};
+use ptk_sampling::sample_topk;
+
+fn measure(view: &RankedView, k: usize, p: f64, report: &mut Report, x: &dyn std::fmt::Display) {
+    let mut times = Vec::new();
+    let mut recomputed = Vec::new();
+    for variant in [
+        SharingVariant::Rc,
+        SharingVariant::Aggressive,
+        SharingVariant::Lazy,
+    ] {
+        let (result, ms) =
+            time_ms(|| evaluate_ptk(view, k, p, &EngineOptions::with_variant(variant)));
+        times.push(ms);
+        recomputed.push(result.stats.entries_recomputed);
+    }
+    let (_, sample_ms) = time_ms(|| sample_topk(view, k, &sweeps::sampling_options()));
+    report.row(&[
+        x,
+        &format!("{:.1}", times[0]),
+        &format!("{:.1}", times[1]),
+        &format!("{:.1}", times[2]),
+        &format!("{sample_ms:.1}"),
+        &recomputed[0],
+        &recomputed[1],
+        &recomputed[2],
+    ]);
+}
+
+fn main() {
+    let columns = [
+        "x",
+        "RC (ms)",
+        "RC+AR (ms)",
+        "RC+LR (ms)",
+        "sampling (ms)",
+        "RC entries",
+        "RC+AR entries",
+        "RC+LR entries",
+    ];
+
+    let mut report = Report::new("fig5a_runtime_vs_prob_mean", &columns);
+    for mu in sweeps::prob_means() {
+        let ds = sweeps::dataset(mu, 5.0);
+        measure(
+            &ds.view,
+            sweeps::DEFAULT_K,
+            sweeps::DEFAULT_P,
+            &mut report,
+            &mu,
+        );
+    }
+    report.finish();
+
+    let mut report = Report::new("fig5b_runtime_vs_rule_size", &columns);
+    for size in sweeps::rule_sizes() {
+        let ds = sweeps::dataset(0.5, size);
+        measure(
+            &ds.view,
+            sweeps::DEFAULT_K,
+            sweeps::DEFAULT_P,
+            &mut report,
+            &size,
+        );
+    }
+    report.finish();
+
+    let ds = sweeps::dataset(0.5, 5.0);
+    let mut report = Report::new("fig5c_runtime_vs_k", &columns);
+    for k in sweeps::ks() {
+        measure(&ds.view, k, sweeps::DEFAULT_P, &mut report, &k);
+    }
+    report.finish();
+
+    let mut report = Report::new("fig5d_runtime_vs_p", &columns);
+    for p in sweeps::ps() {
+        measure(&ds.view, sweeps::DEFAULT_K, p, &mut report, &p);
+    }
+    report.finish();
+
+    println!("\nfig5_runtime: done");
+}

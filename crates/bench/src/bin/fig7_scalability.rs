@@ -1,0 +1,83 @@
+//! Reproduces Figure 7: scalability of the exact algorithm (RC+LR, plus RC
+//! and RC+AR on the rules panel, as in the paper) and of the sampling
+//! algorithm — (a) versus the number of tuples (20k–100k, rules fixed at
+//! 10% of tuples), (b) versus the number of rules (500–2,500 at 20k tuples).
+
+use ptk_bench::{sweeps, time_ms, Report};
+use ptk_datagen::{SyntheticConfig, SyntheticDataset};
+use ptk_engine::{evaluate_ptk, EngineOptions, SharingVariant};
+use ptk_sampling::sample_topk;
+
+fn main() {
+    let k = sweeps::DEFAULT_K;
+    let p = sweeps::DEFAULT_P;
+
+    // (a) number of tuples, rules = 10%.
+    let mut report = Report::new(
+        "fig7a_scalability_tuples",
+        &[
+            "tuples",
+            "exact RC+LR (ms)",
+            "sampling (ms)",
+            "exact scanned",
+        ],
+    );
+    for n in [20_000usize, 40_000, 60_000, 80_000, 100_000] {
+        let ds = SyntheticDataset::generate(&SyntheticConfig {
+            tuples: n,
+            rules: n / 10, // the paper: rules = 10% of the number of tuples
+            seed: sweeps::SEED,
+            ..Default::default()
+        });
+        let (exact, exact_ms) = time_ms(|| evaluate_ptk(&ds.view, k, p, &EngineOptions::default()));
+        let (_, sample_ms) = time_ms(|| sample_topk(&ds.view, k, &sweeps::sampling_options()));
+        report.row(&[
+            &n,
+            &format!("{exact_ms:.1}"),
+            &format!("{sample_ms:.1}"),
+            &exact.stats.scanned,
+        ]);
+    }
+    report.finish();
+
+    // (b) number of rules at 20k tuples.
+    let mut report = Report::new(
+        "fig7b_scalability_rules",
+        &[
+            "rules",
+            "RC (ms)",
+            "RC+AR (ms)",
+            "RC+LR (ms)",
+            "sampling (ms)",
+        ],
+    );
+    for rules in [500usize, 1000, 1500, 2000, 2500] {
+        let ds = SyntheticDataset::generate(&SyntheticConfig {
+            tuples: 20_000,
+            rules,
+            seed: sweeps::SEED,
+            ..Default::default()
+        });
+        let mut times = Vec::new();
+        for variant in [
+            SharingVariant::Rc,
+            SharingVariant::Aggressive,
+            SharingVariant::Lazy,
+        ] {
+            let (_, ms) =
+                time_ms(|| evaluate_ptk(&ds.view, k, p, &EngineOptions::with_variant(variant)));
+            times.push(ms);
+        }
+        let (_, sample_ms) = time_ms(|| sample_topk(&ds.view, k, &sweeps::sampling_options()));
+        report.row(&[
+            &rules,
+            &format!("{:.1}", times[0]),
+            &format!("{:.1}", times[1]),
+            &format!("{:.1}", times[2]),
+            &format!("{sample_ms:.1}"),
+        ]);
+    }
+    report.finish();
+
+    println!("\nfig7_scalability: done");
+}

@@ -1,0 +1,998 @@
+//! Command parsing and execution.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ptk_access::{write_run, FileSource, RankedSource};
+use ptk_core::{
+    ComparisonOp, Predicate, PtkQuery, RankedView, Ranking, SortDirection, TopKQuery,
+    UncertainTable,
+};
+use ptk_datagen::{IipConfig, IipDataset, SyntheticConfig, SyntheticDataset};
+use ptk_engine::{evaluate_ptk, evaluate_ptk_source, EngineOptions, StreamOptions};
+use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
+use ptk_sampling::{sample_ptk, SamplingOptions};
+use ptk_worlds::naive;
+
+use crate::load::{load_table, parse_value, save_table};
+use crate::USAGE;
+
+/// Parsed command-line flags: positional arguments and `--key value` pairs.
+#[derive(Debug, Default)]
+struct Flags {
+    positional: Vec<String>,
+    named: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: [&str; 1] = ["asc"];
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if SWITCHES.contains(&name) {
+                flags.switches.push(name.to_owned());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                flags.named.insert(name.to_owned(), value.clone());
+            }
+        } else {
+            flags.positional.push(arg.clone());
+        }
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.named.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse '{raw}'")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.get(name)?
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// Parses a `--where` clause of the form `<column><op><value>`.
+fn parse_where(clause: &str, table: &UncertainTable) -> Result<Predicate, String> {
+    // Longest operators first so `<=` wins over `<`.
+    const OPS: [(&str, ComparisonOp); 6] = [
+        ("!=", ComparisonOp::Ne),
+        ("<=", ComparisonOp::Le),
+        (">=", ComparisonOp::Ge),
+        ("=", ComparisonOp::Eq),
+        ("<", ComparisonOp::Lt),
+        (">", ComparisonOp::Gt),
+    ];
+    for (symbol, op) in OPS {
+        if let Some(at) = clause.find(symbol) {
+            let column_name = clause[..at].trim();
+            let value_text = clause[at + symbol.len()..].trim();
+            let column = table
+                .column_index(column_name)
+                .ok_or_else(|| format!("unknown column '{column_name}'"))?;
+            return Ok(Predicate::Compare {
+                column,
+                op,
+                value: parse_value(value_text),
+            });
+        }
+    }
+    Err(format!(
+        "cannot parse --where '{clause}' (expected <col><op><value>)"
+    ))
+}
+
+fn build_ranking(flags: &Flags, table: &UncertainTable) -> Result<Ranking, String> {
+    let column_name: String = flags.require("rank-by")?;
+    let column = table
+        .column_index(&column_name)
+        .ok_or_else(|| format!("unknown column '{column_name}'"))?;
+    let direction = if flags.switch("asc") {
+        SortDirection::Ascending
+    } else {
+        SortDirection::Descending
+    };
+    Ok(Ranking::by_column(column, direction))
+}
+
+fn load_from_flags(flags: &Flags) -> Result<UncertainTable, String> {
+    let path = flags.positional.get(1).ok_or("missing CSV file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    load_table(&text)
+}
+
+fn cmd_query(flags: &Flags) -> Result<String, String> {
+    let table = load_from_flags(flags)?;
+    let k: usize = flags.require("k")?;
+    let p: f64 = flags.require("p")?;
+    let ranking = build_ranking(flags, &table)?;
+    let predicate = match flags.named.get("where") {
+        Some(clause) => parse_where(clause, &table)?,
+        None => Predicate::True,
+    };
+    let query = TopKQuery::new(k, predicate, ranking).map_err(|e| e.to_string())?;
+    let ptk = PtkQuery::new(query.clone(), p).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+
+    let method = flags.named.get("method").map_or("exact", String::as_str);
+    let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match method {
+        "exact" => {
+            let result = evaluate_ptk(&view, k, p, &EngineOptions::default());
+            let note = format!(
+                "scanned {} of {} tuples{}",
+                result.stats.scanned,
+                view.len(),
+                result
+                    .stats
+                    .stop
+                    .map_or(String::new(), |s| format!(", stopped early: {s:?}"))
+            );
+            (result.answers, result.probabilities, note)
+        }
+        "sampling" => {
+            let seed = flags.get("seed")?.unwrap_or(0u64);
+            let options = SamplingOptions {
+                seed,
+                ..Default::default()
+            };
+            let (answers, estimate) = sample_ptk(&view, k, p, &options);
+            let probabilities = estimate.probabilities.iter().map(|&x| Some(x)).collect();
+            (
+                answers,
+                probabilities,
+                format!("{} sample units", estimate.units),
+            )
+        }
+        "naive" => {
+            let pr = naive::topk_probabilities(&view, k).map_err(|e| e.to_string())?;
+            let answers = (0..view.len()).filter(|&i| pr[i] >= p).collect();
+            let probabilities = pr.iter().map(|&x| Some(x)).collect();
+            (
+                answers,
+                probabilities,
+                "full possible-world enumeration".to_owned(),
+            )
+        }
+        other => return Err(format!("unknown --method '{other}' (exact|sampling|naive)")),
+    };
+
+    let _ = ptk;
+    let mut out = String::new();
+    writeln!(out, "{} tuples pass Pr^{k} >= {p} ({note})", answers.len()).unwrap();
+    for &pos in &answers {
+        let t = view.tuple(pos);
+        let row = table.tuple(t.id);
+        let attrs: Vec<String> = row.attrs().iter().map(ToString::to_string).collect();
+        writeln!(
+            out,
+            "  rank {:>4}  Pr^k={:.4}  membership={:.3}  [{}]",
+            pos + 1,
+            probabilities[pos].unwrap_or(f64::NAN),
+            t.prob,
+            attrs.join(", ")
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_utopk(flags: &Flags) -> Result<String, String> {
+    let table = load_from_flags(flags)?;
+    let k: usize = flags.require("k")?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(k, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    let answer = utopk(&view, k, &UTopKOptions::default()).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "most probable top-{k} vector (probability {:.6}, {} states explored):\n",
+        answer.probability, answer.states_explored
+    );
+    for &pos in &answer.vector {
+        let t = view.tuple(pos);
+        let attrs: Vec<String> = table
+            .tuple(t.id)
+            .attrs()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        writeln!(
+            out,
+            "  rank {:>4}  membership={:.3}  [{}]",
+            pos + 1,
+            t.prob,
+            attrs.join(", ")
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_ukranks(flags: &Flags) -> Result<String, String> {
+    let table = load_from_flags(flags)?;
+    let k: usize = flags.require("k")?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(k, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    let mut out = String::from("most probable tuple at each rank:\n");
+    for entry in ukranks(&view, k) {
+        let t = view.tuple(entry.position);
+        let attrs: Vec<String> = table
+            .tuple(t.id)
+            .attrs()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        writeln!(
+            out,
+            "  rank {:>3}: ranked position {:>4}, probability {:.4}  [{}]",
+            entry.rank,
+            entry.position + 1,
+            entry.probability,
+            attrs.join(", ")
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_sql(flags: &Flags) -> Result<String, String> {
+    let statement_text = flags
+        .positional
+        .get(2)
+        .ok_or("usage: ptk sql <file.csv> '<statement>'")?;
+    let table = load_from_flags(flags)?;
+    let statement = ptk_sql::parse_statement(statement_text).map_err(|e| e.to_string())?;
+    let parsed = statement.query.clone();
+    let query = parsed.bind(&table).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, query.query()).map_err(|e| e.to_string())?;
+    let k = query.k();
+    let p = query.threshold().value();
+
+    match statement.kind {
+        ptk_sql::QueryKind::Ptk => {}
+        ptk_sql::QueryKind::UTopK => {
+            let answer = utopk(&view, k, &UTopKOptions::default()).map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "most probable top-{k} vector (probability {:.6}):\n",
+                answer.probability
+            );
+            for &pos in &answer.vector {
+                let t = view.tuple(pos);
+                let attrs: Vec<String> = table
+                    .tuple(t.id)
+                    .attrs()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+                writeln!(
+                    out,
+                    "  rank {:>4}  membership={:.3}  [{}]",
+                    pos + 1,
+                    t.prob,
+                    attrs.join(", ")
+                )
+                .unwrap();
+            }
+            if statement.explain {
+                writeln!(out, "plan: RankedView::build -> utopk best-first search").unwrap();
+                writeln!(
+                    out,
+                    "stats: {} states explored, view of {} tuples / {} rules",
+                    answer.states_explored,
+                    view.len(),
+                    view.rules().len()
+                )
+                .unwrap();
+            }
+            return Ok(out);
+        }
+        ptk_sql::QueryKind::UKRanks => {
+            let mut out = String::from("most probable tuple at each rank:\n");
+            for entry in ukranks(&view, k) {
+                let t = view.tuple(entry.position);
+                let attrs: Vec<String> = table
+                    .tuple(t.id)
+                    .attrs()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+                writeln!(
+                    out,
+                    "  rank {:>3}: ranked position {:>4}, probability {:.4}  [{}]",
+                    entry.rank,
+                    entry.position + 1,
+                    entry.probability,
+                    attrs.join(", ")
+                )
+                .unwrap();
+            }
+            if statement.explain {
+                writeln!(
+                    out,
+                    "plan: RankedView::build -> position probabilities (full scan, RC+LR)"
+                )
+                .unwrap();
+            }
+            return Ok(out);
+        }
+        ptk_sql::QueryKind::ExpectedRank => {
+            let mut out = format!("top-{k} by expected rank:\n");
+            for e in expected_rank_topk(&view, k) {
+                let t = view.tuple(e.position);
+                let attrs: Vec<String> = table
+                    .tuple(t.id)
+                    .attrs()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+                writeln!(
+                    out,
+                    "  expected rank {:>8.2}  ranked position {:>4}  [{}]",
+                    e.expected_rank,
+                    e.position + 1,
+                    attrs.join(", ")
+                )
+                .unwrap();
+            }
+            if statement.explain {
+                writeln!(
+                    out,
+                    "plan: RankedView::build -> closed-form expected ranks (O(n))"
+                )
+                .unwrap();
+            }
+            return Ok(out);
+        }
+    }
+
+    let mut explain_note = String::new();
+    let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match parsed.method
+    {
+        ptk_sql::Method::Exact => {
+            let result = evaluate_ptk(&view, k, p, &EngineOptions::default());
+            let note = format!(
+                "exact; scanned {} of {} tuples",
+                result.stats.scanned,
+                view.len()
+            );
+            if statement.explain {
+                explain_note = format!(
+                        "plan: RankedView::build (predicate + sort + rule projection) -> exact engine (RC+LR, pruning on)\n\
+                         stats: scanned {}, evaluated {}, pruned {} (membership {}, rule {}), dp entries {}, stop {:?}",
+                        result.stats.scanned,
+                        result.stats.evaluated,
+                        result.stats.pruned(),
+                        result.stats.pruned_membership,
+                        result.stats.pruned_rule,
+                        result.stats.entries_recomputed,
+                        result.stats.stop,
+                    );
+            }
+            (result.answers, result.probabilities, note)
+        }
+        ptk_sql::Method::Sampling => {
+            let seed = flags.get("seed")?.unwrap_or(0u64);
+            let options = SamplingOptions {
+                seed,
+                ..Default::default()
+            };
+            let (answers, estimate) = sample_ptk(&view, k, p, &options);
+            let probabilities = estimate.probabilities.iter().map(|&x| Some(x)).collect();
+            (
+                answers,
+                probabilities,
+                format!("sampling; {} units", estimate.units),
+            )
+        }
+        ptk_sql::Method::Naive => {
+            let pr = naive::topk_probabilities(&view, k).map_err(|e| e.to_string())?;
+            let answers = (0..view.len()).filter(|&i| pr[i] >= p).collect();
+            let probabilities = pr.iter().map(|&x| Some(x)).collect();
+            (answers, probabilities, "naive enumeration".to_owned())
+        }
+    };
+
+    let mut out = String::new();
+    writeln!(out, "{} tuples pass Pr^{k} >= {p} ({note})", answers.len()).unwrap();
+    for &pos in &answers {
+        let t = view.tuple(pos);
+        let row = table.tuple(t.id);
+        let attrs: Vec<String> = row.attrs().iter().map(ToString::to_string).collect();
+        writeln!(
+            out,
+            "  rank {:>4}  Pr^k={:.4}  membership={:.3}  [{}]",
+            pos + 1,
+            probabilities[pos].unwrap_or(f64::NAN),
+            t.prob,
+            attrs.join(", ")
+        )
+        .unwrap();
+    }
+    if !explain_note.is_empty() {
+        writeln!(out, "{explain_note}").unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_erank(flags: &Flags) -> Result<String, String> {
+    let table = load_from_flags(flags)?;
+    let k: usize = flags.require("k")?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(k, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    let mut out = format!("top-{k} by expected rank (Cormode et al. semantics):\n");
+    for e in expected_rank_topk(&view, k) {
+        let t = view.tuple(e.position);
+        let attrs: Vec<String> = table
+            .tuple(t.id)
+            .attrs()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        writeln!(
+            out,
+            "  expected rank {:>8.2}  ranked position {:>4}  membership={:.3}  [{}]",
+            e.expected_rank,
+            e.position + 1,
+            t.prob,
+            attrs.join(", ")
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_worlds(flags: &Flags) -> Result<String, String> {
+    let table = load_from_flags(flags)?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(1, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    let budget: u64 = flags.get("max-worlds")?.unwrap_or(10_000);
+    let mut worlds = ptk_worlds::try_enumerate(&view, budget).map_err(|e| e.to_string())?;
+    worlds.sort_by(|a, b| b.prob.total_cmp(&a.prob).then(a.members.cmp(&b.members)));
+    let limit: usize = flags.get("limit")?.unwrap_or(50);
+    let mut out = format!(
+        "{} possible worlds (showing up to {limit}):\n",
+        worlds.len()
+    );
+    for w in worlds.iter().take(limit) {
+        let ids: Vec<String> = w
+            .members
+            .iter()
+            .map(|&pos| view.tuple(pos).id.to_string())
+            .collect();
+        writeln!(out, "  Pr = {:.6}  {{{}}}", w.prob, ids.join(", ")).unwrap();
+    }
+    if worlds.len() > limit {
+        writeln!(out, "  … and {} more", worlds.len() - limit).unwrap();
+    }
+    let total: f64 = worlds.iter().map(|w| w.prob).sum();
+    writeln!(out, "total probability: {total:.9}").unwrap();
+    Ok(out)
+}
+
+fn cmd_inspect(flags: &Flags) -> Result<String, String> {
+    let table = load_from_flags(flags)?;
+    let independent = (0..table.len())
+        .filter(|&i| !table.is_dependent(ptk_core::TupleId::new(i)))
+        .count();
+    let max_rule = table.rules().iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    writeln!(out, "tuples:            {}", table.len()).unwrap();
+    writeln!(out, "columns:           {}", table.columns().join(", ")).unwrap();
+    writeln!(out, "multi-tuple rules: {}", table.rules().len()).unwrap();
+    writeln!(out, "independent:       {independent}").unwrap();
+    writeln!(out, "largest rule:      {max_rule}").unwrap();
+    writeln!(out, "possible worlds:   {:.3e}", table.world_count()).unwrap();
+    Ok(out)
+}
+
+fn cmd_pack(flags: &Flags) -> Result<String, String> {
+    let table = load_from_flags(flags)?;
+    let out_path: String = flags.require("out")?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(1, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    // Rows in CSV order: score from the ranked column, rule keys from the
+    // view's dense handles.
+    let mut rows: Vec<(f64, f64, Option<u32>)> = vec![(0.0, 0.0, None); view.len()];
+    for pos in 0..view.len() {
+        let t = view.tuple(pos);
+        rows[t.id.index()] = (
+            t.key.ok_or("the ranked column must be numeric to pack")?,
+            t.prob,
+            t.rule.map(|h| h.index() as u32),
+        );
+    }
+    write_run(std::path::Path::new(&out_path), &rows).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "packed {} tuples ({} rules) into {out_path}\n",
+        view.len(),
+        view.rules().len()
+    ))
+}
+
+fn cmd_scan(flags: &Flags) -> Result<String, String> {
+    let path = flags.positional.get(1).ok_or("missing run file argument")?;
+    let k: usize = flags.require("k")?;
+    let p: f64 = flags.require("p")?;
+    let mut source = FileSource::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    let total = source.remaining();
+    let result = evaluate_ptk_source(&mut source, k, p, &StreamOptions::default());
+    let mut out = format!(
+        "{} tuples pass Pr^{k} >= {p} (streamed {} of {total} records{})\n",
+        result.answers.len(),
+        source.retrieved(),
+        result
+            .stats
+            .stop
+            .map_or(String::new(), |s| format!(", stopped early: {s:?}"))
+    );
+    for a in &result.answers {
+        writeln!(
+            out,
+            "  row {:>6}  score {:>12.4}  Pr^k = {:.4}",
+            a.id.index(),
+            a.score,
+            a.probability
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_generate(flags: &Flags) -> Result<String, String> {
+    let kind = flags
+        .positional
+        .get(1)
+        .ok_or("generate needs a kind: synthetic | iip")?;
+    let seed = flags.get("seed")?.unwrap_or(0u64);
+    let table = match kind.as_str() {
+        "synthetic" => {
+            let config = SyntheticConfig {
+                tuples: flags.get("tuples")?.unwrap_or(1_000),
+                rules: flags.get("rules")?.unwrap_or(100),
+                seed,
+                ..Default::default()
+            };
+            SyntheticDataset::generate(&config).table
+        }
+        "iip" => {
+            let config = IipConfig {
+                tuples: flags.get("tuples")?.unwrap_or(1_000),
+                rules: flags.get("rules")?.unwrap_or(200),
+                seed,
+            };
+            IipDataset::generate(&config).table
+        }
+        other => return Err(format!("unknown generator '{other}' (synthetic | iip)")),
+    };
+    Ok(save_table(&table))
+}
+
+/// Executes a full command line (without the program name).
+///
+/// # Errors
+/// Returns a human-readable message for any parse, IO or query failure.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let flags = parse_flags(args)?;
+    match flags.positional.first().map(String::as_str) {
+        Some("query") => cmd_query(&flags),
+        Some("utopk") => cmd_utopk(&flags),
+        Some("ukranks") => cmd_ukranks(&flags),
+        Some("inspect") => cmd_inspect(&flags),
+        Some("worlds") => cmd_worlds(&flags),
+        Some("erank") => cmd_erank(&flags),
+        Some("sql") => cmd_sql(&flags),
+        Some("pack") => cmd_pack(&flags),
+        Some("scan") => cmd_scan(&flags),
+        Some("generate") => cmd_generate(&flags),
+        Some("help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn panda_file() -> tempfile::TempPath {
+        tempfile::csv(
+            "prob,rule,duration,rid
+0.3,,25,R1
+0.4,b,21,R2
+0.5,b,13,R3
+1.0,,12,R4
+0.8,e,17,R5
+0.2,e,11,R6
+",
+        )
+    }
+
+    /// Minimal temp-file helper (std-only).
+    mod tempfile {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub struct TempPath(pub PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        impl TempPath {
+            pub fn as_str(&self) -> &str {
+                self.0.to_str().unwrap()
+            }
+        }
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub fn csv(content: &str) -> TempPath {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("ptk-cli-test-{}-{n}.csv", std::process::id()));
+            std::fs::write(&path, content).unwrap();
+            TempPath(path)
+        }
+    }
+
+    #[test]
+    fn help_is_default() {
+        assert!(dispatch(&[]).unwrap().contains("USAGE"));
+        assert!(dispatch(&args(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn query_exact_matches_paper_example() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        assert!(
+            out.contains("R2") && out.contains("R3") && out.contains("R5"),
+            "{out}"
+        );
+        assert!(!out.contains("R1,") && !out.contains("R4") && !out.contains("R6"));
+    }
+
+    #[test]
+    fn query_methods_agree() {
+        let file = panda_file();
+        for method in ["exact", "sampling", "naive"] {
+            let out = dispatch(&args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                "2",
+                "--p",
+                "0.35",
+                "--rank-by",
+                "duration",
+                "--method",
+                method,
+            ]))
+            .unwrap();
+            assert!(out.contains("3 tuples pass"), "{method}: {out}");
+        }
+    }
+
+    #[test]
+    fn query_with_where_clause() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.1",
+            "--rank-by",
+            "duration",
+            "--where",
+            "duration>=13",
+        ]))
+        .unwrap();
+        // Only R1, R2, R3, R5 survive the predicate.
+        assert!(!out.contains("R4") && !out.contains("R6"), "{out}");
+    }
+
+    #[test]
+    fn utopk_and_ukranks_run() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "utopk",
+            file.as_str(),
+            "--k",
+            "2",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("0.28"), "{out}");
+        let out = dispatch(&args(&[
+            "ukranks",
+            file.as_str(),
+            "--k",
+            "2",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("rank   1"), "{out}");
+    }
+
+    #[test]
+    fn pack_and_scan_roundtrip() {
+        let file = panda_file();
+        let run_path =
+            std::env::temp_dir().join(format!("ptk-cli-pack-{}.run", std::process::id()));
+        let run_str = run_path.to_str().unwrap().to_owned();
+        let out = dispatch(&args(&[
+            "pack",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--out",
+            &run_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("packed 6 tuples (2 rules)"), "{out}");
+        let out = dispatch(&args(&["scan", &run_str, "--k", "2", "--p", "0.35"])).unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        // Rows 1, 4, 2 are R2, R5, R3 in CSV order.
+        assert!(
+            out.contains("row      1") && out.contains("row      4"),
+            "{out}"
+        );
+        let _ = std::fs::remove_file(&run_path);
+    }
+
+    #[test]
+    fn missing_file_and_flag_errors_are_clear() {
+        let err = dispatch(&args(&[
+            "query",
+            "/nonexistent.csv",
+            "--k",
+            "2",
+            "--p",
+            "0.5",
+            "--rank-by",
+            "x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("/nonexistent.csv"), "{err}");
+        let file = panda_file();
+        let err = dispatch(&args(&["erank", file.as_str(), "--rank-by", "duration"])).unwrap_err();
+        assert!(err.contains("--k is required"), "{err}");
+        let err = dispatch(&args(&[
+            "scan",
+            "/nonexistent.run",
+            "--k",
+            "2",
+            "--p",
+            "0.5",
+        ]))
+        .unwrap_err();
+        assert!(!err.is_empty());
+        let err = dispatch(&args(&["pack", file.as_str(), "--rank-by", "duration"])).unwrap_err();
+        assert!(err.contains("--out is required"), "{err}");
+    }
+
+    #[test]
+    fn scan_rejects_non_run_files() {
+        let file = panda_file();
+        let err = dispatch(&args(&["scan", file.as_str(), "--k", "2", "--p", "0.5"])).unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn sql_command_matches_flag_form() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration DESC WITH PROBABILITY >= 0.35",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        assert!(
+            out.contains("R2") && out.contains("R5") && out.contains("R3"),
+            "{out}"
+        );
+        // Where clause + sampling method.
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda WHERE duration >= 13 ORDER BY duration USING naive",
+        ]))
+        .unwrap();
+        assert!(!out.contains("R4") && !out.contains("R6"), "{out}");
+        // Parse errors surface.
+        let err = dispatch(&args(&["sql", file.as_str(), "SELECT"])).unwrap_err();
+        assert!(err.contains("query kind"), "{err}");
+        // Other statement kinds.
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT UTOPK 2 FROM panda ORDER BY duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("0.280000"), "{out}");
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT UKRANKS 2 FROM panda ORDER BY duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("rank   1"), "{out}");
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT ERANK 3 FROM panda ORDER BY duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("expected rank"), "{out}");
+        // EXPLAIN reports plan and stats.
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "EXPLAIN SELECT TOP 2 FROM panda ORDER BY duration WITH PROBABILITY >= 0.35",
+        ]))
+        .unwrap();
+        assert!(out.contains("plan:") && out.contains("stats:"), "{out}");
+    }
+
+    #[test]
+    fn erank_runs() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "erank",
+            file.as_str(),
+            "--k",
+            "3",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("expected rank"), "{out}");
+        assert_eq!(out.lines().count(), 4, "{out}");
+    }
+
+    #[test]
+    fn worlds_enumerates_small_tables() {
+        let file = panda_file();
+        let out = dispatch(&args(&["worlds", file.as_str(), "--rank-by", "duration"])).unwrap();
+        assert!(out.contains("12 possible worlds"), "{out}");
+        assert!(out.contains("total probability: 1.000000000"), "{out}");
+        // Budget enforcement.
+        let err = dispatch(&args(&[
+            "worlds",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--max-worlds",
+            "3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn inspect_reports_shape() {
+        let file = panda_file();
+        let out = dispatch(&args(&["inspect", file.as_str()])).unwrap();
+        assert!(out.contains("tuples:            6"), "{out}");
+        assert!(out.contains("multi-tuple rules: 2"), "{out}");
+    }
+
+    #[test]
+    fn generate_roundtrips_through_load() {
+        let out = dispatch(&args(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "50",
+            "--rules",
+            "5",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        let table = crate::load::load_table(&out).unwrap();
+        assert_eq!(table.len(), 50);
+        assert_eq!(table.rules().len(), 5);
+
+        let out = dispatch(&args(&[
+            "generate", "iip", "--tuples", "60", "--rules", "10",
+        ]))
+        .unwrap();
+        let table = crate::load::load_table(&out).unwrap();
+        assert_eq!(table.len(), 60);
+    }
+
+    #[test]
+    fn flag_errors_are_friendly() {
+        let file = panda_file();
+        let err = dispatch(&args(&["query", file.as_str(), "--k"])).unwrap_err();
+        assert!(err.contains("--k requires a value"));
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "two",
+            "--p",
+            "0.3",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot parse 'two'"));
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.3",
+            "--rank-by",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown column"));
+    }
+
+    #[test]
+    fn where_parse_errors() {
+        let file = panda_file();
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.3",
+            "--rank-by",
+            "duration",
+            "--where",
+            "garbage",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--where"), "{err}");
+    }
+}

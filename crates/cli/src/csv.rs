@@ -1,0 +1,156 @@
+//! A minimal CSV reader/writer.
+//!
+//! Supports the subset of RFC 4180 the CLI needs: comma separation, `"`
+//! quoting with `""` escapes, and a header row. Kept dependency-free on
+//! purpose (the approved crate set has no CSV parser).
+
+/// Parses one CSV line into fields, honouring quotes.
+///
+/// # Errors
+/// Returns a message for unterminated quotes or stray characters after a
+/// closing quote.
+pub fn parse_line(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            None => {
+                fields.push(std::mem::take(&mut field));
+                return Ok(fields);
+            }
+            Some('"') => {
+                chars.next();
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated quoted field".to_owned()),
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => field.push(c),
+                    }
+                }
+                match chars.peek() {
+                    None | Some(',') => {}
+                    Some(c) => return Err(format!("unexpected '{c}' after closing quote")),
+                }
+            }
+            Some(',') => {
+                chars.next();
+                fields.push(std::mem::take(&mut field));
+            }
+            Some(_) => {
+                field.push(chars.next().expect("peeked"));
+            }
+        }
+    }
+}
+
+/// Parses a full CSV document into a header and rows.
+///
+/// # Errors
+/// Returns a message naming the offending line for any malformed row
+/// (quote errors or arity mismatches against the header). Empty lines are
+/// skipped.
+pub fn parse_document(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>), String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines.next().ok_or("empty CSV document")?;
+    let header = parse_line(header_line).map_err(|e| format!("header: {e}"))?;
+    let mut rows = Vec::new();
+    for (idx, line) in lines {
+        let row = parse_line(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if row.len() != header.len() {
+            return Err(format!(
+                "line {}: {} fields, header has {}",
+                idx + 1,
+                row.len(),
+                header.len()
+            ));
+        }
+        rows.push(row);
+    }
+    Ok((header, rows))
+}
+
+/// Quotes a field if it contains commas, quotes or newlines.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Serializes a header and rows as a CSV document.
+pub fn write_document(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let emit = |out: &mut String, row: &[String]| {
+        let cells: Vec<String> = row.iter().map(|f| escape_field(f)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    };
+    emit(&mut out, header);
+    for row in rows {
+        emit(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields() {
+        assert_eq!(parse_line("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(parse_line("a,,c").unwrap(), vec!["a", "", "c"]);
+        assert_eq!(parse_line("").unwrap(), vec![""]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        assert_eq!(parse_line("\"a,b\",c").unwrap(), vec!["a,b", "c"]);
+        assert_eq!(
+            parse_line("\"he said \"\"hi\"\"\"").unwrap(),
+            vec!["he said \"hi\""]
+        );
+    }
+
+    #[test]
+    fn quote_errors() {
+        assert!(parse_line("\"unterminated").is_err());
+        assert!(parse_line("\"x\"y").is_err());
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let doc = "a,b\n1,\"x,y\"\n2,z\n";
+        let (header, rows) = parse_document(doc).unwrap();
+        assert_eq!(header, vec!["a", "b"]);
+        assert_eq!(rows, vec![vec!["1", "x,y"], vec!["2", "z"]]);
+        let rewritten = write_document(&header, &rows);
+        let (h2, r2) = parse_document(&rewritten).unwrap();
+        assert_eq!(header, h2);
+        assert_eq!(rows, r2);
+    }
+
+    #[test]
+    fn document_errors() {
+        assert!(parse_document("").is_err());
+        assert!(parse_document("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let (_, rows) = parse_document("a\n\n1\n\n2\n").unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+}

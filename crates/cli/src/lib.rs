@@ -1,0 +1,69 @@
+//! # `ptk-cli` — command-line front end
+//!
+//! Loads uncertain tables from CSV files and answers PT-k, U-TopK and
+//! U-KRanks queries from the shell. See [`USAGE`] or run `ptk help`.
+//!
+//! ## CSV format
+//!
+//! The first row is a header. Two columns are special:
+//!
+//! * `prob` (required) — the tuple's membership probability in `(0, 1]`;
+//! * `rule` (optional) — a label; tuples sharing a non-empty label form a
+//!   multi-tuple generation rule (mutually exclusive alternatives).
+//!
+//! Every other column is data. Values parse as integers, then floats, then
+//! text; empty cells are nulls.
+//!
+//! ```csv
+//! prob,rule,duration,rid
+//! 0.3,,25,R1
+//! 0.4,x1,21,R2
+//! 0.5,x1,13,R3
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod commands;
+pub mod csv;
+pub mod load;
+
+/// The CLI usage text.
+pub const USAGE: &str = "\
+ptk — probabilistic threshold top-k queries on uncertain data
+
+USAGE:
+  ptk query   <file.csv> --k <K> --p <P> --rank-by <col> [--asc]
+              [--method exact|sampling|naive] [--where <col><op><value>]
+  ptk utopk   <file.csv> --k <K> --rank-by <col> [--asc]
+  ptk ukranks <file.csv> --k <K> --rank-by <col> [--asc]
+  ptk erank   <file.csv> --k <K> --rank-by <col> [--asc]
+  ptk inspect <file.csv>
+  ptk worlds  <file.csv> --rank-by <col> [--limit N] [--max-worlds N]
+  ptk sql     <file.csv> '<SELECT TOP k FROM t ... statement>'
+  ptk pack    <file.csv> --rank-by <col> --out <file.run>
+  ptk scan    <file.run> --k <K> --p <P>
+  ptk generate synthetic [--tuples N] [--rules M] [--seed S]
+  ptk generate iip       [--tuples N] [--rules M] [--seed S]
+  ptk help
+
+The CSV must have a `prob` column (membership probability) and may have a
+`rule` column (tuples sharing a non-empty label are mutually exclusive).
+`--where` accepts one comparison, e.g. --where 'duration>=12' (operators:
+=, !=, <, <=, >, >=). `generate` writes CSV to stdout.
+
+EXAMPLES:
+  ptk query sightings.csv --k 10 --p 0.5 --rank-by drifted_days
+  ptk sql sightings.csv \
+    'SELECT TOP 10 FROM s ORDER BY drifted_days DESC WITH PROBABILITY >= 0.5'
+  ptk generate iip --tuples 1000 --rules 200 > sightings.csv
+";
+
+/// Entry point shared by the binary and the tests: runs a full command line
+/// (without the program name) and returns the output text.
+///
+/// # Errors
+/// Returns a human-readable message for any parse, IO or query error.
+pub fn run(args: &[String]) -> Result<String, String> {
+    commands::dispatch(args)
+}

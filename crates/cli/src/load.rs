@@ -1,0 +1,181 @@
+//! Loading uncertain tables from CSV text.
+
+use std::collections::HashMap;
+
+use ptk_core::{TupleId, UncertainTable, UncertainTableBuilder, Value};
+
+use crate::csv;
+
+/// Parses a cell into a [`Value`]: integer, then float, then text; empty
+/// cells become nulls.
+pub fn parse_value(cell: &str) -> Value {
+    let trimmed = cell.trim();
+    if trimmed.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = trimmed.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = trimmed.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::Text(trimmed.to_owned())
+}
+
+/// Loads an uncertain table from CSV text.
+///
+/// The `prob` column (required) carries membership probabilities; the
+/// optional `rule` column groups mutually exclusive tuples by label; all
+/// remaining columns become table data in order of appearance.
+///
+/// # Errors
+/// Returns a message for CSV syntax errors, a missing `prob` column,
+/// unparsable probabilities, or rule/probability constraint violations.
+pub fn load_table(text: &str) -> Result<UncertainTable, String> {
+    let (header, rows) = csv::parse_document(text)?;
+    let prob_col = header
+        .iter()
+        .position(|h| h == "prob")
+        .ok_or("the CSV must have a `prob` column")?;
+    let rule_col = header.iter().position(|h| h == "rule");
+    let data_cols: Vec<usize> = (0..header.len())
+        .filter(|&i| i != prob_col && Some(i) != rule_col)
+        .collect();
+
+    let columns: Vec<String> = data_cols.iter().map(|&i| header[i].clone()).collect();
+    let mut builder = UncertainTableBuilder::new(columns);
+    let mut rule_groups: HashMap<String, Vec<TupleId>> = HashMap::new();
+    let mut rule_order: Vec<String> = Vec::new();
+
+    for (idx, row) in rows.iter().enumerate() {
+        let prob: f64 = row[prob_col]
+            .trim()
+            .parse()
+            .map_err(|_| format!("row {}: bad probability '{}'", idx + 1, row[prob_col]))?;
+        let attrs: Vec<Value> = data_cols.iter().map(|&c| parse_value(&row[c])).collect();
+        let id = builder
+            .push(prob, attrs)
+            .map_err(|e| format!("row {}: {e}", idx + 1))?;
+        if let Some(rc) = rule_col {
+            let label = row[rc].trim();
+            if !label.is_empty() {
+                let group = rule_groups.entry(label.to_owned()).or_insert_with(|| {
+                    rule_order.push(label.to_owned());
+                    Vec::new()
+                });
+                group.push(id);
+            }
+        }
+    }
+    for label in &rule_order {
+        let members = &rule_groups[label];
+        if members.len() >= 2 {
+            builder
+                .exclusive(members)
+                .map_err(|e| format!("rule '{label}': {e}"))?;
+        }
+    }
+    builder.finish().map_err(|e| e.to_string())
+}
+
+/// Serializes an uncertain table back to the CLI's CSV format.
+pub fn save_table(table: &UncertainTable) -> String {
+    let mut header = vec!["prob".to_owned(), "rule".to_owned()];
+    header.extend(table.columns().iter().cloned());
+    let rows: Vec<Vec<String>> = table
+        .tuples()
+        .iter()
+        .map(|t| {
+            let mut row = vec![
+                format!("{}", t.membership().value()),
+                table
+                    .rule_of(t.id())
+                    .map_or(String::new(), |r| format!("r{}", r.index())),
+            ];
+            row.extend(t.attrs().iter().map(|v| match v {
+                Value::Null => String::new(),
+                other => other.to_string(),
+            }));
+            row
+        })
+        .collect();
+    csv::write_document(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PANDA: &str = "\
+prob,rule,duration,rid
+0.3,,25,R1
+0.4,b,21,R2
+0.5,b,13,R3
+1.0,,12,R4
+0.8,e,17,R5
+0.2,e,11,R6
+";
+
+    #[test]
+    fn loads_the_panda_table() {
+        let table = load_table(PANDA).unwrap();
+        assert_eq!(table.len(), 6);
+        assert_eq!(table.rules().len(), 2);
+        assert_eq!(table.columns(), &["duration".to_owned(), "rid".to_owned()]);
+        assert_eq!(table.tuple(TupleId::new(0)).membership().value(), 0.3);
+        assert!(table.is_dependent(TupleId::new(1)));
+        assert!(!table.is_dependent(TupleId::new(3)));
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("4.5"), Value::Float(4.5));
+        assert_eq!(parse_value("abc"), Value::Text("abc".into()));
+        assert_eq!(parse_value(" "), Value::Null);
+        assert_eq!(parse_value("1e3"), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn missing_prob_column() {
+        let err = load_table("a,b\n1,2\n").unwrap_err();
+        assert!(err.contains("prob"));
+    }
+
+    #[test]
+    fn bad_probability_reports_row() {
+        let err = load_table("prob,a\nx,1\n").unwrap_err();
+        assert!(err.contains("row 1"), "{err}");
+        let err = load_table("prob,a\n1.5,1\n").unwrap_err();
+        assert!(err.contains("row 1"), "{err}");
+    }
+
+    #[test]
+    fn overfull_rule_reports_label() {
+        let err = load_table("prob,rule\n0.7,x\n0.7,x\n").unwrap_err();
+        assert!(err.contains("rule 'x'"), "{err}");
+    }
+
+    #[test]
+    fn singleton_rule_labels_are_ignored() {
+        let table = load_table("prob,rule,v\n0.5,lonely,1\n0.5,,2\n").unwrap();
+        assert_eq!(table.rules().len(), 0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let table = load_table(PANDA).unwrap();
+        let saved = save_table(&table);
+        let reloaded = load_table(&saved).unwrap();
+        assert_eq!(reloaded.len(), table.len());
+        assert_eq!(reloaded.rules().len(), table.rules().len());
+        for i in 0..table.len() {
+            let id = TupleId::new(i);
+            assert_eq!(
+                reloaded.tuple(id).membership(),
+                table.tuple(id).membership()
+            );
+            assert_eq!(reloaded.tuple(id).attrs(), table.tuple(id).attrs());
+        }
+    }
+}

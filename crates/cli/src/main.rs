@@ -1,0 +1,13 @@
+//! The `ptk` command-line binary. All logic lives in the library
+//! (`ptk_cli`) so it can be tested; this wrapper handles process exit codes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ptk_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

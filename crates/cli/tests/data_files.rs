@@ -1,0 +1,52 @@
+//! The committed sample dataset must keep answering the paper's Example 1
+//! through the full CLI pipeline.
+
+fn run(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+    ptk_cli::run(&args).expect("CLI command succeeds")
+}
+
+fn panda_path() -> String {
+    // The test runs from the crate directory; the data lives at the
+    // workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../data/panda.csv");
+    root.to_str().unwrap().to_owned()
+}
+
+#[test]
+fn query_answers_example_1() {
+    let out = run(&[
+        "query",
+        &panda_path(),
+        "--k",
+        "2",
+        "--p",
+        "0.35",
+        "--rank-by",
+        "duration",
+    ]);
+    assert!(out.contains("3 tuples pass"), "{out}");
+    assert!(
+        out.contains("R2") && out.contains("R5") && out.contains("R3"),
+        "{out}"
+    );
+}
+
+#[test]
+fn sql_statement_answers_example_1() {
+    let out = run(&[
+        "sql",
+        &panda_path(),
+        "SELECT TOP 2 FROM panda ORDER BY duration DESC WITH PROBABILITY >= 0.35",
+    ]);
+    assert!(out.contains("3 tuples pass"), "{out}");
+}
+
+#[test]
+fn inspect_and_worlds_agree_with_the_paper() {
+    let out = run(&["inspect", &panda_path()]);
+    assert!(out.contains("tuples:            6"), "{out}");
+    assert!(out.contains("multi-tuple rules: 2"), "{out}");
+    let out = run(&["worlds", &panda_path(), "--rank-by", "duration"]);
+    assert!(out.contains("12 possible worlds"), "{out}");
+}

@@ -1,0 +1,130 @@
+//! Error types for the uncertain-data model.
+
+use std::fmt;
+
+use crate::{RuleId, TupleId};
+
+/// Errors raised when constructing or validating uncertain tables and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A probability value was outside its legal range.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of what the probability was for.
+        context: &'static str,
+    },
+    /// A tuple id referenced a tuple that does not exist in the table.
+    UnknownTuple(TupleId),
+    /// A rule id referenced a rule that does not exist in the table.
+    UnknownRule(RuleId),
+    /// A tuple was placed in more than one generation rule.
+    TupleInMultipleRules {
+        /// The tuple involved in two rules.
+        tuple: TupleId,
+        /// The rule the tuple already belonged to.
+        existing: RuleId,
+    },
+    /// The membership probabilities of a rule's members sum to more than one.
+    RuleMassExceedsOne {
+        /// Tuples forming the offending rule.
+        members: Vec<TupleId>,
+        /// The total membership probability of the members.
+        total: f64,
+    },
+    /// A generation rule must name at least one tuple.
+    EmptyRule,
+    /// A generation rule named the same tuple twice.
+    DuplicateRuleMember(TupleId),
+    /// A tuple row had the wrong number of attribute columns.
+    ArityMismatch {
+        /// Number of columns declared by the schema.
+        expected: usize,
+        /// Number of values supplied for the tuple.
+        actual: usize,
+    },
+    /// A column index was out of range for the schema.
+    UnknownColumn(usize),
+    /// A ranking function required a numeric column but found another type.
+    NonNumericRankKey {
+        /// The tuple whose rank key could not be extracted.
+        tuple: TupleId,
+        /// The column that was expected to be numeric.
+        column: usize,
+    },
+    /// `k` must be at least 1 for a top-k query.
+    ZeroK,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} for {context}")
+            }
+            ModelError::UnknownTuple(t) => write!(f, "unknown tuple id {}", t.index()),
+            ModelError::UnknownRule(r) => write!(f, "unknown rule id {}", r.index()),
+            ModelError::TupleInMultipleRules { tuple, existing } => write!(
+                f,
+                "tuple {} is already a member of rule {}; a tuple may join at most one generation rule",
+                tuple.index(),
+                existing.index()
+            ),
+            ModelError::RuleMassExceedsOne { members, total } => write!(
+                f,
+                "generation rule over {} tuples has total membership probability {total:.6} > 1",
+                members.len()
+            ),
+            ModelError::EmptyRule => write!(f, "generation rules must contain at least one tuple"),
+            ModelError::DuplicateRuleMember(t) => {
+                write!(f, "tuple {} listed twice in one generation rule", t.index())
+            }
+            ModelError::ArityMismatch { expected, actual } => {
+                write!(f, "schema has {expected} columns but the row provided {actual}")
+            }
+            ModelError::UnknownColumn(c) => write!(f, "column index {c} is out of range"),
+            ModelError::NonNumericRankKey { tuple, column } => write!(
+                f,
+                "tuple {} has a non-numeric value in ranking column {column}",
+                tuple.index()
+            ),
+            ModelError::ZeroK => write!(f, "top-k queries require k >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::InvalidProbability {
+            value: 1.5,
+            context: "tuple membership",
+        };
+        assert!(e.to_string().contains("1.5"));
+        assert!(e.to_string().contains("tuple membership"));
+
+        let e = ModelError::TupleInMultipleRules {
+            tuple: TupleId::new(3),
+            existing: RuleId::new(1),
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('1'));
+
+        let e = ModelError::ArityMismatch {
+            expected: 2,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ModelError::EmptyRule);
+    }
+}

@@ -1,0 +1,183 @@
+//! A validated probability newtype.
+
+use std::fmt;
+
+use crate::ModelError;
+
+/// A probability in `(0, 1]` for tuple memberships, or `[0, 1]` for derived
+/// quantities such as top-k probabilities.
+///
+/// The paper requires every tuple's membership probability to be strictly
+/// positive (`Pr(t) > 0`, §2); derived probabilities such as `Pr^k(t)` may be
+/// zero. [`Probability::new_membership`] enforces the former,
+/// [`Probability::new`] the latter.
+///
+/// The type is a thin wrapper over `f64`: algorithms in the workspace do
+/// their arithmetic in raw `f64` and re-wrap at API boundaries, so the
+/// invariant checks never sit inside hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The probability 1 (certain).
+    pub const ONE: Probability = Probability(1.0);
+    /// The probability 0 (impossible). Not a legal *membership* probability.
+    pub const ZERO: Probability = Probability(0.0);
+
+    /// Creates a probability in `[0, 1]`.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InvalidProbability`] if `value` is NaN or
+    /// outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            Err(ModelError::InvalidProbability {
+                value,
+                context: "probability",
+            })
+        } else {
+            Ok(Probability(value))
+        }
+    }
+
+    /// Creates a membership probability in `(0, 1]`.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InvalidProbability`] if `value` is NaN, zero,
+    /// negative, or above 1.
+    pub fn new_membership(value: f64) -> Result<Self, ModelError> {
+        if value.is_nan() || value <= 0.0 || value > 1.0 {
+            Err(ModelError::InvalidProbability {
+                value,
+                context: "tuple membership",
+            })
+        } else {
+            Ok(Probability(value))
+        }
+    }
+
+    /// Creates a probability, clamping values that are within `eps` of the
+    /// legal range back into it. Useful when accumulating floating-point sums
+    /// that may drift a hair past 1.
+    ///
+    /// # Panics
+    /// Panics if `value` is NaN or further than `eps` outside `[0, 1]`.
+    pub fn clamped(value: f64, eps: f64) -> Self {
+        assert!(!value.is_nan(), "probability is NaN");
+        assert!(
+            (-eps..=1.0 + eps).contains(&value),
+            "probability {value} outside [0,1] by more than {eps}"
+        );
+        Probability(value.clamp(0.0, 1.0))
+    }
+
+    /// The raw `f64` value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The complement `1 - p`.
+    #[inline]
+    pub fn complement(self) -> Probability {
+        Probability(1.0 - self.0)
+    }
+
+    /// Whether this probability equals 1 (the rule/tuple is certain).
+    #[inline]
+    pub fn is_certain(self) -> bool {
+        self.0 >= 1.0
+    }
+
+    /// Approximate equality within `tol`, for test assertions on derived
+    /// probabilities.
+    pub fn approx_eq(self, other: Probability, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<Probability> for f64 {
+    fn from(p: Probability) -> f64 {
+        p.0
+    }
+}
+
+impl TryFrom<f64> for Probability {
+    type Error = ModelError;
+    fn try_from(value: f64) -> Result<Self, ModelError> {
+        Probability::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_unit_interval() {
+        assert_eq!(Probability::new(0.0).unwrap().value(), 0.0);
+        assert_eq!(Probability::new(1.0).unwrap().value(), 1.0);
+        assert_eq!(Probability::new(0.5).unwrap().value(), 0.5);
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Probability::new(-0.1).is_err());
+        assert!(Probability::new(1.1).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn membership_rejects_zero() {
+        assert!(Probability::new_membership(0.0).is_err());
+        assert!(Probability::new_membership(1e-12).is_ok());
+        assert!(Probability::new_membership(1.0).is_ok());
+        assert!(Probability::new_membership(1.0 + 1e-9).is_err());
+    }
+
+    #[test]
+    fn clamped_tolerates_drift() {
+        assert_eq!(Probability::clamped(1.0 + 1e-12, 1e-9).value(), 1.0);
+        assert_eq!(Probability::clamped(-1e-12, 1e-9).value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn clamped_panics_on_gross_violation() {
+        let _ = Probability::clamped(1.5, 1e-9);
+    }
+
+    #[test]
+    fn complement_and_certain() {
+        let p = Probability::new(0.3).unwrap();
+        assert!((p.complement().value() - 0.7).abs() < 1e-15);
+        assert!(Probability::ONE.is_certain());
+        assert!(!p.is_certain());
+    }
+
+    #[test]
+    fn ordering_and_conversion() {
+        let a = Probability::new(0.2).unwrap();
+        let b = Probability::new(0.8).unwrap();
+        assert!(a < b);
+        let raw: f64 = b.into();
+        assert_eq!(raw, 0.8);
+        assert!(Probability::try_from(0.4).is_ok());
+        assert!(Probability::try_from(-1.0).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Probability::new(0.5).unwrap();
+        let b = Probability::new(0.5 + 1e-10).unwrap();
+        assert!(a.approx_eq(b, 1e-9));
+        assert!(!a.approx_eq(Probability::new(0.6).unwrap(), 1e-9));
+    }
+}

@@ -1,0 +1,404 @@
+//! The ranked view `P(T)`: the canonical engine input.
+//!
+//! Section 4 of the paper reduces PT-k answering over a table `T` to the
+//! table `P(T)` of tuples satisfying the query predicate, sorted in the
+//! ranking order, with generation rules *projected* onto the selected tuples
+//! (rule members failing the predicate are dropped; the projected rule mass
+//! is the sum of the surviving members' probabilities). [`RankedView`]
+//! materializes exactly that object and is consumed by every engine in the
+//! workspace — exact, sampling, U-TopK and U-KRanks.
+
+use crate::{ModelError, Probability, Result, RuleId, TopKQuery, TupleId, UncertainTable};
+
+/// Index of a projected rule inside a [`RankedView`].
+///
+/// Distinct from [`RuleId`]: projection drops rules whose membership shrinks
+/// to one tuple or fewer, so handles are re-numbered densely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RuleHandle(u32);
+
+impl RuleHandle {
+    /// The dense index into [`RankedView::rules`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a handle from a dense index previously obtained via
+    /// [`RuleHandle::index`]. The caller must ensure the index is in range
+    /// for the view it is used with.
+    #[inline]
+    pub fn from_index(index: usize) -> RuleHandle {
+        RuleHandle(u32::try_from(index).expect("rule index fits u32"))
+    }
+}
+
+/// One tuple of the ranked view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedTuple {
+    /// The tuple's id in the source [`UncertainTable`], for reporting.
+    pub id: TupleId,
+    /// Membership probability `Pr(t)`.
+    pub prob: f64,
+    /// The projected multi-tuple rule this tuple belongs to, if any.
+    pub rule: Option<RuleHandle>,
+    /// The numeric rank key, when the ranked column is numeric (reports
+    /// only; ordering is already fixed by position).
+    pub key: Option<f64>,
+}
+
+/// A generation rule projected onto the ranked view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleProjection {
+    /// The source rule in the original table, if the view came from one.
+    pub source: Option<RuleId>,
+    /// Positions (indices into [`RankedView::tuples`]) of the surviving
+    /// members, in ranking order (ascending position).
+    pub members: Vec<usize>,
+    /// Projected rule mass: the sum of surviving members' probabilities.
+    pub mass: f64,
+}
+
+impl RuleProjection {
+    /// Position of the highest-ranked member.
+    pub fn first(&self) -> usize {
+        self.members[0]
+    }
+
+    /// Position of the lowest-ranked member.
+    pub fn last(&self) -> usize {
+        *self
+            .members
+            .last()
+            .expect("projected rules have >= 2 members")
+    }
+
+    /// The paper's `span(R) = r_m − r_1` over ranked positions.
+    pub fn span(&self) -> usize {
+        self.last() - self.first()
+    }
+}
+
+/// Tuples satisfying a query predicate, in ranking order, with projected
+/// generation rules — the paper's `P(T)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedView {
+    tuples: Vec<RankedTuple>,
+    rules: Vec<RuleProjection>,
+}
+
+impl RankedView {
+    /// Builds the ranked view of `table` under `query`: filters by the
+    /// predicate, sorts by the ranking function, projects the rules.
+    ///
+    /// # Errors
+    /// Propagates predicate/ranking evaluation errors (unknown columns).
+    pub fn build(table: &UncertainTable, query: &TopKQuery) -> Result<RankedView> {
+        let mut selected = Vec::with_capacity(table.len());
+        for t in table.tuples() {
+            if query.predicate().eval(t)? {
+                selected.push(t.id());
+            }
+        }
+        // Sort by ranking order; propagate the first comparison error, if
+        // any, by pre-validating that every selected tuple has the column.
+        for &id in &selected {
+            let t = table.tuple(id);
+            if t.attr(query.ranking().column()).is_none() {
+                return Err(ModelError::UnknownColumn(query.ranking().column()));
+            }
+        }
+        selected.sort_by(|&a, &b| {
+            query
+                .ranking()
+                .compare(table.tuple(a), table.tuple(b))
+                .expect("columns validated above")
+        });
+
+        let mut position_of = vec![usize::MAX; table.len()];
+        for (pos, &id) in selected.iter().enumerate() {
+            position_of[id.index()] = pos;
+        }
+
+        // Project rules: keep only members that survived the predicate, and
+        // only rules with >= 2 survivors.
+        let mut rules = Vec::new();
+        let mut rule_handle_of = vec![None; table.len()];
+        for rule in table.rules() {
+            let mut members: Vec<usize> = rule
+                .members()
+                .iter()
+                .filter_map(|m| {
+                    let p = position_of[m.index()];
+                    (p != usize::MAX).then_some(p)
+                })
+                .collect();
+            if members.len() < 2 {
+                continue;
+            }
+            members.sort_unstable();
+            let mass: f64 = members
+                .iter()
+                .map(|&p| table.tuple(selected[p]).membership().value())
+                .sum();
+            let handle = RuleHandle(u32::try_from(rules.len()).expect("rule count fits u32"));
+            for &p in &members {
+                rule_handle_of[selected[p].index()] = Some(handle);
+            }
+            rules.push(RuleProjection {
+                source: Some(rule.id()),
+                members,
+                mass: mass.min(1.0),
+            });
+        }
+
+        let tuples = selected
+            .iter()
+            .map(|&id| {
+                let t = table.tuple(id);
+                RankedTuple {
+                    id,
+                    prob: t.membership().value(),
+                    rule: rule_handle_of[id.index()],
+                    key: t.attr(query.ranking().column()).and_then(|v| v.as_f64()),
+                }
+            })
+            .collect();
+
+        Ok(RankedView { tuples, rules })
+    }
+
+    /// Builds a view directly from an already-ranked probability list plus
+    /// rule groups given as *positions* into that list.
+    ///
+    /// This is the natural constructor for unit tests and synthetic
+    /// workloads that specify the ranked order directly (e.g. Table 4 and
+    /// Figure 2 of the paper). Tuple ids are synthesized from positions.
+    ///
+    /// # Errors
+    /// Fails if any probability is outside `(0, 1]`, a group references an
+    /// out-of-range or repeated position, groups overlap, or a group's mass
+    /// exceeds 1.
+    pub fn from_ranked_probs(probs: &[f64], rule_groups: &[Vec<usize>]) -> Result<RankedView> {
+        for &p in probs {
+            Probability::new_membership(p)?;
+        }
+        let mut rule_of = vec![None; probs.len()];
+        let mut rules = Vec::with_capacity(rule_groups.len());
+        for group in rule_groups {
+            if group.len() < 2 {
+                return Err(ModelError::EmptyRule);
+            }
+            let mut members = group.clone();
+            members.sort_unstable();
+            members.dedup();
+            if members.len() != group.len() {
+                return Err(ModelError::DuplicateRuleMember(TupleId::new(members[0])));
+            }
+            let mut mass = 0.0;
+            for &m in &members {
+                if m >= probs.len() {
+                    return Err(ModelError::UnknownTuple(TupleId::new(m)));
+                }
+                if rule_of[m].is_some() {
+                    return Err(ModelError::TupleInMultipleRules {
+                        tuple: TupleId::new(m),
+                        existing: RuleId::new(0),
+                    });
+                }
+                mass += probs[m];
+            }
+            if mass > 1.0 + 1e-9 {
+                return Err(ModelError::RuleMassExceedsOne {
+                    members: members.iter().map(|&m| TupleId::new(m)).collect(),
+                    total: mass,
+                });
+            }
+            let handle = RuleHandle(u32::try_from(rules.len()).expect("rule count fits u32"));
+            for &m in &members {
+                rule_of[m] = Some(handle);
+            }
+            rules.push(RuleProjection {
+                source: None,
+                members,
+                mass: mass.min(1.0),
+            });
+        }
+        let tuples = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| RankedTuple {
+                id: TupleId::new(i),
+                prob: p,
+                rule: rule_of[i],
+                key: None,
+            })
+            .collect();
+        Ok(RankedView { tuples, rules })
+    }
+
+    /// The ranked tuples, highest rank first.
+    #[inline]
+    pub fn tuples(&self) -> &[RankedTuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The projected multi-tuple rules.
+    #[inline]
+    pub fn rules(&self) -> &[RuleProjection] {
+        &self.rules
+    }
+
+    /// The projected rule at `handle`.
+    #[inline]
+    pub fn rule(&self, handle: RuleHandle) -> &RuleProjection {
+        &self.rules[handle.index()]
+    }
+
+    /// The tuple at ranked position `pos` (0-based: position 0 is the
+    /// highest-ranked tuple).
+    #[inline]
+    pub fn tuple(&self, pos: usize) -> &RankedTuple {
+        &self.tuples[pos]
+    }
+
+    /// Membership probability of the tuple at `pos`.
+    #[inline]
+    pub fn prob(&self, pos: usize) -> f64 {
+        self.tuples[pos].prob
+    }
+
+    /// The projected rule containing the tuple at `pos`, if any.
+    #[inline]
+    pub fn rule_at(&self, pos: usize) -> Option<RuleHandle> {
+        self.tuples[pos].rule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComparisonOp, Predicate, Ranking, UncertainTableBuilder, Value};
+
+    /// The panda example of Table 1, ranked by duration descending.
+    fn panda_view(k: usize) -> (UncertainTable, RankedView) {
+        let mut b = UncertainTableBuilder::new(vec!["duration".into()]);
+        let r1 = b.push(0.3, vec![Value::Float(25.0)]).unwrap();
+        let r2 = b.push(0.4, vec![Value::Float(21.0)]).unwrap();
+        let r3 = b.push(0.5, vec![Value::Float(13.0)]).unwrap();
+        let r4 = b.push(1.0, vec![Value::Float(12.0)]).unwrap();
+        let r5 = b.push(0.8, vec![Value::Float(17.0)]).unwrap();
+        let r6 = b.push(0.2, vec![Value::Float(11.0)]).unwrap();
+        b.exclusive(&[r2, r3]).unwrap();
+        b.exclusive(&[r5, r6]).unwrap();
+        let table = b.finish().unwrap();
+        let q = TopKQuery::top(k, Ranking::descending(0));
+        let view = RankedView::build(&table, &q).unwrap();
+        let _ = (r1, r4);
+        (table, view)
+    }
+
+    #[test]
+    fn build_sorts_by_rank() {
+        let (_, view) = panda_view(2);
+        let keys: Vec<f64> = view.tuples().iter().map(|t| t.key.unwrap()).collect();
+        assert_eq!(keys, vec![25.0, 21.0, 17.0, 13.0, 12.0, 11.0]);
+        // Positions: R1=0, R2=1, R5=2, R3=3, R4=4, R6=5.
+        assert_eq!(view.tuple(0).id.index(), 0);
+        assert_eq!(view.tuple(2).id.index(), 4);
+        assert_eq!(view.len(), 6);
+        assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn build_projects_rules_to_positions() {
+        let (_, view) = panda_view(2);
+        assert_eq!(view.rules().len(), 2);
+        // R2⊕R3 at positions 1 and 3; R5⊕R6 at positions 2 and 5.
+        let r0 = &view.rules()[0];
+        assert_eq!(r0.members, vec![1, 3]);
+        assert!((r0.mass - 0.9).abs() < 1e-12);
+        assert_eq!(r0.span(), 2);
+        let r1 = &view.rules()[1];
+        assert_eq!(r1.members, vec![2, 5]);
+        assert!((r1.mass - 1.0).abs() < 1e-12);
+        assert_eq!(view.rule_at(1), view.rule_at(3));
+        assert_eq!(view.rule_at(0), None);
+        assert_eq!(r0.first(), 1);
+        assert_eq!(r0.last(), 3);
+    }
+
+    #[test]
+    fn predicate_filters_and_shrinks_rules() {
+        // Keep only durations > 12: drops R4 (12) and R6 (11). The rule
+        // R5⊕R6 loses R6 and degenerates to a single member, so it is no
+        // longer a projected rule; R5 becomes independent.
+        let mut b = UncertainTableBuilder::new(vec!["duration".into()]);
+        let _r1 = b.push(0.3, vec![Value::Float(25.0)]).unwrap();
+        let r2 = b.push(0.4, vec![Value::Float(21.0)]).unwrap();
+        let r3 = b.push(0.5, vec![Value::Float(13.0)]).unwrap();
+        let _r4 = b.push(1.0, vec![Value::Float(12.0)]).unwrap();
+        let r5 = b.push(0.8, vec![Value::Float(17.0)]).unwrap();
+        let r6 = b.push(0.2, vec![Value::Float(11.0)]).unwrap();
+        b.exclusive(&[r2, r3]).unwrap();
+        b.exclusive(&[r5, r6]).unwrap();
+        let table = b.finish().unwrap();
+        let q = TopKQuery::new(
+            2,
+            Predicate::compare(0, ComparisonOp::Gt, 12.0),
+            Ranking::descending(0),
+        )
+        .unwrap();
+        let view = RankedView::build(&table, &q).unwrap();
+        assert_eq!(view.len(), 4);
+        assert_eq!(view.rules().len(), 1);
+        assert_eq!(view.rules()[0].members, vec![1, 3]); // R2, R3
+        assert_eq!(view.rule_at(2), None); // R5 independent now
+    }
+
+    #[test]
+    fn from_ranked_probs_matches_manual_structure() {
+        // Table 4 of the paper with rules R1 = t2⊕t4⊕t9, R2 = t5⊕t7
+        // (1-based in the paper; 0-based positions here).
+        let probs = [0.7, 0.2, 1.0, 0.3, 0.5, 0.8, 0.1, 0.8, 0.1];
+        let view = RankedView::from_ranked_probs(&probs, &[vec![1, 3, 8], vec![4, 6]]).unwrap();
+        assert_eq!(view.len(), 9);
+        assert_eq!(view.rules().len(), 2);
+        assert!((view.rules()[0].mass - 0.6).abs() < 1e-12);
+        assert!((view.rules()[1].mass - 0.6).abs() < 1e-12);
+        assert_eq!(view.rule_at(3), view.rule_at(8));
+        assert_ne!(view.rule_at(3), view.rule_at(4));
+        assert_eq!(view.prob(5), 0.8);
+    }
+
+    #[test]
+    fn from_ranked_probs_validates() {
+        assert!(RankedView::from_ranked_probs(&[0.5, 0.0], &[]).is_err());
+        assert!(RankedView::from_ranked_probs(&[0.5, 0.5], &[vec![0]]).is_err());
+        assert!(RankedView::from_ranked_probs(&[0.5, 0.5], &[vec![0, 0]]).is_err());
+        assert!(RankedView::from_ranked_probs(&[0.5, 0.5], &[vec![0, 7]]).is_err());
+        assert!(RankedView::from_ranked_probs(&[0.9, 0.9], &[vec![0, 1]]).is_err());
+        assert!(
+            RankedView::from_ranked_probs(&[0.5, 0.5, 0.5], &[vec![0, 1], vec![1, 2]]).is_err()
+        );
+    }
+
+    #[test]
+    fn empty_view() {
+        let view = RankedView::from_ranked_probs(&[], &[]).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.rules().len(), 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Uncertain tables and their builder.
+
+use crate::{GenerationRule, ModelError, Probability, Result, RuleId, Tuple, TupleId, Value};
+
+/// Tolerance used when checking that a rule's membership probabilities sum to
+/// at most one: real-world confidences are often renormalized quotients whose
+/// sum lands a few ulps above 1.
+const RULE_MASS_EPS: f64 = 1e-9;
+
+/// Builder for [`UncertainTable`].
+///
+/// Collects tuples and exclusiveness constraints, validating each step, and
+/// produces an immutable table via [`UncertainTableBuilder::finish`].
+#[derive(Debug, Clone)]
+pub struct UncertainTableBuilder {
+    columns: Vec<String>,
+    tuples: Vec<Tuple>,
+    rules: Vec<GenerationRule>,
+    /// `rule_of[i]` is the multi-tuple rule containing tuple `i`, if any.
+    rule_of: Vec<Option<RuleId>>,
+}
+
+impl UncertainTableBuilder {
+    /// Starts a table with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        UncertainTableBuilder {
+            columns,
+            tuples: Vec::new(),
+            rules: Vec::new(),
+            rule_of: Vec::new(),
+        }
+    }
+
+    /// Starts a table with a single anonymous score column, for workloads
+    /// that only ever rank by one number.
+    pub fn single_column() -> Self {
+        Self::new(vec!["score".to_owned()])
+    }
+
+    /// Appends a tuple with membership probability `membership` and the given
+    /// attribute row; returns its id.
+    ///
+    /// # Errors
+    /// Fails if the probability is outside `(0, 1]` or the row arity does not
+    /// match the schema.
+    pub fn push(&mut self, membership: f64, attrs: Vec<Value>) -> Result<TupleId> {
+        let membership = Probability::new_membership(membership)?;
+        if attrs.len() != self.columns.len() {
+            return Err(ModelError::ArityMismatch {
+                expected: self.columns.len(),
+                actual: attrs.len(),
+            });
+        }
+        let id = TupleId::new(self.tuples.len());
+        self.tuples.push(Tuple::new(id, membership, attrs));
+        self.rule_of.push(None);
+        Ok(id)
+    }
+
+    /// Convenience for single-column tables: pushes `(membership, score)`.
+    pub fn push_scored(&mut self, membership: f64, score: f64) -> Result<TupleId> {
+        self.push(membership, vec![Value::Float(score)])
+    }
+
+    /// Declares the given tuples mutually exclusive (a multi-tuple generation
+    /// rule); returns the rule id.
+    ///
+    /// # Errors
+    /// Fails if the rule is empty, repeats a member, names an unknown tuple,
+    /// overlaps an existing rule, or its members' probabilities sum above 1.
+    pub fn exclusive(&mut self, members: &[TupleId]) -> Result<RuleId> {
+        if members.is_empty() {
+            return Err(ModelError::EmptyRule);
+        }
+        let mut seen = std::collections::HashSet::with_capacity(members.len());
+        let mut mass = 0.0;
+        for &m in members {
+            let tuple = self
+                .tuples
+                .get(m.index())
+                .ok_or(ModelError::UnknownTuple(m))?;
+            if !seen.insert(m) {
+                return Err(ModelError::DuplicateRuleMember(m));
+            }
+            if let Some(existing) = self.rule_of[m.index()] {
+                return Err(ModelError::TupleInMultipleRules { tuple: m, existing });
+            }
+            mass += tuple.membership().value();
+        }
+        if mass > 1.0 + RULE_MASS_EPS {
+            return Err(ModelError::RuleMassExceedsOne {
+                members: members.to_vec(),
+                total: mass,
+            });
+        }
+        let id = RuleId::new(self.rules.len());
+        self.rules.push(GenerationRule::new(
+            id,
+            members.to_vec(),
+            Probability::clamped(mass, RULE_MASS_EPS),
+        ));
+        for &m in members {
+            self.rule_of[m.index()] = Some(id);
+        }
+        Ok(id)
+    }
+
+    /// Number of tuples pushed so far.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether no tuples have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Finalizes the table.
+    ///
+    /// All invariants are enforced incrementally by [`push`](Self::push) and
+    /// [`exclusive`](Self::exclusive), so this cannot currently fail; the
+    /// `Result` return type leaves room for whole-table checks.
+    pub fn finish(self) -> Result<UncertainTable> {
+        Ok(UncertainTable {
+            columns: self.columns,
+            tuples: self.tuples,
+            rules: self.rules,
+            rule_of: self.rule_of,
+        })
+    }
+}
+
+/// An immutable uncertain table: tuples, membership probabilities and
+/// generation rules (the x-relation model of §2 of the paper).
+///
+/// Tuples not covered by any multi-tuple rule are *independent*; the paper's
+/// conceptual singleton rules are not materialized.
+#[derive(Debug, Clone)]
+pub struct UncertainTable {
+    columns: Vec<String>,
+    tuples: Vec<Tuple>,
+    rules: Vec<GenerationRule>,
+    rule_of: Vec<Option<RuleId>>,
+}
+
+impl UncertainTable {
+    /// The column names, in schema order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Resolves a column name to its index.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples, indexed by [`TupleId::index`].
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The tuple with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this table.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.index()]
+    }
+
+    /// All multi-tuple generation rules.
+    pub fn rules(&self) -> &[GenerationRule] {
+        &self.rules
+    }
+
+    /// The rule with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this table.
+    pub fn rule(&self, id: RuleId) -> &GenerationRule {
+        &self.rules[id.index()]
+    }
+
+    /// The multi-tuple rule containing `tuple`, or `None` if it is
+    /// independent.
+    pub fn rule_of(&self, tuple: TupleId) -> Option<RuleId> {
+        self.rule_of[tuple.index()]
+    }
+
+    /// Whether `tuple` participates in a multi-tuple rule.
+    pub fn is_dependent(&self, tuple: TupleId) -> bool {
+        self.rule_of(tuple).is_some()
+    }
+
+    /// The number of possible worlds:
+    /// `Π_{Pr(R)=1} |R| · Π_{Pr(R)<1} (|R|+1)`, counting independent tuples as
+    /// singleton rules (§2). Saturates at `f64` precision — on large tables
+    /// this is astronomically big, which is exactly the paper's point.
+    pub fn world_count(&self) -> f64 {
+        let mut count = 1.0f64;
+        for rule in &self.rules {
+            let options = if rule.mass().is_certain() {
+                rule.len() as f64
+            } else {
+                rule.len() as f64 + 1.0
+            };
+            count *= options;
+        }
+        for (i, t) in self.tuples.iter().enumerate() {
+            if self.rule_of[i].is_none() {
+                count *= if t.membership().is_certain() {
+                    1.0
+                } else {
+                    2.0
+                };
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_tuple_table() -> UncertainTableBuilder {
+        let mut b = UncertainTableBuilder::single_column();
+        b.push_scored(0.5, 30.0).unwrap();
+        b.push_scored(0.4, 20.0).unwrap();
+        b.push_scored(0.6, 10.0).unwrap();
+        b
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = UncertainTableBuilder::single_column();
+        let a = b.push_scored(0.5, 1.0).unwrap();
+        let c = b.push_scored(0.5, 2.0).unwrap();
+        assert_eq!(a.index(), 0);
+        assert_eq!(c.index(), 1);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn push_rejects_bad_probability_and_arity() {
+        let mut b = UncertainTableBuilder::new(vec!["a".into(), "b".into()]);
+        assert!(b.push(0.0, vec![Value::Int(1), Value::Int(2)]).is_err());
+        assert!(b.push(1.5, vec![Value::Int(1), Value::Int(2)]).is_err());
+        assert!(matches!(
+            b.push(0.5, vec![Value::Int(1)]),
+            Err(ModelError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn exclusive_validates_members() {
+        let mut b = three_tuple_table();
+        assert!(matches!(b.exclusive(&[]), Err(ModelError::EmptyRule)));
+        let t0 = TupleId::new(0);
+        let t1 = TupleId::new(1);
+        assert!(matches!(
+            b.exclusive(&[t0, t0]),
+            Err(ModelError::DuplicateRuleMember(_))
+        ));
+        assert!(matches!(
+            b.exclusive(&[TupleId::new(9)]),
+            Err(ModelError::UnknownTuple(_))
+        ));
+        let r = b.exclusive(&[t0, t1]).unwrap();
+        assert!(matches!(
+            b.exclusive(&[t1, TupleId::new(2)]),
+            Err(ModelError::TupleInMultipleRules { existing, .. }) if existing == r
+        ));
+    }
+
+    #[test]
+    fn exclusive_rejects_mass_above_one() {
+        let mut b = UncertainTableBuilder::single_column();
+        let a = b.push_scored(0.7, 1.0).unwrap();
+        let c = b.push_scored(0.5, 2.0).unwrap();
+        assert!(matches!(
+            b.exclusive(&[a, c]),
+            Err(ModelError::RuleMassExceedsOne { .. })
+        ));
+    }
+
+    #[test]
+    fn exclusive_tolerates_float_drift_to_one() {
+        let mut b = UncertainTableBuilder::single_column();
+        // 0.1 * 10 sums to 0.9999999999999999 or slightly above 1 depending
+        // on association; either way the rule must be accepted with mass 1.
+        let ids: Vec<_> = (0..10)
+            .map(|i| b.push_scored(0.1, i as f64).unwrap())
+            .collect();
+        let r = b.exclusive(&ids).unwrap();
+        let t = b.finish().unwrap();
+        assert!(t.rule(r).mass().value() <= 1.0);
+        assert!((t.rule(r).mass().value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_accessors() {
+        let mut b = three_tuple_table();
+        let r = b.exclusive(&[TupleId::new(0), TupleId::new(1)]).unwrap();
+        let t = b.finish().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.columns(), &["score".to_owned()]);
+        assert_eq!(t.column_index("score"), Some(0));
+        assert_eq!(t.column_index("nope"), None);
+        assert_eq!(t.rule_of(TupleId::new(0)), Some(r));
+        assert_eq!(t.rule_of(TupleId::new(2)), None);
+        assert!(t.is_dependent(TupleId::new(1)));
+        assert!(!t.is_dependent(TupleId::new(2)));
+        assert_eq!(t.rules().len(), 1);
+        assert!((t.rule(r).mass().value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_count_matches_paper_formula() {
+        // Panda example: 6 tuples, rules {R2⊕R3}, {R5⊕R6}, R4 certain.
+        let mut b = UncertainTableBuilder::single_column();
+        let _r1 = b.push_scored(0.3, 25.0).unwrap();
+        let r2 = b.push_scored(0.4, 21.0).unwrap();
+        let r3 = b.push_scored(0.5, 13.0).unwrap();
+        let _r4 = b.push_scored(1.0, 12.0).unwrap();
+        let r5 = b.push_scored(0.8, 17.0).unwrap();
+        let r6 = b.push_scored(0.2, 11.0).unwrap();
+        b.exclusive(&[r2, r3]).unwrap();
+        b.exclusive(&[r5, r6]).unwrap();
+        let t = b.finish().unwrap();
+        // R1 contributes 2 (uncertain independent), R4 contributes 1
+        // (certain), rule R2⊕R3 has mass 0.9 < 1 so contributes |R|+1 = 3,
+        // rule R5⊕R6 has mass 1.0 so contributes |R| = 2: 2·1·3·2 = 12,
+        // matching the 12 possible worlds of Table 2.
+        assert_eq!(t.world_count(), 12.0);
+    }
+
+    #[test]
+    fn empty_table_has_one_world() {
+        let t = UncertainTableBuilder::single_column().finish().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.world_count(), 1.0);
+    }
+}

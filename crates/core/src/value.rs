@@ -1,0 +1,204 @@
+//! Dynamically-typed attribute values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An attribute value stored in a tuple.
+///
+/// The model is deliberately small: enough to express the predicates and
+/// ranking functions the paper's workloads need (numeric scores, labels,
+/// timestamps encoded as integers), without dragging in a full type system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unknown value. Compares less than everything else.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer (also used for timestamps).
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// Interprets the value as an `f64` rank key, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the text content if this is a [`Value::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+        }
+    }
+
+    /// Total-order comparison across value types.
+    ///
+    /// Within a type, the natural order is used (floats via
+    /// [`f64::total_cmp`], so NaN has a defined place). `Int` and `Float`
+    /// compare numerically with each other. Across remaining types the order
+    /// is `Null < Bool < numeric < Text`, which makes sorting mixed columns
+    /// deterministic rather than a runtime error.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Text(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_f64_on_numerics() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Text("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn mixed_type_order_is_deterministic() {
+        let mut vals = [
+            Value::Text("a".into()),
+            Value::Int(1),
+            Value::Null,
+            Value::Bool(false),
+            Value::Float(0.5),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(false));
+        assert_eq!(vals[4], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn nan_has_a_defined_place() {
+        // total_cmp puts NaN above all finite floats; the point is only that
+        // the comparison never panics and is antisymmetric.
+        let nan = Value::Float(f64::NAN);
+        let one = Value::Float(1.0);
+        assert_eq!(nan.total_cmp(&one), one.total_cmp(&nan).reverse());
+    }
+
+    #[test]
+    fn display_roundtrips_text() {
+        assert_eq!(Value::from("panda").to_string(), "panda");
+        assert_eq!(Value::from(42i64).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(1i32), Value::Int(1));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(String::from("s")), Value::Text("s".into()));
+        assert_eq!(Value::from("s").as_text(), Some("s"));
+        assert_eq!(Value::Int(1).as_text(), None);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Int(0).type_name(), "int");
+        assert_eq!(Value::Float(0.0).type_name(), "float");
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+        assert_eq!(Value::Text(String::new()).type_name(), "text");
+    }
+}

@@ -1,0 +1,26 @@
+//! # `ptk-datagen` — workload generators
+//!
+//! Two generators feeding the experiment harness and the examples:
+//!
+//! * [`synthetic`] — the synthetic workloads of §6.2 of the paper:
+//!   configurable numbers of tuples and multi-tuple rules, with membership
+//!   probabilities, rule probabilities and rule sizes drawn from normal
+//!   distributions (`N(0.5, 0.2)`, `N(0.7, 0.2)` and `N(5, 2)` by default);
+//! * [`iip`] — a seeded synthesizer standing in for the International Ice
+//!   Patrol Iceberg Sightings Database used in §6.1 (see `DESIGN.md` for the
+//!   substitution argument): sighting records with the paper's six
+//!   confidence classes, co-located same-time sightings grouped into
+//!   multi-tuple rules, rule probability set to the maximum member
+//!   confidence and member probabilities renormalized per §6.1.
+//!
+//! All generators are deterministic given their seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod iip;
+mod normal;
+pub mod synthetic;
+
+pub use iip::{IipConfig, IipDataset};
+pub use synthetic::{ScoreProbCorrelation, SyntheticConfig, SyntheticDataset};

@@ -1,0 +1,68 @@
+//! Normal sampling via Box–Muller.
+//!
+//! The approved dependency set does not include `rand_distr`, and the only
+//! distribution the paper's workloads need is the normal, so a minimal
+//! Box–Muller transform lives here.
+
+use rand::RngExt;
+
+/// Draws one sample from `N(mu, sigma)`.
+pub fn sample_normal<R: RngExt + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    // Box–Muller: u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mu + sigma * z
+}
+
+/// Draws from `N(mu, sigma)` and clamps into `[lo, hi]` — the paper's
+/// normal-distributed probabilities and rule sizes are necessarily bounded.
+pub fn sample_normal_clamped<R: RngExt + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    sample_normal(rng, mu, sigma).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_variance_converge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "variance {var}");
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let x = sample_normal_clamped(&mut rng, 0.5, 0.4, 0.1, 0.9);
+            assert!((0.1..=0.9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| sample_normal(&mut rng, 0.0, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| sample_normal(&mut rng, 0.0, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,350 @@
+//! Synthetic uncertain tables per §6.2 of the paper.
+
+use ptk_core::{
+    RankedView, Ranking, TopKQuery, TupleId, UncertainTable, UncertainTableBuilder, Value,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::normal::{sample_normal, sample_normal_clamped};
+
+/// Relationship between a tuple's rank (score) and its membership
+/// probability. The paper's workloads draw the two independently; the
+/// correlated modes are ablation knobs — correlation makes the pruning
+/// rules dramatically more effective (high-probability tuples concentrate
+/// at the top, saturating Theorem 5 early), anti-correlation is the
+/// adversarial case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreProbCorrelation {
+    /// Scores and probabilities are independent (the paper's setting).
+    #[default]
+    Independent,
+    /// Higher-ranked tuples get the higher membership probabilities.
+    Correlated,
+    /// Higher-ranked tuples get the lower membership probabilities.
+    AntiCorrelated,
+}
+
+/// Configuration of the synthetic generator. The defaults are the paper's:
+/// 20,000 tuples, 2,000 multi-tuple rules, membership probabilities
+/// `N(0.5, 0.2)`, rule probabilities `N(0.7, 0.2)`, rule sizes `N(5, 2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Total number of tuples.
+    pub tuples: usize,
+    /// Number of multi-tuple generation rules.
+    pub rules: usize,
+    /// Mean of the independent-tuple membership probability distribution.
+    pub tuple_prob_mean: f64,
+    /// Standard deviation of the membership probability distribution.
+    pub tuple_prob_sd: f64,
+    /// Mean of the rule probability (`Pr(R)`) distribution.
+    pub rule_prob_mean: f64,
+    /// Standard deviation of the rule probability distribution.
+    pub rule_prob_sd: f64,
+    /// Mean of the rule size (`|R|`) distribution.
+    pub rule_size_mean: f64,
+    /// Standard deviation of the rule size distribution.
+    pub rule_size_sd: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Rank/probability correlation of the independent tuples.
+    pub correlation: ScoreProbCorrelation,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            tuples: 20_000,
+            rules: 2_000,
+            tuple_prob_mean: 0.5,
+            tuple_prob_sd: 0.2,
+            rule_prob_mean: 0.7,
+            rule_prob_sd: 0.2,
+            rule_size_mean: 5.0,
+            rule_size_sd: 2.0,
+            seed: 0,
+            correlation: ScoreProbCorrelation::Independent,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The paper's default workload with a given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SyntheticConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generated synthetic dataset: the uncertain table (single `score`
+/// column, scores strictly decreasing in generation order) and its ranked
+/// view under `ORDER BY score DESC`.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The generated table.
+    pub table: UncertainTable,
+    /// The ranked view of the table (score descending, no predicate).
+    pub view: RankedView,
+    /// The configuration used.
+    pub config: SyntheticConfig,
+}
+
+impl SyntheticDataset {
+    /// Generates a dataset from `config`.
+    ///
+    /// Rule members are assigned to uniformly random positions across the
+    /// ranked order (the paper does not localize them), so rule spans are
+    /// large — the hard case for the engine's rule handling. Member
+    /// probabilities split the rule's mass by uniform random weights.
+    ///
+    /// # Panics
+    /// Panics if `config` asks for more rule members than tuples.
+    pub fn generate(config: &SyntheticConfig) -> SyntheticDataset {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = config.tuples;
+
+        // Decide rule sizes first, then draw that many distinct tuple slots.
+        let sizes: Vec<usize> = (0..config.rules)
+            .map(|_| {
+                sample_normal(&mut rng, config.rule_size_mean, config.rule_size_sd)
+                    .round()
+                    .max(2.0) as usize
+            })
+            .collect();
+        let dependent: usize = sizes.iter().sum();
+        assert!(
+            dependent <= n,
+            "{} rule members exceed {} tuples; lower `rules` or `rule_size_mean`",
+            dependent,
+            n
+        );
+
+        // Shuffle positions; the first `dependent` become rule members.
+        let mut positions: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            positions.swap(i, j);
+        }
+
+        // Membership probability per position.
+        let mut probs = vec![0.0f64; n];
+        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(config.rules);
+        let mut cursor = 0;
+        for size in sizes {
+            let mut group: Vec<usize> = positions[cursor..cursor + size].to_vec();
+            cursor += size;
+            group.sort_unstable();
+            let mass = sample_normal_clamped(
+                &mut rng,
+                config.rule_prob_mean,
+                config.rule_prob_sd,
+                0.05,
+                1.0,
+            );
+            // Split the rule mass by uniform random weights.
+            let weights: Vec<f64> = group
+                .iter()
+                .map(|_| rng.random_range(0.05..1.0f64))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            for (&pos, w) in group.iter().zip(&weights) {
+                probs[pos] = (mass * w / total).max(1e-6);
+            }
+            groups.push(group);
+        }
+        let mut indep_positions: Vec<usize> = positions[cursor..].to_vec();
+        let mut indep_probs: Vec<f64> = indep_positions
+            .iter()
+            .map(|_| {
+                sample_normal_clamped(
+                    &mut rng,
+                    config.tuple_prob_mean,
+                    config.tuple_prob_sd,
+                    0.001,
+                    1.0,
+                )
+            })
+            .collect();
+        match config.correlation {
+            ScoreProbCorrelation::Independent => {}
+            ScoreProbCorrelation::Correlated => {
+                // Best rank (smallest position) gets the largest probability.
+                indep_positions.sort_unstable();
+                indep_probs.sort_by(|a, b| b.total_cmp(a));
+            }
+            ScoreProbCorrelation::AntiCorrelated => {
+                indep_positions.sort_unstable();
+                indep_probs.sort_by(|a, b| a.total_cmp(b));
+            }
+        }
+        for (&pos, &p) in indep_positions.iter().zip(&indep_probs) {
+            probs[pos] = p;
+        }
+
+        // Build the table: scores strictly decreasing, so ranked position i
+        // is tuple i.
+        let mut builder = UncertainTableBuilder::single_column();
+        for (i, &p) in probs.iter().enumerate() {
+            builder
+                .push(p, vec![Value::Float((n - i) as f64)])
+                .expect("generated probabilities are valid");
+        }
+        for group in &groups {
+            let members: Vec<TupleId> = group.iter().map(|&p| TupleId::new(p)).collect();
+            builder
+                .exclusive(&members)
+                .expect("generated rules are valid");
+        }
+        let table = builder.finish().expect("generated table is valid");
+        let query = TopKQuery::top(1, Ranking::descending(0));
+        let view = RankedView::build(&table, &query).expect("single numeric column");
+        SyntheticDataset {
+            table,
+            view,
+            config: *config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig {
+            tuples: 2_000,
+            rules: 150,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let ds = SyntheticDataset::generate(&small());
+        assert_eq!(ds.table.len(), 2_000);
+        assert_eq!(ds.table.rules().len(), 150);
+        assert_eq!(ds.view.len(), 2_000);
+        assert_eq!(ds.view.rules().len(), 150);
+    }
+
+    #[test]
+    fn ranked_position_equals_tuple_index() {
+        let ds = SyntheticDataset::generate(&small());
+        for (pos, t) in ds.view.tuples().iter().enumerate() {
+            assert_eq!(t.id.index(), pos);
+        }
+    }
+
+    #[test]
+    fn rule_sizes_at_least_two() {
+        let ds = SyntheticDataset::generate(&small());
+        for rule in ds.view.rules() {
+            assert!(rule.members.len() >= 2);
+            assert!(rule.mass <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn membership_mean_tracks_config() {
+        let config = SyntheticConfig {
+            tuples: 20_000,
+            rules: 0,
+            tuple_prob_mean: 0.3,
+            seed: 1,
+            ..Default::default()
+        };
+        let ds = SyntheticDataset::generate(&config);
+        let mean: f64 = ds.view.tuples().iter().map(|t| t.prob).sum::<f64>() / ds.view.len() as f64;
+        assert!((mean - 0.3).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SyntheticDataset::generate(&small());
+        let b = SyntheticDataset::generate(&small());
+        assert_eq!(a.view, b.view);
+        let c = SyntheticDataset::generate(&SyntheticConfig {
+            seed: 43,
+            ..small()
+        });
+        assert_ne!(a.view, c.view);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn rejects_overfull_rules() {
+        let config = SyntheticConfig {
+            tuples: 10,
+            rules: 10,
+            ..Default::default()
+        };
+        let _ = SyntheticDataset::generate(&config);
+    }
+
+    #[test]
+    fn correlation_modes_order_independent_probs() {
+        let base = SyntheticConfig {
+            tuples: 3_000,
+            rules: 0,
+            seed: 5,
+            ..Default::default()
+        };
+        let correlated = SyntheticDataset::generate(&SyntheticConfig {
+            correlation: ScoreProbCorrelation::Correlated,
+            ..base
+        });
+        let anti = SyntheticDataset::generate(&SyntheticConfig {
+            correlation: ScoreProbCorrelation::AntiCorrelated,
+            ..base
+        });
+        let probs = |ds: &SyntheticDataset| -> Vec<f64> {
+            ds.view.tuples().iter().map(|t| t.prob).collect()
+        };
+        let c = probs(&correlated);
+        let a = probs(&anti);
+        assert!(
+            c.windows(2).all(|w| w[0] >= w[1]),
+            "correlated must be non-increasing"
+        );
+        assert!(
+            a.windows(2).all(|w| w[0] <= w[1]),
+            "anti-correlated must be non-decreasing"
+        );
+        // Same multiset of probabilities either way (same seed).
+        let mut cs = c.clone();
+        let mut as_ = a.clone();
+        cs.sort_by(f64::total_cmp);
+        as_.sort_by(f64::total_cmp);
+        assert_eq!(cs, as_);
+    }
+
+    #[test]
+    fn correlation_leaves_rule_members_alone() {
+        let config = SyntheticConfig {
+            tuples: 2_000,
+            rules: 100,
+            seed: 6,
+            correlation: ScoreProbCorrelation::Correlated,
+            ..Default::default()
+        };
+        let ds = SyntheticDataset::generate(&config);
+        for rule in ds.view.rules() {
+            let sum: f64 = rule.members.iter().map(|&m| ds.view.prob(m)).sum();
+            assert!((sum - rule.mass).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rule_member_probabilities_sum_to_rule_mass() {
+        let ds = SyntheticDataset::generate(&small());
+        for rule in ds.view.rules() {
+            let sum: f64 = rule.members.iter().map(|&m| ds.view.prob(m)).sum();
+            assert!((sum - rule.mass).abs() < 1e-9);
+            assert!(rule.mass >= 0.05 - 1e-9);
+        }
+    }
+}

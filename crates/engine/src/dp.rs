@@ -1,0 +1,194 @@
+//! Subset-probability dynamic programming (Theorem 2 of the paper).
+//!
+//! For a set `S` of independent tuples with probabilities `q_1, …, q_m`, the
+//! *subset probability* `Pr(S, j)` is the probability that exactly `j` of
+//! them appear — the Poisson-binomial distribution. The engine only ever
+//! needs `j ≤ k−1` (Eq. 4 sums `Pr(S, j)` for `j < k`), so every row here is
+//! truncated to length `k`.
+//!
+//! Rows are manipulated by three primitives:
+//! * [`convolve_in_place`] — add one element (`Pr(S ∪ {t}, ·)` from
+//!   `Pr(S, ·)`), the recurrence of Theorem 2;
+//! * [`deconvolve`] — remove one element, used to bound the top-k
+//!   probability of future tuples that exclude their own rule-tuple;
+//! * [`partial_sum`] — `Σ_{j<k} Pr(S, j)`, the factor in Eq. 4.
+
+/// The initial DP row for the empty set: `Pr(∅, 0) = 1`, `Pr(∅, j) = 0`.
+pub fn unit_row(k: usize) -> Vec<f64> {
+    assert!(k > 0, "rows must have length k >= 1");
+    let mut row = vec![0.0; k];
+    row[0] = 1.0;
+    row
+}
+
+/// Applies Theorem 2 in place: transforms `Pr(S, ·)` into `Pr(S ∪ {t}, ·)`
+/// for an independent element with probability `q`.
+///
+/// Truncation: the count `j = k` and above is dropped, which is exactly the
+/// mass the top-k computation never reads.
+#[inline]
+pub fn convolve_in_place(row: &mut [f64], q: f64) {
+    debug_assert!((0.0..=1.0).contains(&q));
+    let not_q = 1.0 - q;
+    for j in (1..row.len()).rev() {
+        row[j] = row[j - 1] * q + row[j] * not_q;
+    }
+    row[0] *= not_q;
+}
+
+/// Out-of-place version of [`convolve_in_place`].
+pub fn convolve(row: &[f64], q: f64) -> Vec<f64> {
+    let mut out = row.to_vec();
+    convolve_in_place(&mut out, q);
+    out
+}
+
+/// Inverts [`convolve_in_place`]: given `Pr(S, ·)` and an element `q ∈ S`,
+/// recovers `Pr(S \ {q}, ·)` in `O(k)`.
+///
+/// Returns `None` when the inversion is numerically unsafe (`q` within
+/// `1e-6` of 1, where the division amplifies error unboundedly) — callers
+/// fall back to recomputing from scratch or to a trivial bound.
+pub fn deconvolve(row: &[f64], q: f64) -> Option<Vec<f64>> {
+    debug_assert!((0.0..=1.0).contains(&q));
+    let not_q = 1.0 - q;
+    if not_q < 1e-6 {
+        return None;
+    }
+    let mut out = vec![0.0; row.len()];
+    out[0] = row[0] / not_q;
+    for j in 1..row.len() {
+        out[j] = (row[j] - out[j - 1] * q) / not_q;
+        // Float error can push tiny probabilities slightly negative; clamp
+        // so downstream partial sums stay monotone.
+        if out[j] < 0.0 {
+            out[j] = 0.0;
+        }
+    }
+    Some(out)
+}
+
+/// `Σ_j row[j]` — with rows of length `k`, this is `Σ_{j<k} Pr(S, j)`, the
+/// probability that at most `k−1` elements of `S` appear (Eq. 4's factor).
+#[inline]
+pub fn partial_sum(row: &[f64]) -> f64 {
+    row.iter().sum()
+}
+
+/// The full truncated Poisson-binomial row for a sequence of independent
+/// probabilities: `Pr({q_1..q_m}, j)` for `j < k`.
+pub fn poisson_binomial<I: IntoIterator<Item = f64>>(probs: I, k: usize) -> Vec<f64> {
+    let mut row = unit_row(k);
+    for q in probs {
+        convolve_in_place(&mut row, q);
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn unit_row_shape() {
+        let r = unit_row(4);
+        assert_eq!(r, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn unit_row_rejects_zero_k() {
+        let _ = unit_row(0);
+    }
+
+    #[test]
+    fn convolve_matches_hand_computation() {
+        // Two elements 0.5 and 0.2: Pr(0)=0.4, Pr(1)=0.5, Pr(2)=0.1.
+        let row = poisson_binomial([0.5, 0.2], 3);
+        assert!((row[0] - 0.4).abs() < TOL);
+        assert!((row[1] - 0.5).abs() < TOL);
+        assert!((row[2] - 0.1).abs() < TOL);
+    }
+
+    #[test]
+    fn example_2_subset_probabilities() {
+        // Paper Example 2: S_{t3} = {0.7, 0.2, 1.0}:
+        // Pr(S,0) = 0, Pr(S,1) = 0.24, Pr(S,2) = 0.62.
+        let row = poisson_binomial([0.7, 0.2, 1.0], 3);
+        assert!(row[0].abs() < TOL);
+        assert!((row[1] - 0.24).abs() < TOL);
+        assert!((row[2] - 0.62).abs() < TOL);
+    }
+
+    #[test]
+    fn truncation_drops_high_counts_only() {
+        // With k=2, mass for j >= 2 is dropped: partial sum is
+        // Pr(at most 1 of the three appears).
+        let row = poisson_binomial([0.5, 0.5, 0.5], 2);
+        // Pr(0) = 0.125, Pr(1) = 0.375.
+        assert!((partial_sum(&row) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn certain_element_shifts_row() {
+        let row = poisson_binomial([1.0, 0.3], 3);
+        assert!(row[0].abs() < TOL);
+        assert!((row[1] - 0.7).abs() < TOL);
+        assert!((row[2] - 0.3).abs() < TOL);
+    }
+
+    #[test]
+    fn row_sums_to_one_when_k_exceeds_m() {
+        let row = poisson_binomial([0.3, 0.6, 0.9], 10);
+        assert!((partial_sum(&row) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn deconvolve_inverts_convolve() {
+        let base = poisson_binomial([0.3, 0.6, 0.45, 0.8], 5);
+        let with_q = convolve(&base, 0.25);
+        let back = deconvolve(&with_q, 0.25).unwrap();
+        for (a, b) in back.iter().zip(base.iter()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn deconvolve_refuses_near_certain_elements() {
+        let row = poisson_binomial([0.5, 1.0 - 1e-9], 3);
+        assert!(deconvolve(&row, 1.0 - 1e-9).is_none());
+        assert!(deconvolve(&row, 1.0).is_none());
+    }
+
+    #[test]
+    fn deconvolve_clamps_negatives() {
+        // Construct a row with float noise and check no negative entries
+        // survive.
+        let mut row = poisson_binomial([0.9, 0.9, 0.9], 4);
+        row[3] -= 1e-16; // inject drift
+        let out = deconvolve(&row, 0.9).unwrap();
+        assert!(out.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn convolve_out_of_place_leaves_input() {
+        let base = unit_row(3);
+        let out = convolve(&base, 0.4);
+        assert_eq!(base, unit_row(3));
+        assert!((out[0] - 0.6).abs() < TOL);
+        assert!((out[1] - 0.4).abs() < TOL);
+    }
+
+    #[test]
+    fn order_independence() {
+        // Eq. 4's observation: the DP result does not depend on element
+        // order.
+        let a = poisson_binomial([0.1, 0.9, 0.4, 0.7], 4);
+        let b = poisson_binomial([0.7, 0.4, 0.9, 0.1], 4);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < TOL);
+        }
+    }
+}

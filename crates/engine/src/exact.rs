@@ -1,0 +1,559 @@
+//! The exact PT-k algorithm (Figure 3 of the paper).
+
+use ptk_core::RankedView;
+
+use crate::dp;
+use crate::scanner::{Scanner, SharingVariant};
+use crate::stats::{ExecStats, StopReason};
+
+/// Configuration of the exact engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Prefix-sharing variant (§4.3.2). `RC+LR` is the paper's best and the
+    /// default.
+    pub variant: SharingVariant,
+    /// Whether the pruning rules of §4.4 (Theorems 3–5 plus the early-exit
+    /// upper bound) are applied. With pruning off the whole ranked list is
+    /// scanned and every tuple's exact `Pr^k` is reported.
+    pub pruning: bool,
+    /// How often (in scanned tuples) the early-exit upper bound is
+    /// recomputed. The bound costs `O(|pool|·k)`, so it is checked
+    /// periodically rather than per tuple.
+    pub ub_check_interval: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            variant: SharingVariant::Lazy,
+            pruning: true,
+            ub_check_interval: 64,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options with a specific sharing variant, pruning on.
+    pub fn with_variant(variant: SharingVariant) -> Self {
+        EngineOptions {
+            variant,
+            ..Default::default()
+        }
+    }
+
+    /// Options with pruning disabled (full scan).
+    pub fn without_pruning(variant: SharingVariant) -> Self {
+        EngineOptions {
+            variant,
+            pruning: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of a PT-k evaluation.
+#[derive(Debug, Clone)]
+pub struct PtkResult {
+    /// Ranked positions whose top-k probability passes the threshold, in
+    /// ranking order.
+    pub answers: Vec<usize>,
+    /// `probabilities[pos]` is `Some(Pr^k)` when the engine computed the
+    /// exact top-k probability of the tuple at `pos`, and `None` when the
+    /// tuple was pruned (its `Pr^k` is then known to be below the threshold)
+    /// or never scanned (ditto, by the early-exit bound).
+    pub probabilities: Vec<Option<f64>>,
+    /// Execution counters.
+    pub stats: ExecStats,
+}
+
+impl PtkResult {
+    /// Sum of the top-k probabilities of the answers.
+    pub fn answer_mass(&self) -> f64 {
+        self.answers
+            .iter()
+            .map(|&p| self.probabilities[p].unwrap_or(0.0))
+            .sum()
+    }
+}
+
+/// Answers a PT-k query: returns the tuples (as ranked positions) whose
+/// top-k probability is at least `threshold`.
+///
+/// This is the paper's exact algorithm (Figure 3): one scan of the ranked
+/// list, rule-tuple compression, prefix-shared subset-probability DP, and —
+/// when [`EngineOptions::pruning`] is set — the pruning rules of §4.4.
+///
+/// # Panics
+/// Panics if `k == 0` or `threshold` is not in `(0, 1]`.
+pub fn evaluate_ptk(
+    view: &RankedView,
+    k: usize,
+    threshold: f64,
+    options: &EngineOptions,
+) -> PtkResult {
+    assert!(
+        threshold > 0.0 && threshold <= 1.0,
+        "PT-k thresholds must be in (0, 1], got {threshold}"
+    );
+    let mut scanner = Scanner::new(view, k, options.variant);
+    let mut probabilities: Vec<Option<f64>> = vec![None; view.len()];
+    let mut answers = Vec::new();
+    let mut stats = ExecStats::default();
+
+    // Theorem 3 state: the largest membership probability among failed
+    // independent tuples scanned so far.
+    let mut failed_member_max = 0.0f64;
+    // Theorem 4 state, per rule: the largest membership probability among
+    // failed members seen so far.
+    let mut rule_failed_max = vec![0.0f64; view.rules().len()];
+    // Theorem 3(2) state, per rule: whole rule pruned because it is ranked
+    // entirely below a failed independent tuple with Pr(t) >= Pr(R).
+    let mut rule_failed = vec![false; view.rules().len()];
+    // Theorem 5 state: sum of the answers' top-k probabilities.
+    let mut answer_mass = 0.0f64;
+
+    while let Some(pos) = scanner.position() {
+        let prob = view.prob(pos);
+        let rule = view.rule_at(pos);
+
+        let mut prune_membership = false;
+        let mut prune_rule = false;
+        if options.pruning {
+            match rule {
+                None => {
+                    if prob <= failed_member_max {
+                        prune_membership = true;
+                    }
+                }
+                Some(h) => {
+                    let idx = h.index();
+                    let projection = &view.rules()[idx];
+                    // First encounter of the rule: Theorem 3(2).
+                    if projection.first() == pos && projection.mass <= failed_member_max {
+                        rule_failed[idx] = true;
+                    }
+                    if rule_failed[idx] || prob <= rule_failed_max[idx] {
+                        prune_rule = true;
+                    }
+                }
+            }
+        }
+
+        stats.scanned += 1;
+        if prune_membership || prune_rule {
+            if prune_membership {
+                stats.pruned_membership += 1;
+            } else {
+                stats.pruned_rule += 1;
+            }
+            scanner.step_skip();
+        } else {
+            let prk = {
+                let step = scanner.step().expect("position() was Some");
+                prob * step.partial_sum()
+            };
+            stats.evaluated += 1;
+            probabilities[pos] = Some(prk);
+            if prk >= threshold {
+                answers.push(pos);
+                answer_mass += prk;
+            } else if options.pruning {
+                match rule {
+                    None => failed_member_max = failed_member_max.max(prob),
+                    Some(h) => {
+                        let m = &mut rule_failed_max[h.index()];
+                        *m = m.max(prob);
+                    }
+                }
+            }
+        }
+
+        if options.pruning {
+            // Theorem 5: the total top-k probability over all tuples is at
+            // most k, so once the answers hold more than k − p of it, no
+            // other tuple can reach p.
+            if answer_mass > k as f64 - threshold {
+                stats.stop = Some(StopReason::TotalTopK);
+                break;
+            }
+            // Early-exit upper bound (line 6 of Figure 3), checked
+            // periodically: if even the most favourable future tuple cannot
+            // reach the threshold, stop.
+            if stats.scanned % options.ub_check_interval.max(1) == 0
+                && future_upper_bound(&scanner) < threshold
+            {
+                stats.stop = Some(StopReason::UpperBound);
+                break;
+            }
+        }
+    }
+
+    stats.dp_cells = scanner.dp_cells();
+    stats.entries_recomputed = scanner.entries_recomputed();
+    PtkResult {
+        answers,
+        probabilities,
+        stats,
+    }
+}
+
+/// An upper bound on `Pr^k(t')` for every tuple `t'` not yet scanned.
+///
+/// For a future independent tuple, the dominant set contains at least the
+/// whole current pool, so `Σ_{j<k} Pr(S, j)` over the pool bounds its Eq. 4
+/// factor (the partial sum is non-increasing as elements are added or
+/// gain mass). For a future member of an open rule `R`, the dominant set
+/// excludes `R`'s own rule-tuple, so the bound deconvolves that entry out.
+/// Membership probability is bounded by 1.
+fn future_upper_bound(scanner: &Scanner<'_>) -> f64 {
+    let pool = scanner.pool_row();
+    let mut ub: f64 = dp::partial_sum(&pool);
+    for (_, mass) in scanner.open_rules() {
+        let without = match dp::deconvolve(&pool, mass) {
+            Some(row) => dp::partial_sum(&row),
+            // Numerically unsafe to remove: give up on bounding members of
+            // this rule (conservative).
+            None => 1.0,
+        };
+        ub = ub.max(without);
+    }
+    ub.min(1.0)
+}
+
+/// Computes the exact top-k probability of **every** tuple in the view
+/// (no threshold, no pruning): `result[pos] = Pr^k` of the tuple at `pos`.
+///
+/// Used by the sampling-quality experiments (ground truth) and by callers
+/// that want the full distribution rather than a thresholded answer set.
+pub fn topk_probabilities(
+    view: &RankedView,
+    k: usize,
+    variant: SharingVariant,
+) -> (Vec<f64>, ExecStats) {
+    let mut scanner = Scanner::new(view, k, variant);
+    let mut out = Vec::with_capacity(view.len());
+    while let Some(pos) = scanner.position() {
+        let prob = view.prob(pos);
+        let step = scanner.step().expect("position() was Some");
+        out.push(prob * step.partial_sum());
+    }
+    let stats = ExecStats {
+        scanned: view.len(),
+        evaluated: view.len(),
+        dp_cells: scanner.dp_cells(),
+        entries_recomputed: scanner.entries_recomputed(),
+        ..Default::default()
+    };
+    (out, stats)
+}
+
+/// Computes the exact *position* probabilities of every tuple:
+/// `result[pos][j]` is the probability that the tuple at ranked position
+/// `pos` is ranked exactly `j+1`-th in a possible world (Eq. 3), for `j < k`.
+///
+/// This is the quantity U-KRanks maximizes per rank; it falls out of the
+/// same scan because `Pr(t_i, j) = Pr(t_i) · Pr(T(t_i), j−1)`.
+pub fn position_probabilities(
+    view: &RankedView,
+    k: usize,
+    variant: SharingVariant,
+) -> Vec<Vec<f64>> {
+    let mut scanner = Scanner::new(view, k, variant);
+    let mut out = Vec::with_capacity(view.len());
+    while let Some(pos) = scanner.position() {
+        let prob = view.prob(pos);
+        let step = scanner.step().expect("position() was Some");
+        out.push(step.row.iter().map(|&s| prob * s).collect());
+    }
+    out
+}
+
+/// Answers the same top-k query for several probability thresholds in one
+/// scan: `result[i]` is the PT-k answer set for `thresholds[i]`.
+///
+/// The scan runs the pruning machinery keyed to the *smallest* threshold
+/// (the most demanding one — any tuple prunable there is prunable for every
+/// larger threshold), so one pass serves the whole threshold sweep. This is
+/// what the Figure 4(d)/5(d) experiments do implicitly, and what an
+/// interactive client exploring `p` wants.
+///
+/// # Panics
+/// Panics if `k == 0`, `thresholds` is empty, or any threshold is outside
+/// `(0, 1]`.
+pub fn evaluate_ptk_multi(
+    view: &RankedView,
+    k: usize,
+    thresholds: &[f64],
+    options: &EngineOptions,
+) -> Vec<Vec<usize>> {
+    assert!(!thresholds.is_empty(), "at least one threshold is required");
+    for &p in thresholds {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "PT-k thresholds must be in (0, 1], got {p}"
+        );
+    }
+    let min = thresholds.iter().copied().fold(f64::INFINITY, f64::min);
+    let result = evaluate_ptk(view, k, min, options);
+    thresholds
+        .iter()
+        .map(|&p| {
+            result
+                .answers
+                .iter()
+                .copied()
+                .filter(|&pos| {
+                    result.probabilities[pos].expect("answers are always evaluated") >= p
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Computes the full top-k probability *profile* of every tuple in one
+/// scan: `result[pos][k-1] = Pr^k` of the tuple at `pos`, for every depth
+/// `k ∈ 1..=max_k`.
+///
+/// By Eq. 4, `Pr^k(t) = Pr(t) · Σ_{j<k} Pr(T(t), j)`, so the whole profile
+/// is the prefix-sum of the position-probability row — one scan serves all
+/// depths at once, where calling [`topk_probabilities`] per `k` would cost
+/// `max_k` scans.
+pub fn topk_probability_profile(
+    view: &RankedView,
+    max_k: usize,
+    variant: SharingVariant,
+) -> Vec<Vec<f64>> {
+    let mut scanner = Scanner::new(view, max_k, variant);
+    let mut out = Vec::with_capacity(view.len());
+    while let Some(pos) = scanner.position() {
+        let prob = view.prob(pos);
+        let step = scanner.step().expect("position() was Some");
+        let mut acc = 0.0;
+        let profile: Vec<f64> = step
+            .row
+            .iter()
+            .map(|&s| {
+                acc += s;
+                prob * acc
+            })
+            .collect();
+        out.push(profile);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Panda example, ranked: R1 (0.3), R2 (0.4), R5 (0.8), R3 (0.5),
+    /// R4 (1.0), R6 (0.2); rules {1,3} and {2,5}.
+    fn panda() -> RankedView {
+        RankedView::from_ranked_probs(&[0.3, 0.4, 0.8, 0.5, 1.0, 0.2], &[vec![1, 3], vec![2, 5]])
+            .unwrap()
+    }
+
+    #[test]
+    fn panda_topk_probabilities_match_table_3() {
+        let view = panda();
+        let (pr, stats) = topk_probabilities(&view, 2, SharingVariant::Lazy);
+        let expected = [0.3, 0.4, 0.704, 0.38, 0.202, 0.014];
+        for (i, e) in expected.iter().enumerate() {
+            assert!((pr[i] - e).abs() < 1e-12, "pos {i}: {} vs {e}", pr[i]);
+        }
+        assert_eq!(stats.scanned, 6);
+        assert_eq!(stats.evaluated, 6);
+    }
+
+    #[test]
+    fn panda_ptk_matches_example_1() {
+        let view = panda();
+        for pruning in [false, true] {
+            let options = EngineOptions {
+                pruning,
+                ub_check_interval: 1,
+                ..Default::default()
+            };
+            let result = evaluate_ptk(&view, 2, 0.35, &options);
+            assert_eq!(result.answers, vec![1, 2, 3], "pruning = {pruning}");
+        }
+    }
+
+    #[test]
+    fn pruned_probabilities_are_below_threshold() {
+        let view = panda();
+        let result = evaluate_ptk(&view, 2, 0.35, &EngineOptions::default());
+        for (pos, p) in result.probabilities.iter().enumerate() {
+            if let Some(p) = p {
+                let is_answer = result.answers.contains(&pos);
+                assert_eq!(*p >= 0.35, is_answer);
+            }
+        }
+    }
+
+    #[test]
+    fn variants_agree_on_answers() {
+        let view = panda();
+        for variant in [
+            SharingVariant::Rc,
+            SharingVariant::Aggressive,
+            SharingVariant::Lazy,
+        ] {
+            let result = evaluate_ptk(&view, 2, 0.35, &EngineOptions::with_variant(variant));
+            assert_eq!(result.answers, vec![1, 2, 3], "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn position_probabilities_row_sums() {
+        let view = panda();
+        let pos = position_probabilities(&view, 2, SharingVariant::Lazy);
+        let (topk, _) = topk_probabilities(&view, 2, SharingVariant::Lazy);
+        for i in 0..view.len() {
+            let s: f64 = pos[i].iter().sum();
+            assert!((s - topk[i]).abs() < 1e-12);
+        }
+        // Pr(R5 ranked first) = 0.336 (see ptk-worlds tests).
+        assert!((pos[2][0] - 0.336).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_k_tuples_have_prk_equal_membership() {
+        let view = RankedView::from_ranked_probs(&[0.9, 0.1, 0.5, 0.7], &[]).unwrap();
+        let (pr, _) = topk_probabilities(&view, 3, SharingVariant::Lazy);
+        assert!((pr[0] - 0.9).abs() < 1e-12);
+        assert!((pr[1] - 0.1).abs() < 1e-12);
+        assert!((pr[2] - 0.5).abs() < 1e-12);
+        assert!(pr[3] < 0.7);
+    }
+
+    #[test]
+    fn theorem5_stop_fires() {
+        // Many near-certain tuples: once k answers hold nearly all the
+        // top-k mass, the scan stops well before the end.
+        let probs = vec![0.999; 200];
+        let view = RankedView::from_ranked_probs(&probs, &[]).unwrap();
+        let result = evaluate_ptk(&view, 5, 0.5, &EngineOptions::default());
+        assert!(result.stats.stopped_early());
+        assert!(result.stats.scanned < 200);
+        assert_eq!(result.answers, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn upper_bound_stop_fires_without_theorem5() {
+        // Moderate probabilities: the top-k mass never concentrates in the
+        // answers (many tuples fail), but the partial-sum bound decays to
+        // zero, so the UB stop must fire.
+        let probs = vec![0.6; 400];
+        let view = RankedView::from_ranked_probs(&probs, &[]).unwrap();
+        let options = EngineOptions {
+            ub_check_interval: 8,
+            ..Default::default()
+        };
+        let result = evaluate_ptk(&view, 5, 0.9, &options);
+        assert!(result.stats.stopped_early());
+        assert!(
+            result.stats.scanned < 400,
+            "scanned {}",
+            result.stats.scanned
+        );
+        // Answers must nevertheless be exact: compare against a full scan.
+        let (pr, _) = topk_probabilities(&view, 5, SharingVariant::Lazy);
+        let expected: Vec<usize> = (0..400).filter(|&i| pr[i] >= 0.9).collect();
+        assert_eq!(result.answers, expected);
+    }
+
+    #[test]
+    fn membership_pruning_counts() {
+        // A high-probability failing tuple ahead of low-probability tuples
+        // triggers Theorem 3 on them.
+        let mut probs = vec![0.95; 10];
+        probs.extend(vec![0.3; 20]);
+        let view = RankedView::from_ranked_probs(&probs, &[]).unwrap();
+        let options = EngineOptions {
+            ub_check_interval: 1000,
+            ..Default::default()
+        };
+        let result = evaluate_ptk(&view, 3, 0.5, &options);
+        // Exactness first.
+        let (pr, _) = topk_probabilities(&view, 3, SharingVariant::Lazy);
+        let expected: Vec<usize> = (0..30).filter(|&i| pr[i] >= 0.5).collect();
+        assert_eq!(result.answers, expected);
+        assert!(result.stats.pruned_membership > 0 || result.stats.stopped_early());
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn threshold_validation() {
+        let view = panda();
+        let _ = evaluate_ptk(&view, 2, 0.0, &EngineOptions::default());
+    }
+
+    #[test]
+    fn empty_view_yields_empty_answer() {
+        let view = RankedView::from_ranked_probs(&[], &[]).unwrap();
+        let result = evaluate_ptk(&view, 3, 0.5, &EngineOptions::default());
+        assert!(result.answers.is_empty());
+        assert_eq!(result.stats.scanned, 0);
+        assert_eq!(result.answer_mass(), 0.0);
+    }
+
+    #[test]
+    fn multi_threshold_matches_individual_queries() {
+        let view = panda();
+        let thresholds = [0.9, 0.35, 0.1, 0.5];
+        let multi = evaluate_ptk_multi(&view, 2, &thresholds, &EngineOptions::default());
+        for (i, &p) in thresholds.iter().enumerate() {
+            let single = evaluate_ptk(&view, 2, p, &EngineOptions::default());
+            assert_eq!(multi[i], single.answers, "threshold {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one threshold")]
+    fn multi_threshold_rejects_empty() {
+        let _ = evaluate_ptk_multi(&panda(), 2, &[], &EngineOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn multi_threshold_rejects_out_of_range_before_scanning() {
+        let _ = evaluate_ptk_multi(&panda(), 2, &[0.5, 1.5], &EngineOptions::default());
+    }
+
+    #[test]
+    fn profile_matches_per_k_scans() {
+        let view = panda();
+        let profile = topk_probability_profile(&view, 4, SharingVariant::Lazy);
+        for k in 1..=4 {
+            let (pr, _) = topk_probabilities(&view, k, SharingVariant::Lazy);
+            for pos in 0..view.len() {
+                assert!(
+                    (profile[pos][k - 1] - pr[pos]).abs() < 1e-12,
+                    "pos {pos} k {k}: {} vs {}",
+                    profile[pos][k - 1],
+                    pr[pos]
+                );
+            }
+        }
+        // Profiles are monotone in k and bounded by membership.
+        for (pos, p) in profile.iter().enumerate() {
+            for w in p.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+            assert!(p[3] <= view.prob(pos) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_view() {
+        let view = panda();
+        let result = evaluate_ptk(&view, 100, 0.1, &EngineOptions::default());
+        // Every tuple is always in the top-100 of its world when present:
+        // Pr^k = Pr(t), so answers are tuples with Pr(t) >= 0.1.
+        assert_eq!(result.answers, vec![0, 1, 2, 3, 4, 5]);
+        for (pos, p) in result.probabilities.iter().enumerate() {
+            assert!((p.unwrap() - view.prob(pos)).abs() < 1e-12);
+        }
+    }
+}

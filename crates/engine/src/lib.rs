@@ -1,0 +1,53 @@
+//! # `ptk-engine` — the exact PT-k query engine
+//!
+//! The paper's primary contribution (§4): answering probabilistic threshold
+//! top-k queries with **one scan** of the ranked tuple list instead of
+//! enumerating the exponentially many possible worlds.
+//!
+//! The pieces, each in its own module:
+//!
+//! * [`dp`] — the subset-probability (Poisson-binomial) dynamic program of
+//!   Theorem 2, truncated at `k`;
+//! * [`Scanner`] — the incremental compressed dominant set: rule-tuple
+//!   compression (Corollaries 1–2) and prefix sharing with the
+//!   aggressive/lazy reordering strategies of §4.3.2, selected by
+//!   [`SharingVariant`];
+//! * [`evaluate_ptk`] — the full algorithm of Figure 3 with the pruning
+//!   rules of §4.4 (Theorems 3–5) and an early-exit upper bound;
+//! * [`topk_probabilities`] / [`position_probabilities`] — full-scan
+//!   variants exposing the exact distributions (also the building block for
+//!   U-KRanks in `ptk-rankers`).
+//!
+//! ```
+//! use ptk_core::RankedView;
+//! use ptk_engine::{evaluate_ptk, EngineOptions};
+//!
+//! // The paper's running example (Table 1), ranked by duration:
+//! // R1 (0.3), R2 (0.4), R5 (0.8), R3 (0.5), R4 (1.0), R6 (0.2),
+//! // with rules R2⊕R3 and R5⊕R6.
+//! let view = RankedView::from_ranked_probs(
+//!     &[0.3, 0.4, 0.8, 0.5, 1.0, 0.2],
+//!     &[vec![1, 3], vec![2, 5]],
+//! ).unwrap();
+//!
+//! // PT-2 query with p = 0.35 returns {R2, R5, R3} (Example 1).
+//! let result = evaluate_ptk(&view, 2, 0.35, &EngineOptions::default());
+//! assert_eq!(result.answers, vec![1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dp;
+mod exact;
+mod scanner;
+mod stats;
+mod stream;
+
+pub use exact::{
+    evaluate_ptk, evaluate_ptk_multi, position_probabilities, topk_probabilities,
+    topk_probability_profile, EngineOptions, PtkResult,
+};
+pub use scanner::{Entry, Scanner, SharingVariant, StepRow};
+pub use stats::{ExecStats, StopReason};
+pub use stream::{evaluate_ptk_source, StreamAnswer, StreamOptions, StreamPtkResult};

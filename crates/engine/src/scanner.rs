@@ -1,0 +1,581 @@
+//! The incremental scan over the ranked list.
+//!
+//! [`Scanner`] walks the ranked view position by position, maintaining the
+//! *compressed dominant set* `T(t_i)` of the current tuple (§4.3.1):
+//!
+//! * independent tuples already scanned appear as themselves;
+//! * each multi-tuple rule with scanned members appears as a single
+//!   *rule-tuple* whose mass is the sum of its scanned members'
+//!   probabilities (Corollary 1) — unless the current tuple belongs to the
+//!   rule, in which case the rule is excluded entirely (Corollary 2);
+//!
+//! together with the subset-probability DP rows over that set. Consecutive
+//! steps share the DP rows of the longest common prefix between their entry
+//! lists (§4.3.2); the [`SharingVariant`] selects how entries are ordered to
+//! maximize that prefix.
+
+use ptk_core::{RankedView, RuleHandle};
+
+use crate::dp;
+
+/// How the compressed dominant set is ordered between consecutive steps
+/// (§4.3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingVariant {
+    /// `RC` — rule-tuple compression only: the DP is recomputed from scratch
+    /// for every tuple. The paper's baseline.
+    Rc,
+    /// `RC+AR` — aggressive reordering: independents and completed
+    /// rule-tuples always precede open rule-tuples; open rule-tuples are
+    /// ordered by next-member position descending. The common prefix with
+    /// the previous step's list is reused.
+    Aggressive,
+    /// `RC+LR` — lazy reordering: the maximal still-valid prefix of the
+    /// previous list is kept verbatim; only the remainder is reordered by
+    /// the aggressive policy. Never worse than `RC+AR` (§4.3.2).
+    #[default]
+    Lazy,
+}
+
+/// One element of a compressed dominant set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Entry {
+    /// An independent tuple at a ranked position.
+    Tuple {
+        /// Ranked position of the tuple.
+        pos: usize,
+        /// Its membership probability.
+        prob: f64,
+    },
+    /// A rule-tuple: the scanned members of a multi-tuple rule compressed
+    /// into one pseudo-tuple (Corollary 1).
+    RuleTuple {
+        /// The projected rule.
+        rule: RuleHandle,
+        /// How many members have been absorbed so far. Two rule-tuples for
+        /// the same rule are interchangeable iff this matches.
+        absorbed: u32,
+        /// Sum of the absorbed members' probabilities.
+        mass: f64,
+    },
+}
+
+impl Entry {
+    /// The probability this entry contributes to the DP.
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        match self {
+            Entry::Tuple { prob, .. } => *prob,
+            Entry::RuleTuple { mass, .. } => *mass,
+        }
+    }
+
+    /// Whether two entries denote the same pseudo-tuple with the same mass
+    /// (so a DP row computed through one is valid for the other). Uses the
+    /// absorbed-member count rather than float mass comparison.
+    #[inline]
+    fn same(&self, other: &Entry) -> bool {
+        match (self, other) {
+            (Entry::Tuple { pos: a, .. }, Entry::Tuple { pos: b, .. }) => a == b,
+            (
+                Entry::RuleTuple {
+                    rule: ra,
+                    absorbed: ca,
+                    ..
+                },
+                Entry::RuleTuple {
+                    rule: rb,
+                    absorbed: cb,
+                    ..
+                },
+            ) => ra == rb && ca == cb,
+            _ => false,
+        }
+    }
+}
+
+/// Per-rule scan bookkeeping.
+#[derive(Debug, Clone)]
+struct RuleScan {
+    /// Sum of scanned members' probabilities.
+    seen_mass: f64,
+    /// Number of scanned members.
+    seen_count: u32,
+    /// Index into the projection's member list of the next unscanned member.
+    next_ptr: usize,
+}
+
+/// An item of the "stable" group: independents and completed rule-tuples, in
+/// the order they became available (observation 1 of §4.3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StableItem {
+    Independent(usize),
+    CompletedRule(RuleHandle),
+}
+
+/// The output of one scan step: the DP row of the current tuple's compressed
+/// dominant set.
+#[derive(Debug)]
+pub struct StepRow<'a> {
+    /// `row[j] = Pr(T(t_i), j)` for `j < k`.
+    pub row: &'a [f64],
+}
+
+impl StepRow<'_> {
+    /// `Σ_{j<k} Pr(T(t_i), j)` — the factor of Eq. 4.
+    pub fn partial_sum(&self) -> f64 {
+        dp::partial_sum(self.row)
+    }
+}
+
+/// Incremental scanner producing, for each ranked position, the
+/// subset-probability row of its compressed dominant set.
+#[derive(Debug)]
+pub struct Scanner<'v> {
+    view: &'v RankedView,
+    k: usize,
+    variant: SharingVariant,
+    /// Next position to process.
+    cursor: usize,
+    /// Entry list of the most recent *built* step.
+    entries: Vec<Entry>,
+    /// `rows[m]` is the DP row after `entries[..m]`; `rows.len() == entries.len() + 1`.
+    rows: Vec<Vec<f64>>,
+    rule_state: Vec<RuleScan>,
+    /// Stable-group items in availability order.
+    stable: Vec<StableItem>,
+    /// DP cells computed so far (`k` per recomputed entry) — the paper's
+    /// Eq. 5 cost times `k`.
+    dp_cells: u64,
+    /// Entries recomputed so far (the paper's Eq. 5 cost itself).
+    entries_recomputed: u64,
+    /// Scratch for the lazy variant: stamps marking which independents /
+    /// rules are already in the kept prefix, so membership tests are O(1).
+    kept_tuple_stamp: Vec<u64>,
+    kept_rule_stamp: Vec<u64>,
+    stamp: u64,
+}
+
+impl<'v> Scanner<'v> {
+    /// Creates a scanner over `view` for queries of depth `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(view: &'v RankedView, k: usize, variant: SharingVariant) -> Scanner<'v> {
+        assert!(k > 0, "top-k queries require k >= 1");
+        Scanner {
+            view,
+            k,
+            variant,
+            cursor: 0,
+            entries: Vec::new(),
+            rows: vec![dp::unit_row(k)],
+            rule_state: vec![
+                RuleScan {
+                    seen_mass: 0.0,
+                    seen_count: 0,
+                    next_ptr: 0
+                };
+                view.rules().len()
+            ],
+            stable: Vec::new(),
+            dp_cells: 0,
+            entries_recomputed: 0,
+            kept_tuple_stamp: vec![0; view.len()],
+            kept_rule_stamp: vec![0; view.rules().len()],
+            stamp: 0,
+        }
+    }
+
+    /// The position the next step will process, or `None` when exhausted.
+    pub fn position(&self) -> Option<usize> {
+        (self.cursor < self.view.len()).then_some(self.cursor)
+    }
+
+    /// Total DP cells computed so far.
+    pub fn dp_cells(&self) -> u64 {
+        self.dp_cells
+    }
+
+    /// Total entries whose DP row was (re)computed — the paper's Eq. 5 cost.
+    pub fn entries_recomputed(&self) -> u64 {
+        self.entries_recomputed
+    }
+
+    /// The entry list of the most recently built step (for inspection and
+    /// the Figure 2 tests).
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Processes the next tuple and returns its DP row.
+    ///
+    /// Returns `None` when the scan is exhausted.
+    pub fn step(&mut self) -> Option<StepRow<'_>> {
+        let pos = self.position()?;
+        let desired = self.desired_list(pos);
+        let prefix = match self.variant {
+            SharingVariant::Rc => 0,
+            SharingVariant::Aggressive | SharingVariant::Lazy => {
+                common_prefix(&self.entries, &desired)
+            }
+        };
+        let recomputed = desired.len() - prefix;
+        self.dp_cells += (recomputed * self.k) as u64;
+        self.entries_recomputed += recomputed as u64;
+        self.rows.truncate(prefix + 1);
+        for e in &desired[prefix..] {
+            let mut row = self.rows.last().expect("rows never empty").clone();
+            dp::convolve_in_place(&mut row, e.mass());
+            self.rows.push(row);
+        }
+        self.entries = desired;
+        self.advance_pool(pos);
+        self.cursor += 1;
+        Some(StepRow {
+            row: self.rows.last().expect("rows never empty"),
+        })
+    }
+
+    /// Processes the next tuple *without* building its DP row (the tuple was
+    /// pruned; only the pool bookkeeping advances).
+    ///
+    /// Returns the position skipped, or `None` when exhausted.
+    pub fn step_skip(&mut self) -> Option<usize> {
+        let pos = self.position()?;
+        self.advance_pool(pos);
+        self.cursor += 1;
+        Some(pos)
+    }
+
+    /// The subset-probability row over the *entire current pool* — every
+    /// scanned tuple compressed, no rule excluded. This is what a future
+    /// independent tuple's dominant set would contain if scanning stopped
+    /// here; used by the early-exit upper bound.
+    pub fn pool_row(&self) -> Vec<f64> {
+        let mut row = dp::unit_row(self.k);
+        for item in &self.stable {
+            dp::convolve_in_place(&mut row, self.stable_mass(*item));
+        }
+        for (idx, rs) in self.rule_state.iter().enumerate() {
+            if rs.seen_count > 0 && rs.next_ptr < self.view.rules()[idx].members.len() {
+                dp::convolve_in_place(&mut row, rs.seen_mass);
+            }
+        }
+        row
+    }
+
+    /// Rules that currently have both scanned and unscanned members, with
+    /// their scanned mass. Used by the early-exit upper bound: a future
+    /// member of such a rule excludes this mass from its dominant set.
+    pub fn open_rules(&self) -> Vec<(RuleHandle, f64)> {
+        self.rule_state
+            .iter()
+            .enumerate()
+            .filter(|(idx, rs)| {
+                rs.seen_count > 0 && rs.next_ptr < self.view.rules()[*idx].members.len()
+            })
+            .map(|(idx, rs)| (handle(idx), rs.seen_mass))
+            .collect()
+    }
+
+    fn stable_mass(&self, item: StableItem) -> f64 {
+        match item {
+            StableItem::Independent(pos) => self.view.prob(pos),
+            StableItem::CompletedRule(h) => self.rule_state[h.index()].seen_mass,
+        }
+    }
+
+    /// Builds the desired (ordered) compressed dominant set for the tuple at
+    /// `pos`.
+    fn desired_list(&mut self, pos: usize) -> Vec<Entry> {
+        let own_rule = self.view.rule_at(pos);
+        match self.variant {
+            SharingVariant::Rc | SharingVariant::Aggressive => {
+                self.canonical_list(own_rule, |_| true)
+            }
+            SharingVariant::Lazy => {
+                // Keep the longest still-valid prefix of the previous list.
+                let valid_len = self
+                    .entries
+                    .iter()
+                    .take_while(|e| self.entry_still_valid(e, own_rule))
+                    .count();
+                // Mark the kept prefix so membership tests are O(1).
+                self.stamp += 1;
+                let stamp = self.stamp;
+                for e in &self.entries[..valid_len] {
+                    match e {
+                        Entry::Tuple { pos, .. } => self.kept_tuple_stamp[*pos] = stamp,
+                        Entry::RuleTuple { rule, .. } => self.kept_rule_stamp[rule.index()] = stamp,
+                    }
+                }
+                let mut list: Vec<Entry> = self.entries[..valid_len].to_vec();
+                // Append everything not already kept, in canonical order.
+                let kept_tuple = &self.kept_tuple_stamp;
+                let kept_rule = &self.kept_rule_stamp;
+                let kept_ok = |e: &Entry| match e {
+                    Entry::Tuple { pos, .. } => kept_tuple[*pos] != stamp,
+                    Entry::RuleTuple { rule, .. } => kept_rule[rule.index()] != stamp,
+                };
+                let rest = self.canonical_list(own_rule, kept_ok);
+                list.extend(rest);
+                list
+            }
+        }
+    }
+
+    /// Whether a previously-built entry still denotes a live, unchanged
+    /// pseudo-tuple for a step whose tuple belongs to `own_rule`.
+    fn entry_still_valid(&self, e: &Entry, own_rule: Option<RuleHandle>) -> bool {
+        match e {
+            Entry::Tuple { .. } => true,
+            Entry::RuleTuple { rule, absorbed, .. } => {
+                Some(*rule) != own_rule && self.rule_state[rule.index()].seen_count == *absorbed
+            }
+        }
+    }
+
+    /// The canonical (aggressive) ordering of the current pool, excluding
+    /// `own_rule` and any entry rejected by `keep`: stable group first in
+    /// availability order, then open rule-tuples by next-member position
+    /// descending.
+    fn canonical_list(
+        &self,
+        own_rule: Option<RuleHandle>,
+        keep: impl Fn(&Entry) -> bool,
+    ) -> Vec<Entry> {
+        let mut list = Vec::with_capacity(self.stable.len() + 4);
+        for item in &self.stable {
+            let e = match *item {
+                StableItem::Independent(p) => Entry::Tuple {
+                    pos: p,
+                    prob: self.view.prob(p),
+                },
+                StableItem::CompletedRule(h) => {
+                    let rs = &self.rule_state[h.index()];
+                    Entry::RuleTuple {
+                        rule: h,
+                        absorbed: rs.seen_count,
+                        mass: rs.seen_mass,
+                    }
+                }
+            };
+            if keep(&e) {
+                list.push(e);
+            }
+        }
+        // Open rule-tuples, next-member position descending.
+        let mut open: Vec<(usize, Entry)> = Vec::new();
+        for (idx, rs) in self.rule_state.iter().enumerate() {
+            let members = &self.view.rules()[idx].members;
+            if rs.seen_count == 0 || rs.next_ptr >= members.len() {
+                continue;
+            }
+            let h = handle(idx);
+            if Some(h) == own_rule {
+                continue;
+            }
+            let e = Entry::RuleTuple {
+                rule: h,
+                absorbed: rs.seen_count,
+                mass: rs.seen_mass,
+            };
+            if keep(&e) {
+                open.push((members[rs.next_ptr], e));
+            }
+        }
+        open.sort_by_key(|o| std::cmp::Reverse(o.0));
+        list.extend(open.into_iter().map(|(_, e)| e));
+        list
+    }
+
+    /// Folds the tuple at `pos` into the pool after its step.
+    fn advance_pool(&mut self, pos: usize) {
+        match self.view.rule_at(pos) {
+            None => self.stable.push(StableItem::Independent(pos)),
+            Some(h) => {
+                let members_len = self.view.rules()[h.index()].members.len();
+                let rs = &mut self.rule_state[h.index()];
+                debug_assert_eq!(
+                    self.view.rules()[h.index()].members[rs.next_ptr],
+                    pos,
+                    "rule members must be scanned in ranked order"
+                );
+                rs.seen_mass += self.view.prob(pos);
+                rs.seen_count += 1;
+                rs.next_ptr += 1;
+                if rs.next_ptr == members_len {
+                    // The rule just completed: it joins the stable group at
+                    // this availability point.
+                    self.stable.push(StableItem::CompletedRule(h));
+                }
+            }
+        }
+    }
+}
+
+fn handle(index: usize) -> RuleHandle {
+    // RuleHandle has no public constructor by design; recover it through the
+    // projection table which hands out dense indices. This helper mirrors
+    // RankedView's internal numbering.
+    RuleHandle::from_index(index)
+}
+
+/// Length of the longest common prefix of two entry lists (by
+/// [`Entry::same`]).
+fn common_prefix(a: &[Entry], b: &[Entry]) -> usize {
+    a.iter()
+        .zip(b.iter())
+        .take_while(|(x, y)| x.same(y))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 4 of the paper: probabilities in ranked order, with the rules
+    /// of Example 3 (0-based positions: R1 = {1,3,8}, R2 = {4,6}).
+    fn table4(rules: bool) -> RankedView {
+        let probs = [0.7, 0.2, 1.0, 0.3, 0.5, 0.8, 0.1, 0.8, 0.1];
+        let groups: &[Vec<usize>] = if rules {
+            &[vec![1, 3, 8], vec![4, 6]]
+        } else {
+            &[]
+        };
+        RankedView::from_ranked_probs(&probs, groups).unwrap()
+    }
+
+    fn partial_sums(view: &RankedView, k: usize, variant: SharingVariant) -> Vec<f64> {
+        let mut s = Scanner::new(view, k, variant);
+        let mut out = Vec::new();
+        while let Some(step) = s.step() {
+            out.push(step.partial_sum());
+        }
+        out
+    }
+
+    #[test]
+    fn basic_case_matches_example_2() {
+        let view = table4(false);
+        let sums = partial_sums(&view, 3, SharingVariant::Lazy);
+        // Pr^3(t_i) = Pr(t_i) * sums[i]; Example 2 gives Pr^3(t4) = 0.258
+        // (t4 is position 3, probability 0.3).
+        assert!((0.3 * sums[3] - 0.258).abs() < 1e-12, "sum = {}", sums[3]);
+        // First k tuples always have partial sum 1.
+        assert!((sums[0] - 1.0).abs() < 1e-12);
+        assert!((sums[1] - 1.0).abs() < 1e-12);
+        assert!((sums[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_match_example_3() {
+        let view = table4(true);
+        let sums = partial_sums(&view, 3, SharingVariant::Lazy);
+        // Example 3: Pr^3(t6) = 0.32 (position 5, prob 0.8) and
+        // Pr^3(t7) = 0.025 (position 6, prob 0.1).
+        assert!((0.8 * sums[5] - 0.32).abs() < 1e-12, "t6 sum = {}", sums[5]);
+        assert!(
+            (0.1 * sums[6] - 0.025).abs() < 1e-12,
+            "t7 sum = {}",
+            sums[6]
+        );
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let view = table4(true);
+        let a = partial_sums(&view, 3, SharingVariant::Rc);
+        let b = partial_sums(&view, 3, SharingVariant::Aggressive);
+        let c = partial_sums(&view, 3, SharingVariant::Lazy);
+        for i in 0..a.len() {
+            assert!(
+                (a[i] - b[i]).abs() < 1e-12,
+                "pos {i}: RC {} vs AR {}",
+                a[i],
+                b[i]
+            );
+            assert!(
+                (a[i] - c[i]).abs() < 1e-12,
+                "pos {i}: RC {} vs LR {}",
+                a[i],
+                c[i]
+            );
+        }
+    }
+
+    #[test]
+    fn skip_only_advances_pool() {
+        let view = table4(true);
+        // Skip the first three tuples, then the fourth must see the same
+        // dominant set as in a full scan.
+        let mut s = Scanner::new(&view, 3, SharingVariant::Lazy);
+        s.step_skip().unwrap();
+        s.step_skip().unwrap();
+        s.step_skip().unwrap();
+        let sum_skipped = s.step().unwrap().partial_sum();
+        let full = partial_sums(&view, 3, SharingVariant::Lazy);
+        assert!((sum_skipped - full[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_exhausts() {
+        let view = table4(false);
+        let mut s = Scanner::new(&view, 2, SharingVariant::Lazy);
+        let mut n = 0;
+        while s.step().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, view.len());
+        assert!(s.step().is_none());
+        assert!(s.step_skip().is_none());
+        assert!(s.position().is_none());
+    }
+
+    #[test]
+    fn rc_recomputes_everything() {
+        let view = table4(false);
+        let mut s = Scanner::new(&view, 3, SharingVariant::Rc);
+        while s.step().is_some() {}
+        // Dominant set sizes 0..=8 for 9 independent tuples: 0+1+...+8 = 36.
+        assert_eq!(s.entries_recomputed(), 36);
+        assert_eq!(s.dp_cells(), 36 * 3);
+    }
+
+    #[test]
+    fn lazy_shares_prefixes_in_basic_case() {
+        let view = table4(false);
+        let mut s = Scanner::new(&view, 3, SharingVariant::Lazy);
+        while s.step().is_some() {}
+        // With no rules each step extends the previous list by exactly one
+        // tuple: 8 recomputed entries in total.
+        assert_eq!(s.entries_recomputed(), 8);
+    }
+
+    #[test]
+    fn pool_row_covers_all_scanned() {
+        let view = table4(true);
+        let mut s = Scanner::new(&view, 3, SharingVariant::Lazy);
+        for _ in 0..5 {
+            s.step();
+        }
+        // Pool after scanning positions 0..4: independents {0, 2},
+        // rule-tuples R1 (members 1,3 scanned) and R2 (member 4 scanned).
+        let row = s.pool_row();
+        let expect = dp::poisson_binomial([0.7, 1.0, 0.2 + 0.3, 0.5], 3);
+        for (a, b) in row.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        let open = s.open_rules();
+        assert_eq!(open.len(), 2);
+    }
+
+    #[test]
+    fn open_rules_empty_after_completion() {
+        let view = table4(true);
+        let mut s = Scanner::new(&view, 3, SharingVariant::Lazy);
+        while s.step().is_some() {}
+        assert!(s.open_rules().is_empty());
+    }
+}

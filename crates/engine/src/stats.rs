@@ -1,0 +1,73 @@
+//! Execution statistics reported by the exact engine.
+
+/// Why a pruned scan stopped before exhausting the ranked list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Theorem 5: the top-k probabilities of the answers found so far sum
+    /// above `k − p`, so no further tuple can reach the threshold.
+    TotalTopK,
+    /// The subset-probability upper bound on any future tuple's top-k
+    /// probability fell below the threshold (the concrete test behind
+    /// line 6 of the paper's Figure 3).
+    UpperBound,
+}
+
+/// Counters describing one exact-engine execution. These are the quantities
+/// the paper's evaluation reports: scan depth (Figure 4) and the number of
+/// subset-probability computations (Figure 5's proxy for runtime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tuples retrieved from the ranked list (the paper's *scan depth*).
+    pub scanned: usize,
+    /// Tuples whose exact top-k probability was computed.
+    pub evaluated: usize,
+    /// Tuples skipped by Theorem 3 (membership-probability pruning).
+    pub pruned_membership: usize,
+    /// Tuples skipped by Theorem 4 (same-rule pruning) or because their
+    /// whole rule was pruned by Theorem 3(2).
+    pub pruned_rule: usize,
+    /// Subset-probability DP cells computed (`k` per recomputed entry).
+    pub dp_cells: u64,
+    /// Compressed-dominant-set entries whose DP row was recomputed — the
+    /// cost of Eq. 5.
+    pub entries_recomputed: u64,
+    /// Why the scan stopped early, if it did.
+    pub stop: Option<StopReason>,
+}
+
+impl ExecStats {
+    /// Total tuples pruned without an exact evaluation.
+    pub fn pruned(&self) -> usize {
+        self.pruned_membership + self.pruned_rule
+    }
+
+    /// Whether the scan terminated before reading the whole ranked list.
+    pub fn stopped_early(&self) -> bool {
+        self.stop.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruned_sums_both_kinds() {
+        let s = ExecStats {
+            pruned_membership: 3,
+            pruned_rule: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.pruned(), 7);
+        assert!(!s.stopped_early());
+    }
+
+    #[test]
+    fn stop_reason_reports_early_stop() {
+        let s = ExecStats {
+            stop: Some(StopReason::TotalTopK),
+            ..Default::default()
+        };
+        assert!(s.stopped_early());
+    }
+}

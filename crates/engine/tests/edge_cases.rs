@@ -1,0 +1,144 @@
+//! Edge-case tests of the exact engine: degenerate rule layouts, certain
+//! tuples, k = 1, and adversarial structures the randomized oracle tests
+//! are unlikely to hit often.
+
+use ptk_core::RankedView;
+use ptk_engine::{evaluate_ptk, topk_probabilities, EngineOptions, Scanner, SharingVariant};
+use ptk_worlds::naive;
+
+fn assert_matches_oracle(view: &RankedView, k: usize) {
+    let oracle = naive::topk_probabilities(view, k).unwrap();
+    for variant in [
+        SharingVariant::Rc,
+        SharingVariant::Aggressive,
+        SharingVariant::Lazy,
+    ] {
+        let (pr, _) = topk_probabilities(view, k, variant);
+        for pos in 0..view.len() {
+            assert!(
+                (pr[pos] - oracle[pos]).abs() < 1e-10,
+                "{variant:?} pos {pos}: {} vs {}",
+                pr[pos],
+                oracle[pos]
+            );
+        }
+    }
+}
+
+#[test]
+fn single_rule_covering_the_whole_view() {
+    // Every tuple mutually exclusive: exactly one (or none) exists.
+    let probs = vec![0.2, 0.2, 0.2, 0.2, 0.19];
+    let groups = vec![vec![0, 1, 2, 3, 4]];
+    let view = RankedView::from_ranked_probs(&probs, &groups).unwrap();
+    assert_matches_oracle(&view, 1);
+    assert_matches_oracle(&view, 3);
+    // Pr^k(t) = Pr(t) for every member and any k >= 1: a tuple is alone in
+    // its world (plus nothing above it can coexist).
+    let (pr, _) = topk_probabilities(&view, 1, SharingVariant::Lazy);
+    for (pos, &p) in probs.iter().enumerate() {
+        assert!((pr[pos] - p).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn certain_rule_covering_the_whole_view() {
+    // Mass exactly 1: exactly one member exists, so Pr^1 = membership.
+    let probs = vec![0.5, 0.3, 0.2];
+    let view = RankedView::from_ranked_probs(&probs, &[vec![0, 1, 2]]).unwrap();
+    assert_matches_oracle(&view, 1);
+    assert_matches_oracle(&view, 2);
+}
+
+#[test]
+fn alternating_interleaved_rules() {
+    // Two rules whose members alternate: r0 at even, r1 at odd positions —
+    // maximal span, worst case for compression bookkeeping.
+    let probs = vec![0.3, 0.25, 0.3, 0.25, 0.3, 0.25];
+    let groups = vec![vec![0, 2, 4], vec![1, 3, 5]];
+    let view = RankedView::from_ranked_probs(&probs, &groups).unwrap();
+    assert_matches_oracle(&view, 1);
+    assert_matches_oracle(&view, 2);
+    assert_matches_oracle(&view, 4);
+}
+
+#[test]
+fn all_certain_tuples() {
+    let view = RankedView::from_ranked_probs(&[1.0; 6], &[]).unwrap();
+    let (pr, _) = topk_probabilities(&view, 3, SharingVariant::Lazy);
+    assert_eq!(&pr[..3], &[1.0, 1.0, 1.0]);
+    assert_eq!(&pr[3..], &[0.0, 0.0, 0.0]);
+    // Pruning stops immediately after the top 3 certain tuples pass.
+    let result = evaluate_ptk(&view, 3, 0.5, &EngineOptions::default());
+    assert_eq!(result.answers, vec![0, 1, 2]);
+    assert!(result.stats.stopped_early());
+    assert!(result.stats.scanned <= 4);
+}
+
+#[test]
+fn near_zero_probabilities_stay_stable() {
+    let probs = vec![1e-6, 1e-6, 0.999999, 1e-6];
+    let view = RankedView::from_ranked_probs(&probs, &[]).unwrap();
+    assert_matches_oracle(&view, 2);
+    let (pr, _) = topk_probabilities(&view, 2, SharingVariant::Lazy);
+    assert!(pr.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+}
+
+#[test]
+fn k_equals_one_is_first_success_probability() {
+    let probs = [0.4, 0.5, 0.6];
+    let view = RankedView::from_ranked_probs(&probs, &[]).unwrap();
+    let (pr, _) = topk_probabilities(&view, 1, SharingVariant::Lazy);
+    assert!((pr[0] - 0.4).abs() < 1e-12);
+    assert!((pr[1] - 0.5 * 0.6).abs() < 1e-12);
+    assert!((pr[2] - 0.6 * 0.6 * 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn scanner_skip_all_then_exhaust() {
+    let view = RankedView::from_ranked_probs(&[0.5, 0.5, 0.5], &[vec![0, 2]]).unwrap();
+    let mut s = Scanner::new(&view, 2, SharingVariant::Lazy);
+    assert_eq!(s.step_skip(), Some(0));
+    assert_eq!(s.step_skip(), Some(1));
+    assert_eq!(s.step_skip(), Some(2));
+    assert_eq!(s.step_skip(), None);
+    assert_eq!(s.entries_recomputed(), 0);
+    assert_eq!(s.dp_cells(), 0);
+}
+
+#[test]
+fn rule_member_first_and_last_in_view() {
+    // Rule spanning the entire ranked range, with independents inside.
+    let probs = vec![0.4, 0.9, 0.8, 0.7, 0.5];
+    let view = RankedView::from_ranked_probs(&probs, &[vec![0, 4]]).unwrap();
+    assert_matches_oracle(&view, 2);
+    assert_matches_oracle(&view, 3);
+    // The last tuple excludes the whole rule-tuple (its own rule).
+    let oracle = naive::topk_probabilities(&view, 2).unwrap();
+    let (pr, _) = topk_probabilities(&view, 2, SharingVariant::Lazy);
+    assert!((pr[4] - oracle[4]).abs() < 1e-12);
+}
+
+#[test]
+fn threshold_exactly_one_returns_only_certain_topk() {
+    // p = 1 demands certainty: only tuples that are in the top-k of every
+    // world qualify.
+    let view = RankedView::from_ranked_probs(&[1.0, 0.5, 1.0], &[]).unwrap();
+    let result = evaluate_ptk(&view, 2, 1.0, &EngineOptions::default());
+    // Position 0 is certain and always first. Position 2 (certain) is in
+    // the top-2 iff position 1 is absent (probability 0.5) — fails. Position
+    // 1 is present only half the time — fails.
+    assert_eq!(result.answers, vec![0]);
+}
+
+#[test]
+fn pruning_with_interval_larger_than_view() {
+    let view = RankedView::from_ranked_probs(&[0.9, 0.8, 0.7, 0.1], &[]).unwrap();
+    let options = EngineOptions {
+        ub_check_interval: 1_000_000,
+        ..Default::default()
+    };
+    let result = evaluate_ptk(&view, 2, 0.5, &options);
+    let oracle = naive::ptk_answer(&view, 2, 0.5).unwrap();
+    assert_eq!(result.answers, oracle);
+}

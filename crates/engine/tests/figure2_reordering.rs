@@ -1,0 +1,128 @@
+//! Reproduces Figure 2 / Example 5 of the paper: the exact compressed
+//! dominant sets produced by the aggressive and lazy reordering methods,
+//! and their Eq. 5 costs (15 for aggressive, 12 for lazy).
+
+use ptk_core::{RankedView, RuleHandle};
+use ptk_engine::{Entry, Scanner, SharingVariant};
+
+/// Figure 2's input: 11 tuples in ranking order with rules
+/// `R1: t1 ⊕ t2 ⊕ t8 ⊕ t11` and `R2: t4 ⊕ t5 ⊕ t10` (1-based in the paper;
+/// 0-based positions here). Membership probabilities are not specified in
+/// the figure — the orders and costs do not depend on them.
+fn figure2_view() -> RankedView {
+    let probs = vec![0.2; 11];
+    RankedView::from_ranked_probs(&probs, &[vec![0, 1, 7, 10], vec![3, 4, 9]]).unwrap()
+}
+
+/// Shorthand spec for an expected entry: independent tuple position, or
+/// (rule index, absorbed count).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Spec {
+    T(usize),
+    R(usize, u32),
+}
+
+fn matches(entry: &Entry, spec: Spec) -> bool {
+    match (entry, spec) {
+        (Entry::Tuple { pos, .. }, Spec::T(p)) => *pos == p,
+        (Entry::RuleTuple { rule, absorbed, .. }, Spec::R(r, c)) => {
+            *rule == RuleHandle::from_index(r) && *absorbed == c
+        }
+        _ => false,
+    }
+}
+
+fn trace(variant: SharingVariant) -> (Vec<Vec<Entry>>, u64) {
+    let view = figure2_view();
+    let mut scanner = Scanner::new(&view, 2, variant);
+    let mut lists = Vec::new();
+    while scanner.step().is_some() {
+        lists.push(scanner.entries().to_vec());
+    }
+    (lists, scanner.entries_recomputed())
+}
+
+fn assert_list(lists: &[Vec<Entry>], step: usize, expected: &[Spec]) {
+    let got = &lists[step];
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "step {} (t{}): got {:?}, expected {:?}",
+        step,
+        step + 1,
+        got,
+        expected
+    );
+    for (e, &s) in got.iter().zip(expected) {
+        assert!(
+            matches(e, s),
+            "step {} (t{}): got {:?}, expected {:?}",
+            step,
+            step + 1,
+            got,
+            expected
+        );
+    }
+}
+
+#[test]
+fn aggressive_lists_match_figure_2() {
+    let (lists, cost) = trace(SharingVariant::Aggressive);
+    use Spec::*;
+    assert_list(&lists, 0, &[]); // t1
+    assert_list(&lists, 1, &[]); // t2 (same rule as t1)
+    assert_list(&lists, 2, &[R(0, 2)]); // t3: t_{1,2}
+    assert_list(&lists, 3, &[T(2), R(0, 2)]); // t4: t3 t_{1,2}
+    assert_list(&lists, 4, &[T(2), R(0, 2)]); // t5
+    assert_list(&lists, 5, &[T(2), R(1, 2), R(0, 2)]); // t6: t3 t_{4,5} t_{1,2}
+    assert_list(&lists, 6, &[T(2), T(5), R(1, 2), R(0, 2)]); // t7
+    assert_list(&lists, 7, &[T(2), T(5), T(6), R(1, 2)]); // t8 (in R1)
+    assert_list(&lists, 8, &[T(2), T(5), T(6), R(0, 3), R(1, 2)]); // t9
+    assert_list(&lists, 9, &[T(2), T(5), T(6), T(8), R(0, 3)]); // t10 (in R2)
+    assert_list(&lists, 10, &[T(2), T(5), T(6), T(8), R(1, 3)]); // t11 (in R1)
+    assert_eq!(cost, 15, "the paper reports Cost_aggressive = 15");
+}
+
+#[test]
+fn lazy_lists_match_figure_2() {
+    let (lists, cost) = trace(SharingVariant::Lazy);
+    use Spec::*;
+    assert_list(&lists, 0, &[]); // t1
+    assert_list(&lists, 1, &[]); // t2
+    assert_list(&lists, 2, &[R(0, 2)]); // t3
+    assert_list(&lists, 3, &[R(0, 2), T(2)]); // t4: t_{1,2} t3 (prefix kept)
+    assert_list(&lists, 4, &[R(0, 2), T(2)]); // t5
+    assert_list(&lists, 5, &[R(0, 2), T(2), R(1, 2)]); // t6
+    assert_list(&lists, 6, &[R(0, 2), T(2), R(1, 2), T(5)]); // t7
+    assert_list(&lists, 7, &[T(2), T(5), T(6), R(1, 2)]); // t8 (prefix dies)
+    assert_list(&lists, 8, &[T(2), T(5), T(6), R(1, 2), R(0, 3)]); // t9
+    assert_list(&lists, 9, &[T(2), T(5), T(6), T(8), R(0, 3)]); // t10
+    assert_list(&lists, 10, &[T(2), T(5), T(6), T(8), R(1, 3)]); // t11
+    assert_eq!(cost, 12, "the paper reports Cost_lazy = 12");
+}
+
+#[test]
+fn lazy_never_costs_more_than_aggressive() {
+    // §4.3.2: "the lazy method is always better than the aggressive
+    // method". Check on Figure 2's input and on a few structured variants.
+    let (_, ar) = trace(SharingVariant::Aggressive);
+    let (_, lr) = trace(SharingVariant::Lazy);
+    assert!(lr <= ar);
+}
+
+#[test]
+fn rc_costs_most() {
+    let view = figure2_view();
+    let run = |variant| {
+        let mut s = Scanner::new(&view, 2, variant);
+        while s.step().is_some() {}
+        s.entries_recomputed()
+    };
+    let rc = run(SharingVariant::Rc);
+    let ar = run(SharingVariant::Aggressive);
+    let lr = run(SharingVariant::Lazy);
+    assert!(rc >= ar, "rc {rc} >= ar {ar}");
+    assert!(ar >= lr, "ar {ar} >= lr {lr}");
+    // RC recomputes every list in full: Σ |L(t_i)|.
+    assert_eq!(rc, 31); // Σ |L(t_i)| = 0+0+1+2+2+3+4+4+5+5+5
+}

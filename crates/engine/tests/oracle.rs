@@ -1,0 +1,155 @@
+//! Randomized oracle tests: the exact engine must agree with naive
+//! possible-world enumeration on small random tables, for every sharing
+//! variant, with and without pruning.
+#![allow(clippy::needless_range_loop)] // index-paired loops over parallel arrays
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ptk_core::RankedView;
+use ptk_engine::{
+    evaluate_ptk, position_probabilities, topk_probabilities, EngineOptions, SharingVariant,
+};
+use ptk_worlds::naive;
+
+/// Generates a random small ranked view: up to `max_n` tuples, random
+/// probabilities, random disjoint rules of size 2–4.
+fn random_view(rng: &mut StdRng, max_n: usize) -> RankedView {
+    let n = rng.random_range(1..=max_n);
+    let probs: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..=1.0f64)).collect();
+    // Partition a shuffled subset of positions into candidate rule groups.
+    let mut positions: Vec<usize> = (0..n).collect();
+    for i in (1..positions.len()).rev() {
+        let j = rng.random_range(0..=i);
+        positions.swap(i, j);
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut cursor = 0;
+    while cursor + 1 < positions.len() {
+        if rng.random_range(0.0..1.0f64) < 0.5 {
+            let size = rng.random_range(2..=4usize).min(positions.len() - cursor);
+            let group: Vec<usize> = positions[cursor..cursor + size].to_vec();
+            let mass: f64 = group.iter().map(|&p| probs[p]).sum();
+            if mass <= 1.0 {
+                groups.push(group);
+                cursor += size;
+                continue;
+            }
+        }
+        cursor += 1;
+    }
+    RankedView::from_ranked_probs(&probs, &groups).unwrap()
+}
+
+#[test]
+fn topk_probabilities_match_enumeration() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0001);
+    for trial in 0..60 {
+        let view = random_view(&mut rng, 10);
+        for k in [1, 2, 3, 5] {
+            let oracle = naive::topk_probabilities(&view, k).unwrap();
+            for variant in [
+                SharingVariant::Rc,
+                SharingVariant::Aggressive,
+                SharingVariant::Lazy,
+            ] {
+                let (pr, _) = topk_probabilities(&view, k, variant);
+                for i in 0..view.len() {
+                    assert!(
+                        (pr[i] - oracle[i]).abs() < 1e-10,
+                        "trial {trial} k={k} {variant:?} pos {i}: engine {} vs oracle {}",
+                        pr[i],
+                        oracle[i]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ptk_answers_match_enumeration_with_and_without_pruning() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0002);
+    for trial in 0..60 {
+        let view = random_view(&mut rng, 10);
+        let k = rng.random_range(1..=5usize);
+        let threshold = rng.random_range(0.05..=0.95f64);
+        let oracle = naive::ptk_answer(&view, k, threshold).unwrap();
+        for pruning in [false, true] {
+            for variant in [
+                SharingVariant::Rc,
+                SharingVariant::Aggressive,
+                SharingVariant::Lazy,
+            ] {
+                let options = EngineOptions {
+                    variant,
+                    pruning,
+                    ub_check_interval: 1, // stress the early-exit bound
+                };
+                let result = evaluate_ptk(&view, k, threshold, &options);
+                assert_eq!(
+                    result.answers, oracle,
+                    "trial {trial} k={k} p={threshold} {variant:?} pruning={pruning}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn position_probabilities_match_enumeration() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0003);
+    for trial in 0..40 {
+        let view = random_view(&mut rng, 9);
+        let k = rng.random_range(1..=4usize);
+        let oracle = naive::position_probabilities(&view, k).unwrap();
+        let engine = position_probabilities(&view, k, SharingVariant::Lazy);
+        for pos in 0..view.len() {
+            for j in 0..k {
+                assert!(
+                    (engine[pos][j] - oracle[pos][j]).abs() < 1e-10,
+                    "trial {trial} pos {pos} rank {j}: {} vs {}",
+                    engine[pos][j],
+                    oracle[pos][j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_bounds_hold_on_random_views() {
+    // Pr^k(t) <= Pr(t) (Theorem 3's premise) and Σ_t Pr^k(t) <= k.
+    let mut rng = StdRng::seed_from_u64(0x5eed_0004);
+    for _ in 0..40 {
+        let view = random_view(&mut rng, 12);
+        let k = rng.random_range(1..=6usize);
+        let (pr, _) = topk_probabilities(&view, k, SharingVariant::Lazy);
+        let mut total = 0.0;
+        for i in 0..view.len() {
+            assert!(pr[i] <= view.prob(i) + 1e-12);
+            assert!(pr[i] >= -1e-12);
+            total += pr[i];
+        }
+        assert!(total <= k as f64 + 1e-9, "total {total} > k {k}");
+    }
+}
+
+#[test]
+fn lazy_cost_never_exceeds_aggressive_on_random_views() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0005);
+    for trial in 0..40 {
+        let view = random_view(&mut rng, 14);
+        let k = rng.random_range(1..=5usize);
+        let cost = |variant| {
+            let mut s = ptk_engine::Scanner::new(&view, k, variant);
+            while s.step().is_some() {}
+            s.entries_recomputed()
+        };
+        let ar = cost(SharingVariant::Aggressive);
+        let lr = cost(SharingVariant::Lazy);
+        let rc = cost(SharingVariant::Rc);
+        assert!(lr <= ar, "trial {trial}: lazy {lr} > aggressive {ar}");
+        assert!(ar <= rc, "trial {trial}: aggressive {ar} > rc {rc}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Expected-rank semantics (Cormode, Li and Yi, ICDE 2009) as a third
+//! baseline next to U-TopK and U-KRanks.
+//!
+//! The *expected rank* of a tuple is the expectation, over possible worlds,
+//! of its rank — where a tuple absent from a world is ranked at the bottom,
+//! position `|W|` (0-based ranks). Under the x-relation model this has a
+//! closed form requiring no dynamic program at all:
+//!
+//! * if `t` (at ranked position `i`) appears, its rank is the number of
+//!   higher-ranked present tuples: `Σ_{j<i} Pr(t_j | t present)` — the
+//!   conditional drops `t`'s own rule-mates, which cannot co-occur;
+//! * if `t` is absent, its rank is `|W|` of the remaining table:
+//!   `Σ_{j≠i} Pr(t_j | t absent)` — rule-mates of `t` get the conditional
+//!   probability `Pr(t_j) / (1 − Pr(t))`.
+//!
+//! Both are plain sums, so the whole table is processed in `O(n)` after the
+//! ranked view is built. This module exists because any credible release of
+//! an uncertain-ranking library is expected to offer all three classic
+//! semantics; it also makes a useful contrast in the examples (expected
+//! ranks can disagree sharply with top-k probabilities).
+
+use ptk_core::RankedView;
+
+/// The expected rank of one tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpectedRankEntry {
+    /// The tuple's ranked position in the view.
+    pub position: usize,
+    /// Its expected rank (0-based; lower is better).
+    pub expected_rank: f64,
+}
+
+/// Computes the expected rank of every tuple, indexed by ranked position.
+pub fn expected_ranks(view: &RankedView) -> Vec<f64> {
+    let n = view.len();
+    // Total present mass and per-rule mass, for the conditional sums.
+    let total_mass: f64 = view.tuples().iter().map(|t| t.prob).sum();
+    // prefix_mass[i] = Σ_{j<i} Pr(t_j).
+    let mut prefix = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for (i, t) in view.tuples().iter().enumerate() {
+        let p = t.prob;
+        // Rule-mates of t: mass above i, and mass anywhere (excluding t).
+        let (mates_above, mates_total) = match t.rule {
+            None => (0.0, 0.0),
+            Some(h) => {
+                let rule = view.rule(h);
+                let above: f64 = rule
+                    .members
+                    .iter()
+                    .take_while(|&&m| m < i)
+                    .map(|&m| view.prob(m))
+                    .sum();
+                (above, rule.mass - p)
+            }
+        };
+        // Present: higher-ranked co-occurring mass (rule-mates excluded —
+        // they cannot appear with t).
+        let rank_if_present = prefix - mates_above;
+        // Absent: every other tuple with its conditional probability. For
+        // non-mates the conditional equals the marginal; each rule-mate u
+        // has Pr(u | t absent) = Pr(u) / (1 − Pr(t)).
+        let rank_if_absent = if p >= 1.0 {
+            0.0 // never absent; the term is weighted by zero anyway
+        } else {
+            (total_mass - p - mates_total) + mates_total / (1.0 - p)
+        };
+        out.push(p * rank_if_present + (1.0 - p) * rank_if_absent);
+        prefix += p;
+    }
+    out
+}
+
+/// The k tuples with the smallest expected rank, as
+/// [`ExpectedRankEntry`] values sorted by expected rank ascending (ties by
+/// ranked position).
+pub fn expected_rank_topk(view: &RankedView, k: usize) -> Vec<ExpectedRankEntry> {
+    let er = expected_ranks(view);
+    let mut entries: Vec<ExpectedRankEntry> = er
+        .iter()
+        .enumerate()
+        .map(|(position, &expected_rank)| ExpectedRankEntry {
+            position,
+            expected_rank,
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        a.expected_rank
+            .total_cmp(&b.expected_rank)
+            .then_with(|| a.position.cmp(&b.position))
+    });
+    entries.truncate(k);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panda() -> RankedView {
+        RankedView::from_ranked_probs(&[0.3, 0.4, 0.8, 0.5, 1.0, 0.2], &[vec![1, 3], vec![2, 5]])
+            .unwrap()
+    }
+
+    /// Oracle: expected rank by enumeration.
+    fn oracle(view: &RankedView) -> Vec<f64> {
+        let worlds = ptk_worlds::enumerate(view).unwrap();
+        let mut er = vec![0.0; view.len()];
+        for w in &worlds {
+            #[allow(clippy::needless_range_loop)] // pos indexes view and er together
+            for pos in 0..view.len() {
+                let rank = match w.members.iter().position(|&m| m == pos) {
+                    Some(r) => r,
+                    None => w.len(),
+                };
+                er[pos] += w.prob * rank as f64;
+            }
+        }
+        er
+    }
+
+    #[test]
+    fn matches_enumeration_on_panda() {
+        let view = panda();
+        let fast = expected_ranks(&view);
+        let slow = oracle(&view);
+        for (pos, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert!((a - b).abs() < 1e-12, "pos {pos}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_enumeration_on_random_views() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..40 {
+            let n = rng.random_range(1..=10usize);
+            let probs: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..=1.0f64)).collect();
+            let mut groups = Vec::new();
+            if n >= 3 && probs[0] + probs[2] <= 1.0 {
+                groups.push(vec![0, 2]);
+            }
+            let view = RankedView::from_ranked_probs(&probs, &groups).unwrap();
+            let fast = expected_ranks(&view);
+            let slow = oracle(&view);
+            for (pos, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((a - b).abs() < 1e-9, "trial {trial} pos {pos}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn certain_tuples_rank_by_preceding_mass() {
+        // All certain: expected rank is just the position.
+        let view = RankedView::from_ranked_probs(&[1.0, 1.0, 1.0], &[]).unwrap();
+        let er = expected_ranks(&view);
+        assert_eq!(er, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn topk_sorts_and_truncates() {
+        let view = panda();
+        let top = expected_rank_topk(&view, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].expected_rank <= top[1].expected_rank);
+        assert!(top[1].expected_rank <= top[2].expected_rank);
+        // R4 (certain, position 4) has a low expected rank despite its
+        // middling score — the classic expected-rank-vs-PT-k divergence.
+        assert!(top.iter().any(|e| e.position == 4));
+    }
+
+    #[test]
+    fn empty_view() {
+        let view = RankedView::from_ranked_probs(&[], &[]).unwrap();
+        assert!(expected_ranks(&view).is_empty());
+        assert!(expected_rank_topk(&view, 3).is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! # `ptk-rankers` — rank-sensitive uncertain top-k baselines
+//!
+//! The two query semantics of Soliman, Ilyas and Chang (ICDE'07) that the
+//! paper compares PT-k queries against in §6.1:
+//!
+//! * **U-TopK** ([`utopk`]) — the length-k vector of tuples with the highest
+//!   probability of being *exactly* the top-k list of a possible world.
+//!   Implemented as a best-first search over partial states (scan prefix +
+//!   chosen tuples), with per-rule conditional probability factors; the
+//!   state probability is an admissible upper bound on any completion, so
+//!   the first complete state popped is optimal.
+//! * **U-KRanks** ([`ukranks`]) — for each rank `i ∈ 1..=k`, the tuple with
+//!   the highest probability of being ranked exactly `i`-th. The position
+//!   probabilities `Pr(t, j) = Pr(t) · Pr(T(t), j−1)` (Eq. 3) fall straight
+//!   out of `ptk-engine`'s subset-probability scan.
+//!
+//! A third classic semantics, *expected ranks* (Cormode, Li and Yi, ICDE
+//! 2009), is provided as well ([`expected_ranks`]) — it post-dates the
+//! paper but belongs in any uncertain-ranking library and makes an
+//! instructive contrast in the examples.
+//!
+//! ```
+//! use ptk_core::RankedView;
+//! use ptk_rankers::{utopk, ukranks, UTopKOptions};
+//!
+//! // The paper's running example (Table 1), ranked by duration.
+//! let view = RankedView::from_ranked_probs(
+//!     &[0.3, 0.4, 0.8, 0.5, 1.0, 0.2],
+//!     &[vec![1, 3], vec![2, 5]],
+//! ).unwrap();
+//!
+//! // §1: U-TopK returns <R5, R3> (positions 2 and 3) with probability 0.28.
+//! let answer = utopk(&view, 2, &UTopKOptions::default()).unwrap();
+//! assert_eq!(answer.vector, vec![2, 3]);
+//! assert!((answer.probability - 0.28).abs() < 1e-12);
+//!
+//! // §1: U-KRanks returns R5 at both rank 1 and rank 2.
+//! let ranks = ukranks(&view, 2);
+//! assert_eq!(ranks[0].position, 2);
+//! assert_eq!(ranks[1].position, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod expected;
+mod ukranks;
+mod utopk;
+
+pub use expected::{expected_rank_topk, expected_ranks, ExpectedRankEntry};
+pub use ukranks::{ukranks, UkRanksEntry};
+pub use utopk::{utopk, SearchExhausted, UTopKAnswer, UTopKOptions};

@@ -1,0 +1,85 @@
+//! U-KRanks: the most probable tuple at each rank.
+
+use ptk_core::RankedView;
+use ptk_engine::{position_probabilities, SharingVariant};
+
+/// One rank of a U-KRanks answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UkRanksEntry {
+    /// The rank, 1-based (`1..=k`).
+    pub rank: usize,
+    /// The ranked position of the winning tuple.
+    pub position: usize,
+    /// `Pr(t ranked exactly `rank`)` for that tuple.
+    pub probability: f64,
+}
+
+/// Answers a U-KRanks query: for each rank `i ∈ 1..=k`, the tuple with the
+/// highest probability of being ranked exactly `i`-th across possible
+/// worlds. Ties are broken toward the higher-ranked (smaller) position.
+///
+/// Note that, as the paper's §6.1 discussion highlights, the same tuple may
+/// win several ranks (R9 and R11 each occupy two positions in Table 5).
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn ukranks(view: &RankedView, k: usize) -> Vec<UkRanksEntry> {
+    let pr = position_probabilities(view, k, SharingVariant::Lazy);
+    (0..k)
+        .map(|j| {
+            let mut best_pos = 0;
+            let mut best_prob = f64::NEG_INFINITY;
+            #[allow(clippy::needless_range_loop)] // position doubles as the answer value
+            for pos in 0..view.len() {
+                if pr[pos][j] > best_prob + 1e-15 {
+                    best_pos = pos;
+                    best_prob = pr[pos][j];
+                }
+            }
+            UkRanksEntry {
+                rank: j + 1,
+                position: best_pos,
+                probability: best_prob.max(0.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panda() -> RankedView {
+        RankedView::from_ranked_probs(&[0.3, 0.4, 0.8, 0.5, 1.0, 0.2], &[vec![1, 3], vec![2, 5]])
+            .unwrap()
+    }
+
+    #[test]
+    fn panda_matches_section_1() {
+        let ranks = ukranks(&panda(), 2);
+        assert_eq!(ranks[0].rank, 1);
+        assert_eq!(ranks[0].position, 2); // R5
+        assert_eq!(ranks[1].position, 2); // R5 again
+        assert!((ranks[0].probability - 0.336).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_chain() {
+        // Tuples 0.9, 0.9: rank 1 goes to position 0 (0.9), rank 2 to
+        // position 1 (0.9*0.9 = 0.81).
+        let view = RankedView::from_ranked_probs(&[0.9, 0.9], &[]).unwrap();
+        let ranks = ukranks(&view, 2);
+        assert_eq!(ranks[0].position, 0);
+        assert!((ranks[0].probability - 0.9).abs() < 1e-12);
+        assert_eq!(ranks[1].position, 1);
+        assert!((ranks[1].probability - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_view_reports_zero() {
+        let view = RankedView::from_ranked_probs(&[], &[]).unwrap();
+        let ranks = ukranks(&view, 3);
+        assert_eq!(ranks.len(), 3);
+        assert!(ranks.iter().all(|r| r.probability == 0.0));
+    }
+}

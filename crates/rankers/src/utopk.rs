@@ -1,0 +1,351 @@
+//! U-TopK: the most probable top-k vector, by best-first state search.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ptk_core::RankedView;
+
+/// Options for the U-TopK search.
+#[derive(Debug, Clone, Copy)]
+pub struct UTopKOptions {
+    /// Hard cap on states popped from the frontier; exceeding it aborts with
+    /// [`SearchExhausted`]. The search is exponential in the worst case
+    /// (this is inherent to the query semantics — see the paper's Challenge
+    /// 2 discussion), though it behaves well on realistic inputs.
+    pub max_states: u64,
+}
+
+impl Default for UTopKOptions {
+    fn default() -> Self {
+        UTopKOptions {
+            max_states: 20_000_000,
+        }
+    }
+}
+
+/// The search gave up after popping `max_states` states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchExhausted {
+    /// The configured cap that was hit.
+    pub max_states: u64,
+}
+
+impl std::fmt::Display for SearchExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "U-TopK search exceeded {} states", self.max_states)
+    }
+}
+
+impl std::error::Error for SearchExhausted {}
+
+/// A U-TopK answer: the most probable top-k vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UTopKAnswer {
+    /// Ranked positions of the vector, in ranking order. Shorter than `k`
+    /// only when no possible world holds `k` tuples.
+    pub vector: Vec<usize>,
+    /// The probability that this vector is exactly the top-k list.
+    pub probability: f64,
+    /// States popped from the frontier (search effort).
+    pub states_explored: u64,
+}
+
+/// A partial state of the best-first search: the scan has consumed positions
+/// `0..depth`, the tuples in `chosen` are present, every other consumed
+/// tuple is absent. `prob` is the exact probability of that event, which is
+/// an upper bound on the probability of any completed vector extending the
+/// state (future factors are at most 1).
+#[derive(Debug, Clone)]
+struct State {
+    depth: usize,
+    prob: f64,
+    chosen: Vec<usize>,
+    /// Rules (by dense index) that already contributed a chosen member.
+    rules_chosen: Vec<u32>,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Highest probability pops first; among equals, the
+        // lexicographically smaller vector pops first (deterministic
+        // tie-breaking, matching the enumeration oracle).
+        self.prob
+            .total_cmp(&other.prob)
+            .then_with(|| other.chosen.cmp(&self.chosen))
+            .then_with(|| other.depth.cmp(&self.depth))
+    }
+}
+
+/// Answers a U-TopK query on a ranked view: the length-`k` vector of tuples
+/// with the highest probability of being exactly the top-k list of a
+/// possible world (Soliman et al., ICDE'07).
+///
+/// # Errors
+/// Returns [`SearchExhausted`] if the frontier exceeds
+/// [`UTopKOptions::max_states`].
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn utopk(
+    view: &RankedView,
+    k: usize,
+    options: &UTopKOptions,
+) -> Result<UTopKAnswer, SearchExhausted> {
+    assert!(k > 0, "top-k queries require k >= 1");
+    let n = view.len();
+
+    // Per-position: the mass of same-rule members ranked strictly above.
+    let mut mass_before = vec![0.0f64; n];
+    for rule in view.rules() {
+        let mut acc = 0.0;
+        for &m in &rule.members {
+            mass_before[m] = acc;
+            acc += view.prob(m);
+        }
+    }
+
+    // Seed a lower bound with the greedy completion (include every tuple
+    // the rules allow until the vector is full). Any state whose upper
+    // bound falls below a known complete vector's probability can never be
+    // optimal, so it is not even pushed — this keeps the frontier small on
+    // high-probability inputs.
+    let lower_bound = {
+        let mut prob = 1.0f64;
+        let mut chosen = 0usize;
+        let mut taken: Vec<u32> = Vec::new();
+        #[allow(clippy::needless_range_loop)] // pos indexes both view and mass_before
+        for pos in 0..n {
+            if chosen == k {
+                break;
+            }
+            let p = view.prob(pos);
+            match view.rule_at(pos) {
+                None => {
+                    prob *= p;
+                    chosen += 1;
+                }
+                Some(h) => {
+                    let idx = h.index() as u32;
+                    if taken.contains(&idx) {
+                        continue; // forced exclusion, factor 1
+                    }
+                    let remaining = 1.0 - mass_before[pos];
+                    if remaining > 1e-12 {
+                        prob *= (p / remaining).min(1.0);
+                        chosen += 1;
+                        taken.push(idx);
+                    }
+                    // remaining ~ 0: the tuple cannot exist; skip (factor 1).
+                }
+            }
+            if prob == 0.0 {
+                break;
+            }
+        }
+        prob
+    };
+
+    let push_state = |heap: &mut BinaryHeap<State>, s: State| {
+        if s.prob >= lower_bound {
+            heap.push(s);
+        }
+    };
+    let mut heap = BinaryHeap::new();
+    heap.push(State {
+        depth: 0,
+        prob: 1.0,
+        chosen: Vec::new(),
+        rules_chosen: Vec::new(),
+    });
+    let mut popped: u64 = 0;
+
+    while let Some(state) = heap.pop() {
+        popped += 1;
+        if popped > options.max_states {
+            return Err(SearchExhausted {
+                max_states: options.max_states,
+            });
+        }
+        if state.chosen.len() == k || state.depth == n {
+            return Ok(UTopKAnswer {
+                vector: state.chosen,
+                probability: state.prob,
+                states_explored: popped,
+            });
+        }
+        let pos = state.depth;
+        let p = view.prob(pos);
+        match view.rule_at(pos) {
+            None => {
+                // Include.
+                if p > 0.0 {
+                    let mut chosen = state.chosen.clone();
+                    chosen.push(pos);
+                    push_state(
+                        &mut heap,
+                        State {
+                            depth: pos + 1,
+                            prob: state.prob * p,
+                            chosen,
+                            rules_chosen: state.rules_chosen.clone(),
+                        },
+                    );
+                }
+                // Exclude.
+                if p < 1.0 {
+                    push_state(
+                        &mut heap,
+                        State {
+                            depth: pos + 1,
+                            prob: state.prob * (1.0 - p),
+                            chosen: state.chosen,
+                            rules_chosen: state.rules_chosen,
+                        },
+                    );
+                }
+            }
+            Some(h) => {
+                let idx = h.index() as u32;
+                let taken = state.rules_chosen.contains(&idx);
+                if taken {
+                    // Another member of the rule is already in the vector:
+                    // this tuple is absent with conditional probability 1.
+                    push_state(
+                        &mut heap,
+                        State {
+                            depth: pos + 1,
+                            prob: state.prob,
+                            chosen: state.chosen,
+                            rules_chosen: state.rules_chosen,
+                        },
+                    );
+                } else {
+                    // No member chosen yet: condition on "no member of the
+                    // rule ranked above this one appeared".
+                    let remaining = 1.0 - mass_before[pos];
+                    debug_assert!(remaining > -1e-12);
+                    let include = if remaining > 1e-12 {
+                        p / remaining
+                    } else {
+                        0.0
+                    };
+                    if include > 0.0 {
+                        let mut chosen = state.chosen.clone();
+                        chosen.push(pos);
+                        let mut rules_chosen = state.rules_chosen.clone();
+                        rules_chosen.push(idx);
+                        push_state(
+                            &mut heap,
+                            State {
+                                depth: pos + 1,
+                                prob: state.prob * include.min(1.0),
+                                chosen,
+                                rules_chosen,
+                            },
+                        );
+                    }
+                    let exclude = if remaining > 1e-12 {
+                        ((remaining - p) / remaining).max(0.0)
+                    } else {
+                        1.0
+                    };
+                    if exclude > 0.0 {
+                        push_state(
+                            &mut heap,
+                            State {
+                                depth: pos + 1,
+                                prob: state.prob * exclude,
+                                chosen: state.chosen,
+                                rules_chosen: state.rules_chosen,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Heap drained without a complete state: only possible on an empty view
+    // (the initial state is complete there) or if every branch had
+    // probability zero — return the empty vector.
+    Ok(UTopKAnswer {
+        vector: Vec::new(),
+        probability: 0.0,
+        states_explored: popped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panda() -> RankedView {
+        RankedView::from_ranked_probs(&[0.3, 0.4, 0.8, 0.5, 1.0, 0.2], &[vec![1, 3], vec![2, 5]])
+            .unwrap()
+    }
+
+    #[test]
+    fn panda_matches_section_1() {
+        let answer = utopk(&panda(), 2, &UTopKOptions::default()).unwrap();
+        assert_eq!(answer.vector, vec![2, 3]); // <R5, R3>
+        assert!((answer.probability - 0.28).abs() < 1e-12);
+        assert!(answer.states_explored > 0);
+    }
+
+    #[test]
+    fn certain_prefix_wins() {
+        let view = RankedView::from_ranked_probs(&[1.0, 1.0, 0.5], &[]).unwrap();
+        let answer = utopk(&view, 2, &UTopKOptions::default()).unwrap();
+        assert_eq!(answer.vector, vec![0, 1]);
+        assert!((answer.probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_vector_when_worlds_are_small() {
+        // One uncertain tuple, k=3: the most probable top-3 "vector" is
+        // either [0] (p=0.7) or [] (p=0.3).
+        let view = RankedView::from_ranked_probs(&[0.7], &[]).unwrap();
+        let answer = utopk(&view, 3, &UTopKOptions::default()).unwrap();
+        assert_eq!(answer.vector, vec![0]);
+        assert!((answer.probability - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_view() {
+        let view = RankedView::from_ranked_probs(&[], &[]).unwrap();
+        let answer = utopk(&view, 2, &UTopKOptions::default()).unwrap();
+        assert!(answer.vector.is_empty());
+        assert!((answer.probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_cap_aborts() {
+        let probs = vec![0.5; 40];
+        let view = RankedView::from_ranked_probs(&probs, &[]).unwrap();
+        let err = utopk(&view, 10, &UTopKOptions { max_states: 5 }).unwrap_err();
+        assert_eq!(err.max_states, 5);
+        assert!(err.to_string().contains("5 states"));
+    }
+
+    #[test]
+    fn rule_members_never_pair_in_vector() {
+        let view = RankedView::from_ranked_probs(&[0.45, 0.45, 0.3, 0.3], &[vec![0, 1]]).unwrap();
+        let answer = utopk(&view, 2, &UTopKOptions::default()).unwrap();
+        let both = answer.vector.contains(&0) && answer.vector.contains(&1);
+        assert!(
+            !both,
+            "exclusive tuples both in vector: {:?}",
+            answer.vector
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Randomized oracle tests: U-TopK and U-KRanks must agree with naive
+//! possible-world enumeration on small random tables.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ptk_core::RankedView;
+use ptk_rankers::{ukranks, utopk, UTopKOptions};
+use ptk_worlds::naive;
+
+fn random_view(rng: &mut StdRng, max_n: usize) -> RankedView {
+    let n = rng.random_range(1..=max_n);
+    let probs: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..=1.0f64)).collect();
+    let mut positions: Vec<usize> = (0..n).collect();
+    for i in (1..positions.len()).rev() {
+        let j = rng.random_range(0..=i);
+        positions.swap(i, j);
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut cursor = 0;
+    while cursor + 1 < positions.len() {
+        if rng.random_range(0.0..1.0f64) < 0.5 {
+            let size = rng.random_range(2..=4usize).min(positions.len() - cursor);
+            let group: Vec<usize> = positions[cursor..cursor + size].to_vec();
+            let mass: f64 = group.iter().map(|&p| probs[p]).sum();
+            if mass <= 1.0 {
+                groups.push(group);
+                cursor += size;
+                continue;
+            }
+        }
+        cursor += 1;
+    }
+    RankedView::from_ranked_probs(&probs, &groups).unwrap()
+}
+
+#[test]
+fn utopk_matches_enumeration() {
+    let mut rng = StdRng::seed_from_u64(0xabc1);
+    for trial in 0..80 {
+        let view = random_view(&mut rng, 10);
+        let k = rng.random_range(1..=4usize);
+        let (oracle_vec, oracle_prob) = naive::utopk(&view, k).unwrap();
+        let answer = utopk(&view, k, &UTopKOptions::default()).unwrap();
+        // Probabilities must match exactly (ties may pick a different but
+        // equally probable vector).
+        assert!(
+            (answer.probability - oracle_prob).abs() < 1e-10,
+            "trial {trial} k={k}: engine {} vs oracle {} ({:?} vs {:?})",
+            answer.probability,
+            oracle_prob,
+            answer.vector,
+            oracle_vec
+        );
+        // And the engine's vector must really have the probability it
+        // claims, per enumeration.
+        let direct: f64 = ptk_worlds::enumerate(&view)
+            .unwrap()
+            .iter()
+            .filter(|w| w.top_k(k) == answer.vector.as_slice())
+            .map(|w| w.prob)
+            .sum();
+        assert!(
+            (direct - answer.probability).abs() < 1e-10,
+            "trial {trial}: claimed {} but enumeration gives {direct}",
+            answer.probability
+        );
+    }
+}
+
+#[test]
+fn ukranks_matches_enumeration() {
+    let mut rng = StdRng::seed_from_u64(0xabc2);
+    for trial in 0..80 {
+        let view = random_view(&mut rng, 10);
+        let k = rng.random_range(1..=4usize);
+        let oracle = naive::ukranks(&view, k).unwrap();
+        let answer = ukranks(&view, k);
+        assert_eq!(answer.len(), k);
+        for j in 0..k {
+            assert!(
+                (answer[j].probability - oracle[j].1).abs() < 1e-10,
+                "trial {trial} rank {j}: {} vs {}",
+                answer[j].probability,
+                oracle[j].1
+            );
+            assert_eq!(
+                answer[j].position, oracle[j].0,
+                "trial {trial} rank {j} winner mismatch"
+            );
+            assert_eq!(answer[j].rank, j + 1);
+        }
+    }
+}

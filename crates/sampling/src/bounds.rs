@@ -1,0 +1,55 @@
+//! Sample-size bounds (Theorem 6 of the paper).
+
+/// The Chernoff–Hoeffding sample size of Theorem 6: with at least
+/// `3·ln(2/δ) / ε²` sample units, every tuple's estimated top-k probability
+/// is within relative error `ε` of the truth with probability at least
+/// `1 − δ`.
+///
+/// # Panics
+/// Panics unless `0 < δ < 1` and `ε > 0`.
+pub fn chernoff_sample_size(epsilon: f64, delta: f64) -> u64 {
+    assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0, 1), got {delta}"
+    );
+    let bound = 3.0 * (2.0 / delta).ln() / (epsilon * epsilon);
+    bound.ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_formula() {
+        // 3 ln(2/0.05) / 0.1^2 = 300 ln 40 ≈ 1106.6.
+        let n = chernoff_sample_size(0.1, 0.05);
+        assert_eq!(n, (300.0 * 40.0f64.ln()).ceil() as u64);
+        assert!((1106..=1107).contains(&n));
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_quadratically_more() {
+        let loose = chernoff_sample_size(0.2, 0.05);
+        let tight = chernoff_sample_size(0.1, 0.05);
+        assert!(tight >= 4 * loose - 4);
+    }
+
+    #[test]
+    fn smaller_delta_needs_more() {
+        assert!(chernoff_sample_size(0.1, 0.01) > chernoff_sample_size(0.1, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_zero_epsilon() {
+        chernoff_sample_size(0.0, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn rejects_bad_delta() {
+        chernoff_sample_size(0.1, 1.0);
+    }
+}

@@ -1,0 +1,508 @@
+//! Sampling runs: stopping criteria and estimate aggregation.
+
+use ptk_core::RankedView;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::bounds::chernoff_sample_size;
+use crate::sampler::WorldSampler;
+
+/// When to stop drawing sample units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopCriterion {
+    /// Draw exactly this many units.
+    FixedUnits(u64),
+    /// Draw the Chernoff–Hoeffding bound of Theorem 6 for the given relative
+    /// error `epsilon` and failure probability `delta`.
+    Chernoff {
+        /// Relative error bound `ε`.
+        epsilon: f64,
+        /// Failure probability `δ`.
+        delta: f64,
+    },
+    /// Progressive sampling (improvement 2 of §5): stop once no tuple's
+    /// estimate changed by more than `phi` over the last `d` units. A hard
+    /// cap `max_units` bounds the worst case.
+    Progressive {
+        /// Window length `d` in sample units.
+        d: u64,
+        /// Stability tolerance `φ` on each estimate.
+        phi: f64,
+        /// Hard cap on the number of units.
+        max_units: u64,
+    },
+}
+
+/// Configuration for a sampling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingOptions {
+    /// Stopping criterion.
+    pub stop: StopCriterion,
+    /// RNG seed — runs are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for SamplingOptions {
+    fn default() -> Self {
+        SamplingOptions {
+            stop: StopCriterion::Progressive {
+                d: 500,
+                phi: 0.001,
+                max_units: 200_000,
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of a sampling run.
+#[derive(Debug, Clone)]
+pub struct SampleEstimate {
+    /// `probabilities[pos]` estimates `Pr^k` of the tuple at ranked
+    /// position `pos` (the sample mean of its top-k indicator).
+    pub probabilities: Vec<f64>,
+    /// Units actually drawn.
+    pub units: u64,
+    /// Average ranked positions scanned per unit (the paper's *sample
+    /// length*, Figure 4).
+    pub average_sample_length: f64,
+}
+
+impl SampleEstimate {
+    /// The positions whose estimated top-k probability reaches `threshold`,
+    /// in ranking order.
+    pub fn answers(&self, threshold: f64) -> Vec<usize> {
+        (0..self.probabilities.len())
+            .filter(|&pos| self.probabilities[pos] >= threshold)
+            .collect()
+    }
+}
+
+/// Estimates the top-k probability of every tuple by sampling.
+pub fn sample_topk(view: &RankedView, k: usize, options: &SamplingOptions) -> SampleEstimate {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut sampler = WorldSampler::new(view, k);
+    let mut counts = vec![0u64; view.len()];
+    let mut unit = Vec::with_capacity(k);
+
+    let budget = match options.stop {
+        StopCriterion::FixedUnits(n) => n,
+        StopCriterion::Chernoff { epsilon, delta } => chernoff_sample_size(epsilon, delta),
+        StopCriterion::Progressive { max_units, .. } => max_units,
+    };
+    let progressive = match options.stop {
+        StopCriterion::Progressive { d, phi, .. } => Some((d.max(1), phi)),
+        _ => None,
+    };
+    // Progressive state: estimates snapshotted `d` units ago.
+    let mut snapshot: Vec<f64> = Vec::new();
+    let mut snapshot_at: u64 = 0;
+
+    let mut drawn: u64 = 0;
+    while drawn < budget {
+        sampler.draw_unit(&mut rng, &mut unit);
+        drawn += 1;
+        for &pos in &unit {
+            counts[pos] += 1;
+        }
+        if let Some((d, phi)) = progressive {
+            if drawn == snapshot_at + d {
+                let current: Vec<f64> = counts.iter().map(|&c| c as f64 / drawn as f64).collect();
+                if !snapshot.is_empty() {
+                    let stable = current
+                        .iter()
+                        .zip(snapshot.iter())
+                        .all(|(a, b)| (a - b).abs() <= phi);
+                    if stable {
+                        break;
+                    }
+                }
+                snapshot = current;
+                snapshot_at = drawn;
+            }
+        }
+    }
+
+    SampleEstimate {
+        probabilities: counts
+            .iter()
+            .map(|&c| c as f64 / drawn.max(1) as f64)
+            .collect(),
+        units: drawn,
+        average_sample_length: sampler.average_sample_length(),
+    }
+}
+
+/// Estimates the top-k probability of every tuple by **antithetic**
+/// sampling: units are drawn in pairs, the second unit of each pair reusing
+/// the complements `1 − u` of the first unit's uniform variates.
+///
+/// Each variate is still marginally `U(0, 1)`, so the estimator stays
+/// unbiased; within a pair the top-k indicators are negatively correlated,
+/// which reduces the estimator's variance (strongly so for tuples whose
+/// inclusion is driven by a single variate). When the second unit consumes
+/// more variates than the first recorded (units stop early at `k`
+/// inclusions, so lengths differ), the excess variates are drawn fresh.
+///
+/// Only fixed-unit and Chernoff stopping make sense pair-wise, so a
+/// [`StopCriterion::Progressive`] criterion is treated as its `max_units`
+/// cap.
+pub fn sample_topk_antithetic(
+    view: &RankedView,
+    k: usize,
+    options: &SamplingOptions,
+) -> SampleEstimate {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut sampler = WorldSampler::new(view, k);
+    let mut counts = vec![0u64; view.len()];
+    let mut unit = Vec::with_capacity(k);
+    let budget = match options.stop {
+        StopCriterion::FixedUnits(n) => n,
+        StopCriterion::Chernoff { epsilon, delta } => chernoff_sample_size(epsilon, delta),
+        StopCriterion::Progressive { max_units, .. } => max_units,
+    };
+    let mut recorded: Vec<f64> = Vec::new();
+    let mut drawn: u64 = 0;
+    while drawn < budget {
+        if drawn.is_multiple_of(2) {
+            recorded.clear();
+            sampler.draw_unit_from(
+                || {
+                    let u: f64 = rng.random();
+                    recorded.push(u);
+                    u
+                },
+                &mut unit,
+            );
+        } else {
+            let mut next = 0usize;
+            sampler.draw_unit_from(
+                || {
+                    let u = if next < recorded.len() {
+                        1.0 - recorded[next]
+                    } else {
+                        rng.random()
+                    };
+                    next += 1;
+                    u
+                },
+                &mut unit,
+            );
+        }
+        drawn += 1;
+        for &pos in &unit {
+            counts[pos] += 1;
+        }
+    }
+    SampleEstimate {
+        probabilities: counts
+            .iter()
+            .map(|&c| c as f64 / drawn.max(1) as f64)
+            .collect(),
+        units: drawn,
+        average_sample_length: sampler.average_sample_length(),
+    }
+}
+
+/// Estimates the top-k probability of every tuple by sampling across
+/// `threads` OS threads, each drawing an equal share of the unit budget
+/// from its own RNG stream (derived deterministically from
+/// [`SamplingOptions::seed`]). The merged estimate is unbiased and
+/// deterministic for a fixed `(seed, threads)` pair; different thread
+/// counts legitimately produce different (equally valid) estimates.
+///
+/// Progressive stopping needs a global view of the estimates, so a
+/// [`StopCriterion::Progressive`] criterion is treated as its `max_units`
+/// cap, as in [`sample_topk_antithetic`].
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn sample_topk_parallel(
+    view: &RankedView,
+    k: usize,
+    options: &SamplingOptions,
+    threads: usize,
+) -> SampleEstimate {
+    assert!(threads > 0, "at least one thread is required");
+    let budget = match options.stop {
+        StopCriterion::FixedUnits(n) => n,
+        StopCriterion::Chernoff { epsilon, delta } => chernoff_sample_size(epsilon, delta),
+        StopCriterion::Progressive { max_units, .. } => max_units,
+    };
+    let per_thread = budget / threads as u64;
+    let remainder = budget % threads as u64;
+
+    let results: Vec<(Vec<u64>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let quota = per_thread + u64::from((t as u64) < remainder);
+                scope.spawn(move || {
+                    // Distinct, deterministic stream per thread.
+                    let mut rng = StdRng::seed_from_u64(
+                        options.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
+                    );
+                    let mut sampler = WorldSampler::new(view, k);
+                    let mut counts = vec![0u64; view.len()];
+                    let mut unit = Vec::with_capacity(k);
+                    let mut scanned = 0u64;
+                    for _ in 0..quota {
+                        scanned += sampler.draw_unit(&mut rng, &mut unit) as u64;
+                        for &pos in &unit {
+                            counts[pos] += 1;
+                        }
+                    }
+                    (counts, quota, scanned)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sampler threads do not panic"))
+            .collect()
+    });
+
+    let mut counts = vec![0u64; view.len()];
+    let mut drawn = 0u64;
+    let mut scanned = 0u64;
+    for (c, units, s) in results {
+        for (total, x) in counts.iter_mut().zip(c) {
+            *total += x;
+        }
+        drawn += units;
+        scanned += s;
+    }
+    SampleEstimate {
+        probabilities: counts
+            .iter()
+            .map(|&c| c as f64 / drawn.max(1) as f64)
+            .collect(),
+        units: drawn,
+        average_sample_length: if drawn == 0 {
+            0.0
+        } else {
+            scanned as f64 / drawn as f64
+        },
+    }
+}
+
+/// Answers a PT-k query approximately by sampling: the tuples whose
+/// *estimated* top-k probability reaches `threshold`.
+pub fn sample_ptk(
+    view: &RankedView,
+    k: usize,
+    threshold: f64,
+    options: &SamplingOptions,
+) -> (Vec<usize>, SampleEstimate) {
+    let estimate = sample_topk(view, k, options);
+    (estimate.answers(threshold), estimate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panda() -> RankedView {
+        RankedView::from_ranked_probs(&[0.3, 0.4, 0.8, 0.5, 1.0, 0.2], &[vec![1, 3], vec![2, 5]])
+            .unwrap()
+    }
+
+    #[test]
+    fn fixed_units_estimates_match_table_3() {
+        let estimate = sample_topk(
+            &panda(),
+            2,
+            &SamplingOptions {
+                stop: StopCriterion::FixedUnits(50_000),
+                seed: 11,
+            },
+        );
+        let exact = [0.3, 0.4, 0.704, 0.38, 0.202, 0.014];
+        for (pos, e) in exact.iter().enumerate() {
+            assert!(
+                (estimate.probabilities[pos] - e).abs() < 0.01,
+                "pos {pos}: {} vs {e}",
+                estimate.probabilities[pos]
+            );
+        }
+        assert_eq!(estimate.units, 50_000);
+    }
+
+    #[test]
+    fn ptk_answers_recovered() {
+        let (answers, _) = sample_ptk(
+            &panda(),
+            2,
+            0.35,
+            &SamplingOptions {
+                stop: StopCriterion::FixedUnits(30_000),
+                seed: 5,
+            },
+        );
+        assert_eq!(answers, vec![1, 2, 3]); // Example 1's answer set
+    }
+
+    #[test]
+    fn chernoff_stop_draws_the_bound() {
+        let options = SamplingOptions {
+            stop: StopCriterion::Chernoff {
+                epsilon: 0.2,
+                delta: 0.1,
+            },
+            seed: 1,
+        };
+        let estimate = sample_topk(&panda(), 2, &options);
+        assert_eq!(estimate.units, chernoff_sample_size(0.2, 0.1));
+    }
+
+    #[test]
+    fn progressive_stops_before_cap_on_stable_input() {
+        // A certain tuple first: estimates stabilize almost immediately.
+        let view = RankedView::from_ranked_probs(&[1.0, 1.0, 1.0], &[]).unwrap();
+        let options = SamplingOptions {
+            stop: StopCriterion::Progressive {
+                d: 100,
+                phi: 0.01,
+                max_units: 100_000,
+            },
+            seed: 2,
+        };
+        let estimate = sample_topk(&view, 2, &options);
+        assert!(estimate.units < 100_000, "drew {}", estimate.units);
+        assert_eq!(estimate.probabilities[0], 1.0);
+        assert_eq!(estimate.probabilities[2], 0.0);
+    }
+
+    #[test]
+    fn progressive_respects_hard_cap() {
+        let options = SamplingOptions {
+            stop: StopCriterion::Progressive {
+                d: 10,
+                phi: 0.0,
+                max_units: 57,
+            },
+            seed: 3,
+        };
+        let estimate = sample_topk(&panda(), 2, &options);
+        assert!(estimate.units <= 57);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let options = SamplingOptions {
+            stop: StopCriterion::FixedUnits(500),
+            seed: 99,
+        };
+        let a = sample_topk(&panda(), 2, &options);
+        let b = sample_topk(&panda(), 2, &options);
+        assert_eq!(a.probabilities, b.probabilities);
+        assert_eq!(a.average_sample_length, b.average_sample_length);
+    }
+
+    #[test]
+    fn parallel_is_unbiased_and_deterministic() {
+        let options = SamplingOptions {
+            stop: StopCriterion::FixedUnits(40_000),
+            seed: 31,
+        };
+        let a = sample_topk_parallel(&panda(), 2, &options, 4);
+        let b = sample_topk_parallel(&panda(), 2, &options, 4);
+        assert_eq!(a.probabilities, b.probabilities);
+        assert_eq!(a.units, 40_000);
+        let exact = [0.3, 0.4, 0.704, 0.38, 0.202, 0.014];
+        for (pos, e) in exact.iter().enumerate() {
+            assert!(
+                (a.probabilities[pos] - e).abs() < 0.01,
+                "pos {pos}: {} vs {e}",
+                a.probabilities[pos]
+            );
+        }
+        // Uneven splits cover the remainder path.
+        let c = sample_topk_parallel(
+            &panda(),
+            2,
+            &SamplingOptions {
+                stop: StopCriterion::FixedUnits(101),
+                seed: 31,
+            },
+            3,
+        );
+        assert_eq!(c.units, 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn parallel_rejects_zero_threads() {
+        let _ = sample_topk_parallel(&panda(), 2, &SamplingOptions::default(), 0);
+    }
+
+    #[test]
+    fn antithetic_is_unbiased() {
+        let estimate = sample_topk_antithetic(
+            &panda(),
+            2,
+            &SamplingOptions {
+                stop: StopCriterion::FixedUnits(50_000),
+                seed: 21,
+            },
+        );
+        let exact = [0.3, 0.4, 0.704, 0.38, 0.202, 0.014];
+        for (pos, e) in exact.iter().enumerate() {
+            assert!(
+                (estimate.probabilities[pos] - e).abs() < 0.01,
+                "pos {pos}: {} vs {e}",
+                estimate.probabilities[pos]
+            );
+        }
+    }
+
+    #[test]
+    fn antithetic_reduces_variance_on_single_variate_events() {
+        // One tuple with p = 0.5, k = 1: each pair contributes exactly one
+        // inclusion (u < 0.5 xor 1-u < 0.5), so the antithetic estimator is
+        // exactly 0.5 with zero variance; the independent estimator is not.
+        let view = RankedView::from_ranked_probs(&[0.5], &[]).unwrap();
+        let spread = |f: &dyn Fn(u64) -> f64| -> f64 {
+            let xs: Vec<f64> = (0..20).map(f).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        let anti = spread(&|seed| {
+            sample_topk_antithetic(
+                &view,
+                1,
+                &SamplingOptions {
+                    stop: StopCriterion::FixedUnits(1_000),
+                    seed,
+                },
+            )
+            .probabilities[0]
+        });
+        let indep = spread(&|seed| {
+            sample_topk(
+                &view,
+                1,
+                &SamplingOptions {
+                    stop: StopCriterion::FixedUnits(1_000),
+                    seed,
+                },
+            )
+            .probabilities[0]
+        });
+        assert!(anti < 1e-12, "antithetic variance should vanish: {anti}");
+        assert!(
+            indep > anti,
+            "independent variance {indep} should exceed {anti}"
+        );
+    }
+
+    #[test]
+    fn answers_threshold_filter() {
+        let estimate = SampleEstimate {
+            probabilities: vec![0.9, 0.2, 0.5],
+            units: 10,
+            average_sample_length: 3.0,
+        };
+        assert_eq!(estimate.answers(0.5), vec![0, 2]);
+        assert_eq!(estimate.answers(0.95), Vec::<usize>::new());
+    }
+}

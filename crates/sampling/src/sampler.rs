@@ -1,0 +1,246 @@
+//! Possible-world sample-unit generation.
+
+use ptk_core::RankedView;
+use rand::RngExt;
+
+/// Generates sample units (possible worlds truncated to their top-k) from a
+/// ranked view, under the distribution induced by the membership
+/// probabilities and generation rules (§5 of the paper).
+///
+/// The generator scans the ranked list from the top. The outcome of a
+/// multi-tuple rule is drawn *lazily* at the first encounter of any of its
+/// members — one member with its membership probability, or no member with
+/// probability `1 − Pr(R)` — and remembered for the rest of the unit, which
+/// is equivalent to the paper's description (pick a member inside the rule
+/// with probability `Pr(t) / Pr(R)`, conditioned on the rule firing).
+/// Generation of a unit stops as soon as `k` tuples have been included
+/// (improvement 1 of §5): later tuples cannot affect the top-k.
+#[derive(Debug)]
+pub struct WorldSampler<'v> {
+    view: &'v RankedView,
+    k: usize,
+    /// Lazily reset per-unit rule decisions: `(stamp, chosen position)`;
+    /// a stale stamp means "undecided this unit".
+    decisions: Vec<(u64, Option<usize>)>,
+    stamp: u64,
+    /// Total ranked positions visited across all units (for the paper's
+    /// *sample length* statistic in Figure 4).
+    scanned: u64,
+    units: u64,
+}
+
+impl<'v> WorldSampler<'v> {
+    /// Creates a sampler producing top-`k` sample units from `view`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(view: &'v RankedView, k: usize) -> WorldSampler<'v> {
+        assert!(k > 0, "top-k queries require k >= 1");
+        WorldSampler {
+            view,
+            k,
+            decisions: vec![(0, None); view.rules().len()],
+            stamp: 0,
+            scanned: 0,
+            units: 0,
+        }
+    }
+
+    /// Draws one sample unit and appends the ranked positions of its top-k
+    /// tuples to `out` (cleared first), in ranking order.
+    ///
+    /// Returns the number of ranked positions scanned to produce the unit.
+    pub fn draw_unit<R: RngExt + ?Sized>(&mut self, rng: &mut R, out: &mut Vec<usize>) -> usize {
+        self.draw_unit_from(|| rng.random(), out)
+    }
+
+    /// Like [`WorldSampler::draw_unit`], but takes its uniform variates from
+    /// an arbitrary stream. Each call of `uniform` must return a `U(0, 1)`
+    /// variate; the unit is unbiased as long as each variate is marginally
+    /// uniform (the variates need not be independent of *other units'* —
+    /// this is the hook for antithetic sampling).
+    pub fn draw_unit_from(
+        &mut self,
+        mut uniform: impl FnMut() -> f64,
+        out: &mut Vec<usize>,
+    ) -> usize {
+        out.clear();
+        self.stamp += 1;
+        self.units += 1;
+        let mut visited = 0;
+        for pos in 0..self.view.len() {
+            visited += 1;
+            let included = match self.view.rule_at(pos) {
+                None => uniform() < self.view.prob(pos),
+                Some(h) => {
+                    let idx = h.index();
+                    if self.decisions[idx].0 != self.stamp {
+                        // Decide the whole rule now: pick a member with its
+                        // membership probability, or none.
+                        let u: f64 = uniform();
+                        let mut acc = 0.0;
+                        let mut chosen = None;
+                        for &m in &self.view.rules()[idx].members {
+                            acc += self.view.prob(m);
+                            if u < acc {
+                                chosen = Some(m);
+                                break;
+                            }
+                        }
+                        self.decisions[idx] = (self.stamp, chosen);
+                    }
+                    self.decisions[idx].1 == Some(pos)
+                }
+            };
+            if included {
+                out.push(pos);
+                if out.len() == self.k {
+                    break;
+                }
+            }
+        }
+        self.scanned += visited as u64;
+        visited
+    }
+
+    /// Average number of ranked positions scanned per unit so far — the
+    /// paper's *sample length* (Figure 4).
+    pub fn average_sample_length(&self) -> f64 {
+        if self.units == 0 {
+            0.0
+        } else {
+            self.scanned as f64 / self.units as f64
+        }
+    }
+
+    /// Number of units drawn so far.
+    pub fn units_drawn(&self) -> u64 {
+        self.units
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn panda() -> RankedView {
+        RankedView::from_ranked_probs(&[0.3, 0.4, 0.8, 0.5, 1.0, 0.2], &[vec![1, 3], vec![2, 5]])
+            .unwrap()
+    }
+
+    #[test]
+    fn units_respect_rule_exclusivity() {
+        let view = panda();
+        let mut sampler = WorldSampler::new(&view, 6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut unit = Vec::new();
+        for _ in 0..2000 {
+            sampler.draw_unit(&mut rng, &mut unit);
+            let r1 = unit.iter().filter(|&&p| p == 1 || p == 3).count();
+            let r2 = unit.iter().filter(|&&p| p == 2 || p == 5).count();
+            assert!(r1 <= 1, "rule 1 violated: {unit:?}");
+            assert!(r2 <= 1, "rule 2 violated: {unit:?}");
+            // The R5⊕R6 rule has mass 1: exactly one member must appear.
+            assert_eq!(r2, 1, "certain rule must fire: {unit:?}");
+            // Position 4 has probability 1.
+            assert!(unit.contains(&4));
+        }
+    }
+
+    #[test]
+    fn marginal_frequencies_converge() {
+        let view = panda();
+        // k = view.len(): no early stop, so frequencies estimate membership.
+        let mut sampler = WorldSampler::new(&view, 6);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u32; view.len()];
+        let units = 60_000;
+        let mut unit = Vec::new();
+        for _ in 0..units {
+            sampler.draw_unit(&mut rng, &mut unit);
+            for &p in &unit {
+                counts[p] += 1;
+            }
+        }
+        for (pos, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / units as f64;
+            assert!(
+                (freq - view.prob(pos)).abs() < 0.01,
+                "pos {pos}: {freq} vs {}",
+                view.prob(pos)
+            );
+        }
+    }
+
+    #[test]
+    fn early_stop_truncates_at_k() {
+        let view = RankedView::from_ranked_probs(&[1.0, 1.0, 1.0, 1.0], &[]).unwrap();
+        let mut sampler = WorldSampler::new(&view, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut unit = Vec::new();
+        let visited = sampler.draw_unit(&mut rng, &mut unit);
+        assert_eq!(unit, vec![0, 1]);
+        assert_eq!(visited, 2);
+        assert_eq!(sampler.average_sample_length(), 2.0);
+        assert_eq!(sampler.units_drawn(), 1);
+    }
+
+    #[test]
+    fn early_stop_does_not_bias_topk_estimates() {
+        // Compare top-1 frequency of the first tuple with and without the
+        // early stop (k=1 vs k=n); both must estimate Pr^1.
+        let view = RankedView::from_ranked_probs(&[0.5, 0.9, 0.4], &[]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let units = 40_000;
+        let mut unit = Vec::new();
+
+        let mut top1_counts = [0u32; 3];
+        let mut sampler = WorldSampler::new(&view, 1);
+        for _ in 0..units {
+            sampler.draw_unit(&mut rng, &mut unit);
+            if let Some(&p) = unit.first() {
+                top1_counts[p] += 1;
+            }
+        }
+        // Exact Pr^1: [0.5, 0.9*0.5, 0.4*0.5*0.1].
+        let exact = [0.5, 0.45, 0.02];
+        for pos in 0..3 {
+            let freq = top1_counts[pos] as f64 / units as f64;
+            assert!((freq - exact[pos]).abs() < 0.01, "pos {pos}: {freq}");
+        }
+        // Early stop shortens the scan: expected length well below 3.
+        assert!(sampler.average_sample_length() < 2.1);
+    }
+
+    #[test]
+    fn expected_sample_length_tracks_k_over_mu() {
+        // §5: with independent tuples of mean probability μ, a unit needs
+        // about k/μ scans.
+        let probs = vec![0.5; 500];
+        let view = RankedView::from_ranked_probs(&probs, &[]).unwrap();
+        let mut sampler = WorldSampler::new(&view, 10);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut unit = Vec::new();
+        for _ in 0..3000 {
+            sampler.draw_unit(&mut rng, &mut unit);
+        }
+        let len = sampler.average_sample_length();
+        assert!(
+            (len - 20.0).abs() < 1.5,
+            "average length {len}, expected ~20"
+        );
+    }
+
+    #[test]
+    fn empty_view_units_are_empty() {
+        let view = RankedView::from_ranked_probs(&[], &[]).unwrap();
+        let mut sampler = WorldSampler::new(&view, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut unit = vec![99; 1];
+        let visited = sampler.draw_unit(&mut rng, &mut unit);
+        assert!(unit.is_empty());
+        assert_eq!(visited, 0);
+    }
+}

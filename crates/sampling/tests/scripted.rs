@@ -1,0 +1,83 @@
+//! Deterministic sampler tests: feeding scripted uniform variates through
+//! `draw_unit_from` pins down the generator's exact decision logic (which
+//! variate decides what, and when the early stop kicks in).
+
+use ptk_core::RankedView;
+use ptk_sampling::WorldSampler;
+
+fn unit_with(view: &RankedView, k: usize, script: &[f64]) -> (Vec<usize>, usize) {
+    let mut sampler = WorldSampler::new(view, k);
+    let mut it = script.iter().copied();
+    let mut out = Vec::new();
+    let visited = sampler.draw_unit_from(|| it.next().expect("script long enough"), &mut out);
+    (out, visited)
+}
+
+#[test]
+fn independent_tuples_consume_one_variate_each() {
+    let view = RankedView::from_ranked_probs(&[0.5, 0.5, 0.5], &[]).unwrap();
+    // u < p includes the tuple.
+    let (unit, visited) = unit_with(&view, 3, &[0.4, 0.6, 0.4]);
+    assert_eq!(unit, vec![0, 2]);
+    assert_eq!(visited, 3);
+    let (unit, _) = unit_with(&view, 3, &[0.9, 0.9, 0.9]);
+    assert!(unit.is_empty());
+}
+
+#[test]
+fn early_stop_skips_the_tail() {
+    let view = RankedView::from_ranked_probs(&[0.5; 10], &[]).unwrap();
+    // k = 2: two inclusions end the unit after two positions.
+    let (unit, visited) = unit_with(&view, 2, &[0.1, 0.1]);
+    assert_eq!(unit, vec![0, 1]);
+    assert_eq!(visited, 2);
+}
+
+#[test]
+fn rule_decision_is_drawn_once_at_first_member() {
+    // Rule {0, 2} with probs 0.3 / 0.4: the first encounter draws one
+    // uniform that decides the whole rule: u < 0.3 -> member 0;
+    // 0.3 <= u < 0.7 -> member 2; u >= 0.7 -> none.
+    let view = RankedView::from_ranked_probs(&[0.3, 0.5, 0.4], &[vec![0, 2]]).unwrap();
+
+    // Script: rule-decision 0.1 (picks member 0), independent 0.9 (out).
+    let (unit, _) = unit_with(&view, 3, &[0.1, 0.9]);
+    assert_eq!(unit, vec![0]);
+
+    // Rule decision 0.5 picks member 2; independent 0.1 includes tuple 1.
+    let (unit, _) = unit_with(&view, 3, &[0.5, 0.1]);
+    assert_eq!(unit, vec![1, 2]);
+
+    // Rule decision 0.9 picks nobody.
+    let (unit, _) = unit_with(&view, 3, &[0.9, 0.9]);
+    assert!(unit.is_empty());
+}
+
+#[test]
+fn scripted_units_expose_exact_variate_budget() {
+    // One rule of three members plus two independents: a full unit needs
+    // exactly 3 variates (1 rule decision + 2 independents).
+    let view = RankedView::from_ranked_probs(&[0.2, 0.5, 0.3, 0.5, 0.3], &[vec![0, 2, 4]]).unwrap();
+    let mut sampler = WorldSampler::new(&view, 5);
+    let mut used = 0usize;
+    let mut out = Vec::new();
+    sampler.draw_unit_from(
+        || {
+            used += 1;
+            0.99 // exclude everything
+        },
+        &mut out,
+    );
+    assert_eq!(used, 3);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn boundary_variates() {
+    // u == p excludes (strict comparison), u == 0 always includes.
+    let view = RankedView::from_ranked_probs(&[0.5], &[]).unwrap();
+    let (unit, _) = unit_with(&view, 1, &[0.5]);
+    assert!(unit.is_empty());
+    let (unit, _) = unit_with(&view, 1, &[0.0]);
+    assert_eq!(unit, vec![0]);
+}

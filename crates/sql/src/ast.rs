@@ -1,0 +1,72 @@
+//! The abstract syntax tree produced by the parser.
+
+use ptk_core::SortDirection;
+
+/// A literal value in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A numeric constant.
+    Number(f64),
+    /// A string constant.
+    Str(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+}
+
+/// A boolean condition over (unresolved) column names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `column op literal`.
+    Compare {
+        /// Column name, resolved at bind time.
+        column: String,
+        /// One of `=`, `!=`, `<`, `<=`, `>`, `>=`.
+        op: &'static str,
+        /// The constant to compare against.
+        value: Literal,
+    },
+    /// Both must hold.
+    And(Box<Condition>, Box<Condition>),
+    /// Either must hold.
+    Or(Box<Condition>, Box<Condition>),
+    /// Must not hold.
+    Not(Box<Condition>),
+}
+
+/// The evaluation method selected by `USING`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// The exact engine (default).
+    #[default]
+    Exact,
+    /// The sampling engine.
+    Sampling,
+    /// Possible-world enumeration (small inputs only).
+    Naive,
+}
+
+/// A parsed PT-k statement, before column names are resolved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedQuery {
+    /// The query depth.
+    pub k: usize,
+    /// The `FROM` name (the caller decides what it denotes — the CLI uses
+    /// it purely as documentation since the file is given separately).
+    pub table: String,
+    /// The `WHERE` condition, if any.
+    pub condition: Option<Condition>,
+    /// The `ORDER BY` column.
+    pub order_by: String,
+    /// Sort direction (`DESC` when omitted — top-k queries rank best-first).
+    pub direction: SortDirection,
+    /// The probability threshold (`WITH PROBABILITY >= p`); 0.5 when
+    /// omitted.
+    pub threshold: f64,
+    /// The evaluation method (`USING …`); exact when omitted.
+    pub method: Method,
+    /// Whether `WITH PROBABILITY`/`WITH THRESHOLD` appeared explicitly
+    /// (rank-sensitive statement kinds reject it).
+    pub explicit_threshold: bool,
+}

@@ -1,0 +1,99 @@
+//! # `ptk-sql` — a small query language for PT-k queries
+//!
+//! A declarative front end over the uncertain-data model: one statement
+//! expresses the predicate, the ranking function, the depth `k`, the
+//! probability threshold and the evaluation method.
+//!
+//! ```sql
+//! SELECT TOP 10 FROM sightings
+//! WHERE drifted_days >= 100 AND source != 'SAT-H'
+//! ORDER BY drifted_days DESC
+//! WITH PROBABILITY >= 0.5
+//! USING EXACT
+//! ```
+//!
+//! The grammar (keywords are case-insensitive):
+//!
+//! ```text
+//! query     := SELECT TOP <int> FROM <ident>
+//!              [WHERE <cond>]
+//!              ORDER BY <ident> [ASC | DESC]
+//!              [WITH PROBABILITY >= <number> | WITH THRESHOLD <number>]
+//!              [USING (EXACT | SAMPLING | NAIVE)]
+//! cond      := and_cond (OR and_cond)*
+//! and_cond  := not_cond (AND not_cond)*
+//! not_cond  := [NOT] primary
+//! primary   := '(' cond ')' | <ident> <op> <literal>
+//! op        := = | != | <> | < | <= | > | >=
+//! literal   := <number> | '<string>' | TRUE | FALSE | NULL
+//! ```
+//!
+//! [`parse`] produces a [`ParsedQuery`] with unresolved column names;
+//! [`ParsedQuery::bind`] resolves them against an
+//! [`UncertainTable`](ptk_core::UncertainTable)'s schema into a
+//! [`PtkQuery`](ptk_core::PtkQuery). Omitting `WITH PROBABILITY` defaults
+//! the threshold to 0.5; omitting `USING` defaults to the exact engine.
+//!
+//! ```
+//! use ptk_sql::{parse, Method};
+//!
+//! let q = parse(
+//!     "SELECT TOP 3 FROM t WHERE speed > 100 ORDER BY speed DESC \
+//!      WITH PROBABILITY >= 0.7 USING SAMPLING",
+//! ).unwrap();
+//! assert_eq!(q.k, 3);
+//! assert_eq!(q.threshold, 0.7);
+//! assert_eq!(q.method, Method::Sampling);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod bind;
+mod parser;
+mod render;
+mod statement;
+mod token;
+
+pub use ast::{Condition, Literal, Method, ParsedQuery};
+pub use parser::parse;
+pub use statement::{parse_statement, QueryKind, Statement};
+pub use token::{tokenize, Token};
+
+/// A parse or bind error, with a human-readable message and, for parse
+/// errors, the byte offset where the problem was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the statement, when known.
+    pub offset: Option<usize>,
+}
+
+impl SqlError {
+    pub(crate) fn at(offset: usize, message: impl Into<String>) -> SqlError {
+        SqlError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    pub(crate) fn general(message: impl Into<String>) -> SqlError {
+        SqlError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} (at byte {off})", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,351 @@
+//! The recursive-descent parser.
+
+use ptk_core::SortDirection;
+
+use crate::ast::{Condition, Literal, Method, ParsedQuery};
+use crate::token::{tokenize, Spanned, Token};
+use crate::SqlError;
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.input_len, |s| s.offset)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the next token if it is the given keyword
+    /// (case-insensitive).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::at(self.offset(), format!("expected '{kw}'")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.advance() {
+            Some(Token::Ident(w)) => Ok(w),
+            _ => Err(SqlError::at(self.offset(), format!("expected {what}"))),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<f64, SqlError> {
+        match self.advance() {
+            Some(Token::Number(v)) => Ok(v),
+            _ => Err(SqlError::at(self.offset(), format!("expected {what}"))),
+        }
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition, SqlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Condition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Condition, SqlError> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Condition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Condition, SqlError> {
+        if self.eat_keyword("NOT") {
+            Ok(Condition::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Condition, SqlError> {
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let inner = self.parse_condition()?;
+            match self.advance() {
+                Some(Token::RParen) => Ok(inner),
+                _ => Err(SqlError::at(self.offset(), "expected ')'")),
+            }
+        } else {
+            let column = self.expect_ident("a column name")?;
+            let op = match self.advance() {
+                Some(Token::Op(op)) => op,
+                _ => {
+                    return Err(SqlError::at(
+                        self.offset(),
+                        "expected a comparison operator",
+                    ))
+                }
+            };
+            let value = match self.advance() {
+                Some(Token::Number(v)) => Literal::Number(v),
+                Some(Token::Str(s)) => Literal::Str(s),
+                Some(Token::Ident(w)) if w.eq_ignore_ascii_case("true") => Literal::Bool(true),
+                Some(Token::Ident(w)) if w.eq_ignore_ascii_case("false") => Literal::Bool(false),
+                Some(Token::Ident(w)) if w.eq_ignore_ascii_case("null") => Literal::Null,
+                _ => return Err(SqlError::at(self.offset(), "expected a literal")),
+            };
+            Ok(Condition::Compare { column, op, value })
+        }
+    }
+}
+
+/// Parses one PT-k statement. See the crate docs for the grammar.
+///
+/// # Errors
+/// Returns a [`SqlError`] pointing at the offending byte offset.
+pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
+    let tokens = tokenize(input)?;
+    let (kind, query) = parse_body(&tokens, input.len())?;
+    if !kind.eq_ignore_ascii_case("TOP") {
+        return Err(SqlError::general(format!(
+            "expected a TOP query; use parse_statement for SELECT {kind}"
+        )));
+    }
+    Ok(query)
+}
+
+/// Parses `SELECT <kind> <k> FROM …` and returns the kind keyword plus the
+/// query body. Shared by [`parse`] and
+/// [`parse_statement`](crate::parse_statement).
+pub(crate) fn parse_body(
+    tokens: &[crate::token::Spanned],
+    input_len: usize,
+) -> Result<(String, ParsedQuery), SqlError> {
+    let mut p = Parser {
+        tokens: tokens.to_vec(),
+        pos: 0,
+        input_len,
+    };
+
+    p.expect_keyword("SELECT")?;
+    let kind = p.expect_ident("a query kind (TOP | UTOPK | UKRANKS | ERANK)")?;
+    let k_raw = p.expect_number("the k of TOP")?;
+    if k_raw < 1.0 || k_raw.fract() != 0.0 {
+        return Err(SqlError::general(format!(
+            "TOP needs a positive integer, got {k_raw}"
+        )));
+    }
+    let k = k_raw as usize;
+    p.expect_keyword("FROM")?;
+    let table = p.expect_ident("a table name")?;
+
+    let condition = if p.eat_keyword("WHERE") {
+        Some(p.parse_condition()?)
+    } else {
+        None
+    };
+
+    p.expect_keyword("ORDER")?;
+    p.expect_keyword("BY")?;
+    let order_by = p.expect_ident("an ORDER BY column")?;
+    let direction = if p.eat_keyword("ASC") {
+        SortDirection::Ascending
+    } else {
+        let _ = p.eat_keyword("DESC");
+        SortDirection::Descending
+    };
+
+    let mut threshold = 0.5;
+    let mut explicit_threshold = false;
+    if p.eat_keyword("WITH") {
+        explicit_threshold = true;
+        if p.eat_keyword("PROBABILITY") {
+            match p.advance() {
+                Some(Token::Op(">=")) => {}
+                _ => {
+                    return Err(SqlError::at(
+                        p.offset(),
+                        "expected '>=' after WITH PROBABILITY",
+                    ))
+                }
+            }
+        } else {
+            p.expect_keyword("THRESHOLD")?;
+        }
+        threshold = p.expect_number("a probability threshold")?;
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(SqlError::general(format!(
+                "the probability threshold must be in (0, 1], got {threshold}"
+            )));
+        }
+    }
+
+    let mut method = Method::Exact;
+    if p.eat_keyword("USING") {
+        let name = p.expect_ident("an evaluation method")?;
+        method = match name.to_ascii_lowercase().as_str() {
+            "exact" => Method::Exact,
+            "sampling" => Method::Sampling,
+            "naive" => Method::Naive,
+            other => {
+                return Err(SqlError::general(format!(
+                    "unknown method '{other}' (exact | sampling | naive)"
+                )))
+            }
+        };
+    }
+
+    if let Some(t) = p.peek() {
+        return Err(SqlError::at(
+            p.offset(),
+            format!("unexpected trailing input: {t:?}"),
+        ));
+    }
+
+    Ok((
+        kind,
+        ParsedQuery {
+            k,
+            table,
+            condition,
+            order_by,
+            direction,
+            threshold,
+            method,
+            explicit_threshold,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("SELECT TOP 5 FROM t ORDER BY score").unwrap();
+        assert_eq!(q.k, 5);
+        assert_eq!(q.table, "t");
+        assert_eq!(q.order_by, "score");
+        assert_eq!(q.direction, SortDirection::Descending);
+        assert_eq!(q.threshold, 0.5);
+        assert_eq!(q.method, Method::Exact);
+        assert!(q.condition.is_none());
+    }
+
+    #[test]
+    fn full_query() {
+        let q = parse(
+            "select top 10 from sightings \
+             where drifted_days >= 100 and source != 'SAT-H' \
+             order by drifted_days desc \
+             with probability >= 0.5 using sampling",
+        )
+        .unwrap();
+        assert_eq!(q.k, 10);
+        assert_eq!(q.threshold, 0.5);
+        assert_eq!(q.method, Method::Sampling);
+        match q.condition.unwrap() {
+            Condition::And(l, r) => {
+                assert!(
+                    matches!(*l, Condition::Compare { ref column, op: ">=", .. } if column == "drifted_days")
+                );
+                assert!(
+                    matches!(*r, Condition::Compare { ref column, op: "!=", value: Literal::Str(ref s) } if column == "source" && s == "SAT-H")
+                );
+            }
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        // a = 1 OR b = 2 AND c = 3  parses as  a OR (b AND c).
+        let q = parse("SELECT TOP 1 FROM t WHERE a = 1 OR b = 2 AND c = 3 ORDER BY a").unwrap();
+        match q.condition.unwrap() {
+            Condition::Or(_, r) => assert!(matches!(*r, Condition::And(_, _))),
+            other => panic!("expected OR at the root, got {other:?}"),
+        }
+        // Parentheses override: (a = 1 OR b = 2) AND c = 3.
+        let q = parse("SELECT TOP 1 FROM t WHERE (a = 1 OR b = 2) AND c = 3 ORDER BY a").unwrap();
+        match q.condition.unwrap() {
+            Condition::And(l, _) => assert!(matches!(*l, Condition::Or(_, _))),
+            other => panic!("expected AND at the root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_and_literals() {
+        let q = parse("SELECT TOP 2 FROM t WHERE NOT flag = TRUE AND note = NULL ORDER BY x ASC")
+            .unwrap();
+        assert_eq!(q.direction, SortDirection::Ascending);
+        match q.condition.unwrap() {
+            Condition::And(l, r) => {
+                assert!(matches!(*l, Condition::Not(_)));
+                assert!(matches!(
+                    *r,
+                    Condition::Compare {
+                        value: Literal::Null,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_threshold_form() {
+        let q = parse("SELECT TOP 2 FROM t ORDER BY x WITH THRESHOLD 0.25").unwrap();
+        assert_eq!(q.threshold, 0.25);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("SELECT TOP x FROM t ORDER BY s").unwrap_err();
+        assert!(err.message.contains("k of TOP"), "{err}");
+        let err = parse("SELECT TOP 3 FROM t ORDER BY").unwrap_err();
+        assert!(err.message.contains("ORDER BY column"), "{err}");
+        let err = parse("SELECT TOP 3 FROM t ORDER BY s extra").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        let err = parse("SELECT TOP 3 FROM t WHERE a ORDER BY s").unwrap_err();
+        assert!(err.message.contains("comparison operator"), "{err}");
+        let err = parse("SELECT TOP 0 FROM t ORDER BY s").unwrap_err();
+        assert!(err.message.contains("positive integer"), "{err}");
+        let err = parse("SELECT TOP 3 FROM t ORDER BY s WITH PROBABILITY >= 1.5").unwrap_err();
+        assert!(err.message.contains("(0, 1]"), "{err}");
+        let err = parse("SELECT TOP 3 FROM t ORDER BY s USING magic").unwrap_err();
+        assert!(err.message.contains("unknown method"), "{err}");
+        let err = parse("SELECT TOP 3 FROM t WHERE (a = 1 ORDER BY s").unwrap_err();
+        assert!(err.message.contains("')'"), "{err}");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("sElEcT tOp 1 fRoM t oRdEr By s").is_ok());
+    }
+}

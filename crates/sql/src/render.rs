@@ -1,0 +1,177 @@
+//! Rendering parsed statements back to SQL text.
+//!
+//! `Display` implementations produce canonical statements that re-parse to
+//! the same AST — handy for logging, `EXPLAIN` output and the round-trip
+//! property tests.
+
+use std::fmt;
+
+use ptk_core::SortDirection;
+
+use crate::ast::{Condition, Literal, Method, ParsedQuery};
+use crate::statement::{QueryKind, Statement};
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(true) => write!(f, "TRUE"),
+            Literal::Bool(false) => write!(f, "FALSE"),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl Condition {
+    /// Whether this node binds looser than AND (needs parentheses inside an
+    /// AND operand).
+    fn is_or(&self) -> bool {
+        matches!(self, Condition::Or(_, _))
+    }
+
+    fn is_binary(&self) -> bool {
+        matches!(self, Condition::Or(_, _) | Condition::And(_, _))
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Compare { column, op, value } => {
+                write!(f, "{column} {op} {value}")
+            }
+            Condition::And(l, r) => {
+                // Parenthesize OR operands (AND binds tighter) and
+                // right-nested ANDs (the parser left-associates).
+                if l.is_or() {
+                    write!(f, "({l})")?;
+                } else {
+                    write!(f, "{l}")?;
+                }
+                write!(f, " AND ")?;
+                if r.is_binary() {
+                    write!(f, "({r})")?;
+                } else {
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
+            Condition::Or(l, r) => {
+                // Right-nested ORs need parentheses to survive the parser's
+                // left-association.
+                write!(f, "{l} OR ")?;
+                if r.is_or() {
+                    write!(f, "({r})")
+                } else {
+                    write!(f, "{r}")
+                }
+            }
+            Condition::Not(inner) => {
+                if inner.is_binary() {
+                    write!(f, "NOT ({inner})")
+                } else {
+                    write!(f, "NOT {inner}")
+                }
+            }
+        }
+    }
+}
+
+impl ParsedQuery {
+    fn render(&self, f: &mut fmt::Formatter<'_>, kind: &str) -> fmt::Result {
+        write!(f, "SELECT {kind} {} FROM {}", self.k, self.table)?;
+        if let Some(c) = &self.condition {
+            write!(f, " WHERE {c}")?;
+        }
+        write!(f, " ORDER BY {}", self.order_by)?;
+        match self.direction {
+            SortDirection::Descending => write!(f, " DESC")?,
+            SortDirection::Ascending => write!(f, " ASC")?,
+        }
+        if kind == "TOP" {
+            if self.explicit_threshold {
+                write!(f, " WITH PROBABILITY >= {}", self.threshold)?;
+            }
+            match self.method {
+                Method::Exact => {}
+                Method::Sampling => write!(f, " USING sampling")?,
+                Method::Naive => write!(f, " USING naive")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ParsedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, "TOP")
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.explain {
+            write!(f, "EXPLAIN ")?;
+        }
+        let kind = match self.kind {
+            QueryKind::Ptk => "TOP",
+            QueryKind::UTopK => "UTOPK",
+            QueryKind::UKRanks => "UKRANKS",
+            QueryKind::ExpectedRank => "ERANK",
+        };
+        self.query.render(f, kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, parse_statement};
+
+    fn roundtrips(input: &str) {
+        let first = parse_statement(input).unwrap();
+        let rendered = first.to_string();
+        let second = parse_statement(&rendered)
+            .unwrap_or_else(|e| panic!("rendered '{rendered}' fails to parse: {e}"));
+        assert_eq!(first, second, "{input} -> {rendered}");
+    }
+
+    #[test]
+    fn simple_statements_roundtrip() {
+        roundtrips("SELECT TOP 3 FROM t ORDER BY x");
+        roundtrips("SELECT TOP 3 FROM t ORDER BY x ASC");
+        roundtrips("SELECT UTOPK 2 FROM t WHERE a = 1 ORDER BY x");
+        roundtrips("EXPLAIN SELECT ERANK 5 FROM t ORDER BY x");
+        roundtrips(
+            "SELECT TOP 9 FROM t WHERE a >= 1.25 AND b != 'x''y' ORDER BY c \
+             WITH PROBABILITY >= 0.125 USING sampling",
+        );
+    }
+
+    #[test]
+    fn precedence_survives_rendering() {
+        // (a OR b) AND c must keep its parentheses.
+        let s = parse("SELECT TOP 1 FROM t WHERE (a = 1 OR b = 2) AND c = 3 ORDER BY a").unwrap();
+        let rendered = s.to_string();
+        assert!(rendered.contains("(a = 1 OR b = 2) AND"), "{rendered}");
+        let again = parse(&rendered).unwrap();
+        assert_eq!(s.condition, again.condition);
+
+        // NOT over a conjunction.
+        let s = parse("SELECT TOP 1 FROM t WHERE NOT (a = 1 AND b = 2) ORDER BY a").unwrap();
+        let again = parse(&s.to_string()).unwrap();
+        assert_eq!(s.condition, again.condition);
+    }
+
+    #[test]
+    fn literals_render_escaped() {
+        let s = parse("SELECT TOP 1 FROM t WHERE n = 'O''Brien' ORDER BY n").unwrap();
+        assert!(s.to_string().contains("'O''Brien'"));
+        let s = parse("SELECT TOP 1 FROM t WHERE b = TRUE AND c = NULL ORDER BY b").unwrap();
+        let rendered = s.to_string();
+        assert!(
+            rendered.contains("TRUE") && rendered.contains("NULL"),
+            "{rendered}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Full statements: the four query semantics plus `EXPLAIN`.
+//!
+//! [`parse_statement`] accepts everything [`crate::parse`] does, plus:
+//!
+//! ```text
+//! statement := [EXPLAIN] SELECT kind <int> FROM <ident>
+//!              [WHERE <cond>] ORDER BY <ident> [ASC | DESC]
+//!              [WITH PROBABILITY >= <number>]   -- TOP only
+//!              [USING <method>]                  -- TOP only
+//! kind      := TOP | UTOPK | UKRANKS | ERANK
+//! ```
+//!
+//! `TOP` is the PT-k query of the paper; `UTOPK` and `UKRANKS` are the
+//! rank-sensitive semantics of Soliman et al.; `ERANK` ranks by expected
+//! rank (Cormode et al.). `EXPLAIN` asks the executor to report its plan
+//! and execution statistics instead of only the answers.
+
+use crate::ast::{Method, ParsedQuery};
+use crate::parser::parse_body;
+use crate::token::tokenize;
+use crate::SqlError;
+
+/// Which query semantics a statement requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Probabilistic threshold top-k (the paper's PT-k).
+    Ptk,
+    /// The most probable top-k vector (Soliman et al.).
+    UTopK,
+    /// The most probable tuple at each rank (Soliman et al.).
+    UKRanks,
+    /// Lowest expected rank (Cormode et al.).
+    ExpectedRank,
+}
+
+impl QueryKind {
+    fn keyword(self) -> &'static str {
+        match self {
+            QueryKind::Ptk => "TOP",
+            QueryKind::UTopK => "UTOPK",
+            QueryKind::UKRanks => "UKRANKS",
+            QueryKind::ExpectedRank => "ERANK",
+        }
+    }
+}
+
+/// A complete parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// The query semantics.
+    pub kind: QueryKind,
+    /// The query body (for non-PT-k kinds, `threshold` and `method` keep
+    /// their defaults and may not be set explicitly).
+    pub query: ParsedQuery,
+    /// Whether `EXPLAIN` was requested.
+    pub explain: bool,
+}
+
+/// Parses a full statement (any query kind, optional `EXPLAIN`).
+///
+/// # Errors
+/// Returns a [`SqlError`] for syntax errors or clauses that do not apply to
+/// the chosen query kind.
+pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize(input)?;
+    let mut explain = false;
+    let mut start = 0;
+    if let Some(first) = tokens.first() {
+        if matches!(&first.token, crate::Token::Ident(w) if w.eq_ignore_ascii_case("EXPLAIN")) {
+            explain = true;
+            start = 1;
+        }
+    }
+    let (kind_token, query) = parse_body(&tokens[start..], input.len())?;
+    let kind = match kind_token.to_ascii_uppercase().as_str() {
+        "TOP" => QueryKind::Ptk,
+        "UTOPK" => QueryKind::UTopK,
+        "UKRANKS" => QueryKind::UKRanks,
+        "ERANK" => QueryKind::ExpectedRank,
+        other => {
+            return Err(SqlError::general(format!(
+                "unknown query kind '{other}' (TOP | UTOPK | UKRANKS | ERANK)"
+            )))
+        }
+    };
+    if kind != QueryKind::Ptk {
+        if query.explicit_threshold {
+            return Err(SqlError::general(format!(
+                "WITH PROBABILITY applies only to TOP queries, not {}",
+                kind.keyword()
+            )));
+        }
+        if query.method != Method::Exact {
+            return Err(SqlError::general(format!(
+                "USING applies only to TOP queries, not {}",
+                kind.keyword()
+            )));
+        }
+    }
+    Ok(Statement {
+        kind,
+        query,
+        explain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_statement_matches_parse() {
+        let s = parse_statement("SELECT TOP 4 FROM t ORDER BY x WITH PROBABILITY >= 0.2").unwrap();
+        assert_eq!(s.kind, QueryKind::Ptk);
+        assert!(!s.explain);
+        assert_eq!(s.query.k, 4);
+        assert_eq!(s.query.threshold, 0.2);
+        let direct =
+            crate::parse("SELECT TOP 4 FROM t ORDER BY x WITH PROBABILITY >= 0.2").unwrap();
+        assert_eq!(s.query, direct);
+    }
+
+    #[test]
+    fn other_kinds_parse() {
+        for (text, kind) in [
+            ("SELECT UTOPK 3 FROM t ORDER BY x", QueryKind::UTopK),
+            ("SELECT UKRANKS 3 FROM t ORDER BY x", QueryKind::UKRanks),
+            ("SELECT ERANK 3 FROM t ORDER BY x", QueryKind::ExpectedRank),
+        ] {
+            let s = parse_statement(text).unwrap();
+            assert_eq!(s.kind, kind, "{text}");
+            assert_eq!(s.query.k, 3);
+        }
+    }
+
+    #[test]
+    fn explain_prefix() {
+        let s = parse_statement("EXPLAIN SELECT TOP 2 FROM t ORDER BY x").unwrap();
+        assert!(s.explain);
+        assert_eq!(s.kind, QueryKind::Ptk);
+        let s = parse_statement("explain select utopk 2 from t order by x").unwrap();
+        assert!(s.explain);
+        assert_eq!(s.kind, QueryKind::UTopK);
+    }
+
+    #[test]
+    fn where_clause_works_on_all_kinds() {
+        let s = parse_statement("SELECT UKRANKS 2 FROM t WHERE a > 1 ORDER BY a").unwrap();
+        assert!(s.query.condition.is_some());
+    }
+
+    #[test]
+    fn misapplied_clauses_error() {
+        let err = parse_statement("SELECT UTOPK 2 FROM t ORDER BY x WITH PROBABILITY >= 0.5")
+            .unwrap_err();
+        assert!(err.message.contains("applies only to TOP"), "{err}");
+        let err = parse_statement("SELECT ERANK 2 FROM t ORDER BY x USING sampling").unwrap_err();
+        assert!(err.message.contains("applies only to TOP"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_errors() {
+        let err = parse_statement("SELECT BOTTOM 2 FROM t ORDER BY x").unwrap_err();
+        assert!(err.message.contains("unknown query kind"), "{err}");
+    }
+}

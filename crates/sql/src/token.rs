@@ -1,0 +1,283 @@
+//! The tokenizer.
+
+use crate::SqlError;
+
+/// One lexical token, tagged with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at parse time).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A single-quoted string literal (`''` escapes a quote).
+    Str(String),
+    /// `=`, `!=`, `<>`, `<`, `<=`, `>`, `>=`.
+    Op(&'static str),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+}
+
+/// A token plus its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Tokenizes a statement.
+///
+/// # Errors
+/// Fails on unterminated strings, malformed numbers, or characters outside
+/// the grammar.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned {
+                    token: Token::Op("="),
+                    offset: i,
+                });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned {
+                        token: Token::Op("!="),
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(SqlError::at(i, "expected '=' after '!'"));
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Spanned {
+                        token: Token::Op("<="),
+                        offset: i,
+                    });
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Spanned {
+                        token: Token::Op("!="),
+                        offset: i,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Spanned {
+                        token: Token::Op("<"),
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned {
+                        token: Token::Op(">="),
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: Token::Op(">"),
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::at(start, "unterminated string literal")),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            // Strings are treated as raw bytes of the UTF-8
+                            // input; collect char-by-char to stay valid.
+                            let ch_len = utf8_len(b);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    let continues = d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || ((d == '-' || d == '+') && matches!(bytes[i - 1] as char, 'e' | 'E'));
+                    if !continues {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| SqlError::at(start, format!("malformed number '{text}'")))?;
+                out.push(Spanned {
+                    token: Token::Number(value),
+                    offset: start,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_alphanumeric() || d == '_' {
+                        i += utf8_len(bytes[i]);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    token: Token::Ident(input[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(SqlError::at(i, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn words_numbers_and_ops() {
+        assert_eq!(
+            kinds("SELECT TOP 10"),
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("TOP".into()),
+                Token::Number(10.0)
+            ]
+        );
+        assert_eq!(
+            kinds("a >= -3.5 AND b != 2e3"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Op(">="),
+                Token::Number(-3.5),
+                Token::Ident("AND".into()),
+                Token::Ident("b".into()),
+                Token::Op("!="),
+                Token::Number(2000.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn diamond_is_not_equal() {
+        assert_eq!(kinds("a <> 1")[1], Token::Op("!="));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("name = 'O''Brien'"),
+            vec![
+                Token::Ident("name".into()),
+                Token::Op("="),
+                Token::Str("O'Brien".into())
+            ]
+        );
+        assert_eq!(kinds("x = ''")[2], Token::Str(String::new()));
+    }
+
+    #[test]
+    fn parens() {
+        assert_eq!(
+            kinds("(a)"),
+            vec![Token::LParen, Token::Ident("a".into()), Token::RParen]
+        );
+    }
+
+    #[test]
+    fn offsets_are_bytes() {
+        let toks = tokenize("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("x = 1.2.3").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings_and_idents() {
+        assert_eq!(kinds("s = 'pandä'")[2], Token::Str("pandä".into()));
+        assert_eq!(kinds("größe > 1")[0], Token::Ident("größe".into()));
+    }
+}

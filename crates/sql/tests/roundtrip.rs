@@ -1,0 +1,161 @@
+//! Property tests of the SQL front end: generated ASTs render to text that
+//! re-parses to the identical AST, and the parser never panics on
+//! arbitrary input.
+
+use proptest::prelude::*;
+
+use ptk_core::SortDirection;
+use ptk_sql::{parse_statement, Condition, Literal, Method, ParsedQuery, QueryKind, Statement};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "select"
+                | "top"
+                | "from"
+                | "where"
+                | "order"
+                | "by"
+                | "asc"
+                | "desc"
+                | "with"
+                | "probability"
+                | "threshold"
+                | "using"
+                | "and"
+                | "or"
+                | "not"
+                | "true"
+                | "false"
+                | "null"
+                | "explain"
+                | "utopk"
+                | "ukranks"
+                | "erank"
+        )
+    })
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Finite, round-trippable numbers (f64 Display round-trips exactly).
+        (-1e6f64..1e6).prop_map(Literal::Number),
+        "[ -~&&[^']]{0,12}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    let leaf = (
+        ident(),
+        prop_oneof![
+            Just("="),
+            Just("!="),
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">="),
+        ],
+        literal(),
+    )
+        .prop_map(|(column, op, value)| Condition::Compare { column, op, value });
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Condition::And(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| Condition::Or(Box::new(l), Box::new(r))),
+            inner.prop_map(|c| Condition::Not(Box::new(c))),
+        ]
+    })
+}
+
+fn statement() -> impl Strategy<Value = Statement> {
+    (
+        prop_oneof![
+            Just(QueryKind::Ptk),
+            Just(QueryKind::UTopK),
+            Just(QueryKind::UKRanks),
+            Just(QueryKind::ExpectedRank),
+        ],
+        1usize..1000,
+        ident(),
+        prop::option::of(condition()),
+        ident(),
+        any::<bool>(),
+        (0.01f64..=1.0),
+        any::<bool>(),
+        0u8..3,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                kind,
+                k,
+                table,
+                condition,
+                order_by,
+                asc,
+                threshold,
+                explicit_threshold,
+                method,
+                explain,
+            )| {
+                let is_ptk = kind == QueryKind::Ptk;
+                Statement {
+                    kind,
+                    query: ParsedQuery {
+                        k,
+                        table,
+                        condition,
+                        order_by,
+                        direction: if asc {
+                            SortDirection::Ascending
+                        } else {
+                            SortDirection::Descending
+                        },
+                        threshold: if is_ptk && explicit_threshold {
+                            threshold
+                        } else {
+                            0.5
+                        },
+                        method: match (is_ptk, method) {
+                            (true, 1) => Method::Sampling,
+                            (true, 2) => Method::Naive,
+                            _ => Method::Exact,
+                        },
+                        explicit_threshold: is_ptk && explicit_threshold,
+                    },
+                    explain,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Render → parse is the identity on generated statements.
+    #[test]
+    fn rendered_statements_reparse_identically(s in statement()) {
+        let rendered = s.to_string();
+        let reparsed = parse_statement(&rendered);
+        prop_assert!(reparsed.is_ok(), "'{rendered}' fails: {:?}", reparsed.err());
+        prop_assert_eq!(s, reparsed.unwrap(), "via '{}'", rendered);
+    }
+
+    /// The parser never panics, whatever the input (errors are fine).
+    #[test]
+    fn parser_is_panic_free(input in "[ -~]{0,80}") {
+        let _ = parse_statement(&input);
+    }
+
+    /// Nor on inputs that start like real statements.
+    #[test]
+    fn parser_is_panic_free_on_near_misses(tail in "[ -~]{0,40}") {
+        let _ = parse_statement(&format!("SELECT TOP 3 FROM t {tail}"));
+        let _ = parse_statement(&format!("SELECT TOP {tail}"));
+    }
+}

@@ -1,0 +1,73 @@
+//! A single possible world.
+
+/// One possible world of a [`RankedView`](ptk_core::RankedView): the set of
+/// tuples (as ranked positions) that exist in it, plus its existence
+/// probability `Pr(W)` per Eq. 1 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PossibleWorld {
+    /// Ranked positions of the tuples present in this world, ascending —
+    /// i.e. already in ranking order, so the top-k of the world is simply
+    /// `members[..k.min(len)]`.
+    pub members: Vec<usize>,
+    /// Existence probability `Pr(W)`.
+    pub prob: f64,
+}
+
+impl PossibleWorld {
+    /// The top-k positions of this world: its first `min(k, |W|)` members.
+    pub fn top_k(&self, k: usize) -> &[usize] {
+        &self.members[..k.min(self.members.len())]
+    }
+
+    /// Whether the tuple at ranked position `pos` exists in this world.
+    pub fn contains(&self, pos: usize) -> bool {
+        self.members.binary_search(&pos).is_ok()
+    }
+
+    /// Number of tuples in the world.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_truncates() {
+        let w = PossibleWorld {
+            members: vec![0, 2, 5],
+            prob: 0.1,
+        };
+        assert_eq!(w.top_k(2), &[0, 2]);
+        assert_eq!(w.top_k(10), &[0, 2, 5]);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn contains_uses_sorted_members() {
+        let w = PossibleWorld {
+            members: vec![1, 4, 7],
+            prob: 0.2,
+        };
+        assert!(w.contains(4));
+        assert!(!w.contains(3));
+    }
+
+    #[test]
+    fn empty_world() {
+        let w = PossibleWorld {
+            members: vec![],
+            prob: 0.05,
+        };
+        assert!(w.is_empty());
+        assert_eq!(w.top_k(3), &[] as &[usize]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Exact vs. sampling trade-off on a synthetic workload (§6.2's theme:
+//! "the exact algorithm and the sampling algorithm each has its edge").
+//!
+//! Generates the paper's default synthetic table (20,000 tuples, 2,000
+//! rules) and answers the same PT-k query with the exact engine (all three
+//! sharing variants) and the sampler, reporting wall time, scan depth and
+//! answer agreement for a sweep of k.
+//!
+//! Run with: `cargo run --release --example tradeoff`
+
+use std::time::Instant;
+
+use ptk::datagen::{SyntheticConfig, SyntheticDataset};
+use ptk::engine::{evaluate_ptk, EngineOptions, SharingVariant};
+use ptk::sampling::{sample_ptk, SamplingOptions, StopCriterion};
+
+fn main() {
+    let ds = SyntheticDataset::generate(&SyntheticConfig::with_seed(99));
+    let p = 0.3;
+    println!(
+        "synthetic table: {} tuples, {} rules; threshold p = {p}",
+        ds.table.len(),
+        ds.table.rules().len()
+    );
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9} {:>10}",
+        "k",
+        "RC (ms)",
+        "RC+AR (ms)",
+        "RC+LR (ms)",
+        "sample (ms)",
+        "scanned",
+        "answers",
+        "agreement"
+    );
+
+    for k in [10, 50, 100, 200, 400] {
+        let mut times = Vec::new();
+        let mut exact_answers = Vec::new();
+        let mut scanned = 0;
+        for variant in [
+            SharingVariant::Rc,
+            SharingVariant::Aggressive,
+            SharingVariant::Lazy,
+        ] {
+            let started = Instant::now();
+            let result = evaluate_ptk(&ds.view, k, p, &EngineOptions::with_variant(variant));
+            times.push(started.elapsed().as_secs_f64() * 1e3);
+            scanned = result.stats.scanned;
+            exact_answers = result.answers;
+        }
+
+        let options = SamplingOptions {
+            stop: StopCriterion::Progressive {
+                d: 500,
+                phi: 0.002,
+                max_units: 20_000,
+            },
+            seed: 5,
+        };
+        let started = Instant::now();
+        let (sample_answers, _) = sample_ptk(&ds.view, k, p, &options);
+        let sample_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Answer agreement: |A ∩ B| / |A ∪ B|.
+        let inter = sample_answers
+            .iter()
+            .filter(|a| exact_answers.contains(a))
+            .count();
+        let union = exact_answers.len() + sample_answers.len() - inter;
+        let agreement = if union == 0 {
+            1.0
+        } else {
+            inter as f64 / union as f64
+        };
+
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>9} {:>9} {:>9.1}%",
+            k,
+            times[0],
+            times[1],
+            times[2],
+            sample_ms,
+            scanned,
+            exact_answers.len(),
+            agreement * 100.0
+        );
+    }
+    println!("\n(the exact engine wins at small k; sampling catches up as k grows — Figure 5's crossover)");
+}

@@ -1,0 +1,157 @@
+//! Statistical integration tests of the sampling method: convergence to the
+//! exact top-k probabilities, empirical validation of the Chernoff bound,
+//! and behaviour of the progressive stopping rule. All runs are seeded, so
+//! these tests are deterministic.
+#![allow(clippy::needless_range_loop)] // index-paired loops over parallel arrays
+
+mod common;
+
+use common::{panda_view, random_view};
+use ptk::engine::{topk_probabilities, SharingVariant};
+use ptk::sampling::{chernoff_sample_size, sample_topk, SamplingOptions, StopCriterion};
+
+#[test]
+fn error_shrinks_as_sample_grows() {
+    let view = random_view(7, 10);
+    let k = 3;
+    let (exact, _) = topk_probabilities(&view, k, SharingVariant::Lazy);
+    let mean_abs_error = |units: u64| -> f64 {
+        // Average over several seeds so the comparison is about sample
+        // size, not one RNG stream's luck.
+        let mut total = 0.0;
+        for seed in 0..5u64 {
+            let estimate = sample_topk(
+                &view,
+                k,
+                &SamplingOptions {
+                    stop: StopCriterion::FixedUnits(units),
+                    seed,
+                },
+            );
+            total += exact
+                .iter()
+                .zip(&estimate.probabilities)
+                .map(|(e, s)| (e - s).abs())
+                .sum::<f64>()
+                / exact.len() as f64;
+        }
+        total / 5.0
+    };
+    let coarse = mean_abs_error(100);
+    let fine = mean_abs_error(10_000);
+    assert!(
+        fine < coarse,
+        "10k-unit error {fine} should undercut 100-unit error {coarse}"
+    );
+    assert!(fine < 0.01, "10k-unit mean error {fine} too large");
+}
+
+#[test]
+fn chernoff_bound_holds_empirically() {
+    // With the Theorem 6 sample size for (eps, delta), the relative error
+    // on the panda tuples' Pr^2 must stay within eps for (almost) all of a
+    // batch of independent runs. We use tuples with sizeable Pr^k so the
+    // relative-error form is meaningful.
+    let view = panda_view();
+    let (exact, _) = topk_probabilities(&view, 2, SharingVariant::Lazy);
+    let epsilon = 0.2;
+    let delta = 0.1;
+    let units = chernoff_sample_size(epsilon, delta);
+    let mut violations = 0usize;
+    let mut checks = 0usize;
+    let runs = 40;
+    for seed in 0..runs {
+        let estimate = sample_topk(
+            &view,
+            2,
+            &SamplingOptions {
+                stop: StopCriterion::FixedUnits(units),
+                seed,
+            },
+        );
+        for pos in 0..view.len() {
+            if exact[pos] >= 0.1 {
+                checks += 1;
+                let rel = (estimate.probabilities[pos] - exact[pos]).abs() / exact[pos];
+                if rel > epsilon {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    // Theorem 6 guarantees a per-tuple failure probability of at most
+    // delta at this sample size, i.e. at most delta * checks expected
+    // violations. (In practice the bound is loose — the paper's Figure 6
+    // point — and this run observes roughly half the allowance.)
+    let allowance = (delta * checks as f64).ceil() as usize;
+    assert!(
+        violations <= allowance,
+        "{violations} Chernoff violations across {checks} checks at n = {units} \
+         (theorem allows {allowance})"
+    );
+}
+
+#[test]
+fn progressive_stops_no_later_than_its_cap_and_converges() {
+    let view = random_view(21, 12);
+    let k = 4;
+    let (exact, _) = topk_probabilities(&view, k, SharingVariant::Lazy);
+    let estimate = sample_topk(
+        &view,
+        k,
+        &SamplingOptions {
+            stop: StopCriterion::Progressive {
+                d: 2000,
+                phi: 0.001,
+                max_units: 100_000,
+            },
+            seed: 2,
+        },
+    );
+    assert!(estimate.units <= 100_000);
+    assert!(estimate.units >= 2000, "must draw at least one window");
+    let max_err = exact
+        .iter()
+        .zip(&estimate.probabilities)
+        .map(|(e, s)| (e - s).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 0.05, "progressive stop left error {max_err}");
+}
+
+#[test]
+fn sample_length_is_much_shorter_than_the_table_for_small_k() {
+    // §5 improvement 1: expected unit length ~ k / mu, not n.
+    let probs = vec![0.5; 2_000];
+    let view = ptk::RankedView::from_ranked_probs(&probs, &[]).unwrap();
+    let estimate = sample_topk(
+        &view,
+        5,
+        &SamplingOptions {
+            stop: StopCriterion::FixedUnits(2_000),
+            seed: 9,
+        },
+    );
+    assert!(
+        estimate.average_sample_length < 20.0,
+        "average length {} should be near k/mu = 10",
+        estimate.average_sample_length
+    );
+}
+
+#[test]
+fn estimates_stay_in_unit_interval() {
+    for seed in 0..10u64 {
+        let view = random_view(seed.wrapping_mul(31), 12);
+        let estimate = sample_topk(
+            &view,
+            3,
+            &SamplingOptions {
+                stop: StopCriterion::FixedUnits(500),
+                seed,
+            },
+        );
+        for &p in &estimate.probabilities {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}
