@@ -22,9 +22,9 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, BytesMut};
 use ptk_core::TupleId;
 
+use crate::bytebuf::ByteBuf;
 use crate::source::{RankedSource, RuleKey, SourceTuple};
 
 const MAGIC: &[u8; 8] = b"PTKRUN01";
@@ -73,14 +73,14 @@ pub fn write_run(path: &Path, rows: &[(f64, f64, Option<u32>)]) -> io::Result<()
     order.sort_by(|&a, &b| rows[b].0.total_cmp(&rows[a].0).then(a.cmp(&b)));
 
     let mut out = BufWriter::new(File::create(path)?);
-    let mut buf = BytesMut::with_capacity(8 + 8 + 4 + masses.len() * 8);
+    let mut buf = ByteBuf::with_capacity(8 + 8 + 4 + masses.len() * 8);
     buf.put_slice(MAGIC);
     buf.put_u64_le(rows.len() as u64);
     buf.put_u32_le(rule_count);
     for &m in &masses {
         buf.put_f64_le(m);
     }
-    out.write_all(&buf)?;
+    out.write_all(buf.as_slice())?;
     buf.clear();
     for &i in &order {
         let (score, prob, rule) = rows[i];
@@ -89,11 +89,11 @@ pub fn write_run(path: &Path, rows: &[(f64, f64, Option<u32>)]) -> io::Result<()
         buf.put_f64_le(score);
         buf.put_f64_le(prob);
         if buf.len() >= RECORD_BYTES * READ_CHUNK {
-            out.write_all(&buf)?;
+            out.write_all(buf.as_slice())?;
             buf.clear();
         }
     }
-    out.write_all(&buf)?;
+    out.write_all(buf.as_slice())?;
     out.flush()
 }
 
@@ -103,7 +103,7 @@ pub fn write_run(path: &Path, rows: &[(f64, f64, Option<u32>)]) -> io::Result<()
 #[derive(Debug)]
 pub struct FileSource {
     reader: BufReader<File>,
-    buffer: BytesMut,
+    buffer: ByteBuf,
     remaining: u64,
     rule_masses: Vec<f64>,
     last_score: f64,
@@ -121,23 +121,23 @@ impl FileSource {
         reader
             .read_exact(&mut header)
             .map_err(|_| invalid("truncated header"))?;
-        let mut slice = &header[..];
+        let mut head = ByteBuf::from_vec(header.to_vec());
         let mut magic = [0u8; 8];
-        slice.copy_to_slice(&mut magic);
+        head.copy_to_slice(&mut magic);
         if &magic != MAGIC {
             return Err(invalid("not a ptk run file (bad magic)"));
         }
-        let remaining = slice.get_u64_le();
-        let rule_count = slice.get_u32_le() as usize;
+        let remaining = head.get_u64_le();
+        let rule_count = head.get_u32_le() as usize;
         let mut mass_bytes = vec![0u8; rule_count * 8];
         reader
             .read_exact(&mut mass_bytes)
             .map_err(|_| invalid("truncated rule table"))?;
-        let mut mass_slice = &mass_bytes[..];
-        let rule_masses: Vec<f64> = (0..rule_count).map(|_| mass_slice.get_f64_le()).collect();
+        let mut masses = ByteBuf::from_vec(mass_bytes);
+        let rule_masses: Vec<f64> = (0..rule_count).map(|_| masses.get_f64_le()).collect();
         Ok(FileSource {
             reader,
-            buffer: BytesMut::new(),
+            buffer: ByteBuf::new(),
             remaining,
             rule_masses,
             last_score: f64::INFINITY,

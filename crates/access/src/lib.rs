@@ -19,7 +19,9 @@
 //!   far as the consumer actually pulls;
 //! * [`FileSource`] / [`write_run`] — on-disk sorted runs in a compact
 //!   binary format, streamed back with a bounded read buffer, so tables
-//!   larger than memory can still be scanned in ranking order.
+//!   larger than memory can still be scanned in ranking order;
+//! * [`ByteBuf`] — the in-repo byte read/write cursor behind the run-file
+//!   codec (the workspace builds hermetically, without the `bytes` crate).
 //!
 //! ```
 //! use ptk_access::{RankedSource, SortedVecSource};
@@ -37,10 +39,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bytebuf;
 mod file;
 mod source;
 mod ta;
 
+pub use bytebuf::ByteBuf;
 pub use file::{write_run, FileSource};
 pub use source::{RankedSource, RuleKey, SortedVecSource, SourceTuple, ViewSource};
 pub use ta::{AggregateFn, SortedList, TaSource};

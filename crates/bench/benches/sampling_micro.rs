@@ -4,8 +4,7 @@
 //! improvements.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use ptk_core::rng::{SeedableRng, StdRng};
 use std::hint::black_box;
 
 use ptk_datagen::{SyntheticConfig, SyntheticDataset};

@@ -10,11 +10,10 @@
 
 use ptk_access::{AggregateFn, RankedSource, TaSource, ViewSource};
 use ptk_bench::{sweeps, time_ms, Report};
+use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 use ptk_core::RankedView;
 use ptk_datagen::{SyntheticConfig, SyntheticDataset};
 use ptk_engine::{evaluate_ptk, evaluate_ptk_source, EngineOptions, StreamOptions};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 fn main() {
     let ds = SyntheticDataset::generate(&SyntheticConfig::with_seed(sweeps::SEED));

@@ -1,0 +1,250 @@
+//! A small deterministic property-testing harness.
+//!
+//! The workspace builds with zero external dependencies, so the proptest
+//! suites were reworked onto this harness: a property is a closure taking
+//! a seeded [`StdRng`] and a *size budget*, returning `Err(message)` on a
+//! counterexample. [`check`] sweeps a deterministic sequence of seeds with
+//! sizes ramping up from small to large; on failure it *shrinks by
+//! halving* — it re-runs the failing seed at half the size, quartered
+//! size, … and reports the smallest size that still fails, so the
+//! counterexample printed is as small as the property's generator allows.
+//!
+//! Assertions inside properties use [`prop_assert!`](crate::prop_assert)
+//! and [`prop_assert_eq!`](crate::prop_assert_eq), which return an `Err`
+//! instead of panicking so the harness can shrink before reporting.
+//!
+//! Everything is a pure function of [`Config::base_seed`]: the same binary
+//! checks the same cases on every machine, every run.
+
+use crate::rng::{RngCore, SeedableRng, SplitMix64, StdRng};
+
+/// How a [`check`] run sweeps its cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Base seed; each case's RNG seed is derived from it.
+    pub base_seed: u64,
+    /// Size budget of the first case (sizes ramp linearly to
+    /// [`Config::max_size`]).
+    pub min_size: usize,
+    /// Size budget of the last case.
+    pub max_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            base_seed: 0x5eed_ca5e,
+            min_size: 1,
+            max_size: 24,
+        }
+    }
+}
+
+impl Config {
+    /// `cases` cases with the default seed and size ramp.
+    pub fn cases(cases: u64) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// Replaces the size ramp.
+    pub fn sizes(self, min_size: usize, max_size: usize) -> Config {
+        Config {
+            min_size,
+            max_size,
+            ..self
+        }
+    }
+
+    /// Replaces the base seed (to give independent properties independent
+    /// streams).
+    pub fn seed(self, base_seed: u64) -> Config {
+        Config { base_seed, ..self }
+    }
+
+    fn size_for_case(&self, case: u64) -> usize {
+        if self.cases <= 1 || self.max_size <= self.min_size {
+            return self.max_size.max(self.min_size);
+        }
+        let span = (self.max_size - self.min_size) as u64;
+        self.min_size + (case * span / (self.cases - 1)) as usize
+    }
+}
+
+/// Runs `property` over `config.cases` deterministic cases.
+///
+/// The property receives a freshly seeded [`StdRng`] and a size budget —
+/// by convention the maximum number of tuples/elements it should
+/// generate. On a failure the harness shrinks the size by halving (same
+/// seed) and panics with the smallest failing `(seed, size)` pair, which
+/// can be replayed directly.
+///
+/// # Panics
+/// Panics when the property returns `Err` for some case, after shrinking.
+pub fn check<F>(name: &str, config: Config, property: F)
+where
+    F: Fn(&mut StdRng, usize) -> Result<(), String>,
+{
+    let mut derive = SplitMix64::seed_from_u64(config.base_seed);
+    for case in 0..config.cases {
+        let seed = derive.next_u64();
+        let size = config.size_for_case(case);
+        let run = |size: usize| property(&mut StdRng::seed_from_u64(seed), size);
+        let Err(original) = run(size) else {
+            continue;
+        };
+
+        // Shrink by halving the size budget while the failure persists.
+        let mut smallest = (size, original);
+        let mut candidate = size / 2;
+        while candidate >= 1 && candidate < smallest.0 {
+            match run(candidate) {
+                Err(message) => {
+                    smallest = (candidate, message);
+                    candidate /= 2;
+                }
+                Ok(()) => break,
+            }
+        }
+        let (small_size, message) = smallest;
+        panic!(
+            "property '{name}' failed (case {case}/{}): {message}\n\
+             minimal reproduction: seed {seed:#018x}, size {small_size} \
+             (first failed at size {size})",
+            config.cases
+        );
+    }
+}
+
+/// [`check`] with the default [`Config`] (64 cases, sizes 1..=24).
+pub fn check_default<F>(name: &str, property: F)
+where
+    F: Fn(&mut StdRng, usize) -> Result<(), String>,
+{
+    check(name, Config::default(), property);
+}
+
+/// Fails a property with a message unless `cond` holds; analogous to
+/// `assert!` but returns `Err` so [`check`](crate::check::check) can
+/// shrink. Use inside closures passed to the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !($cond) {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Fails a property unless the two expressions compare equal; analogous
+/// to `assert_eq!` but returns `Err` for the harness to shrink.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n right: {r:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "{}\n  left: {l:?}\n right: {r:?}",
+                format!($($arg)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngExt;
+
+    #[test]
+    fn passing_property_completes() {
+        check("tautology", Config::cases(32), |rng, size| {
+            let n = rng.random_range(0..=size);
+            prop_assert!(n <= size, "{n} > {size}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failure_reports_shrunken_size() {
+        let outcome = std::panic::catch_unwind(|| {
+            check(
+                "always-fails",
+                Config::cases(4).sizes(1, 64),
+                |_rng, _size| Err("nope".to_owned()),
+            );
+        });
+        let message = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("'always-fails'"), "{message}");
+        assert!(message.contains("size 1"), "{message}");
+        assert!(message.contains("seed 0x"), "{message}");
+    }
+
+    #[test]
+    fn shrinking_stops_at_smallest_failing_size() {
+        // Fails only at size >= 10: the shrink loop must stop above 9.
+        let outcome = std::panic::catch_unwind(|| {
+            check("threshold", Config::cases(1).sizes(40, 40), |_rng, size| {
+                if size >= 10 {
+                    Err(format!("failed at {size}"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let message = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("size 10"), "{message}");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        // Record the (seed, size) pairs of two runs; they must coincide.
+        let record = || {
+            let mut pairs = Vec::new();
+            let pairs_ref = std::cell::RefCell::new(&mut pairs);
+            check("recorder", Config::cases(16), |rng, size| {
+                pairs_ref.borrow_mut().push((rng.next_u64(), size));
+                Ok(())
+            });
+            pairs
+        };
+        assert_eq!(record(), record());
+    }
+
+    #[test]
+    fn sizes_ramp_from_min_to_max() {
+        let config = Config::cases(11).sizes(5, 15);
+        assert_eq!(config.size_for_case(0), 5);
+        assert_eq!(config.size_for_case(10), 15);
+        for case in 0..10 {
+            assert!(config.size_for_case(case) <= config.size_for_case(case + 1));
+        }
+    }
+}

@@ -17,6 +17,11 @@
 //! generation rules projected onto the selected tuples (the table `P(T)` of
 //! the paper, §4).
 //!
+//! Two infrastructure modules support the workspace's zero-dependency
+//! policy: [`rng`] (the deterministic in-repo PRNG stack behind the
+//! sampling method and the workload generators) and [`check`] (a small
+//! seed-sweeping property-test harness replacing proptest).
+//!
 //! ```
 //! use ptk_core::{UncertainTableBuilder, Value, TopKQuery, Ranking, SortDirection, PtkQuery};
 //!
@@ -37,10 +42,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 mod error;
 mod prob;
 mod query;
 mod ranked;
+pub mod rng;
 mod rule;
 mod table;
 mod tuple;

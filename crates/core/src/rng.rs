@@ -1,0 +1,544 @@
+//! Deterministic in-repo pseudo-random number generation.
+//!
+//! The workspace builds hermetically — no crates.io dependencies — so the
+//! randomness the sampling method (§5 of the paper) and the workload
+//! generators need lives here. The stack is the classic public-domain
+//! trio:
+//!
+//! * [`SplitMix64`] — a 64-bit mixer used to expand a single `u64` seed
+//!   into full generator state (and usable as a tiny generator itself);
+//! * [`Xoshiro256pp`] (xoshiro256++) — the workhorse generator behind
+//!   [`StdRng`]: 256 bits of state, period `2^256 − 1`, passes BigCrush;
+//! * [`Pcg32`] — a compact alternative stream for callers that want an
+//!   independent generator family (e.g. cross-checking that a statistical
+//!   result is not an artifact of one generator).
+//!
+//! Every generator is seeded explicitly ([`SeedableRng::seed_from_u64`]);
+//! there is deliberately no entropy-based constructor, so every run of
+//! every experiment is bit-reproducible given its configured seed. The
+//! [`RngExt`] extension trait supplies the derived draws the workspace
+//! uses: uniform `u64`/bounded integers (Lemire's unbiased multiply-shift
+//! rejection), `f64` in `[0, 1)` (53-bit mantissa fill), uniform ranges,
+//! Bernoulli trials, Fisher–Yates shuffles and Box–Muller normals.
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits (the high half of
+    /// [`RngCore::next_u64`] by default — the high bits are the best bits
+    /// for every generator here).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's default generator: xoshiro256++ behind a stable name,
+/// so call sites don't couple to the concrete algorithm.
+pub type StdRng = Xoshiro256pp;
+
+/// Sebastiano Vigna's SplitMix64: one multiply-xorshift mix per output,
+/// period `2^64`. Used to expand seeds; adequate as a generator for
+/// non-statistical uses (id jumbling, tie-breaking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(Self::GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Blackman & Vigna's xoshiro256++: 4×64 bits of state, period
+/// `2^256 − 1`, no known statistical failures. The `++` scrambler returns
+/// a rotated sum, so the low bits are as strong as the high bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256pp {
+    /// Expands `seed` through [`SplitMix64`], per the authors'
+    /// recommendation; the all-zero state (the one fixed point) cannot
+    /// arise from four consecutive SplitMix64 outputs.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut mixer = SplitMix64::seed_from_u64(seed);
+        Xoshiro256pp {
+            s: [
+                mixer.next_u64(),
+                mixer.next_u64(),
+                mixer.next_u64(),
+                mixer.next_u64(),
+            ],
+        }
+    }
+}
+
+impl RngCore for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// O'Neill's PCG-XSH-RR 64/32: a 64-bit LCG with a permuted 32-bit
+/// output. One multiply per 32 bits; an independent generator family from
+/// the xoshiro line for cross-checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    const MULTIPLIER: u64 = 6_364_136_223_846_793_005;
+
+    /// Builds a generator on an explicit stream (`inc` selects one of
+    /// `2^63` independent sequences).
+    pub fn new(seed: u64, stream: u64) -> Pcg32 {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.step();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.step();
+        rng
+    }
+
+    fn step(&mut self) {
+        self.state = self
+            .state
+            .wrapping_mul(Self::MULTIPLIER)
+            .wrapping_add(self.inc);
+    }
+}
+
+impl SeedableRng for Pcg32 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Pcg32::new(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+}
+
+impl RngCore for Pcg32 {
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.step();
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+}
+
+/// Unbiased draw from `[0, span)` via Lemire's multiply-shift rejection.
+/// `span` must be nonzero.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    if (m as u64) < span {
+        // Reject the draws that would make low residues over-represented.
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A `f64` uniform on `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A `f64` uniform on the closed interval `[0, 1]`.
+fn unit_f64_inclusive<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+/// The largest float strictly below `x` (for clamping half-open ranges).
+fn next_down(x: f64) -> f64 {
+    debug_assert!(x.is_finite());
+    if x == 0.0 {
+        -f64::MIN_POSITIVE
+    } else if x > 0.0 {
+        f64::from_bits(x.to_bits() - 1)
+    } else {
+        f64::from_bits(x.to_bits() + 1)
+    }
+}
+
+/// Types drawable from their "standard" distribution by
+/// [`RngExt::random`]: full-width uniform for integers, `[0, 1)` for
+/// floats, a fair coin for `bool`.
+pub trait Random: Sized {
+    /// Draws one value.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Random for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Random for f32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with uniform draws over a sub-range, for [`RngExt::random_range`].
+pub trait UniformSample: Copy + PartialOrd {
+    /// Uniform on `[lo, hi)`. Panics if the range is empty.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform on `[lo, hi]`. Panics if `hi < lo`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $unsigned:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample from the empty range {lo}..{hi}");
+                let span = (hi as $unsigned).wrapping_sub(lo as $unsigned);
+                lo.wrapping_add(bounded_u64(rng, span as u64) as $t)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample from the empty range {lo}..={hi}");
+                let span = (hi as $unsigned).wrapping_sub(lo as $unsigned);
+                match (span as u64).checked_add(1) {
+                    Some(n) => lo.wrapping_add(bounded_u64(rng, n) as $t),
+                    // The full type domain: every word is a valid draw.
+                    None => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty => $unit:ident, $unit_inclusive:ident),*) => {$(
+        impl UniformSample for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample from the empty range {lo}..{hi}");
+                let x = lo + $unit(rng) as $t * (hi - lo);
+                // Rounding at the top of wide ranges can land on `hi`.
+                if x < hi { x } else { next_down(f64::from(hi)) as $t }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample from the empty range {lo}..={hi}");
+                (lo + $unit_inclusive(rng) as $t * (hi - lo)).clamp(lo, hi)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f64 => unit_f64, unit_f64_inclusive, f32 => unit_f64, unit_f64_inclusive);
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Derived draws over any [`RngCore`]; blanket-implemented, so any
+/// generator (or `&mut` / `dyn` generator) has these methods.
+pub trait RngExt: RngCore {
+    /// Draws from `T`'s standard distribution ([`Random`]): full-width
+    /// uniform integers, `f64`/`f32` uniform on `[0, 1)`, fair `bool`.
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Draws uniformly from a range: `random_range(0..n)`,
+    /// `random_range(a..=b)`. Unbiased for integers (Lemire rejection).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: UniformSample, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A Bernoulli trial: `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+
+    /// Draws from the normal distribution `N(mu, sigma)` via the
+    /// Box–Muller transform (two uniforms per sample, no cached spare, so
+    /// the stream position is a pure function of the call count).
+    fn random_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        // u1 in (0, 1] so ln is finite.
+        let u1 = 1.0 - unit_f64(self);
+        let u2 = unit_f64(self);
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        mu + sigma * z
+    }
+
+    /// Uniformly shuffles `slice` in place (Fisher–Yates).
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = bounded_u64(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        // First outputs for seed 0 from Vigna's splitmix64.c.
+        let mut rng = SplitMix64::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(rng.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(rng.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn pcg32_matches_reference_vectors() {
+        // pcg32_random_r demo seeding: state 42, stream 54.
+        let mut rng = Pcg32::new(42, 54);
+        let expected: [u32; 6] = [
+            0xa15c_02b7,
+            0x7b47_f409,
+            0xba1d_3330,
+            0x83d2_f293,
+            0xbfa4_784b,
+            0xcbed_606e,
+        ];
+        for want in expected {
+            assert_eq!(rng.next_u32(), want);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_seed_sensitive() {
+        let stream = |seed: u64| -> Vec<u64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(stream(7), stream(7));
+        assert_ne!(stream(7), stream(8));
+    }
+
+    #[test]
+    fn unit_floats_stay_in_their_intervals() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.random_range(0.05..=1.0f64);
+            assert!((0.05..=1.0).contains(&y));
+            let z = rng.random_range(-0.005..0.005f64);
+            assert!((-0.005..0.005).contains(&z));
+        }
+    }
+
+    #[test]
+    fn bounded_integers_cover_uniformly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 7];
+        let draws = 70_000;
+        for _ in 0..draws {
+            counts[rng.random_range(0..7usize)] += 1;
+        }
+        for &c in &counts {
+            let freq = f64::from(c) / f64::from(draws);
+            assert!((freq - 1.0 / 7.0).abs() < 0.01, "freq {freq}");
+        }
+        // Inclusive ranges include both endpoints.
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            match rng.random_range(2..=4usize) {
+                2 => lo_seen = true,
+                4 => hi_seen = true,
+                3 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn signed_ranges_span_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut below = 0;
+        for _ in 0..10_000 {
+            let x = rng.random_range(-50..50i64);
+            assert!((-50..50).contains(&x));
+            if x < 0 {
+                below += 1;
+            }
+        }
+        assert!((below as f64 / 10_000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+        let _: i64 = rng.random_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.random_range(3..3usize);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_mixes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle fixing every point");
+        // First-position uniformity over many shuffles.
+        let mut first = [0u32; 5];
+        for _ in 0..50_000 {
+            let mut w = [0usize, 1, 2, 3, 4];
+            rng.shuffle(&mut w);
+            first[w[0]] += 1;
+        }
+        for &c in &first {
+            assert!((f64::from(c) / 50_000.0 - 0.2).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.random_normal(3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "variance {var}");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn mut_reference_forwards() {
+        let mut rng = StdRng::seed_from_u64(9);
+        fn takes_generic<R: RngExt>(mut r: R) -> u64 {
+            r.next_u64()
+        }
+        let direct = StdRng::seed_from_u64(9).next_u64();
+        assert_eq!(takes_generic(&mut rng), direct);
+    }
+
+    #[test]
+    fn pcg_and_xoshiro_agree_statistically() {
+        // Cross-family check: both estimate the same mean.
+        let mean_of = |mut rng: Box<dyn FnMut() -> f64>| -> f64 {
+            (0..50_000).map(|_| rng()).sum::<f64>() / 50_000.0
+        };
+        let mut a = StdRng::seed_from_u64(10);
+        let mut b = Pcg32::seed_from_u64(10);
+        let ma = mean_of(Box::new(move || a.random()));
+        let mb = mean_of(Box::new(move || b.random()));
+        assert!((ma - 0.5).abs() < 0.01, "{ma}");
+        assert!((mb - 0.5).abs() < 0.01, "{mb}");
+    }
+}

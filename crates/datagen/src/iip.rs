@@ -20,11 +20,10 @@
 //! depend on this structure, not on the underlying real measurements — see
 //! `DESIGN.md` for the substitution argument.
 
+use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 use ptk_core::{
     RankedView, Ranking, TopKQuery, TupleId, UncertainTable, UncertainTableBuilder, Value,
 };
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::normal::sample_normal;
 

@@ -1,18 +1,15 @@
 //! Normal sampling via Box–Muller.
 //!
-//! The approved dependency set does not include `rand_distr`, and the only
-//! distribution the paper's workloads need is the normal, so a minimal
-//! Box–Muller transform lives here.
+//! The workspace has no external dependencies, so no `rand_distr`; the
+//! only distribution the paper's workloads need is the normal, and
+//! [`ptk_core::rng`] provides it via a Box–Muller transform. These
+//! wrappers keep datagen's historical call surface.
 
-use rand::RngExt;
+use ptk_core::rng::RngExt;
 
 /// Draws one sample from `N(mu, sigma)`.
 pub fn sample_normal<R: RngExt + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
-    // Box–Muller: u1 in (0, 1] to avoid ln(0).
-    let u1: f64 = 1.0 - rng.random::<f64>();
-    let u2: f64 = rng.random();
-    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-    mu + sigma * z
+    rng.random_normal(mu, sigma)
 }
 
 /// Draws from `N(mu, sigma)` and clamps into `[lo, hi]` — the paper's
@@ -30,8 +27,7 @@ pub fn sample_normal_clamped<R: RngExt + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptk_core::rng::{SeedableRng, StdRng};
 
     #[test]
     fn mean_and_variance_converge() {

@@ -1,10 +1,9 @@
 //! Synthetic uncertain tables per §6.2 of the paper.
 
+use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 use ptk_core::{
     RankedView, Ranking, TopKQuery, TupleId, UncertainTable, UncertainTableBuilder, Value,
 };
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::normal::{sample_normal, sample_normal_clamped};
 
@@ -124,10 +123,7 @@ impl SyntheticDataset {
 
         // Shuffle positions; the first `dependent` become rule members.
         let mut positions: Vec<usize> = (0..n).collect();
-        for i in (1..n).rev() {
-            let j = rng.random_range(0..=i);
-            positions.swap(i, j);
-        }
+        rng.shuffle(&mut positions);
 
         // Membership probability per position.
         let mut probs = vec![0.0f64; n];

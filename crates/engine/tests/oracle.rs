@@ -3,8 +3,7 @@
 //! variant, with and without pruning.
 #![allow(clippy::needless_range_loop)] // index-paired loops over parallel arrays
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 
 use ptk_core::RankedView;
 use ptk_engine::{

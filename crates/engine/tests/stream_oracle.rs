@@ -2,8 +2,7 @@
 //! `SortedVecSource` or a `TaSource` must produce exactly the same PT-k
 //! answers as the view-based engine and the possible-world enumeration.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 
 use ptk_access::{AggregateFn, SortedVecSource, TaSource, ViewSource};
 use ptk_core::RankedView;

@@ -131,8 +131,7 @@ mod tests {
 
     #[test]
     fn matches_enumeration_on_random_views() {
-        use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use ptk_core::rng::{RngExt, SeedableRng, StdRng};
         let mut rng = StdRng::seed_from_u64(77);
         for trial in 0..40 {
             let n = rng.random_range(1..=10usize);

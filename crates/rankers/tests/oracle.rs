@@ -1,8 +1,7 @@
 //! Randomized oracle tests: U-TopK and U-KRanks must agree with naive
 //! possible-world enumeration on small random tables.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 
 use ptk_core::RankedView;
 use ptk_rankers::{ukranks, utopk, UTopKOptions};

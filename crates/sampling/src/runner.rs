@@ -1,8 +1,7 @@
 //! Sampling runs: stopping criteria and estimate aggregation.
 
+use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 use ptk_core::RankedView;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::bounds::chernoff_sample_size;
 use crate::sampler::WorldSampler;

@@ -1,7 +1,7 @@
 //! Possible-world sample-unit generation.
 
+use ptk_core::rng::RngExt;
 use ptk_core::RankedView;
-use rand::RngExt;
 
 /// Generates sample units (possible worlds truncated to their top-k) from a
 /// ranked view, under the distribution induced by the membership
@@ -122,8 +122,7 @@ impl<'v> WorldSampler<'v> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use ptk_core::rng::{SeedableRng, StdRng};
 
     fn panda() -> RankedView {
         RankedView::from_ranked_probs(&[0.3, 0.4, 0.8, 0.5, 1.0, 0.2], &[vec![1, 3], vec![2, 5]])

@@ -1,161 +1,179 @@
 //! Property tests of the SQL front end: generated ASTs render to text that
 //! re-parses to the identical AST, and the parser never panics on
-//! arbitrary input.
+//! arbitrary input. They run on the in-repo deterministic harness
+//! ([`ptk_core::check`]).
 
-use proptest::prelude::*;
-
-use ptk_core::SortDirection;
+use ptk_core::check::{check, Config};
+use ptk_core::rng::{RngExt, StdRng};
+use ptk_core::{prop_assert, prop_assert_eq, SortDirection};
 use ptk_sql::{parse_statement, Condition, Literal, Method, ParsedQuery, QueryKind, Statement};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
-        !matches!(
-            s.as_str(),
-            "select"
-                | "top"
-                | "from"
-                | "where"
-                | "order"
-                | "by"
-                | "asc"
-                | "desc"
-                | "with"
-                | "probability"
-                | "threshold"
-                | "using"
-                | "and"
-                | "or"
-                | "not"
-                | "true"
-                | "false"
-                | "null"
-                | "explain"
-                | "utopk"
-                | "ukranks"
-                | "erank"
-        )
-    })
+const KEYWORDS: &[&str] = &[
+    "select",
+    "top",
+    "from",
+    "where",
+    "order",
+    "by",
+    "asc",
+    "desc",
+    "with",
+    "probability",
+    "threshold",
+    "using",
+    "and",
+    "or",
+    "not",
+    "true",
+    "false",
+    "null",
+    "explain",
+    "utopk",
+    "ukranks",
+    "erank",
+];
+
+/// `[a-z][a-z0-9_]{0,8}`, never a keyword.
+fn ident(rng: &mut StdRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    loop {
+        let mut s = String::new();
+        s.push(FIRST[rng.random_range(0..FIRST.len())] as char);
+        for _ in 0..rng.random_range(0..=8usize) {
+            s.push(REST[rng.random_range(0..REST.len())] as char);
+        }
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
+    }
 }
 
-fn literal() -> impl Strategy<Value = Literal> {
-    prop_oneof![
+/// Printable ASCII (space..tilde) of length `0..=max_len`, minus `exclude`.
+fn printable(rng: &mut StdRng, max_len: usize, exclude: &[char]) -> String {
+    let len = rng.random_range(0..=max_len);
+    let mut s = String::with_capacity(len);
+    while s.chars().count() < len {
+        let c = char::from(rng.random_range(0x20..=0x7eu32) as u8);
+        if !exclude.contains(&c) {
+            s.push(c);
+        }
+    }
+    s
+}
+
+fn literal(rng: &mut StdRng) -> Literal {
+    match rng.random_range(0..4u32) {
         // Finite, round-trippable numbers (f64 Display round-trips exactly).
-        (-1e6f64..1e6).prop_map(Literal::Number),
-        "[ -~&&[^']]{0,12}".prop_map(Literal::Str),
-        any::<bool>().prop_map(Literal::Bool),
-        Just(Literal::Null),
-    ]
+        0 => Literal::Number(rng.random_range(-1e6..1e6f64)),
+        1 => Literal::Str(printable(rng, 12, &['\''])),
+        2 => Literal::Bool(rng.random_bool(0.5)),
+        _ => Literal::Null,
+    }
 }
 
-fn condition() -> impl Strategy<Value = Condition> {
-    let leaf = (
-        ident(),
-        prop_oneof![
-            Just("="),
-            Just("!="),
-            Just("<"),
-            Just("<="),
-            Just(">"),
-            Just(">="),
-        ],
-        literal(),
-    )
-        .prop_map(|(column, op, value)| Condition::Compare { column, op, value });
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Condition::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Condition::Or(Box::new(l), Box::new(r))),
-            inner.prop_map(|c| Condition::Not(Box::new(c))),
-        ]
-    })
+fn condition(rng: &mut StdRng, depth: usize) -> Condition {
+    if depth == 0 || rng.random_bool(0.4) {
+        const OPS: &[&str] = &["=", "!=", "<", "<=", ">", ">="];
+        return Condition::Compare {
+            column: ident(rng),
+            op: OPS[rng.random_range(0..OPS.len())],
+            value: literal(rng),
+        };
+    }
+    match rng.random_range(0..3u32) {
+        0 => Condition::And(
+            Box::new(condition(rng, depth - 1)),
+            Box::new(condition(rng, depth - 1)),
+        ),
+        1 => Condition::Or(
+            Box::new(condition(rng, depth - 1)),
+            Box::new(condition(rng, depth - 1)),
+        ),
+        _ => Condition::Not(Box::new(condition(rng, depth - 1))),
+    }
 }
 
-fn statement() -> impl Strategy<Value = Statement> {
-    (
-        prop_oneof![
-            Just(QueryKind::Ptk),
-            Just(QueryKind::UTopK),
-            Just(QueryKind::UKRanks),
-            Just(QueryKind::ExpectedRank),
-        ],
-        1usize..1000,
-        ident(),
-        prop::option::of(condition()),
-        ident(),
-        any::<bool>(),
-        (0.01f64..=1.0),
-        any::<bool>(),
-        0u8..3,
-        any::<bool>(),
-    )
-        .prop_map(
-            |(
-                kind,
-                k,
-                table,
-                condition,
-                order_by,
-                asc,
-                threshold,
-                explicit_threshold,
-                method,
-                explain,
-            )| {
-                let is_ptk = kind == QueryKind::Ptk;
-                Statement {
-                    kind,
-                    query: ParsedQuery {
-                        k,
-                        table,
-                        condition,
-                        order_by,
-                        direction: if asc {
-                            SortDirection::Ascending
-                        } else {
-                            SortDirection::Descending
-                        },
-                        threshold: if is_ptk && explicit_threshold {
-                            threshold
-                        } else {
-                            0.5
-                        },
-                        method: match (is_ptk, method) {
-                            (true, 1) => Method::Sampling,
-                            (true, 2) => Method::Naive,
-                            _ => Method::Exact,
-                        },
-                        explicit_threshold: is_ptk && explicit_threshold,
-                    },
-                    explain,
-                }
+fn statement(rng: &mut StdRng) -> Statement {
+    let kind = match rng.random_range(0..4u32) {
+        0 => QueryKind::Ptk,
+        1 => QueryKind::UTopK,
+        2 => QueryKind::UKRanks,
+        _ => QueryKind::ExpectedRank,
+    };
+    let is_ptk = kind == QueryKind::Ptk;
+    let condition = if rng.random_bool(0.5) {
+        Some(condition(rng, 4))
+    } else {
+        None
+    };
+    let explicit_threshold = rng.random_bool(0.5);
+    let method = rng.random_range(0..3u8);
+    Statement {
+        kind,
+        query: ParsedQuery {
+            k: rng.random_range(1..1000usize),
+            table: ident(rng),
+            condition,
+            order_by: ident(rng),
+            direction: if rng.random_bool(0.5) {
+                SortDirection::Ascending
+            } else {
+                SortDirection::Descending
             },
-        )
+            threshold: if is_ptk && explicit_threshold {
+                rng.random_range(0.01..=1.0f64)
+            } else {
+                0.5
+            },
+            method: match (is_ptk, method) {
+                (true, 1) => Method::Sampling,
+                (true, 2) => Method::Naive,
+                _ => Method::Exact,
+            },
+            explicit_threshold: is_ptk && explicit_threshold,
+        },
+        explain: rng.random_bool(0.5),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Render → parse is the identity on generated statements.
-    #[test]
-    fn rendered_statements_reparse_identically(s in statement()) {
+/// Render → parse is the identity on generated statements.
+#[test]
+fn rendered_statements_reparse_identically() {
+    check("statement roundtrip", Config::cases(256), |rng, _size| {
+        let s = statement(rng);
         let rendered = s.to_string();
         let reparsed = parse_statement(&rendered);
         prop_assert!(reparsed.is_ok(), "'{rendered}' fails: {:?}", reparsed.err());
         prop_assert_eq!(s, reparsed.unwrap(), "via '{}'", rendered);
-    }
+        Ok(())
+    });
+}
 
-    /// The parser never panics, whatever the input (errors are fine).
-    #[test]
-    fn parser_is_panic_free(input in "[ -~]{0,80}") {
-        let _ = parse_statement(&input);
-    }
+/// The parser never panics, whatever the input (errors are fine).
+#[test]
+fn parser_is_panic_free() {
+    check(
+        "parser panic-free",
+        Config::cases(256).sizes(0, 80),
+        |rng, size| {
+            let _ = parse_statement(&printable(rng, size, &[]));
+            Ok(())
+        },
+    );
+}
 
-    /// Nor on inputs that start like real statements.
-    #[test]
-    fn parser_is_panic_free_on_near_misses(tail in "[ -~]{0,40}") {
-        let _ = parse_statement(&format!("SELECT TOP 3 FROM t {tail}"));
-        let _ = parse_statement(&format!("SELECT TOP {tail}"));
-    }
+/// Nor on inputs that start like real statements.
+#[test]
+fn parser_is_panic_free_on_near_misses() {
+    check(
+        "parser near misses",
+        Config::cases(256).sizes(0, 40),
+        |rng, size| {
+            let tail = printable(rng, size, &[]);
+            let _ = parse_statement(&format!("SELECT TOP 3 FROM t {tail}"));
+            let _ = parse_statement(&format!("SELECT TOP {tail}"));
+            Ok(())
+        },
+    );
 }

@@ -13,8 +13,7 @@
 //!
 //! Run with: `cargo run --release --example streaming_ta`
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ptk::rng::{RngExt, SeedableRng, StdRng};
 
 use ptk::{evaluate_ptk_source, AggregateFn, RankedSource, StreamOptions, TaSource};
 

@@ -9,8 +9,7 @@
 //!
 //! Run with: `cargo run --example vehicle_tracking`
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ptk::rng::{RngExt, SeedableRng, StdRng};
 
 use ptk::{
     answer_exact, answer_sampling, ComparisonOp, ExactOptions, Predicate, PtkQuery, Ranking,

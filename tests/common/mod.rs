@@ -1,8 +1,7 @@
 //! Shared helpers for the workspace integration tests.
 #![allow(dead_code)] // each integration test binary uses a subset of these
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use ptk::rng::{RngExt, SeedableRng, StdRng};
 
 use ptk::RankedView;
 
@@ -21,10 +20,7 @@ pub fn random_view(seed: u64, max_n: usize) -> RankedView {
     let n = rng.random_range(1..=max_n);
     let probs: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..=1.0f64)).collect();
     let mut positions: Vec<usize> = (0..n).collect();
-    for i in (1..positions.len()).rev() {
-        let j = rng.random_range(0..=i);
-        positions.swap(i, j);
-    }
+    rng.shuffle(&mut positions);
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut cursor = 0;
     while cursor + 1 < positions.len() {

@@ -1,14 +1,17 @@
-//! Property-based tests (proptest) of the workspace's core invariants.
+//! Property-based tests of the workspace's core invariants, on the in-repo
+//! deterministic harness ([`ptk::check`]).
 //!
-//! Strategy: proptest drives a seed and size bound; a deterministic builder
-//! turns them into a random uncertain ranked view with disjoint rules. Every
-//! invariant is checked against the possible-world enumeration oracle where
-//! one exists.
+//! Strategy: the harness drives a seeded RNG and a size budget; a
+//! deterministic builder turns them into a random uncertain ranked view
+//! with disjoint rules. Every invariant is checked against the
+//! possible-world enumeration oracle where one exists.
 
 mod common;
 
 use common::random_view;
-use proptest::prelude::*;
+use ptk::check::{check, Config};
+use ptk::rng::{RngCore, RngExt};
+use ptk::{prop_assert, prop_assert_eq};
 
 use ptk::engine::{
     dp, evaluate_ptk, position_probabilities, topk_probabilities, EngineOptions, Scanner,
@@ -16,154 +19,249 @@ use ptk::engine::{
 };
 use ptk::worlds::{enumerate, naive};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// World probabilities are a distribution: nonnegative, summing to 1.
+#[test]
+fn world_probabilities_form_a_distribution() {
+    check(
+        "world distribution",
+        Config::cases(64).sizes(1, 10),
+        |rng, size| {
+            let view = random_view(rng.next_u64(), size);
+            let worlds = enumerate(&view).unwrap();
+            let total: f64 = worlds.iter().map(|w| w.prob).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(worlds.iter().all(|w| w.prob >= 0.0));
+            Ok(())
+        },
+    );
+}
 
-    /// World probabilities are a distribution: nonnegative, summing to 1.
-    #[test]
-    fn world_probabilities_form_a_distribution(seed in any::<u64>()) {
-        let view = random_view(seed, 10);
-        let worlds = enumerate(&view).unwrap();
-        let total: f64 = worlds.iter().map(|w| w.prob).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(worlds.iter().all(|w| w.prob >= 0.0));
-    }
+/// Σ_t Pr^k(t) = E[min(k, |W|)] — the total top-k mass equals the
+/// expected size of the (possibly short) top-k list.
+#[test]
+fn total_topk_mass_is_expected_list_size() {
+    check(
+        "total top-k mass",
+        Config::cases(64).sizes(1, 10),
+        |rng, size| {
+            let k = rng.random_range(1..6usize);
+            let view = random_view(rng.next_u64(), size);
+            let (pr, _) = topk_probabilities(&view, k, SharingVariant::Lazy);
+            let total: f64 = pr.iter().sum();
+            let expected: f64 = enumerate(&view)
+                .unwrap()
+                .iter()
+                .map(|w| w.prob * w.len().min(k) as f64)
+                .sum();
+            prop_assert!((total - expected).abs() < 1e-9, "{total} vs {expected}");
+            Ok(())
+        },
+    );
+}
 
-    /// Σ_t Pr^k(t) = E[min(k, |W|)] — the total top-k mass equals the
-    /// expected size of the (possibly short) top-k list.
-    #[test]
-    fn total_topk_mass_is_expected_list_size(seed in any::<u64>(), k in 1usize..6) {
-        let view = random_view(seed, 10);
-        let (pr, _) = topk_probabilities(&view, k, SharingVariant::Lazy);
-        let total: f64 = pr.iter().sum();
-        let expected: f64 = enumerate(&view)
-            .unwrap()
-            .iter()
-            .map(|w| w.prob * w.len().min(k) as f64)
-            .sum();
-        prop_assert!((total - expected).abs() < 1e-9, "{total} vs {expected}");
-    }
-
-    /// Pr^k(t) <= Pr(t) (the premise of Theorem 3), and Pr^k is monotone in
-    /// k.
-    #[test]
-    fn topk_probability_bounds(seed in any::<u64>()) {
-        let view = random_view(seed, 10);
-        let (pr2, _) = topk_probabilities(&view, 2, SharingVariant::Lazy);
-        let (pr4, _) = topk_probabilities(&view, 4, SharingVariant::Lazy);
-        for pos in 0..view.len() {
-            prop_assert!(pr2[pos] <= view.prob(pos) + 1e-12);
-            prop_assert!(pr2[pos] <= pr4[pos] + 1e-12, "Pr^k must grow with k");
-            prop_assert!(pr2[pos] >= -1e-12);
-        }
-    }
-
-    /// The engine equals the enumeration oracle for every sharing variant.
-    #[test]
-    fn engine_matches_oracle(seed in any::<u64>(), k in 1usize..5) {
-        let view = random_view(seed, 9);
-        let oracle = naive::topk_probabilities(&view, k).unwrap();
-        for variant in [SharingVariant::Rc, SharingVariant::Aggressive, SharingVariant::Lazy] {
-            let (pr, _) = topk_probabilities(&view, k, variant);
+/// Pr^k(t) <= Pr(t) (the premise of Theorem 3), and Pr^k is monotone in k.
+#[test]
+fn topk_probability_bounds() {
+    check(
+        "top-k probability bounds",
+        Config::cases(64).sizes(1, 10),
+        |rng, size| {
+            let view = random_view(rng.next_u64(), size);
+            let (pr2, _) = topk_probabilities(&view, 2, SharingVariant::Lazy);
+            let (pr4, _) = topk_probabilities(&view, 4, SharingVariant::Lazy);
             for pos in 0..view.len() {
-                prop_assert!((pr[pos] - oracle[pos]).abs() < 1e-10,
-                    "{variant:?} pos {pos}: {} vs {}", pr[pos], oracle[pos]);
+                prop_assert!(pr2[pos] <= view.prob(pos) + 1e-12);
+                prop_assert!(pr2[pos] <= pr4[pos] + 1e-12, "Pr^k must grow with k");
+                prop_assert!(pr2[pos] >= -1e-12);
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Pruning never changes the answer set.
-    #[test]
-    fn pruning_is_sound(seed in any::<u64>(), k in 1usize..5, p in 0.05f64..0.95) {
-        let view = random_view(seed, 10);
-        let with = evaluate_ptk(&view, k, p, &EngineOptions {
-            ub_check_interval: 1, ..Default::default()
-        });
-        let without = evaluate_ptk(&view, k, p,
-            &EngineOptions::without_pruning(SharingVariant::Lazy));
-        prop_assert_eq!(with.answers, without.answers);
-        // And pruning never scans more than the full list.
-        prop_assert!(with.stats.scanned <= without.stats.scanned);
-    }
+/// The engine equals the enumeration oracle for every sharing variant.
+#[test]
+fn engine_matches_oracle() {
+    check(
+        "engine vs oracle",
+        Config::cases(64).sizes(1, 9),
+        |rng, size| {
+            let k = rng.random_range(1..5usize);
+            let view = random_view(rng.next_u64(), size);
+            let oracle = naive::topk_probabilities(&view, k).unwrap();
+            for variant in [
+                SharingVariant::Rc,
+                SharingVariant::Aggressive,
+                SharingVariant::Lazy,
+            ] {
+                let (pr, _) = topk_probabilities(&view, k, variant);
+                for pos in 0..view.len() {
+                    prop_assert!(
+                        (pr[pos] - oracle[pos]).abs() < 1e-10,
+                        "{variant:?} pos {pos}: {} vs {}",
+                        pr[pos],
+                        oracle[pos]
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Position probabilities are consistent: rows sum to Pr^k, and each
-    /// column sums to at most 1 (at most one tuple occupies each rank).
-    #[test]
-    fn position_probabilities_are_consistent(seed in any::<u64>(), k in 1usize..5) {
-        let view = random_view(seed, 9);
-        let pos_pr = position_probabilities(&view, k, SharingVariant::Lazy);
-        let (topk, _) = topk_probabilities(&view, k, SharingVariant::Lazy);
-        for pos in 0..view.len() {
-            let row_sum: f64 = pos_pr[pos].iter().sum();
-            prop_assert!((row_sum - topk[pos]).abs() < 1e-10);
-        }
-        #[allow(clippy::needless_range_loop)]
-        for j in 0..k {
-            let col_sum: f64 = (0..view.len()).map(|i| pos_pr[i][j]).sum();
-            prop_assert!(col_sum <= 1.0 + 1e-9, "rank {j} oversubscribed: {col_sum}");
-        }
-    }
+/// Pruning never changes the answer set.
+#[test]
+fn pruning_is_sound() {
+    check(
+        "pruning soundness",
+        Config::cases(64).sizes(1, 10),
+        |rng, size| {
+            let k = rng.random_range(1..5usize);
+            let p = rng.random_range(0.05..0.95f64);
+            let view = random_view(rng.next_u64(), size);
+            let with = evaluate_ptk(
+                &view,
+                k,
+                p,
+                &EngineOptions {
+                    ub_check_interval: 1,
+                    ..Default::default()
+                },
+            );
+            let without = evaluate_ptk(
+                &view,
+                k,
+                p,
+                &EngineOptions::without_pruning(SharingVariant::Lazy),
+            );
+            prop_assert_eq!(with.answers, without.answers);
+            // And pruning never scans more than the full list.
+            prop_assert!(with.stats.scanned <= without.stats.scanned);
+            Ok(())
+        },
+    );
+}
 
-    /// The lazy ordering never recomputes more DP entries than the
-    /// aggressive ordering, which never exceeds no sharing at all (§4.3.2).
-    #[test]
-    fn sharing_cost_ordering(seed in any::<u64>(), k in 1usize..5) {
-        let view = random_view(seed, 14);
-        let cost = |variant| {
-            let mut s = Scanner::new(&view, k, variant);
-            while s.step().is_some() {}
-            s.entries_recomputed()
-        };
-        let rc = cost(SharingVariant::Rc);
-        let ar = cost(SharingVariant::Aggressive);
-        let lr = cost(SharingVariant::Lazy);
-        prop_assert!(lr <= ar);
-        prop_assert!(ar <= rc);
-    }
+/// Position probabilities are consistent: rows sum to Pr^k, and each
+/// column sums to at most 1 (at most one tuple occupies each rank).
+#[test]
+fn position_probabilities_are_consistent() {
+    check(
+        "position probabilities",
+        Config::cases(64).sizes(1, 9),
+        |rng, size| {
+            let k = rng.random_range(1..5usize);
+            let view = random_view(rng.next_u64(), size);
+            let pos_pr = position_probabilities(&view, k, SharingVariant::Lazy);
+            let (topk, _) = topk_probabilities(&view, k, SharingVariant::Lazy);
+            for pos in 0..view.len() {
+                let row_sum: f64 = pos_pr[pos].iter().sum();
+                prop_assert!((row_sum - topk[pos]).abs() < 1e-10);
+            }
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..k {
+                let col_sum: f64 = (0..view.len()).map(|i| pos_pr[i][j]).sum();
+                prop_assert!(col_sum <= 1.0 + 1e-9, "rank {j} oversubscribed: {col_sum}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// DP deconvolution inverts convolution away from the unstable region.
-    #[test]
-    fn deconvolve_inverts_convolve(
-        probs in prop::collection::vec(0.01f64..0.95, 1..12),
-        q in 0.01f64..0.95,
-        k in 1usize..8,
-    ) {
-        let base = dp::poisson_binomial(probs.iter().copied(), k);
-        let with = dp::convolve(&base, q);
-        let back = dp::deconvolve(&with, q).unwrap();
-        for (a, b) in back.iter().zip(base.iter()) {
-            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
-        }
-    }
+/// The lazy ordering never recomputes more DP entries than the
+/// aggressive ordering, which never exceeds no sharing at all (§4.3.2).
+#[test]
+fn sharing_cost_ordering() {
+    check(
+        "sharing cost ordering",
+        Config::cases(64).sizes(1, 14),
+        |rng, size| {
+            let k = rng.random_range(1..5usize);
+            let view = random_view(rng.next_u64(), size);
+            let cost = |variant| {
+                let mut s = Scanner::new(&view, k, variant);
+                while s.step().is_some() {}
+                s.entries_recomputed()
+            };
+            let rc = cost(SharingVariant::Rc);
+            let ar = cost(SharingVariant::Aggressive);
+            let lr = cost(SharingVariant::Lazy);
+            prop_assert!(lr <= ar);
+            prop_assert!(ar <= rc);
+            Ok(())
+        },
+    );
+}
 
-    /// A DP row is a (truncated) probability distribution.
-    #[test]
-    fn dp_rows_are_distributions(
-        probs in prop::collection::vec(0.0f64..=1.0, 0..15),
-        k in 1usize..6,
-    ) {
-        let row = dp::poisson_binomial(probs.iter().copied(), k);
-        let sum: f64 = row.iter().sum();
-        prop_assert!(row.iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
-        prop_assert!(sum <= 1.0 + 1e-9);
-        if probs.len() < k {
-            prop_assert!((sum - 1.0).abs() < 1e-9, "untruncated row must sum to 1");
-        }
-    }
+/// DP deconvolution inverts convolution away from the unstable region.
+#[test]
+fn deconvolve_inverts_convolve() {
+    check(
+        "deconvolve inverts convolve",
+        Config::cases(64).sizes(1, 11),
+        |rng, size| {
+            let probs: Vec<f64> = (0..size).map(|_| rng.random_range(0.01..0.95f64)).collect();
+            let q = rng.random_range(0.01..0.95f64);
+            let k = rng.random_range(1..8usize);
+            let base = dp::poisson_binomial(probs.iter().copied(), k);
+            let with = dp::convolve(&base, q);
+            let back = dp::deconvolve(&with, q).unwrap();
+            for (a, b) in back.iter().zip(base.iter()) {
+                prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The UB-based early exit is exercised at every interval setting
-    /// without changing answers.
-    #[test]
-    fn ub_interval_does_not_change_answers(
-        seed in any::<u64>(),
-        interval in 1usize..8,
-    ) {
-        let view = random_view(seed, 12);
-        let a = evaluate_ptk(&view, 3, 0.4, &EngineOptions {
-            ub_check_interval: interval, ..Default::default()
-        });
-        let b = evaluate_ptk(&view, 3, 0.4,
-            &EngineOptions::without_pruning(SharingVariant::Lazy));
-        prop_assert_eq!(a.answers, b.answers);
-    }
+/// A DP row is a (truncated) probability distribution.
+#[test]
+fn dp_rows_are_distributions() {
+    check(
+        "dp rows are distributions",
+        Config::cases(64).sizes(0, 14),
+        |rng, size| {
+            let probs: Vec<f64> = (0..size).map(|_| rng.random_range(0.0..=1.0f64)).collect();
+            let k = rng.random_range(1..6usize);
+            let row = dp::poisson_binomial(probs.iter().copied(), k);
+            let sum: f64 = row.iter().sum();
+            prop_assert!(row.iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
+            prop_assert!(sum <= 1.0 + 1e-9);
+            if probs.len() < k {
+                prop_assert!((sum - 1.0).abs() < 1e-9, "untruncated row must sum to 1");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The UB-based early exit is exercised at every interval setting
+/// without changing answers.
+#[test]
+fn ub_interval_does_not_change_answers() {
+    check(
+        "UB interval invariance",
+        Config::cases(64).sizes(1, 12),
+        |rng, size| {
+            let interval = rng.random_range(1..8usize);
+            let view = random_view(rng.next_u64(), size);
+            let a = evaluate_ptk(
+                &view,
+                3,
+                0.4,
+                &EngineOptions {
+                    ub_check_interval: interval,
+                    ..Default::default()
+                },
+            );
+            let b = evaluate_ptk(
+                &view,
+                3,
+                0.4,
+                &EngineOptions::without_pruning(SharingVariant::Lazy),
+            );
+            prop_assert_eq!(a.answers, b.answers);
+            Ok(())
+        },
+    );
 }
