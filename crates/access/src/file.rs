@@ -21,13 +21,17 @@
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use ptk_core::TupleId;
+use ptk_obs::{Noop, SharedRecorder};
 
 use crate::bytebuf::ByteBuf;
+use crate::counters;
 use crate::source::{RankedSource, RuleKey, SourceTuple};
 
 const MAGIC: &[u8; 8] = b"PTKRUN01";
+const HEADER_BYTES: u64 = 8 + 8 + 4;
 const RECORD_BYTES: usize = 4 + 4 + 8 + 8;
 /// Records decoded per buffered read.
 const READ_CHUNK: usize = 1024;
@@ -100,7 +104,6 @@ pub fn write_run(path: &Path, rows: &[(f64, f64, Option<u32>)]) -> io::Result<()
 /// A [`RankedSource`] streaming a run file written by [`write_run`],
 /// decoding records through a bounded buffer (memory use is independent of
 /// the file size).
-#[derive(Debug)]
 pub struct FileSource {
     reader: BufReader<File>,
     buffer: ByteBuf,
@@ -108,16 +111,45 @@ pub struct FileSource {
     rule_masses: Vec<f64>,
     last_score: f64,
     retrieved: usize,
+    recorder: SharedRecorder,
+}
+
+impl std::fmt::Debug for FileSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileSource")
+            .field("remaining", &self.remaining)
+            .field("rules", &self.rule_masses.len())
+            .field("retrieved", &self.retrieved)
+            .finish_non_exhaustive()
+    }
 }
 
 impl FileSource {
-    /// Opens a run file and validates its header.
+    /// Opens a run file and validates its header (see
+    /// [`FileSource::open_recorded`] for the validation performed).
     ///
     /// # Errors
     /// Fails on IO errors or a malformed header.
     pub fn open(path: &Path) -> io::Result<FileSource> {
-        let mut reader = BufReader::new(File::open(path)?);
-        let mut header = [0u8; 8 + 8 + 4];
+        FileSource::open_recorded(path, Arc::new(Noop))
+    }
+
+    /// Like [`FileSource::open`], recording retrieval metrics (bytes read,
+    /// records decoded) into `recorder`.
+    ///
+    /// The header's `tuples` and `rules` fields are *untrusted input*:
+    /// before any allocation sized from them, they are checked against the
+    /// actual file length (`header + rules×8 + tuples×24` must equal it
+    /// exactly), so a corrupt or truncated file yields a decode error
+    /// instead of an OOM-sized allocation or a short read mid-stream.
+    ///
+    /// # Errors
+    /// Fails on IO errors or a malformed header.
+    pub fn open_recorded(path: &Path, recorder: SharedRecorder) -> io::Result<FileSource> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut reader = BufReader::new(file);
+        let mut header = [0u8; HEADER_BYTES as usize];
         reader
             .read_exact(&mut header)
             .map_err(|_| invalid("truncated header"))?;
@@ -129,12 +161,30 @@ impl FileSource {
         }
         let remaining = head.get_u64_le();
         let rule_count = head.get_u32_le() as usize;
+        let rule_bytes = rule_count as u64 * 8;
+        let expected = remaining
+            .checked_mul(RECORD_BYTES as u64)
+            .and_then(|record_bytes| record_bytes.checked_add(HEADER_BYTES + rule_bytes))
+            .ok_or_else(|| {
+                invalid(format!(
+                    "corrupt header: {remaining} records / {rule_count} rules overflow the \
+                     addressable file size"
+                ))
+            })?;
+        if expected != file_len {
+            return Err(invalid(format!(
+                "corrupt run file: header promises {remaining} records and {rule_count} rules \
+                 ({expected} bytes) but the file holds {file_len} bytes"
+            )));
+        }
         let mut mass_bytes = vec![0u8; rule_count * 8];
         reader
             .read_exact(&mut mass_bytes)
             .map_err(|_| invalid("truncated rule table"))?;
         let mut masses = ByteBuf::from_vec(mass_bytes);
         let rule_masses: Vec<f64> = (0..rule_count).map(|_| masses.get_f64_le()).collect();
+        recorder.add(counters::FILE_OPENS, 1);
+        recorder.add(counters::FILE_BYTES_READ, HEADER_BYTES + rule_bytes);
         Ok(FileSource {
             reader,
             buffer: ByteBuf::new(),
@@ -142,6 +192,7 @@ impl FileSource {
             rule_masses,
             last_score: f64::INFINITY,
             retrieved: 0,
+            recorder,
         })
     }
 
@@ -156,6 +207,7 @@ impl FileSource {
         self.reader
             .read_exact(&mut chunk)
             .map_err(|_| invalid("truncated records"))?;
+        self.recorder.add(counters::FILE_BYTES_READ, want as u64);
         self.buffer.put_slice(&chunk);
         Ok(())
     }
@@ -190,6 +242,7 @@ impl FileSource {
         self.last_score = score;
         self.remaining -= 1;
         self.retrieved += 1;
+        self.recorder.add(counters::FILE_RECORDS, 1);
         Ok(Some(SourceTuple {
             id: TupleId::new(id as usize),
             score,
@@ -303,15 +356,64 @@ mod tests {
         write_run(&f.0, &panda_rows()).unwrap();
         let bytes = std::fs::read(&f.0).unwrap();
         std::fs::write(&f.0, &bytes[..bytes.len() - 10]).unwrap();
-        let mut src = FileSource::open(&f.0).unwrap();
-        let mut result = Ok(None);
-        for _ in 0..6 {
-            result = src.try_next();
-            if result.is_err() {
-                break;
-            }
+        // Caught at open: the header promises more bytes than the file holds.
+        let err = FileSource::open(&f.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("corrupt run file"), "{err}");
+    }
+
+    #[test]
+    fn open_rejects_trailing_garbage() {
+        let f = temp();
+        write_run(&f.0, &panda_rows()).unwrap();
+        let mut bytes = std::fs::read(&f.0).unwrap();
+        bytes.extend_from_slice(b"junk");
+        std::fs::write(&f.0, &bytes).unwrap();
+        let err = FileSource::open(&f.0).unwrap_err();
+        assert!(err.to_string().contains("corrupt run file"), "{err}");
+    }
+
+    #[test]
+    fn open_rejects_oversized_rule_count_without_allocating() {
+        let f = temp();
+        write_run(&f.0, &panda_rows()).unwrap();
+        let mut bytes = std::fs::read(&f.0).unwrap();
+        // Claim u32::MAX rules (a ~34 GB rule table) in a 168-byte file:
+        // before the fix this allocated vec![0u8; rule_count * 8] upfront.
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&f.0, &bytes).unwrap();
+        let err = FileSource::open(&f.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn open_rejects_oversized_tuple_count() {
+        let f = temp();
+        write_run(&f.0, &panda_rows()).unwrap();
+        let mut bytes = std::fs::read(&f.0).unwrap();
+        for claimed in [u64::MAX, 1 << 60, 7] {
+            bytes[8..16].copy_from_slice(&claimed.to_le_bytes());
+            std::fs::write(&f.0, &bytes).unwrap();
+            let err = FileSource::open(&f.0).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "claimed {claimed}");
         }
-        assert!(result.is_err(), "truncation must surface as an error");
+    }
+
+    #[test]
+    fn open_recorded_counts_bytes_and_records() {
+        use ptk_obs::Metrics;
+        let f = temp();
+        write_run(&f.0, &panda_rows()).unwrap();
+        let metrics = std::sync::Arc::new(Metrics::new());
+        let mut src =
+            FileSource::open_recorded(&f.0, std::sync::Arc::clone(&metrics) as SharedRecorder)
+                .unwrap();
+        while let Some(_t) = src.next_ranked() {}
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(counters::FILE_OPENS), 1);
+        assert_eq!(snap.counter(counters::FILE_RECORDS), 6);
+        // Header (20) + 2 rule masses (16) + 6 records (144).
+        assert_eq!(snap.counter(counters::FILE_BYTES_READ), 20 + 16 + 144);
     }
 
     #[test]

@@ -44,6 +44,23 @@ mod file;
 mod source;
 mod ta;
 
+/// Metric names this crate records into a
+/// [`Recorder`](ptk_obs::Recorder) (see `DESIGN.md` §8).
+pub mod counters {
+    /// Bytes read from a run file (header, rule table and record chunks).
+    pub const FILE_BYTES_READ: &str = "access.file.bytes_read";
+    /// Records decoded from a run file.
+    pub const FILE_RECORDS: &str = "access.file.records";
+    /// Run files opened.
+    pub const FILE_OPENS: &str = "access.file.opens";
+    /// TA rounds of sorted access (one cursor step on every list).
+    pub const TA_ROUNDS: &str = "access.ta.rounds";
+    /// Individual sorted accesses across all lists.
+    pub const TA_SORTED_ACCESSES: &str = "access.ta.sorted_accesses";
+    /// Tuples emitted by the TA middleware in ranking order.
+    pub const TA_EMITTED: &str = "access.ta.emitted";
+}
+
 pub use bytebuf::ByteBuf;
 pub use file::{write_run, FileSource};
 pub use source::{RankedSource, RuleKey, SortedVecSource, SourceTuple, ViewSource};

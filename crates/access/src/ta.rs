@@ -4,9 +4,12 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use ptk_core::{ModelError, Probability, TupleId};
+use ptk_obs::{Noop, SharedRecorder};
 
+use crate::counters;
 use crate::source::{RankedSource, RuleKey, SourceTuple};
 
 /// A monotone aggregation function over attribute values — the ranking
@@ -122,7 +125,6 @@ impl Ord for Candidate {
 /// `τ` is safe to emit. Pulling only the first few tuples therefore only
 /// touches the tops of the lists — exactly the property the paper's pruning
 /// rules exploit to stop retrieval early.
-#[derive(Debug)]
 pub struct TaSource {
     lists: Vec<SortedList>,
     /// Per-list cursor into the sorted entries.
@@ -136,6 +138,18 @@ pub struct TaSource {
     heap: BinaryHeap<Candidate>,
     retrieved: usize,
     sorted_accesses: u64,
+    recorder: SharedRecorder,
+}
+
+impl std::fmt::Debug for TaSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaSource")
+            .field("lists", &self.lists.len())
+            .field("rows", &self.probs.len())
+            .field("retrieved", &self.retrieved)
+            .field("sorted_accesses", &self.sorted_accesses)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TaSource {
@@ -225,7 +239,16 @@ impl TaSource {
             heap: BinaryHeap::new(),
             retrieved: 0,
             sorted_accesses: 0,
+            recorder: Arc::new(Noop),
         })
+    }
+
+    /// Attaches a recorder: each TA round, sorted access and emitted tuple
+    /// is counted into it (see [`crate::counters`]).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> TaSource {
+        self.recorder = recorder;
+        self
     }
 
     /// Total sorted accesses performed so far — the TA cost metric. Stays
@@ -251,10 +274,11 @@ impl TaSource {
     /// One round of sorted access: advance every list cursor by one,
     /// discovering (and fully scoring) any new rows.
     fn advance_round(&mut self) {
+        let mut accesses = 0u64;
         for (list, cursor) in self.lists.iter().zip(self.cursors.iter_mut()) {
             if let Some(&(_, row)) = list.entries.get(*cursor) {
                 *cursor += 1;
-                self.sorted_accesses += 1;
+                accesses += 1;
                 if !self.discovered[row] {
                     self.discovered[row] = true;
                     // Random access: the full score was precomputed.
@@ -265,6 +289,9 @@ impl TaSource {
                 }
             }
         }
+        self.sorted_accesses += accesses;
+        self.recorder.add(counters::TA_ROUNDS, 1);
+        self.recorder.add(counters::TA_SORTED_ACCESSES, accesses);
     }
 }
 
@@ -287,6 +314,7 @@ impl RankedSource for TaSource {
                         if top.score >= tau {
                             let c = self.heap.pop().expect("peeked");
                             self.retrieved += 1;
+                            self.recorder.add(counters::TA_EMITTED, 1);
                             return Some(SourceTuple {
                                 id: TupleId::new(c.row),
                                 score: c.score,
@@ -302,6 +330,7 @@ impl RankedSource for TaSource {
                     // drain the heap.
                     let c = self.heap.pop()?;
                     self.retrieved += 1;
+                    self.recorder.add(counters::TA_EMITTED, 1);
                     return Some(SourceTuple {
                         id: TupleId::new(c.row),
                         score: c.score,
@@ -462,6 +491,23 @@ mod tests {
     fn attributeless_rows_are_rejected() {
         let attrs: Vec<Vec<f64>> = vec![vec![], vec![]];
         assert!(TaSource::new(&attrs, vec![0.5; 2], vec![None; 2], AggregateFn::Sum).is_err());
+    }
+
+    #[test]
+    fn recorder_counts_rounds_and_emits() {
+        use ptk_obs::Metrics;
+        let metrics = Arc::new(Metrics::new());
+        let mut s = TaSource::new(&rows(), vec![0.5; 5], vec![None; 5], AggregateFn::Sum)
+            .unwrap()
+            .with_recorder(Arc::clone(&metrics) as SharedRecorder);
+        let out = drain(&mut s);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(counters::TA_EMITTED), out.len() as u64);
+        assert_eq!(
+            snap.counter(counters::TA_SORTED_ACCESSES),
+            s.sorted_accesses()
+        );
+        assert!(snap.counter(counters::TA_ROUNDS) > 0);
     }
 
     #[test]

@@ -41,9 +41,10 @@ fn trace(variant: SharingVariant) -> (Vec<String>, u64) {
 }
 
 fn main() {
-    let (aggressive, cost_ar) = trace(SharingVariant::Aggressive);
-    let (lazy, cost_lr) = trace(SharingVariant::Lazy);
-    let (_, cost_rc) = trace(SharingVariant::Rc);
+    let mut bench = ptk_bench::BenchRecord::new("fig2_reorder");
+    let (aggressive, cost_ar) = bench.time(|| trace(SharingVariant::Aggressive));
+    let (lazy, cost_lr) = bench.time(|| trace(SharingVariant::Lazy));
+    let (_, cost_rc) = bench.time(|| trace(SharingVariant::Rc));
 
     let mut report = Report::new(
         "fig2_reordering",
@@ -62,5 +63,21 @@ fn main() {
 
     assert_eq!(cost_ar, 15, "the paper reports Cost_aggressive = 15");
     assert_eq!(cost_lr, 12, "the paper reports Cost_lazy = 12");
+
+    // Machine-readable artifact: lap times above plus the engine counters
+    // of a full recorded PT-2 query on the same view.
+    let metrics = ptk_obs::Metrics::new();
+    bench.time(|| {
+        ptk_engine::evaluate_ptk_recorded(
+            &view(),
+            2,
+            0.35,
+            &ptk_engine::EngineOptions::default(),
+            &metrics,
+        )
+    });
+    bench.set_metrics(metrics.snapshot());
+    bench.write();
+
     println!("\nfig2_reorder: Example 5's costs reproduced exactly (AR = 15, LR = 12)");
 }

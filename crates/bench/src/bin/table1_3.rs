@@ -1,9 +1,10 @@
 //! Reproduces Tables 1–3 of the paper: the panda-detection running example,
 //! its possible worlds, and the top-2 probability of every record.
 
-use ptk_bench::Report;
+use ptk_bench::{BenchRecord, Report};
 use ptk_core::RankedView;
-use ptk_engine::{evaluate_ptk, EngineOptions};
+use ptk_engine::{evaluate_ptk_recorded, EngineOptions};
+use ptk_obs::Metrics;
 use ptk_worlds::{enumerate, naive};
 
 /// Table 1 in ranked (duration-descending) order:
@@ -66,8 +67,20 @@ fn main() {
     }
     report.finish();
 
-    // Example 1: the PT-2 answer at p = 0.35 is {R2, R3, R5}.
-    let result = evaluate_ptk(&view, 2, 0.35, &EngineOptions::default());
+    // Example 1: the PT-2 answer at p = 0.35 is {R2, R3, R5}. Timed over a
+    // few laps with the engine counters attached as the bench artifact.
+    let mut bench = BenchRecord::new("table1_3");
+    let metrics = Metrics::new();
+    let mut result = None;
+    for _ in 0..5 {
+        result =
+            Some(bench.time(|| {
+                evaluate_ptk_recorded(&view, 2, 0.35, &EngineOptions::default(), &metrics)
+            }));
+    }
+    let result = result.expect("at least one lap ran");
+    bench.set_metrics(metrics.snapshot());
+    bench.write();
     let answer: Vec<&str> = result.answers.iter().map(|&p| NAMES[p]).collect();
     println!(
         "\nPT-2 answer at p = 0.35: {{{}}} (paper: {{R2, R5, R3}})",

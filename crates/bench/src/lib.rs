@@ -179,6 +179,113 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (value, started.elapsed().as_secs_f64() * 1e3)
 }
 
+/// A machine-readable benchmark artifact: repeated wall-clock laps plus an
+/// optional [`ptk_obs::Snapshot`] of the run's metrics, written as
+/// `target/experiments/BENCH_<experiment>.json`.
+///
+/// Wall-clock numbers are summarized as median and interquartile range
+/// (robust against scheduler noise); the embedded metrics snapshot excludes
+/// timing sections, so it is bit-deterministic for a fixed seed and can be
+/// diffed across machines.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    experiment: String,
+    laps_ms: Vec<f64>,
+    metrics: Option<ptk_obs::Snapshot>,
+}
+
+impl BenchRecord {
+    /// Starts a record for the named experiment.
+    pub fn new(experiment: &str) -> BenchRecord {
+        BenchRecord {
+            experiment: experiment.to_owned(),
+            laps_ms: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Runs `f`, appending its wall time as one lap, and returns its result.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let (value, ms) = time_ms(f);
+        self.laps_ms.push(ms);
+        value
+    }
+
+    /// Appends an externally measured lap, in milliseconds.
+    pub fn lap_ms(&mut self, ms: f64) {
+        self.laps_ms.push(ms);
+    }
+
+    /// Attaches the run's metrics snapshot (timing sections are dropped at
+    /// serialization time to keep the artifact deterministic).
+    pub fn set_metrics(&mut self, snapshot: ptk_obs::Snapshot) {
+        self.metrics = Some(snapshot);
+    }
+
+    /// Linear-interpolation quantile of the recorded laps (`q` in `[0, 1]`).
+    fn quantile_ms(&self, q: f64) -> f64 {
+        if self.laps_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.laps_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = q * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64)
+    }
+
+    /// Median wall time over the laps, in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.quantile_ms(0.5)
+    }
+
+    /// Interquartile range of the laps, in milliseconds.
+    pub fn iqr_ms(&self) -> f64 {
+        self.quantile_ms(0.75) - self.quantile_ms(0.25)
+    }
+
+    /// Serializes the record as one JSON object.
+    pub fn to_json(&self) -> String {
+        let laps: Vec<String> = self.laps_ms.iter().map(|ms| format!("{ms:.3}")).collect();
+        let mut out = format!(
+            "{{\"experiment\":\"{}\",\"laps\":{},\"laps_ms\":[{}],\"median_ms\":{:.3},\"iqr_ms\":{:.3}",
+            self.experiment,
+            self.laps_ms.len(),
+            laps.join(","),
+            self.median_ms(),
+            self.iqr_ms(),
+        );
+        if let Some(snapshot) = &self.metrics {
+            out.push_str(",\"metrics\":");
+            out.push_str(&snapshot.to_json(false));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes `target/experiments/BENCH_<experiment>.json` and returns the
+    /// path. Errors are reported but not fatal, matching [`Report::save_csv`].
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = PathBuf::from("target/experiments");
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        match fs::write(&path, self.to_json() + "\n") {
+            Ok(()) => {
+                println!("(bench record saved to {})", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
 /// Formats a float with the given number of decimals (report helper).
 pub fn fmt(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
@@ -221,5 +328,45 @@ mod tests {
     fn fmt_decimals() {
         assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt(2.0, 0), "2");
+    }
+
+    #[test]
+    fn bench_record_summaries_and_json() {
+        let mut record = BenchRecord::new("unit_test_bench");
+        for ms in [4.0, 1.0, 3.0, 2.0, 100.0] {
+            record.lap_ms(ms);
+        }
+        assert_eq!(record.median_ms(), 3.0);
+        assert_eq!(record.iqr_ms(), 2.0); // q1 = 2, q3 = 4
+
+        use ptk_obs::Recorder as _;
+        let metrics = ptk_obs::Metrics::new();
+        metrics.add("engine.scanned", 7);
+        metrics.record_nanos("engine.query", 1_000);
+        record.set_metrics(metrics.snapshot());
+
+        let json = record.to_json();
+        assert!(
+            json.contains("\"experiment\":\"unit_test_bench\""),
+            "{json}"
+        );
+        assert!(json.contains("\"laps\":5"), "{json}");
+        assert!(json.contains("\"median_ms\":3.000"), "{json}");
+        assert!(json.contains("\"engine.scanned\":7"), "{json}");
+        // Timing sections are dropped for determinism.
+        assert!(!json.contains("nanos"), "{json}");
+
+        let path = record.write().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.trim_end(), json);
+        assert!(path.ends_with("BENCH_unit_test_bench.json"), "{path:?}");
+    }
+
+    #[test]
+    fn bench_record_empty_is_safe() {
+        let record = BenchRecord::new("empty");
+        assert_eq!(record.median_ms(), 0.0);
+        assert_eq!(record.iqr_ms(), 0.0);
+        assert!(record.to_json().contains("\"laps_ms\":[]"));
     }
 }

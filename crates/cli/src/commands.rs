@@ -1,7 +1,8 @@
 //! Command parsing and execution.
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::sync::Arc;
 
 use ptk_access::{write_run, FileSource, RankedSource};
 use ptk_core::{
@@ -9,13 +10,64 @@ use ptk_core::{
     UncertainTable,
 };
 use ptk_datagen::{IipConfig, IipDataset, SyntheticConfig, SyntheticDataset};
-use ptk_engine::{evaluate_ptk, evaluate_ptk_source, EngineOptions, StreamOptions};
+use ptk_engine::{
+    evaluate_ptk_recorded, evaluate_ptk_source_recorded, EngineOptions, StreamOptions,
+};
+use ptk_obs::{Metrics, Noop, Recorder, SharedRecorder};
 use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
-use ptk_sampling::{sample_ptk, SamplingOptions};
+use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
 use ptk_worlds::naive;
 
 use crate::load::{load_table, parse_value, save_table};
 use crate::USAGE;
+
+/// Failure modes of a CLI command.
+#[derive(Debug)]
+pub enum CmdError {
+    /// Bad arguments, unreadable input, or a query failure — reported on
+    /// stderr with exit code 1.
+    Usage(String),
+    /// The output sink failed. A [`io::ErrorKind::BrokenPipe`] here is the
+    /// conventional Unix signal that the consumer has seen enough
+    /// (`ptk … | head`) and must exit the process cleanly, not panic.
+    Io(io::Error),
+}
+
+impl CmdError {
+    /// True when the error is a broken pipe on the output sink.
+    pub fn is_broken_pipe(&self) -> bool {
+        matches!(self, CmdError::Io(e) if e.kind() == io::ErrorKind::BrokenPipe)
+    }
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> CmdError {
+        CmdError::Usage(message)
+    }
+}
+
+impl From<&str> for CmdError {
+    fn from(message: &str) -> CmdError {
+        CmdError::Usage(message.to_owned())
+    }
+}
+
+impl From<io::Error> for CmdError {
+    fn from(error: io::Error) -> CmdError {
+        CmdError::Io(error)
+    }
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Usage(message) => f.write_str(message),
+            CmdError::Io(error) => write!(f, "writing output: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
 
 /// Parsed command-line flags: positional arguments and `--key value` pairs.
 #[derive(Debug, Default)]
@@ -69,6 +121,44 @@ impl Flags {
     }
 }
 
+/// How `--stats` renders the metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatsMode {
+    Text,
+    Json,
+}
+
+fn stats_mode(flags: &Flags) -> Result<Option<StatsMode>, String> {
+    match flags.named.get("stats").map(String::as_str) {
+        None => Ok(None),
+        Some("text") => Ok(Some(StatsMode::Text)),
+        Some("json") => Ok(Some(StatsMode::Json)),
+        Some(other) => Err(format!("--stats: expected 'text' or 'json', got '{other}'")),
+    }
+}
+
+/// Appends the metrics snapshot in the requested format (JSON includes the
+/// non-deterministic timing section; it is diagnostics, not a golden file).
+fn write_stats(
+    out: &mut dyn Write,
+    mode: Option<StatsMode>,
+    metrics: &Metrics,
+) -> Result<(), CmdError> {
+    match mode {
+        None => {}
+        Some(StatsMode::Json) => writeln!(out, "{}", metrics.snapshot().to_json(true))?,
+        Some(StatsMode::Text) => {
+            let snapshot = metrics.snapshot();
+            if snapshot.is_empty() {
+                writeln!(out, "(no metrics recorded)")?;
+            } else {
+                write!(out, "{}", snapshot.to_text())?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Parses a `--where` clause of the form `<column><op><value>`.
 fn parse_where(clause: &str, table: &UncertainTable) -> Result<Predicate, String> {
     // Longest operators first so `<=` wins over `<`.
@@ -118,7 +208,7 @@ fn load_from_flags(flags: &Flags) -> Result<UncertainTable, String> {
     load_table(&text)
 }
 
-fn cmd_query(flags: &Flags) -> Result<String, String> {
+fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
     let k: usize = flags.require("k")?;
     let p: f64 = flags.require("p")?;
@@ -131,10 +221,14 @@ fn cmd_query(flags: &Flags) -> Result<String, String> {
     let ptk = PtkQuery::new(query.clone(), p).map_err(|e| e.to_string())?;
     let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
 
+    let stats = stats_mode(flags)?;
+    let metrics = Metrics::new();
+    let recorder: &dyn Recorder = if stats.is_some() { &metrics } else { &Noop };
+
     let method = flags.named.get("method").map_or("exact", String::as_str);
     let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match method {
         "exact" => {
-            let result = evaluate_ptk(&view, k, p, &EngineOptions::default());
+            let result = evaluate_ptk_recorded(&view, k, p, &EngineOptions::default(), recorder);
             let note = format!(
                 "scanned {} of {} tuples{}",
                 result.stats.scanned,
@@ -152,7 +246,8 @@ fn cmd_query(flags: &Flags) -> Result<String, String> {
                 seed,
                 ..Default::default()
             };
-            let (answers, estimate) = sample_ptk(&view, k, p, &options);
+            let (answers, estimate) = sample_ptk_recorded(&view, k, p, &options, recorder);
+            recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
             let probabilities = estimate.probabilities.iter().map(|&x| Some(x)).collect();
             (
                 answers,
@@ -162,7 +257,10 @@ fn cmd_query(flags: &Flags) -> Result<String, String> {
         }
         "naive" => {
             let pr = naive::topk_probabilities(&view, k).map_err(|e| e.to_string())?;
-            let answers = (0..view.len()).filter(|&i| pr[i] >= p).collect();
+            let answers: Vec<usize> = (0..view.len()).filter(|&i| pr[i] >= p).collect();
+            recorder.add(ptk_engine::counters::SCANNED, view.len() as u64);
+            recorder.add(ptk_engine::counters::EVALUATED, view.len() as u64);
+            recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
             let probabilities = pr.iter().map(|&x| Some(x)).collect();
             (
                 answers,
@@ -170,12 +268,11 @@ fn cmd_query(flags: &Flags) -> Result<String, String> {
                 "full possible-world enumeration".to_owned(),
             )
         }
-        other => return Err(format!("unknown --method '{other}' (exact|sampling|naive)")),
+        other => return Err(format!("unknown --method '{other}' (exact|sampling|naive)").into()),
     };
 
     let _ = ptk;
-    let mut out = String::new();
-    writeln!(out, "{} tuples pass Pr^{k} >= {p} ({note})", answers.len()).unwrap();
+    writeln!(out, "{} tuples pass Pr^{k} >= {p} ({note})", answers.len())?;
     for &pos in &answers {
         let t = view.tuple(pos);
         let row = table.tuple(t.id);
@@ -187,23 +284,23 @@ fn cmd_query(flags: &Flags) -> Result<String, String> {
             probabilities[pos].unwrap_or(f64::NAN),
             t.prob,
             attrs.join(", ")
-        )
-        .unwrap();
+        )?;
     }
-    Ok(out)
+    write_stats(out, stats, &metrics)
 }
 
-fn cmd_utopk(flags: &Flags) -> Result<String, String> {
+fn cmd_utopk(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
     let k: usize = flags.require("k")?;
     let ranking = build_ranking(flags, &table)?;
     let query = TopKQuery::new(k, Predicate::True, ranking).map_err(|e| e.to_string())?;
     let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
     let answer = utopk(&view, k, &UTopKOptions::default()).map_err(|e| e.to_string())?;
-    let mut out = format!(
-        "most probable top-{k} vector (probability {:.6}, {} states explored):\n",
+    writeln!(
+        out,
+        "most probable top-{k} vector (probability {:.6}, {} states explored):",
         answer.probability, answer.states_explored
-    );
+    )?;
     for &pos in &answer.vector {
         let t = view.tuple(pos);
         let attrs: Vec<String> = table
@@ -218,19 +315,18 @@ fn cmd_utopk(flags: &Flags) -> Result<String, String> {
             pos + 1,
             t.prob,
             attrs.join(", ")
-        )
-        .unwrap();
+        )?;
     }
-    Ok(out)
+    Ok(())
 }
 
-fn cmd_ukranks(flags: &Flags) -> Result<String, String> {
+fn cmd_ukranks(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
     let k: usize = flags.require("k")?;
     let ranking = build_ranking(flags, &table)?;
     let query = TopKQuery::new(k, Predicate::True, ranking).map_err(|e| e.to_string())?;
     let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
-    let mut out = String::from("most probable tuple at each rank:\n");
+    writeln!(out, "most probable tuple at each rank:")?;
     for entry in ukranks(&view, k) {
         let t = view.tuple(entry.position);
         let attrs: Vec<String> = table
@@ -246,13 +342,12 @@ fn cmd_ukranks(flags: &Flags) -> Result<String, String> {
             entry.position + 1,
             entry.probability,
             attrs.join(", ")
-        )
-        .unwrap();
+        )?;
     }
-    Ok(out)
+    Ok(())
 }
 
-fn cmd_sql(flags: &Flags) -> Result<String, String> {
+fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let statement_text = flags
         .positional
         .get(2)
@@ -269,10 +364,11 @@ fn cmd_sql(flags: &Flags) -> Result<String, String> {
         ptk_sql::QueryKind::Ptk => {}
         ptk_sql::QueryKind::UTopK => {
             let answer = utopk(&view, k, &UTopKOptions::default()).map_err(|e| e.to_string())?;
-            let mut out = format!(
-                "most probable top-{k} vector (probability {:.6}):\n",
+            writeln!(
+                out,
+                "most probable top-{k} vector (probability {:.6}):",
                 answer.probability
-            );
+            )?;
             for &pos in &answer.vector {
                 let t = view.tuple(pos);
                 let attrs: Vec<String> = table
@@ -287,24 +383,22 @@ fn cmd_sql(flags: &Flags) -> Result<String, String> {
                     pos + 1,
                     t.prob,
                     attrs.join(", ")
-                )
-                .unwrap();
+                )?;
             }
             if statement.explain {
-                writeln!(out, "plan: RankedView::build -> utopk best-first search").unwrap();
+                writeln!(out, "plan: RankedView::build -> utopk best-first search")?;
                 writeln!(
                     out,
                     "stats: {} states explored, view of {} tuples / {} rules",
                     answer.states_explored,
                     view.len(),
                     view.rules().len()
-                )
-                .unwrap();
+                )?;
             }
-            return Ok(out);
+            return Ok(());
         }
         ptk_sql::QueryKind::UKRanks => {
-            let mut out = String::from("most probable tuple at each rank:\n");
+            writeln!(out, "most probable tuple at each rank:")?;
             for entry in ukranks(&view, k) {
                 let t = view.tuple(entry.position);
                 let attrs: Vec<String> = table
@@ -320,20 +414,18 @@ fn cmd_sql(flags: &Flags) -> Result<String, String> {
                     entry.position + 1,
                     entry.probability,
                     attrs.join(", ")
-                )
-                .unwrap();
+                )?;
             }
             if statement.explain {
                 writeln!(
                     out,
                     "plan: RankedView::build -> position probabilities (full scan, RC+LR)"
-                )
-                .unwrap();
+                )?;
             }
-            return Ok(out);
+            return Ok(());
         }
         ptk_sql::QueryKind::ExpectedRank => {
-            let mut out = format!("top-{k} by expected rank:\n");
+            writeln!(out, "top-{k} by expected rank:")?;
             for e in expected_rank_topk(&view, k) {
                 let t = view.tuple(e.position);
                 let attrs: Vec<String> = table
@@ -348,25 +440,27 @@ fn cmd_sql(flags: &Flags) -> Result<String, String> {
                     e.expected_rank,
                     e.position + 1,
                     attrs.join(", ")
-                )
-                .unwrap();
+                )?;
             }
             if statement.explain {
                 writeln!(
                     out,
                     "plan: RankedView::build -> closed-form expected ranks (O(n))"
-                )
-                .unwrap();
+                )?;
             }
-            return Ok(out);
+            return Ok(());
         }
     }
+
+    let stats = stats_mode(flags)?;
+    let metrics = Metrics::new();
+    let recorder: &dyn Recorder = if stats.is_some() { &metrics } else { &Noop };
 
     let mut explain_note = String::new();
     let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match parsed.method
     {
         ptk_sql::Method::Exact => {
-            let result = evaluate_ptk(&view, k, p, &EngineOptions::default());
+            let result = evaluate_ptk_recorded(&view, k, p, &EngineOptions::default(), recorder);
             let note = format!(
                 "exact; scanned {} of {} tuples",
                 result.stats.scanned,
@@ -393,7 +487,8 @@ fn cmd_sql(flags: &Flags) -> Result<String, String> {
                 seed,
                 ..Default::default()
             };
-            let (answers, estimate) = sample_ptk(&view, k, p, &options);
+            let (answers, estimate) = sample_ptk_recorded(&view, k, p, &options, recorder);
+            recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
             let probabilities = estimate.probabilities.iter().map(|&x| Some(x)).collect();
             (
                 answers,
@@ -403,14 +498,16 @@ fn cmd_sql(flags: &Flags) -> Result<String, String> {
         }
         ptk_sql::Method::Naive => {
             let pr = naive::topk_probabilities(&view, k).map_err(|e| e.to_string())?;
-            let answers = (0..view.len()).filter(|&i| pr[i] >= p).collect();
+            let answers: Vec<usize> = (0..view.len()).filter(|&i| pr[i] >= p).collect();
+            recorder.add(ptk_engine::counters::SCANNED, view.len() as u64);
+            recorder.add(ptk_engine::counters::EVALUATED, view.len() as u64);
+            recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
             let probabilities = pr.iter().map(|&x| Some(x)).collect();
             (answers, probabilities, "naive enumeration".to_owned())
         }
     };
 
-    let mut out = String::new();
-    writeln!(out, "{} tuples pass Pr^{k} >= {p} ({note})", answers.len()).unwrap();
+    writeln!(out, "{} tuples pass Pr^{k} >= {p} ({note})", answers.len())?;
     for &pos in &answers {
         let t = view.tuple(pos);
         let row = table.tuple(t.id);
@@ -422,22 +519,21 @@ fn cmd_sql(flags: &Flags) -> Result<String, String> {
             probabilities[pos].unwrap_or(f64::NAN),
             t.prob,
             attrs.join(", ")
-        )
-        .unwrap();
+        )?;
     }
     if !explain_note.is_empty() {
-        writeln!(out, "{explain_note}").unwrap();
+        writeln!(out, "{explain_note}")?;
     }
-    Ok(out)
+    write_stats(out, stats, &metrics)
 }
 
-fn cmd_erank(flags: &Flags) -> Result<String, String> {
+fn cmd_erank(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
     let k: usize = flags.require("k")?;
     let ranking = build_ranking(flags, &table)?;
     let query = TopKQuery::new(k, Predicate::True, ranking).map_err(|e| e.to_string())?;
     let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
-    let mut out = format!("top-{k} by expected rank (Cormode et al. semantics):\n");
+    writeln!(out, "top-{k} by expected rank (Cormode et al. semantics):")?;
     for e in expected_rank_topk(&view, k) {
         let t = view.tuple(e.position);
         let attrs: Vec<String> = table
@@ -453,13 +549,12 @@ fn cmd_erank(flags: &Flags) -> Result<String, String> {
             e.position + 1,
             t.prob,
             attrs.join(", ")
-        )
-        .unwrap();
+        )?;
     }
-    Ok(out)
+    Ok(())
 }
 
-fn cmd_worlds(flags: &Flags) -> Result<String, String> {
+fn cmd_worlds(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
     let ranking = build_ranking(flags, &table)?;
     let query = TopKQuery::new(1, Predicate::True, ranking).map_err(|e| e.to_string())?;
@@ -468,43 +563,43 @@ fn cmd_worlds(flags: &Flags) -> Result<String, String> {
     let mut worlds = ptk_worlds::try_enumerate(&view, budget).map_err(|e| e.to_string())?;
     worlds.sort_by(|a, b| b.prob.total_cmp(&a.prob).then(a.members.cmp(&b.members)));
     let limit: usize = flags.get("limit")?.unwrap_or(50);
-    let mut out = format!(
-        "{} possible worlds (showing up to {limit}):\n",
+    writeln!(
+        out,
+        "{} possible worlds (showing up to {limit}):",
         worlds.len()
-    );
+    )?;
     for w in worlds.iter().take(limit) {
         let ids: Vec<String> = w
             .members
             .iter()
             .map(|&pos| view.tuple(pos).id.to_string())
             .collect();
-        writeln!(out, "  Pr = {:.6}  {{{}}}", w.prob, ids.join(", ")).unwrap();
+        writeln!(out, "  Pr = {:.6}  {{{}}}", w.prob, ids.join(", "))?;
     }
     if worlds.len() > limit {
-        writeln!(out, "  … and {} more", worlds.len() - limit).unwrap();
+        writeln!(out, "  … and {} more", worlds.len() - limit)?;
     }
     let total: f64 = worlds.iter().map(|w| w.prob).sum();
-    writeln!(out, "total probability: {total:.9}").unwrap();
-    Ok(out)
+    writeln!(out, "total probability: {total:.9}")?;
+    Ok(())
 }
 
-fn cmd_inspect(flags: &Flags) -> Result<String, String> {
+fn cmd_inspect(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
     let independent = (0..table.len())
         .filter(|&i| !table.is_dependent(ptk_core::TupleId::new(i)))
         .count();
     let max_rule = table.rules().iter().map(|r| r.len()).max().unwrap_or(0);
-    let mut out = String::new();
-    writeln!(out, "tuples:            {}", table.len()).unwrap();
-    writeln!(out, "columns:           {}", table.columns().join(", ")).unwrap();
-    writeln!(out, "multi-tuple rules: {}", table.rules().len()).unwrap();
-    writeln!(out, "independent:       {independent}").unwrap();
-    writeln!(out, "largest rule:      {max_rule}").unwrap();
-    writeln!(out, "possible worlds:   {:.3e}", table.world_count()).unwrap();
-    Ok(out)
+    writeln!(out, "tuples:            {}", table.len())?;
+    writeln!(out, "columns:           {}", table.columns().join(", "))?;
+    writeln!(out, "multi-tuple rules: {}", table.rules().len())?;
+    writeln!(out, "independent:       {independent}")?;
+    writeln!(out, "largest rule:      {max_rule}")?;
+    writeln!(out, "possible worlds:   {:.3e}", table.world_count())?;
+    Ok(())
 }
 
-fn cmd_pack(flags: &Flags) -> Result<String, String> {
+fn cmd_pack(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
     let out_path: String = flags.require("out")?;
     let ranking = build_ranking(flags, &table)?;
@@ -522,29 +617,48 @@ fn cmd_pack(flags: &Flags) -> Result<String, String> {
         );
     }
     write_run(std::path::Path::new(&out_path), &rows).map_err(|e| e.to_string())?;
-    Ok(format!(
-        "packed {} tuples ({} rules) into {out_path}\n",
+    writeln!(
+        out,
+        "packed {} tuples ({} rules) into {out_path}",
         view.len(),
         view.rules().len()
-    ))
+    )?;
+    Ok(())
 }
 
-fn cmd_scan(flags: &Flags) -> Result<String, String> {
+fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let path = flags.positional.get(1).ok_or("missing run file argument")?;
     let k: usize = flags.require("k")?;
     let p: f64 = flags.require("p")?;
-    let mut source = FileSource::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    let stats = stats_mode(flags)?;
+    let metrics = Arc::new(Metrics::new());
+    let recorder: &dyn Recorder = if stats.is_some() {
+        metrics.as_ref()
+    } else {
+        &Noop
+    };
+    let mut source = if stats.is_some() {
+        FileSource::open_recorded(
+            std::path::Path::new(path),
+            Arc::clone(&metrics) as SharedRecorder,
+        )
+    } else {
+        FileSource::open(std::path::Path::new(path))
+    }
+    .map_err(|e| e.to_string())?;
     let total = source.remaining();
-    let result = evaluate_ptk_source(&mut source, k, p, &StreamOptions::default());
-    let mut out = format!(
-        "{} tuples pass Pr^{k} >= {p} (streamed {} of {total} records{})\n",
+    let result =
+        evaluate_ptk_source_recorded(&mut source, k, p, &StreamOptions::default(), recorder);
+    writeln!(
+        out,
+        "{} tuples pass Pr^{k} >= {p} (streamed {} of {total} records{})",
         result.answers.len(),
         source.retrieved(),
         result
             .stats
             .stop
             .map_or(String::new(), |s| format!(", stopped early: {s:?}"))
-    );
+    )?;
     for a in &result.answers {
         writeln!(
             out,
@@ -552,13 +666,12 @@ fn cmd_scan(flags: &Flags) -> Result<String, String> {
             a.id.index(),
             a.score,
             a.probability
-        )
-        .unwrap();
+        )?;
     }
-    Ok(out)
+    write_stats(out, stats, &metrics)
 }
 
-fn cmd_generate(flags: &Flags) -> Result<String, String> {
+fn cmd_generate(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let kind = flags
         .positional
         .get(1)
@@ -582,30 +695,48 @@ fn cmd_generate(flags: &Flags) -> Result<String, String> {
             };
             IipDataset::generate(&config).table
         }
-        other => return Err(format!("unknown generator '{other}' (synthetic | iip)")),
+        other => return Err(format!("unknown generator '{other}' (synthetic | iip)").into()),
     };
-    Ok(save_table(&table))
+    out.write_all(save_table(&table).as_bytes())?;
+    Ok(())
 }
 
-/// Executes a full command line (without the program name).
+/// Executes a full command line (without the program name), writing the
+/// result to `out`.
+///
+/// # Errors
+/// [`CmdError::Usage`] for any parse, input or query failure;
+/// [`CmdError::Io`] when `out` rejects a write (check
+/// [`CmdError::is_broken_pipe`] to exit cleanly under `ptk … | head`).
+pub fn dispatch_to(args: &[String], out: &mut dyn Write) -> Result<(), CmdError> {
+    let flags = parse_flags(args)?;
+    match flags.positional.first().map(String::as_str) {
+        Some("query") => cmd_query(&flags, out),
+        Some("utopk") => cmd_utopk(&flags, out),
+        Some("ukranks") => cmd_ukranks(&flags, out),
+        Some("inspect") => cmd_inspect(&flags, out),
+        Some("worlds") => cmd_worlds(&flags, out),
+        Some("erank") => cmd_erank(&flags, out),
+        Some("sql") => cmd_sql(&flags, out),
+        Some("pack") => cmd_pack(&flags, out),
+        Some("scan") => cmd_scan(&flags, out),
+        Some("generate") => cmd_generate(&flags, out),
+        Some("help") | None => Ok(out.write_all(USAGE.as_bytes())?),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}").into()),
+    }
+}
+
+/// Executes a full command line (without the program name) and returns the
+/// output text. Buffered convenience wrapper over [`dispatch_to`] for tests
+/// and embedding.
 ///
 /// # Errors
 /// Returns a human-readable message for any parse, IO or query failure.
 pub fn dispatch(args: &[String]) -> Result<String, String> {
-    let flags = parse_flags(args)?;
-    match flags.positional.first().map(String::as_str) {
-        Some("query") => cmd_query(&flags),
-        Some("utopk") => cmd_utopk(&flags),
-        Some("ukranks") => cmd_ukranks(&flags),
-        Some("inspect") => cmd_inspect(&flags),
-        Some("worlds") => cmd_worlds(&flags),
-        Some("erank") => cmd_erank(&flags),
-        Some("sql") => cmd_sql(&flags),
-        Some("pack") => cmd_pack(&flags),
-        Some("scan") => cmd_scan(&flags),
-        Some("generate") => cmd_generate(&flags),
-        Some("help") | None => Ok(USAGE.to_owned()),
-        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    let mut buffer = Vec::new();
+    match dispatch_to(args, &mut buffer) {
+        Ok(()) => Ok(String::from_utf8(buffer).expect("command output is UTF-8")),
+        Err(error) => Err(error.to_string()),
     }
 }
 
@@ -713,6 +844,107 @@ mod tests {
     }
 
     #[test]
+    fn query_stats_json_on_every_method() {
+        let file = panda_file();
+        for method in ["exact", "sampling", "naive"] {
+            let out = dispatch(&args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                "2",
+                "--p",
+                "0.35",
+                "--rank-by",
+                "duration",
+                "--method",
+                method,
+                "--stats",
+                "json",
+            ]))
+            .unwrap();
+            let json = out.lines().last().unwrap();
+            assert!(
+                json.starts_with('{') && json.ends_with('}'),
+                "{method}: {out}"
+            );
+            assert!(json.contains("\"counters\""), "{method}: {out}");
+            assert!(json.contains("\"engine.answers\":3"), "{method}: {out}");
+        }
+    }
+
+    #[test]
+    fn query_stats_text_and_bad_mode() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+            "--stats",
+            "text",
+        ]))
+        .unwrap();
+        assert!(out.contains("engine.scanned"), "{out}");
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+            "--stats",
+            "xml",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--stats"), "{err}");
+    }
+
+    #[test]
+    fn broken_pipe_is_io_not_panic() {
+        /// A consumer that hangs up immediately, like `head -0`.
+        struct ClosedPipe;
+        impl std::io::Write for ClosedPipe {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "consumer closed",
+                ))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let file = panda_file();
+        let err = dispatch_to(
+            &args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                "2",
+                "--p",
+                "0.35",
+                "--rank-by",
+                "duration",
+            ]),
+            &mut ClosedPipe,
+        )
+        .unwrap_err();
+        assert!(err.is_broken_pipe(), "{err:?}");
+
+        // Usage failures are not broken pipes: the process must still exit 1.
+        let err = dispatch_to(&args(&["frobnicate"]), &mut ClosedPipe).unwrap_err();
+        assert!(!err.is_broken_pipe(), "{err:?}");
+        assert!(matches!(err, CmdError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
     fn query_with_where_clause() {
         let file = panda_file();
         let out = dispatch(&args(&[
@@ -780,6 +1012,14 @@ mod tests {
             out.contains("row      1") && out.contains("row      4"),
             "{out}"
         );
+        // --stats json surfaces the file-access counters.
+        let out = dispatch(&args(&[
+            "scan", &run_str, "--k", "2", "--p", "0.35", "--stats", "json",
+        ]))
+        .unwrap();
+        let json = out.lines().last().unwrap();
+        assert!(json.contains("\"access.file.bytes_read\""), "{out}");
+        assert!(json.contains("\"engine.scanned\""), "{out}");
         let _ = std::fs::remove_file(&run_path);
     }
 
@@ -876,6 +1116,21 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("plan:") && out.contains("stats:"), "{out}");
+    }
+
+    #[test]
+    fn sql_stats_json_appends_snapshot() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration DESC WITH PROBABILITY >= 0.35",
+            "--stats",
+            "json",
+        ]))
+        .unwrap();
+        let json = out.lines().last().unwrap();
+        assert!(json.contains("\"engine.scanned\""), "{out}");
     }
 
     #[test]

@@ -35,14 +35,16 @@ ptk — probabilistic threshold top-k queries on uncertain data
 USAGE:
   ptk query   <file.csv> --k <K> --p <P> --rank-by <col> [--asc]
               [--method exact|sampling|naive] [--where <col><op><value>]
+              [--stats text|json]
   ptk utopk   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk ukranks <file.csv> --k <K> --rank-by <col> [--asc]
   ptk erank   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk inspect <file.csv>
   ptk worlds  <file.csv> --rank-by <col> [--limit N] [--max-worlds N]
   ptk sql     <file.csv> '<SELECT TOP k FROM t ... statement>'
+              [--stats text|json]
   ptk pack    <file.csv> --rank-by <col> --out <file.run>
-  ptk scan    <file.run> --k <K> --p <P>
+  ptk scan    <file.run> --k <K> --p <P> [--stats text|json]
   ptk generate synthetic [--tuples N] [--rules M] [--seed S]
   ptk generate iip       [--tuples N] [--rules M] [--seed S]
   ptk help
@@ -50,7 +52,9 @@ USAGE:
 The CSV must have a `prob` column (membership probability) and may have a
 `rule` column (tuples sharing a non-empty label are mutually exclusive).
 `--where` accepts one comparison, e.g. --where 'duration>=12' (operators:
-=, !=, <, <=, >, >=). `generate` writes CSV to stdout.
+=, !=, <, <=, >, >=). `generate` writes CSV to stdout. `--stats` appends
+the run's metrics snapshot (counters, histograms, phase timings) after the
+answer, as aligned text or one JSON line.
 
 EXAMPLES:
   ptk query sightings.csv --k 10 --p 0.5 --rank-by drifted_days

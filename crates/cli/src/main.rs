@@ -1,12 +1,22 @@
 //! The `ptk` command-line binary. All logic lives in the library
 //! (`ptk_cli`) so it can be tested; this wrapper handles process exit codes.
 
+use std::io::Write as _;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match ptk_cli::run(&args) {
-        Ok(output) => print!("{output}"),
-        Err(message) => {
-            eprintln!("error: {message}");
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let result = ptk_cli::commands::dispatch_to(&args, &mut out).and_then(|()| {
+        out.flush()?;
+        Ok(())
+    });
+    match result {
+        Ok(()) => {}
+        // `ptk … | head` closes the pipe early: that is success, not a crash.
+        Err(e) if e.is_broken_pipe() => std::process::exit(0),
+        Err(e) => {
+            eprintln!("error: {e}");
             std::process::exit(1);
         }
     }

@@ -43,26 +43,86 @@ pub fn convolve(row: &[f64], q: f64) -> Vec<f64> {
     out
 }
 
+/// Largest tolerated relative error when re-convolving a deconvolved row
+/// against its input (plus a `1e-12` absolute floor for near-zero
+/// entries). Exceeding it means the inversion lost row mass.
+const DECONVOLVE_MAX_REL_ERROR: f64 = 1e-6;
+
+/// Largest certified mass the inversion may have shed when it returns
+/// `Some`: `partial_sum(deconvolve(row, q)) ≥` the true partial sum minus
+/// this. Enforced by the running error bound inside [`deconvolve`], which
+/// returns `None` otherwise.
+pub const DECONVOLVE_MAX_MASS_ERROR: f64 = 1e-7;
+
+/// Mass slack consumers must add when using a deconvolved row's
+/// [`partial_sum`] as an *upper* bound: an order of magnitude above
+/// [`DECONVOLVE_MAX_MASS_ERROR`], and still costing pruning nothing
+/// (thresholds are `O(0.1)`). Shedding mass would shrink the pruning
+/// upper bound — the non-conservative direction — so the margin errs
+/// large. `tests/deconvolve_bound.rs` asserts observed shed stays an
+/// order of magnitude below this slack.
+pub const DECONVOLVE_MASS_SLACK: f64 = 1e-5;
+
 /// Inverts [`convolve_in_place`]: given `Pr(S, ·)` and an element `q ∈ S`,
 /// recovers `Pr(S \ {q}, ·)` in `O(k)`.
 ///
-/// Returns `None` when the inversion is numerically unsafe (`q` within
-/// `1e-6` of 1, where the division amplifies error unboundedly) — callers
-/// fall back to recomputing from scratch or to a trivial bound.
+/// Returns `None` when the inversion is numerically unsafe — callers fall
+/// back to recomputing from scratch or to a trivial bound. The recurrence
+/// divides by `1 − q`, so its condition number is `(q/(1−q))^j`: near
+/// `q = 1` errors amplify per entry, and an undetected negative error on
+/// late entries silently sheds row mass (shrinking [`partial_sum`] and
+/// with it the pruning upper bound — the non-conservative direction).
+/// Guards, in order:
+///
+/// 1. `q` within `1e-6` of 1 — the division amplifies error unboundedly.
+/// 2. A running first-order rounding-error bound `err[j]`, propagated
+///    through the same recurrence. An entry more negative than `−err[j]`
+///    means the inversion diverged beyond explainable float noise;
+///    clamping a small negative entry folds the clamped magnitude into
+///    the bound. Because the mass error telescopes to
+///    `Σ ρ_j + q·err[last]` (ρ_j the per-step residuals), the final check
+///    `q·err[last] ≤` [`DECONVOLVE_MAX_MASS_ERROR`] *certifies* the
+///    returned row has not shed more than that mass.
+/// 3. A posteriori verification that re-convolving the result reproduces
+///    the input row within [`DECONVOLVE_MAX_REL_ERROR`] — a cheap
+///    independent check on the implementation itself.
 pub fn deconvolve(row: &[f64], q: f64) -> Option<Vec<f64>> {
     debug_assert!((0.0..=1.0).contains(&q));
     let not_q = 1.0 - q;
     if not_q < 1e-6 {
         return None;
     }
+    // A few ulps per operation; the exact constant only shifts the
+    // rejection frontier, correctness needs it ≥ the true rounding error.
+    let eps = 4.0 * f64::EPSILON;
     let mut out = vec![0.0; row.len()];
     out[0] = row[0] / not_q;
+    // First-order bound on |out[j] − true value|, advanced alongside the
+    // recurrence: err ← (q·err + local rounding)/(1−q).
+    let mut err = eps * out[0].abs();
     for j in 1..row.len() {
         out[j] = (row[j] - out[j - 1] * q) / not_q;
-        // Float error can push tiny probabilities slightly negative; clamp
-        // so downstream partial sums stay monotone.
+        let local = eps * (row[j].abs() + q * out[j - 1].abs());
+        err = (q * err + local) / not_q + eps * out[j].abs();
         if out[j] < 0.0 {
+            if out[j] < -err {
+                // More than certified float noise: the inversion diverged.
+                return None;
+            }
+            // Benign noise; clamp so downstream partial sums stay
+            // monotone, and account for the mass the clamp sheds.
+            err += -out[j];
             out[j] = 0.0;
+        }
+    }
+    if q * err > DECONVOLVE_MAX_MASS_ERROR {
+        return None;
+    }
+    for j in 0..row.len() {
+        let carried = if j > 0 { out[j - 1] * q } else { 0.0 };
+        let reconstructed = out[j] * not_q + carried;
+        if (reconstructed - row[j]).abs() > DECONVOLVE_MAX_REL_ERROR * row[j].abs() + 1e-12 {
+            return None;
         }
     }
     Some(out)
@@ -170,6 +230,35 @@ mod tests {
         row[3] -= 1e-16; // inject drift
         let out = deconvolve(&row, 0.9).unwrap();
         assert!(out.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn deconvolve_detects_clamp_induced_mass_drift() {
+        // q just below the 1e-6 cutoff passes the first guard, but this
+        // row is not a convolution with q of any non-negative row: the
+        // recurrence drives an entry negative, the clamp sheds mass, and
+        // re-convolving no longer reproduces the input.
+        let q = 1.0 - 2e-6;
+        assert!(deconvolve(&[1e-9, 0.5, 0.5], q).is_none());
+    }
+
+    #[test]
+    fn deconvolve_near_the_cutoff_answers_only_when_certifiable() {
+        // Near-1 q amplifies error by (q/(1−q))^j, so what still inverts
+        // depends on row length: a 2-entry row's error bound stays tiny
+        // and the inversion is accepted (and accurate), while by entry 3
+        // the bound exceeds the mass tolerance and the inversion must
+        // decline rather than risk silently shedding row mass.
+        let q = 1.0 - 2e-6;
+        let short = convolve(&poisson_binomial([0.3], 2), q);
+        let back = deconvolve(&short, q).expect("2-entry row is certifiable");
+        assert!((back[0] - poisson_binomial([0.3], 2)[0]).abs() < 1e-9);
+
+        let long = convolve(&poisson_binomial([0.3, 0.6], 4), q);
+        assert!(
+            deconvolve(&long, q).is_none(),
+            "4-entry row near the cutoff cannot certify its mass"
+        );
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The exact PT-k algorithm (Figure 3 of the paper).
 
 use ptk_core::RankedView;
+use ptk_obs::{Noop, PhaseClock, Recorder};
 
 use crate::dp;
 use crate::scanner::{Scanner, SharingVariant};
-use crate::stats::{ExecStats, StopReason};
+use crate::stats::{counters, ExecStats, StopReason};
 
 /// Configuration of the exact engine.
 #[derive(Debug, Clone, Copy)]
@@ -91,10 +92,35 @@ pub fn evaluate_ptk(
     threshold: f64,
     options: &EngineOptions,
 ) -> PtkResult {
+    evaluate_ptk_recorded(view, k, threshold, options, &Noop)
+}
+
+/// [`evaluate_ptk`] with observability: execution counters (under the
+/// [`counters`] names), the answer count, and per-phase wall-clock spans
+/// (`engine.query`, `engine.phase.dp`, `engine.phase.bound`) are recorded
+/// into `recorder`. With a disabled recorder this is exactly
+/// [`evaluate_ptk`] — no clock is ever read.
+///
+/// The view-based engine retrieves from memory, so retrieval is not a
+/// phase here; rule-tuple compression and reordering happen inside the
+/// scanner's step and are accounted to the DP phase.
+///
+/// # Panics
+/// Panics if `k == 0` or `threshold` is not in `(0, 1]`.
+pub fn evaluate_ptk_recorded(
+    view: &RankedView,
+    k: usize,
+    threshold: f64,
+    options: &EngineOptions,
+    recorder: &dyn Recorder,
+) -> PtkResult {
     assert!(
         threshold > 0.0 && threshold <= 1.0,
         "PT-k thresholds must be in (0, 1], got {threshold}"
     );
+    let _query_span = ptk_obs::span(recorder, "engine.query");
+    let mut dp_clock = PhaseClock::new(recorder);
+    let mut bound_clock = PhaseClock::new(recorder);
     let mut scanner = Scanner::new(view, k, options.variant);
     let mut probabilities: Vec<Option<f64>> = vec![None; view.len()];
     let mut answers = Vec::new();
@@ -148,10 +174,10 @@ pub fn evaluate_ptk(
             }
             scanner.step_skip();
         } else {
-            let prk = {
+            let prk = dp_clock.time(|| {
                 let step = scanner.step().expect("position() was Some");
                 prob * step.partial_sum()
-            };
+            });
             stats.evaluated += 1;
             probabilities[pos] = Some(prk);
             if prk >= threshold {
@@ -180,7 +206,7 @@ pub fn evaluate_ptk(
             // periodically: if even the most favourable future tuple cannot
             // reach the threshold, stop.
             if stats.scanned % options.ub_check_interval.max(1) == 0
-                && future_upper_bound(&scanner) < threshold
+                && bound_clock.time(|| future_upper_bound(&scanner)) < threshold
             {
                 stats.stop = Some(StopReason::UpperBound);
                 break;
@@ -190,6 +216,10 @@ pub fn evaluate_ptk(
 
     stats.dp_cells = scanner.dp_cells();
     stats.entries_recomputed = scanner.entries_recomputed();
+    dp_clock.flush(recorder, "engine.phase.dp");
+    bound_clock.flush(recorder, "engine.phase.bound");
+    stats.record_to(recorder);
+    recorder.add(counters::ANSWERS, answers.len() as u64);
     PtkResult {
         answers,
         probabilities,
@@ -210,7 +240,10 @@ fn future_upper_bound(scanner: &Scanner<'_>) -> f64 {
     let mut ub: f64 = dp::partial_sum(&pool);
     for (_, mass) in scanner.open_rules() {
         let without = match dp::deconvolve(&pool, mass) {
-            Some(row) => dp::partial_sum(&row),
+            // Slack covers mass the ill-conditioned inversion can shed
+            // without tripping its own guards; losing it here would make
+            // the bound non-conservative.
+            Some(row) => dp::partial_sum(&row) + dp::DECONVOLVE_MASS_SLACK,
             // Numerically unsafe to remove: give up on bounding members of
             // this rule (conservative).
             None => 1.0,

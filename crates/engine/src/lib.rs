@@ -45,9 +45,11 @@ mod stats;
 mod stream;
 
 pub use exact::{
-    evaluate_ptk, evaluate_ptk_multi, position_probabilities, topk_probabilities,
-    topk_probability_profile, EngineOptions, PtkResult,
+    evaluate_ptk, evaluate_ptk_multi, evaluate_ptk_recorded, position_probabilities,
+    topk_probabilities, topk_probability_profile, EngineOptions, PtkResult,
 };
 pub use scanner::{Entry, Scanner, SharingVariant, StepRow};
-pub use stats::{ExecStats, StopReason};
-pub use stream::{evaluate_ptk_source, StreamAnswer, StreamOptions, StreamPtkResult};
+pub use stats::{counters, ExecStats, StopReason};
+pub use stream::{
+    evaluate_ptk_source, evaluate_ptk_source_recorded, StreamAnswer, StreamOptions, StreamPtkResult,
+};

@@ -1,4 +1,36 @@
 //! Execution statistics reported by the exact engine.
+//!
+//! [`ExecStats`] is kept as a plain per-query struct (cheap to bump in the
+//! scan loop, `Copy`, easy to assert on), but it is also a *view over the
+//! ptk-obs registry*: [`ExecStats::record_to`] publishes every counter
+//! under the names in [`counters`], and [`ExecStats::from_snapshot`]
+//! reconstructs the struct from a [`Snapshot`](ptk_obs::Snapshot) — the
+//! oracle tests assert the two directions agree.
+
+use ptk_obs::{Recorder, Snapshot};
+
+/// Metric names under which the engines record into a
+/// [`Recorder`] (see `DESIGN.md` §8).
+pub mod counters {
+    /// Tuples retrieved from the ranked list (scan depth).
+    pub const SCANNED: &str = "engine.scanned";
+    /// Tuples whose exact top-k probability was computed.
+    pub const EVALUATED: &str = "engine.evaluated";
+    /// Tuples skipped by Theorem 3 (membership pruning).
+    pub const PRUNED_MEMBERSHIP: &str = "engine.pruned_membership";
+    /// Tuples skipped by Theorem 4 / Theorem 3(2) (rule pruning).
+    pub const PRUNED_RULE: &str = "engine.pruned_rule";
+    /// Subset-probability DP cells computed.
+    pub const DP_CELLS: &str = "engine.dp_cells";
+    /// Compressed-dominant-set entries recomputed.
+    pub const ENTRIES_RECOMPUTED: &str = "engine.entries_recomputed";
+    /// Tuples in the answer set.
+    pub const ANSWERS: &str = "engine.answers";
+    /// 1 when the scan stopped early via Theorem 5.
+    pub const STOP_TOTAL_TOPK: &str = "engine.stop.total_topk";
+    /// 1 when the scan stopped early via the upper-bound test.
+    pub const STOP_UPPER_BOUND: &str = "engine.stop.upper_bound";
+}
 
 /// Why a pruned scan stopped before exhausting the ranked list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +77,45 @@ impl ExecStats {
     pub fn stopped_early(&self) -> bool {
         self.stop.is_some()
     }
+
+    /// Publishes every counter into `recorder` under the [`counters`]
+    /// names. Called once per query by the engines, so hot loops only ever
+    /// bump the plain struct.
+    pub fn record_to(&self, recorder: &dyn Recorder) {
+        recorder.add(counters::SCANNED, self.scanned as u64);
+        recorder.add(counters::EVALUATED, self.evaluated as u64);
+        recorder.add(counters::PRUNED_MEMBERSHIP, self.pruned_membership as u64);
+        recorder.add(counters::PRUNED_RULE, self.pruned_rule as u64);
+        recorder.add(counters::DP_CELLS, self.dp_cells);
+        recorder.add(counters::ENTRIES_RECOMPUTED, self.entries_recomputed);
+        match self.stop {
+            Some(StopReason::TotalTopK) => recorder.add(counters::STOP_TOTAL_TOPK, 1),
+            Some(StopReason::UpperBound) => recorder.add(counters::STOP_UPPER_BOUND, 1),
+            None => {}
+        }
+    }
+
+    /// Reconstructs the stats of a *single recorded query* from a registry
+    /// snapshot — the inverse of [`ExecStats::record_to`] as long as the
+    /// registry saw exactly one query (counters are cumulative).
+    pub fn from_snapshot(snapshot: &Snapshot) -> ExecStats {
+        let stop = if snapshot.counter(counters::STOP_TOTAL_TOPK) > 0 {
+            Some(StopReason::TotalTopK)
+        } else if snapshot.counter(counters::STOP_UPPER_BOUND) > 0 {
+            Some(StopReason::UpperBound)
+        } else {
+            None
+        };
+        ExecStats {
+            scanned: snapshot.counter(counters::SCANNED) as usize,
+            evaluated: snapshot.counter(counters::EVALUATED) as usize,
+            pruned_membership: snapshot.counter(counters::PRUNED_MEMBERSHIP) as usize,
+            pruned_rule: snapshot.counter(counters::PRUNED_RULE) as usize,
+            dp_cells: snapshot.counter(counters::DP_CELLS),
+            entries_recomputed: snapshot.counter(counters::ENTRIES_RECOMPUTED),
+            stop,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +140,27 @@ mod tests {
             ..Default::default()
         };
         assert!(s.stopped_early());
+    }
+
+    #[test]
+    fn record_to_round_trips_through_snapshot() {
+        for stop in [
+            None,
+            Some(StopReason::TotalTopK),
+            Some(StopReason::UpperBound),
+        ] {
+            let stats = ExecStats {
+                scanned: 10,
+                evaluated: 6,
+                pruned_membership: 3,
+                pruned_rule: 1,
+                dp_cells: 42,
+                entries_recomputed: 21,
+                stop,
+            };
+            let metrics = ptk_obs::Metrics::new();
+            stats.record_to(&metrics);
+            assert_eq!(ExecStats::from_snapshot(&metrics.snapshot()), stats);
+        }
     }
 }

@@ -25,9 +25,10 @@ use std::collections::HashMap;
 
 use ptk_access::{RankedSource, RuleKey};
 use ptk_core::TupleId;
+use ptk_obs::{Noop, PhaseClock, Recorder};
 
 use crate::dp;
-use crate::stats::{ExecStats, StopReason};
+use crate::stats::{counters, ExecStats, StopReason};
 
 /// Options for the streaming engine.
 #[derive(Debug, Clone, Copy)]
@@ -116,11 +117,39 @@ pub fn evaluate_ptk_source<S: RankedSource + ?Sized>(
     threshold: f64,
     options: &StreamOptions,
 ) -> StreamPtkResult {
+    evaluate_ptk_source_recorded(source, k, threshold, options, &Noop)
+}
+
+/// [`evaluate_ptk_source`] with observability: execution counters (under
+/// the [`counters`] names), the answer count, and per-phase wall-clock
+/// spans are recorded into `recorder`. The streaming engine's phases map
+/// directly onto spans: `engine.phase.retrieval` (pulling from the
+/// source), `engine.phase.reorder` (rebuilding the desired dominant-set
+/// ordering), `engine.phase.dp` (recomputing invalidated DP rows) and
+/// `engine.phase.bound` (the periodic early-exit check), all under an
+/// `engine.query` umbrella span. With a disabled recorder this is exactly
+/// [`evaluate_ptk_source`] — no clock is ever read.
+///
+/// # Panics
+/// Panics if `k == 0`, `threshold` is outside `(0, 1]`, or the source
+/// delivers scores out of order.
+pub fn evaluate_ptk_source_recorded<S: RankedSource + ?Sized>(
+    source: &mut S,
+    k: usize,
+    threshold: f64,
+    options: &StreamOptions,
+    recorder: &dyn Recorder,
+) -> StreamPtkResult {
     assert!(k > 0, "top-k queries require k >= 1");
     assert!(
         threshold > 0.0 && threshold <= 1.0,
         "PT-k thresholds must be in (0, 1], got {threshold}"
     );
+    let _query_span = ptk_obs::span(recorder, "engine.query");
+    let mut retrieval_clock = PhaseClock::new(recorder);
+    let mut reorder_clock = PhaseClock::new(recorder);
+    let mut dp_clock = PhaseClock::new(recorder);
+    let mut bound_clock = PhaseClock::new(recorder);
 
     let mut entries: Vec<Entry> = Vec::new();
     let mut rows: Vec<Vec<f64>> = vec![dp::unit_row(k)];
@@ -133,7 +162,7 @@ pub fn evaluate_ptk_source<S: RankedSource + ?Sized>(
     let mut last_score = f64::INFINITY;
     let mut step = 0usize;
 
-    while let Some(tuple) = source.next_ranked() {
+    while let Some(tuple) = retrieval_clock.time(|| source.next_ranked()) {
         assert!(
             tuple.score <= last_score + 1e-9,
             "source delivered scores out of order: {} after {last_score}",
@@ -182,52 +211,55 @@ pub fn evaluate_ptk_source<S: RankedSource + ?Sized>(
             // or new entries — independents first, then open rule-tuples by
             // absorption recency (oldest first).
             let own_rule = tuple.rule;
-            let valid_len = entries
-                .iter()
-                .take_while(|e| match e {
-                    Entry::Indep { .. } => true,
-                    Entry::Rule { key, absorbed, .. } => {
-                        Some(*key) != own_rule
-                            && rules.get(key).is_some_and(|r| r.absorbed == *absorbed)
-                    }
-                })
-                .count();
-            let mut desired: Vec<Entry> = entries[..valid_len].to_vec();
-            let mut kept_indeps = 0usize;
-            let mut kept_rules: std::collections::HashSet<RuleKey> =
-                std::collections::HashSet::new();
-            for e in &desired {
-                match e {
-                    Entry::Indep { .. } => kept_indeps += 1,
-                    Entry::Rule { key, .. } => {
-                        kept_rules.insert(*key);
+            let desired: Vec<Entry> = reorder_clock.time(|| {
+                let valid_len = entries
+                    .iter()
+                    .take_while(|e| match e {
+                        Entry::Indep { .. } => true,
+                        Entry::Rule { key, absorbed, .. } => {
+                            Some(*key) != own_rule
+                                && rules.get(key).is_some_and(|r| r.absorbed == *absorbed)
+                        }
+                    })
+                    .count();
+                let mut desired: Vec<Entry> = entries[..valid_len].to_vec();
+                let mut kept_indeps = 0usize;
+                let mut kept_rules: std::collections::HashSet<RuleKey> =
+                    std::collections::HashSet::new();
+                for e in &desired {
+                    match e {
+                        Entry::Indep { .. } => kept_indeps += 1,
+                        Entry::Rule { key, .. } => {
+                            kept_rules.insert(*key);
+                        }
                     }
                 }
-            }
-            // Independents are interchangeable (same multiset semantics):
-            // re-add however many of them fell off the prefix, in arrival
-            // order from the rear.
-            for &prob in &independents[kept_indeps..] {
-                desired.push(Entry::Indep { prob });
-            }
-            let mut open: Vec<(usize, Entry)> = rules
-                .iter()
-                .filter(|(key, rs)| {
-                    rs.absorbed > 0 && Some(**key) != own_rule && !kept_rules.contains(key)
-                })
-                .map(|(key, rs)| {
-                    (
-                        rs.last_touch,
-                        Entry::Rule {
-                            key: *key,
-                            absorbed: rs.absorbed,
-                            mass: rs.mass,
-                        },
-                    )
-                })
-                .collect();
-            open.sort_by_key(|(touch, _)| *touch);
-            desired.extend(open.into_iter().map(|(_, e)| e));
+                // Independents are interchangeable (same multiset
+                // semantics): re-add however many of them fell off the
+                // prefix, in arrival order from the rear.
+                for &prob in &independents[kept_indeps..] {
+                    desired.push(Entry::Indep { prob });
+                }
+                let mut open: Vec<(usize, Entry)> = rules
+                    .iter()
+                    .filter(|(key, rs)| {
+                        rs.absorbed > 0 && Some(**key) != own_rule && !kept_rules.contains(key)
+                    })
+                    .map(|(key, rs)| {
+                        (
+                            rs.last_touch,
+                            Entry::Rule {
+                                key: *key,
+                                absorbed: rs.absorbed,
+                                mass: rs.mass,
+                            },
+                        )
+                    })
+                    .collect();
+                open.sort_by_key(|(touch, _)| *touch);
+                desired.extend(open.into_iter().map(|(_, e)| e));
+                desired
+            });
 
             let prefix = entries
                 .iter()
@@ -237,12 +269,14 @@ pub fn evaluate_ptk_source<S: RankedSource + ?Sized>(
             let recomputed = desired.len() - prefix;
             stats.entries_recomputed += recomputed as u64;
             stats.dp_cells += (recomputed * k) as u64;
-            rows.truncate(prefix + 1);
-            for e in &desired[prefix..] {
-                let mut row = rows.last().expect("rows never empty").clone();
-                dp::convolve_in_place(&mut row, e.mass());
-                rows.push(row);
-            }
+            dp_clock.time(|| {
+                rows.truncate(prefix + 1);
+                for e in &desired[prefix..] {
+                    let mut row = rows.last().expect("rows never empty").clone();
+                    dp::convolve_in_place(&mut row, e.mass());
+                    rows.push(row);
+                }
+            });
             entries = desired;
 
             let prk = tuple.prob * dp::partial_sum(rows.last().expect("rows never empty"));
@@ -284,27 +318,32 @@ pub fn evaluate_ptk_source<S: RankedSource + ?Sized>(
             }
             // Early-exit upper bound (periodic).
             if stats.scanned % options.ub_check_interval.max(1) == 0 {
-                let mut pool = dp::unit_row(k);
-                for &prob in &independents {
-                    dp::convolve_in_place(&mut pool, prob);
-                }
-                for rs in rules.values() {
-                    if rs.absorbed > 0 {
-                        dp::convolve_in_place(&mut pool, rs.mass);
+                let ub = bound_clock.time(|| {
+                    let mut pool = dp::unit_row(k);
+                    for &prob in &independents {
+                        dp::convolve_in_place(&mut pool, prob);
                     }
-                }
-                let mut ub: f64 = dp::partial_sum(&pool);
-                for rs in rules.values() {
-                    if rs.absorbed == 0 {
-                        continue;
+                    for rs in rules.values() {
+                        if rs.absorbed > 0 {
+                            dp::convolve_in_place(&mut pool, rs.mass);
+                        }
                     }
-                    let without = match dp::deconvolve(&pool, rs.mass) {
-                        Some(row) => dp::partial_sum(&row),
-                        None => 1.0,
-                    };
-                    ub = ub.max(without);
-                }
-                if ub.min(1.0) < threshold {
+                    let mut ub: f64 = dp::partial_sum(&pool);
+                    for rs in rules.values() {
+                        if rs.absorbed == 0 {
+                            continue;
+                        }
+                        let without = match dp::deconvolve(&pool, rs.mass) {
+                            // Slack covers undetectable shed mass; see
+                            // `DECONVOLVE_MASS_SLACK`.
+                            Some(row) => dp::partial_sum(&row) + dp::DECONVOLVE_MASS_SLACK,
+                            None => 1.0,
+                        };
+                        ub = ub.max(without);
+                    }
+                    ub.min(1.0)
+                });
+                if ub < threshold {
                     stats.stop = Some(StopReason::UpperBound);
                     break;
                 }
@@ -312,6 +351,12 @@ pub fn evaluate_ptk_source<S: RankedSource + ?Sized>(
         }
     }
 
+    retrieval_clock.flush(recorder, "engine.phase.retrieval");
+    reorder_clock.flush(recorder, "engine.phase.reorder");
+    dp_clock.flush(recorder, "engine.phase.dp");
+    bound_clock.flush(recorder, "engine.phase.bound");
+    stats.record_to(recorder);
+    recorder.add(counters::ANSWERS, answers.len() as u64);
     StreamPtkResult { answers, stats }
 }
 

@@ -7,8 +7,10 @@ use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 
 use ptk_core::RankedView;
 use ptk_engine::{
-    evaluate_ptk, position_probabilities, topk_probabilities, EngineOptions, SharingVariant,
+    counters, evaluate_ptk, evaluate_ptk_recorded, position_probabilities, topk_probabilities,
+    EngineOptions, ExecStats, SharingVariant,
 };
+use ptk_obs::Metrics;
 use ptk_worlds::naive;
 
 /// Generates a random small ranked view: up to `max_n` tuples, random
@@ -85,11 +87,44 @@ fn ptk_answers_match_enumeration_with_and_without_pruning() {
                     pruning,
                     ub_check_interval: 1, // stress the early-exit bound
                 };
-                let result = evaluate_ptk(&view, k, threshold, &options);
+                let metrics = Metrics::new();
+                let result = evaluate_ptk_recorded(&view, k, threshold, &options, &metrics);
                 assert_eq!(
                     result.answers, oracle,
                     "trial {trial} k={k} p={threshold} {variant:?} pruning={pruning}"
                 );
+
+                // ExecStats is a faithful view over the ptk-obs registry.
+                let snapshot = metrics.snapshot();
+                assert_eq!(
+                    ExecStats::from_snapshot(&snapshot),
+                    result.stats,
+                    "trial {trial} {variant:?} pruning={pruning}: registry round trip"
+                );
+                assert_eq!(
+                    snapshot.counter(counters::ANSWERS),
+                    result.answers.len() as u64,
+                    "trial {trial} {variant:?} pruning={pruning}"
+                );
+
+                // Every scanned tuple is either evaluated or pruned; absent
+                // an early stop the scan covers the whole ranked list.
+                assert_eq!(
+                    result.stats.scanned,
+                    result.stats.evaluated + result.stats.pruned(),
+                    "trial {trial} {variant:?} pruning={pruning}: scanned ≠ evaluated + pruned"
+                );
+                assert!(result.stats.scanned <= view.len());
+                if result.stats.stop.is_none() {
+                    assert_eq!(
+                        result.stats.scanned,
+                        view.len(),
+                        "trial {trial} {variant:?} pruning={pruning}: no early stop yet partial scan"
+                    );
+                }
+                if !pruning {
+                    assert_eq!(result.stats.pruned(), 0, "pruning off must not prune");
+                }
             }
         }
     }
@@ -132,6 +167,70 @@ fn theorem_bounds_hold_on_random_views() {
         }
         assert!(total <= k as f64 + 1e-9, "total {total} > k {k}");
     }
+}
+
+#[test]
+fn counters_are_monotone_in_scan_depth() {
+    // Evaluating prefixes of a ranked list of independent tuples: the
+    // engine behaves identically on the shared prefix (nothing it does
+    // looks ahead except the upper bound, which only grows with more
+    // tuples), so every counter must be non-decreasing in the prefix
+    // length. Rules are excluded because truncating one changes its mass
+    // and with it the behaviour on the shared prefix.
+    let mut rng = StdRng::seed_from_u64(0x5eed_0006);
+    for trial in 0..20 {
+        let n = rng.random_range(2..=14usize);
+        let probs: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..=1.0f64)).collect();
+        let k = rng.random_range(1..=4usize);
+        let threshold = rng.random_range(0.1..=0.9f64);
+        let mut prev = ptk_engine::ExecStats::default();
+        for m in 1..=n {
+            let view = RankedView::from_ranked_probs(&probs[..m], &[]).unwrap();
+            let result = evaluate_ptk(&view, k, threshold, &EngineOptions::default());
+            let s = result.stats;
+            assert!(
+                s.scanned >= prev.scanned
+                    && s.evaluated >= prev.evaluated
+                    && s.pruned_membership >= prev.pruned_membership
+                    && s.pruned_rule >= prev.pruned_rule
+                    && s.dp_cells >= prev.dp_cells
+                    && s.entries_recomputed >= prev.entries_recomputed,
+                "trial {trial} m={m}: counters regressed: {s:?} after {prev:?}"
+            );
+            prev = s;
+        }
+    }
+}
+
+#[test]
+fn registry_accumulates_across_queries() {
+    // The registry is cumulative: recording the same query N times yields
+    // exactly N times the single-run counters (monotone, no resets).
+    let mut rng = StdRng::seed_from_u64(0x5eed_0007);
+    let view = random_view(&mut rng, 12);
+    let options = EngineOptions::default();
+
+    let single = Metrics::new();
+    evaluate_ptk_recorded(&view, 3, 0.4, &options, &single);
+    let single = single.snapshot();
+
+    let repeated = Metrics::new();
+    for _ in 0..3 {
+        evaluate_ptk_recorded(&view, 3, 0.4, &options, &repeated);
+    }
+    let repeated = repeated.snapshot();
+
+    for (name, &value) in &single.counters {
+        assert_eq!(
+            repeated.counter(name),
+            3 * value,
+            "counter {name} is not cumulative"
+        );
+    }
+    assert!(
+        single.counter(counters::SCANNED) > 0,
+        "sanity: scan recorded"
+    );
 }
 
 #[test]

@@ -6,7 +6,11 @@ use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 
 use ptk_access::{AggregateFn, SortedVecSource, TaSource, ViewSource};
 use ptk_core::RankedView;
-use ptk_engine::{evaluate_ptk, evaluate_ptk_source, EngineOptions, StreamOptions};
+use ptk_engine::{
+    evaluate_ptk, evaluate_ptk_source, evaluate_ptk_source_recorded, EngineOptions, ExecStats,
+    StreamOptions,
+};
+use ptk_obs::Metrics;
 use ptk_worlds::naive;
 
 /// Random rows: (score, prob, rule). Rules pair adjacent rows with legal
@@ -88,7 +92,22 @@ fn stream_probabilities_match_view_engine() {
             ub_check_interval: 2,
             ..Default::default()
         };
-        let stream = evaluate_ptk_source(&mut source, k, p, &options);
+        let metrics = Metrics::new();
+        let stream = evaluate_ptk_source_recorded(&mut source, k, p, &options, &metrics);
+        // The streaming engine's stats are a faithful view over the
+        // ptk-obs registry, and every scanned tuple is either evaluated
+        // or pruned.
+        let snapshot = metrics.snapshot();
+        assert_eq!(
+            ExecStats::from_snapshot(&snapshot),
+            stream.stats,
+            "trial {trial}: registry round trip"
+        );
+        assert_eq!(
+            stream.stats.scanned,
+            stream.stats.evaluated + stream.stats.pruned(),
+            "trial {trial}: scanned ≠ evaluated + pruned"
+        );
         assert_eq!(stream.answers.len(), batch.answers.len(), "trial {trial}");
         for (s, &pos) in stream.answers.iter().zip(&batch.answers) {
             assert_eq!(s.id, view.tuple(pos).id, "trial {trial}");

@@ -1,0 +1,611 @@
+//! Zero-dependency observability for the PT-k stack.
+//!
+//! Instrumented code talks to a [`Recorder`]: monotonic counters
+//! ([`Recorder::add`]), f64 histograms over fixed log-scale buckets
+//! ([`Recorder::observe`]), and span timings ([`Recorder::record_nanos`],
+//! usually via the RAII [`span`] helper or a [`PhaseClock`]). The default
+//! implementation is [`Noop`], so instrumentation costs a virtual call and
+//! nothing else when nobody is listening — in particular no `Instant` is
+//! ever read while a recorder reports [`Recorder::enabled`] `false`.
+//!
+//! [`Metrics`] is the concrete registry. Its [`Metrics::snapshot`] returns
+//! a [`Snapshot`] whose counters and histograms are pure functions of the
+//! recorded values: bucket assignment uses the binary exponent of the
+//! value (integer bit manipulation, no floating-point logarithm), and all
+//! maps are ordered, so two runs with the same seed produce bit-identical
+//! snapshots on every platform. Wall-clock timings are inherently
+//! non-deterministic and are therefore kept in a separate section that
+//! [`Snapshot::to_json`] *excludes unless explicitly asked for* — golden
+//! tests compare `to_json(false)`.
+//!
+//! ```
+//! use ptk_obs::{Metrics, Recorder};
+//!
+//! let metrics = Metrics::new();
+//! metrics.add("engine.scanned", 6);
+//! metrics.observe("sampling.unit_len", 3.0);
+//! let snapshot = metrics.snapshot();
+//! assert_eq!(snapshot.counter("engine.scanned"), 6);
+//! assert!(snapshot.to_json(false).contains("\"engine.scanned\":6"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Sink for runtime metrics. All methods take `&self` so a recorder can be
+/// shared freely; implementations must be thread-safe.
+///
+/// Metric names are `&'static str` by design: instrumentation points name
+/// their counters with literals, and the registry never allocates for a
+/// name.
+pub trait Recorder: Send + Sync {
+    /// Whether anything is listening. Instrumented code consults this
+    /// before doing work that only exists to be recorded (reading clocks,
+    /// formatting); counters should be recorded unconditionally.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Increments the monotonic counter `name` by `delta`.
+    fn add(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records `value` into the histogram `name`.
+    fn observe(&self, name: &'static str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Adds `nanos` of wall-clock time to the span `name`.
+    fn record_nanos(&self, name: &'static str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+}
+
+/// The recorder that records nothing ([`Recorder::enabled`] is `false`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Noop;
+
+impl Recorder for Noop {}
+
+/// A recorder shared across owners (e.g. a long-lived data source and the
+/// query that polls it).
+pub type SharedRecorder = Arc<dyn Recorder>;
+
+/// Histogram buckets are powers of two: bucket `e` counts values in
+/// `[2^e, 2^(e+1))`. Exponents are clamped to this range, giving 64
+/// buckets — ample for the unit lengths, byte counts and cell counts the
+/// stack observes.
+const MIN_EXP: i32 = -32;
+/// Upper clamp of the bucket exponent range (see [`MIN_EXP`]).
+const MAX_EXP: i32 = 31;
+
+/// The log-scale bucket holding `value`: its IEEE-754 binary exponent,
+/// clamped to `[MIN_EXP, MAX_EXP]`. Pure integer bit manipulation, so the
+/// assignment is exact and identical on every platform. Non-positive and
+/// non-finite values land in the lowest bucket.
+fn bucket_exponent(value: f64) -> i32 {
+    // NaN fails `is_finite`, so it lands in the lowest bucket too.
+    if value <= 0.0 || !value.is_finite() {
+        return MIN_EXP;
+    }
+    let biased = ((value.to_bits() >> 52) & 0x7ff) as i32;
+    // Subnormals (biased exponent 0) are far below MIN_EXP anyway.
+    let exponent = if biased == 0 { -1023 } else { biased - 1023 };
+    exponent.clamp(MIN_EXP, MAX_EXP)
+}
+
+#[derive(Debug, Clone, Default)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: BTreeMap<i32, u64>,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        *self.buckets.entry(bucket_exponent(value)).or_insert(0) += 1;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Timing {
+    count: u64,
+    total_nanos: u64,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    timings: BTreeMap<&'static str, Timing>,
+}
+
+/// A concrete metrics registry: counters, histograms and span timings
+/// behind one mutex. Cheap enough for per-phase and per-unit recording;
+/// hot loops should accumulate locally (e.g. via [`PhaseClock`] or
+/// `ExecStats`-style structs) and flush once.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<Registry>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Takes a consistent snapshot of everything recorded so far.
+    ///
+    /// # Panics
+    /// Panics if a previous user of the registry panicked mid-record.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        Snapshot {
+            counters: inner.counters.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(&name, h)| {
+                    (
+                        name,
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            min: h.min,
+                            max: h.max,
+                            buckets: h.buckets.iter().map(|(&e, &c)| (e, c)).collect(),
+                        },
+                    )
+                })
+                .collect(),
+            timings: inner
+                .timings
+                .iter()
+                .map(|(&name, t)| {
+                    (
+                        name,
+                        TimingSnapshot {
+                            count: t.count,
+                            total_nanos: t.total_nanos,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for Metrics {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.histograms.entry(name).or_default().observe(value);
+    }
+
+    fn record_nanos(&self, name: &'static str, nanos: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let timing = inner.timings.entry(name).or_default();
+        timing.count += 1;
+        timing.total_nanos += nanos;
+    }
+}
+
+/// Starts an RAII span: the wall-clock time between this call and the
+/// returned guard's drop is recorded under `name`. When the recorder is
+/// disabled no clock is read at all.
+pub fn span<'a>(recorder: &'a dyn Recorder, name: &'static str) -> Span<'a> {
+    Span {
+        armed: recorder.enabled().then(|| (recorder, name, Instant::now())),
+    }
+}
+
+/// Guard returned by [`span`]; records its elapsed time when dropped.
+pub struct Span<'a> {
+    armed: Option<(&'a dyn Recorder, &'static str, Instant)>,
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.armed.as_ref().map(|(_, name, _)| name))
+            .finish()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((recorder, name, start)) = self.armed.take() {
+            recorder.record_nanos(name, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Accumulates the wall-clock time of one *phase* of a loop without
+/// touching the recorder per iteration: [`PhaseClock::time`] wraps each
+/// slice of work, [`PhaseClock::flush`] records the total once. Disabled
+/// recorders skip the clock reads entirely.
+#[derive(Debug)]
+pub struct PhaseClock {
+    enabled: bool,
+    nanos: u64,
+}
+
+impl PhaseClock {
+    /// A clock that is live only when `recorder` is enabled.
+    pub fn new(recorder: &dyn Recorder) -> PhaseClock {
+        PhaseClock {
+            enabled: recorder.enabled(),
+            nanos: 0,
+        }
+    }
+
+    /// Runs `work`, accumulating its wall-clock time when live.
+    pub fn time<T>(&mut self, work: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return work();
+        }
+        let start = Instant::now();
+        let value = work();
+        self.nanos += start.elapsed().as_nanos() as u64;
+        value
+    }
+
+    /// Records the accumulated time as one timing sample under `name`.
+    pub fn flush(&self, recorder: &dyn Recorder, name: &'static str) {
+        if self.enabled {
+            recorder.record_nanos(name, self.nanos);
+        }
+    }
+}
+
+/// One histogram in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// `(exponent, count)` pairs, ascending: bucket `e` counted values in
+    /// `[2^e, 2^(e+1))`. Only non-empty buckets appear.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+/// One span's timing in a [`Snapshot`] — excluded from deterministic
+/// output (see [`Snapshot::to_json`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingSnapshot {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across them.
+    pub total_nanos: u64,
+}
+
+/// A point-in-time copy of a [`Metrics`] registry. Ordered maps make
+/// every rendering deterministic; the timing section is the only
+/// non-deterministic part and is opt-in per rendering.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+    /// Span timings by name (wall-clock; never part of golden output).
+    pub timings: BTreeMap<&'static str, TimingSnapshot>,
+}
+
+/// Minimal JSON string escape for metric names (which are identifiers, but
+/// defensiveness is cheap).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an f64 for JSON. Finite values use Rust's shortest round-trip
+/// `Display`; non-finite values (which valid JSON cannot carry) become
+/// quoted strings.
+fn push_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else {
+        let _ = write!(out, "\"{value}\"");
+    }
+}
+
+impl Snapshot {
+    /// The counter's value, or 0 if it was never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if anything was observed under it.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.timings.is_empty()
+    }
+
+    /// Renders the snapshot as a single-line JSON object. With
+    /// `include_timings = false` the output is a pure function of the
+    /// recorded counters and histograms — this is the form golden tests
+    /// compare. With `true`, a `"timings"` section (span name →
+    /// `{count, total_nanos}`) is appended for human consumption.
+    pub fn to_json(&self, include_timings: bool) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, name);
+            let _ = write!(out, ":{{\"count\":{},\"sum\":", h.count);
+            push_json_f64(&mut out, h.sum);
+            out.push_str(",\"min\":");
+            push_json_f64(&mut out, h.min);
+            out.push_str(",\"max\":");
+            push_json_f64(&mut out, h.max);
+            out.push_str(",\"buckets\":{");
+            for (j, (exp, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"2^{exp}\":{count}");
+            }
+            out.push_str("}}");
+        }
+        out.push('}');
+        if include_timings {
+            out.push_str(",\"timings\":{");
+            for (i, (name, t)) in self.timings.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, name);
+                let _ = write!(
+                    out,
+                    ":{{\"count\":{},\"total_nanos\":{}}}",
+                    t.count, t.total_nanos
+                );
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the snapshot as human-readable lines (`--stats text`).
+    /// Includes timings: the text form is for eyeballs, not golden files.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter   {name} = {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name}: count={} sum={} min={} max={}",
+                h.count, h.sum, h.min, h.max
+            );
+            for (exp, count) in &h.buckets {
+                let _ = writeln!(out, "          [2^{exp}, 2^{}): {count}", exp + 1);
+            }
+        }
+        for (name, t) in &self.timings {
+            let _ = writeln!(
+                out,
+                "span      {name}: count={} total={:.3}ms",
+                t.count,
+                t.total_nanos as f64 / 1e6
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add("a", 2);
+        m.add("a", 3);
+        m.add("b", 1);
+        let s = m.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("b"), 1);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_binary_exponents() {
+        let m = Metrics::new();
+        for v in [1.0, 1.5, 2.0, 3.0, 4.0, 0.5, 0.75] {
+            m.observe("h", v);
+        }
+        let s = m.snapshot();
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 4.0);
+        // [1,2): {1, 1.5}; [2,4): {2, 3}; [4,8): {4}; [0.5,1): {0.5, 0.75}
+        assert_eq!(h.buckets, vec![(-1, 2), (0, 2), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn bucket_exponent_is_exact_and_clamped() {
+        assert_eq!(bucket_exponent(1.0), 0);
+        assert_eq!(bucket_exponent(1.99), 0);
+        assert_eq!(bucket_exponent(2.0), 1);
+        assert_eq!(bucket_exponent(0.5), -1);
+        assert_eq!(bucket_exponent(0.0), MIN_EXP);
+        assert_eq!(bucket_exponent(-3.0), MIN_EXP);
+        assert_eq!(bucket_exponent(f64::NAN), MIN_EXP);
+        assert_eq!(bucket_exponent(f64::INFINITY), MIN_EXP);
+        assert_eq!(bucket_exponent(1e-300), MIN_EXP);
+        assert_eq!(bucket_exponent(1e300), MAX_EXP);
+        assert_eq!(bucket_exponent(f64::MIN_POSITIVE / 2.0), MIN_EXP);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_excludes_timings() {
+        let build = |order_flip: bool| {
+            let m = Metrics::new();
+            let names: [&'static str; 2] = if order_flip { ["b", "a"] } else { ["a", "b"] };
+            for n in names {
+                m.add(n, 1);
+            }
+            m.observe("len", 3.0);
+            m.record_nanos("phase", 123);
+            m.snapshot().to_json(false)
+        };
+        let json = build(false);
+        assert_eq!(json, build(true), "insertion order must not matter");
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a\":1,\"b\":1},\"histograms\":{\"len\":{\"count\":1,\
+             \"sum\":3,\"min\":3,\"max\":3,\"buckets\":{\"2^1\":1}}}}"
+        );
+        assert!(!json.contains("nanos"));
+    }
+
+    #[test]
+    fn snapshot_json_can_include_timings() {
+        let m = Metrics::new();
+        m.record_nanos("phase", 100);
+        m.record_nanos("phase", 50);
+        let json = m.snapshot().to_json(true);
+        assert!(
+            json.contains("\"timings\":{\"phase\":{\"count\":2,\"total_nanos\":150}}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn span_records_timing_only_when_enabled() {
+        let m = Metrics::new();
+        {
+            let _s = span(&m, "work");
+        }
+        let s = m.snapshot();
+        assert_eq!(s.timings.get("work").map(|t| t.count), Some(1));
+
+        // A Noop recorder stays empty (and reads no clock).
+        {
+            let _s = span(&Noop, "work");
+        }
+    }
+
+    #[test]
+    fn phase_clock_accumulates_and_flushes_once() {
+        let m = Metrics::new();
+        let mut clock = PhaseClock::new(&m);
+        let v: u64 = clock.time(|| 21) + clock.time(|| 21);
+        assert_eq!(v, 42);
+        clock.flush(&m, "phase");
+        let s = m.snapshot();
+        assert_eq!(s.timings.get("phase").map(|t| t.count), Some(1));
+
+        let mut dead = PhaseClock::new(&Noop);
+        assert_eq!(dead.time(|| 1), 1);
+        dead.flush(&Noop, "phase");
+    }
+
+    #[test]
+    fn noop_records_nothing() {
+        assert!(!Noop.enabled());
+        Noop.add("a", 1);
+        Noop.observe("h", 1.0);
+        Noop.record_nanos("t", 1);
+    }
+
+    #[test]
+    fn text_rendering_lists_everything() {
+        let m = Metrics::new();
+        m.add("engine.scanned", 6);
+        m.observe("len", 2.0);
+        m.record_nanos("query", 1_500_000);
+        let text = m.snapshot().to_text();
+        assert!(text.contains("counter   engine.scanned = 6"), "{text}");
+        assert!(text.contains("histogram len: count=1"), "{text}");
+        assert!(text.contains("span      query: count=1"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_are_safe() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\n");
+        assert_eq!(s, "\"a\\\"b\\\\c\\u000a\"");
+        let mut f = String::new();
+        push_json_f64(&mut f, f64::INFINITY);
+        assert_eq!(f, "\"inf\"");
+    }
+
+    #[test]
+    fn shared_recorder_is_usable_across_threads() {
+        let metrics = Arc::new(Metrics::new());
+        let shared: SharedRecorder = Arc::clone(&metrics) as SharedRecorder;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = Arc::clone(&shared);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        r.add("hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(metrics.snapshot().counter("hits"), 400);
+    }
+}

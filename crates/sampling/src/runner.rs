@@ -2,8 +2,10 @@
 
 use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 use ptk_core::RankedView;
+use ptk_obs::{Noop, Recorder};
 
 use crate::bounds::chernoff_sample_size;
+use crate::counters;
 use crate::sampler::WorldSampler;
 
 /// When to stop drawing sample units.
@@ -22,6 +24,16 @@ pub enum StopCriterion {
     /// Progressive sampling (improvement 2 of §5): stop once no tuple's
     /// estimate changed by more than `phi` over the last `d` units. A hard
     /// cap `max_units` bounds the worst case.
+    ///
+    /// Stability is checked at the end of every full window of `d` units,
+    /// and once more over the final *partial* window when `max_units` is
+    /// not a multiple of `d` (the run always stops at the cap; the partial
+    /// check only decides whether it stopped *stable*, reported via
+    /// [`SampleEstimate::stop`]). When `d >= max_units` no window ever
+    /// completes before the cap, so the criterion degenerates to
+    /// [`StopCriterion::FixedUnits`]`(max_units)` and the outcome is
+    /// [`StopOutcome::ProgressiveBudget`] — pick `d` well below
+    /// `max_units` for the stability check to have any effect.
     Progressive {
         /// Window length `d` in sample units.
         d: u64,
@@ -30,6 +42,44 @@ pub enum StopCriterion {
         /// Hard cap on the number of units.
         max_units: u64,
     },
+}
+
+/// Why a sampling run stopped (recorded under the matching
+/// `sampling.stop.*` counter in [`crate::counters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopOutcome {
+    /// The requested fixed unit count was drawn.
+    FixedUnits,
+    /// The Chernoff–Hoeffding bound of Theorem 6 was drawn.
+    ChernoffBound,
+    /// Progressive stopping found the estimates stable within `phi` — over
+    /// a full window of `d` units, or over the final partial window at the
+    /// cap.
+    ProgressiveStable,
+    /// The progressive cap `max_units` was reached with the estimates
+    /// still moving (or with no window to check, when `d >= max_units`).
+    ProgressiveBudget,
+}
+
+impl StopOutcome {
+    fn counter(self) -> &'static str {
+        match self {
+            StopOutcome::FixedUnits => counters::STOP_FIXED,
+            StopOutcome::ChernoffBound => counters::STOP_CHERNOFF,
+            StopOutcome::ProgressiveStable => counters::STOP_STABLE,
+            StopOutcome::ProgressiveBudget => counters::STOP_BUDGET,
+        }
+    }
+}
+
+/// The stop outcome of a run that always draws its full budget (fixed,
+/// Chernoff, or a progressive criterion degraded to its cap).
+fn budget_outcome(stop: &StopCriterion) -> StopOutcome {
+    match stop {
+        StopCriterion::FixedUnits(_) => StopOutcome::FixedUnits,
+        StopCriterion::Chernoff { .. } => StopOutcome::ChernoffBound,
+        StopCriterion::Progressive { .. } => StopOutcome::ProgressiveBudget,
+    }
 }
 
 /// Configuration for a sampling run.
@@ -65,6 +115,8 @@ pub struct SampleEstimate {
     /// Average ranked positions scanned per unit (the paper's *sample
     /// length*, Figure 4).
     pub average_sample_length: f64,
+    /// Why the run stopped.
+    pub stop: StopOutcome,
 }
 
 impl SampleEstimate {
@@ -79,6 +131,19 @@ impl SampleEstimate {
 
 /// Estimates the top-k probability of every tuple by sampling.
 pub fn sample_topk(view: &RankedView, k: usize, options: &SamplingOptions) -> SampleEstimate {
+    sample_topk_recorded(view, k, options, &Noop)
+}
+
+/// Like [`sample_topk`], recording run metrics into `recorder`: unit and
+/// position counts ([`counters::UNITS`], [`counters::POSITIONS`]), the
+/// per-unit scan-length histogram ([`counters::UNIT_LEN`]), and a `1` on
+/// the `sampling.stop.*` counter matching the [`StopOutcome`].
+pub fn sample_topk_recorded(
+    view: &RankedView,
+    k: usize,
+    options: &SamplingOptions,
+    recorder: &dyn Recorder,
+) -> SampleEstimate {
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut sampler = WorldSampler::new(view, k);
     let mut counts = vec![0u64; view.len()];
@@ -96,10 +161,19 @@ pub fn sample_topk(view: &RankedView, k: usize, options: &SamplingOptions) -> Sa
     // Progressive state: estimates snapshotted `d` units ago.
     let mut snapshot: Vec<f64> = Vec::new();
     let mut snapshot_at: u64 = 0;
+    let mut stable_stop = false;
+
+    let stable_within = |current: &[f64], snapshot: &[f64], phi: f64| {
+        current
+            .iter()
+            .zip(snapshot.iter())
+            .all(|(a, b)| (a - b).abs() <= phi)
+    };
 
     let mut drawn: u64 = 0;
     while drawn < budget {
-        sampler.draw_unit(&mut rng, &mut unit);
+        let visited = sampler.draw_unit(&mut rng, &mut unit);
+        recorder.observe(counters::UNIT_LEN, visited as f64);
         drawn += 1;
         for &pos in &unit {
             counts[pos] += 1;
@@ -107,20 +181,35 @@ pub fn sample_topk(view: &RankedView, k: usize, options: &SamplingOptions) -> Sa
         if let Some((d, phi)) = progressive {
             if drawn == snapshot_at + d {
                 let current: Vec<f64> = counts.iter().map(|&c| c as f64 / drawn as f64).collect();
-                if !snapshot.is_empty() {
-                    let stable = current
-                        .iter()
-                        .zip(snapshot.iter())
-                        .all(|(a, b)| (a - b).abs() <= phi);
-                    if stable {
-                        break;
-                    }
+                if !snapshot.is_empty() && stable_within(&current, &snapshot, phi) {
+                    stable_stop = true;
+                    break;
                 }
                 snapshot = current;
                 snapshot_at = drawn;
             }
         }
     }
+
+    // Check the final *partial* window: when `max_units` is not a multiple
+    // of `d` the loop above exits at the cap mid-window, and without this
+    // check the trailing units would never be compared against the last
+    // snapshot — the run would silently report an unstable stop even when
+    // the estimates had settled.
+    if let Some((_, phi)) = progressive {
+        if !stable_stop && !snapshot.is_empty() && drawn > snapshot_at {
+            let current: Vec<f64> = counts.iter().map(|&c| c as f64 / drawn as f64).collect();
+            stable_stop = stable_within(&current, &snapshot, phi);
+        }
+    }
+
+    let stop = match options.stop {
+        StopCriterion::Progressive { .. } if stable_stop => StopOutcome::ProgressiveStable,
+        ref other => budget_outcome(other),
+    };
+    recorder.add(counters::UNITS, drawn);
+    recorder.add(counters::POSITIONS, sampler.positions_scanned());
+    recorder.add(stop.counter(), 1);
 
     SampleEstimate {
         probabilities: counts
@@ -129,6 +218,7 @@ pub fn sample_topk(view: &RankedView, k: usize, options: &SamplingOptions) -> Sa
             .collect(),
         units: drawn,
         average_sample_length: sampler.average_sample_length(),
+        stop,
     }
 }
 
@@ -200,6 +290,7 @@ pub fn sample_topk_antithetic(
             .collect(),
         units: drawn,
         average_sample_length: sampler.average_sample_length(),
+        stop: budget_outcome(&options.stop),
     }
 }
 
@@ -281,6 +372,7 @@ pub fn sample_topk_parallel(
         } else {
             scanned as f64 / drawn as f64
         },
+        stop: budget_outcome(&options.stop),
     }
 }
 
@@ -292,7 +384,19 @@ pub fn sample_ptk(
     threshold: f64,
     options: &SamplingOptions,
 ) -> (Vec<usize>, SampleEstimate) {
-    let estimate = sample_topk(view, k, options);
+    sample_ptk_recorded(view, k, threshold, options, &Noop)
+}
+
+/// Like [`sample_ptk`], recording run metrics into `recorder` (see
+/// [`sample_topk_recorded`]).
+pub fn sample_ptk_recorded(
+    view: &RankedView,
+    k: usize,
+    threshold: f64,
+    options: &SamplingOptions,
+    recorder: &dyn Recorder,
+) -> (Vec<usize>, SampleEstimate) {
+    let estimate = sample_topk_recorded(view, k, options, recorder);
     (estimate.answers(threshold), estimate)
 }
 
@@ -367,6 +471,7 @@ mod tests {
         };
         let estimate = sample_topk(&view, 2, &options);
         assert!(estimate.units < 100_000, "drew {}", estimate.units);
+        assert_eq!(estimate.stop, StopOutcome::ProgressiveStable);
         assert_eq!(estimate.probabilities[0], 1.0);
         assert_eq!(estimate.probabilities[2], 0.0);
     }
@@ -383,6 +488,77 @@ mod tests {
         };
         let estimate = sample_topk(&panda(), 2, &options);
         assert!(estimate.units <= 57);
+    }
+
+    #[test]
+    fn progressive_with_window_beyond_cap_degrades_to_fixed_units() {
+        // d >= max_units: no full window ever completes, so the run must
+        // draw exactly max_units and report an (unchecked) budget stop.
+        let options = SamplingOptions {
+            stop: StopCriterion::Progressive {
+                d: 1_000,
+                phi: 1.0, // even a sure-stable tolerance never gets checked
+                max_units: 57,
+            },
+            seed: 3,
+        };
+        let estimate = sample_topk(&panda(), 2, &options);
+        assert_eq!(estimate.units, 57);
+        assert_eq!(estimate.stop, StopOutcome::ProgressiveBudget);
+    }
+
+    #[test]
+    fn progressive_checks_the_final_partial_window() {
+        // Deterministic input (all probabilities 1): estimates are constant,
+        // so any window — including the final partial one — is stable. With
+        // d = 64 and max_units = 100, the first snapshot lands at 64 and the
+        // next full boundary (128) is past the cap; only the partial window
+        // 64..100 can notice stability.
+        let view = RankedView::from_ranked_probs(&[1.0, 1.0, 1.0], &[]).unwrap();
+        let options = SamplingOptions {
+            stop: StopCriterion::Progressive {
+                d: 64,
+                phi: 0.01,
+                max_units: 100,
+            },
+            seed: 7,
+        };
+        let estimate = sample_topk(&view, 2, &options);
+        assert_eq!(estimate.units, 100);
+        assert_eq!(estimate.stop, StopOutcome::ProgressiveStable);
+    }
+
+    #[test]
+    fn recorded_run_snapshots_units_and_stop() {
+        let metrics = ptk_obs::Metrics::new();
+        let estimate = sample_topk_recorded(
+            &panda(),
+            2,
+            &SamplingOptions {
+                stop: StopCriterion::FixedUnits(200),
+                seed: 11,
+            },
+            &metrics,
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(crate::counters::UNITS), 200);
+        assert_eq!(snap.counter(crate::counters::STOP_FIXED), 1);
+        assert_eq!(snap.counter(crate::counters::STOP_STABLE), 0);
+        let lens = snap
+            .histogram(crate::counters::UNIT_LEN)
+            .expect("unit lengths observed");
+        assert_eq!(lens.count, 200);
+        assert!(
+            (lens.sum - estimate.average_sample_length * 200.0).abs() < 1e-9,
+            "histogram sum {} vs mean {}",
+            lens.sum,
+            estimate.average_sample_length
+        );
+        assert_eq!(
+            snap.counter(crate::counters::POSITIONS),
+            lens.sum as u64,
+            "positions counter tracks the histogram mass"
+        );
     }
 
     #[test]
@@ -500,6 +676,7 @@ mod tests {
             probabilities: vec![0.9, 0.2, 0.5],
             units: 10,
             average_sample_length: 3.0,
+            stop: StopOutcome::FixedUnits,
         };
         assert_eq!(estimate.answers(0.5), vec![0, 2]);
         assert_eq!(estimate.answers(0.95), Vec::<usize>::new());

@@ -117,6 +117,11 @@ impl<'v> WorldSampler<'v> {
     pub fn units_drawn(&self) -> u64 {
         self.units
     }
+
+    /// Total ranked positions visited across all units so far.
+    pub fn positions_scanned(&self) -> u64 {
+        self.scanned
+    }
 }
 
 #[cfg(test)]

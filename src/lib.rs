@@ -43,9 +43,11 @@
 //! The sub-crates are re-exported as modules for direct access:
 //! [`model`] (ptk-core), [`worlds`], [`engine`], [`sampling`], [`rankers`],
 //! [`datagen`], [`access`] (progressive retrieval: TA middleware, disk
-//! runs) and [`sql`] (the statement language). The in-repo infrastructure
-//! that keeps the build hermetic is re-exported too: [`rng`] (seedable
-//! PRNGs) and [`check`] (the deterministic property-test harness).
+//! runs), [`sql`] (the statement language) and [`obs`] (the metrics and
+//! tracing layer behind `--stats` and the bench artifacts). The in-repo
+//! infrastructure that keeps the build hermetic is re-exported too:
+//! [`rng`] (seedable PRNGs) and [`check`] (the deterministic
+//! property-test harness).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -55,6 +57,7 @@ pub use ptk_core as model;
 pub use ptk_core::{check, prop_assert, prop_assert_eq, rng};
 pub use ptk_datagen as datagen;
 pub use ptk_engine as engine;
+pub use ptk_obs as obs;
 pub use ptk_rankers as rankers;
 pub use ptk_sampling as sampling;
 pub use ptk_sql as sql;

@@ -12,8 +12,11 @@
 mod common;
 
 use common::panda_view;
+use ptk::obs::Metrics;
 use ptk::rng::{SeedableRng, StdRng};
-use ptk::sampling::{sample_topk, SamplingOptions, StopCriterion, WorldSampler};
+use ptk::sampling::{
+    sample_ptk_recorded, sample_topk, SamplingOptions, StopCriterion, WorldSampler,
+};
 
 /// The first eight top-2 sample units of the paper's panda view under seed
 /// `0x9e37_79b9_7f4a_7c15`, as ranked positions.
@@ -85,6 +88,46 @@ fn estimates_match_golden_bit_patterns() {
     assert_eq!(est.average_sample_length.to_bits(), GOLDEN_AVG_LEN_BITS);
     // And the estimated answer set at the paper's p = 0.35 is stable.
     assert_eq!(est.answers(0.35), vec![1, 2, 3]);
+}
+
+/// Runs the recorded pipeline — exact engine plus seeded sampling — into
+/// one registry and returns the snapshot's timing-free JSON rendering.
+fn recorded_pipeline_json() -> String {
+    let view = panda_view();
+    let metrics = Metrics::new();
+    ptk::engine::evaluate_ptk_recorded(
+        &view,
+        2,
+        0.35,
+        &ptk::engine::EngineOptions::default(),
+        &metrics,
+    );
+    let options = SamplingOptions {
+        stop: StopCriterion::FixedUnits(5_000),
+        seed: 7,
+    };
+    sample_ptk_recorded(&view, 2, 0.35, &options, &metrics);
+    metrics.snapshot().to_json(false)
+}
+
+#[test]
+fn metrics_snapshots_are_bit_deterministic_without_timings() {
+    // Counters and histograms are pure functions of the seeded run, so the
+    // timing-free JSON rendering must be byte-identical across repeats.
+    // Timings are wall-clock and excluded from golden comparisons — the
+    // rendering must not leak them.
+    let (a, b) = (recorded_pipeline_json(), recorded_pipeline_json());
+    assert_eq!(a, b, "metrics snapshot drifted between identical runs");
+    assert!(a.contains("\"engine.scanned\""), "engine counters missing");
+    assert!(
+        a.contains("\"sampling.units\""),
+        "sampling counters missing"
+    );
+    assert!(
+        a.contains("\"sampling.unit_len\""),
+        "histograms missing from snapshot"
+    );
+    assert!(!a.contains("nanos"), "timings leaked into golden rendering");
 }
 
 #[test]
