@@ -39,6 +39,26 @@ pub trait RankedSource {
         None
     }
 
+    /// The number of members of a rule, if the source knows it ahead of
+    /// time. Lets the executor detect when a rule-tuple has absorbed its
+    /// last member (it then joins the stable group of §4.3.2); returning
+    /// `None` is always safe — the rule-tuple simply stays "open".
+    fn rule_len(&self, rule: RuleKey) -> Option<usize> {
+        let _ = rule;
+        None
+    }
+
+    /// The 0-based scan rank of the `member`-th member (in ranking order)
+    /// of `rule`, if the source knows the rule's layout ahead of time.
+    /// Drives the aggressive/lazy reordering of §4.3.2 (open rule-tuples
+    /// ordered by next-member rank descending); sources that return `None`
+    /// fall back to absorption-recency ordering, which shares less but is
+    /// equally correct — Eq. 4 is order-independent.
+    fn rule_member_rank(&self, rule: RuleKey, member: usize) -> Option<usize> {
+        let _ = (rule, member);
+        None
+    }
+
     /// Number of tuples retrieved so far (the paper's *scan depth*).
     fn retrieved(&self) -> usize;
 }
@@ -50,12 +70,31 @@ pub trait RankedSource {
 pub struct ViewSource<'v> {
     view: &'v RankedView,
     cursor: usize,
+    /// Whether the view's ranking keys can serve as scores (all present and
+    /// non-increasing in ranked order). Views ranked ascending, or built
+    /// from probabilities alone, fall back to position stand-ins.
+    keyed: bool,
 }
 
 impl<'v> ViewSource<'v> {
     /// Wraps a ranked view.
     pub fn new(view: &'v RankedView) -> ViewSource<'v> {
-        ViewSource { view, cursor: 0 }
+        let mut keyed = true;
+        let mut last = f64::INFINITY;
+        for pos in 0..view.len() {
+            match view.tuple(pos).key {
+                Some(key) if key <= last => last = key,
+                _ => {
+                    keyed = false;
+                    break;
+                }
+            }
+        }
+        ViewSource {
+            view,
+            cursor: 0,
+            keyed,
+        }
     }
 }
 
@@ -69,9 +108,13 @@ impl RankedSource for ViewSource<'_> {
         let t = self.view.tuple(pos);
         Some(SourceTuple {
             id: t.id,
-            // Views built from probabilities alone have no scores; positions
-            // stand in (negated so they are non-increasing).
-            score: t.key.unwrap_or(-(pos as f64)),
+            // Ranked positions stand in for scores (negated so they are
+            // non-increasing) unless the ranking keys are usable as-is.
+            score: if self.keyed {
+                t.key.expect("keyed views have every key")
+            } else {
+                -(pos as f64)
+            },
             prob: t.prob,
             rule: t.rule.map(|h| RuleKey(h.index() as u32)),
         })
@@ -79,6 +122,23 @@ impl RankedSource for ViewSource<'_> {
 
     fn rule_mass(&self, rule: RuleKey) -> Option<f64> {
         self.view.rules().get(rule.0 as usize).map(|r| r.mass)
+    }
+
+    fn rule_len(&self, rule: RuleKey) -> Option<usize> {
+        self.view
+            .rules()
+            .get(rule.0 as usize)
+            .map(|r| r.members.len())
+    }
+
+    fn rule_member_rank(&self, rule: RuleKey, member: usize) -> Option<usize> {
+        // Views index rules densely and list members in ranked order, so a
+        // member's ranked position *is* its scan rank.
+        self.view
+            .rules()
+            .get(rule.0 as usize)
+            .and_then(|r| r.members.get(member))
+            .copied()
     }
 
     fn retrieved(&self) -> usize {
@@ -92,6 +152,10 @@ impl RankedSource for ViewSource<'_> {
 pub struct SortedVecSource {
     tuples: Vec<SourceTuple>,
     rule_masses: Vec<f64>,
+    /// `rule_ranks[r]` lists the scan ranks of rule `r`'s members, in
+    /// ranking order — the layout hints behind [`RankedSource::rule_len`]
+    /// and [`RankedSource::rule_member_rank`].
+    rule_ranks: Vec<Vec<usize>>,
     cursor: usize,
 }
 
@@ -141,9 +205,16 @@ impl SortedVecSource {
             }
         }
         tuples.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        let mut rule_ranks = vec![Vec::new(); max_rule];
+        for (rank, t) in tuples.iter().enumerate() {
+            if let Some(RuleKey(r)) = t.rule {
+                rule_ranks[r as usize].push(rank);
+            }
+        }
         Ok(SortedVecSource {
             tuples,
             rule_masses,
+            rule_ranks,
             cursor: 0,
         })
     }
@@ -170,6 +241,15 @@ impl RankedSource for SortedVecSource {
 
     fn rule_mass(&self, rule: RuleKey) -> Option<f64> {
         self.rule_masses.get(rule.0 as usize).copied()
+    }
+
+    fn rule_len(&self, rule: RuleKey) -> Option<usize> {
+        let ranks = self.rule_ranks.get(rule.0 as usize)?;
+        (!ranks.is_empty()).then_some(ranks.len())
+    }
+
+    fn rule_member_rank(&self, rule: RuleKey, member: usize) -> Option<usize> {
+        self.rule_ranks.get(rule.0 as usize)?.get(member).copied()
     }
 
     fn retrieved(&self) -> usize {
@@ -243,5 +323,58 @@ mod tests {
         let c = s.next_ranked().unwrap();
         assert!(b.score >= c.score);
         assert!(a.score >= b.score);
+    }
+
+    #[test]
+    fn view_source_reports_rule_layout() {
+        let view = RankedView::from_ranked_probs(&[0.3, 0.4, 0.6], &[vec![0, 2]]).unwrap();
+        let s = ViewSource::new(&view);
+        assert_eq!(s.rule_len(RuleKey(0)), Some(2));
+        assert_eq!(s.rule_member_rank(RuleKey(0), 0), Some(0));
+        assert_eq!(s.rule_member_rank(RuleKey(0), 1), Some(2));
+        assert_eq!(s.rule_member_rank(RuleKey(0), 2), None);
+        assert_eq!(s.rule_len(RuleKey(9)), None);
+    }
+
+    #[test]
+    fn view_source_scores_stay_monotone_for_ascending_rankings() {
+        // An ascending ranking makes the raw keys increase along the scan;
+        // the source must fall back to position stand-ins so the engine's
+        // order check holds.
+        use ptk_core::{Predicate, Ranking, TopKQuery, UncertainTableBuilder};
+        let mut b = UncertainTableBuilder::new(vec!["x".into()]);
+        b.push_scored(0.5, 1.0).unwrap();
+        b.push_scored(0.6, 3.0).unwrap();
+        b.push_scored(0.7, 2.0).unwrap();
+        let table = b.finish().unwrap();
+        let query = TopKQuery::new(2, Predicate::True, Ranking::ascending(0)).unwrap();
+        let view = RankedView::build(&table, &query).unwrap();
+        let mut s = ViewSource::new(&view);
+        let mut last = f64::INFINITY;
+        let mut n = 0;
+        while let Some(t) = s.next_ranked() {
+            assert!(t.score <= last, "score {} after {last}", t.score);
+            last = t.score;
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn sorted_vec_reports_rule_layout() {
+        let s = SortedVecSource::from_unsorted(vec![
+            (1.0, 0.2, Some(1)),
+            (3.0, 0.4, Some(1)),
+            (2.0, 0.9, None),
+        ])
+        .unwrap();
+        // Rule 1's members land at scan ranks 0 (score 3.0) and 2 (score 1.0).
+        assert_eq!(s.rule_len(RuleKey(1)), Some(2));
+        assert_eq!(s.rule_member_rank(RuleKey(1), 0), Some(0));
+        assert_eq!(s.rule_member_rank(RuleKey(1), 1), Some(2));
+        assert_eq!(s.rule_member_rank(RuleKey(1), 2), None);
+        // Rule 0 was never used: no layout, not even a zero length.
+        assert_eq!(s.rule_len(RuleKey(0)), None);
+        assert_eq!(s.rule_len(RuleKey(7)), None);
     }
 }

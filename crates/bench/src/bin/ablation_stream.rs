@@ -72,13 +72,17 @@ fn main() {
         // All three must agree exactly.
         assert_eq!(mat.answers.len(), stream_view.answers.len());
         assert_eq!(mat.answers.len(), stream_ta.answers.len());
-        for (&pos, s) in mat.answers.iter().zip(&stream_view.answers) {
-            assert_eq!(ds.view.tuple(pos).id, s.id);
-            assert!((mat.probabilities[pos].unwrap() - s.probability).abs() < 1e-9);
+        for (m, s) in mat.answers.iter().zip(&stream_view.answers) {
+            assert_eq!(ds.view.tuple(m.rank).id, s.id);
+            assert!((m.probability - s.probability).abs() < 1e-9);
         }
-        for (&pos, s) in mat.answers.iter().zip(&stream_ta.answers) {
-            assert_eq!(ds.view.tuple(pos).id, s.id, "TA answer mismatch at k={k}");
-            assert!((mat.probabilities[pos].unwrap() - s.probability).abs() < 1e-9);
+        for (m, s) in mat.answers.iter().zip(&stream_ta.answers) {
+            assert_eq!(
+                ds.view.tuple(m.rank).id,
+                s.id,
+                "TA answer mismatch at k={k}"
+            );
+            assert!((m.probability - s.probability).abs() < 1e-9);
         }
 
         report.row(&[

@@ -35,7 +35,7 @@ fn trace(variant: SharingVariant) -> (Vec<String>, u64) {
     let mut scanner = Scanner::new(&view, 2, variant);
     let mut lists = Vec::new();
     while scanner.step().is_some() {
-        lists.push(render(scanner.entries()));
+        lists.push(render(&scanner.entries()));
     }
     (lists, scanner.entries_recomputed())
 }

@@ -81,7 +81,7 @@ fn main() {
     let result = result.expect("at least one lap ran");
     bench.set_metrics(metrics.snapshot());
     bench.write();
-    let answer: Vec<&str> = result.answers.iter().map(|&p| NAMES[p]).collect();
+    let answer: Vec<&str> = result.answers.iter().map(|a| NAMES[a.rank]).collect();
     println!(
         "\nPT-2 answer at p = 0.35: {{{}}} (paper: {{R2, R5, R3}})",
         answer.join(", ")

@@ -27,6 +27,7 @@ fn main() {
 
     // PT-k.
     let ptk = evaluate_ptk(&ds.view, k, p, &EngineOptions::default());
+    let ptk_ranks = ptk.answer_ranks();
 
     // U-TopK.
     let ut = utopk(&ds.view, k, &UTopKOptions::default()).expect("search completes");
@@ -59,8 +60,7 @@ fn main() {
     );
     let interesting: Vec<usize> = {
         let mut v: Vec<usize> = (0..25).collect();
-        for &a in ptk
-            .answers
+        for &a in ptk_ranks
             .iter()
             .chain(ut.vector.iter())
             .chain(kr_positions.iter())
@@ -79,7 +79,7 @@ fn main() {
             &format!("{:.1}", t.key.unwrap_or(f64::NAN)),
             &format!("{:.3}", t.prob),
             &format!("{:.3}", pr[pos]),
-            &ptk.answers.contains(&pos),
+            &ptk_ranks.contains(&pos),
             &ut.vector.contains(&pos),
             &kr_positions.contains(&pos),
         ]);
@@ -95,7 +95,7 @@ fn main() {
     // The paper's qualitative observations (§6.1):
     // 1. The PT-k answer is exactly the tuples with Pr^k >= p.
     for pos in 0..ds.view.len() {
-        assert_eq!(pr[pos] >= p, ptk.answers.contains(&pos), "position {pos}");
+        assert_eq!(pr[pos] >= p, ptk_ranks.contains(&pos), "position {pos}");
     }
     println!("✓ PT-k returns exactly the tuples with top-{k} probability >= {p}");
 
@@ -111,8 +111,7 @@ fn main() {
     );
 
     // 3. U-KRanks misses high-Pr^k tuples and repeats others.
-    let missed: Vec<usize> = ptk
-        .answers
+    let missed: Vec<usize> = ptk_ranks
         .iter()
         .copied()
         .filter(|pos| !kr_positions.contains(pos))

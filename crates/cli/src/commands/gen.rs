@@ -1,0 +1,39 @@
+//! The `generate` command: synthetic and IIP dataset generation to CSV.
+
+use std::io::Write;
+
+use ptk_datagen::{IipConfig, IipDataset, SyntheticConfig, SyntheticDataset};
+
+use crate::load::save_table;
+
+use super::{CmdError, Flags};
+
+pub(super) fn cmd_generate(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let kind = flags
+        .positional
+        .get(1)
+        .ok_or("generate needs a kind: synthetic | iip")?;
+    let seed = flags.get("seed")?.unwrap_or(0u64);
+    let table = match kind.as_str() {
+        "synthetic" => {
+            let config = SyntheticConfig {
+                tuples: flags.get("tuples")?.unwrap_or(1_000),
+                rules: flags.get("rules")?.unwrap_or(100),
+                seed,
+                ..Default::default()
+            };
+            SyntheticDataset::generate(&config).table
+        }
+        "iip" => {
+            let config = IipConfig {
+                tuples: flags.get("tuples")?.unwrap_or(1_000),
+                rules: flags.get("rules")?.unwrap_or(200),
+                seed,
+            };
+            IipDataset::generate(&config).table
+        }
+        other => return Err(format!("unknown generator '{other}' (synthetic | iip)").into()),
+    };
+    out.write_all(save_table(&table).as_bytes())?;
+    Ok(())
+}

@@ -1,0 +1,736 @@
+//! Command parsing and dispatch.
+//!
+//! Each command family lives in its own submodule — `query` (view-based
+//! queries and table introspection), `sql` (the statement language),
+//! `scan` (packed run files and progressive retrieval), `gen`
+//! (dataset generation) — with the shared rendering helpers in `render`.
+//! This module owns the flag parser, the error type, and the dispatcher.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+
+use ptk_core::{ComparisonOp, Predicate, Ranking, SortDirection, UncertainTable};
+
+use crate::load::{load_table, parse_value};
+use crate::USAGE;
+
+mod gen;
+mod query;
+mod render;
+mod scan;
+mod sql;
+
+/// Failure modes of a CLI command.
+#[derive(Debug)]
+pub enum CmdError {
+    /// Bad arguments, unreadable input, or a query failure — reported on
+    /// stderr with exit code 1.
+    Usage(String),
+    /// The output sink failed. A [`io::ErrorKind::BrokenPipe`] here is the
+    /// conventional Unix signal that the consumer has seen enough
+    /// (`ptk … | head`) and must exit the process cleanly, not panic.
+    Io(io::Error),
+}
+
+impl CmdError {
+    /// True when the error is a broken pipe on the output sink.
+    pub fn is_broken_pipe(&self) -> bool {
+        matches!(self, CmdError::Io(e) if e.kind() == io::ErrorKind::BrokenPipe)
+    }
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> CmdError {
+        CmdError::Usage(message)
+    }
+}
+
+impl From<&str> for CmdError {
+    fn from(message: &str) -> CmdError {
+        CmdError::Usage(message.to_owned())
+    }
+}
+
+impl From<io::Error> for CmdError {
+    fn from(error: io::Error) -> CmdError {
+        CmdError::Io(error)
+    }
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Usage(message) => f.write_str(message),
+            CmdError::Io(error) => write!(f, "writing output: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+/// Parsed command-line flags: positional arguments and `--key value` pairs.
+#[derive(Debug, Default)]
+struct Flags {
+    positional: Vec<String>,
+    named: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: [&str; 1] = ["asc"];
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if SWITCHES.contains(&name) {
+                flags.switches.push(name.to_owned());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                flags.named.insert(name.to_owned(), value.clone());
+            }
+        } else {
+            flags.positional.push(arg.clone());
+        }
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.named.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse '{raw}'")),
+        }
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.get(name)?
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// Parses a `--where` clause of the form `<column><op><value>`.
+fn parse_where(clause: &str, table: &UncertainTable) -> Result<Predicate, String> {
+    // Longest operators first so `<=` wins over `<`.
+    const OPS: [(&str, ComparisonOp); 6] = [
+        ("!=", ComparisonOp::Ne),
+        ("<=", ComparisonOp::Le),
+        (">=", ComparisonOp::Ge),
+        ("=", ComparisonOp::Eq),
+        ("<", ComparisonOp::Lt),
+        (">", ComparisonOp::Gt),
+    ];
+    for (symbol, op) in OPS {
+        if let Some(at) = clause.find(symbol) {
+            let column_name = clause[..at].trim();
+            let value_text = clause[at + symbol.len()..].trim();
+            let column = table
+                .column_index(column_name)
+                .ok_or_else(|| format!("unknown column '{column_name}'"))?;
+            return Ok(Predicate::Compare {
+                column,
+                op,
+                value: parse_value(value_text),
+            });
+        }
+    }
+    Err(format!(
+        "cannot parse --where '{clause}' (expected <col><op><value>)"
+    ))
+}
+
+fn build_ranking(flags: &Flags, table: &UncertainTable) -> Result<Ranking, String> {
+    let column_name: String = flags.require("rank-by")?;
+    let column = table
+        .column_index(&column_name)
+        .ok_or_else(|| format!("unknown column '{column_name}'"))?;
+    let direction = if flags.switch("asc") {
+        SortDirection::Ascending
+    } else {
+        SortDirection::Descending
+    };
+    Ok(Ranking::by_column(column, direction))
+}
+
+fn load_from_flags(flags: &Flags) -> Result<UncertainTable, String> {
+    let path = flags.positional.get(1).ok_or("missing CSV file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    load_table(&text)
+}
+
+/// Executes a full command line (without the program name), writing the
+/// result to `out`.
+///
+/// # Errors
+/// [`CmdError::Usage`] for any parse, input or query failure;
+/// [`CmdError::Io`] when `out` rejects a write (check
+/// [`CmdError::is_broken_pipe`] to exit cleanly under `ptk … | head`).
+pub fn dispatch_to(args: &[String], out: &mut dyn Write) -> Result<(), CmdError> {
+    let flags = parse_flags(args)?;
+    match flags.positional.first().map(String::as_str) {
+        Some("query") => query::cmd_query(&flags, out),
+        Some("utopk") => query::cmd_utopk(&flags, out),
+        Some("ukranks") => query::cmd_ukranks(&flags, out),
+        Some("inspect") => query::cmd_inspect(&flags, out),
+        Some("worlds") => query::cmd_worlds(&flags, out),
+        Some("erank") => query::cmd_erank(&flags, out),
+        Some("sql") => sql::cmd_sql(&flags, out),
+        Some("pack") => scan::cmd_pack(&flags, out),
+        Some("scan") => scan::cmd_scan(&flags, out),
+        Some("generate") => gen::cmd_generate(&flags, out),
+        Some("help") | None => Ok(out.write_all(USAGE.as_bytes())?),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}").into()),
+    }
+}
+
+/// Executes a full command line (without the program name) and returns the
+/// output text. Buffered convenience wrapper over [`dispatch_to`] for tests
+/// and embedding.
+///
+/// # Errors
+/// Returns a human-readable message for any parse, IO or query failure.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let mut buffer = Vec::new();
+    match dispatch_to(args, &mut buffer) {
+        Ok(()) => Ok(String::from_utf8(buffer).expect("command output is UTF-8")),
+        Err(error) => Err(error.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn panda_file() -> tempfile::TempPath {
+        tempfile::csv(
+            "prob,rule,duration,rid
+0.3,,25,R1
+0.4,b,21,R2
+0.5,b,13,R3
+1.0,,12,R4
+0.8,e,17,R5
+0.2,e,11,R6
+",
+        )
+    }
+
+    /// Minimal temp-file helper (std-only).
+    mod tempfile {
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub struct TempPath(pub PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        impl TempPath {
+            pub fn as_str(&self) -> &str {
+                self.0.to_str().unwrap()
+            }
+        }
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        pub fn csv(content: &str) -> TempPath {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path =
+                std::env::temp_dir().join(format!("ptk-cli-test-{}-{n}.csv", std::process::id()));
+            std::fs::write(&path, content).unwrap();
+            TempPath(path)
+        }
+    }
+
+    #[test]
+    fn help_is_default() {
+        assert!(dispatch(&[]).unwrap().contains("USAGE"));
+        assert!(dispatch(&args(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn query_exact_matches_paper_example() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        assert!(
+            out.contains("R2") && out.contains("R3") && out.contains("R5"),
+            "{out}"
+        );
+        assert!(!out.contains("R1,") && !out.contains("R4") && !out.contains("R6"));
+    }
+
+    #[test]
+    fn query_methods_agree() {
+        let file = panda_file();
+        for method in ["exact", "sampling", "naive"] {
+            let out = dispatch(&args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                "2",
+                "--p",
+                "0.35",
+                "--rank-by",
+                "duration",
+                "--method",
+                method,
+            ]))
+            .unwrap();
+            assert!(out.contains("3 tuples pass"), "{method}: {out}");
+        }
+    }
+
+    #[test]
+    fn query_stats_json_on_every_method() {
+        let file = panda_file();
+        for method in ["exact", "sampling", "naive"] {
+            let out = dispatch(&args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                "2",
+                "--p",
+                "0.35",
+                "--rank-by",
+                "duration",
+                "--method",
+                method,
+                "--stats",
+                "json",
+            ]))
+            .unwrap();
+            let json = out.lines().last().unwrap();
+            assert!(
+                json.starts_with('{') && json.ends_with('}'),
+                "{method}: {out}"
+            );
+            assert!(json.contains("\"counters\""), "{method}: {out}");
+            assert!(json.contains("\"engine.answers\":3"), "{method}: {out}");
+        }
+    }
+
+    #[test]
+    fn query_stats_text_and_bad_mode() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+            "--stats",
+            "text",
+        ]))
+        .unwrap();
+        assert!(out.contains("engine.scanned"), "{out}");
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+            "--stats",
+            "xml",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--stats"), "{err}");
+    }
+
+    #[test]
+    fn broken_pipe_is_io_not_panic() {
+        /// A consumer that hangs up immediately, like `head -0`.
+        struct ClosedPipe;
+        impl std::io::Write for ClosedPipe {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "consumer closed",
+                ))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let file = panda_file();
+        let err = dispatch_to(
+            &args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                "2",
+                "--p",
+                "0.35",
+                "--rank-by",
+                "duration",
+            ]),
+            &mut ClosedPipe,
+        )
+        .unwrap_err();
+        assert!(err.is_broken_pipe(), "{err:?}");
+
+        // Usage failures are not broken pipes: the process must still exit 1.
+        let err = dispatch_to(&args(&["frobnicate"]), &mut ClosedPipe).unwrap_err();
+        assert!(!err.is_broken_pipe(), "{err:?}");
+        assert!(matches!(err, CmdError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn query_with_where_clause() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.1",
+            "--rank-by",
+            "duration",
+            "--where",
+            "duration>=13",
+        ]))
+        .unwrap();
+        // Only R1, R2, R3, R5 survive the predicate.
+        assert!(!out.contains("R4") && !out.contains("R6"), "{out}");
+    }
+
+    #[test]
+    fn utopk_and_ukranks_run() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "utopk",
+            file.as_str(),
+            "--k",
+            "2",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("0.28"), "{out}");
+        let out = dispatch(&args(&[
+            "ukranks",
+            file.as_str(),
+            "--k",
+            "2",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("rank   1"), "{out}");
+    }
+
+    #[test]
+    fn pack_and_scan_roundtrip() {
+        let file = panda_file();
+        let run_path =
+            std::env::temp_dir().join(format!("ptk-cli-pack-{}.run", std::process::id()));
+        let run_str = run_path.to_str().unwrap().to_owned();
+        let out = dispatch(&args(&[
+            "pack",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--out",
+            &run_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("packed 6 tuples (2 rules)"), "{out}");
+        let out = dispatch(&args(&["scan", &run_str, "--k", "2", "--p", "0.35"])).unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        // Rows 1, 4, 2 are R2, R5, R3 in CSV order.
+        assert!(
+            out.contains("row      1") && out.contains("row      4"),
+            "{out}"
+        );
+        // --stats json surfaces the file-access counters.
+        let out = dispatch(&args(&[
+            "scan", &run_str, "--k", "2", "--p", "0.35", "--stats", "json",
+        ]))
+        .unwrap();
+        let json = out.lines().last().unwrap();
+        assert!(json.contains("\"access.file.bytes_read\""), "{out}");
+        assert!(json.contains("\"engine.scanned\""), "{out}");
+        let _ = std::fs::remove_file(&run_path);
+    }
+
+    #[test]
+    fn missing_file_and_flag_errors_are_clear() {
+        let err = dispatch(&args(&[
+            "query",
+            "/nonexistent.csv",
+            "--k",
+            "2",
+            "--p",
+            "0.5",
+            "--rank-by",
+            "x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("/nonexistent.csv"), "{err}");
+        let file = panda_file();
+        let err = dispatch(&args(&["erank", file.as_str(), "--rank-by", "duration"])).unwrap_err();
+        assert!(err.contains("--k is required"), "{err}");
+        let err = dispatch(&args(&[
+            "scan",
+            "/nonexistent.run",
+            "--k",
+            "2",
+            "--p",
+            "0.5",
+        ]))
+        .unwrap_err();
+        assert!(!err.is_empty());
+        let err = dispatch(&args(&["pack", file.as_str(), "--rank-by", "duration"])).unwrap_err();
+        assert!(err.contains("--out is required"), "{err}");
+    }
+
+    #[test]
+    fn scan_rejects_non_run_files() {
+        let file = panda_file();
+        let err = dispatch(&args(&["scan", file.as_str(), "--k", "2", "--p", "0.5"])).unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn sql_command_matches_flag_form() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration DESC WITH PROBABILITY >= 0.35",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        assert!(
+            out.contains("R2") && out.contains("R5") && out.contains("R3"),
+            "{out}"
+        );
+        // Where clause + sampling method.
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda WHERE duration >= 13 ORDER BY duration USING naive",
+        ]))
+        .unwrap();
+        assert!(!out.contains("R4") && !out.contains("R6"), "{out}");
+        // Parse errors surface.
+        let err = dispatch(&args(&["sql", file.as_str(), "SELECT"])).unwrap_err();
+        assert!(err.contains("query kind"), "{err}");
+        // Other statement kinds.
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT UTOPK 2 FROM panda ORDER BY duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("0.280000"), "{out}");
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT UKRANKS 2 FROM panda ORDER BY duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("rank   1"), "{out}");
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT ERANK 3 FROM panda ORDER BY duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("expected rank"), "{out}");
+        // EXPLAIN reports plan and stats.
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "EXPLAIN SELECT TOP 2 FROM panda ORDER BY duration WITH PROBABILITY >= 0.35",
+        ]))
+        .unwrap();
+        assert!(out.contains("plan:") && out.contains("stats:"), "{out}");
+    }
+
+    #[test]
+    fn sql_explain_prints_the_executor_pipeline() {
+        // EXPLAIN surfaces the lowered PtkPlan stage list.
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "EXPLAIN SELECT TOP 2 FROM panda ORDER BY duration WITH PROBABILITY >= 0.35",
+        ]))
+        .unwrap();
+        assert!(out.contains("ranked-retrieval"), "{out}");
+        assert!(out.contains("RC+LR"), "{out}");
+        assert!(out.contains("emit[p >= 0.35]"), "{out}");
+    }
+
+    #[test]
+    fn sql_stats_json_appends_snapshot() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration DESC WITH PROBABILITY >= 0.35",
+            "--stats",
+            "json",
+        ]))
+        .unwrap();
+        let json = out.lines().last().unwrap();
+        assert!(json.contains("\"engine.scanned\""), "{out}");
+    }
+
+    #[test]
+    fn erank_runs() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "erank",
+            file.as_str(),
+            "--k",
+            "3",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap();
+        assert!(out.contains("expected rank"), "{out}");
+        assert_eq!(out.lines().count(), 4, "{out}");
+    }
+
+    #[test]
+    fn worlds_enumerates_small_tables() {
+        let file = panda_file();
+        let out = dispatch(&args(&["worlds", file.as_str(), "--rank-by", "duration"])).unwrap();
+        assert!(out.contains("12 possible worlds"), "{out}");
+        assert!(out.contains("total probability: 1.000000000"), "{out}");
+        // Budget enforcement.
+        let err = dispatch(&args(&[
+            "worlds",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--max-worlds",
+            "3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn inspect_reports_shape() {
+        let file = panda_file();
+        let out = dispatch(&args(&["inspect", file.as_str()])).unwrap();
+        assert!(out.contains("tuples:            6"), "{out}");
+        assert!(out.contains("multi-tuple rules: 2"), "{out}");
+    }
+
+    #[test]
+    fn generate_roundtrips_through_load() {
+        let out = dispatch(&args(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "50",
+            "--rules",
+            "5",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        let table = crate::load::load_table(&out).unwrap();
+        assert_eq!(table.len(), 50);
+        assert_eq!(table.rules().len(), 5);
+
+        let out = dispatch(&args(&[
+            "generate", "iip", "--tuples", "60", "--rules", "10",
+        ]))
+        .unwrap();
+        let table = crate::load::load_table(&out).unwrap();
+        assert_eq!(table.len(), 60);
+    }
+
+    #[test]
+    fn flag_errors_are_friendly() {
+        let file = panda_file();
+        let err = dispatch(&args(&["query", file.as_str(), "--k"])).unwrap_err();
+        assert!(err.contains("--k requires a value"));
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "two",
+            "--p",
+            "0.3",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot parse 'two'"));
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.3",
+            "--rank-by",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown column"));
+    }
+
+    #[test]
+    fn where_parse_errors() {
+        let file = panda_file();
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.3",
+            "--rank-by",
+            "duration",
+            "--where",
+            "garbage",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--where"), "{err}");
+    }
+}

@@ -1,0 +1,192 @@
+//! View-based query commands: `query`, `utopk`, `ukranks`, `erank`,
+//! `worlds`, `inspect`.
+
+use std::io::Write;
+
+use ptk_access::ViewSource;
+use ptk_core::{Predicate, PtkQuery, RankedView, TopKQuery};
+use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan};
+use ptk_obs::{Metrics, Noop, Recorder};
+use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
+use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
+use ptk_worlds::naive;
+
+use super::render::{
+    attrs_of, ptk_header, stats_mode, write_membership_row, write_ptk_rows, write_stats,
+};
+use super::{build_ranking, load_from_flags, parse_where, CmdError, Flags};
+
+pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let table = load_from_flags(flags)?;
+    let k: usize = flags.require("k")?;
+    let p: f64 = flags.require("p")?;
+    let ranking = build_ranking(flags, &table)?;
+    let predicate = match flags.named.get("where") {
+        Some(clause) => parse_where(clause, &table)?,
+        None => Predicate::True,
+    };
+    let query = TopKQuery::new(k, predicate, ranking).map_err(|e| e.to_string())?;
+    let ptk = PtkQuery::new(query.clone(), p).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+
+    let stats = stats_mode(flags)?;
+    let metrics = Metrics::new();
+    let recorder: &dyn Recorder = if stats.is_some() { &metrics } else { &Noop };
+
+    let method = flags.named.get("method").map_or("exact", String::as_str);
+    let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match method {
+        "exact" => {
+            let plan = PtkPlan::from_query(&ptk, &EngineOptions::default());
+            let mut source = ViewSource::new(&view);
+            let mut result = PtkExecutor::with_recorder(&plan, recorder).execute(&mut source);
+            result.probabilities.resize(view.len(), None);
+            let note = format!(
+                "scanned {} of {} tuples{}",
+                result.stats.scanned,
+                view.len(),
+                result
+                    .stats
+                    .stop
+                    .map_or(String::new(), |s| format!(", stopped early: {s:?}"))
+            );
+            (result.answer_ranks(), result.probabilities, note)
+        }
+        "sampling" => {
+            let seed = flags.get("seed")?.unwrap_or(0u64);
+            let options = SamplingOptions {
+                seed,
+                ..Default::default()
+            };
+            let (answers, estimate) = sample_ptk_recorded(&view, k, p, &options, recorder);
+            recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
+            let probabilities = estimate.probabilities.iter().map(|&x| Some(x)).collect();
+            (
+                answers,
+                probabilities,
+                format!("{} sample units", estimate.units),
+            )
+        }
+        "naive" => {
+            let pr = naive::topk_probabilities(&view, k).map_err(|e| e.to_string())?;
+            let answers: Vec<usize> = (0..view.len()).filter(|&i| pr[i] >= p).collect();
+            recorder.add(ptk_engine::counters::SCANNED, view.len() as u64);
+            recorder.add(ptk_engine::counters::EVALUATED, view.len() as u64);
+            recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
+            let probabilities = pr.iter().map(|&x| Some(x)).collect();
+            (
+                answers,
+                probabilities,
+                "full possible-world enumeration".to_owned(),
+            )
+        }
+        other => return Err(format!("unknown --method '{other}' (exact|sampling|naive)").into()),
+    };
+
+    writeln!(out, "{}", ptk_header(k, p, &note, answers.len()))?;
+    write_ptk_rows(out, &view, &table, &answers, &probabilities)?;
+    write_stats(out, stats, &metrics)
+}
+
+pub(super) fn cmd_utopk(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let table = load_from_flags(flags)?;
+    let k: usize = flags.require("k")?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(k, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    let answer = utopk(&view, k, &UTopKOptions::default()).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "most probable top-{k} vector (probability {:.6}, {} states explored):",
+        answer.probability, answer.states_explored
+    )?;
+    for &pos in &answer.vector {
+        write_membership_row(out, &view, &table, pos)?;
+    }
+    Ok(())
+}
+
+pub(super) fn cmd_ukranks(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let table = load_from_flags(flags)?;
+    let k: usize = flags.require("k")?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(k, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    writeln!(out, "most probable tuple at each rank:")?;
+    for entry in ukranks(&view, k) {
+        writeln!(
+            out,
+            "  rank {:>3}: ranked position {:>4}, probability {:.4}  [{}]",
+            entry.rank,
+            entry.position + 1,
+            entry.probability,
+            attrs_of(&view, &table, entry.position)
+        )?;
+    }
+    Ok(())
+}
+
+pub(super) fn cmd_erank(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let table = load_from_flags(flags)?;
+    let k: usize = flags.require("k")?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(k, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    writeln!(out, "top-{k} by expected rank (Cormode et al. semantics):")?;
+    for e in expected_rank_topk(&view, k) {
+        let t = view.tuple(e.position);
+        writeln!(
+            out,
+            "  expected rank {:>8.2}  ranked position {:>4}  membership={:.3}  [{}]",
+            e.expected_rank,
+            e.position + 1,
+            t.prob,
+            attrs_of(&view, &table, e.position)
+        )?;
+    }
+    Ok(())
+}
+
+pub(super) fn cmd_worlds(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let table = load_from_flags(flags)?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(1, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    let budget: u64 = flags.get("max-worlds")?.unwrap_or(10_000);
+    let mut worlds = ptk_worlds::try_enumerate(&view, budget).map_err(|e| e.to_string())?;
+    worlds.sort_by(|a, b| b.prob.total_cmp(&a.prob).then(a.members.cmp(&b.members)));
+    let limit: usize = flags.get("limit")?.unwrap_or(50);
+    writeln!(
+        out,
+        "{} possible worlds (showing up to {limit}):",
+        worlds.len()
+    )?;
+    for w in worlds.iter().take(limit) {
+        let ids: Vec<String> = w
+            .members
+            .iter()
+            .map(|&pos| view.tuple(pos).id.to_string())
+            .collect();
+        writeln!(out, "  Pr = {:.6}  {{{}}}", w.prob, ids.join(", "))?;
+    }
+    if worlds.len() > limit {
+        writeln!(out, "  … and {} more", worlds.len() - limit)?;
+    }
+    let total: f64 = worlds.iter().map(|w| w.prob).sum();
+    writeln!(out, "total probability: {total:.9}")?;
+    Ok(())
+}
+
+pub(super) fn cmd_inspect(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let table = load_from_flags(flags)?;
+    let independent = (0..table.len())
+        .filter(|&i| !table.is_dependent(ptk_core::TupleId::new(i)))
+        .count();
+    let max_rule = table.rules().iter().map(|r| r.len()).max().unwrap_or(0);
+    writeln!(out, "tuples:            {}", table.len())?;
+    writeln!(out, "columns:           {}", table.columns().join(", "))?;
+    writeln!(out, "multi-tuple rules: {}", table.rules().len())?;
+    writeln!(out, "independent:       {independent}")?;
+    writeln!(out, "largest rule:      {max_rule}")?;
+    writeln!(out, "possible worlds:   {:.3e}", table.world_count())?;
+    Ok(())
+}

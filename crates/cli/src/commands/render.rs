@@ -1,0 +1,114 @@
+//! Shared output rendering: `--stats` snapshots and answer-row listings.
+
+use std::io::Write;
+
+use ptk_core::{RankedView, UncertainTable};
+use ptk_obs::Metrics;
+
+use super::{CmdError, Flags};
+
+/// How `--stats` renders the metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum StatsMode {
+    Text,
+    Json,
+}
+
+pub(super) fn stats_mode(flags: &Flags) -> Result<Option<StatsMode>, String> {
+    match flags.named.get("stats").map(String::as_str) {
+        None => Ok(None),
+        Some("text") => Ok(Some(StatsMode::Text)),
+        Some("json") => Ok(Some(StatsMode::Json)),
+        Some(other) => Err(format!("--stats: expected 'text' or 'json', got '{other}'")),
+    }
+}
+
+/// Appends the metrics snapshot in the requested format (JSON includes the
+/// non-deterministic timing section; it is diagnostics, not a golden file).
+pub(super) fn write_stats(
+    out: &mut dyn Write,
+    mode: Option<StatsMode>,
+    metrics: &Metrics,
+) -> Result<(), CmdError> {
+    match mode {
+        None => {}
+        Some(StatsMode::Json) => writeln!(out, "{}", metrics.snapshot().to_json(true))?,
+        Some(StatsMode::Text) => {
+            let snapshot = metrics.snapshot();
+            if snapshot.is_empty() {
+                writeln!(out, "(no metrics recorded)")?;
+            } else {
+                write!(out, "{}", snapshot.to_text())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The header line of a PT-k answer listing, shared by `ptk query` and
+/// `ptk sql`.
+pub(super) fn ptk_header(k: usize, p: f64, note: &str, count: usize) -> String {
+    format!("{count} tuples pass Pr^{k} >= {p} ({note})")
+}
+
+/// Renders a PT-k answer set, one row per answer, in the format shared by
+/// `ptk query` and `ptk sql`. The header line comes from [`ptk_header`].
+pub(super) fn write_ptk_rows(
+    out: &mut dyn Write,
+    view: &RankedView,
+    table: &UncertainTable,
+    answers: &[usize],
+    probabilities: &[Option<f64>],
+) -> Result<(), CmdError> {
+    for &pos in answers {
+        let t = view.tuple(pos);
+        let row = table.tuple(t.id);
+        let attrs: Vec<String> = row.attrs().iter().map(ToString::to_string).collect();
+        writeln!(
+            out,
+            "  rank {:>4}  Pr^k={:.4}  membership={:.3}  [{}]",
+            pos + 1,
+            probabilities[pos].unwrap_or(f64::NAN),
+            t.prob,
+            attrs.join(", ")
+        )?;
+    }
+    Ok(())
+}
+
+/// Renders one ranked tuple with its membership probability — the row
+/// format shared by the U-TopK listings in `ptk utopk` and `ptk sql`.
+pub(super) fn write_membership_row(
+    out: &mut dyn Write,
+    view: &RankedView,
+    table: &UncertainTable,
+    pos: usize,
+) -> Result<(), CmdError> {
+    let t = view.tuple(pos);
+    let attrs: Vec<String> = table
+        .tuple(t.id)
+        .attrs()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    writeln!(
+        out,
+        "  rank {:>4}  membership={:.3}  [{}]",
+        pos + 1,
+        t.prob,
+        attrs.join(", ")
+    )?;
+    Ok(())
+}
+
+/// The comma-joined attribute rendering of a ranked tuple's source row.
+pub(super) fn attrs_of(view: &RankedView, table: &UncertainTable, pos: usize) -> String {
+    let t = view.tuple(pos);
+    let attrs: Vec<String> = table
+        .tuple(t.id)
+        .attrs()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    attrs.join(", ")
+}

@@ -1,0 +1,85 @@
+//! Packed run files: `pack` (CSV -> binary run) and `scan` (progressive
+//! PT-k retrieval over a run file without materializing a view).
+
+use std::io::Write;
+use std::sync::Arc;
+
+use ptk_access::{write_run, FileSource, RankedSource};
+use ptk_core::{Predicate, RankedView, TopKQuery};
+use ptk_engine::{evaluate_ptk_source_recorded, StreamOptions};
+use ptk_obs::{Metrics, Noop, Recorder, SharedRecorder};
+
+use super::render::{stats_mode, write_stats};
+use super::{build_ranking, load_from_flags, CmdError, Flags};
+
+pub(super) fn cmd_pack(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let table = load_from_flags(flags)?;
+    let out_path: String = flags.require("out")?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(1, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    // Rows in CSV order: score from the ranked column, rule keys from the
+    // view's dense handles.
+    let mut rows: Vec<(f64, f64, Option<u32>)> = vec![(0.0, 0.0, None); view.len()];
+    for pos in 0..view.len() {
+        let t = view.tuple(pos);
+        rows[t.id.index()] = (
+            t.key.ok_or("the ranked column must be numeric to pack")?,
+            t.prob,
+            t.rule.map(|h| h.index() as u32),
+        );
+    }
+    write_run(std::path::Path::new(&out_path), &rows).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "packed {} tuples ({} rules) into {out_path}",
+        view.len(),
+        view.rules().len()
+    )?;
+    Ok(())
+}
+
+pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let path = flags.positional.get(1).ok_or("missing run file argument")?;
+    let k: usize = flags.require("k")?;
+    let p: f64 = flags.require("p")?;
+    let stats = stats_mode(flags)?;
+    let metrics = Arc::new(Metrics::new());
+    let recorder: &dyn Recorder = if stats.is_some() {
+        metrics.as_ref()
+    } else {
+        &Noop
+    };
+    let mut source = if stats.is_some() {
+        FileSource::open_recorded(
+            std::path::Path::new(path),
+            Arc::clone(&metrics) as SharedRecorder,
+        )
+    } else {
+        FileSource::open(std::path::Path::new(path))
+    }
+    .map_err(|e| e.to_string())?;
+    let total = source.remaining();
+    let result =
+        evaluate_ptk_source_recorded(&mut source, k, p, &StreamOptions::default(), recorder);
+    writeln!(
+        out,
+        "{} tuples pass Pr^{k} >= {p} (streamed {} of {total} records{})",
+        result.answers.len(),
+        source.retrieved(),
+        result
+            .stats
+            .stop
+            .map_or(String::new(), |s| format!(", stopped early: {s:?}"))
+    )?;
+    for a in &result.answers {
+        writeln!(
+            out,
+            "  row {:>6}  score {:>12.4}  Pr^k = {:.4}",
+            a.id.index(),
+            a.score,
+            a.probability
+        )?;
+    }
+    write_stats(out, stats, &metrics)
+}

@@ -1,0 +1,162 @@
+//! The `sql` command: parse a statement, bind it to the table, and route
+//! it to the matching engine or ranker.
+
+use std::io::Write;
+
+use ptk_access::ViewSource;
+use ptk_core::RankedView;
+use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan};
+use ptk_obs::{Metrics, Noop, Recorder};
+use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
+use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
+use ptk_worlds::naive;
+
+use super::render::{
+    attrs_of, ptk_header, stats_mode, write_membership_row, write_ptk_rows, write_stats,
+};
+use super::{load_from_flags, CmdError, Flags};
+
+pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let statement_text = flags
+        .positional
+        .get(2)
+        .ok_or("usage: ptk sql <file.csv> '<statement>'")?;
+    let table = load_from_flags(flags)?;
+    let statement = ptk_sql::parse_statement(statement_text).map_err(|e| e.to_string())?;
+    let parsed = statement.query.clone();
+    let query = parsed.bind(&table).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, query.query()).map_err(|e| e.to_string())?;
+    let k = query.k();
+    let p = query.threshold().value();
+
+    match statement.kind {
+        ptk_sql::QueryKind::Ptk => {}
+        ptk_sql::QueryKind::UTopK => {
+            let answer = utopk(&view, k, &UTopKOptions::default()).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "most probable top-{k} vector (probability {:.6}):",
+                answer.probability
+            )?;
+            for &pos in &answer.vector {
+                write_membership_row(out, &view, &table, pos)?;
+            }
+            if statement.explain {
+                writeln!(out, "plan: RankedView::build -> utopk best-first search")?;
+                writeln!(
+                    out,
+                    "stats: {} states explored, view of {} tuples / {} rules",
+                    answer.states_explored,
+                    view.len(),
+                    view.rules().len()
+                )?;
+            }
+            return Ok(());
+        }
+        ptk_sql::QueryKind::UKRanks => {
+            writeln!(out, "most probable tuple at each rank:")?;
+            for entry in ukranks(&view, k) {
+                writeln!(
+                    out,
+                    "  rank {:>3}: ranked position {:>4}, probability {:.4}  [{}]",
+                    entry.rank,
+                    entry.position + 1,
+                    entry.probability,
+                    attrs_of(&view, &table, entry.position)
+                )?;
+            }
+            if statement.explain {
+                writeln!(
+                    out,
+                    "plan: RankedView::build -> position probabilities (full scan, RC+LR)"
+                )?;
+            }
+            return Ok(());
+        }
+        ptk_sql::QueryKind::ExpectedRank => {
+            writeln!(out, "top-{k} by expected rank:")?;
+            for e in expected_rank_topk(&view, k) {
+                writeln!(
+                    out,
+                    "  expected rank {:>8.2}  ranked position {:>4}  [{}]",
+                    e.expected_rank,
+                    e.position + 1,
+                    attrs_of(&view, &table, e.position)
+                )?;
+            }
+            if statement.explain {
+                writeln!(
+                    out,
+                    "plan: RankedView::build -> closed-form expected ranks (O(n))"
+                )?;
+            }
+            return Ok(());
+        }
+    }
+
+    let stats = stats_mode(flags)?;
+    let metrics = Metrics::new();
+    let recorder: &dyn Recorder = if stats.is_some() { &metrics } else { &Noop };
+
+    let mut explain_note = String::new();
+    let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match parsed.method
+    {
+        ptk_sql::Method::Exact => {
+            let plan = PtkPlan::new(k, p, &EngineOptions::default());
+            let mut source = ViewSource::new(&view);
+            let mut result = PtkExecutor::with_recorder(&plan, recorder).execute(&mut source);
+            result.probabilities.resize(view.len(), None);
+            let note = format!(
+                "exact; scanned {} of {} tuples",
+                result.stats.scanned,
+                view.len()
+            );
+            if statement.explain {
+                explain_note = format!(
+                    "plan: RankedView::build (predicate + sort + rule projection) -> {}\n\
+                     stats: scanned {}, evaluated {}, pruned {} (membership {}, rule {}), dp entries {}, stop {:?}",
+                    plan.describe(),
+                    result.stats.scanned,
+                    result.stats.evaluated,
+                    result.stats.pruned(),
+                    result.stats.pruned_membership,
+                    result.stats.pruned_rule,
+                    result.stats.entries_recomputed,
+                    result.stats.stop,
+                );
+            }
+            (result.answer_ranks(), result.probabilities, note)
+        }
+        ptk_sql::Method::Sampling => {
+            let seed = flags.get("seed")?.unwrap_or(0u64);
+            let options = SamplingOptions {
+                seed,
+                ..Default::default()
+            };
+            let (answers, estimate) = sample_ptk_recorded(&view, k, p, &options, recorder);
+            recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
+            let probabilities = estimate.probabilities.iter().map(|&x| Some(x)).collect();
+            (
+                answers,
+                probabilities,
+                format!("sampling; {} units", estimate.units),
+            )
+        }
+        ptk_sql::Method::Naive => {
+            let pr = naive::topk_probabilities(&view, k).map_err(|e| e.to_string())?;
+            let answers: Vec<usize> = (0..view.len()).filter(|&i| pr[i] >= p).collect();
+            recorder.add(ptk_engine::counters::SCANNED, view.len() as u64);
+            recorder.add(ptk_engine::counters::EVALUATED, view.len() as u64);
+            recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
+            let probabilities = pr.iter().map(|&x| Some(x)).collect();
+            (answers, probabilities, "naive enumeration".to_owned())
+        }
+    };
+
+    writeln!(out, "{}", ptk_header(k, p, &note, answers.len()))?;
+    write_ptk_rows(out, &view, &table, &answers, &probabilities)?;
+    if !explain_note.is_empty() {
+        writeln!(out, "{explain_note}")?;
+    }
+    write_stats(out, stats, &metrics)
+}

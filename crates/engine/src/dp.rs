@@ -84,7 +84,7 @@ pub const DECONVOLVE_MASS_SLACK: f64 = 1e-5;
 ///    `q·err[last] ≤` [`DECONVOLVE_MAX_MASS_ERROR`] *certifies* the
 ///    returned row has not shed more than that mass.
 /// 3. A posteriori verification that re-convolving the result reproduces
-///    the input row within [`DECONVOLVE_MAX_REL_ERROR`] — a cheap
+///    the input row within `DECONVOLVE_MAX_REL_ERROR` — a cheap
 ///    independent check on the implementation itself.
 pub fn deconvolve(row: &[f64], q: f64) -> Option<Vec<f64>> {
     debug_assert!((0.0..=1.0).contains(&q));

@@ -1,88 +1,32 @@
-//! The exact PT-k algorithm (Figure 3 of the paper).
+//! View-based PT-k entry points (Figure 3 of the paper).
+//!
+//! Since the planner/executor unification these are thin wrappers: each one
+//! builds a [`PtkPlan`] and runs the shared [`PtkExecutor`] over a
+//! [`ViewSource`] wrapping the materialized
+//! [`RankedView`] — the view path is literally the source path specialized
+//! to in-memory retrieval, and the parity tests pin the two to bit
+//! equality. The full-distribution helpers ([`topk_probabilities`],
+//! [`position_probabilities`], [`topk_probability_profile`]) drive the
+//! [`Scanner`] directly because they need every per-rank DP row, not just
+//! the thresholded answers.
 
+use ptk_access::ViewSource;
 use ptk_core::RankedView;
-use ptk_obs::{Noop, PhaseClock, Recorder};
+use ptk_obs::{Noop, Recorder};
 
-use crate::dp;
-use crate::scanner::{Scanner, SharingVariant};
-use crate::stats::{counters, ExecStats, StopReason};
+use crate::exec::{PtkExecutor, PtkResult};
+use crate::plan::{EngineOptions, PtkPlan, SharingVariant};
+use crate::scanner::Scanner;
+use crate::stats::ExecStats;
 
-/// Configuration of the exact engine.
-#[derive(Debug, Clone, Copy)]
-pub struct EngineOptions {
-    /// Prefix-sharing variant (§4.3.2). `RC+LR` is the paper's best and the
-    /// default.
-    pub variant: SharingVariant,
-    /// Whether the pruning rules of §4.4 (Theorems 3–5 plus the early-exit
-    /// upper bound) are applied. With pruning off the whole ranked list is
-    /// scanned and every tuple's exact `Pr^k` is reported.
-    pub pruning: bool,
-    /// How often (in scanned tuples) the early-exit upper bound is
-    /// recomputed. The bound costs `O(|pool|·k)`, so it is checked
-    /// periodically rather than per tuple.
-    pub ub_check_interval: usize,
-}
-
-impl Default for EngineOptions {
-    fn default() -> Self {
-        EngineOptions {
-            variant: SharingVariant::Lazy,
-            pruning: true,
-            ub_check_interval: 64,
-        }
-    }
-}
-
-impl EngineOptions {
-    /// Options with a specific sharing variant, pruning on.
-    pub fn with_variant(variant: SharingVariant) -> Self {
-        EngineOptions {
-            variant,
-            ..Default::default()
-        }
-    }
-
-    /// Options with pruning disabled (full scan).
-    pub fn without_pruning(variant: SharingVariant) -> Self {
-        EngineOptions {
-            variant,
-            pruning: false,
-            ..Default::default()
-        }
-    }
-}
-
-/// The result of a PT-k evaluation.
-#[derive(Debug, Clone)]
-pub struct PtkResult {
-    /// Ranked positions whose top-k probability passes the threshold, in
-    /// ranking order.
-    pub answers: Vec<usize>,
-    /// `probabilities[pos]` is `Some(Pr^k)` when the engine computed the
-    /// exact top-k probability of the tuple at `pos`, and `None` when the
-    /// tuple was pruned (its `Pr^k` is then known to be below the threshold)
-    /// or never scanned (ditto, by the early-exit bound).
-    pub probabilities: Vec<Option<f64>>,
-    /// Execution counters.
-    pub stats: ExecStats,
-}
-
-impl PtkResult {
-    /// Sum of the top-k probabilities of the answers.
-    pub fn answer_mass(&self) -> f64 {
-        self.answers
-            .iter()
-            .map(|&p| self.probabilities[p].unwrap_or(0.0))
-            .sum()
-    }
-}
-
-/// Answers a PT-k query: returns the tuples (as ranked positions) whose
-/// top-k probability is at least `threshold`.
+/// Answers a PT-k query: returns the tuples (as ranked positions, via
+/// [`PtkResult::answer_ranks`]) whose top-k probability is at least
+/// `threshold`.
 ///
 /// This is the paper's exact algorithm (Figure 3): one scan of the ranked
 /// list, rule-tuple compression, prefix-shared subset-probability DP, and —
 /// when [`EngineOptions::pruning`] is set — the pruning rules of §4.4.
+/// Delegates to [`PtkExecutor`] over a [`ViewSource`].
 ///
 /// # Panics
 /// Panics if `k == 0` or `threshold` is not in `(0, 1]`.
@@ -96,14 +40,11 @@ pub fn evaluate_ptk(
 }
 
 /// [`evaluate_ptk`] with observability: execution counters (under the
-/// [`counters`] names), the answer count, and per-phase wall-clock spans
-/// (`engine.query`, `engine.phase.dp`, `engine.phase.bound`) are recorded
-/// into `recorder`. With a disabled recorder this is exactly
+/// [`counters`](crate::counters) names), the answer count, and per-phase
+/// wall-clock spans (`engine.query`, `engine.phase.retrieval`,
+/// `engine.phase.reorder`, `engine.phase.dp`, `engine.phase.bound`) are
+/// recorded into `recorder`. With a disabled recorder this is exactly
 /// [`evaluate_ptk`] — no clock is ever read.
-///
-/// The view-based engine retrieves from memory, so retrieval is not a
-/// phase here; rule-tuple compression and reordering happen inside the
-/// scanner's step and are accounted to the DP phase.
 ///
 /// # Panics
 /// Panics if `k == 0` or `threshold` is not in `(0, 1]`.
@@ -114,143 +55,13 @@ pub fn evaluate_ptk_recorded(
     options: &EngineOptions,
     recorder: &dyn Recorder,
 ) -> PtkResult {
-    assert!(
-        threshold > 0.0 && threshold <= 1.0,
-        "PT-k thresholds must be in (0, 1], got {threshold}"
-    );
-    let _query_span = ptk_obs::span(recorder, "engine.query");
-    let mut dp_clock = PhaseClock::new(recorder);
-    let mut bound_clock = PhaseClock::new(recorder);
-    let mut scanner = Scanner::new(view, k, options.variant);
-    let mut probabilities: Vec<Option<f64>> = vec![None; view.len()];
-    let mut answers = Vec::new();
-    let mut stats = ExecStats::default();
-
-    // Theorem 3 state: the largest membership probability among failed
-    // independent tuples scanned so far.
-    let mut failed_member_max = 0.0f64;
-    // Theorem 4 state, per rule: the largest membership probability among
-    // failed members seen so far.
-    let mut rule_failed_max = vec![0.0f64; view.rules().len()];
-    // Theorem 3(2) state, per rule: whole rule pruned because it is ranked
-    // entirely below a failed independent tuple with Pr(t) >= Pr(R).
-    let mut rule_failed = vec![false; view.rules().len()];
-    // Theorem 5 state: sum of the answers' top-k probabilities.
-    let mut answer_mass = 0.0f64;
-
-    while let Some(pos) = scanner.position() {
-        let prob = view.prob(pos);
-        let rule = view.rule_at(pos);
-
-        let mut prune_membership = false;
-        let mut prune_rule = false;
-        if options.pruning {
-            match rule {
-                None => {
-                    if prob <= failed_member_max {
-                        prune_membership = true;
-                    }
-                }
-                Some(h) => {
-                    let idx = h.index();
-                    let projection = &view.rules()[idx];
-                    // First encounter of the rule: Theorem 3(2).
-                    if projection.first() == pos && projection.mass <= failed_member_max {
-                        rule_failed[idx] = true;
-                    }
-                    if rule_failed[idx] || prob <= rule_failed_max[idx] {
-                        prune_rule = true;
-                    }
-                }
-            }
-        }
-
-        stats.scanned += 1;
-        if prune_membership || prune_rule {
-            if prune_membership {
-                stats.pruned_membership += 1;
-            } else {
-                stats.pruned_rule += 1;
-            }
-            scanner.step_skip();
-        } else {
-            let prk = dp_clock.time(|| {
-                let step = scanner.step().expect("position() was Some");
-                prob * step.partial_sum()
-            });
-            stats.evaluated += 1;
-            probabilities[pos] = Some(prk);
-            if prk >= threshold {
-                answers.push(pos);
-                answer_mass += prk;
-            } else if options.pruning {
-                match rule {
-                    None => failed_member_max = failed_member_max.max(prob),
-                    Some(h) => {
-                        let m = &mut rule_failed_max[h.index()];
-                        *m = m.max(prob);
-                    }
-                }
-            }
-        }
-
-        if options.pruning {
-            // Theorem 5: the total top-k probability over all tuples is at
-            // most k, so once the answers hold more than k − p of it, no
-            // other tuple can reach p.
-            if answer_mass > k as f64 - threshold {
-                stats.stop = Some(StopReason::TotalTopK);
-                break;
-            }
-            // Early-exit upper bound (line 6 of Figure 3), checked
-            // periodically: if even the most favourable future tuple cannot
-            // reach the threshold, stop.
-            if stats.scanned % options.ub_check_interval.max(1) == 0
-                && bound_clock.time(|| future_upper_bound(&scanner)) < threshold
-            {
-                stats.stop = Some(StopReason::UpperBound);
-                break;
-            }
-        }
-    }
-
-    stats.dp_cells = scanner.dp_cells();
-    stats.entries_recomputed = scanner.entries_recomputed();
-    dp_clock.flush(recorder, "engine.phase.dp");
-    bound_clock.flush(recorder, "engine.phase.bound");
-    stats.record_to(recorder);
-    recorder.add(counters::ANSWERS, answers.len() as u64);
-    PtkResult {
-        answers,
-        probabilities,
-        stats,
-    }
-}
-
-/// An upper bound on `Pr^k(t')` for every tuple `t'` not yet scanned.
-///
-/// For a future independent tuple, the dominant set contains at least the
-/// whole current pool, so `Σ_{j<k} Pr(S, j)` over the pool bounds its Eq. 4
-/// factor (the partial sum is non-increasing as elements are added or
-/// gain mass). For a future member of an open rule `R`, the dominant set
-/// excludes `R`'s own rule-tuple, so the bound deconvolves that entry out.
-/// Membership probability is bounded by 1.
-fn future_upper_bound(scanner: &Scanner<'_>) -> f64 {
-    let pool = scanner.pool_row();
-    let mut ub: f64 = dp::partial_sum(&pool);
-    for (_, mass) in scanner.open_rules() {
-        let without = match dp::deconvolve(&pool, mass) {
-            // Slack covers mass the ill-conditioned inversion can shed
-            // without tripping its own guards; losing it here would make
-            // the bound non-conservative.
-            Some(row) => dp::partial_sum(&row) + dp::DECONVOLVE_MASS_SLACK,
-            // Numerically unsafe to remove: give up on bounding members of
-            // this rule (conservative).
-            None => 1.0,
-        };
-        ub = ub.max(without);
-    }
-    ub.min(1.0)
+    let plan = PtkPlan::new(k, threshold, options);
+    let mut source = ViewSource::new(view);
+    let mut result = PtkExecutor::with_recorder(&plan, recorder).execute(&mut source);
+    // A view's scan ranks are its ranked positions; pad the tail the early
+    // stop never scanned so `probabilities[pos]` indexes the whole view.
+    result.probabilities.resize(view.len(), None);
+    result
 }
 
 /// Computes the exact top-k probability of **every** tuple in the view
@@ -302,13 +113,17 @@ pub fn position_probabilities(
 }
 
 /// Answers the same top-k query for several probability thresholds in one
-/// scan: `result[i]` is the PT-k answer set for `thresholds[i]`.
+/// scan: `result[i]` is the PT-k answer set (as ranked positions) for
+/// `thresholds[i]`.
 ///
 /// The scan runs the pruning machinery keyed to the *smallest* threshold
 /// (the most demanding one — any tuple prunable there is prunable for every
 /// larger threshold), so one pass serves the whole threshold sweep. This is
 /// what the Figure 4(d)/5(d) experiments do implicitly, and what an
-/// interactive client exploring `p` wants.
+/// interactive client exploring `p` wants. Delegates to [`PtkExecutor`]
+/// through a multi-threshold [`PtkPlan`]; see
+/// [`evaluate_ptk_multi_source`](crate::evaluate_ptk_multi_source) for the
+/// same sweep over any source.
 ///
 /// # Panics
 /// Panics if `k == 0`, `thresholds` is empty, or any threshold is outside
@@ -319,27 +134,12 @@ pub fn evaluate_ptk_multi(
     thresholds: &[f64],
     options: &EngineOptions,
 ) -> Vec<Vec<usize>> {
-    assert!(!thresholds.is_empty(), "at least one threshold is required");
-    for &p in thresholds {
-        assert!(
-            p > 0.0 && p <= 1.0,
-            "PT-k thresholds must be in (0, 1], got {p}"
-        );
-    }
-    let min = thresholds.iter().copied().fold(f64::INFINITY, f64::min);
-    let result = evaluate_ptk(view, k, min, options);
+    let plan = PtkPlan::multi(k, thresholds, options);
+    let mut source = ViewSource::new(view);
+    let result = PtkExecutor::new(&plan).execute(&mut source);
     thresholds
         .iter()
-        .map(|&p| {
-            result
-                .answers
-                .iter()
-                .copied()
-                .filter(|&pos| {
-                    result.probabilities[pos].expect("answers are always evaluated") >= p
-                })
-                .collect()
-        })
+        .map(|&p| result.answers_at(p).iter().map(|a| a.rank).collect())
         .collect()
 }
 
@@ -408,7 +208,7 @@ mod tests {
                 ..Default::default()
             };
             let result = evaluate_ptk(&view, 2, 0.35, &options);
-            assert_eq!(result.answers, vec![1, 2, 3], "pruning = {pruning}");
+            assert_eq!(result.answer_ranks(), vec![1, 2, 3], "pruning = {pruning}");
         }
     }
 
@@ -416,9 +216,10 @@ mod tests {
     fn pruned_probabilities_are_below_threshold() {
         let view = panda();
         let result = evaluate_ptk(&view, 2, 0.35, &EngineOptions::default());
+        let ranks = result.answer_ranks();
         for (pos, p) in result.probabilities.iter().enumerate() {
             if let Some(p) = p {
-                let is_answer = result.answers.contains(&pos);
+                let is_answer = ranks.contains(&pos);
                 assert_eq!(*p >= 0.35, is_answer);
             }
         }
@@ -433,7 +234,18 @@ mod tests {
             SharingVariant::Lazy,
         ] {
             let result = evaluate_ptk(&view, 2, 0.35, &EngineOptions::with_variant(variant));
-            assert_eq!(result.answers, vec![1, 2, 3], "{variant:?}");
+            assert_eq!(result.answer_ranks(), vec![1, 2, 3], "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn answers_carry_ids_and_membership() {
+        let view = panda();
+        let result = evaluate_ptk(&view, 2, 0.35, &EngineOptions::default());
+        for a in &result.answers {
+            assert_eq!(a.id, view.tuple(a.rank).id);
+            assert_eq!(Some(a.probability), result.probabilities[a.rank]);
+            assert!(a.probability <= view.prob(a.rank) + 1e-12);
         }
     }
 
@@ -469,7 +281,7 @@ mod tests {
         let result = evaluate_ptk(&view, 5, 0.5, &EngineOptions::default());
         assert!(result.stats.stopped_early());
         assert!(result.stats.scanned < 200);
-        assert_eq!(result.answers, vec![0, 1, 2, 3, 4]);
+        assert_eq!(result.answer_ranks(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -493,7 +305,7 @@ mod tests {
         // Answers must nevertheless be exact: compare against a full scan.
         let (pr, _) = topk_probabilities(&view, 5, SharingVariant::Lazy);
         let expected: Vec<usize> = (0..400).filter(|&i| pr[i] >= 0.9).collect();
-        assert_eq!(result.answers, expected);
+        assert_eq!(result.answer_ranks(), expected);
     }
 
     #[test]
@@ -511,7 +323,7 @@ mod tests {
         // Exactness first.
         let (pr, _) = topk_probabilities(&view, 3, SharingVariant::Lazy);
         let expected: Vec<usize> = (0..30).filter(|&i| pr[i] >= 0.5).collect();
-        assert_eq!(result.answers, expected);
+        assert_eq!(result.answer_ranks(), expected);
         assert!(result.stats.pruned_membership > 0 || result.stats.stopped_early());
     }
 
@@ -538,7 +350,7 @@ mod tests {
         let multi = evaluate_ptk_multi(&view, 2, &thresholds, &EngineOptions::default());
         for (i, &p) in thresholds.iter().enumerate() {
             let single = evaluate_ptk(&view, 2, p, &EngineOptions::default());
-            assert_eq!(multi[i], single.answers, "threshold {p}");
+            assert_eq!(multi[i], single.answer_ranks(), "threshold {p}");
         }
     }
 
@@ -584,7 +396,7 @@ mod tests {
         let result = evaluate_ptk(&view, 100, 0.1, &EngineOptions::default());
         // Every tuple is always in the top-100 of its world when present:
         // Pr^k = Pr(t), so answers are tuples with Pr(t) >= 0.1.
-        assert_eq!(result.answers, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(result.answer_ranks(), vec![0, 1, 2, 3, 4, 5]);
         for (pos, p) in result.probabilities.iter().enumerate() {
             assert!((p.unwrap() - view.prob(pos)).abs() < 1e-12);
         }

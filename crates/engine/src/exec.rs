@@ -1,0 +1,729 @@
+//! The unified PT-k executor.
+//!
+//! [`PtkExecutor`] drives a [`PtkPlan`] over any [`RankedSource`]: it is the
+//! single implementation of the paper's Figure 3 algorithm — one scan in
+//! ranking order, rule-tuple compression (Corollaries 1–2), prefix-shared
+//! subset-probability DP (§4.3.2), and the §4.4 pruning rules — behind both
+//! the view-based (`evaluate_ptk*`) and source-based
+//! (`evaluate_ptk_source*`) entry points, which are now thin wrappers.
+//!
+//! The dominant-set bookkeeping lives in the crate-internal [`Compressor`],
+//! shared with [`Scanner`](crate::Scanner) (the view-specialized adapter).
+//! Sources that expose rule layout ahead of time
+//! ([`RankedSource::rule_len`] / [`RankedSource::rule_member_rank`]) get
+//! the paper's full aggressive/lazy reordering — a `ViewSource` is then
+//! *bit-identical* to the materialized engine; sources that cannot (e.g.
+//! threshold-algorithm middleware) degrade gracefully to absorption-recency
+//! ordering, which shares less but computes the same probabilities (Eq. 4
+//! is order-independent).
+
+use std::collections::HashMap;
+
+use ptk_access::{RankedSource, RuleKey};
+use ptk_core::TupleId;
+use ptk_obs::{Noop, PhaseClock, Recorder};
+
+use crate::dp;
+use crate::plan::{PtkPlan, SharingVariant};
+use crate::stats::{counters, ExecStats, StopReason};
+
+/// One answer of a PT-k evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnswerTuple {
+    /// 0-based rank at which the tuple was scanned. For a view-backed
+    /// execution this is the tuple's ranked position in the view.
+    pub rank: usize,
+    /// The tuple's id as reported by the source.
+    pub id: TupleId,
+    /// Its ranking score (a position stand-in when the source has none).
+    pub score: f64,
+    /// Its exact top-k probability `Pr^k`.
+    pub probability: f64,
+}
+
+/// The result of a PT-k evaluation, shared by every entry point.
+#[derive(Debug, Clone)]
+pub struct PtkResult {
+    /// Tuples whose top-k probability passes the scan threshold, in ranking
+    /// order.
+    pub answers: Vec<AnswerTuple>,
+    /// `probabilities[rank]` is `Some(Pr^k)` when the engine computed the
+    /// exact top-k probability of the tuple scanned at `rank`, and `None`
+    /// when the tuple was pruned (its `Pr^k` is then known to be below the
+    /// threshold). Tuples never scanned (early stop) are absent; the
+    /// view-based wrappers pad with `None` to the view's length.
+    pub probabilities: Vec<Option<f64>>,
+    /// Execution counters. `scanned` equals the number of tuples actually
+    /// pulled from the source.
+    pub stats: ExecStats,
+}
+
+impl PtkResult {
+    /// The answers' scan ranks (for a view, their ranked positions), in
+    /// ranking order — the shape of the legacy view-based answer list.
+    pub fn answer_ranks(&self) -> Vec<usize> {
+        self.answers.iter().map(|a| a.rank).collect()
+    }
+
+    /// Sum of the top-k probabilities of the answers.
+    pub fn answer_mass(&self) -> f64 {
+        self.answers.iter().map(|a| a.probability).sum()
+    }
+
+    /// The answers passing `threshold` — for slicing a multi-threshold
+    /// scan's result per requested threshold.
+    pub fn answers_at(&self, threshold: f64) -> Vec<AnswerTuple> {
+        self.answers
+            .iter()
+            .copied()
+            .filter(|a| a.probability >= threshold)
+            .collect()
+    }
+}
+
+/// One element of a compressed dominant set, as tracked by [`Compressor`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PoolEntry {
+    /// An independent tuple. `tag` is caller-assigned and unique per scan
+    /// (the scan rank for the executor, the ranked position for `Scanner`).
+    Indep {
+        /// Caller-assigned unique identity.
+        tag: usize,
+        /// Membership probability.
+        prob: f64,
+    },
+    /// A rule-tuple: the scanned members of one rule compressed into a
+    /// single pseudo-tuple (Corollary 1).
+    Rule {
+        /// The rule's identity.
+        key: RuleKey,
+        /// Dense slot of the rule's state inside the owning [`Compressor`]
+        /// (assigned at first absorption), so per-entry state checks are
+        /// array lookups on the hot path.
+        idx: u32,
+        /// Members absorbed so far; two rule-tuples for the same rule are
+        /// interchangeable iff this matches.
+        absorbed: u32,
+        /// Sum of the absorbed members' probabilities.
+        mass: f64,
+    },
+}
+
+impl PoolEntry {
+    /// The probability this entry contributes to the DP.
+    pub(crate) fn mass(&self) -> f64 {
+        match self {
+            PoolEntry::Indep { prob, .. } => *prob,
+            PoolEntry::Rule { mass, .. } => *mass,
+        }
+    }
+
+    /// Whether two entries denote the same pseudo-tuple with the same mass
+    /// (so a DP row computed through one is valid for the other). Uses the
+    /// absorbed-member count rather than float mass comparison.
+    fn same(&self, other: &PoolEntry) -> bool {
+        match (self, other) {
+            (PoolEntry::Indep { tag: a, .. }, PoolEntry::Indep { tag: b, .. }) => a == b,
+            (
+                PoolEntry::Rule {
+                    key: ka,
+                    absorbed: ca,
+                    ..
+                },
+                PoolEntry::Rule {
+                    key: kb,
+                    absorbed: cb,
+                    ..
+                },
+            ) => ka == kb && ca == cb,
+            _ => false,
+        }
+    }
+}
+
+/// Per-rule absorption state.
+#[derive(Debug, Clone)]
+struct RuleState {
+    /// The rule's identity (the reverse of the dense-slot mapping).
+    key: RuleKey,
+    /// Sum of absorbed members' probabilities.
+    mass: f64,
+    /// Number of absorbed members.
+    absorbed: u32,
+    /// Absorption step of the most recent member (recency ordering when the
+    /// rule's layout is unknown).
+    last_touch: usize,
+    /// Scan rank of the next unabsorbed member, when the source knows it.
+    next_rank: Option<usize>,
+    /// Total member count, when the source knows it.
+    len: Option<usize>,
+    /// Whether every member has been absorbed (requires `len`). Completed
+    /// rule-tuples join the stable group and never change again.
+    completed: bool,
+    /// Lazy-variant scratch: stamp marking membership in the kept prefix.
+    kept_stamp: u64,
+}
+
+/// An item of the "stable" group: independents and completed rule-tuples,
+/// in the order they became available (observation 1 of §4.3.2).
+#[derive(Debug, Clone, Copy)]
+enum StableItem {
+    Indep {
+        tag: usize,
+        prob: f64,
+    },
+    /// A completed rule, by its dense state slot.
+    CompletedRule(u32),
+}
+
+/// What the executor (or the [`Scanner`](crate::Scanner) adapter) tells the
+/// compressor about the tuple being folded into the pool.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AbsorbSpec {
+    /// Unique identity for independents (scan rank / ranked position).
+    pub tag: usize,
+    /// Membership probability.
+    pub prob: f64,
+    /// The tuple's rule, if any.
+    pub rule: Option<RuleKey>,
+    /// The rule's total member count, if known.
+    pub rule_len: Option<usize>,
+    /// Scan rank of the rule's next member *after* this one, if known.
+    pub next_member_rank: Option<usize>,
+}
+
+/// The incremental compressed dominant set plus its prefix-shared DP rows —
+/// the shared core behind the executor and the view [`Scanner`](crate::Scanner).
+///
+/// Ordering invariants (the source of the bit-for-bit view/source parity):
+/// the stable group keeps availability order; open rule-tuples are ordered
+/// by next-member rank descending when the layout is known (the paper's
+/// aggressive policy), falling back to absorption recency otherwise; and
+/// rules iterate in ascending `RuleKey` order (`rule_order` is kept sorted
+/// by key), which for dense view-derived keys is exactly the view's
+/// rule-index order.
+#[derive(Debug)]
+pub(crate) struct Compressor {
+    k: usize,
+    variant: SharingVariant,
+    /// Entry list of the most recent *built* step.
+    entries: Vec<PoolEntry>,
+    /// `rows[m]` is the DP row after `entries[..m]`; `rows.len() == entries.len() + 1`.
+    rows: Vec<Vec<f64>>,
+    /// Stable-group items in availability order.
+    stable: Vec<StableItem>,
+    /// Rule states in first-absorption order; `PoolEntry::Rule::idx` and
+    /// `StableItem::CompletedRule` index into this, so the hot per-entry
+    /// checks never touch a map.
+    rule_states: Vec<RuleState>,
+    /// `RuleKey` → dense slot in `rule_states`.
+    rule_index: HashMap<RuleKey, u32>,
+    /// Dense slots sorted by ascending `RuleKey` — the canonical rule
+    /// iteration order.
+    rule_order: Vec<u32>,
+    /// DP cells computed so far (`k` per recomputed entry).
+    dp_cells: u64,
+    /// Entries recomputed so far (the paper's Eq. 5 cost itself).
+    entries_recomputed: u64,
+    /// Lazy-variant scratch: stamps marking independents (by tag) already
+    /// in the kept prefix, so membership tests are O(1).
+    kept_indep_stamp: Vec<u64>,
+    stamp: u64,
+    /// Absorption counter driving `last_touch`.
+    step: usize,
+}
+
+impl Compressor {
+    pub(crate) fn new(k: usize, variant: SharingVariant) -> Compressor {
+        assert!(k > 0, "top-k queries require k >= 1");
+        Compressor {
+            k,
+            variant,
+            entries: Vec::new(),
+            rows: vec![dp::unit_row(k)],
+            stable: Vec::new(),
+            rule_states: Vec::new(),
+            rule_index: HashMap::new(),
+            rule_order: Vec::new(),
+            dp_cells: 0,
+            entries_recomputed: 0,
+            kept_indep_stamp: Vec::new(),
+            stamp: 0,
+            step: 0,
+        }
+    }
+
+    /// How many members of `rule` have been absorbed so far.
+    pub(crate) fn absorbed(&self, rule: RuleKey) -> u32 {
+        self.rule_index
+            .get(&rule)
+            .map_or(0, |&i| self.rule_states[i as usize].absorbed)
+    }
+
+    pub(crate) fn dp_cells(&self) -> u64 {
+        self.dp_cells
+    }
+
+    pub(crate) fn entries_recomputed(&self) -> u64 {
+        self.entries_recomputed
+    }
+
+    /// The entry list of the most recently built step.
+    pub(crate) fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    /// The DP row of the most recently built step:
+    /// `row[j] = Pr(T(t_i), j)` for `j < k`.
+    pub(crate) fn last_row(&self) -> &[f64] {
+        self.rows.last().expect("rows never empty")
+    }
+
+    /// Builds the desired (ordered) compressed dominant set for a tuple
+    /// belonging to `own_rule`, per the configured [`SharingVariant`].
+    pub(crate) fn desired_list(&mut self, own_rule: Option<RuleKey>) -> Vec<PoolEntry> {
+        match self.variant {
+            SharingVariant::Rc | SharingVariant::Aggressive => self.canonical_list(own_rule, None),
+            SharingVariant::Lazy => {
+                // Keep the longest still-valid prefix of the previous list.
+                let valid_len = self
+                    .entries
+                    .iter()
+                    .take_while(|e| self.entry_still_valid(e, own_rule))
+                    .count();
+                // Mark the kept prefix so membership tests are O(1).
+                self.stamp += 1;
+                let stamp = self.stamp;
+                for i in 0..valid_len {
+                    match self.entries[i] {
+                        PoolEntry::Indep { tag, .. } => {
+                            if self.kept_indep_stamp.len() <= tag {
+                                self.kept_indep_stamp.resize(tag + 1, 0);
+                            }
+                            self.kept_indep_stamp[tag] = stamp;
+                        }
+                        PoolEntry::Rule { idx, .. } => {
+                            self.rule_states[idx as usize].kept_stamp = stamp;
+                        }
+                    }
+                }
+                let mut list = self.entries[..valid_len].to_vec();
+                // Append everything not already kept, in canonical order.
+                list.extend(self.canonical_list(own_rule, Some(stamp)));
+                list
+            }
+        }
+    }
+
+    /// Recomputes the DP rows for `desired`, reusing the rows of the
+    /// longest common prefix with the previous list (none under `RC`).
+    pub(crate) fn recompute(&mut self, desired: Vec<PoolEntry>) {
+        let prefix = match self.variant {
+            SharingVariant::Rc => 0,
+            SharingVariant::Aggressive | SharingVariant::Lazy => {
+                common_prefix(&self.entries, &desired)
+            }
+        };
+        let recomputed = desired.len() - prefix;
+        self.entries_recomputed += recomputed as u64;
+        self.dp_cells += (recomputed * self.k) as u64;
+        self.rows.truncate(prefix + 1);
+        for e in &desired[prefix..] {
+            let mut row = self.rows.last().expect("rows never empty").clone();
+            dp::convolve_in_place(&mut row, e.mass());
+            self.rows.push(row);
+        }
+        self.entries = desired;
+    }
+
+    /// Folds a scanned tuple into the pool (after its evaluation, or as the
+    /// only action when it was pruned).
+    pub(crate) fn absorb(&mut self, spec: AbsorbSpec) {
+        self.step += 1;
+        match spec.rule {
+            None => self.stable.push(StableItem::Indep {
+                tag: spec.tag,
+                prob: spec.prob,
+            }),
+            Some(key) => {
+                let idx = match self.rule_index.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        let i = self.rule_states.len() as u32;
+                        let states = &self.rule_states;
+                        let pos = self
+                            .rule_order
+                            .partition_point(|&j| states[j as usize].key < key);
+                        self.rule_states.push(RuleState {
+                            key,
+                            mass: 0.0,
+                            absorbed: 0,
+                            last_touch: 0,
+                            next_rank: None,
+                            len: None,
+                            completed: false,
+                            kept_stamp: 0,
+                        });
+                        self.rule_order.insert(pos, i);
+                        self.rule_index.insert(key, i);
+                        i
+                    }
+                };
+                let rs = &mut self.rule_states[idx as usize];
+                rs.mass += spec.prob;
+                rs.absorbed += 1;
+                rs.last_touch = self.step;
+                rs.next_rank = spec.next_member_rank;
+                if rs.len.is_none() {
+                    rs.len = spec.rule_len;
+                }
+                if rs.len == Some(rs.absorbed as usize) {
+                    // The rule just completed: it joins the stable group at
+                    // this availability point. Without a known length the
+                    // rule-tuple simply stays open, which is equally
+                    // correct (it contributes the same mass either way).
+                    rs.completed = true;
+                    self.stable.push(StableItem::CompletedRule(idx));
+                }
+            }
+        }
+    }
+
+    /// The subset-probability row over the *entire current pool* — every
+    /// absorbed tuple compressed, no rule excluded. This is what a future
+    /// independent tuple's dominant set would contain if scanning stopped
+    /// here; used by the early-exit upper bound.
+    pub(crate) fn pool_row(&self) -> Vec<f64> {
+        let mut row = dp::unit_row(self.k);
+        for item in &self.stable {
+            let mass = match *item {
+                StableItem::Indep { prob, .. } => prob,
+                StableItem::CompletedRule(idx) => self.rule_states[idx as usize].mass,
+            };
+            dp::convolve_in_place(&mut row, mass);
+        }
+        for &idx in &self.rule_order {
+            let rs = &self.rule_states[idx as usize];
+            if !rs.completed {
+                dp::convolve_in_place(&mut row, rs.mass);
+            }
+        }
+        row
+    }
+
+    /// Rules that currently have absorbed members but are not (known to be)
+    /// complete, with their absorbed mass. Used by the early-exit upper
+    /// bound: a future member of such a rule excludes this mass from its
+    /// dominant set.
+    pub(crate) fn open_rules(&self) -> Vec<(RuleKey, f64)> {
+        self.rule_order
+            .iter()
+            .map(|&idx| &self.rule_states[idx as usize])
+            .filter(|rs| !rs.completed)
+            .map(|rs| (rs.key, rs.mass))
+            .collect()
+    }
+
+    /// Whether a previously-built entry still denotes a live, unchanged
+    /// pseudo-tuple for a step whose tuple belongs to `own_rule`.
+    fn entry_still_valid(&self, e: &PoolEntry, own_rule: Option<RuleKey>) -> bool {
+        match e {
+            PoolEntry::Indep { .. } => true,
+            PoolEntry::Rule {
+                key, idx, absorbed, ..
+            } => Some(*key) != own_rule && self.rule_states[*idx as usize].absorbed == *absorbed,
+        }
+    }
+
+    /// The canonical (aggressive) ordering of the current pool, excluding
+    /// `own_rule` (Corollary 2) and — when `skip_stamp` is set — every
+    /// entry already stamped into the lazy kept prefix: stable group first
+    /// in availability order, then open rule-tuples by next-member rank
+    /// descending (falling back to absorption recency, oldest first, when
+    /// the layout is unknown).
+    fn canonical_list(&self, own_rule: Option<RuleKey>, skip_stamp: Option<u64>) -> Vec<PoolEntry> {
+        let mut list = Vec::with_capacity(self.stable.len() + 4);
+        for item in &self.stable {
+            let (kept, e) = match *item {
+                StableItem::Indep { tag, prob } => (
+                    self.kept_indep_stamp.get(tag).copied().unwrap_or(0),
+                    PoolEntry::Indep { tag, prob },
+                ),
+                StableItem::CompletedRule(idx) => {
+                    let rs = &self.rule_states[idx as usize];
+                    (
+                        rs.kept_stamp,
+                        PoolEntry::Rule {
+                            key: rs.key,
+                            idx,
+                            absorbed: rs.absorbed,
+                            mass: rs.mass,
+                        },
+                    )
+                }
+            };
+            // `skip_stamp` is always >= 1 when set, so an unstamped entry
+            // (kept == 0) is never skipped.
+            if skip_stamp != Some(kept) {
+                list.push(e);
+            }
+        }
+        let mut open: Vec<((u8, usize), PoolEntry)> = Vec::new();
+        for &idx in &self.rule_order {
+            let rs = &self.rule_states[idx as usize];
+            if rs.completed || Some(rs.key) == own_rule {
+                continue;
+            }
+            if skip_stamp.is_some_and(|s| rs.kept_stamp == s) {
+                continue;
+            }
+            // Known next-member ranks sort descending ahead of the
+            // recency-ordered remainder (oldest touch first).
+            let order = match rs.next_rank {
+                Some(rank) => (0u8, usize::MAX - rank),
+                None => (1u8, rs.last_touch),
+            };
+            open.push((
+                order,
+                PoolEntry::Rule {
+                    key: rs.key,
+                    idx,
+                    absorbed: rs.absorbed,
+                    mass: rs.mass,
+                },
+            ));
+        }
+        open.sort_by_key(|(order, _)| *order);
+        list.extend(open.into_iter().map(|(_, e)| e));
+        list
+    }
+}
+
+/// Length of the longest common prefix of two entry lists (by
+/// [`PoolEntry::same`]).
+fn common_prefix(a: &[PoolEntry], b: &[PoolEntry]) -> usize {
+    a.iter()
+        .zip(b.iter())
+        .take_while(|(x, y)| x.same(y))
+        .count()
+}
+
+/// Theorem 3(2)/4 pruning state for one rule.
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleFail {
+    /// Whole rule pruned: it is ranked entirely below a failed independent
+    /// tuple with `Pr(t) >= Pr(R)` (Theorem 3(2)).
+    failed_whole: bool,
+    /// Largest membership probability among failed members seen so far
+    /// (Theorem 4).
+    failed_member_max: f64,
+}
+
+/// An upper bound on `Pr^k(t')` for every tuple `t'` not yet scanned.
+///
+/// For a future independent tuple, the dominant set contains at least the
+/// whole current pool, so `Σ_{j<k} Pr(S, j)` over the pool bounds its Eq. 4
+/// factor (the partial sum is non-increasing as elements are added or
+/// gain mass). For a future member of an open rule `R`, the dominant set
+/// excludes `R`'s own rule-tuple, so the bound deconvolves that entry out.
+/// Membership probability is bounded by 1.
+fn future_upper_bound(comp: &Compressor) -> f64 {
+    let pool = comp.pool_row();
+    let mut ub: f64 = dp::partial_sum(&pool);
+    for (_, mass) in comp.open_rules() {
+        let without = match dp::deconvolve(&pool, mass) {
+            // Slack covers mass the ill-conditioned inversion can shed
+            // without tripping its own guards; losing it here would make
+            // the bound non-conservative.
+            Some(row) => dp::partial_sum(&row) + dp::DECONVOLVE_MASS_SLACK,
+            // Numerically unsafe to remove: give up on bounding members of
+            // this rule (conservative).
+            None => 1.0,
+        };
+        ub = ub.max(without);
+    }
+    ub.min(1.0)
+}
+
+/// Executes a [`PtkPlan`] over any [`RankedSource`].
+///
+/// This is the single implementation behind every public entry point; see
+/// the module docs. Construct with [`PtkExecutor::new`] (no observability)
+/// or [`PtkExecutor::with_recorder`].
+pub struct PtkExecutor<'a> {
+    plan: &'a PtkPlan,
+    recorder: &'a dyn Recorder,
+}
+
+impl<'a> PtkExecutor<'a> {
+    /// An executor for `plan` without observability.
+    pub fn new(plan: &'a PtkPlan) -> PtkExecutor<'a> {
+        PtkExecutor {
+            plan,
+            recorder: &Noop,
+        }
+    }
+
+    /// An executor for `plan` recording execution counters (under the
+    /// [`counters`] names), the answer count, and per-phase wall-clock
+    /// spans (`engine.phase.retrieval`, `engine.phase.reorder`,
+    /// `engine.phase.dp`, `engine.phase.bound`, under an `engine.query`
+    /// umbrella span) into `recorder`. With a disabled recorder no clock is
+    /// ever read.
+    pub fn with_recorder(plan: &'a PtkPlan, recorder: &'a dyn Recorder) -> PtkExecutor<'a> {
+        PtkExecutor { plan, recorder }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &PtkPlan {
+        self.plan
+    }
+
+    /// Runs the plan's scan over `source`: pulls tuples in ranking order,
+    /// computes each retrieved tuple's exact top-k probability, and — when
+    /// the plan has pruning on — stops retrieving as soon as the §4.4 rules
+    /// certify that no further tuple can pass the scan threshold.
+    ///
+    /// # Panics
+    /// Panics if the source delivers scores out of order.
+    pub fn execute<S: RankedSource + ?Sized>(&self, source: &mut S) -> PtkResult {
+        let options = *self.plan.options();
+        let k = self.plan.k();
+        let threshold = self.plan.scan_threshold();
+        let recorder = self.recorder;
+        let _query_span = ptk_obs::span(recorder, "engine.query");
+        let mut retrieval_clock = PhaseClock::new(recorder);
+        let mut reorder_clock = PhaseClock::new(recorder);
+        let mut dp_clock = PhaseClock::new(recorder);
+        let mut bound_clock = PhaseClock::new(recorder);
+
+        let mut comp = Compressor::new(k, options.variant);
+        let mut stats = ExecStats::default();
+        let mut probabilities: Vec<Option<f64>> = Vec::new();
+        let mut answers: Vec<AnswerTuple> = Vec::new();
+        // Theorem 5 state: sum of the answers' top-k probabilities.
+        let mut answer_mass = 0.0f64;
+        // Theorem 3 state: the largest membership probability among failed
+        // independent tuples scanned so far.
+        let mut failed_member_max = 0.0f64;
+        // Theorem 3(2) / Theorem 4 state, per rule.
+        let mut rule_fail: HashMap<RuleKey, RuleFail> = HashMap::new();
+        let mut last_score = f64::INFINITY;
+
+        while let Some(tuple) = retrieval_clock.time(|| source.next_ranked()) {
+            assert!(
+                tuple.score <= last_score + 1e-9,
+                "source delivered scores out of order: {} after {last_score}",
+                tuple.score
+            );
+            last_score = tuple.score;
+            let rank = stats.scanned;
+            stats.scanned += 1;
+
+            // Pruning decision (Theorems 3 and 4).
+            let mut pruned_membership = false;
+            let mut pruned_rule = false;
+            if options.pruning {
+                match tuple.rule {
+                    None => pruned_membership = tuple.prob <= failed_member_max,
+                    Some(key) => {
+                        let first_encounter = comp.absorbed(key) == 0;
+                        let rf = rule_fail.entry(key).or_default();
+                        // First encounter of the rule: Theorem 3(2), when
+                        // the source knows the rule's total mass.
+                        if first_encounter {
+                            if let Some(mass) = source.rule_mass(key) {
+                                if mass <= failed_member_max {
+                                    rf.failed_whole = true;
+                                }
+                            }
+                        }
+                        pruned_rule = rf.failed_whole || tuple.prob <= rf.failed_member_max;
+                    }
+                }
+            }
+
+            if pruned_membership || pruned_rule {
+                if pruned_membership {
+                    stats.pruned_membership += 1;
+                } else {
+                    stats.pruned_rule += 1;
+                }
+                probabilities.push(None);
+            } else {
+                let desired = reorder_clock.time(|| comp.desired_list(tuple.rule));
+                dp_clock.time(|| comp.recompute(desired));
+                let prk = tuple.prob * dp::partial_sum(comp.last_row());
+                stats.evaluated += 1;
+                probabilities.push(Some(prk));
+                if prk >= threshold {
+                    answers.push(AnswerTuple {
+                        rank,
+                        id: tuple.id,
+                        score: tuple.score,
+                        probability: prk,
+                    });
+                    answer_mass += prk;
+                } else if options.pruning {
+                    match tuple.rule {
+                        None => failed_member_max = failed_member_max.max(tuple.prob),
+                        Some(key) => {
+                            let rf = rule_fail.entry(key).or_default();
+                            rf.failed_member_max = rf.failed_member_max.max(tuple.prob);
+                        }
+                    }
+                }
+            }
+
+            // Fold the tuple into the pool, with whatever layout hints the
+            // source can give.
+            let (rule_len, next_member_rank) = match tuple.rule {
+                Some(key) => (
+                    source.rule_len(key),
+                    source.rule_member_rank(key, comp.absorbed(key) as usize + 1),
+                ),
+                None => (None, None),
+            };
+            comp.absorb(AbsorbSpec {
+                tag: rank,
+                prob: tuple.prob,
+                rule: tuple.rule,
+                rule_len,
+                next_member_rank,
+            });
+
+            if options.pruning {
+                // Theorem 5: the total top-k probability over all tuples is
+                // at most k, so once the answers hold more than k − p of
+                // it, no other tuple can reach p.
+                if answer_mass > k as f64 - threshold {
+                    stats.stop = Some(StopReason::TotalTopK);
+                    break;
+                }
+                // Early-exit upper bound (line 6 of Figure 3), checked
+                // periodically: if even the most favourable future tuple
+                // cannot reach the threshold, stop.
+                if stats.scanned % options.ub_check_interval.max(1) == 0
+                    && bound_clock.time(|| future_upper_bound(&comp)) < threshold
+                {
+                    stats.stop = Some(StopReason::UpperBound);
+                    break;
+                }
+            }
+        }
+
+        stats.dp_cells = comp.dp_cells();
+        stats.entries_recomputed = comp.entries_recomputed();
+        retrieval_clock.flush(recorder, "engine.phase.retrieval");
+        reorder_clock.flush(recorder, "engine.phase.reorder");
+        dp_clock.flush(recorder, "engine.phase.dp");
+        bound_clock.flush(recorder, "engine.phase.bound");
+        stats.record_to(recorder);
+        recorder.add(counters::ANSWERS, answers.len() as u64);
+        PtkResult {
+            answers,
+            probabilities,
+            stats,
+        }
+    }
+}

@@ -4,16 +4,26 @@
 //! top-k queries with **one scan** of the ranked tuple list instead of
 //! enumerating the exponentially many possible worlds.
 //!
-//! The pieces, each in its own module:
+//! Since the planner/executor unification, every entry point — view-based,
+//! source-based, single- or multi-threshold — is a thin wrapper over one
+//! pipeline: a [`PtkPlan`] validates the request and lowers it into the
+//! stage list of DESIGN.md §9, and a [`PtkExecutor`] drives that plan over
+//! any [`RankedSource`](ptk_access::RankedSource). The pieces, each in its
+//! own module:
 //!
 //! * [`dp`] — the subset-probability (Poisson-binomial) dynamic program of
 //!   Theorem 2, truncated at `k`;
-//! * [`Scanner`] — the incremental compressed dominant set: rule-tuple
-//!   compression (Corollaries 1–2) and prefix sharing with the
-//!   aggressive/lazy reordering strategies of §4.3.2, selected by
-//!   [`SharingVariant`];
-//! * [`evaluate_ptk`] — the full algorithm of Figure 3 with the pruning
-//!   rules of §4.4 (Theorems 3–5) and an early-exit upper bound;
+//! * [`PtkPlan`] / [`PlanStage`] — planning and validation: ranked
+//!   retrieval, rule compression (Corollaries 1–2), prefix-shared DP with
+//!   the reordering strategies of §4.3.2 (selected by [`SharingVariant`]),
+//!   pruning (§4.4), answer emission;
+//! * [`PtkExecutor`] — the full algorithm of Figure 3 with the pruning
+//!   rules of Theorems 3–5 and an early-exit upper bound, over any ranked
+//!   source;
+//! * [`evaluate_ptk`] / [`evaluate_ptk_source`] — the classic view-based
+//!   and source-based entry points, now wrappers over the executor;
+//! * [`Scanner`] — the step-at-a-time view of the compressed dominant set,
+//!   kept for instrumentation and the rankers;
 //! * [`topk_probabilities`] / [`position_probabilities`] — full-scan
 //!   variants exposing the exact distributions (also the building block for
 //!   U-KRanks in `ptk-rankers`).
@@ -32,7 +42,7 @@
 //!
 //! // PT-2 query with p = 0.35 returns {R2, R5, R3} (Example 1).
 //! let result = evaluate_ptk(&view, 2, 0.35, &EngineOptions::default());
-//! assert_eq!(result.answers, vec![1, 2, 3]);
+//! assert_eq!(result.answer_ranks(), vec![1, 2, 3]);
 //! ```
 
 #![warn(missing_docs)]
@@ -40,16 +50,21 @@
 
 pub mod dp;
 mod exact;
+mod exec;
+mod plan;
 mod scanner;
 mod stats;
 mod stream;
 
 pub use exact::{
     evaluate_ptk, evaluate_ptk_multi, evaluate_ptk_recorded, position_probabilities,
-    topk_probabilities, topk_probability_profile, EngineOptions, PtkResult,
+    topk_probabilities, topk_probability_profile,
 };
-pub use scanner::{Entry, Scanner, SharingVariant, StepRow};
+pub use exec::{AnswerTuple, PtkExecutor, PtkResult};
+pub use plan::{EngineOptions, PlanStage, PtkPlan, SharingVariant};
+pub use scanner::{Entry, Scanner, StepRow};
 pub use stats::{counters, ExecStats, StopReason};
 pub use stream::{
-    evaluate_ptk_source, evaluate_ptk_source_recorded, StreamAnswer, StreamOptions, StreamPtkResult,
+    evaluate_ptk_multi_source, evaluate_ptk_source, evaluate_ptk_source_recorded, StreamAnswer,
+    StreamOptions, StreamPtkResult,
 };

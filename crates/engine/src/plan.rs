@@ -1,0 +1,308 @@
+//! Query planning: from a PT-k request to an executable stage pipeline.
+//!
+//! A [`PtkPlan`] captures everything the executor needs before it touches a
+//! source: the query depth `k`, the (validated) probability thresholds, and
+//! the [`EngineOptions`]. [`PtkPlan::stages`] lowers those into the ordered
+//! [`PlanStage`] pipeline of DESIGN.md §9 — ranked retrieval, rule
+//! compression, prefix-shared DP, pruning, answer emission — which is what
+//! `EXPLAIN` surfaces and what the executor drives.
+//!
+//! Validation lives here (not in the executor) so every entry point —
+//! view-based, source-based, single- or multi-threshold — rejects malformed
+//! queries identically, before any retrieval happens.
+
+use ptk_core::PtkQuery;
+
+/// How the compressed dominant set is ordered between consecutive steps
+/// (§4.3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SharingVariant {
+    /// `RC` — rule-tuple compression only: the DP is recomputed from scratch
+    /// for every tuple. The paper's baseline.
+    Rc,
+    /// `RC+AR` — aggressive reordering: independents and completed
+    /// rule-tuples always precede open rule-tuples; open rule-tuples are
+    /// ordered by next-member position descending. The common prefix with
+    /// the previous step's list is reused.
+    Aggressive,
+    /// `RC+LR` — lazy reordering: the maximal still-valid prefix of the
+    /// previous list is kept verbatim; only the remainder is reordered by
+    /// the aggressive policy. Never worse than `RC+AR` (§4.3.2).
+    #[default]
+    Lazy,
+}
+
+impl SharingVariant {
+    /// The paper's name for the variant (`RC`, `RC+AR`, `RC+LR`).
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            SharingVariant::Rc => "RC",
+            SharingVariant::Aggressive => "RC+AR",
+            SharingVariant::Lazy => "RC+LR",
+        }
+    }
+}
+
+/// Configuration of the PT-k engine, shared by the view-based and
+/// source-based entry points.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Prefix-sharing variant (§4.3.2). `RC+LR` is the paper's best and the
+    /// default.
+    pub variant: SharingVariant,
+    /// Whether the pruning rules of §4.4 (Theorems 3–5 plus the early-exit
+    /// upper bound) are applied. With pruning off the whole ranked list is
+    /// scanned and every tuple's exact `Pr^k` is reported.
+    pub pruning: bool,
+    /// How often (in scanned tuples) the early-exit upper bound is
+    /// recomputed. The bound costs `O(|pool|·k)`, so it is checked
+    /// periodically rather than per tuple.
+    pub ub_check_interval: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            variant: SharingVariant::Lazy,
+            pruning: true,
+            ub_check_interval: 64,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options with a specific sharing variant, pruning on.
+    pub fn with_variant(variant: SharingVariant) -> Self {
+        EngineOptions {
+            variant,
+            ..Default::default()
+        }
+    }
+
+    /// Options with pruning disabled (full scan).
+    pub fn without_pruning(variant: SharingVariant) -> Self {
+        EngineOptions {
+            variant,
+            pruning: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// One stage of the lowered execution pipeline, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStage {
+    /// Pull tuples from a [`RankedSource`](ptk_access::RankedSource) in
+    /// ranking order (a materialized view is the `ViewSource` special
+    /// case).
+    RankedRetrieval,
+    /// Fold each tuple into the compressed dominant-set pool: independents
+    /// as themselves, rule members into one rule-tuple per rule
+    /// (Corollaries 1–2).
+    RuleCompression,
+    /// Maintain the subset-probability DP over the compressed pool, sharing
+    /// row prefixes between consecutive steps.
+    PrefixSharedDp {
+        /// The prefix-sharing policy in force.
+        variant: SharingVariant,
+    },
+    /// The §4.4 pruning rules: Theorems 3–4 skip tuples, Theorem 5 and the
+    /// periodic upper-bound check stop retrieval.
+    Pruning {
+        /// Cadence, in scanned tuples, of the upper-bound check.
+        ub_check_interval: usize,
+    },
+    /// Emit tuples whose `Pr^k` passes the threshold(s).
+    AnswerEmission {
+        /// Number of thresholds served by the single scan.
+        thresholds: usize,
+    },
+}
+
+/// A validated, executable PT-k query plan.
+///
+/// Build one with [`PtkPlan::new`] (single threshold),
+/// [`PtkPlan::multi`] (one scan serving a threshold sweep), or
+/// [`PtkPlan::from_query`] (from a parsed [`PtkQuery`]), then run it with
+/// [`PtkExecutor`](crate::PtkExecutor).
+#[derive(Debug, Clone)]
+pub struct PtkPlan {
+    k: usize,
+    thresholds: Vec<f64>,
+    options: EngineOptions,
+}
+
+impl PtkPlan {
+    /// Plans a PT-k query with a single threshold.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `threshold` is not in `(0, 1]`.
+    pub fn new(k: usize, threshold: f64, options: &EngineOptions) -> PtkPlan {
+        PtkPlan::multi(k, &[threshold], options)
+    }
+
+    /// Plans a top-k query answered for several thresholds in one scan.
+    ///
+    /// The scan is keyed to the *smallest* threshold (the most demanding
+    /// one — any tuple prunable there is prunable for every larger
+    /// threshold), so one pass serves the whole sweep.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `thresholds` is empty, or any threshold is
+    /// outside `(0, 1]`.
+    pub fn multi(k: usize, thresholds: &[f64], options: &EngineOptions) -> PtkPlan {
+        assert!(k > 0, "top-k queries require k >= 1");
+        assert!(!thresholds.is_empty(), "at least one threshold is required");
+        for &p in thresholds {
+            assert!(
+                p > 0.0 && p <= 1.0,
+                "PT-k thresholds must be in (0, 1], got {p}"
+            );
+        }
+        PtkPlan {
+            k,
+            thresholds: thresholds.to_vec(),
+            options: *options,
+        }
+    }
+
+    /// Plans a parsed [`PtkQuery`]. The query's predicate and ranking are
+    /// applied when the view/source is built; the plan takes the depth and
+    /// threshold.
+    pub fn from_query(query: &PtkQuery, options: &EngineOptions) -> PtkPlan {
+        PtkPlan::new(query.k(), query.threshold().value(), options)
+    }
+
+    /// The query depth `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The thresholds served by the scan, in the caller's order.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// The engine options in force.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The threshold the scan's pruning machinery is keyed to: the smallest
+    /// one requested.
+    pub fn scan_threshold(&self) -> f64 {
+        self.thresholds
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The lowered stage pipeline, in execution order.
+    pub fn stages(&self) -> Vec<PlanStage> {
+        let mut stages = vec![
+            PlanStage::RankedRetrieval,
+            PlanStage::RuleCompression,
+            PlanStage::PrefixSharedDp {
+                variant: self.options.variant,
+            },
+        ];
+        if self.options.pruning {
+            stages.push(PlanStage::Pruning {
+                ub_check_interval: self.options.ub_check_interval,
+            });
+        }
+        stages.push(PlanStage::AnswerEmission {
+            thresholds: self.thresholds.len(),
+        });
+        stages
+    }
+
+    /// A one-line rendering of the pipeline, for `EXPLAIN`-style output.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "ranked-retrieval -> rule-compression -> dp[{}, k={}]",
+            self.options.variant.paper_name(),
+            self.k
+        );
+        if self.options.pruning {
+            out.push_str(&format!(
+                " -> pruning[T3-T5, ub every {}]",
+                self.options.ub_check_interval
+            ));
+        }
+        if self.thresholds.len() == 1 {
+            out.push_str(&format!(" -> emit[p >= {}]", self.thresholds[0]));
+        } else {
+            out.push_str(&format!(
+                " -> emit[{} thresholds, scan p >= {}]",
+                self.thresholds.len(),
+                self.scan_threshold()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_reflect_options() {
+        let plan = PtkPlan::new(3, 0.4, &EngineOptions::default());
+        assert_eq!(
+            plan.stages(),
+            vec![
+                PlanStage::RankedRetrieval,
+                PlanStage::RuleCompression,
+                PlanStage::PrefixSharedDp {
+                    variant: SharingVariant::Lazy
+                },
+                PlanStage::Pruning {
+                    ub_check_interval: 64
+                },
+                PlanStage::AnswerEmission { thresholds: 1 },
+            ]
+        );
+        let plan = PtkPlan::new(3, 0.4, &EngineOptions::without_pruning(SharingVariant::Rc));
+        assert!(!plan
+            .stages()
+            .iter()
+            .any(|s| matches!(s, PlanStage::Pruning { .. })));
+    }
+
+    #[test]
+    fn multi_scan_threshold_is_the_minimum() {
+        let plan = PtkPlan::multi(2, &[0.9, 0.35, 0.5], &EngineOptions::default());
+        assert_eq!(plan.scan_threshold(), 0.35);
+        assert_eq!(plan.thresholds(), &[0.9, 0.35, 0.5]);
+    }
+
+    #[test]
+    fn describe_names_the_variant_and_threshold() {
+        let plan = PtkPlan::new(2, 0.35, &EngineOptions::default());
+        let d = plan.describe();
+        assert!(d.contains("RC+LR"), "{d}");
+        assert!(d.contains("p >= 0.35"), "{d}");
+        let plan = PtkPlan::multi(2, &[0.2, 0.8], &EngineOptions::default());
+        assert!(plan.describe().contains("2 thresholds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_is_rejected() {
+        let _ = PtkPlan::new(0, 0.5, &EngineOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn out_of_range_threshold_is_rejected() {
+        let _ = PtkPlan::new(2, 1.5, &EngineOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one threshold")]
+    fn empty_thresholds_are_rejected() {
+        let _ = PtkPlan::multi(2, &[], &EngineOptions::default());
+    }
+}

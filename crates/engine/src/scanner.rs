@@ -1,4 +1,4 @@
-//! The incremental scan over the ranked list.
+//! The incremental scan over a materialized ranked view.
 //!
 //! [`Scanner`] walks the ranked view position by position, maintaining the
 //! *compressed dominant set* `T(t_i)` of the current tuple (§4.3.1):
@@ -13,31 +13,21 @@
 //! steps share the DP rows of the longest common prefix between their entry
 //! lists (§4.3.2); the [`SharingVariant`] selects how entries are ordered to
 //! maximize that prefix.
+//!
+//! Since the planner/executor unification, the bookkeeping itself lives in
+//! the crate-internal `Compressor` shared with
+//! [`PtkExecutor`](crate::PtkExecutor); `Scanner` is the view-specialized
+//! adapter, feeding the compressor the rule layout a
+//! [`RankedView`] knows ahead of time (member counts and positions) and
+//! translating entries back into view positions.
 
 use ptk_core::{RankedView, RuleHandle};
 
 use crate::dp;
+use crate::exec::{AbsorbSpec, Compressor, PoolEntry};
+use crate::plan::SharingVariant;
 
-/// How the compressed dominant set is ordered between consecutive steps
-/// (§4.3.2 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SharingVariant {
-    /// `RC` — rule-tuple compression only: the DP is recomputed from scratch
-    /// for every tuple. The paper's baseline.
-    Rc,
-    /// `RC+AR` — aggressive reordering: independents and completed
-    /// rule-tuples always precede open rule-tuples; open rule-tuples are
-    /// ordered by next-member position descending. The common prefix with
-    /// the previous step's list is reused.
-    Aggressive,
-    /// `RC+LR` — lazy reordering: the maximal still-valid prefix of the
-    /// previous list is kept verbatim; only the remainder is reordered by
-    /// the aggressive policy. Never worse than `RC+AR` (§4.3.2).
-    #[default]
-    Lazy,
-}
-
-/// One element of a compressed dominant set.
+/// One element of a compressed dominant set, in view terms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Entry {
     /// An independent tuple at a ranked position.
@@ -69,48 +59,6 @@ impl Entry {
             Entry::RuleTuple { mass, .. } => *mass,
         }
     }
-
-    /// Whether two entries denote the same pseudo-tuple with the same mass
-    /// (so a DP row computed through one is valid for the other). Uses the
-    /// absorbed-member count rather than float mass comparison.
-    #[inline]
-    fn same(&self, other: &Entry) -> bool {
-        match (self, other) {
-            (Entry::Tuple { pos: a, .. }, Entry::Tuple { pos: b, .. }) => a == b,
-            (
-                Entry::RuleTuple {
-                    rule: ra,
-                    absorbed: ca,
-                    ..
-                },
-                Entry::RuleTuple {
-                    rule: rb,
-                    absorbed: cb,
-                    ..
-                },
-            ) => ra == rb && ca == cb,
-            _ => false,
-        }
-    }
-}
-
-/// Per-rule scan bookkeeping.
-#[derive(Debug, Clone)]
-struct RuleScan {
-    /// Sum of scanned members' probabilities.
-    seen_mass: f64,
-    /// Number of scanned members.
-    seen_count: u32,
-    /// Index into the projection's member list of the next unscanned member.
-    next_ptr: usize,
-}
-
-/// An item of the "stable" group: independents and completed rule-tuples, in
-/// the order they became available (observation 1 of §4.3.2).
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum StableItem {
-    Independent(usize),
-    CompletedRule(RuleHandle),
 }
 
 /// The output of one scan step: the DP row of the current tuple's compressed
@@ -122,7 +70,12 @@ pub struct StepRow<'a> {
 }
 
 impl StepRow<'_> {
-    /// `Σ_{j<k} Pr(T(t_i), j)` — the factor of Eq. 4.
+    /// `Σ_{j<k} Pr(T(t_i), j)` — the factor of Eq. 4 and the input of the
+    /// Theorem 3 bound.
+    ///
+    /// This is a direct delegation to [`dp::partial_sum`], the crate's one
+    /// audited implementation of that truncated sum (see its docs for the
+    /// truncation argument); tests pin the two to bit equality.
     pub fn partial_sum(&self) -> f64 {
         dp::partial_sum(self.row)
     }
@@ -133,27 +86,9 @@ impl StepRow<'_> {
 #[derive(Debug)]
 pub struct Scanner<'v> {
     view: &'v RankedView,
-    k: usize,
-    variant: SharingVariant,
+    comp: Compressor,
     /// Next position to process.
     cursor: usize,
-    /// Entry list of the most recent *built* step.
-    entries: Vec<Entry>,
-    /// `rows[m]` is the DP row after `entries[..m]`; `rows.len() == entries.len() + 1`.
-    rows: Vec<Vec<f64>>,
-    rule_state: Vec<RuleScan>,
-    /// Stable-group items in availability order.
-    stable: Vec<StableItem>,
-    /// DP cells computed so far (`k` per recomputed entry) — the paper's
-    /// Eq. 5 cost times `k`.
-    dp_cells: u64,
-    /// Entries recomputed so far (the paper's Eq. 5 cost itself).
-    entries_recomputed: u64,
-    /// Scratch for the lazy variant: stamps marking which independents /
-    /// rules are already in the kept prefix, so membership tests are O(1).
-    kept_tuple_stamp: Vec<u64>,
-    kept_rule_stamp: Vec<u64>,
-    stamp: u64,
 }
 
 impl<'v> Scanner<'v> {
@@ -162,28 +97,10 @@ impl<'v> Scanner<'v> {
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(view: &'v RankedView, k: usize, variant: SharingVariant) -> Scanner<'v> {
-        assert!(k > 0, "top-k queries require k >= 1");
         Scanner {
             view,
-            k,
-            variant,
+            comp: Compressor::new(k, variant),
             cursor: 0,
-            entries: Vec::new(),
-            rows: vec![dp::unit_row(k)],
-            rule_state: vec![
-                RuleScan {
-                    seen_mass: 0.0,
-                    seen_count: 0,
-                    next_ptr: 0
-                };
-                view.rules().len()
-            ],
-            stable: Vec::new(),
-            dp_cells: 0,
-            entries_recomputed: 0,
-            kept_tuple_stamp: vec![0; view.len()],
-            kept_rule_stamp: vec![0; view.rules().len()],
-            stamp: 0,
         }
     }
 
@@ -194,18 +111,19 @@ impl<'v> Scanner<'v> {
 
     /// Total DP cells computed so far.
     pub fn dp_cells(&self) -> u64 {
-        self.dp_cells
+        self.comp.dp_cells()
     }
 
     /// Total entries whose DP row was (re)computed — the paper's Eq. 5 cost.
     pub fn entries_recomputed(&self) -> u64 {
-        self.entries_recomputed
+        self.comp.entries_recomputed()
     }
 
-    /// The entry list of the most recently built step (for inspection and
-    /// the Figure 2 tests).
-    pub fn entries(&self) -> &[Entry] {
-        &self.entries
+    /// The entry list of the most recently built step, translated into view
+    /// terms on demand (for inspection and the Figure 2 tests — the hot
+    /// path never pays for the translation).
+    pub fn entries(&self) -> Vec<Entry> {
+        self.comp.entries().iter().map(to_view_entry).collect()
     }
 
     /// Processes the next tuple and returns its DP row.
@@ -213,27 +131,13 @@ impl<'v> Scanner<'v> {
     /// Returns `None` when the scan is exhausted.
     pub fn step(&mut self) -> Option<StepRow<'_>> {
         let pos = self.position()?;
-        let desired = self.desired_list(pos);
-        let prefix = match self.variant {
-            SharingVariant::Rc => 0,
-            SharingVariant::Aggressive | SharingVariant::Lazy => {
-                common_prefix(&self.entries, &desired)
-            }
-        };
-        let recomputed = desired.len() - prefix;
-        self.dp_cells += (recomputed * self.k) as u64;
-        self.entries_recomputed += recomputed as u64;
-        self.rows.truncate(prefix + 1);
-        for e in &desired[prefix..] {
-            let mut row = self.rows.last().expect("rows never empty").clone();
-            dp::convolve_in_place(&mut row, e.mass());
-            self.rows.push(row);
-        }
-        self.entries = desired;
+        let own_rule = self.view.rule_at(pos).map(key_of);
+        let desired = self.comp.desired_list(own_rule);
+        self.comp.recompute(desired);
         self.advance_pool(pos);
         self.cursor += 1;
         Some(StepRow {
-            row: self.rows.last().expect("rows never empty"),
+            row: self.comp.last_row(),
         })
     }
 
@@ -253,182 +157,72 @@ impl<'v> Scanner<'v> {
     /// independent tuple's dominant set would contain if scanning stopped
     /// here; used by the early-exit upper bound.
     pub fn pool_row(&self) -> Vec<f64> {
-        let mut row = dp::unit_row(self.k);
-        for item in &self.stable {
-            dp::convolve_in_place(&mut row, self.stable_mass(*item));
-        }
-        for (idx, rs) in self.rule_state.iter().enumerate() {
-            if rs.seen_count > 0 && rs.next_ptr < self.view.rules()[idx].members.len() {
-                dp::convolve_in_place(&mut row, rs.seen_mass);
-            }
-        }
-        row
+        self.comp.pool_row()
     }
 
     /// Rules that currently have both scanned and unscanned members, with
     /// their scanned mass. Used by the early-exit upper bound: a future
     /// member of such a rule excludes this mass from its dominant set.
     pub fn open_rules(&self) -> Vec<(RuleHandle, f64)> {
-        self.rule_state
-            .iter()
-            .enumerate()
-            .filter(|(idx, rs)| {
-                rs.seen_count > 0 && rs.next_ptr < self.view.rules()[*idx].members.len()
-            })
-            .map(|(idx, rs)| (handle(idx), rs.seen_mass))
+        self.comp
+            .open_rules()
+            .into_iter()
+            .map(|(key, mass)| (RuleHandle::from_index(key.0 as usize), mass))
             .collect()
     }
 
-    fn stable_mass(&self, item: StableItem) -> f64 {
-        match item {
-            StableItem::Independent(pos) => self.view.prob(pos),
-            StableItem::CompletedRule(h) => self.rule_state[h.index()].seen_mass,
-        }
-    }
-
-    /// Builds the desired (ordered) compressed dominant set for the tuple at
-    /// `pos`.
-    fn desired_list(&mut self, pos: usize) -> Vec<Entry> {
-        let own_rule = self.view.rule_at(pos);
-        match self.variant {
-            SharingVariant::Rc | SharingVariant::Aggressive => {
-                self.canonical_list(own_rule, |_| true)
-            }
-            SharingVariant::Lazy => {
-                // Keep the longest still-valid prefix of the previous list.
-                let valid_len = self
-                    .entries
-                    .iter()
-                    .take_while(|e| self.entry_still_valid(e, own_rule))
-                    .count();
-                // Mark the kept prefix so membership tests are O(1).
-                self.stamp += 1;
-                let stamp = self.stamp;
-                for e in &self.entries[..valid_len] {
-                    match e {
-                        Entry::Tuple { pos, .. } => self.kept_tuple_stamp[*pos] = stamp,
-                        Entry::RuleTuple { rule, .. } => self.kept_rule_stamp[rule.index()] = stamp,
-                    }
-                }
-                let mut list: Vec<Entry> = self.entries[..valid_len].to_vec();
-                // Append everything not already kept, in canonical order.
-                let kept_tuple = &self.kept_tuple_stamp;
-                let kept_rule = &self.kept_rule_stamp;
-                let kept_ok = |e: &Entry| match e {
-                    Entry::Tuple { pos, .. } => kept_tuple[*pos] != stamp,
-                    Entry::RuleTuple { rule, .. } => kept_rule[rule.index()] != stamp,
-                };
-                let rest = self.canonical_list(own_rule, kept_ok);
-                list.extend(rest);
-                list
-            }
-        }
-    }
-
-    /// Whether a previously-built entry still denotes a live, unchanged
-    /// pseudo-tuple for a step whose tuple belongs to `own_rule`.
-    fn entry_still_valid(&self, e: &Entry, own_rule: Option<RuleHandle>) -> bool {
-        match e {
-            Entry::Tuple { .. } => true,
-            Entry::RuleTuple { rule, absorbed, .. } => {
-                Some(*rule) != own_rule && self.rule_state[rule.index()].seen_count == *absorbed
-            }
-        }
-    }
-
-    /// The canonical (aggressive) ordering of the current pool, excluding
-    /// `own_rule` and any entry rejected by `keep`: stable group first in
-    /// availability order, then open rule-tuples by next-member position
-    /// descending.
-    fn canonical_list(
-        &self,
-        own_rule: Option<RuleHandle>,
-        keep: impl Fn(&Entry) -> bool,
-    ) -> Vec<Entry> {
-        let mut list = Vec::with_capacity(self.stable.len() + 4);
-        for item in &self.stable {
-            let e = match *item {
-                StableItem::Independent(p) => Entry::Tuple {
-                    pos: p,
-                    prob: self.view.prob(p),
-                },
-                StableItem::CompletedRule(h) => {
-                    let rs = &self.rule_state[h.index()];
-                    Entry::RuleTuple {
-                        rule: h,
-                        absorbed: rs.seen_count,
-                        mass: rs.seen_mass,
-                    }
-                }
-            };
-            if keep(&e) {
-                list.push(e);
-            }
-        }
-        // Open rule-tuples, next-member position descending.
-        let mut open: Vec<(usize, Entry)> = Vec::new();
-        for (idx, rs) in self.rule_state.iter().enumerate() {
-            let members = &self.view.rules()[idx].members;
-            if rs.seen_count == 0 || rs.next_ptr >= members.len() {
-                continue;
-            }
-            let h = handle(idx);
-            if Some(h) == own_rule {
-                continue;
-            }
-            let e = Entry::RuleTuple {
-                rule: h,
-                absorbed: rs.seen_count,
-                mass: rs.seen_mass,
-            };
-            if keep(&e) {
-                open.push((members[rs.next_ptr], e));
-            }
-        }
-        open.sort_by_key(|o| std::cmp::Reverse(o.0));
-        list.extend(open.into_iter().map(|(_, e)| e));
-        list
-    }
-
-    /// Folds the tuple at `pos` into the pool after its step.
+    /// Folds the tuple at `pos` into the pool after its step, handing the
+    /// compressor the layout the view knows ahead of time: the rule's
+    /// member count (so completed rule-tuples join the stable group) and
+    /// the next member's position (driving the aggressive ordering).
     fn advance_pool(&mut self, pos: usize) {
-        match self.view.rule_at(pos) {
-            None => self.stable.push(StableItem::Independent(pos)),
+        let rule = self.view.rule_at(pos);
+        let (rule_len, next_member_rank) = match rule {
             Some(h) => {
-                let members_len = self.view.rules()[h.index()].members.len();
-                let rs = &mut self.rule_state[h.index()];
+                let members = &self.view.rules()[h.index()].members;
+                let absorbed = self.comp.absorbed(key_of(h)) as usize;
                 debug_assert_eq!(
-                    self.view.rules()[h.index()].members[rs.next_ptr],
-                    pos,
+                    members[absorbed], pos,
                     "rule members must be scanned in ranked order"
                 );
-                rs.seen_mass += self.view.prob(pos);
-                rs.seen_count += 1;
-                rs.next_ptr += 1;
-                if rs.next_ptr == members_len {
-                    // The rule just completed: it joins the stable group at
-                    // this availability point.
-                    self.stable.push(StableItem::CompletedRule(h));
-                }
+                (Some(members.len()), members.get(absorbed + 1).copied())
             }
-        }
+            None => (None, None),
+        };
+        self.comp.absorb(AbsorbSpec {
+            tag: pos,
+            prob: self.view.prob(pos),
+            rule: rule.map(key_of),
+            rule_len,
+            next_member_rank,
+        });
     }
 }
 
-fn handle(index: usize) -> RuleHandle {
-    // RuleHandle has no public constructor by design; recover it through the
-    // projection table which hands out dense indices. This helper mirrors
-    // RankedView's internal numbering.
-    RuleHandle::from_index(index)
+/// Views index rules densely, so the handle's index is the rule key.
+fn key_of(h: RuleHandle) -> ptk_access::RuleKey {
+    ptk_access::RuleKey(h.index() as u32)
 }
 
-/// Length of the longest common prefix of two entry lists (by
-/// [`Entry::same`]).
-fn common_prefix(a: &[Entry], b: &[Entry]) -> usize {
-    a.iter()
-        .zip(b.iter())
-        .take_while(|(x, y)| x.same(y))
-        .count()
+/// Translates a compressor entry back into view terms. Independents are
+/// tagged with their ranked position by [`Scanner::advance_pool`].
+fn to_view_entry(e: &PoolEntry) -> Entry {
+    match e {
+        PoolEntry::Indep { tag, prob } => Entry::Tuple {
+            pos: *tag,
+            prob: *prob,
+        },
+        PoolEntry::Rule {
+            key,
+            absorbed,
+            mass,
+            ..
+        } => Entry::RuleTuple {
+            rule: RuleHandle::from_index(key.0 as usize),
+            absorbed: *absorbed,
+            mass: *mass,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -577,5 +371,26 @@ mod tests {
         let mut s = Scanner::new(&view, 3, SharingVariant::Lazy);
         while s.step().is_some() {}
         assert!(s.open_rules().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_is_rejected() {
+        let _ = Scanner::new(&table4(false), 0, SharingVariant::Lazy);
+    }
+
+    #[test]
+    fn step_row_partial_sum_is_bit_identical_to_dp() {
+        // Satellite of the unification: one audited implementation of the
+        // Theorem 3 bound input. The StepRow helper must be the same
+        // function, to the bit.
+        let view = table4(true);
+        let mut s = Scanner::new(&view, 3, SharingVariant::Lazy);
+        while let Some(step) = s.step() {
+            assert_eq!(
+                step.partial_sum().to_bits(),
+                dp::partial_sum(step.row).to_bits()
+            );
+        }
     }
 }

@@ -1,4 +1,4 @@
-//! Streaming PT-k evaluation over progressive ranked retrieval.
+//! Source-based PT-k entry points over progressive ranked retrieval.
 //!
 //! [`evaluate_ptk_source`] is the paper's Figure 3 algorithm wired to the
 //! retrieval abstraction of `ptk-access` instead of a materialized
@@ -9,104 +9,42 @@
 //! threshold-algorithm middleware (`ptk_access::TaSource`) then only ever
 //! descends its sorted lists as far as the scan actually reached.
 //!
-//! Differences from the view-based engine, dictated by the streaming
-//! setting:
-//!
-//! * rule membership lists are unknown ahead of time, so the reordering
-//!   heuristic orders open rule-tuples by how recently they absorbed a
-//!   member (recently-changed rules sit near the rear, the analogue of the
-//!   lazy method's next-member ordering — correctness is unaffected because
-//!   Eq. 4 is order-independent);
-//! * Theorem 3(2) pruning applies only when the source can report a rule's
-//!   total mass ([`RankedSource::rule_mass`]); otherwise it is skipped,
-//!   which is safe.
+//! Since the planner/executor unification these are thin wrappers over the
+//! same [`PtkExecutor`] the view path uses; the historical
+//! [`StreamOptions`] / [`StreamPtkResult`] / [`StreamAnswer`] names are
+//! aliases of the merged types. Streaming-specific behavior now lives in
+//! the source hints: a source that cannot report rule layout
+//! ([`RankedSource::rule_len`] /
+//! [`RankedSource::rule_member_rank`](ptk_access::RankedSource::rule_member_rank))
+//! gets absorption-recency ordering of open rule-tuples (correct, shares
+//! less), and Theorem 3(2) pruning applies only when
+//! [`RankedSource::rule_mass`](ptk_access::RankedSource::rule_mass) is
+//! available — skipping it is always safe.
 
-use std::collections::HashMap;
+use ptk_access::RankedSource;
+use ptk_obs::{Noop, Recorder};
 
-use ptk_access::{RankedSource, RuleKey};
-use ptk_core::TupleId;
-use ptk_obs::{Noop, PhaseClock, Recorder};
+use crate::exec::{AnswerTuple, PtkExecutor, PtkResult};
+use crate::plan::{EngineOptions, PtkPlan};
 
-use crate::dp;
-use crate::stats::{counters, ExecStats, StopReason};
+/// Options for the source-based entry points — the same type as
+/// [`EngineOptions`] since the engines merged.
+pub type StreamOptions = EngineOptions;
 
-/// Options for the streaming engine.
-#[derive(Debug, Clone, Copy)]
-pub struct StreamOptions {
-    /// Whether the §4.4 pruning rules run (and may stop retrieval early).
-    pub pruning: bool,
-    /// Cadence, in retrieved tuples, of the early-exit upper-bound check.
-    pub ub_check_interval: usize,
-}
+/// One answer of a PT-k evaluation — the same type as [`AnswerTuple`]
+/// since the engines merged.
+pub type StreamAnswer = AnswerTuple;
 
-impl Default for StreamOptions {
-    fn default() -> Self {
-        StreamOptions {
-            pruning: true,
-            ub_check_interval: 64,
-        }
-    }
-}
-
-/// One answer of a streaming PT-k evaluation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct StreamAnswer {
-    /// The tuple's id as reported by the source.
-    pub id: TupleId,
-    /// Its ranking score.
-    pub score: f64,
-    /// Its exact top-k probability.
-    pub probability: f64,
-}
-
-/// The result of a streaming PT-k evaluation.
-#[derive(Debug, Clone)]
-pub struct StreamPtkResult {
-    /// Tuples passing the threshold, in ranking order.
-    pub answers: Vec<StreamAnswer>,
-    /// Execution counters. `scanned` equals the number of tuples actually
-    /// pulled from the source.
-    pub stats: ExecStats,
-}
-
-/// One entry of the streaming compressed dominant set.
-#[derive(Debug, Clone, PartialEq)]
-enum Entry {
-    Indep {
-        prob: f64,
-    },
-    Rule {
-        key: RuleKey,
-        absorbed: u32,
-        mass: f64,
-    },
-}
-
-impl Entry {
-    fn mass(&self) -> f64 {
-        match self {
-            Entry::Indep { prob } => *prob,
-            Entry::Rule { mass, .. } => *mass,
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct RuleScan {
-    mass: f64,
-    absorbed: u32,
-    /// Scan index of the most recent absorption (recency ordering).
-    last_touch: usize,
-    /// Theorem 3(2)/4 state.
-    failed_whole: bool,
-    failed_member_max: f64,
-}
+/// The result of a source-based PT-k evaluation — the same type as
+/// [`PtkResult`] since the engines merged.
+pub type StreamPtkResult = PtkResult;
 
 /// Answers a PT-k query over a progressive ranked source.
 ///
 /// Pulls tuples from `source` in ranking order, computing each retrieved
 /// tuple's exact top-k probability, and stops retrieving as soon as the
 /// pruning rules certify that no further tuple can pass `threshold`.
+/// Delegates to [`PtkExecutor`].
 ///
 /// # Panics
 /// Panics if `k == 0`, `threshold` is outside `(0, 1]`, or the source
@@ -121,14 +59,12 @@ pub fn evaluate_ptk_source<S: RankedSource + ?Sized>(
 }
 
 /// [`evaluate_ptk_source`] with observability: execution counters (under
-/// the [`counters`] names), the answer count, and per-phase wall-clock
-/// spans are recorded into `recorder`. The streaming engine's phases map
-/// directly onto spans: `engine.phase.retrieval` (pulling from the
-/// source), `engine.phase.reorder` (rebuilding the desired dominant-set
-/// ordering), `engine.phase.dp` (recomputing invalidated DP rows) and
-/// `engine.phase.bound` (the periodic early-exit check), all under an
-/// `engine.query` umbrella span. With a disabled recorder this is exactly
-/// [`evaluate_ptk_source`] — no clock is ever read.
+/// the [`counters`](crate::counters) names), the answer count, and
+/// per-phase wall-clock spans (`engine.phase.retrieval`,
+/// `engine.phase.reorder`, `engine.phase.dp`, `engine.phase.bound`, all
+/// under an `engine.query` umbrella span) are recorded into `recorder`.
+/// With a disabled recorder this is exactly [`evaluate_ptk_source`] — no
+/// clock is ever read.
 ///
 /// # Panics
 /// Panics if `k == 0`, `threshold` is outside `(0, 1]`, or the source
@@ -140,233 +76,39 @@ pub fn evaluate_ptk_source_recorded<S: RankedSource + ?Sized>(
     options: &StreamOptions,
     recorder: &dyn Recorder,
 ) -> StreamPtkResult {
-    assert!(k > 0, "top-k queries require k >= 1");
-    assert!(
-        threshold > 0.0 && threshold <= 1.0,
-        "PT-k thresholds must be in (0, 1], got {threshold}"
-    );
-    let _query_span = ptk_obs::span(recorder, "engine.query");
-    let mut retrieval_clock = PhaseClock::new(recorder);
-    let mut reorder_clock = PhaseClock::new(recorder);
-    let mut dp_clock = PhaseClock::new(recorder);
-    let mut bound_clock = PhaseClock::new(recorder);
+    let plan = PtkPlan::new(k, threshold, options);
+    PtkExecutor::with_recorder(&plan, recorder).execute(source)
+}
 
-    let mut entries: Vec<Entry> = Vec::new();
-    let mut rows: Vec<Vec<f64>> = vec![dp::unit_row(k)];
-    let mut independents: Vec<f64> = Vec::new(); // arrival order
-    let mut rules: HashMap<RuleKey, RuleScan> = HashMap::new();
-    let mut stats = ExecStats::default();
-    let mut answers = Vec::new();
-    let mut answer_mass = 0.0f64;
-    let mut failed_member_max = 0.0f64;
-    let mut last_score = f64::INFINITY;
-    let mut step = 0usize;
-
-    while let Some(tuple) = retrieval_clock.time(|| source.next_ranked()) {
-        assert!(
-            tuple.score <= last_score + 1e-9,
-            "source delivered scores out of order: {} after {last_score}",
-            tuple.score
-        );
-        last_score = tuple.score;
-        step += 1;
-        stats.scanned += 1;
-
-        // Pruning decision (Theorems 3 and 4).
-        let mut pruned_membership = false;
-        let mut pruned_rule = false;
-        if options.pruning {
-            match tuple.rule {
-                None => {
-                    if tuple.prob <= failed_member_max {
-                        pruned_membership = true;
-                    }
-                }
-                Some(key) => {
-                    let first_encounter = rules.get(&key).is_none_or(|r| r.absorbed == 0);
-                    let rs = rules.entry(key).or_default();
-                    if first_encounter {
-                        if let Some(mass) = source.rule_mass(key) {
-                            if mass <= failed_member_max {
-                                rs.failed_whole = true;
-                            }
-                        }
-                    }
-                    if rs.failed_whole || tuple.prob <= rs.failed_member_max {
-                        pruned_rule = true;
-                    }
-                }
-            }
-        }
-
-        if pruned_membership || pruned_rule {
-            if pruned_membership {
-                stats.pruned_membership += 1;
-            } else {
-                stats.pruned_rule += 1;
-            }
-        } else {
-            // Build the desired dominant-set list lazily: keep the longest
-            // still-valid prefix of the previous list, then append changed
-            // or new entries — independents first, then open rule-tuples by
-            // absorption recency (oldest first).
-            let own_rule = tuple.rule;
-            let desired: Vec<Entry> = reorder_clock.time(|| {
-                let valid_len = entries
-                    .iter()
-                    .take_while(|e| match e {
-                        Entry::Indep { .. } => true,
-                        Entry::Rule { key, absorbed, .. } => {
-                            Some(*key) != own_rule
-                                && rules.get(key).is_some_and(|r| r.absorbed == *absorbed)
-                        }
-                    })
-                    .count();
-                let mut desired: Vec<Entry> = entries[..valid_len].to_vec();
-                let mut kept_indeps = 0usize;
-                let mut kept_rules: std::collections::HashSet<RuleKey> =
-                    std::collections::HashSet::new();
-                for e in &desired {
-                    match e {
-                        Entry::Indep { .. } => kept_indeps += 1,
-                        Entry::Rule { key, .. } => {
-                            kept_rules.insert(*key);
-                        }
-                    }
-                }
-                // Independents are interchangeable (same multiset
-                // semantics): re-add however many of them fell off the
-                // prefix, in arrival order from the rear.
-                for &prob in &independents[kept_indeps..] {
-                    desired.push(Entry::Indep { prob });
-                }
-                let mut open: Vec<(usize, Entry)> = rules
-                    .iter()
-                    .filter(|(key, rs)| {
-                        rs.absorbed > 0 && Some(**key) != own_rule && !kept_rules.contains(key)
-                    })
-                    .map(|(key, rs)| {
-                        (
-                            rs.last_touch,
-                            Entry::Rule {
-                                key: *key,
-                                absorbed: rs.absorbed,
-                                mass: rs.mass,
-                            },
-                        )
-                    })
-                    .collect();
-                open.sort_by_key(|(touch, _)| *touch);
-                desired.extend(open.into_iter().map(|(_, e)| e));
-                desired
-            });
-
-            let prefix = entries
-                .iter()
-                .zip(&desired)
-                .take_while(|(a, b)| a == b)
-                .count();
-            let recomputed = desired.len() - prefix;
-            stats.entries_recomputed += recomputed as u64;
-            stats.dp_cells += (recomputed * k) as u64;
-            dp_clock.time(|| {
-                rows.truncate(prefix + 1);
-                for e in &desired[prefix..] {
-                    let mut row = rows.last().expect("rows never empty").clone();
-                    dp::convolve_in_place(&mut row, e.mass());
-                    rows.push(row);
-                }
-            });
-            entries = desired;
-
-            let prk = tuple.prob * dp::partial_sum(rows.last().expect("rows never empty"));
-            stats.evaluated += 1;
-            if prk >= threshold {
-                answers.push(StreamAnswer {
-                    id: tuple.id,
-                    score: tuple.score,
-                    probability: prk,
-                });
-                answer_mass += prk;
-            } else if options.pruning {
-                match tuple.rule {
-                    None => failed_member_max = failed_member_max.max(tuple.prob),
-                    Some(key) => {
-                        let rs = rules.entry(key).or_default();
-                        rs.failed_member_max = rs.failed_member_max.max(tuple.prob);
-                    }
-                }
-            }
-        }
-
-        // Fold the tuple into the pool.
-        match tuple.rule {
-            None => independents.push(tuple.prob),
-            Some(key) => {
-                let rs = rules.entry(key).or_default();
-                rs.mass += tuple.prob;
-                rs.absorbed += 1;
-                rs.last_touch = step;
-            }
-        }
-
-        if options.pruning {
-            // Theorem 5.
-            if answer_mass > k as f64 - threshold {
-                stats.stop = Some(StopReason::TotalTopK);
-                break;
-            }
-            // Early-exit upper bound (periodic).
-            if stats.scanned % options.ub_check_interval.max(1) == 0 {
-                let ub = bound_clock.time(|| {
-                    let mut pool = dp::unit_row(k);
-                    for &prob in &independents {
-                        dp::convolve_in_place(&mut pool, prob);
-                    }
-                    for rs in rules.values() {
-                        if rs.absorbed > 0 {
-                            dp::convolve_in_place(&mut pool, rs.mass);
-                        }
-                    }
-                    let mut ub: f64 = dp::partial_sum(&pool);
-                    for rs in rules.values() {
-                        if rs.absorbed == 0 {
-                            continue;
-                        }
-                        let without = match dp::deconvolve(&pool, rs.mass) {
-                            // Slack covers undetectable shed mass; see
-                            // `DECONVOLVE_MASS_SLACK`.
-                            Some(row) => dp::partial_sum(&row) + dp::DECONVOLVE_MASS_SLACK,
-                            None => 1.0,
-                        };
-                        ub = ub.max(without);
-                    }
-                    ub.min(1.0)
-                });
-                if ub < threshold {
-                    stats.stop = Some(StopReason::UpperBound);
-                    break;
-                }
-            }
-        }
-    }
-
-    retrieval_clock.flush(recorder, "engine.phase.retrieval");
-    reorder_clock.flush(recorder, "engine.phase.reorder");
-    dp_clock.flush(recorder, "engine.phase.dp");
-    bound_clock.flush(recorder, "engine.phase.bound");
-    stats.record_to(recorder);
-    recorder.add(counters::ANSWERS, answers.len() as u64);
-    StreamPtkResult { answers, stats }
+/// Answers the same top-k query for several probability thresholds in one
+/// scan of `source`: `result[i]` lists the answers for `thresholds[i]`.
+///
+/// The source-path twin of
+/// [`evaluate_ptk_multi`](crate::evaluate_ptk_multi): the scan's pruning is
+/// keyed to the smallest threshold, so one retrieval pass (and one shared
+/// DP prefix) serves the whole sweep over *any* [`RankedSource`].
+///
+/// # Panics
+/// Panics if `k == 0`, `thresholds` is empty, any threshold is outside
+/// `(0, 1]`, or the source delivers scores out of order.
+pub fn evaluate_ptk_multi_source<S: RankedSource + ?Sized>(
+    source: &mut S,
+    k: usize,
+    thresholds: &[f64],
+    options: &StreamOptions,
+) -> Vec<Vec<AnswerTuple>> {
+    let plan = PtkPlan::multi(k, thresholds, options);
+    let result = PtkExecutor::new(&plan).execute(source);
+    thresholds.iter().map(|&p| result.answers_at(p)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ptk_access::{SortedVecSource, ViewSource};
-    use ptk_core::RankedView;
+    use ptk_core::{RankedView, TupleId};
 
-    use crate::exact::{evaluate_ptk, EngineOptions};
+    use crate::exact::evaluate_ptk;
 
     fn panda() -> RankedView {
         RankedView::from_ranked_probs(&[0.3, 0.4, 0.8, 0.5, 1.0, 0.2], &[vec![1, 3], vec![2, 5]])
@@ -380,9 +122,9 @@ mod tests {
         let mut source = ViewSource::new(&view);
         let stream = evaluate_ptk_source(&mut source, 2, 0.35, &StreamOptions::default());
         assert_eq!(stream.answers.len(), batch.answers.len());
-        for (s, &pos) in stream.answers.iter().zip(&batch.answers) {
-            assert_eq!(s.id, view.tuple(pos).id);
-            assert!((s.probability - batch.probabilities[pos].unwrap()).abs() < 1e-12);
+        for (s, b) in stream.answers.iter().zip(&batch.answers) {
+            assert_eq!(s.id, view.tuple(b.rank).id);
+            assert!((s.probability - b.probability).abs() < 1e-12);
         }
     }
 
@@ -449,5 +191,21 @@ mod tests {
         assert_eq!(result.stats.scanned, 6);
         assert_eq!(result.stats.evaluated, 6);
         assert_eq!(result.answers.len(), 3);
+    }
+
+    #[test]
+    fn multi_source_matches_per_threshold_runs() {
+        let view = panda();
+        let thresholds = [0.9, 0.35, 0.1, 0.5];
+        let mut source = ViewSource::new(&view);
+        let multi =
+            evaluate_ptk_multi_source(&mut source, 2, &thresholds, &StreamOptions::default());
+        for (i, &p) in thresholds.iter().enumerate() {
+            let mut fresh = ViewSource::new(&view);
+            let single = evaluate_ptk_source(&mut fresh, 2, p, &StreamOptions::default());
+            let ids: Vec<usize> = multi[i].iter().map(|a| a.id.index()).collect();
+            let expect: Vec<usize> = single.answers.iter().map(|a| a.id.index()).collect();
+            assert_eq!(ids, expect, "threshold {p}");
+        }
     }
 }

@@ -163,7 +163,7 @@ fn upper_bound_early_exit_stays_conservative_under_adversarial_masses() {
                 };
                 let result = evaluate_ptk(&view, k, threshold, &options);
                 prop_assert_eq!(
-                    &result.answers,
+                    &result.answer_ranks(),
                     &oracle,
                     "{variant:?} k={k} p={threshold}: engine disagrees with enumeration"
                 );

@@ -70,7 +70,7 @@ fn all_certain_tuples() {
     assert_eq!(&pr[3..], &[0.0, 0.0, 0.0]);
     // Pruning stops immediately after the top 3 certain tuples pass.
     let result = evaluate_ptk(&view, 3, 0.5, &EngineOptions::default());
-    assert_eq!(result.answers, vec![0, 1, 2]);
+    assert_eq!(result.answer_ranks(), vec![0, 1, 2]);
     assert!(result.stats.stopped_early());
     assert!(result.stats.scanned <= 4);
 }
@@ -128,7 +128,7 @@ fn threshold_exactly_one_returns_only_certain_topk() {
     // Position 0 is certain and always first. Position 2 (certain) is in
     // the top-2 iff position 1 is absent (probability 0.5) — fails. Position
     // 1 is present only half the time — fails.
-    assert_eq!(result.answers, vec![0]);
+    assert_eq!(result.answer_ranks(), vec![0]);
 }
 
 #[test]
@@ -140,5 +140,5 @@ fn pruning_with_interval_larger_than_view() {
     };
     let result = evaluate_ptk(&view, 2, 0.5, &options);
     let oracle = naive::ptk_answer(&view, 2, 0.5).unwrap();
-    assert_eq!(result.answers, oracle);
+    assert_eq!(result.answer_ranks(), oracle);
 }

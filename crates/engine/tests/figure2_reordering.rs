@@ -37,7 +37,7 @@ fn trace(variant: SharingVariant) -> (Vec<Vec<Entry>>, u64) {
     let mut scanner = Scanner::new(&view, 2, variant);
     let mut lists = Vec::new();
     while scanner.step().is_some() {
-        lists.push(scanner.entries().to_vec());
+        lists.push(scanner.entries());
     }
     (lists, scanner.entries_recomputed())
 }

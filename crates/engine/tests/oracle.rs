@@ -90,7 +90,8 @@ fn ptk_answers_match_enumeration_with_and_without_pruning() {
                 let metrics = Metrics::new();
                 let result = evaluate_ptk_recorded(&view, k, threshold, &options, &metrics);
                 assert_eq!(
-                    result.answers, oracle,
+                    result.answer_ranks(),
+                    oracle,
                     "trial {trial} k={k} p={threshold} {variant:?} pruning={pruning}"
                 );
 
@@ -231,6 +232,54 @@ fn registry_accumulates_across_queries() {
         single.counter(counters::SCANNED) > 0,
         "sanity: scan recorded"
     );
+}
+
+#[test]
+fn wrapper_delegates_to_executor_bit_for_bit() {
+    // Parity matrix, wrapper axis: the legacy `evaluate_ptk` entry point
+    // must be indistinguishable from planning + executing by hand over a
+    // `ViewSource` — bit-identical answers (rank, id, score, Pr^k), the
+    // full per-position probability vector, and every counter (scan
+    // depth, DP-cell count, recompute cost, stop reason) — across all
+    // three sharing variants, with and without pruning.
+    use ptk_access::ViewSource;
+    use ptk_engine::{PtkExecutor, PtkPlan};
+
+    let mut rng = StdRng::seed_from_u64(0x5eed_0008);
+    for trial in 0..30 {
+        let view = random_view(&mut rng, 12);
+        let k = rng.random_range(1..=4usize);
+        let threshold = rng.random_range(0.05..=0.95f64);
+        for pruning in [false, true] {
+            for variant in [
+                SharingVariant::Rc,
+                SharingVariant::Aggressive,
+                SharingVariant::Lazy,
+            ] {
+                let options = EngineOptions {
+                    variant,
+                    pruning,
+                    ub_check_interval: 1,
+                };
+                let wrapper = evaluate_ptk(&view, k, threshold, &options);
+
+                let plan = PtkPlan::new(k, threshold, &options);
+                let mut source = ViewSource::new(&view);
+                let mut direct = PtkExecutor::new(&plan).execute(&mut source);
+                // The wrapper pads the probability vector out to the full
+                // view length; mirror that before comparing.
+                direct.probabilities.resize(view.len(), None);
+
+                let ctx = format!("trial {trial} k={k} {variant:?} pruning={pruning}");
+                assert_eq!(wrapper.answers, direct.answers, "{ctx}: answers");
+                assert_eq!(
+                    wrapper.probabilities, direct.probabilities,
+                    "{ctx}: probabilities"
+                );
+                assert_eq!(wrapper.stats, direct.stats, "{ctx}: stats");
+            }
+        }
+    }
 }
 
 #[test]

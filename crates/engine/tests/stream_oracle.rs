@@ -7,8 +7,8 @@ use ptk_core::rng::{RngExt, SeedableRng, StdRng};
 use ptk_access::{AggregateFn, SortedVecSource, TaSource, ViewSource};
 use ptk_core::RankedView;
 use ptk_engine::{
-    evaluate_ptk, evaluate_ptk_source, evaluate_ptk_source_recorded, EngineOptions, ExecStats,
-    StreamOptions,
+    evaluate_ptk, evaluate_ptk_multi_source, evaluate_ptk_source, evaluate_ptk_source_recorded,
+    EngineOptions, ExecStats, StreamOptions,
 };
 use ptk_obs::Metrics;
 use ptk_worlds::naive;
@@ -109,13 +109,13 @@ fn stream_probabilities_match_view_engine() {
             "trial {trial}: scanned ≠ evaluated + pruned"
         );
         assert_eq!(stream.answers.len(), batch.answers.len(), "trial {trial}");
-        for (s, &pos) in stream.answers.iter().zip(&batch.answers) {
-            assert_eq!(s.id, view.tuple(pos).id, "trial {trial}");
+        for (s, b) in stream.answers.iter().zip(&batch.answers) {
+            assert_eq!(s.id, view.tuple(b.rank).id, "trial {trial}");
             assert!(
-                (s.probability - batch.probabilities[pos].unwrap()).abs() < 1e-10,
+                (s.probability - batch.probabilities[b.rank].unwrap()).abs() < 1e-10,
                 "trial {trial}: {} vs {:?}",
                 s.probability,
-                batch.probabilities[pos]
+                batch.probabilities[b.rank]
             );
         }
     }
@@ -171,6 +171,124 @@ fn ta_stream_matches_oracle_on_multi_attribute_tables() {
         let result = evaluate_ptk_source(&mut source, k, p, &StreamOptions::default());
         let stream_ids: Vec<usize> = result.answers.iter().map(|a| a.id.index()).collect();
         assert_eq!(stream_ids, oracle_ids, "trial {trial} k={k} p={p:.2}");
+    }
+}
+
+#[test]
+fn view_and_source_paths_are_bit_identical_across_variants() {
+    // Parity matrix, source axis: the view path (`evaluate_ptk` over the
+    // materialized `RankedView`) and the source path (`evaluate_ptk_source`
+    // over a `SortedVecSource` of the same raw rows) must agree bit for bit
+    // — every counter (scan depth, DP cells, recompute cost, stop reason)
+    // and every answer probability — across RC / RC+AR / RC+LR, with and
+    // without pruning.
+    //
+    // Bit-identity (not just tolerance) holds because `random_rows` emits
+    // rows in rank order with rule keys assigned sequentially, and
+    // `view_of` sorts rule groups lexicographically: the view's rule-index
+    // order equals the source's rule-key order, so both paths discover
+    // rules in the same order, keep identical pool layouts, and sum each
+    // rule's mass over members in the same (ranked) order.
+    let mut rng = StdRng::seed_from_u64(0x57a7);
+    for trial in 0..40 {
+        let rows = random_rows(&mut rng, 12);
+        let (view, order) = view_of(&rows);
+        let k = rng.random_range(1..=4usize);
+        let p = rng.random_range(0.1..0.9f64);
+        for pruning in [false, true] {
+            for variant in [
+                ptk_engine::SharingVariant::Rc,
+                ptk_engine::SharingVariant::Aggressive,
+                ptk_engine::SharingVariant::Lazy,
+            ] {
+                let options = EngineOptions {
+                    variant,
+                    pruning,
+                    ub_check_interval: 2,
+                };
+                let batch = evaluate_ptk(&view, k, p, &options);
+                let mut source = SortedVecSource::from_unsorted(rows.clone()).unwrap();
+                let stream = evaluate_ptk_source(&mut source, k, p, &options);
+
+                let ctx = format!("trial {trial} k={k} p={p:.3} {variant:?} pruning={pruning}");
+                assert_eq!(stream.stats, batch.stats, "{ctx}: stats");
+                assert_eq!(stream.answers.len(), batch.answers.len(), "{ctx}");
+                for (s, b) in stream.answers.iter().zip(&batch.answers) {
+                    assert_eq!(s.rank, b.rank, "{ctx}: answer rank");
+                    assert_eq!(s.id.index(), order[b.rank], "{ctx}: answer id");
+                    assert_eq!(
+                        s.probability.to_bits(),
+                        b.probability.to_bits(),
+                        "{ctx}: Pr^k bits {} vs {}",
+                        s.probability,
+                        b.probability
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_threshold_works_over_any_source() {
+    // The batch API must serve a whole threshold sweep from one scan of
+    // *any* `RankedSource`, matching per-threshold single runs.
+    let mut rng = StdRng::seed_from_u64(0x57a8);
+    for trial in 0..25 {
+        let rows = random_rows(&mut rng, 12);
+        let k = rng.random_range(1..=4usize);
+        let thresholds = [0.8, rng.random_range(0.1..0.9f64), 0.25];
+
+        let mut source = SortedVecSource::from_unsorted(rows.clone()).unwrap();
+        let multi =
+            evaluate_ptk_multi_source(&mut source, k, &thresholds, &StreamOptions::default());
+        for (i, &p) in thresholds.iter().enumerate() {
+            let mut fresh = SortedVecSource::from_unsorted(rows.clone()).unwrap();
+            let single = evaluate_ptk_source(&mut fresh, k, p, &StreamOptions::default());
+            let ids: Vec<usize> = multi[i].iter().map(|a| a.id.index()).collect();
+            let expect: Vec<usize> = single.answers.iter().map(|a| a.id.index()).collect();
+            assert_eq!(ids, expect, "trial {trial} threshold {p}: ids");
+            for (m, s) in multi[i].iter().zip(&single.answers) {
+                assert!(
+                    (m.probability - s.probability).abs() < 1e-12,
+                    "trial {trial} threshold {p}: {} vs {}",
+                    m.probability,
+                    s.probability
+                );
+            }
+        }
+    }
+
+    // And over a TA-middleware source (multi-attribute rows, no
+    // precomputed ranking): same sweep-vs-single agreement.
+    let mut rng = StdRng::seed_from_u64(0x57a9);
+    for trial in 0..15 {
+        let n = rng.random_range(1..=10usize);
+        let attrs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    i as f64 * 3.0 + rng.random_range(0.0..1.0f64),
+                    rng.random_range(0.0..10.0f64),
+                ]
+            })
+            .collect();
+        let probs: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..=1.0f64)).collect();
+        let rules: Vec<Option<u32>> = vec![None; n];
+        let k = rng.random_range(1..=3usize);
+        let thresholds = [0.7, 0.3];
+
+        let mut source =
+            TaSource::new(&attrs, probs.clone(), rules.clone(), AggregateFn::Sum).unwrap();
+        let multi =
+            evaluate_ptk_multi_source(&mut source, k, &thresholds, &StreamOptions::default());
+        for (i, &p) in thresholds.iter().enumerate() {
+            let mut fresh =
+                TaSource::new(&attrs, probs.clone(), rules.clone(), AggregateFn::Sum).unwrap();
+            let single = evaluate_ptk_source(&mut fresh, k, p, &StreamOptions::default());
+            let ids: Vec<usize> = multi[i].iter().map(|a| a.id.index()).collect();
+            let expect: Vec<usize> = single.answers.iter().map(|a| a.id.index()).collect();
+            assert_eq!(ids, expect, "ta trial {trial} threshold {p}");
+        }
     }
 }
 

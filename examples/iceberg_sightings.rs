@@ -31,16 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.answers.len()
     );
     let source_col = ds.table.column_index("source").unwrap();
-    for &pos in &result.answers {
-        let t = ds.view.tuple(pos);
+    for a in &result.answers {
+        let t = ds.view.tuple(a.rank);
         let row = ds.table.tuple(t.id);
         println!(
             "  rank {:>3}  drifted {:>6.1} days  source {:<5}  membership {:.3}  Pr^10 = {:.3}",
-            pos + 1,
+            a.rank + 1,
             t.key.unwrap(),
             row.attr(source_col).unwrap(),
             t.prob,
-            result.probabilities[pos].unwrap(),
+            a.probability,
         );
     }
     println!(
@@ -87,16 +87,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's qualitative observations, checked on this dataset.
     let (pr, _) = topk_probabilities(&ds.view, k, SharingVariant::Lazy);
-    let in_ptk = |pos: usize| result.answers.contains(&pos);
-    let missed_by_utopk: Vec<usize> = result
-        .answers
+    let answer_ranks = result.answer_ranks();
+    let in_ptk = |pos: usize| answer_ranks.contains(&pos);
+    let missed_by_utopk: Vec<usize> = answer_ranks
         .iter()
         .copied()
         .filter(|pos| !ut.vector.contains(pos))
         .collect();
     let kr_positions: Vec<usize> = kr.iter().map(|e| e.position).collect();
-    let missed_by_ukranks: Vec<usize> = result
-        .answers
+    let missed_by_ukranks: Vec<usize> = answer_ranks
         .iter()
         .copied()
         .filter(|pos| !kr_positions.contains(pos))

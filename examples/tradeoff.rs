@@ -47,7 +47,7 @@ fn main() {
             let result = evaluate_ptk(&ds.view, k, p, &EngineOptions::with_variant(variant));
             times.push(started.elapsed().as_secs_f64() * 1e3);
             scanned = result.stats.scanned;
-            exact_answers = result.answers;
+            exact_answers = result.answer_ranks();
         }
 
         let options = SamplingOptions {

@@ -72,8 +72,9 @@ pub use ptk_core::{
     UncertainTableBuilder, Value,
 };
 pub use ptk_engine::{
-    evaluate_ptk_source, EngineOptions as ExactOptions, ExecStats, SharingVariant, StopReason,
-    StreamOptions, StreamPtkResult,
+    evaluate_ptk_multi_source, evaluate_ptk_source, AnswerTuple, EngineOptions as ExactOptions,
+    ExecStats, PtkExecutor, PtkPlan, PtkResult, SharingVariant, StopReason, StreamOptions,
+    StreamPtkResult,
 };
 pub use ptk_rankers::{expected_rank_topk, expected_ranks, ukranks, utopk};
 pub use ptk_sampling::{SamplingOptions, StopCriterion};
@@ -112,9 +113,9 @@ pub fn answer_exact(
     let matches = result
         .answers
         .iter()
-        .map(|&pos| TupleMatch {
-            id: view.tuple(pos).id,
-            probability: result.probabilities[pos].expect("answers are always evaluated"),
+        .map(|a| TupleMatch {
+            id: a.id,
+            probability: a.probability,
         })
         .collect();
     Ok(PtkAnswer {
