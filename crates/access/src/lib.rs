@@ -63,5 +63,8 @@ pub mod counters {
 
 pub use bytebuf::ByteBuf;
 pub use file::{write_run, FileSource};
-pub use source::{RankedSource, RuleKey, SortedVecSource, SourceTuple, ViewSource};
+pub use source::{
+    RankedSource, RuleKey, SnapshotSource, SortedVecCursor, SortedVecSource, SourceTuple,
+    ViewSource,
+};
 pub use ta::{AggregateFn, SortedList, TaSource};

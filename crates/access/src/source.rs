@@ -63,6 +63,20 @@ pub trait RankedSource {
     fn retrieved(&self) -> usize;
 }
 
+/// An immutable ranked dataset that can hand out independent scan cursors.
+///
+/// This is the sharing boundary of the batch executor: one snapshot is
+/// borrowed by every worker thread (`Sync`), and each worker [`fork`]s its
+/// own [`RankedSource`] cursor so concurrent scans never contend on shared
+/// mutable state. Forked cursors must all observe the same ranking — a
+/// fork is a fresh scan of the same data, not a view of live updates.
+///
+/// [`fork`]: SnapshotSource::fork
+pub trait SnapshotSource: Sync {
+    /// A fresh cursor positioned before the first (highest-score) tuple.
+    fn fork(&self) -> Box<dyn RankedSource + '_>;
+}
+
 /// A [`RankedSource`] over a materialized [`RankedView`] — the adapter
 /// connecting the streaming engine to everything that already produces
 /// views (tables, generators).
@@ -95,6 +109,12 @@ impl<'v> ViewSource<'v> {
             cursor: 0,
             keyed,
         }
+    }
+}
+
+impl SnapshotSource for RankedView {
+    fn fork(&self) -> Box<dyn RankedSource + '_> {
+        Box::new(ViewSource::new(self))
     }
 }
 
@@ -230,6 +250,50 @@ impl SortedVecSource {
     }
 }
 
+/// A borrowing scan cursor over a [`SortedVecSource`] — what
+/// [`SnapshotSource::fork`] hands each batch worker, so forks share the
+/// sorted tuples and rule layout instead of deep-cloning them.
+#[derive(Debug)]
+pub struct SortedVecCursor<'a> {
+    src: &'a SortedVecSource,
+    cursor: usize,
+}
+
+impl RankedSource for SortedVecCursor<'_> {
+    fn next_ranked(&mut self) -> Option<SourceTuple> {
+        let t = self.src.tuples.get(self.cursor).copied();
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn rule_mass(&self, rule: RuleKey) -> Option<f64> {
+        self.src.rule_mass(rule)
+    }
+
+    fn rule_len(&self, rule: RuleKey) -> Option<usize> {
+        self.src.rule_len(rule)
+    }
+
+    fn rule_member_rank(&self, rule: RuleKey, member: usize) -> Option<usize> {
+        self.src.rule_member_rank(rule, member)
+    }
+
+    fn retrieved(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl SnapshotSource for SortedVecSource {
+    fn fork(&self) -> Box<dyn RankedSource + '_> {
+        Box::new(SortedVecCursor {
+            src: self,
+            cursor: 0,
+        })
+    }
+}
+
 impl RankedSource for SortedVecSource {
     fn next_ranked(&mut self) -> Option<SourceTuple> {
         let t = self.tuples.get(self.cursor).copied();
@@ -358,6 +422,35 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn forked_cursors_scan_independently() {
+        let src = SortedVecSource::from_unsorted(vec![
+            (3.0, 0.4, Some(0)),
+            (2.0, 0.5, Some(0)),
+            (1.0, 0.9, None),
+        ])
+        .unwrap();
+        let mut a = src.fork();
+        let mut b = src.fork();
+        assert_eq!(a.next_ranked().unwrap().score, 3.0);
+        assert_eq!(a.next_ranked().unwrap().score, 2.0);
+        // b's cursor is unaffected by a's progress.
+        assert_eq!(b.next_ranked().unwrap().score, 3.0);
+        assert_eq!(a.retrieved(), 2);
+        assert_eq!(b.retrieved(), 1);
+        // Layout hints pass through the fork.
+        assert!((a.rule_mass(RuleKey(0)).unwrap() - 0.9).abs() < 1e-12);
+        assert_eq!(b.rule_len(RuleKey(0)), Some(2));
+        assert_eq!(b.rule_member_rank(RuleKey(0), 1), Some(1));
+
+        let view = RankedView::from_ranked_probs(&[0.3, 0.4], &[]).unwrap();
+        let mut va = view.fork();
+        let mut vb = view.fork();
+        assert_eq!(va.next_ranked().unwrap().prob, 0.3);
+        assert_eq!(vb.next_ranked().unwrap().prob, 0.3);
+        assert_eq!(va.retrieved(), 1);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Batch-executor thread scaling on the Figure 5 default workload.
+//!
+//! Builds one batch of PT-k plans (a k × p cross product over the default
+//! synthetic dataset) and times `PtkExecutor::execute_batch` at 1, 2, 4 and
+//! 8 worker threads. Every width must return bit-identical answers — the
+//! pool only changes wall-clock time — and the run asserts exactly that
+//! against the single-threaded reference on every lap.
+//!
+//! Writes `target/experiments/BENCH_batch_scaling.json`: per-width laps
+//! with median/IQR, the speedup of each width over one thread, and the
+//! timing-free merged metrics snapshot (identical at every width, so the
+//! artifact stays diffable across machines).
+//!
+//! Set `PTK_ASSERT_SCALING=<ratio>` to fail the run unless the 4-thread
+//! median is at least `<ratio>`× faster than 1 thread (CI uses a coarse
+//! `1.0` gate; meaningful speedups need a multi-core host). Set
+//! `PTK_SMOKE=1` for a reduced workload (smaller dataset, fewer laps) so
+//! the determinism checks and the gate still run in seconds.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ptk_bench::{fmt, sweeps, BenchRecord, Report};
+use ptk_datagen::{SyntheticConfig, SyntheticDataset};
+use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan, PtkResult};
+use ptk_par::ThreadPool;
+
+/// Worker-pool widths to sweep.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Query depths in the batch (a slice of the Figure 5c sweep).
+const BATCH_KS: [usize; 4] = [50, 100, 200, 400];
+/// Probability thresholds in the batch (a slice of the Figure 5d sweep).
+const BATCH_PS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// Reduced workload for `PTK_SMOKE=1` runs — small enough to finish in
+/// seconds, large enough that per-lap work dwarfs thread-spawn overhead
+/// (the scaling gate is meaningless on sub-millisecond laps).
+const SMOKE_TUPLES: usize = 5_000;
+const SMOKE_RULES: usize = 500;
+const SMOKE_KS: [usize; 2] = [50, 100];
+
+fn assert_bit_identical(reference: &[PtkResult], candidate: &[PtkResult], width: usize) {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "width {width}: batch size"
+    );
+    for (i, (a, b)) in reference.iter().zip(candidate).enumerate() {
+        assert_eq!(a.answers, b.answers, "width {width}, plan {i}: answers");
+        let bits = |r: &PtkResult| -> Vec<Option<u64>> {
+            r.probabilities
+                .iter()
+                .map(|p| p.map(f64::to_bits))
+                .collect()
+        };
+        assert_eq!(bits(a), bits(b), "width {width}, plan {i}: probabilities");
+        assert_eq!(a.stats, b.stats, "width {width}, plan {i}: stats");
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("PTK_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let laps: usize = if smoke { 3 } else { 5 };
+    let ds = if smoke {
+        SyntheticDataset::generate(&SyntheticConfig {
+            tuples: SMOKE_TUPLES,
+            rules: SMOKE_RULES,
+            seed: sweeps::SEED,
+            ..Default::default()
+        })
+    } else {
+        sweeps::dataset(0.5, 5.0)
+    };
+    let ks: &[usize] = if smoke { &SMOKE_KS } else { &BATCH_KS };
+    let view = &ds.view;
+    let mut plans = Vec::new();
+    for &k in ks {
+        for &p in &BATCH_PS {
+            plans.push(PtkPlan::new(k, p, &EngineOptions::default()));
+        }
+    }
+    let batch = PtkPlan::batch(&plans);
+    println!(
+        "batch of {} plans (k in {ks:?} x p in {BATCH_PS:?}) over {} tuples; host has {} hardware threads{}",
+        batch.len(),
+        view.len(),
+        ptk_par::available_threads(),
+        if smoke { " [smoke workload]" } else { "" },
+    );
+
+    // The single-threaded answers are the reference every width must match.
+    let reference = PtkExecutor::execute_batch(&batch, view, &ThreadPool::new(1));
+
+    let mut report = Report::new(
+        "fig5_batch_scaling",
+        &["threads", "median (ms)", "IQR (ms)", "speedup", "queries/s"],
+    );
+    let mut records = Vec::new();
+    for &width in &WIDTHS {
+        let pool = ThreadPool::new(width);
+        let mut record = BenchRecord::new(&format!("batch_scaling_t{width}"));
+        for _ in 0..laps {
+            let results = record.time(|| PtkExecutor::execute_batch(&batch, view, &pool));
+            assert_bit_identical(&reference, &results, width);
+        }
+        records.push((width, record));
+    }
+
+    let base_median = records[0].1.median_ms();
+    for (width, record) in &records {
+        let median = record.median_ms();
+        let speedup = base_median / median;
+        report.row(&[
+            width,
+            &fmt(median, 3),
+            &fmt(record.iqr_ms(), 3),
+            &fmt(speedup, 2),
+            &fmt(batch.len() as f64 / (median / 1e3), 1),
+        ]);
+    }
+    report.finish();
+
+    // The merged snapshot is deterministic at any width (per-query
+    // registries merged in plan order); record it timing-free.
+    let (_, snapshot) = PtkExecutor::execute_batch_recorded(&batch, view, &ThreadPool::new(1));
+
+    let mut json = format!(
+        "{{\"experiment\":\"batch_scaling\",\"queries\":{},\"laps\":{laps},\"threads\":{{",
+        batch.len()
+    );
+    let sections: Vec<String> = records
+        .iter()
+        .map(|(width, record)| format!("\"{width}\":{}", record.to_json()))
+        .collect();
+    json.push_str(&sections.join(","));
+    json.push_str("},");
+    let speedup_of = |width: usize| -> f64 {
+        let record = &records.iter().find(|(w, _)| *w == width).expect("swept").1;
+        base_median / record.median_ms()
+    };
+    json.push_str(&format!(
+        "\"speedup_t2\":{:.3},\"speedup_t4\":{:.3},\"speedup_t8\":{:.3},\"metrics\":{}}}",
+        speedup_of(2),
+        speedup_of(4),
+        speedup_of(8),
+        snapshot.to_json(false),
+    ));
+
+    let dir = PathBuf::from("target/experiments");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    }
+    let path = dir.join("BENCH_batch_scaling.json");
+    match fs::write(&path, json + "\n") {
+        Ok(()) => println!("(bench record saved to {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    // Coarse CI gate: with PTK_ASSERT_SCALING=<ratio> the 4-thread median
+    // must be at least <ratio>x the 1-thread throughput.
+    if let Ok(raw) = std::env::var("PTK_ASSERT_SCALING") {
+        let required: f64 = raw
+            .parse()
+            .unwrap_or_else(|_| panic!("PTK_ASSERT_SCALING: cannot parse '{raw}' as a ratio"));
+        let measured = speedup_of(4);
+        assert!(
+            measured >= required,
+            "4-thread speedup {measured:.3}x is below the required {required:.2}x"
+        );
+        println!("scaling gate passed: 4-thread speedup {measured:.3}x >= {required:.2}x");
+    }
+
+    println!("\nfig5_batch_scaling: done");
+}

@@ -115,8 +115,36 @@ impl Flags {
             .ok_or_else(|| format!("--{name} is required"))
     }
 
+    /// A required flag whose value may be a comma-separated list
+    /// (`--k 10,20,50`). A single value parses as a one-element list, so
+    /// callers can treat every flag as a list uniformly.
+    fn require_list<T: std::str::FromStr>(&self, name: &str) -> Result<Vec<T>, String> {
+        let raw = self
+            .named
+            .get(name)
+            .ok_or_else(|| format!("--{name} is required"))?;
+        raw.split(',')
+            .map(|part| {
+                let part = part.trim();
+                part.parse()
+                    .map_err(|_| format!("--{name}: cannot parse '{part}'"))
+            })
+            .collect()
+    }
+
     fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// Builds the worker pool for batch execution: `--threads N` wins, else the
+/// `PTK_THREADS` environment variable, else a single worker. Thread count
+/// never affects answers — only wall-clock time.
+fn pool_from_flags(flags: &Flags) -> Result<ptk_par::ThreadPool, String> {
+    match flags.get::<usize>("threads")? {
+        Some(0) => Err("--threads must be at least 1".to_owned()),
+        Some(n) => Ok(ptk_par::ThreadPool::new(n)),
+        None => Ok(ptk_par::ThreadPool::from_env()),
     }
 }
 
@@ -338,6 +366,207 @@ mod tests {
             assert!(json.contains("\"counters\""), "{method}: {out}");
             assert!(json.contains("\"engine.answers\":3"), "{method}: {out}");
         }
+    }
+
+    #[test]
+    fn query_batch_runs_the_cross_product() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2,3",
+            "--p",
+            "0.35,0.6",
+            "--rank-by",
+            "duration",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("batch of 4 queries"), "{out}");
+        assert!(out.contains("(2 threads)"), "{out}");
+        // Each single-query answer block reappears verbatim inside the
+        // batch: same header (behind the `-- ` prefix), same rows.
+        for (k, p) in [("2", "0.35"), ("2", "0.6"), ("3", "0.35"), ("3", "0.6")] {
+            let single = dispatch(&args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                k,
+                "--p",
+                p,
+                "--rank-by",
+                "duration",
+            ]))
+            .unwrap();
+            let mut lines = single.lines();
+            let header = lines.next().unwrap();
+            assert!(out.contains(&format!("-- {header}")), "k={k} p={p}: {out}");
+            for row in lines {
+                assert!(out.contains(row), "k={k} p={p} missing row {row}: {out}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_stats_merges_all_queries() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35,0.6,0.9",
+            "--rank-by",
+            "duration",
+            "--stats",
+            "json",
+        ]))
+        .unwrap();
+        let json = out.lines().last().unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{out}");
+        assert!(json.contains("\"engine.scanned\""), "{out}");
+        // Three queries, each scanning the shared 6-tuple view.
+        assert!(json.contains("\"engine.scanned\":18"), "{out}");
+    }
+
+    #[test]
+    fn query_batch_rejects_non_exact_methods_and_bad_flags() {
+        let file = panda_file();
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2,3",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+            "--method",
+            "sampling",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("exact-only"), "{err}");
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2,,3",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--k: cannot parse ''"), "{err}");
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35,0.4",
+            "--rank-by",
+            "duration",
+            "--threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--threads must be at least 1"), "{err}");
+        // The single-query and single-statement paths validate it too.
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+            "--threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--threads must be at least 1"), "{err}");
+        let err = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration WITH PROBABILITY >= 0.35",
+            "--threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--threads must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn sql_batch_shares_one_view_across_statements() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration WITH PROBABILITY >= 0.35; \
+             SELECT TOP 3 FROM panda ORDER BY duration WITH PROBABILITY >= 0.6",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("batch of 2 statements"), "{out}");
+        assert!(out.contains("pass Pr^2 >= 0.35"), "{out}");
+        assert!(out.contains("pass Pr^3 >= 0.6"), "{out}");
+        // A trailing semicolon is not a second statement.
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration WITH PROBABILITY >= 0.35;",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        assert!(!out.contains("batch of"), "{out}");
+    }
+
+    #[test]
+    fn sql_batch_validates_its_statements() {
+        let file = panda_file();
+        let err = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration; \
+             SELECT TOP 2 FROM panda ORDER BY rid",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.contains("statement 2") && err.contains("ORDER BY"),
+            "{err}"
+        );
+        let err = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration; \
+             SELECT UTOPK 2 FROM panda ORDER BY duration",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("only SELECT TOP"), "{err}");
+        let err = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration; \
+             SELECT TOP 2 FROM panda ORDER BY duration USING naive",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("exact-only"), "{err}");
+        let err = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration; \
+             EXPLAIN SELECT TOP 2 FROM panda ORDER BY duration",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("EXPLAIN cannot be batched"), "{err}");
+        let err = dispatch(&args(&["sql", file.as_str(), " ; "])).unwrap_err();
+        assert!(err.contains("empty statement"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::io::Write;
 
 use ptk_access::ViewSource;
-use ptk_core::{Predicate, PtkQuery, RankedView, TopKQuery};
+use ptk_core::{Predicate, PtkQuery, RankedView, Ranking, TopKQuery, UncertainTable};
 use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan};
 use ptk_obs::{Metrics, Noop, Recorder};
 use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
@@ -12,19 +12,27 @@ use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
 use ptk_worlds::naive;
 
 use super::render::{
-    attrs_of, ptk_header, stats_mode, write_membership_row, write_ptk_rows, write_stats,
+    attrs_of, ptk_header, stats_mode, write_batch_answers, write_membership_row, write_ptk_rows,
+    write_snapshot, write_stats,
 };
-use super::{build_ranking, load_from_flags, parse_where, CmdError, Flags};
+use super::{build_ranking, load_from_flags, parse_where, pool_from_flags, CmdError, Flags};
 
 pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
-    let k: usize = flags.require("k")?;
-    let p: f64 = flags.require("p")?;
+    let ks: Vec<usize> = flags.require_list("k")?;
+    let ps: Vec<f64> = flags.require_list("p")?;
     let ranking = build_ranking(flags, &table)?;
     let predicate = match flags.named.get("where") {
         Some(clause) => parse_where(clause, &table)?,
         None => Predicate::True,
     };
+    if ks.len() > 1 || ps.len() > 1 {
+        return query_batch(flags, out, &table, &ks, &ps, predicate, ranking);
+    }
+    // A single query runs sequentially, but a bad --threads value should
+    // not be silently accepted just because there is nothing to split.
+    pool_from_flags(flags)?;
+    let (k, p) = (ks[0], ps[0]);
     let query = TopKQuery::new(k, predicate, ranking).map_err(|e| e.to_string())?;
     let ptk = PtkQuery::new(query.clone(), p).map_err(|e| e.to_string())?;
     let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
@@ -85,6 +93,69 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
     writeln!(out, "{}", ptk_header(k, p, &note, answers.len()))?;
     write_ptk_rows(out, &view, &table, &answers, &probabilities)?;
     write_stats(out, stats, &metrics)
+}
+
+/// The multi-query path of `ptk query`: comma lists in `--k`/`--p` form a
+/// cross product of PT-k plans evaluated as one batch over a shared view.
+/// Thread count never changes the answers, only wall-clock time.
+fn query_batch(
+    flags: &Flags,
+    out: &mut dyn Write,
+    table: &UncertainTable,
+    ks: &[usize],
+    ps: &[f64],
+    predicate: Predicate,
+    ranking: Ranking,
+) -> Result<(), CmdError> {
+    let method = flags.named.get("method").map_or("exact", String::as_str);
+    if method != "exact" {
+        return Err(format!(
+            "--k/--p value lists run on the batch executor, which is exact-only \
+             (got --method '{method}')"
+        )
+        .into());
+    }
+    // Each (k, p) combination goes through the same query-model validation
+    // as the single-query path; the view itself depends only on the shared
+    // predicate and ranking, so one build serves every plan.
+    let mut plans = Vec::with_capacity(ks.len() * ps.len());
+    let mut labels = Vec::with_capacity(plans.capacity());
+    for &k in ks {
+        for &p in ps {
+            let query = TopKQuery::new(k, predicate.clone(), ranking).map_err(|e| e.to_string())?;
+            let ptk = PtkQuery::new(query, p).map_err(|e| e.to_string())?;
+            plans.push(PtkPlan::from_query(&ptk, &EngineOptions::default()));
+            labels.push((k, p));
+        }
+    }
+    let view = RankedView::build(
+        table,
+        &TopKQuery::new(ks[0], predicate, ranking).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let batch = PtkPlan::batch(&plans);
+    let pool = pool_from_flags(flags)?;
+    let stats = stats_mode(flags)?;
+
+    let (results, snapshot) = if stats.is_some() {
+        let (results, snapshot) = PtkExecutor::execute_batch_recorded(&batch, &view, &pool);
+        (results, Some(snapshot))
+    } else {
+        (PtkExecutor::execute_batch(&batch, &view, &pool), None)
+    };
+
+    writeln!(
+        out,
+        "batch of {} queries over {} tuples ({} threads)",
+        results.len(),
+        view.len(),
+        pool.threads()
+    )?;
+    write_batch_answers(out, &view, table, results, &labels)?;
+    match snapshot {
+        Some(snapshot) => write_snapshot(out, stats, &snapshot),
+        None => Ok(()),
+    }
 }
 
 pub(super) fn cmd_utopk(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {

@@ -3,7 +3,8 @@
 use std::io::Write;
 
 use ptk_core::{RankedView, UncertainTable};
-use ptk_obs::Metrics;
+use ptk_engine::PtkResult;
+use ptk_obs::{Metrics, Snapshot};
 
 use super::{CmdError, Flags};
 
@@ -30,11 +31,20 @@ pub(super) fn write_stats(
     mode: Option<StatsMode>,
     metrics: &Metrics,
 ) -> Result<(), CmdError> {
+    write_snapshot(out, mode, &metrics.snapshot())
+}
+
+/// [`write_stats`] for an already-rendered [`Snapshot`] — batch commands
+/// merge one snapshot per query and print the sum.
+pub(super) fn write_snapshot(
+    out: &mut dyn Write,
+    mode: Option<StatsMode>,
+    snapshot: &Snapshot,
+) -> Result<(), CmdError> {
     match mode {
         None => {}
-        Some(StatsMode::Json) => writeln!(out, "{}", metrics.snapshot().to_json(true))?,
+        Some(StatsMode::Json) => writeln!(out, "{}", snapshot.to_json(true))?,
         Some(StatsMode::Text) => {
-            let snapshot = metrics.snapshot();
             if snapshot.is_empty() {
                 writeln!(out, "(no metrics recorded)")?;
             } else {
@@ -72,6 +82,34 @@ pub(super) fn write_ptk_rows(
             t.prob,
             attrs.join(", ")
         )?;
+    }
+    Ok(())
+}
+
+/// Renders a batch of PT-k answers, one `--`-prefixed header per query,
+/// in plan order — the format shared by the batch modes of `ptk query` and
+/// `ptk sql`. `labels` pairs each result with its `(k, p)`.
+pub(super) fn write_batch_answers(
+    out: &mut dyn Write,
+    view: &RankedView,
+    table: &UncertainTable,
+    results: Vec<PtkResult>,
+    labels: &[(usize, f64)],
+) -> Result<(), CmdError> {
+    for (mut result, &(k, p)) in results.into_iter().zip(labels) {
+        result.probabilities.resize(view.len(), None);
+        let note = format!(
+            "scanned {} of {} tuples{}",
+            result.stats.scanned,
+            view.len(),
+            result
+                .stats
+                .stop
+                .map_or(String::new(), |s| format!(", stopped early: {s:?}"))
+        );
+        let answers = result.answer_ranks();
+        writeln!(out, "-- {}", ptk_header(k, p, &note, answers.len()))?;
+        write_ptk_rows(out, view, table, &answers, &result.probabilities)?;
     }
     Ok(())
 }

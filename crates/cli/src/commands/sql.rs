@@ -12,15 +12,31 @@ use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
 use ptk_worlds::naive;
 
 use super::render::{
-    attrs_of, ptk_header, stats_mode, write_membership_row, write_ptk_rows, write_stats,
+    attrs_of, ptk_header, stats_mode, write_batch_answers, write_membership_row, write_ptk_rows,
+    write_snapshot, write_stats,
 };
-use super::{load_from_flags, CmdError, Flags};
+use super::{load_from_flags, pool_from_flags, CmdError, Flags};
 
 pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let statement_text = flags
         .positional
         .get(2)
-        .ok_or("usage: ptk sql <file.csv> '<statement>'")?;
+        .ok_or("usage: ptk sql <file.csv> '<statement>[; <statement> ...]'")?;
+    let statements: Vec<&str> = statement_text
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    match statements.as_slice() {
+        [] => return Err("empty statement".into()),
+        [_single] => {}
+        many => return sql_batch(flags, out, many),
+    }
+    let statement_text = statements[0];
+    // A single statement runs sequentially, but a bad --threads value
+    // should not be silently accepted just because there is nothing to
+    // split.
+    pool_from_flags(flags)?;
     let table = load_from_flags(flags)?;
     let statement = ptk_sql::parse_statement(statement_text).map_err(|e| e.to_string())?;
     let parsed = statement.query.clone();
@@ -159,4 +175,84 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
         writeln!(out, "{explain_note}")?;
     }
     write_stats(out, stats, &metrics)
+}
+
+/// The multi-statement path of `ptk sql`: `;`-separated `SELECT TOP`
+/// statements become one plan batch over a shared view. Every statement
+/// must be an exact PT-k query with the same `WHERE` and `ORDER BY` — the
+/// batch executor scans a single snapshot, so predicate and ranking are
+/// per-batch, while `k` and the probability threshold vary per statement.
+fn sql_batch(flags: &Flags, out: &mut dyn Write, statements: &[&str]) -> Result<(), CmdError> {
+    let table = load_from_flags(flags)?;
+    let mut parsed = Vec::with_capacity(statements.len());
+    for (i, text) in statements.iter().enumerate() {
+        let n = i + 1;
+        let statement =
+            ptk_sql::parse_statement(text).map_err(|e| format!("statement {n}: {e}"))?;
+        if statement.kind != ptk_sql::QueryKind::Ptk {
+            return Err(format!("statement {n}: only SELECT TOP statements can be batched").into());
+        }
+        if statement.explain {
+            return Err(format!("statement {n}: EXPLAIN cannot be batched").into());
+        }
+        if statement.query.method != ptk_sql::Method::Exact {
+            return Err(format!(
+                "statement {n}: the batch executor is exact-only (drop the USING clause)"
+            )
+            .into());
+        }
+        parsed.push(statement.query);
+    }
+    let first = &parsed[0];
+    for (i, q) in parsed.iter().enumerate().skip(1) {
+        if q.condition != first.condition
+            || q.order_by != first.order_by
+            || q.direction != first.direction
+        {
+            return Err(format!(
+                "statement {}: batched statements share one scan, so WHERE and \
+                 ORDER BY must match statement 1",
+                i + 1
+            )
+            .into());
+        }
+    }
+
+    let mut plans = Vec::with_capacity(parsed.len());
+    let mut labels = Vec::with_capacity(parsed.len());
+    let mut view = None;
+    for (i, q) in parsed.iter().enumerate() {
+        let bound = q
+            .bind(&table)
+            .map_err(|e| format!("statement {}: {e}", i + 1))?;
+        plans.push(PtkPlan::from_query(&bound, &EngineOptions::default()));
+        labels.push((bound.k(), bound.threshold().value()));
+        if view.is_none() {
+            view = Some(RankedView::build(&table, bound.query()).map_err(|e| e.to_string())?);
+        }
+    }
+    let view = view.expect("at least two statements were parsed");
+    let batch = PtkPlan::batch(&plans);
+    let pool = pool_from_flags(flags)?;
+    let stats = stats_mode(flags)?;
+
+    let (results, snapshot) = if stats.is_some() {
+        let (results, snapshot) = PtkExecutor::execute_batch_recorded(&batch, &view, &pool);
+        (results, Some(snapshot))
+    } else {
+        (PtkExecutor::execute_batch(&batch, &view, &pool), None)
+    };
+
+    writeln!(
+        out,
+        "batch of {} statements over {} tuples ({} threads)",
+        results.len(),
+        view.len(),
+        pool.threads()
+    )?;
+    write_batch_answers(out, &view, &table, results, &labels)?;
+    match snapshot {
+        Some(snapshot) => write_snapshot(out, stats, &snapshot),
+        None => Ok(()),
+    }
 }

@@ -33,16 +33,16 @@ pub const USAGE: &str = "\
 ptk — probabilistic threshold top-k queries on uncertain data
 
 USAGE:
-  ptk query   <file.csv> --k <K> --p <P> --rank-by <col> [--asc]
+  ptk query   <file.csv> --k <K[,K…]> --p <P[,P…]> --rank-by <col> [--asc]
               [--method exact|sampling|naive] [--where <col><op><value>]
-              [--stats text|json]
+              [--stats text|json] [--threads N]
   ptk utopk   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk ukranks <file.csv> --k <K> --rank-by <col> [--asc]
   ptk erank   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk inspect <file.csv>
   ptk worlds  <file.csv> --rank-by <col> [--limit N] [--max-worlds N]
-  ptk sql     <file.csv> '<SELECT TOP k FROM t ... statement>'
-              [--stats text|json]
+  ptk sql     <file.csv> '<SELECT TOP k … statement>[; <statement> …]'
+              [--stats text|json] [--threads N]
   ptk pack    <file.csv> --rank-by <col> --out <file.run>
   ptk scan    <file.run> --k <K> --p <P> [--stats text|json]
   ptk generate synthetic [--tuples N] [--rules M] [--seed S]
@@ -56,8 +56,18 @@ The CSV must have a `prob` column (membership probability) and may have a
 the run's metrics snapshot (counters, histograms, phase timings) after the
 answer, as aligned text or one JSON line.
 
+Comma lists in --k/--p (query) or `;`-separated SELECT TOP statements
+(sql) form a batch: every (k, p) combination is planned up front and the
+batch executor evaluates the plans across a worker pool sharing one scan
+of the ranked view. `--threads` sizes the pool (default: the PTK_THREADS
+environment variable, else 1). Answers are bit-identical at every thread
+count — threads only change wall-clock time. Batched sql statements must
+be exact PT-k queries sharing one WHERE and ORDER BY.
+
 EXAMPLES:
   ptk query sightings.csv --k 10 --p 0.5 --rank-by drifted_days
+  ptk query sightings.csv --k 10,20,50 --p 0.3,0.5 --rank-by drifted_days \
+    --threads 4
   ptk sql sightings.csv \
     'SELECT TOP 10 FROM s ORDER BY drifted_days DESC WITH PROBABILITY >= 0.5'
   ptk generate iip --tuples 1000 --rules 200 > sightings.csv

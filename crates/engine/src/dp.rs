@@ -130,8 +130,32 @@ pub fn deconvolve(row: &[f64], q: f64) -> Option<Vec<f64>> {
 
 /// `Σ_j row[j]` — with rows of length `k`, this is `Σ_{j<k} Pr(S, j)`, the
 /// probability that at most `k−1` elements of `S` appear (Eq. 4's factor).
+///
+/// The accumulation loop is unrolled four-wide but performs the *same
+/// additions in the same order* as the scalar fold, so the result is
+/// bit-identical to [`partial_sum_scalar`] (pinned in
+/// `tests/dp_partial_sum.rs`); the unroll only amortizes loop-control
+/// overhead on the `O(k)`-per-entry hot path, it never reassociates.
 #[inline]
 pub fn partial_sum(row: &[f64]) -> f64 {
+    let mut chunks = row.chunks_exact(4);
+    // `iter().sum::<f64>()` folds from -0.0 (std's additive identity for
+    // floats); start there so even the empty row matches bit for bit.
+    let mut acc = -0.0f64;
+    for c in &mut chunks {
+        acc = (((acc + c[0]) + c[1]) + c[2]) + c[3];
+    }
+    for &x in chunks.remainder() {
+        acc += x;
+    }
+    acc
+}
+
+/// The audited scalar reference for [`partial_sum`]: a plain left-to-right
+/// fold. Kept public so tests (and any doubting reader) can check the
+/// unrolled version is a pure refactoring.
+#[inline]
+pub fn partial_sum_scalar(row: &[f64]) -> f64 {
     row.iter().sum()
 }
 

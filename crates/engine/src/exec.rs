@@ -19,12 +19,13 @@
 
 use std::collections::HashMap;
 
-use ptk_access::{RankedSource, RuleKey};
+use ptk_access::{RankedSource, RuleKey, SnapshotSource};
 use ptk_core::TupleId;
-use ptk_obs::{Noop, PhaseClock, Recorder};
+use ptk_obs::{Metrics, Noop, PhaseClock, Recorder, Snapshot};
+use ptk_par::ThreadPool;
 
 use crate::dp;
-use crate::plan::{PtkPlan, SharingVariant};
+use crate::plan::{PtkBatch, PtkPlan, SharingVariant};
 use crate::stats::{counters, ExecStats, StopReason};
 
 /// One answer of a PT-k evaluation.
@@ -210,6 +211,10 @@ pub(crate) struct Compressor {
     entries: Vec<PoolEntry>,
     /// `rows[m]` is the DP row after `entries[..m]`; `rows.len() == entries.len() + 1`.
     rows: Vec<Vec<f64>>,
+    /// Freelist of retired row buffers (all length `k`), so recomputing a
+    /// suffix recycles the truncated rows' allocations instead of hitting
+    /// the allocator once per entry.
+    spare_rows: Vec<Vec<f64>>,
     /// Stable-group items in availability order.
     stable: Vec<StableItem>,
     /// Rule states in first-absorption order; `PoolEntry::Rule::idx` and
@@ -241,6 +246,7 @@ impl Compressor {
             variant,
             entries: Vec::new(),
             rows: vec![dp::unit_row(k)],
+            spare_rows: Vec::new(),
             stable: Vec::new(),
             rule_states: Vec::new(),
             rule_index: HashMap::new(),
@@ -327,9 +333,21 @@ impl Compressor {
         let recomputed = desired.len() - prefix;
         self.entries_recomputed += recomputed as u64;
         self.dp_cells += (recomputed * self.k) as u64;
-        self.rows.truncate(prefix + 1);
+        self.spare_rows.extend(self.rows.drain(prefix + 1..));
         for e in &desired[prefix..] {
-            let mut row = self.rows.last().expect("rows never empty").clone();
+            // Recycle a retired buffer when one is free; copying the last
+            // row into it is the same f64 sequence as cloning it, so the
+            // DP stays bit-identical either way.
+            let spare = self.spare_rows.pop();
+            let last = self.rows.last().expect("rows never empty");
+            let mut row = match spare {
+                Some(mut buf) => {
+                    buf.clear();
+                    buf.extend_from_slice(last);
+                    buf
+                }
+                None => last.clone(),
+            };
             dp::convolve_in_place(&mut row, e.mass());
             self.rows.push(row);
         }
@@ -725,5 +743,56 @@ impl<'a> PtkExecutor<'a> {
             probabilities,
             stats,
         }
+    }
+
+    /// Evaluates a batch of independent plans against one shared ranked
+    /// snapshot, fanning the plans across `pool`'s workers.
+    ///
+    /// Each worker [`fork`](SnapshotSource::fork)s its own scan cursor and
+    /// runs the unchanged sequential [`PtkExecutor::execute`] on it, so
+    /// every per-query answer — probabilities to the bit (`f64::to_bits`)
+    /// and the full [`ExecStats`] — is identical to what a sequential
+    /// evaluation of that plan would produce, at every pool width. Plans
+    /// are assigned to workers by the pool's strided schedule (a pure
+    /// function of `(batch.len(), threads)`), and results come back in
+    /// plan order.
+    pub fn execute_batch<S: SnapshotSource + ?Sized>(
+        batch: &PtkBatch,
+        source: &S,
+        pool: &ThreadPool,
+    ) -> Vec<PtkResult> {
+        pool.parallel_map_strided(batch.plans(), |_, plan| {
+            let mut cursor = source.fork();
+            PtkExecutor::new(plan).execute(cursor.as_mut())
+        })
+    }
+
+    /// Like [`PtkExecutor::execute_batch`], but each worker records its
+    /// queries into a private [`Metrics`] registry; the per-query
+    /// snapshots are merged in plan order at the barrier.
+    ///
+    /// Because every query records into its own registry and the merge
+    /// order is the (fixed) plan order, the merged snapshot's counters and
+    /// histograms are identical at every pool width — only the wall-clock
+    /// timing section varies, and [`Snapshot::to_json`] already excludes
+    /// it from deterministic output.
+    pub fn execute_batch_recorded<S: SnapshotSource + ?Sized>(
+        batch: &PtkBatch,
+        source: &S,
+        pool: &ThreadPool,
+    ) -> (Vec<PtkResult>, Snapshot) {
+        let per_query = pool.parallel_map_strided(batch.plans(), |_, plan| {
+            let metrics = Metrics::new();
+            let mut cursor = source.fork();
+            let result = PtkExecutor::with_recorder(plan, &metrics).execute(cursor.as_mut());
+            (result, metrics.snapshot())
+        });
+        let mut merged = Snapshot::default();
+        let mut results = Vec::with_capacity(per_query.len());
+        for (result, snapshot) in per_query {
+            merged.merge(&snapshot);
+            results.push(result);
+        }
+        (results, merged)
     }
 }

@@ -243,6 +243,62 @@ impl PtkPlan {
     }
 }
 
+/// A batch of independent PT-k plans to be evaluated against one shared
+/// ranked snapshot — the unit of work of
+/// [`PtkExecutor::execute_batch`](crate::PtkExecutor::execute_batch).
+///
+/// Plans may differ in `k`, thresholds and [`EngineOptions`]; the batch
+/// only fixes their order, which is the order results come back in
+/// (independent of how many threads evaluate them).
+#[derive(Debug, Clone)]
+pub struct PtkBatch {
+    plans: Vec<PtkPlan>,
+}
+
+impl PtkBatch {
+    /// The plans, in submission order.
+    pub fn plans(&self) -> &[PtkPlan] {
+        &self.plans
+    }
+
+    /// Number of plans in the batch.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the batch holds no plans (never true for batches built by
+    /// [`PtkPlan::batch`], which rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// A multi-line rendering of the batched pipelines, one
+    /// [`PtkPlan::describe`] line per plan, for `EXPLAIN`-style output.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (i, plan) in self.plans.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&format!("[{i}] {}", plan.describe()));
+        }
+        out
+    }
+}
+
+impl PtkPlan {
+    /// Lowers a slice of plans into a [`PtkBatch`] for the batch executor.
+    ///
+    /// # Panics
+    /// Panics if `plans` is empty.
+    pub fn batch(plans: &[PtkPlan]) -> PtkBatch {
+        assert!(!plans.is_empty(), "a batch needs at least one plan");
+        PtkBatch {
+            plans: plans.to_vec(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +360,27 @@ mod tests {
     #[should_panic(expected = "at least one threshold")]
     fn empty_thresholds_are_rejected() {
         let _ = PtkPlan::multi(2, &[], &EngineOptions::default());
+    }
+
+    #[test]
+    fn batch_keeps_order_and_describes_each_plan() {
+        let batch = PtkPlan::batch(&[
+            PtkPlan::new(2, 0.35, &EngineOptions::default()),
+            PtkPlan::new(5, 0.5, &EngineOptions::with_variant(SharingVariant::Rc)),
+        ]);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.plans()[0].k(), 2);
+        assert_eq!(batch.plans()[1].k(), 5);
+        let d = batch.describe();
+        assert!(d.starts_with("[0] "), "{d}");
+        assert!(d.contains("\n[1] "), "{d}");
+        assert!(d.contains("RC+LR") && d.contains("RC"), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plan")]
+    fn empty_batches_are_rejected() {
+        let _ = PtkPlan::batch(&[]);
     }
 }

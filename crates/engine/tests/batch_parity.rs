@@ -1,0 +1,205 @@
+//! Determinism under threading: `execute_batch` must return bit-identical
+//! answers, stats and (timing-free) merged snapshots at every pool width,
+//! matching the sequential executor query for query.
+
+use ptk_core::rng::{RngExt, SeedableRng, StdRng};
+use ptk_core::RankedView;
+use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan, PtkResult, SharingVariant};
+use ptk_obs::Metrics;
+use ptk_par::{threads_from_env, ThreadPool};
+
+/// Generates a random small ranked view: up to `max_n` tuples, random
+/// probabilities, random disjoint rules of size 2–4.
+fn random_view(rng: &mut StdRng, max_n: usize) -> RankedView {
+    let n = rng.random_range(4..=max_n);
+    let probs: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..=1.0f64)).collect();
+    let mut positions: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut positions);
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut cursor = 0;
+    while cursor + 1 < positions.len() {
+        if rng.random_bool(0.5) {
+            let size = rng.random_range(2..=4usize).min(positions.len() - cursor);
+            let group: Vec<usize> = positions[cursor..cursor + size].to_vec();
+            let mass: f64 = group.iter().map(|&p| probs[p]).sum();
+            if mass <= 1.0 {
+                groups.push(group);
+                cursor += size;
+                continue;
+            }
+        }
+        cursor += 1;
+    }
+    RankedView::from_ranked_probs(&probs, &groups).unwrap()
+}
+
+/// The full option matrix of the issue: RC / RC+AR / RC+LR × pruning
+/// on/off.
+fn option_matrix() -> Vec<EngineOptions> {
+    let mut options = Vec::new();
+    for variant in [
+        SharingVariant::Rc,
+        SharingVariant::Aggressive,
+        SharingVariant::Lazy,
+    ] {
+        options.push(EngineOptions::with_variant(variant));
+        options.push(EngineOptions::without_pruning(variant));
+    }
+    options
+}
+
+/// A batch sweeping k, threshold and the whole option matrix.
+fn matrix_batch(rng: &mut StdRng) -> Vec<PtkPlan> {
+    let mut plans = Vec::new();
+    for options in option_matrix() {
+        for _ in 0..2 {
+            let k = rng.random_range(1..=5usize);
+            let threshold = rng.random_range(0.05..=0.95f64);
+            plans.push(PtkPlan::new(k, threshold, &options));
+        }
+    }
+    plans
+}
+
+/// Bitwise equality of two results: every answer field via `to_bits`, the
+/// probability vector via `to_bits`, and the full `ExecStats`.
+fn assert_results_bit_identical(a: &PtkResult, b: &PtkResult, context: &str) {
+    assert_eq!(a.answers.len(), b.answers.len(), "{context}: answer count");
+    for (x, y) in a.answers.iter().zip(&b.answers) {
+        assert_eq!(x.rank, y.rank, "{context}");
+        assert_eq!(x.id, y.id, "{context}");
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "{context}");
+        assert_eq!(
+            x.probability.to_bits(),
+            y.probability.to_bits(),
+            "{context}"
+        );
+    }
+    assert_eq!(
+        a.probabilities.len(),
+        b.probabilities.len(),
+        "{context}: probability vector length"
+    );
+    for (x, y) in a.probabilities.iter().zip(&b.probabilities) {
+        assert_eq!(x.map(f64::to_bits), y.map(f64::to_bits), "{context}");
+    }
+    assert_eq!(a.stats, b.stats, "{context}: ExecStats");
+}
+
+#[test]
+fn execute_batch_is_bit_identical_to_sequential_at_every_width() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0b47);
+    for trial in 0..8 {
+        let view = random_view(&mut rng, 14);
+        let plans = matrix_batch(&mut rng);
+        let batch = PtkPlan::batch(&plans);
+
+        // The sequential reference: one plan at a time, fresh cursor each.
+        let sequential: Vec<PtkResult> = plans
+            .iter()
+            .map(|plan| {
+                let mut source = ptk_access::ViewSource::new(&view);
+                PtkExecutor::new(plan).execute(&mut source)
+            })
+            .collect();
+
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let parallel = PtkExecutor::execute_batch(&batch, &view, &pool);
+            assert_eq!(parallel.len(), sequential.len());
+            for (q, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+                assert_results_bit_identical(
+                    p,
+                    s,
+                    &format!("trial {trial} threads {threads} query {q}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_snapshot_is_identical_across_pool_widths() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0b48);
+    let view = random_view(&mut rng, 14);
+    let batch = PtkPlan::batch(&matrix_batch(&mut rng));
+
+    // Reference: merge the per-query snapshots sequentially in plan order.
+    let mut reference = ptk_obs::Snapshot::default();
+    for plan in batch.plans() {
+        let metrics = Metrics::new();
+        let mut source = ptk_access::ViewSource::new(&view);
+        let _ = PtkExecutor::with_recorder(plan, &metrics).execute(&mut source);
+        reference.merge(&metrics.snapshot());
+    }
+
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let (results, merged) = PtkExecutor::execute_batch_recorded(&batch, &view, &pool);
+        assert_eq!(results.len(), batch.len());
+        // Timing-free rendering: identical to the sequential merge, at
+        // every width (per-query registries make the merge width-blind).
+        assert_eq!(
+            merged.to_json(false),
+            reference.to_json(false),
+            "threads {threads}"
+        );
+        // Timings exist (each query records engine.query) but are not part
+        // of the deterministic contract.
+        assert!(merged.timings.contains_key("engine.query"));
+    }
+}
+
+#[test]
+fn batch_respects_ptk_threads_env_sizing() {
+    // The CI matrix runs this suite under PTK_THREADS=1 and PTK_THREADS=4;
+    // this test pins that the env-sized pool produces the same answers as
+    // an explicit single worker, whatever the variable says.
+    let mut rng = StdRng::seed_from_u64(0x5eed_0b49);
+    let view = random_view(&mut rng, 12);
+    let batch = PtkPlan::batch(&matrix_batch(&mut rng));
+    let env_pool = ThreadPool::from_env();
+    assert_eq!(env_pool.threads(), threads_from_env(1));
+    let from_env = PtkExecutor::execute_batch(&batch, &view, &env_pool);
+    let single = PtkExecutor::execute_batch(&batch, &view, &ThreadPool::new(1));
+    for (q, (a, b)) in from_env.iter().zip(&single).enumerate() {
+        assert_results_bit_identical(a, b, &format!("env pool query {q}"));
+    }
+}
+
+#[test]
+fn batch_works_over_sorted_vec_snapshots() {
+    // The other SnapshotSource implementation: forked cursors over an
+    // owned sorted list feed the same batch machinery.
+    let mut rng = StdRng::seed_from_u64(0x5eed_0b4a);
+    let rows: Vec<(f64, f64, Option<u32>)> = (0..20)
+        .map(|i| {
+            let rule = if rng.random_bool(0.3) {
+                Some(rng.random_range(0..3u32))
+            } else {
+                None
+            };
+            (20.0 - i as f64, rng.random_range(0.05..=0.3f64), rule)
+        })
+        .collect();
+    let source = ptk_access::SortedVecSource::from_unsorted(rows).unwrap();
+    let plans: Vec<PtkPlan> = [(2, 0.1), (3, 0.2), (5, 0.05), (1, 0.5)]
+        .iter()
+        .map(|&(k, p)| PtkPlan::new(k, p, &EngineOptions::default()))
+        .collect();
+    let batch = PtkPlan::batch(&plans);
+
+    let sequential: Vec<PtkResult> = plans
+        .iter()
+        .map(|plan| {
+            let mut s = source.clone();
+            PtkExecutor::new(plan).execute(&mut s)
+        })
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let parallel = PtkExecutor::execute_batch(&batch, &source, &ThreadPool::new(threads));
+        for (q, (a, b)) in parallel.iter().zip(&sequential).enumerate() {
+            assert_results_bit_identical(a, b, &format!("threads {threads} query {q}"));
+        }
+    }
+}

@@ -423,6 +423,56 @@ impl Snapshot {
         out
     }
 
+    /// Folds another snapshot into this one, as if every event recorded in
+    /// `other` had also been recorded here: counters and timings sum,
+    /// histograms merge count/sum/min/max and add bucket counts.
+    ///
+    /// Merging is commutative and associative over the deterministic
+    /// sections (counters and histogram counts/buckets are integer sums;
+    /// histogram `sum` is an f64 accumulation, so merge in a fixed order —
+    /// e.g. worker index — when bit-stable output matters). This is how
+    /// the batch executor combines per-worker registries into one
+    /// [`Snapshot`] at the barrier.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (&name, &value) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (&name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                None => {
+                    self.histograms.insert(name, h.clone());
+                }
+                Some(mine) => {
+                    if h.count > 0 {
+                        if mine.count == 0 {
+                            mine.min = h.min;
+                            mine.max = h.max;
+                        } else {
+                            mine.min = mine.min.min(h.min);
+                            mine.max = mine.max.max(h.max);
+                        }
+                    }
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    for &(exp, count) in &h.buckets {
+                        match mine.buckets.binary_search_by_key(&exp, |&(e, _)| e) {
+                            Ok(i) => mine.buckets[i].1 += count,
+                            Err(i) => mine.buckets.insert(i, (exp, count)),
+                        }
+                    }
+                }
+            }
+        }
+        for (&name, t) in &other.timings {
+            let mine = self.timings.entry(name).or_insert(TimingSnapshot {
+                count: 0,
+                total_nanos: 0,
+            });
+            mine.count += t.count;
+            mine.total_nanos += t.total_nanos;
+        }
+    }
+
     /// Renders the snapshot as human-readable lines (`--stats text`).
     /// Includes timings: the text form is for eyeballs, not golden files.
     pub fn to_text(&self) -> String {
@@ -596,16 +646,81 @@ mod tests {
     fn shared_recorder_is_usable_across_threads() {
         let metrics = Arc::new(Metrics::new());
         let shared: SharedRecorder = Arc::clone(&metrics) as SharedRecorder;
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                let r = Arc::clone(&shared);
-                scope.spawn(move || {
-                    for _ in 0..100 {
-                        r.add("hits", 1);
-                    }
-                });
+        let pool = ptk_par::ThreadPool::new(4);
+        pool.parallel_map(&[(); 4], |_, _| {
+            for _ in 0..100 {
+                shared.add("hits", 1);
             }
         });
         assert_eq!(metrics.snapshot().counter("hits"), 400);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_timings() {
+        let a = Metrics::new();
+        a.add("hits", 3);
+        a.add("only_a", 1);
+        a.record_nanos("phase", 100);
+        let b = Metrics::new();
+        b.add("hits", 4);
+        b.add("only_b", 2);
+        b.record_nanos("phase", 50);
+        b.record_nanos("other", 7);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("hits"), 7);
+        assert_eq!(merged.counter("only_a"), 1);
+        assert_eq!(merged.counter("only_b"), 2);
+        assert_eq!(
+            merged.timings.get("phase"),
+            Some(&TimingSnapshot {
+                count: 2,
+                total_nanos: 150
+            })
+        );
+        assert_eq!(merged.timings.get("other").map(|t| t.count), Some(1));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_registry() {
+        let values_a = [1.0, 3.5, 0.25, 8.0];
+        let values_b = [2.0, 0.125, 16.0];
+
+        let combined = Metrics::new();
+        for v in values_a.iter().chain(&values_b) {
+            combined.observe("len", *v);
+        }
+
+        let a = Metrics::new();
+        for v in values_a {
+            a.observe("len", v);
+        }
+        let b = Metrics::new();
+        for v in values_b {
+            b.observe("len", v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        // Same order of f64 additions (all of a, then all of b), so the
+        // histogram sum is bit-identical, not just close.
+        assert_eq!(merged, combined.snapshot());
+    }
+
+    #[test]
+    fn merge_into_empty_copies_and_handles_disjoint_histograms() {
+        let b = Metrics::new();
+        b.observe("h", 4.0);
+        b.observe("h", 0.5);
+        let mut merged = Snapshot::default();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, b.snapshot());
+
+        let a = Metrics::new();
+        a.observe("other", 1.0);
+        let mut base = a.snapshot();
+        base.merge(&b.snapshot());
+        assert_eq!(base.histogram("h"), b.snapshot().histogram("h"));
+        assert_eq!(base.histogram("other").map(|h| h.count), Some(1));
     }
 }

@@ -1,0 +1,340 @@
+//! # `ptk-par` — the zero-dependency parallel runtime
+//!
+//! A scoped thread pool over [`std::thread`] with **deterministic chunked
+//! scheduling**: the assignment of work items to workers is a pure function
+//! of `(n_items, threads)`, there is no work stealing, and results are
+//! always collected in item order. Two runs of the same workload on the
+//! same pool therefore produce bit-identical result vectors regardless of
+//! how the OS schedules the workers — the repo-wide determinism policy
+//! (DESIGN.md §7/§10) extends to every parallel path built on this crate.
+//!
+//! The pool is *scoped*: workers are spawned inside [`std::thread::scope`]
+//! per parallel region, so closures may borrow from the caller's stack
+//! without `'static` bounds, `Arc`, or unsafe lifetime erasure (the
+//! workspace forbids `unsafe`). A [`ThreadPool`] is thus a scheduling
+//! policy plus a thread budget, not a set of persistent OS threads; for the
+//! coarse-grained regions the PT-k stack runs (whole queries, sampling
+//! quotas), spawn cost is noise.
+//!
+//! Primitives:
+//!
+//! * [`ThreadPool::parallel_map`] — one result per item, contiguous
+//!   balanced chunks ([`chunk_ranges`]), results in item order;
+//! * [`ThreadPool::parallel_map_strided`] — one result per item, worker `w`
+//!   takes items `w, w + T, w + 2T, …` (better balance when item cost
+//!   grows monotonically along the slice), results still in item order;
+//! * [`ThreadPool::parallel_chunks`] — one result per *chunk*, for workers
+//!   that carry per-worker state (samplers, recorders) across their items.
+//!
+//! ```
+//! use ptk_par::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.parallel_map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// The environment variable consulted by [`threads_from_env`] (and through
+/// it the CLI's `--threads` default): the number of worker threads parallel
+/// paths should use when the caller does not say otherwise.
+pub const THREADS_ENV: &str = "PTK_THREADS";
+
+/// The number of worker threads requested via [`THREADS_ENV`], or
+/// `default` when the variable is unset, empty, zero or unparsable.
+pub fn threads_from_env(default: usize) -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
+
+/// The parallelism the host advertises ([`std::thread::available_parallelism`]),
+/// falling back to 1 when the host cannot say.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The deterministic contiguous partition of `n_items` into at most
+/// `threads` chunks: a pure function of `(n_items, threads)`. Chunks are
+/// balanced — the first `n_items % threads` chunks hold one extra item —
+/// non-empty, in item order, and cover `0..n_items` exactly. Fewer items
+/// than threads yields one chunk per item.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn chunk_ranges(n_items: usize, threads: usize) -> Vec<Range<usize>> {
+    assert!(threads > 0, "at least one thread is required");
+    let chunks = threads.min(n_items);
+    if chunks == 0 {
+        return Vec::new();
+    }
+    let mut ranges = Vec::with_capacity(chunks);
+    let base = n_items / chunks;
+    let extra = n_items % chunks;
+    let mut start = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n_items);
+    ranges
+}
+
+/// A scoped thread pool: a fixed worker budget plus the deterministic
+/// scheduling primitives described in the crate docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool running work on up to `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> ThreadPool {
+        assert!(threads > 0, "at least one thread is required");
+        ThreadPool { threads }
+    }
+
+    /// A pool sized from [`THREADS_ENV`], defaulting to a single worker —
+    /// parallelism in this stack is opt-in, never ambient.
+    pub fn from_env() -> ThreadPool {
+        ThreadPool::new(threads_from_env(1))
+    }
+
+    /// The worker budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, one result per item, in item order.
+    ///
+    /// Items are assigned to workers by [`chunk_ranges`] — contiguous
+    /// balanced chunks, fixed per `(len, threads)`. `f` receives the item's
+    /// index alongside the item. A single-worker pool (or a single chunk)
+    /// runs inline on the caller's thread, bit-identical to the spawned
+    /// path by construction: the same `f` runs on the same items in the
+    /// same order.
+    pub fn parallel_map<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> Vec<R> {
+        let per_chunk = self.parallel_chunks(items, |_, range, chunk| {
+            range
+                .zip(chunk.iter())
+                .map(|(i, item)| f(i, item))
+                .collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in per_chunk {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Like [`ThreadPool::parallel_map`], but worker `w` of `T` takes items
+    /// `w, w + T, w + 2T, …` instead of a contiguous block. Equally
+    /// deterministic (the stride assignment is fixed per `(len, threads)`);
+    /// preferable when item cost varies systematically along the slice —
+    /// e.g. a batch of queries sweeping `k` upward — where contiguous
+    /// chunks would hand one worker all the expensive items.
+    pub fn parallel_map_strided<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> Vec<R> {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let f = &f;
+        let mut per_worker: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        items
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, item)| f(i, item))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool workers do not panic"))
+                .collect()
+        });
+        // Un-stride: item i was produced by worker i % workers, and each
+        // worker's results are already in its local item order.
+        let mut streams: Vec<_> = per_worker.drain(..).map(Vec::into_iter).collect();
+        let mut out = Vec::with_capacity(items.len());
+        for i in 0..items.len() {
+            out.push(streams[i % workers].next().expect("worker covered item"));
+        }
+        out
+    }
+
+    /// Partitions `items` by [`chunk_ranges`] and applies `f` once per
+    /// chunk — `f(chunk_index, item_range, chunk_slice)` — returning the
+    /// chunk results in chunk order. This is the primitive for workers that
+    /// carry state across their items (a sampler, a metrics recorder): the
+    /// chunk index is a stable worker identity.
+    ///
+    /// With one worker (or one chunk) `f` runs inline on the caller's
+    /// thread.
+    pub fn parallel_chunks<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, Range<usize>, &[T]) -> R + Sync,
+    ) -> Vec<R> {
+        let ranges = chunk_ranges(items.len(), self.threads);
+        if ranges.len() <= 1 {
+            return ranges
+                .into_iter()
+                .enumerate()
+                .map(|(c, range)| f(c, range.clone(), &items[range]))
+                .collect();
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .enumerate()
+                .map(|(c, range)| {
+                    let chunk = &items[range.clone()];
+                    scope.spawn(move || f(c, range, chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool workers do not panic"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_balance_and_cover() {
+        assert_eq!(chunk_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(chunk_ranges(4, 4), vec![0..1, 1..2, 2..3, 3..4]);
+        assert_eq!(chunk_ranges(2, 8), vec![0..1, 1..2]);
+        assert_eq!(chunk_ranges(0, 4), Vec::<Range<usize>>::new());
+        // Pure function of (n, t): chunk sizes differ by at most one.
+        for n in 0..50 {
+            for t in 1..9 {
+                let ranges = chunk_ranges(n, t);
+                assert_eq!(ranges.iter().map(Range::len).sum::<usize>(), n);
+                if let (Some(max), Some(min)) = (
+                    ranges.iter().map(Range::len).max(),
+                    ranges.iter().map(Range::len).min(),
+                ) {
+                    assert!(max - min <= 1, "n={n} t={t}: {ranges:?}");
+                    assert!(min >= 1, "n={n} t={t}: empty chunk");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = chunk_ranges(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_thread_pool_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn parallel_map_is_in_item_order_at_every_width() {
+        let items: Vec<u64> = (0..23).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            let got = pool.parallel_map(&items, |i, &x| {
+                assert_eq!(items[i], x, "index is the item's own");
+                x * 3 + 1
+            });
+            assert_eq!(got, expect, "threads={threads}");
+            let got = pool.parallel_map_strided(&items, |_, &x| x * 3 + 1);
+            assert_eq!(got, expect, "strided threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_borrows_stack_data() {
+        let data = vec![String::from("a"), String::from("bb")];
+        let lens = ThreadPool::new(2).parallel_map(&data, |_, s| s.len());
+        assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    fn parallel_chunks_sees_stable_worker_identity() {
+        let items: Vec<usize> = (0..10).collect();
+        let pool = ThreadPool::new(3);
+        let per_chunk = pool.parallel_chunks(&items, |c, range, chunk| {
+            assert_eq!(&items[range.clone()], chunk);
+            (c, range.start, chunk.iter().sum::<usize>())
+        });
+        // chunk_ranges(10, 3) = [0..4, 4..7, 7..10].
+        assert_eq!(per_chunk, vec![(0, 0, 6), (1, 4, 15), (2, 7, 24)]);
+    }
+
+    #[test]
+    fn results_are_bit_deterministic_across_runs() {
+        // f64 work gathered in item order: repeated runs must agree bit
+        // for bit, whatever the OS did to the workers.
+        let items: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        let pool = ThreadPool::new(7);
+        let work = |_: usize, &x: &f64| (x.sin() * x.cos()).to_bits();
+        let a = pool.parallel_map(&items, work);
+        let b = pool.parallel_map(&items, work);
+        assert_eq!(a, b);
+        // And identical to the sequential pool: scheduling never leaks
+        // into values.
+        let c = ThreadPool::new(1).parallel_map(&items, work);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn threads_from_env_parses_and_falls_back() {
+        // Process-global env: use one distinct value and restore.
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(threads_from_env(3), 3);
+        std::env::set_var(THREADS_ENV, "5");
+        assert_eq!(threads_from_env(3), 5);
+        assert_eq!(ThreadPool::from_env().threads(), 5);
+        std::env::set_var(THREADS_ENV, "0");
+        assert_eq!(threads_from_env(3), 3);
+        std::env::set_var(THREADS_ENV, "lots");
+        assert_eq!(threads_from_env(3), 3);
+        std::env::remove_var(THREADS_ENV);
+        assert_eq!(ThreadPool::from_env().threads(), 1);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

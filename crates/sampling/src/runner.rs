@@ -1,8 +1,9 @@
 //! Sampling runs: stopping criteria and estimate aggregation.
 
-use ptk_core::rng::{RngExt, SeedableRng, StdRng};
+use ptk_core::rng::{derive_seed, RngExt, SeedableRng, StdRng};
 use ptk_core::RankedView;
 use ptk_obs::{Noop, Recorder};
+use ptk_par::ThreadPool;
 
 use crate::bounds::chernoff_sample_size;
 use crate::counters;
@@ -295,9 +296,14 @@ pub fn sample_topk_antithetic(
 }
 
 /// Estimates the top-k probability of every tuple by sampling across
-/// `threads` OS threads, each drawing an equal share of the unit budget
-/// from its own RNG stream (derived deterministically from
-/// [`SamplingOptions::seed`]). The merged estimate is unbiased and
+/// `threads` workers of a [`ThreadPool`], each drawing an equal share of
+/// the unit budget from its own RNG stream. Stream `t` is seeded with
+/// [`derive_seed`]`(options.seed, t)` — SplitMix64-derived child seeds, so
+/// every per-thread state passes through a full avalanche mix (an
+/// xor-multiply of the seed can land adjacent streams close together for
+/// adversarial seeds). With `threads == 1` the single worker uses
+/// `options.seed` directly, making the run identical to [`sample_topk`]
+/// under budget-only stopping. The merged estimate is unbiased and
 /// deterministic for a fixed `(seed, threads)` pair; different thread
 /// counts legitimately produce different (equally valid) estimates.
 ///
@@ -313,7 +319,7 @@ pub fn sample_topk_parallel(
     options: &SamplingOptions,
     threads: usize,
 ) -> SampleEstimate {
-    assert!(threads > 0, "at least one thread is required");
+    let pool = ThreadPool::new(threads);
     let budget = match options.stop {
         StopCriterion::FixedUnits(n) => n,
         StopCriterion::Chernoff { epsilon, delta } => chernoff_sample_size(epsilon, delta),
@@ -321,34 +327,34 @@ pub fn sample_topk_parallel(
     };
     let per_thread = budget / threads as u64;
     let remainder = budget % threads as u64;
+    // One share per worker: (quota, stream seed). A single worker keeps
+    // the caller's seed verbatim so the run degenerates to the sequential
+    // sampler's stream.
+    let shares: Vec<(u64, u64)> = (0..threads as u64)
+        .map(|t| {
+            let quota = per_thread + u64::from(t < remainder);
+            let seed = if threads == 1 {
+                options.seed
+            } else {
+                derive_seed(options.seed, t)
+            };
+            (quota, seed)
+        })
+        .collect();
 
-    let results: Vec<(Vec<u64>, u64, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let quota = per_thread + u64::from((t as u64) < remainder);
-                scope.spawn(move || {
-                    // Distinct, deterministic stream per thread.
-                    let mut rng = StdRng::seed_from_u64(
-                        options.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
-                    );
-                    let mut sampler = WorldSampler::new(view, k);
-                    let mut counts = vec![0u64; view.len()];
-                    let mut unit = Vec::with_capacity(k);
-                    let mut scanned = 0u64;
-                    for _ in 0..quota {
-                        scanned += sampler.draw_unit(&mut rng, &mut unit) as u64;
-                        for &pos in &unit {
-                            counts[pos] += 1;
-                        }
-                    }
-                    (counts, quota, scanned)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sampler threads do not panic"))
-            .collect()
+    let results = pool.parallel_map(&shares, |_, &(quota, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = WorldSampler::new(view, k);
+        let mut counts = vec![0u64; view.len()];
+        let mut unit = Vec::with_capacity(k);
+        let mut scanned = 0u64;
+        for _ in 0..quota {
+            scanned += sampler.draw_unit(&mut rng, &mut unit) as u64;
+            for &pos in &unit {
+                counts[pos] += 1;
+            }
+        }
+        (counts, quota, scanned)
     });
 
     let mut counts = vec![0u64; view.len()];
@@ -397,6 +403,26 @@ pub fn sample_ptk_recorded(
     recorder: &dyn Recorder,
 ) -> (Vec<usize>, SampleEstimate) {
     let estimate = sample_topk_recorded(view, k, options, recorder);
+    (estimate.answers(threshold), estimate)
+}
+
+/// Answers a PT-k query approximately over the parallel estimate: the
+/// tuples whose *estimated* top-k probability (from
+/// [`sample_topk_parallel`]) reaches `threshold` — API parity with
+/// [`sample_ptk`] for callers that size their run with a thread budget.
+/// With `threads == 1` the answers equal [`sample_ptk`]'s under
+/// budget-only stopping (same RNG stream, see [`sample_topk_parallel`]).
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn sample_ptk_parallel(
+    view: &RankedView,
+    k: usize,
+    threshold: f64,
+    options: &SamplingOptions,
+    threads: usize,
+) -> (Vec<usize>, SampleEstimate) {
+    let estimate = sample_topk_parallel(view, k, options, threads);
     (estimate.answers(threshold), estimate)
 }
 
@@ -608,6 +634,98 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn parallel_rejects_zero_threads() {
         let _ = sample_topk_parallel(&panda(), 2, &SamplingOptions::default(), 0);
+    }
+
+    #[test]
+    fn parallel_single_thread_matches_sequential_exactly() {
+        // threads == 1 keeps the caller's seed verbatim, so the run is the
+        // sequential sampler's stream bit for bit (budget-only stopping).
+        let options = SamplingOptions {
+            stop: StopCriterion::FixedUnits(2_000),
+            seed: 77,
+        };
+        let seq = sample_topk(&panda(), 2, &options);
+        let par = sample_topk_parallel(&panda(), 2, &options, 1);
+        assert_eq!(seq.probabilities, par.probabilities);
+        assert_eq!(seq.units, par.units);
+        assert_eq!(
+            seq.average_sample_length.to_bits(),
+            par.average_sample_length.to_bits()
+        );
+    }
+
+    #[test]
+    fn parallel_streams_are_pinned_to_derived_child_seeds() {
+        // The (seed, threads) reproducibility contract: worker t draws the
+        // stream of derive_seed(seed, t). Re-running each worker's share as
+        // a sequential run seeded with the derived child must reproduce the
+        // merged counts exactly.
+        let seed = 31;
+        let threads = 3;
+        let budget = 1_001u64; // uneven split: quotas 334, 334, 333
+        let par = sample_topk_parallel(
+            &panda(),
+            2,
+            &SamplingOptions {
+                stop: StopCriterion::FixedUnits(budget),
+                seed,
+            },
+            threads,
+        );
+        let mut merged = [0.0f64; 6];
+        let mut drawn = 0u64;
+        for t in 0..threads as u64 {
+            let quota = budget / threads as u64 + u64::from(t < budget % threads as u64);
+            let child = sample_topk(
+                &panda(),
+                2,
+                &SamplingOptions {
+                    stop: StopCriterion::FixedUnits(quota),
+                    seed: derive_seed(seed, t),
+                },
+            );
+            for (total, p) in merged.iter_mut().zip(&child.probabilities) {
+                *total += p * quota as f64;
+            }
+            drawn += quota;
+        }
+        assert_eq!(drawn, par.units);
+        for (pos, total) in merged.iter().enumerate() {
+            // counts are integers, so the reconstruction is exact up to
+            // one rounding of the division.
+            let reconstructed = (total / drawn as f64 * drawn as f64).round();
+            let observed = (par.probabilities[pos] * drawn as f64).round();
+            assert_eq!(reconstructed, observed, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn ptk_parallel_matches_sequential_at_one_thread() {
+        let options = SamplingOptions {
+            stop: StopCriterion::FixedUnits(30_000),
+            seed: 5,
+        };
+        let (seq_answers, seq_est) = sample_ptk(&panda(), 2, 0.35, &options);
+        let (par_answers, par_est) = sample_ptk_parallel(&panda(), 2, 0.35, &options, 1);
+        assert_eq!(seq_answers, par_answers);
+        assert_eq!(seq_est.probabilities, par_est.probabilities);
+        assert_eq!(par_answers, vec![1, 2, 3]); // Example 1's answer set
+    }
+
+    #[test]
+    fn ptk_parallel_recovers_answers_multithreaded() {
+        let (answers, estimate) = sample_ptk_parallel(
+            &panda(),
+            2,
+            0.35,
+            &SamplingOptions {
+                stop: StopCriterion::FixedUnits(40_000),
+                seed: 5,
+            },
+            4,
+        );
+        assert_eq!(answers, vec![1, 2, 3]);
+        assert_eq!(estimate.units, 40_000);
     }
 
     #[test]

@@ -43,10 +43,11 @@
 //! The sub-crates are re-exported as modules for direct access:
 //! [`model`] (ptk-core), [`worlds`], [`engine`], [`sampling`], [`rankers`],
 //! [`datagen`], [`access`] (progressive retrieval: TA middleware, disk
-//! runs), [`sql`] (the statement language) and [`obs`] (the metrics and
-//! tracing layer behind `--stats` and the bench artifacts). The in-repo
-//! infrastructure that keeps the build hermetic is re-exported too:
-//! [`rng`] (seedable PRNGs) and [`check`] (the deterministic
+//! runs), [`sql`] (the statement language), [`obs`] (the metrics and
+//! tracing layer behind `--stats` and the bench artifacts) and [`par`]
+//! (the deterministic scoped thread pool behind batch execution). The
+//! in-repo infrastructure that keeps the build hermetic is re-exported
+//! too: [`rng`] (seedable PRNGs) and [`check`] (the deterministic
 //! property-test harness).
 
 #![warn(missing_docs)]
@@ -58,6 +59,7 @@ pub use ptk_core::{check, prop_assert, prop_assert_eq, rng};
 pub use ptk_datagen as datagen;
 pub use ptk_engine as engine;
 pub use ptk_obs as obs;
+pub use ptk_par as par;
 pub use ptk_rankers as rankers;
 pub use ptk_sampling as sampling;
 pub use ptk_sql as sql;
@@ -73,8 +75,8 @@ pub use ptk_core::{
 };
 pub use ptk_engine::{
     evaluate_ptk_multi_source, evaluate_ptk_source, AnswerTuple, EngineOptions as ExactOptions,
-    ExecStats, PtkExecutor, PtkPlan, PtkResult, SharingVariant, StopReason, StreamOptions,
-    StreamPtkResult,
+    ExecStats, PtkBatch, PtkExecutor, PtkPlan, PtkResult, SharingVariant, StopReason,
+    StreamOptions, StreamPtkResult,
 };
 pub use ptk_rankers::{expected_rank_topk, expected_ranks, ukranks, utopk};
 pub use ptk_sampling::{SamplingOptions, StopCriterion};
