@@ -24,7 +24,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use ptk_core::TupleId;
-use ptk_obs::{Noop, SharedRecorder};
+use ptk_obs::{Mark, Noop, Payload, SharedRecorder, Stage, Tracer};
 
 use crate::bytebuf::ByteBuf;
 use crate::counters;
@@ -112,6 +112,7 @@ pub struct FileSource {
     last_score: f64,
     retrieved: usize,
     recorder: SharedRecorder,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl std::fmt::Debug for FileSource {
@@ -193,7 +194,42 @@ impl FileSource {
             last_score: f64::INFINITY,
             retrieved: 0,
             recorder,
+            tracer: None,
         })
+    }
+
+    /// Like [`FileSource::open_recorded`], additionally tracing the access
+    /// path: the header read becomes a [`Stage::SourceOpen`] span carrying
+    /// the run's tuple and rule counts, and every buffered refill emits a
+    /// [`Mark::FileRead`] instant with the bytes read — so a flame trace
+    /// shows exactly how far into the file the pruned scan reached.
+    ///
+    /// # Errors
+    /// Fails on IO errors or a malformed header (the open span is closed
+    /// either way, so the trace stays balanced).
+    pub fn open_traced(
+        path: &Path,
+        recorder: SharedRecorder,
+        tracer: Arc<Tracer>,
+    ) -> io::Result<FileSource> {
+        let _ = tracer.begin(Stage::SourceOpen);
+        match FileSource::open_recorded(path, recorder) {
+            Ok(mut src) => {
+                tracer.end(
+                    Stage::SourceOpen,
+                    Payload::Source {
+                        tuples: src.remaining,
+                        rules: src.rule_masses.len() as u64,
+                    },
+                );
+                src.tracer = Some(tracer);
+                Ok(src)
+            }
+            Err(e) => {
+                tracer.end(Stage::SourceOpen, Payload::None);
+                Err(e)
+            }
+        }
     }
 
     /// Records left to stream.
@@ -208,6 +244,9 @@ impl FileSource {
             .read_exact(&mut chunk)
             .map_err(|_| invalid("truncated records"))?;
         self.recorder.add(counters::FILE_BYTES_READ, want as u64);
+        if let Some(t) = &self.tracer {
+            t.instant(Mark::FileRead { bytes: want as u64 });
+        }
         self.buffer.put_slice(&chunk);
         Ok(())
     }
@@ -414,6 +453,40 @@ mod tests {
         assert_eq!(snap.counter(counters::FILE_RECORDS), 6);
         // Header (20) + 2 rule masses (16) + 6 records (144).
         assert_eq!(snap.counter(counters::FILE_BYTES_READ), 20 + 16 + 144);
+    }
+
+    #[test]
+    fn open_traced_emits_a_balanced_source_span_and_read_marks() {
+        use ptk_obs::{to_chrome_json, validate_chrome_trace, RingSink, SharedSink};
+        let f = temp();
+        write_run(&f.0, &panda_rows()).unwrap();
+        let sink = Arc::new(RingSink::new(64));
+        let tracer = Arc::new(Tracer::new(Arc::clone(&sink) as SharedSink, 0, 0));
+        let mut src = FileSource::open_traced(&f.0, Arc::new(Noop), Arc::clone(&tracer)).unwrap();
+        while let Some(_t) = src.next_ranked() {}
+        drop(src);
+        let events = sink.events();
+        let check = validate_chrome_trace(&to_chrome_json(&events)).unwrap();
+        assert_eq!(check.begins, 1, "one source-open span");
+        assert_eq!(check.ends, 1);
+        assert_eq!(check.instants, 1, "one refill for six records");
+        let text = ptk_obs::render_logical(&events);
+        assert!(text.contains("B source-open"), "{text}");
+        assert!(text.contains("tuples=6 rules=2"), "{text}");
+        assert!(text.contains("i file-read bytes=144"), "{text}");
+    }
+
+    #[test]
+    fn open_traced_closes_the_span_on_error() {
+        use ptk_obs::{RingSink, SharedSink};
+        let f = temp();
+        std::fs::write(&f.0, b"NOTARUN!xxxxxxxxxxxxxxxxxxx").unwrap();
+        let sink = Arc::new(RingSink::new(8));
+        let tracer = Arc::new(Tracer::new(Arc::clone(&sink) as SharedSink, 0, 0));
+        assert!(FileSource::open_traced(&f.0, Arc::new(Noop), tracer).is_err());
+        // The debug drop guard would panic here if the span leaked open.
+        let events = sink.events();
+        assert_eq!(events.len(), 2, "begin + end despite the error");
     }
 
     #[test]

@@ -19,6 +19,7 @@ mod query;
 mod render;
 mod scan;
 mod sql;
+mod trace;
 
 /// Failure modes of a CLI command.
 #[derive(Debug)]
@@ -77,7 +78,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 1] = ["asc"];
+const SWITCHES: [&str; 2] = ["asc", "explain"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags::default();
@@ -139,12 +140,15 @@ impl Flags {
 
 /// Builds the worker pool for batch execution: `--threads N` wins, else the
 /// `PTK_THREADS` environment variable, else a single worker. Thread count
-/// never affects answers — only wall-clock time.
+/// never affects answers — only wall-clock time. Both sources are strictly
+/// validated: `0`, negative values and non-numbers are errors, not silent
+/// fallbacks to a default.
 fn pool_from_flags(flags: &Flags) -> Result<ptk_par::ThreadPool, String> {
-    match flags.get::<usize>("threads")? {
-        Some(0) => Err("--threads must be at least 1".to_owned()),
-        Some(n) => Ok(ptk_par::ThreadPool::new(n)),
-        None => Ok(ptk_par::ThreadPool::from_env()),
+    match flags.named.get("threads") {
+        Some(raw) => ptk_par::parse_thread_count(raw)
+            .map(ptk_par::ThreadPool::new)
+            .map_err(|e| format!("--threads: {e}")),
+        None => ptk_par::threads_from_env_strict(1).map(ptk_par::ThreadPool::new),
     }
 }
 
@@ -216,6 +220,7 @@ pub fn dispatch_to(args: &[String], out: &mut dyn Write) -> Result<(), CmdError>
         Some("sql") => sql::cmd_sql(&flags, out),
         Some("pack") => scan::cmd_pack(&flags, out),
         Some("scan") => scan::cmd_scan(&flags, out),
+        Some("trace-check") => trace::cmd_trace_check(&flags, out),
         Some("generate") => gen::cmd_generate(&flags, out),
         Some("help") | None => Ok(out.write_all(USAGE.as_bytes())?),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}").into()),
@@ -282,6 +287,15 @@ mod tests {
                 std::env::temp_dir().join(format!("ptk-cli-test-{}-{n}.csv", std::process::id()));
             std::fs::write(&path, content).unwrap();
             TempPath(path)
+        }
+
+        /// A fresh path with the given extension; nothing is created, and
+        /// whatever the test writes there is removed on drop.
+        pub fn path(ext: &str) -> TempPath {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            TempPath(
+                std::env::temp_dir().join(format!("ptk-cli-test-{}-{n}.{ext}", std::process::id())),
+            )
         }
     }
 
@@ -474,7 +488,10 @@ mod tests {
             "0",
         ]))
         .unwrap_err();
-        assert!(err.contains("--threads must be at least 1"), "{err}");
+        assert!(
+            err.contains("--threads: thread count must be >= 1"),
+            "{err}"
+        );
         // The single-query and single-statement paths validate it too.
         let err = dispatch(&args(&[
             "query",
@@ -489,7 +506,10 @@ mod tests {
             "0",
         ]))
         .unwrap_err();
-        assert!(err.contains("--threads must be at least 1"), "{err}");
+        assert!(
+            err.contains("--threads: thread count must be >= 1"),
+            "{err}"
+        );
         let err = dispatch(&args(&[
             "sql",
             file.as_str(),
@@ -498,7 +518,10 @@ mod tests {
             "0",
         ]))
         .unwrap_err();
-        assert!(err.contains("--threads must be at least 1"), "{err}");
+        assert!(
+            err.contains("--threads: thread count must be >= 1"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -942,6 +965,225 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("unknown column"));
+    }
+
+    fn query_args(file: &str, extra: &[&str]) -> Vec<String> {
+        let mut base = args(&[
+            "query",
+            file,
+            "--k",
+            "2",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+        ]);
+        base.extend(extra.iter().map(|s| (*s).to_owned()));
+        base
+    }
+
+    #[test]
+    fn query_stats_prom_renders_exposition_lines() {
+        let file = panda_file();
+        let out = dispatch(&query_args(file.as_str(), &["--stats", "prom"])).unwrap();
+        // Counter lines are a pure function of the query (timings are not,
+        // but their names are).
+        assert!(out.contains("# TYPE ptk_engine_answers counter"), "{out}");
+        assert!(out.contains("ptk_engine_answers 3"), "{out}");
+        assert!(out.contains("ptk_engine_scanned 6"), "{out}");
+        assert!(out.contains("ptk_engine_query_nanos_total"), "{out}");
+        let err = dispatch(&query_args(file.as_str(), &["--stats", "nagios"])).unwrap_err();
+        assert!(err.contains("'text', 'json' or 'prom'"), "{err}");
+    }
+
+    #[test]
+    fn query_trace_exports_chrome_json_that_trace_check_accepts() {
+        let file = panda_file();
+        let trace = tempfile::path("json");
+        let out = dispatch(&query_args(file.as_str(), &["--trace", trace.as_str()])).unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        let json = std::fs::read_to_string(&trace.0).unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        let report = dispatch(&args(&["trace-check", trace.as_str()])).unwrap();
+        assert!(report.contains("valid Chrome trace"), "{report}");
+    }
+
+    #[test]
+    fn query_trace_logical_is_stable_and_timing_free() {
+        let file = panda_file();
+        let (a, b) = (tempfile::path("txt"), tempfile::path("txt"));
+        for t in [&a, &b] {
+            dispatch(&query_args(
+                file.as_str(),
+                &["--trace", t.as_str(), "--trace-format", "logical"],
+            ))
+            .unwrap();
+        }
+        let first = std::fs::read_to_string(&a.0).unwrap();
+        assert_eq!(first, std::fs::read_to_string(&b.0).unwrap());
+        assert!(first.contains("B query"), "{first}");
+        assert!(first.contains("E query"), "{first}");
+        assert!(first.contains("i answer"), "{first}");
+    }
+
+    #[test]
+    fn batch_trace_logical_is_identical_across_thread_counts() {
+        let file = panda_file();
+        let (one, four) = (tempfile::path("txt"), tempfile::path("txt"));
+        for (threads, t) in [("1", &one), ("4", &four)] {
+            let out = dispatch(&args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                "2,3",
+                "--p",
+                "0.35,0.6",
+                "--rank-by",
+                "duration",
+                "--threads",
+                threads,
+                "--trace",
+                t.as_str(),
+                "--trace-format",
+                "logical",
+            ]))
+            .unwrap();
+            assert!(out.contains("batch of 4 queries"), "{out}");
+        }
+        let text = std::fs::read_to_string(&one.0).unwrap();
+        assert_eq!(text, std::fs::read_to_string(&four.0).unwrap());
+        // One span per query, in plan order.
+        for q in 0..4 {
+            assert!(text.contains(&format!("q{q} #0 B query")), "{text}");
+        }
+    }
+
+    #[test]
+    fn query_explain_prints_the_annotated_plan() {
+        let file = panda_file();
+        let out = dispatch(&query_args(file.as_str(), &["--explain"])).unwrap();
+        assert!(out.contains("ranked-retrieval: scanned=6"), "{out}");
+        assert!(out.contains("dp[RC+LR, k=2]:"), "{out}");
+        assert!(out.contains("total: scanned=6"), "{out}");
+        assert!(out.contains("ms]"), "timings annotated: {out}");
+        let err = dispatch(&query_args(
+            file.as_str(),
+            &["--explain", "--method", "sampling"],
+        ))
+        .unwrap_err();
+        assert!(err.contains("requires --method exact"), "{err}");
+    }
+
+    #[test]
+    fn sql_explain_analyze_matches_the_stats_snapshot() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "EXPLAIN ANALYZE SELECT TOP 2 FROM panda ORDER BY duration WITH PROBABILITY >= 0.35",
+            "--stats",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        assert!(out.contains("ranked-retrieval: scanned=6"), "{out}");
+        assert!(out.contains("answers=3"), "{out}");
+        assert!(out.contains("ms]"), "{out}");
+        // The annotation reads the very counters --stats renders, so the
+        // two outputs agree by construction.
+        let json = out.lines().last().unwrap();
+        assert!(json.contains("\"engine.answers\":3"), "{out}");
+        assert!(json.contains("\"engine.scanned\":6"), "{out}");
+
+        let err = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "EXPLAIN ANALYZE SELECT TOP 2 FROM panda ORDER BY duration USING naive",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("requires the exact method"), "{err}");
+        let err = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "EXPLAIN ANALYZE SELECT UTOPK 2 FROM panda ORDER BY duration",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("only SELECT TOP"), "{err}");
+    }
+
+    #[test]
+    fn trace_flag_validation() {
+        let file = panda_file();
+        let err = dispatch(&query_args(file.as_str(), &["--trace-format", "logical"])).unwrap_err();
+        assert!(err.contains("--trace-format requires --trace"), "{err}");
+        let trace = tempfile::path("json");
+        let err = dispatch(&query_args(
+            file.as_str(),
+            &["--trace", trace.as_str(), "--trace-format", "xml"],
+        ))
+        .unwrap_err();
+        assert!(err.contains("'chrome' or 'logical'"), "{err}");
+        let err = dispatch(&query_args(
+            file.as_str(),
+            &["--trace", trace.as_str(), "--method", "naive"],
+        ))
+        .unwrap_err();
+        assert!(err.contains("not instrumented"), "{err}");
+    }
+
+    #[test]
+    fn trace_check_rejects_missing_and_invalid_files() {
+        let err = dispatch(&args(&["trace-check", "/nonexistent.json"])).unwrap_err();
+        assert!(err.contains("/nonexistent.json"), "{err}");
+        let junk = tempfile::csv("not json at all");
+        let err = dispatch(&args(&["trace-check", junk.as_str()])).unwrap_err();
+        assert!(err.contains("invalid trace"), "{err}");
+        let err = dispatch(&args(&["trace-check"])).unwrap_err();
+        assert!(err.contains("missing trace file"), "{err}");
+    }
+
+    #[test]
+    fn scan_trace_captures_source_open_and_reads() {
+        let file = panda_file();
+        let run = tempfile::path("run");
+        dispatch(&args(&[
+            "pack",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--out",
+            run.as_str(),
+        ]))
+        .unwrap();
+        let trace = tempfile::path("txt");
+        let out = dispatch(&args(&[
+            "scan",
+            run.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35",
+            "--trace",
+            trace.as_str(),
+            "--trace-format",
+            "logical",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        let text = std::fs::read_to_string(&trace.0).unwrap();
+        assert!(text.contains("B source-open"), "{text}");
+        assert!(text.contains("i file-read"), "{text}");
+    }
+
+    #[test]
+    fn slow_ms_threshold_zero_keeps_stdout_clean() {
+        // The summary goes to stderr; stdout must stay the plain answer.
+        let file = panda_file();
+        let out = dispatch(&query_args(file.as_str(), &["--slow-ms", "0"])).unwrap();
+        assert!(out.contains("3 tuples pass"), "{out}");
+        assert!(!out.contains("slow query"), "{out}");
+        let err = dispatch(&query_args(file.as_str(), &["--slow-ms", "fast"])).unwrap_err();
+        assert!(err.contains("--slow-ms: cannot parse 'fast'"), "{err}");
     }
 
     #[test]

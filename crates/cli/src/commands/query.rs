@@ -2,19 +2,21 @@
 //! `worlds`, `inspect`.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use ptk_access::ViewSource;
 use ptk_core::{Predicate, PtkQuery, RankedView, Ranking, TopKQuery, UncertainTable};
 use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan};
-use ptk_obs::{Metrics, Noop, Recorder};
+use ptk_obs::{Metrics, Noop, Recorder, SharedSink, Tracer};
 use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
-use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
+use ptk_sampling::{sample_topk_recorded, sample_topk_traced, SamplingOptions};
 use ptk_worlds::naive;
 
 use super::render::{
     attrs_of, ptk_header, stats_mode, write_batch_answers, write_membership_row, write_ptk_rows,
     write_snapshot, write_stats,
 };
+use super::trace::{trace_opts, RING_CAPACITY};
 use super::{build_ranking, load_from_flags, parse_where, pool_from_flags, CmdError, Flags};
 
 pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
@@ -38,15 +40,38 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
     let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
 
     let stats = stats_mode(flags)?;
-    let metrics = Metrics::new();
-    let recorder: &dyn Recorder = if stats.is_some() { &metrics } else { &Noop };
-
+    let trace = trace_opts(flags)?;
+    let explain = flags.switch("explain");
     let method = flags.named.get("method").map_or("exact", String::as_str);
+    if explain && method != "exact" {
+        return Err("--explain (EXPLAIN ANALYZE) requires --method exact".into());
+    }
+    if trace.active() && method == "naive" {
+        return Err("--trace/--slow-ms: the naive method is not instrumented".into());
+    }
+    let metrics = Metrics::new();
+    // EXPLAIN ANALYZE annotates the plan with the run's actual counters, so
+    // it needs a live recorder even without --stats.
+    let recorder: &dyn Recorder = if stats.is_some() || explain {
+        &metrics
+    } else {
+        &Noop
+    };
+    let sink = trace.active().then(|| trace.sink());
+    let tracer = sink
+        .as_ref()
+        .map(|s| Tracer::new(Arc::clone(s) as SharedSink, 0, 0));
+
+    let mut analysis = String::new();
     let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match method {
         "exact" => {
             let plan = PtkPlan::from_query(&ptk, &EngineOptions::default());
             let mut source = ViewSource::new(&view);
-            let mut result = PtkExecutor::with_recorder(&plan, recorder).execute(&mut source);
+            let mut executor = PtkExecutor::with_recorder(&plan, recorder);
+            if let Some(t) = tracer.as_ref() {
+                executor = executor.with_tracer(t);
+            }
+            let mut result = executor.execute(&mut source);
             result.probabilities.resize(view.len(), None);
             let note = format!(
                 "scanned {} of {} tuples{}",
@@ -57,6 +82,9 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
                     .stop
                     .map_or(String::new(), |s| format!(", stopped early: {s:?}"))
             );
+            if explain {
+                analysis = plan.explain_analyze(&metrics.snapshot(), true);
+            }
             (result.answer_ranks(), result.probabilities, note)
         }
         "sampling" => {
@@ -65,7 +93,11 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
                 seed,
                 ..Default::default()
             };
-            let (answers, estimate) = sample_ptk_recorded(&view, k, p, &options, recorder);
+            let estimate = match tracer.as_ref() {
+                Some(t) => sample_topk_traced(&view, k, &options, recorder, t),
+                None => sample_topk_recorded(&view, k, &options, recorder),
+            };
+            let answers = estimate.answers(p);
             recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
             let probabilities = estimate.probabilities.iter().map(|&x| Some(x)).collect();
             (
@@ -92,6 +124,19 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
 
     writeln!(out, "{}", ptk_header(k, p, &note, answers.len()))?;
     write_ptk_rows(out, &view, &table, &answers, &probabilities)?;
+    if !analysis.is_empty() {
+        write!(out, "{analysis}")?;
+    }
+    if let (Some(sink), Some(tracer)) = (&sink, &tracer) {
+        let events = sink.events();
+        trace.write_file(&events)?;
+        trace.log_slow(
+            &format!("query k={k} p={p}"),
+            tracer.elapsed_nanos(),
+            &events,
+            &mut std::io::stderr(),
+        );
+    }
     write_stats(out, stats, &metrics)
 }
 
@@ -136,12 +181,23 @@ fn query_batch(
     let batch = PtkPlan::batch(&plans);
     let pool = pool_from_flags(flags)?;
     let stats = stats_mode(flags)?;
+    let trace = trace_opts(flags)?;
+    if flags.switch("explain") {
+        return Err(
+            "--explain applies to a single query; for batches use --stats to see merged counters"
+                .into(),
+        );
+    }
 
-    let (results, snapshot) = if stats.is_some() {
+    let (results, snapshot, events) = if trace.active() {
+        let (results, snapshot, events) =
+            PtkExecutor::execute_batch_traced(&batch, &view, &pool, RING_CAPACITY);
+        (results, Some(snapshot), Some(events))
+    } else if stats.is_some() {
         let (results, snapshot) = PtkExecutor::execute_batch_recorded(&batch, &view, &pool);
-        (results, Some(snapshot))
+        (results, Some(snapshot), None)
     } else {
-        (PtkExecutor::execute_batch(&batch, &view, &pool), None)
+        (PtkExecutor::execute_batch(&batch, &view, &pool), None, None)
     };
 
     writeln!(
@@ -152,9 +208,21 @@ fn query_batch(
         pool.threads()
     )?;
     write_batch_answers(out, &view, table, results, &labels)?;
-    match snapshot {
-        Some(snapshot) => write_snapshot(out, stats, &snapshot),
-        None => Ok(()),
+    if let Some(events) = &events {
+        trace.write_file(events)?;
+        // The batch shares one epoch, so the latest event offset is the
+        // batch's wall time.
+        let elapsed = events.iter().map(|e| e.nanos).max().unwrap_or(0);
+        trace.log_slow(
+            &format!("batch of {} queries", labels.len()),
+            elapsed,
+            events,
+            &mut std::io::stderr(),
+        );
+    }
+    match (stats, snapshot) {
+        (Some(mode), Some(snapshot)) => write_snapshot(out, Some(mode), &snapshot),
+        _ => Ok(()),
     }
 }
 

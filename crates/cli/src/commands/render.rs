@@ -13,6 +13,7 @@ use super::{CmdError, Flags};
 pub(super) enum StatsMode {
     Text,
     Json,
+    Prom,
 }
 
 pub(super) fn stats_mode(flags: &Flags) -> Result<Option<StatsMode>, String> {
@@ -20,7 +21,10 @@ pub(super) fn stats_mode(flags: &Flags) -> Result<Option<StatsMode>, String> {
         None => Ok(None),
         Some("text") => Ok(Some(StatsMode::Text)),
         Some("json") => Ok(Some(StatsMode::Json)),
-        Some(other) => Err(format!("--stats: expected 'text' or 'json', got '{other}'")),
+        Some("prom") => Ok(Some(StatsMode::Prom)),
+        Some(other) => Err(format!(
+            "--stats: expected 'text', 'json' or 'prom', got '{other}'"
+        )),
     }
 }
 
@@ -44,6 +48,7 @@ pub(super) fn write_snapshot(
     match mode {
         None => {}
         Some(StatsMode::Json) => writeln!(out, "{}", snapshot.to_json(true))?,
+        Some(StatsMode::Prom) => write!(out, "{}", snapshot.to_prometheus())?,
         Some(StatsMode::Text) => {
             if snapshot.is_empty() {
                 writeln!(out, "(no metrics recorded)")?;

@@ -7,9 +7,10 @@ use std::sync::Arc;
 use ptk_access::{write_run, FileSource, RankedSource};
 use ptk_core::{Predicate, RankedView, TopKQuery};
 use ptk_engine::{evaluate_ptk_source_recorded, StreamOptions};
-use ptk_obs::{Metrics, Noop, Recorder, SharedRecorder};
+use ptk_obs::{Metrics, Noop, Recorder, SharedRecorder, SharedSink, Tracer};
 
 use super::render::{stats_mode, write_stats};
+use super::trace::trace_opts;
 use super::{build_ranking, load_from_flags, CmdError, Flags};
 
 pub(super) fn cmd_pack(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
@@ -44,19 +45,32 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
     let k: usize = flags.require("k")?;
     let p: f64 = flags.require("p")?;
     let stats = stats_mode(flags)?;
+    let trace = trace_opts(flags)?;
     let metrics = Arc::new(Metrics::new());
     let recorder: &dyn Recorder = if stats.is_some() {
         metrics.as_ref()
     } else {
         &Noop
     };
-    let mut source = if stats.is_some() {
-        FileSource::open_recorded(
-            std::path::Path::new(path),
-            Arc::clone(&metrics) as SharedRecorder,
-        )
+    // Tracing instruments the file source itself (source-open span and
+    // per-refill read marks), so the tracer is threaded into the source.
+    let sink = trace.active().then(|| trace.sink());
+    let tracer = sink
+        .as_ref()
+        .map(|s| Arc::new(Tracer::new(Arc::clone(s) as SharedSink, 0, 0)));
+    let shared_recorder: SharedRecorder = if stats.is_some() {
+        Arc::clone(&metrics) as SharedRecorder
     } else {
-        FileSource::open(std::path::Path::new(path))
+        Arc::new(Noop)
+    };
+    let mut source = match &tracer {
+        Some(t) => {
+            FileSource::open_traced(std::path::Path::new(path), shared_recorder, Arc::clone(t))
+        }
+        None if stats.is_some() => {
+            FileSource::open_recorded(std::path::Path::new(path), shared_recorder)
+        }
+        None => FileSource::open(std::path::Path::new(path)),
     }
     .map_err(|e| e.to_string())?;
     let total = source.remaining();
@@ -80,6 +94,16 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
             a.score,
             a.probability
         )?;
+    }
+    if let (Some(sink), Some(tracer)) = (&sink, &tracer) {
+        let events = sink.events();
+        trace.write_file(&events)?;
+        trace.log_slow(
+            &format!("scan k={k} p={p}"),
+            tracer.elapsed_nanos(),
+            &events,
+            &mut std::io::stderr(),
+        );
     }
     write_stats(out, stats, &metrics)
 }

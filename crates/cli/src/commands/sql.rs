@@ -45,6 +45,13 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
     let k = query.k();
     let p = query.threshold().value();
 
+    if statement.analyze && statement.kind != ptk_sql::QueryKind::Ptk {
+        return Err("EXPLAIN ANALYZE supports only SELECT TOP statements".into());
+    }
+    if statement.analyze && parsed.method != ptk_sql::Method::Exact {
+        return Err("EXPLAIN ANALYZE requires the exact method (drop the USING clause)".into());
+    }
+
     match statement.kind {
         ptk_sql::QueryKind::Ptk => {}
         ptk_sql::QueryKind::UTopK => {
@@ -112,7 +119,13 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
 
     let stats = stats_mode(flags)?;
     let metrics = Metrics::new();
-    let recorder: &dyn Recorder = if stats.is_some() { &metrics } else { &Noop };
+    // EXPLAIN ANALYZE annotates the plan with the run's actual counters and
+    // phase timings, so it records even without --stats.
+    let recorder: &dyn Recorder = if stats.is_some() || statement.analyze {
+        &metrics
+    } else {
+        &Noop
+    };
 
     let mut explain_note = String::new();
     let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match parsed.method
@@ -127,7 +140,14 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
                 result.stats.scanned,
                 view.len()
             );
-            if statement.explain {
+            if statement.analyze {
+                // Per-stage annotation from the same counter names --stats
+                // renders, so the two outputs can never disagree.
+                explain_note = plan
+                    .explain_analyze(&metrics.snapshot(), true)
+                    .trim_end()
+                    .to_owned();
+            } else if statement.explain {
                 explain_note = format!(
                     "plan: RankedView::build (predicate + sort + rule projection) -> {}\n\
                      stats: scanned {}, evaluated {}, pruned {} (membership {}, rule {}), dp entries {}, stop {:?}",

@@ -35,16 +35,19 @@ ptk — probabilistic threshold top-k queries on uncertain data
 USAGE:
   ptk query   <file.csv> --k <K[,K…]> --p <P[,P…]> --rank-by <col> [--asc]
               [--method exact|sampling|naive] [--where <col><op><value>]
-              [--stats text|json] [--threads N]
+              [--stats text|json|prom] [--threads N] [--explain]
+              [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
   ptk utopk   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk ukranks <file.csv> --k <K> --rank-by <col> [--asc]
   ptk erank   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk inspect <file.csv>
   ptk worlds  <file.csv> --rank-by <col> [--limit N] [--max-worlds N]
-  ptk sql     <file.csv> '<SELECT TOP k … statement>[; <statement> …]'
-              [--stats text|json] [--threads N]
+  ptk sql     <file.csv> '<[EXPLAIN [ANALYZE]] SELECT TOP k … statement>[; …]'
+              [--stats text|json|prom] [--threads N]
   ptk pack    <file.csv> --rank-by <col> --out <file.run>
-  ptk scan    <file.run> --k <K> --p <P> [--stats text|json]
+  ptk scan    <file.run> --k <K> --p <P> [--stats text|json|prom]
+              [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
+  ptk trace-check <trace.json>
   ptk generate synthetic [--tuples N] [--rules M] [--seed S]
   ptk generate iip       [--tuples N] [--rules M] [--seed S]
   ptk help
@@ -54,7 +57,16 @@ The CSV must have a `prob` column (membership probability) and may have a
 `--where` accepts one comparison, e.g. --where 'duration>=12' (operators:
 =, !=, <, <=, >, >=). `generate` writes CSV to stdout. `--stats` appends
 the run's metrics snapshot (counters, histograms, phase timings) after the
-answer, as aligned text or one JSON line.
+answer, as aligned text, one JSON line, or a Prometheus exposition page.
+
+`--explain` (or the `EXPLAIN ANALYZE` statement prefix under `ptk sql`)
+executes the query and prints the plan annotated per stage with the run's
+actual counters and wall time — the same counter names `--stats` renders.
+`--trace <file>` captures a structured event trace of the run: `chrome`
+format is Chrome trace-event JSON (load it in Perfetto or chrome://tracing;
+validate it offline with `ptk trace-check`), `logical` is a timing-free
+text rendering that is bit-identical at every thread count. `--slow-ms N`
+prints a per-stage trace summary to stderr when the run takes >= N ms.
 
 Comma lists in --k/--p (query) or `;`-separated SELECT TOP statements
 (sql) form a batch: every (k, p) combination is planned up front and the

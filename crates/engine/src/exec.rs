@@ -18,10 +18,15 @@
 //! is order-independent).
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use ptk_access::{RankedSource, RuleKey, SnapshotSource};
 use ptk_core::TupleId;
-use ptk_obs::{Metrics, Noop, PhaseClock, Recorder, Snapshot};
+use ptk_obs::{
+    Mark, Metrics, Noop, Payload, PhaseClock, PruneRule, Recorder, RingSink, SharedSink, Snapshot,
+    Stage, StopRule, TraceEvent, Tracer,
+};
 use ptk_par::ThreadPool;
 
 use crate::dp;
@@ -272,6 +277,11 @@ impl Compressor {
 
     pub(crate) fn entries_recomputed(&self) -> u64 {
         self.entries_recomputed
+    }
+
+    /// Distinct rules compressed into rule-tuples so far (Corollary 2).
+    pub(crate) fn rules_compressed(&self) -> u64 {
+        self.rule_states.len() as u64
     }
 
     /// The entry list of the most recently built step.
@@ -571,6 +581,7 @@ fn future_upper_bound(comp: &Compressor) -> f64 {
 pub struct PtkExecutor<'a> {
     plan: &'a PtkPlan,
     recorder: &'a dyn Recorder,
+    tracer: Option<&'a Tracer>,
 }
 
 impl<'a> PtkExecutor<'a> {
@@ -579,6 +590,7 @@ impl<'a> PtkExecutor<'a> {
         PtkExecutor {
             plan,
             recorder: &Noop,
+            tracer: None,
         }
     }
 
@@ -589,7 +601,23 @@ impl<'a> PtkExecutor<'a> {
     /// umbrella span) into `recorder`. With a disabled recorder no clock is
     /// ever read.
     pub fn with_recorder(plan: &'a PtkPlan, recorder: &'a dyn Recorder) -> PtkExecutor<'a> {
-        PtkExecutor { plan, recorder }
+        PtkExecutor {
+            plan,
+            recorder,
+            tracer: None,
+        }
+    }
+
+    /// Attaches a structured trace emitter (see [`ptk_obs::Tracer`]): the
+    /// scan then emits a [`Stage::Query`] span, per-decision instants
+    /// ([`Mark::Prune`] with the Theorem 3/4 rule that fired,
+    /// [`Mark::Answer`], [`Mark::Stop`] with the Theorem 5 / upper-bound
+    /// rule), and one synthetic span per plan phase laid out from the
+    /// accumulated [`PhaseClock`] totals. A disabled tracer costs one
+    /// branch per decision and reads no clock.
+    pub fn with_tracer(mut self, tracer: &'a Tracer) -> PtkExecutor<'a> {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The plan being executed.
@@ -609,11 +637,17 @@ impl<'a> PtkExecutor<'a> {
         let k = self.plan.k();
         let threshold = self.plan.scan_threshold();
         let recorder = self.recorder;
+        let tracer = self.tracer.filter(|t| t.enabled());
         let _query_span = ptk_obs::span(recorder, "engine.query");
-        let mut retrieval_clock = PhaseClock::new(recorder);
-        let mut reorder_clock = PhaseClock::new(recorder);
-        let mut dp_clock = PhaseClock::new(recorder);
-        let mut bound_clock = PhaseClock::new(recorder);
+        // Phase clocks also run when only a tracer is attached, so the
+        // synthetic phase spans carry real totals without --stats.
+        let clocks_live = recorder.enabled() || tracer.is_some();
+        let mut retrieval_clock = PhaseClock::enabled_if(clocks_live);
+        let mut reorder_clock = PhaseClock::enabled_if(clocks_live);
+        let mut dp_clock = PhaseClock::enabled_if(clocks_live);
+        let mut bound_clock = PhaseClock::enabled_if(clocks_live);
+        let query_begin = tracer.map_or(0, |t| t.begin(Stage::Query));
+        let mut bound_checks = 0u64;
 
         let mut comp = Compressor::new(k, options.variant);
         let mut stats = ExecStats::default();
@@ -641,9 +675,15 @@ impl<'a> PtkExecutor<'a> {
             // Pruning decision (Theorems 3 and 4).
             let mut pruned_membership = false;
             let mut pruned_rule = false;
+            let mut prune_rule_fired = None;
             if options.pruning {
                 match tuple.rule {
-                    None => pruned_membership = tuple.prob <= failed_member_max,
+                    None => {
+                        pruned_membership = tuple.prob <= failed_member_max;
+                        if pruned_membership {
+                            prune_rule_fired = Some(PruneRule::Theorem3Membership);
+                        }
+                    }
                     Some(key) => {
                         let first_encounter = comp.absorbed(key) == 0;
                         let rf = rule_fail.entry(key).or_default();
@@ -656,7 +696,13 @@ impl<'a> PtkExecutor<'a> {
                                 }
                             }
                         }
-                        pruned_rule = rf.failed_whole || tuple.prob <= rf.failed_member_max;
+                        if rf.failed_whole {
+                            pruned_rule = true;
+                            prune_rule_fired = Some(PruneRule::Theorem3WholeRule);
+                        } else if tuple.prob <= rf.failed_member_max {
+                            pruned_rule = true;
+                            prune_rule_fired = Some(PruneRule::Theorem4RuleMember);
+                        }
                     }
                 }
             }
@@ -666,6 +712,12 @@ impl<'a> PtkExecutor<'a> {
                     stats.pruned_membership += 1;
                 } else {
                     stats.pruned_rule += 1;
+                }
+                if let (Some(t), Some(rule)) = (tracer, prune_rule_fired) {
+                    t.instant(Mark::Prune {
+                        rank: rank as u64,
+                        rule,
+                    });
                 }
                 probabilities.push(None);
             } else {
@@ -682,6 +734,9 @@ impl<'a> PtkExecutor<'a> {
                         probability: prk,
                     });
                     answer_mass += prk;
+                    if let Some(t) = tracer {
+                        t.instant(Mark::Answer { rank: rank as u64 });
+                    }
                 } else if options.pruning {
                     match tuple.rule {
                         None => failed_member_max = failed_member_max.max(tuple.prob),
@@ -716,22 +771,86 @@ impl<'a> PtkExecutor<'a> {
                 // it, no other tuple can reach p.
                 if answer_mass > k as f64 - threshold {
                     stats.stop = Some(StopReason::TotalTopK);
+                    if let Some(t) = tracer {
+                        t.instant(Mark::Stop {
+                            rule: StopRule::Theorem5TotalTopK,
+                        });
+                    }
                     break;
                 }
                 // Early-exit upper bound (line 6 of Figure 3), checked
                 // periodically: if even the most favourable future tuple
                 // cannot reach the threshold, stop.
-                if stats.scanned % options.ub_check_interval.max(1) == 0
-                    && bound_clock.time(|| future_upper_bound(&comp)) < threshold
-                {
-                    stats.stop = Some(StopReason::UpperBound);
-                    break;
+                if stats.scanned % options.ub_check_interval.max(1) == 0 {
+                    bound_checks += 1;
+                    if bound_clock.time(|| future_upper_bound(&comp)) < threshold {
+                        stats.stop = Some(StopReason::UpperBound);
+                        if let Some(t) = tracer {
+                            t.instant(Mark::Stop {
+                                rule: StopRule::UpperBound,
+                            });
+                        }
+                        break;
+                    }
                 }
             }
         }
 
         stats.dp_cells = comp.dp_cells();
         stats.entries_recomputed = comp.entries_recomputed();
+        stats.rules_compressed = comp.rules_compressed();
+        if let Some(t) = tracer {
+            // Phase totals rendered as synthetic back-to-back child spans
+            // of the query span. The layout (not the interleaving) is what
+            // a flame view needs; the per-decision instants above carry the
+            // scan-order story.
+            let mut at = query_begin;
+            let phases = [
+                (
+                    Stage::Retrieval,
+                    retrieval_clock.nanos(),
+                    Payload::Retrieval {
+                        tuples: stats.scanned as u64,
+                    },
+                ),
+                (
+                    Stage::Reorder,
+                    reorder_clock.nanos(),
+                    Payload::Reorder {
+                        rules_compressed: stats.rules_compressed,
+                    },
+                ),
+                (
+                    Stage::Dp,
+                    dp_clock.nanos(),
+                    Payload::Dp {
+                        cells: stats.dp_cells,
+                        entries: stats.entries_recomputed,
+                    },
+                ),
+                (
+                    Stage::Bound,
+                    bound_clock.nanos(),
+                    Payload::Bound {
+                        checks: bound_checks,
+                    },
+                ),
+            ];
+            for (stage, nanos, payload) in phases {
+                t.span_at(stage, at, at + nanos, payload);
+                at += nanos;
+            }
+            t.end(
+                Stage::Query,
+                Payload::Scan {
+                    scanned: stats.scanned as u64,
+                    evaluated: stats.evaluated as u64,
+                    pruned_membership: stats.pruned_membership as u64,
+                    pruned_rule: stats.pruned_rule as u64,
+                    answers: answers.len() as u64,
+                },
+            );
+        }
         retrieval_clock.flush(recorder, "engine.phase.retrieval");
         reorder_clock.flush(recorder, "engine.phase.reorder");
         dp_clock.flush(recorder, "engine.phase.dp");
@@ -794,5 +913,53 @@ impl<'a> PtkExecutor<'a> {
             results.push(result);
         }
         (results, merged)
+    }
+
+    /// Like [`PtkExecutor::execute_batch_recorded`], but additionally
+    /// traces every query into its own bounded [`RingSink`] of `capacity`
+    /// events, returning the merged event stream alongside the results and
+    /// snapshot.
+    ///
+    /// Determinism: each query gets its own [`Tracer`] whose query id is
+    /// the plan index and whose sequence numbers start at 0, and the
+    /// per-query event runs are concatenated in plan order — so the
+    /// *logical* event stream ([`ptk_obs::render_logical`]) is a pure
+    /// function of the batch at every pool width. The worker id stamped on
+    /// the events is the pool's strided assignment (`i % workers`, a pure
+    /// function of `(batch.len(), threads)`), and all tracers share one
+    /// epoch so the wall-clock export lines queries up on a common
+    /// timeline.
+    pub fn execute_batch_traced<S: SnapshotSource + ?Sized>(
+        batch: &PtkBatch,
+        source: &S,
+        pool: &ThreadPool,
+        capacity: usize,
+    ) -> (Vec<PtkResult>, Snapshot, Vec<TraceEvent>) {
+        let epoch = Instant::now();
+        let workers = pool.threads().min(batch.plans().len()).max(1);
+        let per_query = pool.parallel_map_strided(batch.plans(), |i, plan| {
+            let sink = Arc::new(RingSink::new(capacity));
+            let tracer = Tracer::with_epoch(
+                Arc::clone(&sink) as SharedSink,
+                i as u32,
+                (i % workers) as u32,
+                epoch,
+            );
+            let metrics = Metrics::new();
+            let mut cursor = source.fork();
+            let result = PtkExecutor::with_recorder(plan, &metrics)
+                .with_tracer(&tracer)
+                .execute(cursor.as_mut());
+            (result, metrics.snapshot(), sink.events())
+        });
+        let mut merged = Snapshot::default();
+        let mut results = Vec::with_capacity(per_query.len());
+        let mut events = Vec::new();
+        for (result, snapshot, run) in per_query {
+            merged.merge(&snapshot);
+            events.extend(run);
+            results.push(result);
+        }
+        (results, merged, events)
     }
 }

@@ -11,7 +11,12 @@
 //! view-based, source-based, single- or multi-threshold — rejects malformed
 //! queries identically, before any retrieval happens.
 
+use std::fmt::Write as _;
+
 use ptk_core::PtkQuery;
+use ptk_obs::Snapshot;
+
+use crate::stats::{counters, ExecStats};
 
 /// How the compressed dominant set is ordered between consecutive steps
 /// (§4.3.2 of the paper).
@@ -241,6 +246,95 @@ impl PtkPlan {
         }
         out
     }
+
+    /// The `EXPLAIN ANALYZE` rendering: one line per [`PlanStage`],
+    /// annotated with the actual execution counters from `snapshot` and —
+    /// when `include_timings` is set — the wall-clock phase times.
+    ///
+    /// The annotations read the very same `engine.*` counter and
+    /// `engine.phase.*` timing names that the `--stats` renderings expose,
+    /// so the two views of one recorded run agree by construction. With
+    /// `include_timings` off the rendering is timing-free and therefore
+    /// deterministic (DESIGN.md §7).
+    pub fn explain_analyze(&self, snapshot: &Snapshot, include_timings: bool) -> String {
+        fn push_timing(out: &mut String, snapshot: &Snapshot, name: &str, include: bool) {
+            if !include {
+                return;
+            }
+            if let Some(t) = snapshot.timings.get(name) {
+                let _ = write!(out, " [{:.3} ms]", t.total_nanos as f64 / 1e6);
+            }
+        }
+        let stats = ExecStats::from_snapshot(snapshot);
+        let mut out = String::new();
+        for stage in self.stages() {
+            match stage {
+                PlanStage::RankedRetrieval => {
+                    let _ = write!(out, "ranked-retrieval: scanned={}", stats.scanned);
+                    push_timing(
+                        &mut out,
+                        snapshot,
+                        "engine.phase.retrieval",
+                        include_timings,
+                    );
+                }
+                PlanStage::RuleCompression => {
+                    let _ = write!(
+                        out,
+                        "rule-compression: rules_compressed={}",
+                        stats.rules_compressed
+                    );
+                    push_timing(&mut out, snapshot, "engine.phase.reorder", include_timings);
+                }
+                PlanStage::PrefixSharedDp { variant } => {
+                    let _ = write!(
+                        out,
+                        "dp[{}, k={}]: evaluated={} dp_cells={} entries_recomputed={}",
+                        variant.paper_name(),
+                        self.k,
+                        stats.evaluated,
+                        stats.dp_cells,
+                        stats.entries_recomputed
+                    );
+                    push_timing(&mut out, snapshot, "engine.phase.dp", include_timings);
+                }
+                PlanStage::Pruning { ub_check_interval } => {
+                    let stop = match stats.stop {
+                        Some(crate::stats::StopReason::TotalTopK) => "total-topk",
+                        Some(crate::stats::StopReason::UpperBound) => "upper-bound",
+                        None => "none",
+                    };
+                    let _ = write!(
+                        out,
+                        "pruning[T3-T5, ub every {ub_check_interval}]: pruned_membership={} pruned_rule={} stop={stop}",
+                        stats.pruned_membership, stats.pruned_rule
+                    );
+                    push_timing(&mut out, snapshot, "engine.phase.bound", include_timings);
+                }
+                PlanStage::AnswerEmission { thresholds } => {
+                    let _ = write!(
+                        out,
+                        "emit[{} threshold{}, scan p >= {}]: answers={}",
+                        thresholds,
+                        if thresholds == 1 { "" } else { "s" },
+                        self.scan_threshold(),
+                        snapshot.counter(counters::ANSWERS)
+                    );
+                }
+            }
+            out.push('\n');
+        }
+        let _ = write!(
+            out,
+            "total: scanned={} evaluated={} answers={}",
+            stats.scanned,
+            stats.evaluated,
+            snapshot.counter(counters::ANSWERS)
+        );
+        push_timing(&mut out, snapshot, "engine.query", include_timings);
+        out.push('\n');
+        out
+    }
 }
 
 /// A batch of independent PT-k plans to be evaluated against one shared
@@ -342,6 +436,43 @@ mod tests {
         assert!(d.contains("p >= 0.35"), "{d}");
         let plan = PtkPlan::multi(2, &[0.2, 0.8], &EngineOptions::default());
         assert!(plan.describe().contains("2 thresholds"));
+    }
+
+    #[test]
+    fn explain_analyze_reads_the_stats_counter_names() {
+        use ptk_obs::Recorder as _;
+        let plan = PtkPlan::new(2, 0.35, &EngineOptions::default());
+        let metrics = ptk_obs::Metrics::new();
+        let stats = ExecStats {
+            scanned: 10,
+            evaluated: 6,
+            pruned_membership: 3,
+            pruned_rule: 1,
+            dp_cells: 42,
+            entries_recomputed: 21,
+            rules_compressed: 2,
+            stop: Some(crate::stats::StopReason::UpperBound),
+        };
+        stats.record_to(&metrics);
+        metrics.add(counters::ANSWERS, 4);
+        let text = plan.explain_analyze(&metrics.snapshot(), false);
+        assert!(text.contains("ranked-retrieval: scanned=10"), "{text}");
+        assert!(text.contains("rules_compressed=2"), "{text}");
+        assert!(
+            text.contains("dp[RC+LR, k=2]: evaluated=6 dp_cells=42 entries_recomputed=21"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pruned_membership=3 pruned_rule=1 stop=upper-bound"),
+            "{text}"
+        );
+        assert!(text.contains("answers=4"), "{text}");
+        assert!(
+            !text.contains("ms]"),
+            "timing-free rendering has no wall clock: {text}"
+        );
+        let timed = plan.explain_analyze(&metrics.snapshot(), true);
+        assert!(timed.contains("total: scanned=10 evaluated=6 answers=4"));
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub mod counters {
     pub const DP_CELLS: &str = "engine.dp_cells";
     /// Compressed-dominant-set entries recomputed.
     pub const ENTRIES_RECOMPUTED: &str = "engine.entries_recomputed";
+    /// Distinct rules compressed into rule-tuples during the scan.
+    pub const RULES_COMPRESSED: &str = "engine.rules_compressed";
     /// Tuples in the answer set.
     pub const ANSWERS: &str = "engine.answers";
     /// 1 when the scan stopped early via Theorem 5.
@@ -63,6 +65,9 @@ pub struct ExecStats {
     /// Compressed-dominant-set entries whose DP row was recomputed — the
     /// cost of Eq. 5.
     pub entries_recomputed: u64,
+    /// Distinct multi-tuple rules compressed into rule-tuples (Corollary 2's
+    /// dominant-set compression).
+    pub rules_compressed: u64,
     /// Why the scan stopped early, if it did.
     pub stop: Option<StopReason>,
 }
@@ -88,6 +93,7 @@ impl ExecStats {
         recorder.add(counters::PRUNED_RULE, self.pruned_rule as u64);
         recorder.add(counters::DP_CELLS, self.dp_cells);
         recorder.add(counters::ENTRIES_RECOMPUTED, self.entries_recomputed);
+        recorder.add(counters::RULES_COMPRESSED, self.rules_compressed);
         match self.stop {
             Some(StopReason::TotalTopK) => recorder.add(counters::STOP_TOTAL_TOPK, 1),
             Some(StopReason::UpperBound) => recorder.add(counters::STOP_UPPER_BOUND, 1),
@@ -113,6 +119,7 @@ impl ExecStats {
             pruned_rule: snapshot.counter(counters::PRUNED_RULE) as usize,
             dp_cells: snapshot.counter(counters::DP_CELLS),
             entries_recomputed: snapshot.counter(counters::ENTRIES_RECOMPUTED),
+            rules_compressed: snapshot.counter(counters::RULES_COMPRESSED),
             stop,
         }
     }
@@ -156,6 +163,7 @@ mod tests {
                 pruned_rule: 1,
                 dp_cells: 42,
                 entries_recomputed: 21,
+                rules_compressed: 5,
                 stop,
             };
             let metrics = ptk_obs::Metrics::new();

@@ -151,6 +151,39 @@ fn merged_snapshot_is_identical_across_pool_widths() {
 }
 
 #[test]
+fn traced_batch_logical_rendering_is_identical_across_pool_widths() {
+    // The logical-clock rendering drops worker ids and wall-clock offsets,
+    // so the traced batch must render to the same text at every pool width
+    // — the trace-side analogue of the answer-parity matrix above.
+    let mut rng = StdRng::seed_from_u64(0x5eed_0b4b);
+    let view = random_view(&mut rng, 14);
+    let batch = PtkPlan::batch(&matrix_batch(&mut rng));
+
+    let pool = ThreadPool::new(1);
+    let (reference_results, _, reference_events) =
+        PtkExecutor::execute_batch_traced(&batch, &view, &pool, 4096);
+    let reference = ptk_obs::render_logical(&reference_events);
+    assert!(reference.contains("B query"), "{reference}");
+
+    for threads in [2usize, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        let (results, merged, events) =
+            PtkExecutor::execute_batch_traced(&batch, &view, &pool, 4096);
+        assert_eq!(
+            ptk_obs::render_logical(&events),
+            reference,
+            "threads {threads}"
+        );
+        for (q, (a, b)) in results.iter().zip(&reference_results).enumerate() {
+            assert_results_bit_identical(a, b, &format!("traced threads {threads} query {q}"));
+        }
+        // Tracing includes recording: the merged snapshot is still present
+        // and carries the engine counters.
+        assert!(merged.counter("engine.scanned") > 0);
+    }
+}
+
+#[test]
 fn batch_respects_ptk_threads_env_sizing() {
     // The CI matrix runs this suite under PTK_THREADS=1 and PTK_THREADS=4;
     // this test pins that the env-sized pool produces the same answers as

@@ -32,6 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod trace;
+
+pub use trace::{
+    render_logical, to_chrome_json, validate_chrome_trace, EventKind, Mark, NoopSink, Payload,
+    PruneRule, RingSink, SharedSink, Stage, StopRule, TraceCheck, TraceEvent, TraceSink, Tracer,
+};
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -259,10 +266,14 @@ pub struct PhaseClock {
 impl PhaseClock {
     /// A clock that is live only when `recorder` is enabled.
     pub fn new(recorder: &dyn Recorder) -> PhaseClock {
-        PhaseClock {
-            enabled: recorder.enabled(),
-            nanos: 0,
-        }
+        PhaseClock::enabled_if(recorder.enabled())
+    }
+
+    /// A clock that is live iff `enabled` — for callers with a liveness
+    /// condition beyond a single recorder (the executor also times phases
+    /// when a trace sink is attached).
+    pub fn enabled_if(enabled: bool) -> PhaseClock {
+        PhaseClock { enabled, nanos: 0 }
     }
 
     /// Runs `work`, accumulating its wall-clock time when live.
@@ -281,6 +292,13 @@ impl PhaseClock {
         if self.enabled {
             recorder.record_nanos(name, self.nanos);
         }
+    }
+
+    /// The accumulated wall-clock nanoseconds so far (0 when the clock was
+    /// built against a disabled recorder). The executor reads this to lay
+    /// phase totals out as synthetic trace spans.
+    pub fn nanos(&self) -> u64 {
+        self.nanos
     }
 }
 
@@ -471,6 +489,56 @@ impl Snapshot {
             mine.count += t.count;
             mine.total_nanos += t.total_nanos;
         }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (`--stats prom`). Counters become `ptk_<name>` counters, histograms
+    /// become native Prometheus histograms with *cumulative* `_bucket`
+    /// series (each `le` upper bound is the bucket's exclusive top `2^(e+1)`,
+    /// closed with `+Inf`) plus `_sum` and `_count`, and span timings become
+    /// `_nanos_total`/`_spans_total` counter pairs. Metric names sanitize
+    /// `.` and any other non-identifier character to `_`.
+    ///
+    /// Like [`Snapshot::to_text`], this rendering includes wall-clock
+    /// timings — it feeds scrapes, not golden files; golden tests should
+    /// render snapshots whose timing section is empty.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitized(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 4);
+            out.push_str("ptk_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            out
+        }
+        let mut out = String::with_capacity(256);
+        for (name, value) in &self.counters {
+            let name = sanitized(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitized(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for &(exp, count) in &h.buckets {
+                cumulative += count;
+                let le = 2f64.powi(exp + 1);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = write!(out, "{name}_sum ");
+            let _ = writeln!(out, "{}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        for (name, t) in &self.timings {
+            let name = sanitized(name);
+            let _ = writeln!(out, "# TYPE {name}_nanos_total counter");
+            let _ = writeln!(out, "{name}_nanos_total {}", t.total_nanos);
+            let _ = writeln!(out, "# TYPE {name}_spans_total counter");
+            let _ = writeln!(out, "{name}_spans_total {}", t.count);
+        }
+        out
     }
 
     /// Renders the snapshot as human-readable lines (`--stats text`).
@@ -705,6 +773,114 @@ mod tests {
         // Same order of f64 additions (all of a, then all of b), so the
         // histogram sum is bit-identical, not just close.
         assert_eq!(merged, combined.snapshot());
+    }
+
+    #[test]
+    fn merge_in_fixed_order_is_bit_stable_and_integers_commute() {
+        // The f64 caveat on Snapshot::merge, pinned: histogram `sum` is a
+        // float accumulation, so merging worker snapshots in a *fixed*
+        // order must be bit-stable run to run, while the integer sections
+        // (counters, bucket counts, histogram count) must not care about
+        // order at all. 0.1 + 0.2 + 0.3 groups differently under
+        // reassociation, making the sums order-sensitive on purpose.
+        let worker = |values: &[f64], hits: u64| {
+            let m = Metrics::new();
+            for &v in values {
+                m.observe("len", v);
+            }
+            m.add("hits", hits);
+            m.snapshot()
+        };
+        let snapshots = [
+            worker(&[0.1, 0.2], 3),
+            worker(&[0.3], 4),
+            worker(&[0.7, 1.0e-3], 5),
+        ];
+
+        let merge_order = |order: &[usize]| {
+            let mut merged = Snapshot::default();
+            for &i in order {
+                merged.merge(&snapshots[i]);
+            }
+            merged
+        };
+        // Fixed worker order: bit-stable, down to the f64 sum.
+        let a = merge_order(&[0, 1, 2]);
+        let b = merge_order(&[0, 1, 2]);
+        assert_eq!(
+            a.histogram("len").unwrap().sum.to_bits(),
+            b.histogram("len").unwrap().sum.to_bits()
+        );
+        assert_eq!(a.to_json(false), b.to_json(false));
+
+        // Reversed order: integer sections identical, sum merely close.
+        let r = merge_order(&[2, 1, 0]);
+        assert_eq!(a.counters, r.counters);
+        let (ha, hr) = (a.histogram("len").unwrap(), r.histogram("len").unwrap());
+        assert_eq!(ha.count, hr.count);
+        assert_eq!(ha.buckets, hr.buckets);
+        assert_eq!(ha.min.to_bits(), hr.min.to_bits());
+        assert_eq!(ha.max.to_bits(), hr.max.to_bits());
+        assert!((ha.sum - hr.sum).abs() < 1e-12);
+        // ... and the caveat is real: this particular reassociation of
+        // f64 additions does change the bit pattern.
+        assert_ne!(
+            ha.sum.to_bits(),
+            hr.sum.to_bits(),
+            "expected an order-sensitive sum to demonstrate the caveat"
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_matches_golden() {
+        let m = Metrics::new();
+        m.add("engine.scanned", 6);
+        m.add("engine.answers", 3);
+        for v in [1.0, 1.5, 3.0, 0.5] {
+            m.observe("sampling.unit_len", v);
+        }
+        let text = m.snapshot().to_prometheus();
+        assert_eq!(
+            text,
+            "# TYPE ptk_engine_answers counter\n\
+             ptk_engine_answers 3\n\
+             # TYPE ptk_engine_scanned counter\n\
+             ptk_engine_scanned 6\n\
+             # TYPE ptk_sampling_unit_len histogram\n\
+             ptk_sampling_unit_len_bucket{le=\"1\"} 1\n\
+             ptk_sampling_unit_len_bucket{le=\"2\"} 3\n\
+             ptk_sampling_unit_len_bucket{le=\"4\"} 4\n\
+             ptk_sampling_unit_len_bucket{le=\"+Inf\"} 4\n\
+             ptk_sampling_unit_len_sum 6\n\
+             ptk_sampling_unit_len_count 4\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_includes_timings_as_counters() {
+        let m = Metrics::new();
+        m.record_nanos("engine.query", 1_234);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("ptk_engine_query_nanos_total 1234"), "{text}");
+        assert!(text.contains("ptk_engine_query_spans_total 1"), "{text}");
+    }
+
+    #[test]
+    fn phase_clock_exposes_accumulated_nanos() {
+        let m = Metrics::new();
+        let mut clock = PhaseClock::new(&m);
+        clock.time(|| std::hint::black_box(17));
+        // Live clock: some time accumulated (possibly 0 on a coarse
+        // clock, but the accessor must agree with what flush records).
+        let nanos = clock.nanos();
+        clock.flush(&m, "phase");
+        assert_eq!(
+            m.snapshot().timings.get("phase").map(|t| t.total_nanos),
+            Some(nanos)
+        );
+        let mut dead = PhaseClock::new(&Noop);
+        dead.time(|| 1);
+        assert_eq!(dead.nanos(), 0);
     }
 
     #[test]

@@ -56,6 +56,34 @@ pub fn threads_from_env(default: usize) -> usize {
     }
 }
 
+/// Parses a thread-count string into a positive worker budget, with a
+/// clear error for zero, empty, or unparsable input. This is the strict
+/// counterpart to [`threads_from_env`]'s silent fallback, shared by the
+/// CLI's `--threads` flag and [`threads_from_env_strict`].
+pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!("thread count must be >= 1, got '{trimmed}'")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "invalid thread count '{trimmed}': expected a positive integer"
+        )),
+    }
+}
+
+/// Like [`threads_from_env`], but strict: an unset or empty [`THREADS_ENV`]
+/// yields `default`, while a set-but-invalid value (zero or unparsable) is
+/// reported as an error naming the variable instead of being silently
+/// ignored.
+pub fn threads_from_env_strict(default: usize) -> Result<usize, String> {
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) if !raw.trim().is_empty() => {
+            parse_thread_count(&raw).map_err(|e| format!("{THREADS_ENV}: {e}"))
+        }
+        _ => Ok(default),
+    }
+}
+
 /// The parallelism the host advertises ([`std::thread::available_parallelism`]),
 /// falling back to 1 when the host cannot say.
 pub fn available_threads() -> usize {
@@ -329,8 +357,31 @@ mod tests {
         assert_eq!(threads_from_env(3), 3);
         std::env::set_var(THREADS_ENV, "lots");
         assert_eq!(threads_from_env(3), 3);
+        // The strict reader errors on set-but-invalid values (this lives in
+        // the same test because the env var is process-global).
+        let err = threads_from_env_strict(3).unwrap_err();
+        assert!(err.contains(THREADS_ENV), "error names the variable: {err}");
+        assert!(err.contains("lots"), "error echoes the value: {err}");
+        std::env::set_var(THREADS_ENV, "0");
+        let err = threads_from_env_strict(3).unwrap_err();
+        assert!(err.contains(">= 1"), "zero is rejected loudly: {err}");
+        std::env::set_var(THREADS_ENV, "5");
+        assert_eq!(threads_from_env_strict(3), Ok(5));
+        std::env::set_var(THREADS_ENV, "  ");
+        assert_eq!(threads_from_env_strict(3), Ok(3), "empty acts as unset");
         std::env::remove_var(THREADS_ENV);
+        assert_eq!(threads_from_env_strict(3), Ok(3));
         assert_eq!(ThreadPool::from_env().threads(), 1);
+    }
+
+    #[test]
+    fn parse_thread_count_is_strict() {
+        assert_eq!(parse_thread_count("4"), Ok(4));
+        assert_eq!(parse_thread_count(" 16 "), Ok(16));
+        assert!(parse_thread_count("0").unwrap_err().contains(">= 1"));
+        assert!(parse_thread_count("").is_err());
+        assert!(parse_thread_count("-2").is_err());
+        assert!(parse_thread_count("four").unwrap_err().contains("four"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use ptk_core::rng::{derive_seed, RngExt, SeedableRng, StdRng};
 use ptk_core::RankedView;
-use ptk_obs::{Noop, Recorder};
+use ptk_obs::{Mark, Noop, Payload, Recorder, Stage, Tracer};
 use ptk_par::ThreadPool;
 
 use crate::bounds::chernoff_sample_size;
@@ -145,6 +145,23 @@ pub fn sample_topk_recorded(
     options: &SamplingOptions,
     recorder: &dyn Recorder,
 ) -> SampleEstimate {
+    sample_topk_traced(view, k, options, recorder, &Tracer::disabled())
+}
+
+/// Like [`sample_topk_recorded`], additionally emitting structured trace
+/// events: the whole run becomes a [`Stage::Sampling`] span carrying the
+/// drawn-unit and scanned-position totals, and every progressive-stop
+/// stability check emits a [`Mark::SampleCheckpoint`] instant with its
+/// decision — so a trace shows *when* the estimates settled, not just that
+/// they did. A disabled tracer reduces to [`sample_topk_recorded`] exactly.
+pub fn sample_topk_traced(
+    view: &RankedView,
+    k: usize,
+    options: &SamplingOptions,
+    recorder: &dyn Recorder,
+    tracer: &Tracer,
+) -> SampleEstimate {
+    let _ = tracer.begin(Stage::Sampling);
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut sampler = WorldSampler::new(view, k);
     let mut counts = vec![0u64; view.len()];
@@ -182,7 +199,9 @@ pub fn sample_topk_recorded(
         if let Some((d, phi)) = progressive {
             if drawn == snapshot_at + d {
                 let current: Vec<f64> = counts.iter().map(|&c| c as f64 / drawn as f64).collect();
-                if !snapshot.is_empty() && stable_within(&current, &snapshot, phi) {
+                let stable = !snapshot.is_empty() && stable_within(&current, &snapshot, phi);
+                tracer.instant(Mark::SampleCheckpoint { drawn, stable });
+                if stable {
                     stable_stop = true;
                     break;
                 }
@@ -201,6 +220,10 @@ pub fn sample_topk_recorded(
         if !stable_stop && !snapshot.is_empty() && drawn > snapshot_at {
             let current: Vec<f64> = counts.iter().map(|&c| c as f64 / drawn as f64).collect();
             stable_stop = stable_within(&current, &snapshot, phi);
+            tracer.instant(Mark::SampleCheckpoint {
+                drawn,
+                stable: stable_stop,
+            });
         }
     }
 
@@ -211,6 +234,13 @@ pub fn sample_topk_recorded(
     recorder.add(counters::UNITS, drawn);
     recorder.add(counters::POSITIONS, sampler.positions_scanned());
     recorder.add(stop.counter(), 1);
+    tracer.end(
+        Stage::Sampling,
+        Payload::Sampling {
+            units: drawn,
+            positions: sampler.positions_scanned(),
+        },
+    );
 
     SampleEstimate {
         probabilities: counts
@@ -468,6 +498,39 @@ mod tests {
             },
         );
         assert_eq!(answers, vec![1, 2, 3]); // Example 1's answer set
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_balanced_span() {
+        use ptk_obs::{
+            render_logical, to_chrome_json, validate_chrome_trace, RingSink, SharedSink,
+        };
+        use std::sync::Arc;
+        let options = SamplingOptions {
+            stop: StopCriterion::Progressive {
+                d: 100,
+                phi: 0.01,
+                max_units: 10_000,
+            },
+            seed: 2,
+        };
+        let view = RankedView::from_ranked_probs(&[1.0, 1.0, 1.0], &[]).unwrap();
+        let sink = Arc::new(RingSink::new(1024));
+        let tracer = Tracer::new(Arc::clone(&sink) as SharedSink, 0, 0);
+        let traced = sample_topk_traced(&view, 2, &options, &Noop, &tracer);
+        let plain = sample_topk(&view, 2, &options);
+        assert_eq!(traced.units, plain.units, "tracing never changes the run");
+        assert_eq!(traced.probabilities, plain.probabilities);
+        let events = sink.events();
+        let check = validate_chrome_trace(&to_chrome_json(&events)).unwrap();
+        assert_eq!(check.begins, 1, "one sampling span");
+        assert_eq!(check.ends, 1);
+        assert!(check.instants >= 1, "at least one progressive checkpoint");
+        let text = render_logical(&events);
+        assert!(text.contains("B sampling"), "{text}");
+        assert!(text.contains("i sample-checkpoint"), "{text}");
+        assert!(text.contains("stable=true"), "{text}");
+        assert!(text.contains(&format!("units={}", traced.units)), "{text}");
     }
 
     #[test]

@@ -111,7 +111,9 @@ impl fmt::Display for ParsedQuery {
 
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.explain {
+        if self.analyze {
+            write!(f, "EXPLAIN ANALYZE ")?;
+        } else if self.explain {
             write!(f, "EXPLAIN ")?;
         }
         let kind = match self.kind {
@@ -142,6 +144,7 @@ mod tests {
         roundtrips("SELECT TOP 3 FROM t ORDER BY x ASC");
         roundtrips("SELECT UTOPK 2 FROM t WHERE a = 1 ORDER BY x");
         roundtrips("EXPLAIN SELECT ERANK 5 FROM t ORDER BY x");
+        roundtrips("EXPLAIN ANALYZE SELECT TOP 5 FROM t ORDER BY x");
         roundtrips(
             "SELECT TOP 9 FROM t WHERE a >= 1.25 AND b != 'x''y' ORDER BY c \
              WITH PROBABILITY >= 0.125 USING sampling",

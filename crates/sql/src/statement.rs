@@ -54,6 +54,10 @@ pub struct Statement {
     pub query: ParsedQuery,
     /// Whether `EXPLAIN` was requested.
     pub explain: bool,
+    /// Whether `EXPLAIN ANALYZE` was requested: the statement is executed
+    /// and the plan is annotated per stage with the run's actual counters
+    /// and timings (implies `explain`).
+    pub analyze: bool,
 }
 
 /// Parses a full statement (any query kind, optional `EXPLAIN`).
@@ -64,11 +68,19 @@ pub struct Statement {
 pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
     let tokens = tokenize(input)?;
     let mut explain = false;
+    let mut analyze = false;
     let mut start = 0;
     if let Some(first) = tokens.first() {
         if matches!(&first.token, crate::Token::Ident(w) if w.eq_ignore_ascii_case("EXPLAIN")) {
             explain = true;
             start = 1;
+            if let Some(second) = tokens.get(1) {
+                if matches!(&second.token, crate::Token::Ident(w) if w.eq_ignore_ascii_case("ANALYZE"))
+                {
+                    analyze = true;
+                    start = 2;
+                }
+            }
         }
     }
     let (kind_token, query) = parse_body(&tokens[start..], input.len())?;
@@ -101,6 +113,7 @@ pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
         kind,
         query,
         explain,
+        analyze,
     })
 }
 
@@ -137,10 +150,23 @@ mod tests {
     fn explain_prefix() {
         let s = parse_statement("EXPLAIN SELECT TOP 2 FROM t ORDER BY x").unwrap();
         assert!(s.explain);
+        assert!(!s.analyze);
         assert_eq!(s.kind, QueryKind::Ptk);
         let s = parse_statement("explain select utopk 2 from t order by x").unwrap();
         assert!(s.explain);
         assert_eq!(s.kind, QueryKind::UTopK);
+    }
+
+    #[test]
+    fn explain_analyze_prefix() {
+        let s = parse_statement("EXPLAIN ANALYZE SELECT TOP 2 FROM t ORDER BY x").unwrap();
+        assert!(s.explain);
+        assert!(s.analyze);
+        assert_eq!(s.kind, QueryKind::Ptk);
+        let s = parse_statement("explain analyze select top 1 from t order by x").unwrap();
+        assert!(s.analyze, "case-insensitive");
+        // ANALYZE alone is not a statement prefix.
+        assert!(parse_statement("ANALYZE SELECT TOP 2 FROM t ORDER BY x").is_err());
     }
 
     #[test]

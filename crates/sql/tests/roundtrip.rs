@@ -109,6 +109,9 @@ fn statement(rng: &mut StdRng) -> Statement {
     };
     let explicit_threshold = rng.random_bool(0.5);
     let method = rng.random_range(0..3u8);
+    // ANALYZE implies EXPLAIN, as in parsing.
+    let explain = rng.random_bool(0.5);
+    let analyze = explain && rng.random_bool(0.5);
     Statement {
         kind,
         query: ParsedQuery {
@@ -133,7 +136,8 @@ fn statement(rng: &mut StdRng) -> Statement {
             },
             explicit_threshold: is_ptk && explicit_threshold,
         },
-        explain: rng.random_bool(0.5),
+        explain,
+        analyze,
     }
 }
 

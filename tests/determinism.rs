@@ -130,6 +130,50 @@ fn metrics_snapshots_are_bit_deterministic_without_timings() {
     assert!(!a.contains("nanos"), "timings leaked into golden rendering");
 }
 
+/// The logical-clock rendering of the paper's panda query (k=2, p=0.35,
+/// default engine options), traced through the exact executor. Worker ids
+/// and wall-clock offsets are excluded from the rendering, so this text is
+/// a pure function of the query — locked in like the sample goldens above.
+const GOLDEN_LOGICAL_TRACE: &str = "\
+q0 #0 B query
+q0 #1 i answer rank=1
+q0 #2 i answer rank=2
+q0 #3 i answer rank=3
+q0 #4 B retrieval
+q0 #5 E retrieval tuples=6
+q0 #6 B reorder
+q0 #7 E reorder rules_compressed=2
+q0 #8 B dp
+q0 #9 E dp cells=12 entries=6
+q0 #10 B bound
+q0 #11 E bound checks=0
+q0 #12 E query scanned=6 evaluated=6 pruned_membership=0 pruned_rule=0 answers=3
+";
+
+fn traced_panda_logical() -> String {
+    use std::sync::Arc;
+    let view = panda_view();
+    let sink = Arc::new(ptk::obs::RingSink::new(1024));
+    let tracer = ptk::obs::Tracer::new(Arc::clone(&sink) as ptk::obs::SharedSink, 0, 0);
+    let plan = ptk::engine::PtkPlan::new(2, 0.35, &ptk::engine::EngineOptions::default());
+    let mut source = ptk::access::ViewSource::new(&view);
+    let _ = ptk::engine::PtkExecutor::new(&plan)
+        .with_tracer(&tracer)
+        .execute(&mut source);
+    ptk::obs::render_logical(&sink.events())
+}
+
+#[test]
+fn logical_trace_matches_golden() {
+    let rendering = traced_panda_logical();
+    assert_eq!(
+        rendering, GOLDEN_LOGICAL_TRACE,
+        "logical-clock trace drifted"
+    );
+    // And it is identical across repeats — no wall-clock leakage.
+    assert_eq!(rendering, traced_panda_logical());
+}
+
 #[test]
 fn runs_are_bit_identical_across_repeats() {
     let (a, b) = (estimate(), estimate());
