@@ -302,6 +302,12 @@ impl RankedSource for FileSource {
         self.rule_masses.get(rule.0 as usize).copied()
     }
 
+    fn len_hint(&self) -> Option<usize> {
+        // The header promises the full record count; what is left is that
+        // promise minus what has already streamed out.
+        Some(self.retrieved + self.remaining as usize)
+    }
+
     fn retrieved(&self) -> usize {
         self.retrieved
     }

@@ -59,6 +59,16 @@ pub trait RankedSource {
         None
     }
 
+    /// The total number of tuples this source will deliver, if known ahead
+    /// of time. A *segment hint*: the batch executor uses it to size the
+    /// materialized scan layout and to decide whether a deep scan is worth
+    /// partitioning into rule-closed segments. Returning `None` is always
+    /// safe — the layout simply grows as the scan proceeds. The hint never
+    /// affects answers, only allocation and scheduling.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
     /// Number of tuples retrieved so far (the paper's *scan depth*).
     fn retrieved(&self) -> usize;
 }
@@ -159,6 +169,10 @@ impl RankedSource for ViewSource<'_> {
             .get(rule.0 as usize)
             .and_then(|r| r.members.get(member))
             .copied()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.view.len())
     }
 
     fn retrieved(&self) -> usize {
@@ -280,6 +294,10 @@ impl RankedSource for SortedVecCursor<'_> {
         self.src.rule_member_rank(rule, member)
     }
 
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.src.len())
+    }
+
     fn retrieved(&self) -> usize {
         self.cursor
     }
@@ -314,6 +332,10 @@ impl RankedSource for SortedVecSource {
 
     fn rule_member_rank(&self, rule: RuleKey, member: usize) -> Option<usize> {
         self.rule_ranks.get(rule.0 as usize)?.get(member).copied()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.tuples.len())
     }
 
     fn retrieved(&self) -> usize {
@@ -444,6 +466,7 @@ mod tests {
         assert!((a.rule_mass(RuleKey(0)).unwrap() - 0.9).abs() < 1e-12);
         assert_eq!(b.rule_len(RuleKey(0)), Some(2));
         assert_eq!(b.rule_member_rank(RuleKey(0), 1), Some(1));
+        assert_eq!(a.len_hint(), Some(3), "segment hint survives the fork");
 
         let view = RankedView::from_ranked_probs(&[0.3, 0.4], &[]).unwrap();
         let mut va = view.fork();

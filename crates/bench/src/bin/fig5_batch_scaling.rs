@@ -1,19 +1,44 @@
-//! Batch-executor thread scaling on the Figure 5 default workload.
+//! Batch-executor thread scaling on the Figure 5 default workload, plus a
+//! deep-scan (pruning-off) workload that exercises intra-query DP
+//! partitioning.
 //!
-//! Builds one batch of PT-k plans (a k × p cross product over the default
-//! synthetic dataset) and times `PtkExecutor::execute_batch` at 1, 2, 4 and
-//! 8 worker threads. Every width must return bit-identical answers — the
-//! pool only changes wall-clock time — and the run asserts exactly that
-//! against the single-threaded reference on every lap.
+//! Two batches run over the default synthetic dataset:
+//!
+//! * **default** — a k × p cross product with the §4.4 pruning rules on,
+//!   the original Figure 5 batch. Parallelism here is inter-query: whole
+//!   plans are claimed by workers through the deterministic work-stealing
+//!   scheduler.
+//! * **deep scan** — pruning disabled (`EngineOptions::without_pruning`),
+//!   so every plan evaluates all tuples. These scans are the shape the
+//!   executor can partition *within* a query: the ranked scan splits at
+//!   rule-closed cuts and the per-segment subset-probability DPs run on the
+//!   pool, stitched back bit-identically. The deep batch runs over a
+//!   *clustered* variant of the dataset (`RulePlacement::Clustered`, rule
+//!   members inside random `DEEP_SPAN`-rank windows) — the rank-local
+//!   regime of entity-grouped x-relations. The paper's uniform member
+//!   scatter leaves essentially every rank interior to some rule, so the
+//!   default dataset has **no** rule-closed cuts and partitioning cannot
+//!   engage there at all (measured, not assumed: the run asserts the
+//!   clustered deep batch segments and would catch a uniform one).
+//!
+//! Every width must return bit-identical answers — the pool only changes
+//! wall-clock time — and the run asserts exactly that against the
+//! single-threaded reference on every lap.
 //!
 //! Writes `target/experiments/BENCH_batch_scaling.json`: per-width laps
-//! with median/IQR, the speedup of each width over one thread, and the
-//! timing-free merged metrics snapshot (identical at every width, so the
-//! artifact stays diffable across machines).
+//! with median/IQR for both workloads, the speedup of each width over one
+//! thread, the deterministic scheduler shape of the deep batch (segments,
+//! segmented queries, tasks), and the timing-free merged metrics snapshot
+//! (identical at every width, so the artifact stays diffable across
+//! machines).
 //!
 //! Set `PTK_ASSERT_SCALING=<ratio>` to fail the run unless the 4-thread
-//! median is at least `<ratio>`× faster than 1 thread (CI uses a coarse
-//! `1.0` gate; meaningful speedups need a multi-core host). Set
+//! median of **each** workload is at least `<ratio>`× faster than 1 thread
+//! (single-core CI uses a coarse `1.0` gate; meaningful speedups need a
+//! multi-core host, where the dedicated CI job demands `1.5`). On failure
+//! the run names the bottleneck stage — the `engine.phase.*` span with the
+//! largest recorded total at 4 threads — and prints the scheduler and
+//! phase counters as a Prometheus excerpt before panicking. Set
 //! `PTK_SMOKE=1` for a reduced workload (smaller dataset, fewer laps) so
 //! the determinism checks and the gate still run in seconds.
 
@@ -21,8 +46,9 @@ use std::fs;
 use std::path::PathBuf;
 
 use ptk_bench::{fmt, sweeps, BenchRecord, Report};
-use ptk_datagen::{SyntheticConfig, SyntheticDataset};
-use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan, PtkResult};
+use ptk_datagen::{RulePlacement, SyntheticConfig, SyntheticDataset};
+use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan, PtkResult, SharingVariant};
+use ptk_obs::Snapshot;
 use ptk_par::ThreadPool;
 
 /// Worker-pool widths to sweep.
@@ -33,12 +59,20 @@ const BATCH_KS: [usize; 4] = [50, 100, 200, 400];
 /// Probability thresholds in the batch (a slice of the Figure 5d sweep).
 const BATCH_PS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
 
+/// Query depths of the deep-scan (pruning-off) workload.
+const DEEP_KS: [usize; 2] = [100, 400];
+/// Probability thresholds of the deep-scan workload.
+const DEEP_PS: [f64; 2] = [0.3, 0.7];
+/// Rank-window width of the deep-scan dataset's clustered rules.
+const DEEP_SPAN: usize = 32;
+
 /// Reduced workload for `PTK_SMOKE=1` runs — small enough to finish in
 /// seconds, large enough that per-lap work dwarfs thread-spawn overhead
 /// (the scaling gate is meaningless on sub-millisecond laps).
 const SMOKE_TUPLES: usize = 5_000;
 const SMOKE_RULES: usize = 500;
 const SMOKE_KS: [usize; 2] = [50, 100];
+const SMOKE_DEEP_KS: [usize; 2] = [50, 100];
 
 fn assert_bit_identical(reference: &[PtkResult], candidate: &[PtkResult], width: usize) {
     assert_eq!(
@@ -59,6 +93,107 @@ fn assert_bit_identical(reference: &[PtkResult], candidate: &[PtkResult], width:
     }
 }
 
+/// One workload swept across every pool width: per-width lap records and
+/// the 4-thread recorded snapshot (phase timings + scheduler facts) for
+/// gate diagnostics.
+struct Sweep {
+    records: Vec<(usize, BenchRecord)>,
+    wide_snapshot: Snapshot,
+}
+
+fn sweep(
+    label: &str,
+    batch: &ptk_engine::PtkBatch,
+    view: &ptk_core::RankedView,
+    laps: usize,
+) -> Sweep {
+    let reference = PtkExecutor::execute_batch(batch, view, &ThreadPool::new(1));
+    let mut records = Vec::new();
+    for &width in &WIDTHS {
+        let pool = ThreadPool::new(width);
+        let mut record = BenchRecord::new(&format!("batch_scaling_{label}_t{width}"));
+        for _ in 0..laps {
+            let results = record.time(|| PtkExecutor::execute_batch(batch, view, &pool));
+            assert_bit_identical(&reference, &results, width);
+        }
+        records.push((width, record));
+    }
+    let (results, wide_snapshot) =
+        PtkExecutor::execute_batch_recorded(batch, view, &ThreadPool::new(4));
+    assert_bit_identical(&reference, &results, 4);
+    Sweep {
+        records,
+        wide_snapshot,
+    }
+}
+
+impl Sweep {
+    fn speedup_of(&self, width: usize) -> f64 {
+        let base = self.records[0].1.median_ms();
+        let record = &self
+            .records
+            .iter()
+            .find(|(w, _)| *w == width)
+            .expect("swept")
+            .1;
+        base / record.median_ms()
+    }
+
+    fn report(&self, batch_len: usize, report: &mut Report) {
+        for (width, record) in &self.records {
+            let median = record.median_ms();
+            report.row(&[
+                width,
+                &fmt(median, 3),
+                &fmt(record.iqr_ms(), 3),
+                &fmt(self.speedup_of(*width), 2),
+                &fmt(batch_len as f64 / (median / 1e3), 1),
+            ]);
+        }
+    }
+
+    fn json_records(&self) -> String {
+        let sections: Vec<String> = self
+            .records
+            .iter()
+            .map(|(width, record)| format!("\"{width}\":{}", record.to_json()))
+            .collect();
+        sections.join(",")
+    }
+}
+
+/// The `engine.phase.*` span with the largest recorded total — the stage a
+/// failed scaling gate should blame first.
+fn bottleneck_stage(snapshot: &Snapshot) -> (&'static str, u64) {
+    snapshot
+        .timings
+        .iter()
+        .filter(|(name, _)| name.starts_with("engine.phase."))
+        .max_by_key(|(_, timing)| timing.total_nanos)
+        .map_or(("<no phase timings recorded>", 0), |(name, timing)| {
+            (name, timing.total_nanos)
+        })
+}
+
+/// Prints the evidence a failed gate leaves behind: the bottleneck stage
+/// and the scheduler/phase counters of the 4-thread run, as the same
+/// Prometheus lines `--stats prom` would render.
+fn print_gate_diagnostics(label: &str, snapshot: &Snapshot) {
+    let (stage, nanos) = bottleneck_stage(snapshot);
+    eprintln!(
+        "scaling gate diagnostics [{label}]: bottleneck stage is {stage} \
+         ({:.1} ms total across workers at 4 threads)",
+        nanos as f64 / 1e6
+    );
+    for line in snapshot
+        .to_prometheus()
+        .lines()
+        .filter(|l| l.starts_with("ptk_batch_") || l.starts_with("ptk_engine_phase_"))
+    {
+        eprintln!("  {line}");
+    }
+}
+
 fn main() {
     let smoke = std::env::var("PTK_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
     let laps: usize = if smoke { 3 } else { 5 };
@@ -72,8 +207,20 @@ fn main() {
     } else {
         sweeps::dataset(0.5, 5.0)
     };
+    // The deep-scan dataset: same scale, rank-local (clustered) rules so
+    // rule-closed cuts exist for intra-query partitioning.
+    let deep_ds = SyntheticDataset::generate(&SyntheticConfig {
+        tuples: if smoke { SMOKE_TUPLES } else { 20_000 },
+        rules: if smoke { SMOKE_RULES } else { 2_000 },
+        seed: sweeps::SEED,
+        placement: RulePlacement::Clustered { span: DEEP_SPAN },
+        ..Default::default()
+    });
     let ks: &[usize] = if smoke { &SMOKE_KS } else { &BATCH_KS };
+    let deep_ks: &[usize] = if smoke { &SMOKE_DEEP_KS } else { &DEEP_KS };
     let view = &ds.view;
+    let deep_view = &deep_ds.view;
+
     let mut plans = Vec::new();
     for &k in ks {
         for &p in &BATCH_PS {
@@ -81,71 +228,95 @@ fn main() {
         }
     }
     let batch = PtkPlan::batch(&plans);
+
+    let deep_options = EngineOptions::without_pruning(SharingVariant::Lazy);
+    let mut deep_plans = Vec::new();
+    for &k in deep_ks {
+        for &p in &DEEP_PS {
+            deep_plans.push(PtkPlan::new(k, p, &deep_options));
+        }
+    }
+    let deep_batch = PtkPlan::batch(&deep_plans);
+
     println!(
-        "batch of {} plans (k in {ks:?} x p in {BATCH_PS:?}) over {} tuples; host has {} hardware threads{}",
+        "default batch of {} plans (k in {ks:?} x p in {BATCH_PS:?}) over {} tuples; deep-scan \
+         batch of {} pruning-off plans (k in {deep_ks:?} x p in {DEEP_PS:?}) over {} tuples with \
+         rules clustered in {DEEP_SPAN}-rank windows; host has {} hardware threads{}",
         batch.len(),
         view.len(),
+        deep_batch.len(),
+        deep_view.len(),
         ptk_par::available_threads(),
         if smoke { " [smoke workload]" } else { "" },
     );
 
-    // The single-threaded answers are the reference every width must match.
-    let reference = PtkExecutor::execute_batch(&batch, view, &ThreadPool::new(1));
+    let default_sweep = sweep("default", &batch, view, laps);
+    let deep_sweep = sweep("deep", &deep_batch, deep_view, laps);
 
     let mut report = Report::new(
         "fig5_batch_scaling",
         &["threads", "median (ms)", "IQR (ms)", "speedup", "queries/s"],
     );
-    let mut records = Vec::new();
-    for &width in &WIDTHS {
-        let pool = ThreadPool::new(width);
-        let mut record = BenchRecord::new(&format!("batch_scaling_t{width}"));
-        for _ in 0..laps {
-            let results = record.time(|| PtkExecutor::execute_batch(&batch, view, &pool));
-            assert_bit_identical(&reference, &results, width);
-        }
-        records.push((width, record));
-    }
-
-    let base_median = records[0].1.median_ms();
-    for (width, record) in &records {
-        let median = record.median_ms();
-        let speedup = base_median / median;
-        report.row(&[
-            width,
-            &fmt(median, 3),
-            &fmt(record.iqr_ms(), 3),
-            &fmt(speedup, 2),
-            &fmt(batch.len() as f64 / (median / 1e3), 1),
-        ]);
-    }
+    default_sweep.report(batch.len(), &mut report);
     report.finish();
+
+    let mut deep_report = Report::new(
+        "fig5_batch_scaling_deep",
+        &["threads", "median (ms)", "IQR (ms)", "speedup", "queries/s"],
+    );
+    deep_sweep.report(deep_batch.len(), &mut deep_report);
+    deep_report.finish();
+
+    // The deep batch must actually have exercised intra-query partitioning
+    // — otherwise the "deep scan" numbers measure nothing new.
+    let segments = deep_sweep.wide_snapshot.scheduler_value("batch.segments");
+    let segmented_queries = deep_sweep
+        .wide_snapshot
+        .scheduler_value("batch.segmented_queries");
+    assert!(
+        segmented_queries as usize == deep_batch.len() && segments >= segmented_queries,
+        "deep batch did not partition: {segmented_queries} of {} queries segmented \
+         into {segments} segments",
+        deep_batch.len()
+    );
+    println!(
+        "deep batch partitioned {segmented_queries} queries into {segments} rule-closed segments"
+    );
 
     // The merged snapshot is deterministic at any width (per-query
     // registries merged in plan order); record it timing-free.
     let (_, snapshot) = PtkExecutor::execute_batch_recorded(&batch, view, &ThreadPool::new(1));
 
     let mut json = format!(
-        "{{\"experiment\":\"batch_scaling\",\"queries\":{},\"laps\":{laps},\"threads\":{{",
-        batch.len()
+        "{{\"experiment\":\"batch_scaling\",\"queries\":{},\"deep_queries\":{},\"laps\":{laps},",
+        batch.len(),
+        deep_batch.len(),
     );
-    let sections: Vec<String> = records
-        .iter()
-        .map(|(width, record)| format!("\"{width}\":{}", record.to_json()))
-        .collect();
-    json.push_str(&sections.join(","));
-    json.push_str("},");
-    let speedup_of = |width: usize| -> f64 {
-        let record = &records.iter().find(|(w, _)| *w == width).expect("swept").1;
-        base_median / record.median_ms()
-    };
     json.push_str(&format!(
-        "\"speedup_t2\":{:.3},\"speedup_t4\":{:.3},\"speedup_t8\":{:.3},\"metrics\":{}}}",
-        speedup_of(2),
-        speedup_of(4),
-        speedup_of(8),
-        snapshot.to_json(false),
+        "\"threads\":{{{}}},",
+        default_sweep.json_records()
     ));
+    json.push_str(&format!(
+        "\"deep_threads\":{{{}}},",
+        deep_sweep.json_records()
+    ));
+    json.push_str(&format!(
+        "\"speedup_t2\":{:.3},\"speedup_t4\":{:.3},\"speedup_t8\":{:.3},",
+        default_sweep.speedup_of(2),
+        default_sweep.speedup_of(4),
+        default_sweep.speedup_of(8),
+    ));
+    json.push_str(&format!(
+        "\"deep_speedup_t2\":{:.3},\"deep_speedup_t4\":{:.3},\"deep_speedup_t8\":{:.3},",
+        deep_sweep.speedup_of(2),
+        deep_sweep.speedup_of(4),
+        deep_sweep.speedup_of(8),
+    ));
+    json.push_str(&format!(
+        "\"deep_rule_span\":{DEEP_SPAN},\"deep_segments\":{segments},\
+         \"deep_segmented_queries\":{segmented_queries},"
+    ));
+    json.push_str(&format!("\"metrics\":{}}}", snapshot.to_json(false)));
 
     let dir = PathBuf::from("target/experiments");
     if let Err(e) = fs::create_dir_all(&dir) {
@@ -158,17 +329,28 @@ fn main() {
     }
 
     // Coarse CI gate: with PTK_ASSERT_SCALING=<ratio> the 4-thread median
-    // must be at least <ratio>x the 1-thread throughput.
+    // of each workload must be at least <ratio>x the 1-thread throughput.
     if let Ok(raw) = std::env::var("PTK_ASSERT_SCALING") {
         let required: f64 = raw
             .parse()
             .unwrap_or_else(|_| panic!("PTK_ASSERT_SCALING: cannot parse '{raw}' as a ratio"));
-        let measured = speedup_of(4);
-        assert!(
-            measured >= required,
-            "4-thread speedup {measured:.3}x is below the required {required:.2}x"
-        );
-        println!("scaling gate passed: 4-thread speedup {measured:.3}x >= {required:.2}x");
+        for (label, sweep) in [
+            ("default batch", &default_sweep),
+            ("deep scan", &deep_sweep),
+        ] {
+            let measured = sweep.speedup_of(4);
+            if measured < required {
+                print_gate_diagnostics(label, &sweep.wide_snapshot);
+                let (stage, _) = bottleneck_stage(&sweep.wide_snapshot);
+                panic!(
+                    "{label}: 4-thread speedup {measured:.3}x is below the required \
+                     {required:.2}x (bottleneck stage: {stage})"
+                );
+            }
+            println!(
+                "scaling gate passed [{label}]: 4-thread speedup {measured:.3}x >= {required:.2}x"
+            );
+        }
     }
 
     println!("\nfig5_batch_scaling: done");

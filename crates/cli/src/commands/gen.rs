@@ -2,7 +2,7 @@
 
 use std::io::Write;
 
-use ptk_datagen::{IipConfig, IipDataset, SyntheticConfig, SyntheticDataset};
+use ptk_datagen::{IipConfig, IipDataset, RulePlacement, SyntheticConfig, SyntheticDataset};
 
 use crate::load::save_table;
 
@@ -16,10 +16,20 @@ pub(super) fn cmd_generate(flags: &Flags, out: &mut dyn Write) -> Result<(), Cmd
     let seed = flags.get("seed")?.unwrap_or(0u64);
     let table = match kind.as_str() {
         "synthetic" => {
+            // --rule-span W clusters each rule's members inside a random
+            // W-rank window (rank-local rules admit the rule-closed cuts
+            // that intra-query partitioning needs); default is the paper's
+            // uniform scatter.
+            let placement = match flags.get::<usize>("rule-span")? {
+                Some(0) => return Err("--rule-span must be at least 1".into()),
+                Some(span) => RulePlacement::Clustered { span },
+                None => RulePlacement::Uniform,
+            };
             let config = SyntheticConfig {
                 tuples: flags.get("tuples")?.unwrap_or(1_000),
                 rules: flags.get("rules")?.unwrap_or(100),
                 seed,
+                placement,
                 ..Default::default()
             };
             SyntheticDataset::generate(&config).table

@@ -78,7 +78,7 @@ struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 2] = ["asc", "explain"];
+const SWITCHES: [&str; 3] = ["asc", "explain", "no-prune"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags::default();
@@ -149,6 +149,19 @@ fn pool_from_flags(flags: &Flags) -> Result<ptk_par::ThreadPool, String> {
             .map(ptk_par::ThreadPool::new)
             .map_err(|e| format!("--threads: {e}")),
         None => ptk_par::threads_from_env_strict(1).map(ptk_par::ThreadPool::new),
+    }
+}
+
+/// Engine options from flags: `--no-prune` turns off the §4.4 pruning rules
+/// so every tuple of the ranked view is evaluated. Full scans cost more
+/// sequentially, but they are exactly the shape the executor can partition
+/// across threads (segmented DP is pruning-free by construction), so the
+/// flag pairs with `--threads N` to trade scan length for parallelism.
+fn engine_options_from_flags(flags: &Flags) -> ptk_engine::EngineOptions {
+    if flags.switch("no-prune") {
+        ptk_engine::EngineOptions::without_pruning(ptk_engine::SharingVariant::Lazy)
+    } else {
+        ptk_engine::EngineOptions::default()
     }
 }
 
@@ -980,6 +993,142 @@ mod tests {
         ]);
         base.extend(extra.iter().map(|s| (*s).to_owned()));
         base
+    }
+
+    #[test]
+    fn no_prune_reports_every_probability_and_keeps_the_answers() {
+        let file = panda_file();
+        let pruned = dispatch(&query_args(file.as_str(), &[])).unwrap();
+        let full = dispatch(&query_args(file.as_str(), &["--no-prune"])).unwrap();
+        // Same answer set, but the full scan reports it scanned everything.
+        assert!(full.contains("3 tuples pass"), "{full}");
+        assert!(full.contains("scanned 6 of 6 tuples"), "{full}");
+        for row in pruned.lines().skip(1) {
+            assert!(full.contains(row), "missing row {row}: {full}");
+        }
+        // The sql form takes the same switch.
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration WITH PROBABILITY >= 0.35",
+            "--no-prune",
+        ]))
+        .unwrap();
+        assert!(out.contains("scanned 6 of 6"), "{out}");
+        assert!(out.contains("3 tuples pass"), "{out}");
+    }
+
+    #[test]
+    fn no_prune_single_query_is_identical_at_every_thread_count() {
+        // A dataset large enough (>= 128 ranks per segment) and with
+        // rank-local rules (rule-closed cuts exist) so the executor
+        // actually partitions the scan across the pool.
+        let csv = dispatch(&args(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "400",
+            "--rules",
+            "60",
+            "--seed",
+            "11",
+            "--rule-span",
+            "8",
+        ]))
+        .unwrap();
+        let file = tempfile::csv(&csv);
+        let run = |threads: &str| {
+            dispatch(&args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                "10",
+                "--p",
+                "0.3",
+                "--rank-by",
+                "score",
+                "--no-prune",
+                "--threads",
+                threads,
+                "--stats",
+                "json",
+            ]))
+            .unwrap()
+        };
+        let sequential = run("1");
+        for threads in ["2", "4"] {
+            let wide = run(threads);
+            // Every line before the stats snapshot (whose timings differ by
+            // construction) is bit-identical: header, rows, probabilities.
+            let body = |s: &str| s.rsplit_once('\n').map(|(b, _)| b.to_owned()).unwrap();
+            let (a, b) = (body(sequential.trim_end()), body(wide.trim_end()));
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn rule_span_dataset_segments_where_uniform_cannot() {
+        let generate = |extra: &[&str]| {
+            let mut argv = vec![
+                "generate",
+                "synthetic",
+                "--tuples",
+                "2000",
+                "--rules",
+                "200",
+                "--seed",
+                "5",
+            ];
+            argv.extend_from_slice(extra);
+            tempfile::csv(&dispatch(&args(&argv)).unwrap())
+        };
+        let segments = |file: &str| {
+            let out = dispatch(&args(&[
+                "query",
+                file,
+                "--k",
+                "10,20",
+                "--p",
+                "0.3,0.5",
+                "--rank-by",
+                "score",
+                "--no-prune",
+                "--threads",
+                "2",
+                "--stats",
+                "prom",
+            ]))
+            .unwrap();
+            out.lines()
+                .find_map(|l| l.strip_prefix("ptk_batch_segments "))
+                .map(|v| v.parse::<u64>().unwrap())
+        };
+        // Rank-local rules admit rule-closed cuts throughout the scan:
+        // every query partitions into near the per-query segment cap.
+        let clustered = segments(generate(&["--rule-span", "8"]).as_str()).unwrap();
+        assert!(clustered >= 40, "clustered: {clustered}");
+        // The paper's uniform scatter leaves nearly every rank inside some
+        // rule span: at most a stray cut near the scan's edges survives
+        // (at full 20k x 2k scale, none do), so the same batch splits into
+        // far fewer, degenerate segments.
+        let uniform = segments(generate(&[]).as_str()).unwrap();
+        assert!(
+            uniform < clustered / 2,
+            "uniform {uniform} vs clustered {clustered}"
+        );
+        // --rule-span must be positive.
+        let err = dispatch(&args(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "100",
+            "--rules",
+            "5",
+            "--rule-span",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

@@ -4,9 +4,8 @@
 use std::io::Write;
 use std::sync::Arc;
 
-use ptk_access::ViewSource;
 use ptk_core::{Predicate, PtkQuery, RankedView, Ranking, TopKQuery, UncertainTable};
-use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan};
+use ptk_engine::{PtkExecutor, PtkPlan};
 use ptk_obs::{Metrics, Noop, Recorder, SharedSink, Tracer};
 use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
 use ptk_sampling::{sample_topk_recorded, sample_topk_traced, SamplingOptions};
@@ -31,9 +30,9 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
     if ks.len() > 1 || ps.len() > 1 {
         return query_batch(flags, out, &table, &ks, &ps, predicate, ranking);
     }
-    // A single query runs sequentially, but a bad --threads value should
-    // not be silently accepted just because there is nothing to split.
-    pool_from_flags(flags)?;
+    // A single query can still use the pool: with --no-prune the executor
+    // partitions the ranked scan itself at rule-closed cuts.
+    let pool = pool_from_flags(flags)?;
     let (k, p) = (ks[0], ps[0]);
     let query = TopKQuery::new(k, predicate, ranking).map_err(|e| e.to_string())?;
     let ptk = PtkQuery::new(query.clone(), p).map_err(|e| e.to_string())?;
@@ -65,13 +64,12 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
     let mut analysis = String::new();
     let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match method {
         "exact" => {
-            let plan = PtkPlan::from_query(&ptk, &EngineOptions::default());
-            let mut source = ViewSource::new(&view);
+            let plan = PtkPlan::from_query(&ptk, &super::engine_options_from_flags(flags));
             let mut executor = PtkExecutor::with_recorder(&plan, recorder);
             if let Some(t) = tracer.as_ref() {
                 executor = executor.with_tracer(t);
             }
-            let mut result = executor.execute(&mut source);
+            let mut result = executor.execute_snapshot(&view, &pool);
             result.probabilities.resize(view.len(), None);
             let note = format!(
                 "scanned {} of {} tuples{}",
@@ -163,13 +161,14 @@ fn query_batch(
     // Each (k, p) combination goes through the same query-model validation
     // as the single-query path; the view itself depends only on the shared
     // predicate and ranking, so one build serves every plan.
+    let options = super::engine_options_from_flags(flags);
     let mut plans = Vec::with_capacity(ks.len() * ps.len());
     let mut labels = Vec::with_capacity(plans.capacity());
     for &k in ks {
         for &p in ps {
             let query = TopKQuery::new(k, predicate.clone(), ranking).map_err(|e| e.to_string())?;
             let ptk = PtkQuery::new(query, p).map_err(|e| e.to_string())?;
-            plans.push(PtkPlan::from_query(&ptk, &EngineOptions::default()));
+            plans.push(PtkPlan::from_query(&ptk, &options));
             labels.push((k, p));
         }
     }

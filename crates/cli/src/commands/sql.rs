@@ -3,9 +3,8 @@
 
 use std::io::Write;
 
-use ptk_access::ViewSource;
 use ptk_core::RankedView;
-use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan};
+use ptk_engine::{PtkExecutor, PtkPlan};
 use ptk_obs::{Metrics, Noop, Recorder};
 use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
 use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
@@ -33,10 +32,9 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
         many => return sql_batch(flags, out, many),
     }
     let statement_text = statements[0];
-    // A single statement runs sequentially, but a bad --threads value
-    // should not be silently accepted just because there is nothing to
-    // split.
-    pool_from_flags(flags)?;
+    // A single statement can still use the pool: with --no-prune the
+    // executor partitions the ranked scan itself at rule-closed cuts.
+    let pool = pool_from_flags(flags)?;
     let table = load_from_flags(flags)?;
     let statement = ptk_sql::parse_statement(statement_text).map_err(|e| e.to_string())?;
     let parsed = statement.query.clone();
@@ -131,9 +129,9 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
     let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match parsed.method
     {
         ptk_sql::Method::Exact => {
-            let plan = PtkPlan::new(k, p, &EngineOptions::default());
-            let mut source = ViewSource::new(&view);
-            let mut result = PtkExecutor::with_recorder(&plan, recorder).execute(&mut source);
+            let plan = PtkPlan::new(k, p, &super::engine_options_from_flags(flags));
+            let mut result =
+                PtkExecutor::with_recorder(&plan, recorder).execute_snapshot(&view, &pool);
             result.probabilities.resize(view.len(), None);
             let note = format!(
                 "exact; scanned {} of {} tuples",
@@ -238,6 +236,7 @@ fn sql_batch(flags: &Flags, out: &mut dyn Write, statements: &[&str]) -> Result<
         }
     }
 
+    let options = super::engine_options_from_flags(flags);
     let mut plans = Vec::with_capacity(parsed.len());
     let mut labels = Vec::with_capacity(parsed.len());
     let mut view = None;
@@ -245,7 +244,7 @@ fn sql_batch(flags: &Flags, out: &mut dyn Write, statements: &[&str]) -> Result<
         let bound = q
             .bind(&table)
             .map_err(|e| format!("statement {}: {e}", i + 1))?;
-        plans.push(PtkPlan::from_query(&bound, &EngineOptions::default()));
+        plans.push(PtkPlan::from_query(&bound, &options));
         labels.push((bound.k(), bound.threshold().value()));
         if view.is_none() {
             view = Some(RankedView::build(&table, bound.query()).map_err(|e| e.to_string())?);

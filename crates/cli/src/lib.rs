@@ -35,7 +35,7 @@ ptk — probabilistic threshold top-k queries on uncertain data
 USAGE:
   ptk query   <file.csv> --k <K[,K…]> --p <P[,P…]> --rank-by <col> [--asc]
               [--method exact|sampling|naive] [--where <col><op><value>]
-              [--stats text|json|prom] [--threads N] [--explain]
+              [--stats text|json|prom] [--threads N] [--no-prune] [--explain]
               [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
   ptk utopk   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk ukranks <file.csv> --k <K> --rank-by <col> [--asc]
@@ -43,12 +43,12 @@ USAGE:
   ptk inspect <file.csv>
   ptk worlds  <file.csv> --rank-by <col> [--limit N] [--max-worlds N]
   ptk sql     <file.csv> '<[EXPLAIN [ANALYZE]] SELECT TOP k … statement>[; …]'
-              [--stats text|json|prom] [--threads N]
+              [--stats text|json|prom] [--threads N] [--no-prune]
   ptk pack    <file.csv> --rank-by <col> --out <file.run>
   ptk scan    <file.run> --k <K> --p <P> [--stats text|json|prom]
               [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
   ptk trace-check <trace.json>
-  ptk generate synthetic [--tuples N] [--rules M] [--seed S]
+  ptk generate synthetic [--tuples N] [--rules M] [--seed S] [--rule-span W]
   ptk generate iip       [--tuples N] [--rules M] [--seed S]
   ptk help
 
@@ -75,6 +75,16 @@ of the ranked view. `--threads` sizes the pool (default: the PTK_THREADS
 environment variable, else 1). Answers are bit-identical at every thread
 count — threads only change wall-clock time. Batched sql statements must
 be exact PT-k queries sharing one WHERE and ORDER BY.
+
+`--no-prune` (query, sql; exact method only) disables the paper's §4.4
+pruning rules so every tuple is evaluated and all answer probabilities are
+reported. Pruning-free scans are also the shape the executor can partition:
+with `--threads N` it splits even a single query's ranked scan at
+rule-closed cuts and runs the per-segment dynamic programs on the pool,
+still bit-identical to the sequential answer. Such cuts exist when rules
+are rank-local; `generate synthetic --rule-span W` produces that regime
+(each rule's members inside a random W-rank window) where the default
+uniform scatter does not.
 
 EXAMPLES:
   ptk query sightings.csv --k 10 --p 0.5 --rank-by drifted_days

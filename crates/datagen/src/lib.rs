@@ -23,4 +23,4 @@ mod normal;
 pub mod synthetic;
 
 pub use iip::{IipConfig, IipDataset};
-pub use synthetic::{ScoreProbCorrelation, SyntheticConfig, SyntheticDataset};
+pub use synthetic::{RulePlacement, ScoreProbCorrelation, SyntheticConfig, SyntheticDataset};

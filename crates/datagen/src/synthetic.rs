@@ -24,6 +24,32 @@ pub enum ScoreProbCorrelation {
     AntiCorrelated,
 }
 
+/// Where a rule's members land in the ranked order.
+///
+/// The paper's workload scatters members uniformly, which makes rule
+/// *spans* (first member rank → last member rank) enormous: with the
+/// default 2,000 rules over 20,000 tuples, essentially every rank is
+/// interior to some rule, so no rule-closed cut exists and the engine's
+/// intra-query DP partitioning cannot engage. Real x-relations are often
+/// the opposite — the tuples of one rule describe the same real-world
+/// entity (the paper's iceberg-sighting example) and carry similar
+/// scores, so rules are rank-local and rule-closed cuts are plentiful.
+/// `Clustered` models that regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RulePlacement {
+    /// Members at uniformly random ranks (the paper's setting).
+    #[default]
+    Uniform,
+    /// Each rule's members drawn from a random contiguous rank window of
+    /// `span` positions (widened to the rule size if smaller, and walked
+    /// forward past occupied slots, so spans can exceed `span` slightly
+    /// under contention).
+    Clustered {
+        /// Window width in ranks.
+        span: usize,
+    },
+}
+
 /// Configuration of the synthetic generator. The defaults are the paper's:
 /// 20,000 tuples, 2,000 multi-tuple rules, membership probabilities
 /// `N(0.5, 0.2)`, rule probabilities `N(0.7, 0.2)`, rule sizes `N(5, 2)`.
@@ -49,6 +75,8 @@ pub struct SyntheticConfig {
     pub seed: u64,
     /// Rank/probability correlation of the independent tuples.
     pub correlation: ScoreProbCorrelation,
+    /// Where rule members land in the ranked order.
+    pub placement: RulePlacement,
 }
 
 impl Default for SyntheticConfig {
@@ -64,6 +92,7 @@ impl Default for SyntheticConfig {
             rule_size_sd: 2.0,
             seed: 0,
             correlation: ScoreProbCorrelation::Independent,
+            placement: RulePlacement::Uniform,
         }
     }
 }
@@ -94,10 +123,13 @@ pub struct SyntheticDataset {
 impl SyntheticDataset {
     /// Generates a dataset from `config`.
     ///
-    /// Rule members are assigned to uniformly random positions across the
-    /// ranked order (the paper does not localize them), so rule spans are
-    /// large — the hard case for the engine's rule handling. Member
-    /// probabilities split the rule's mass by uniform random weights.
+    /// By default rule members are assigned to uniformly random positions
+    /// across the ranked order (the paper does not localize them), so rule
+    /// spans are large — the hard case for the engine's rule handling.
+    /// [`RulePlacement::Clustered`] instead draws each rule's members from
+    /// a contiguous rank window, the rank-local regime of entity-grouped
+    /// x-relations. Member probabilities split the rule's mass by uniform
+    /// random weights either way.
     ///
     /// # Panics
     /// Panics if `config` asks for more rule members than tuples.
@@ -121,18 +153,60 @@ impl SyntheticDataset {
             n
         );
 
-        // Shuffle positions; the first `dependent` become rule members.
-        let mut positions: Vec<usize> = (0..n).collect();
-        rng.shuffle(&mut positions);
+        // Member placement. Both arms yield the rule member groups (each
+        // sorted ascending) and the independent positions, in the exact
+        // order their probabilities will be drawn — the uniform arm keeps
+        // the historical RNG draw sequence bit for bit, so default
+        // datasets are unchanged.
+        let (groups, indep_positions) = match config.placement {
+            RulePlacement::Uniform => {
+                // Shuffle positions; the first `dependent` become rule
+                // members.
+                let mut positions: Vec<usize> = (0..n).collect();
+                rng.shuffle(&mut positions);
+                let mut groups: Vec<Vec<usize>> = Vec::with_capacity(config.rules);
+                let mut cursor = 0;
+                for &size in &sizes {
+                    let mut group: Vec<usize> = positions[cursor..cursor + size].to_vec();
+                    cursor += size;
+                    group.sort_unstable();
+                    groups.push(group);
+                }
+                (groups, positions[cursor..].to_vec())
+            }
+            RulePlacement::Clustered { span } => {
+                // Each rule claims unused slots walking forward from a
+                // uniformly random window start, wrapping at the end —
+                // spans stay near `span` while occupancy is low.
+                let mut used = vec![false; n];
+                let mut groups: Vec<Vec<usize>> = Vec::with_capacity(config.rules);
+                for &size in &sizes {
+                    let span = span.max(size).min(n);
+                    let start = rng.random_range(0..=n - span);
+                    let mut group = Vec::with_capacity(size);
+                    let mut pos = start;
+                    for _ in 0..n {
+                        if group.len() == size {
+                            break;
+                        }
+                        if !used[pos] {
+                            used[pos] = true;
+                            group.push(pos);
+                        }
+                        pos = (pos + 1) % n;
+                    }
+                    debug_assert_eq!(group.len(), size, "dependent <= n guarantees room");
+                    group.sort_unstable();
+                    groups.push(group);
+                }
+                let indep: Vec<usize> = (0..n).filter(|&p| !used[p]).collect();
+                (groups, indep)
+            }
+        };
 
         // Membership probability per position.
         let mut probs = vec![0.0f64; n];
-        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(config.rules);
-        let mut cursor = 0;
-        for size in sizes {
-            let mut group: Vec<usize> = positions[cursor..cursor + size].to_vec();
-            cursor += size;
-            group.sort_unstable();
+        for group in &groups {
             let mass = sample_normal_clamped(
                 &mut rng,
                 config.rule_prob_mean,
@@ -149,9 +223,8 @@ impl SyntheticDataset {
             for (&pos, w) in group.iter().zip(&weights) {
                 probs[pos] = (mass * w / total).max(1e-6);
             }
-            groups.push(group);
         }
-        let mut indep_positions: Vec<usize> = positions[cursor..].to_vec();
+        let mut indep_positions = indep_positions;
         let mut indep_probs: Vec<f64> = indep_positions
             .iter()
             .map(|_| {
@@ -332,6 +405,55 @@ mod tests {
             let sum: f64 = rule.members.iter().map(|&m| ds.view.prob(m)).sum();
             assert!((sum - rule.mass).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn clustered_placement_bounds_rule_spans() {
+        let span = 32;
+        let config = SyntheticConfig {
+            placement: RulePlacement::Clustered { span },
+            ..small()
+        };
+        let ds = SyntheticDataset::generate(&config);
+        assert_eq!(ds.table.len(), 2_000);
+        assert_eq!(ds.table.rules().len(), 150);
+        // Low occupancy (150 rules x ~5 members over 2,000 slots): the
+        // forward walk rarely strays far past the window, and never
+        // degenerates to table-wide spans.
+        for rule in ds.view.rules() {
+            let lo = *rule.members.iter().min().unwrap();
+            let hi = *rule.members.iter().max().unwrap();
+            assert!(
+                hi - lo < span * 4,
+                "rule span {} exceeds 4x the {span} window",
+                hi - lo
+            );
+            let sum: f64 = rule.members.iter().map(|&m| ds.view.prob(m)).sum();
+            assert!((sum - rule.mass).abs() < 1e-9);
+        }
+        // Deterministic like every other mode.
+        let again = SyntheticDataset::generate(&config);
+        assert_eq!(ds.view, again.view);
+        // And actually different from uniform placement.
+        assert_ne!(ds.view, SyntheticDataset::generate(&small()).view);
+    }
+
+    #[test]
+    fn clustered_placement_survives_full_occupancy() {
+        // Every slot becomes a rule member: the walk must wrap and still
+        // find room for everyone.
+        let config = SyntheticConfig {
+            tuples: 40,
+            rules: 8,
+            rule_size_mean: 5.0,
+            rule_size_sd: 0.0,
+            placement: RulePlacement::Clustered { span: 4 },
+            seed: 3,
+            ..Default::default()
+        };
+        let ds = SyntheticDataset::generate(&config);
+        let members: usize = ds.view.rules().iter().map(|r| r.members.len()).sum();
+        assert_eq!(members, 40);
     }
 
     #[test]

@@ -27,9 +27,10 @@ use ptk_obs::{
     Mark, Metrics, Noop, Payload, PhaseClock, PruneRule, Recorder, RingSink, SharedSink, Snapshot,
     Stage, StopRule, TraceEvent, Tracer,
 };
-use ptk_par::ThreadPool;
+use ptk_par::{StealStats, ThreadPool};
 
 use crate::dp;
+use crate::layout::{LayoutCursor, ScanLayout, StableRecord, StableSeed};
 use crate::plan::{PtkBatch, PtkPlan, SharingVariant};
 use crate::stats::{counters, ExecStats, StopReason};
 
@@ -264,6 +265,92 @@ impl Compressor {
         }
     }
 
+    /// A compressor positioned exactly where a sequential scan would be
+    /// after absorbing ranks `0..boundary` at a **rule-closed cut**: every
+    /// absorbed tuple is stable (an independent or a completed rule), and
+    /// the last *built* entry list is the availability-ordered stable
+    /// prefix `stables[..entry_count]` — the `entry_count` items available
+    /// before rank `boundary - 1` — whose DP row is `boundary_row`.
+    ///
+    /// Why that is the sequential state: with pruning off, the list built
+    /// while evaluating the tuple at `boundary - 1` excludes that tuple's
+    /// own rule (Corollary 2) and contains no other open rule (any rule
+    /// open after rank `boundary - 2` must have its next member at
+    /// `boundary - 1` — making it the own rule — or at `>= boundary`,
+    /// contradicting rule closure), so it is precisely the stable items
+    /// available through rank `boundary - 2`, in availability order, for
+    /// every [`SharingVariant`]. The DP rows *under* the last one are
+    /// seeded as placeholders: `RC` rebuilds from `rows[0]` (the unit row)
+    /// anyway, and the prefix-sharing variants keep `rows[..=entry_count]`
+    /// intact and only ever read the last, so no placeholder is read and
+    /// the forked state stays bit-identical to the sequential one.
+    ///
+    /// Counters start at zero: the seeded prefix's DP work was already
+    /// counted by whoever produced `boundary_row` (the preceding
+    /// segments), so per-segment counters sum to the sequential totals.
+    pub(crate) fn from_boundary(
+        k: usize,
+        variant: SharingVariant,
+        stables: &[StableRecord],
+        entry_count: usize,
+        boundary_row: &[f64],
+    ) -> Compressor {
+        let mut comp = Compressor::new(k, variant);
+        for rec in stables {
+            match rec.seed {
+                StableSeed::Indep { tag, prob } => {
+                    comp.stable.push(StableItem::Indep { tag, prob });
+                }
+                StableSeed::Rule {
+                    key,
+                    absorbed,
+                    mass,
+                } => {
+                    let idx = comp.rule_states.len() as u32;
+                    let states = &comp.rule_states;
+                    let pos = comp
+                        .rule_order
+                        .partition_point(|&j| states[j as usize].key < key);
+                    comp.rule_states.push(RuleState {
+                        key,
+                        mass,
+                        absorbed,
+                        last_touch: 0,
+                        next_rank: None,
+                        len: Some(absorbed as usize),
+                        completed: true,
+                        kept_stamp: 0,
+                    });
+                    comp.rule_order.insert(pos, idx);
+                    comp.rule_index.insert(key, idx);
+                    comp.stable.push(StableItem::CompletedRule(idx));
+                }
+            }
+        }
+        debug_assert!(entry_count <= comp.stable.len());
+        comp.entries = comp.stable[..entry_count]
+            .iter()
+            .map(|item| match *item {
+                StableItem::Indep { tag, prob } => PoolEntry::Indep { tag, prob },
+                StableItem::CompletedRule(idx) => {
+                    let rs = &comp.rule_states[idx as usize];
+                    PoolEntry::Rule {
+                        key: rs.key,
+                        idx,
+                        absorbed: rs.absorbed,
+                        mass: rs.mass,
+                    }
+                }
+            })
+            .collect();
+        if entry_count > 0 {
+            // `rows[0]` stays the unit row; only the last row is real.
+            comp.rows.extend((1..entry_count).map(|_| Vec::new()));
+            comp.rows.push(boundary_row.to_vec());
+        }
+        comp
+    }
+
     /// How many members of `rule` have been absorbed so far.
     pub(crate) fn absorbed(&self, rule: RuleKey) -> u32 {
         self.rule_index
@@ -398,7 +485,13 @@ impl Compressor {
                     }
                 };
                 let rs = &mut self.rule_states[idx as usize];
-                rs.mass += spec.prob;
+                // A rule's mass is a probability: member probabilities that
+                // mathematically sum to 1 can overshoot by an ulp in f64,
+                // and the DP rejects q > 1. Clamp exactly as the view does
+                // (`RankedView` tolerates mass <= 1 + 1e-9 and stores
+                // `min(1.0)`). `ScanLayout::materialize` mirrors this
+                // operation bit for bit.
+                rs.mass = (rs.mass + spec.prob).min(1.0);
                 rs.absorbed += 1;
                 rs.last_touch = self.step;
                 rs.next_rank = spec.next_member_rank;
@@ -864,53 +957,288 @@ impl<'a> PtkExecutor<'a> {
         }
     }
 
-    /// Evaluates a batch of independent plans against one shared ranked
-    /// snapshot, fanning the plans across `pool`'s workers.
+    /// Runs this executor's plan against a shared ranked snapshot, using
+    /// `pool` for **intra-query** parallelism when the plan is eligible.
     ///
-    /// Each worker [`fork`](SnapshotSource::fork)s its own scan cursor and
-    /// runs the unchanged sequential [`PtkExecutor::execute`] on it, so
-    /// every per-query answer — probabilities to the bit (`f64::to_bits`)
-    /// and the full [`ExecStats`] — is identical to what a sequential
-    /// evaluation of that plan would produce, at every pool width. Plans
-    /// are assigned to workers by the pool's strided schedule (a pure
-    /// function of `(batch.len(), threads)`), and results come back in
-    /// plan order.
+    /// With one worker, or a plan that prunes (the §4.4 rules are
+    /// inherently sequential — what gets pruned depends on everything
+    /// scanned before it), this forks a cursor and runs the sequential
+    /// [`PtkExecutor::execute`]. Otherwise the scan layout is materialized
+    /// once, partitioned at rule-closed cuts into segments, and the
+    /// per-segment subset-probability DP runs on the pool's deterministic
+    /// stealing scheduler; prefix state is stitched at the boundaries, and
+    /// the answers, probabilities and [`ExecStats`] are **bit-identical**
+    /// to the sequential scan at every pool width (see
+    /// `Compressor::from_boundary` for the argument). Scans too small or
+    /// too rule-tangled to partition fall back to the whole-scan path.
+    ///
+    /// Tracing: a partitioned execution emits one [`Stage::Segment`] span
+    /// per segment — segment boundaries are a pure function of the rule
+    /// layout, never of the pool width — followed by the answer marks in
+    /// rank order, all under the [`Stage::Query`] span, instead of the
+    /// sequential per-phase spans.
+    pub fn execute_snapshot<S: SnapshotSource + ?Sized>(
+        &self,
+        source: &S,
+        pool: &ThreadPool,
+    ) -> PtkResult {
+        if pool.threads() <= 1 || self.plan.options().pruning {
+            let mut cursor = source.fork();
+            return self.execute(cursor.as_mut());
+        }
+        let layout = ScanLayout::materialize(source);
+        let tasks = plan_segment_tasks(&layout, self.plan.k());
+        if tasks.len() < 2 {
+            let mut cursor = LayoutCursor::new(&layout);
+            return self.execute(&mut cursor);
+        }
+        self.run_partitioned(&layout, &tasks, pool)
+    }
+
+    /// The partitioned deep-scan path of [`PtkExecutor::execute_snapshot`].
+    fn run_partitioned(
+        &self,
+        layout: &ScanLayout,
+        tasks: &[SegmentTask],
+        pool: &ThreadPool,
+    ) -> PtkResult {
+        let recorder = self.recorder;
+        let _query_span = ptk_obs::span(recorder, "engine.query");
+        let tracer = self.tracer.filter(|t| t.enabled());
+        let clocks_live = recorder.enabled() || tracer.is_some();
+        let query_begin = tracer.map_or(0, |t| t.begin(Stage::Query));
+        let plan = self.plan;
+        let outcomes = pool.parallel_map_stealing(tasks, |_, task| {
+            run_segment(plan, layout, task, clocks_live)
+        });
+        if let Some(t) = tracer {
+            // Segment spans laid back to back from the query's start, each
+            // sized by its measured DP time — the same synthetic layout the
+            // sequential path uses for its phase spans.
+            let mut at = query_begin;
+            for (s, (task, out)) in tasks.iter().zip(&outcomes).enumerate() {
+                let nanos = out.reorder_nanos + out.dp_nanos;
+                t.span_at(
+                    Stage::Segment,
+                    at,
+                    at + nanos,
+                    Payload::Segment {
+                        index: s as u64,
+                        start_rank: task.start as u64,
+                        tuples: (task.end - task.start) as u64,
+                    },
+                );
+                at += nanos;
+            }
+        }
+        let (result, reorder_nanos, dp_nanos) = stitch_segments(layout.len(), outcomes);
+        if let Some(t) = tracer {
+            for a in &result.answers {
+                t.instant(Mark::Answer {
+                    rank: a.rank as u64,
+                });
+            }
+            t.end(
+                Stage::Query,
+                Payload::Scan {
+                    scanned: result.stats.scanned as u64,
+                    evaluated: result.stats.evaluated as u64,
+                    pruned_membership: 0,
+                    pruned_rule: 0,
+                    answers: result.answers.len() as u64,
+                },
+            );
+        }
+        recorder.record_nanos("engine.phase.reorder", reorder_nanos);
+        recorder.record_nanos("engine.phase.dp", dp_nanos);
+        result.stats.record_to(recorder);
+        recorder.add(counters::ANSWERS, result.answers.len() as u64);
+        result
+    }
+
+    /// Evaluates a batch of independent plans against one shared ranked
+    /// snapshot on `pool`'s deterministic work-stealing scheduler.
+    ///
+    /// The rule layout is compressed **once** against the shared source
+    /// (`ScanLayout`): each query replays the materialized scan instead
+    /// of forking its own cursor and re-deriving the layout tuple by
+    /// tuple, and plans whose scan can be partitioned at rule-closed cuts
+    /// (pruning off, scan deep enough) are split into per-segment DP tasks
+    /// so one expensive query no longer serializes the batch. Every
+    /// per-query answer — probabilities to the bit (`f64::to_bits`) and
+    /// the full [`ExecStats`] — is identical to a sequential evaluation of
+    /// that plan, at every pool width and under any steal interleaving:
+    /// the replay is exact, segment boundaries are a pure function of the
+    /// layout, and results are reassembled in plan order.
+    ///
+    /// A single-worker pool short-circuits to a plain sequential loop that
+    /// never touches the pool; a lone pruning plan keeps its plain forked
+    /// cursor (materializing the layout would scan the whole source even
+    /// if the query stops early).
     pub fn execute_batch<S: SnapshotSource + ?Sized>(
         batch: &PtkBatch,
         source: &S,
         pool: &ThreadPool,
     ) -> Vec<PtkResult> {
-        pool.parallel_map_strided(batch.plans(), |_, plan| {
-            let mut cursor = source.fork();
-            PtkExecutor::new(plan).execute(cursor.as_mut())
-        })
+        Self::batch_inner(batch, source, pool, false).0
     }
 
-    /// Like [`PtkExecutor::execute_batch`], but each worker records its
-    /// queries into a private [`Metrics`] registry; the per-query
-    /// snapshots are merged in plan order at the barrier.
+    /// Like [`PtkExecutor::execute_batch`], but recording: the returned
+    /// [`Snapshot`] merges every query's counters in plan order, so it is
+    /// identical at every pool width — only the wall-clock timing section
+    /// and the `scheduler` section (workers spawned, steals, segments;
+    /// runtime facts by nature) vary, and [`Snapshot::to_json`] already
+    /// excludes both from deterministic output.
     ///
-    /// Because every query records into its own registry and the merge
-    /// order is the (fixed) plan order, the merged snapshot's counters and
-    /// histograms are identical at every pool width — only the wall-clock
-    /// timing section varies, and [`Snapshot::to_json`] already excludes
-    /// it from deterministic output.
+    /// On a single-worker pool the batch runs as a plain sequential loop
+    /// recording into **one** shared registry — no per-query registries,
+    /// no merge, no pool; recording into one registry is bit-equal to the
+    /// merge because counters are sums either way. The snapshot's
+    /// `batch.workers_spawned` scheduler fact is then 0.
     pub fn execute_batch_recorded<S: SnapshotSource + ?Sized>(
         batch: &PtkBatch,
         source: &S,
         pool: &ThreadPool,
     ) -> (Vec<PtkResult>, Snapshot) {
-        let per_query = pool.parallel_map_strided(batch.plans(), |_, plan| {
-            let metrics = Metrics::new();
-            let mut cursor = source.fork();
-            let result = PtkExecutor::with_recorder(plan, &metrics).execute(cursor.as_mut());
-            (result, metrics.snapshot())
+        let (results, snapshot) = Self::batch_inner(batch, source, pool, true);
+        (
+            results,
+            snapshot.expect("recorded batches always build a snapshot"),
+        )
+    }
+
+    /// The shared batch driver behind [`PtkExecutor::execute_batch`] and
+    /// [`PtkExecutor::execute_batch_recorded`].
+    fn batch_inner<S: SnapshotSource + ?Sized>(
+        batch: &PtkBatch,
+        source: &S,
+        pool: &ThreadPool,
+        record: bool,
+    ) -> (Vec<PtkResult>, Option<Snapshot>) {
+        let plans = batch.plans();
+        // A materialized layout pays for itself when several queries share
+        // it or a single deep scan can be partitioned over it; a lone
+        // pruning query keeps the plain fork.
+        let layout_pays = plans.len() >= 2 || plans.iter().any(|p| !p.options().pruning);
+        if pool.threads() <= 1 || !layout_pays {
+            // Sequential short-circuit: no workers, no per-query
+            // registries, no merge — one shared registry accumulates every
+            // query, which is bit-equal to merging per-query snapshots.
+            let shared = record.then(Metrics::new);
+            let mut results = Vec::with_capacity(plans.len());
+            for plan in plans {
+                let mut cursor = source.fork();
+                results.push(match &shared {
+                    Some(metrics) => {
+                        PtkExecutor::with_recorder(plan, metrics).execute(cursor.as_mut())
+                    }
+                    None => PtkExecutor::new(plan).execute(cursor.as_mut()),
+                });
+            }
+            let snapshot = shared.map(|metrics| {
+                let mut snap = metrics.snapshot();
+                let inline = StealStats {
+                    workers_spawned: 0,
+                    tasks: plans.len() as u64,
+                    stolen: 0,
+                };
+                publish_scheduler(&mut snap, inline, 0, 0);
+                snap
+            });
+            return (results, snapshot);
+        }
+
+        let layout = ScanLayout::materialize(source);
+        let mut tasks: Vec<BatchTask> = Vec::new();
+        let mut segmented_queries = 0u64;
+        for (p, plan) in plans.iter().enumerate() {
+            let segs = if plan.options().pruning {
+                Vec::new()
+            } else {
+                plan_segment_tasks(&layout, plan.k())
+            };
+            if segs.is_empty() {
+                tasks.push(BatchTask::Whole { plan_idx: p });
+            } else {
+                segmented_queries += 1;
+                tasks.extend(
+                    segs.into_iter()
+                        .map(|task| BatchTask::Segment { plan_idx: p, task }),
+                );
+            }
+        }
+        let segment_count = tasks
+            .iter()
+            .filter(|t| matches!(t, BatchTask::Segment { .. }))
+            .count() as u64;
+
+        let layout_ref = &layout;
+        let (outs, steal) = pool.parallel_map_stealing_stats(&tasks, |_, task| match task {
+            BatchTask::Whole { plan_idx } => {
+                let plan = &plans[*plan_idx];
+                let mut cursor = LayoutCursor::new(layout_ref);
+                if record {
+                    let metrics = Metrics::new();
+                    let result = PtkExecutor::with_recorder(plan, &metrics).execute(&mut cursor);
+                    TaskOut::Whole(result, Some(metrics.snapshot()))
+                } else {
+                    TaskOut::Whole(PtkExecutor::new(plan).execute(&mut cursor), None)
+                }
+            }
+            BatchTask::Segment { plan_idx, task } => {
+                TaskOut::Segment(run_segment(&plans[*plan_idx], layout_ref, task, record))
+            }
         });
-        let mut merged = Snapshot::default();
-        let mut results = Vec::with_capacity(per_query.len());
-        for (result, snapshot) in per_query {
-            merged.merge(&snapshot);
+
+        // Reassemble per plan: whole results land directly, segment
+        // outcomes stitch. Tasks were issued in plan order with segments
+        // in rank order, so a linear walk preserves both.
+        let mut whole: Vec<Option<(PtkResult, Option<Snapshot>)>> =
+            (0..plans.len()).map(|_| None).collect();
+        let mut seg_outs: Vec<Vec<SegmentOutcome>> = (0..plans.len()).map(|_| Vec::new()).collect();
+        for (task, out) in tasks.iter().zip(outs) {
+            match (task, out) {
+                (BatchTask::Whole { plan_idx }, TaskOut::Whole(result, snap)) => {
+                    whole[*plan_idx] = Some((result, snap));
+                }
+                (BatchTask::Segment { plan_idx, .. }, TaskOut::Segment(outcome)) => {
+                    seg_outs[*plan_idx].push(outcome);
+                }
+                _ => unreachable!("task kinds round-trip through the pool"),
+            }
+        }
+        let mut merged = record.then(Snapshot::default);
+        let mut results = Vec::with_capacity(plans.len());
+        for (p, slot) in whole.into_iter().enumerate() {
+            let (result, snap) = match slot {
+                Some(pair) => pair,
+                None => {
+                    let (result, reorder_nanos, dp_nanos) =
+                        stitch_segments(layout.len(), std::mem::take(&mut seg_outs[p]));
+                    let snap = record.then(|| {
+                        // Mirror what a sequential recorded run of this
+                        // plan would put in its registry: the exec
+                        // counters, the answer count, and the phase
+                        // timings (timings are non-deterministic and
+                        // excluded from deterministic renderings anyway).
+                        let metrics = Metrics::new();
+                        result.stats.record_to(&metrics);
+                        metrics.add(counters::ANSWERS, result.answers.len() as u64);
+                        metrics.record_nanos("engine.phase.reorder", reorder_nanos);
+                        metrics.record_nanos("engine.phase.dp", dp_nanos);
+                        metrics.record_nanos("engine.query", reorder_nanos + dp_nanos);
+                        metrics.snapshot()
+                    });
+                    (result, snap)
+                }
+            };
+            if let (Some(m), Some(s)) = (merged.as_mut(), snap.as_ref()) {
+                m.merge(s);
+            }
             results.push(result);
+        }
+        if let Some(m) = merged.as_mut() {
+            publish_scheduler(m, steal, segment_count, segmented_queries);
         }
         (results, merged)
     }
@@ -920,15 +1248,18 @@ impl<'a> PtkExecutor<'a> {
     /// events, returning the merged event stream alongside the results and
     /// snapshot.
     ///
-    /// Determinism: each query gets its own [`Tracer`] whose query id is
-    /// the plan index and whose sequence numbers start at 0, and the
-    /// per-query event runs are concatenated in plan order — so the
-    /// *logical* event stream ([`ptk_obs::render_logical`]) is a pure
-    /// function of the batch at every pool width. The worker id stamped on
-    /// the events is the pool's strided assignment (`i % workers`, a pure
-    /// function of `(batch.len(), threads)`), and all tracers share one
-    /// epoch so the wall-clock export lines queries up on a common
-    /// timeline.
+    /// Traced batches steal at **whole-query** granularity only (never
+    /// segmenting): keeping each query's scan sequential keeps its event
+    /// stream exactly the sequential one. Each query gets its own
+    /// [`Tracer`] whose query id is the plan index and whose sequence
+    /// numbers start at 0, and the per-query event runs are concatenated
+    /// in plan order — so the *logical* event stream
+    /// ([`ptk_obs::render_logical`]) is a pure function of the batch at
+    /// every pool width. The worker id stamped on the events is the
+    /// query's home lane (`i % workers`, a pure function of
+    /// `(batch.len(), threads)`) regardless of which worker stole it, and
+    /// all tracers share one epoch so the wall-clock export lines queries
+    /// up on a common timeline.
     pub fn execute_batch_traced<S: SnapshotSource + ?Sized>(
         batch: &PtkBatch,
         source: &S,
@@ -936,20 +1267,27 @@ impl<'a> PtkExecutor<'a> {
         capacity: usize,
     ) -> (Vec<PtkResult>, Snapshot, Vec<TraceEvent>) {
         let epoch = Instant::now();
-        let workers = pool.threads().min(batch.plans().len()).max(1);
-        let per_query = pool.parallel_map_strided(batch.plans(), |i, plan| {
+        let plans = batch.plans();
+        let lanes = pool.threads().min(plans.len()).max(1);
+        let layout =
+            (pool.threads() > 1 && plans.len() >= 2).then(|| ScanLayout::materialize(source));
+        let (per_query, steal) = pool.parallel_map_stealing_stats(plans, |i, plan| {
             let sink = Arc::new(RingSink::new(capacity));
             let tracer = Tracer::with_epoch(
                 Arc::clone(&sink) as SharedSink,
                 i as u32,
-                (i % workers) as u32,
+                (i % lanes) as u32,
                 epoch,
             );
             let metrics = Metrics::new();
-            let mut cursor = source.fork();
-            let result = PtkExecutor::with_recorder(plan, &metrics)
-                .with_tracer(&tracer)
-                .execute(cursor.as_mut());
+            let executor = PtkExecutor::with_recorder(plan, &metrics).with_tracer(&tracer);
+            let result = match layout.as_ref() {
+                Some(l) => executor.execute(&mut LayoutCursor::new(l)),
+                None => {
+                    let mut cursor = source.fork();
+                    executor.execute(cursor.as_mut())
+                }
+            };
             (result, metrics.snapshot(), sink.events())
         });
         let mut merged = Snapshot::default();
@@ -960,6 +1298,212 @@ impl<'a> PtkExecutor<'a> {
             events.extend(run);
             results.push(result);
         }
+        publish_scheduler(&mut merged, steal, 0, 0);
         (results, merged, events)
     }
+}
+
+/// Policy floor: partitioned scans aim for segments of at least this many
+/// ranks — below that the boundary bookkeeping outweighs the DP saved.
+const MIN_SEGMENT_TUPLES: usize = 128;
+/// Policy cap on segments per query, bounding boundary-row storage.
+const MAX_SEGMENTS: usize = 16;
+
+/// One segment of a partitioned scan: the rank range plus the seeded
+/// compressor state at its opening boundary (see
+/// [`Compressor::from_boundary`]).
+#[derive(Debug)]
+struct SegmentTask {
+    start: usize,
+    end: usize,
+    /// Stable items available before `start - 1` — the length of the
+    /// sequential entry list at the boundary.
+    entry_count: usize,
+    /// DP row of that entry list. Empty for the first segment.
+    boundary_row: Vec<f64>,
+}
+
+/// What one segment run reports back for stitching.
+#[derive(Debug)]
+struct SegmentOutcome {
+    /// `Pr^k` per rank of the segment (pruning is off, so every rank has
+    /// an exact probability).
+    probabilities: Vec<f64>,
+    answers: Vec<AnswerTuple>,
+    dp_cells: u64,
+    entries_recomputed: u64,
+    /// Rules first absorbed inside this segment. Rule closure makes rule
+    /// sets disjoint across segments, so these sum to the sequential
+    /// `rules_compressed`.
+    new_rules: u64,
+    reorder_nanos: u64,
+    dp_nanos: u64,
+}
+
+/// One unit of batch work for the stealing scheduler.
+#[derive(Debug)]
+enum BatchTask {
+    /// A plan that runs as one sequential scan over the shared layout.
+    Whole { plan_idx: usize },
+    /// One segment of a partitioned plan.
+    Segment { plan_idx: usize, task: SegmentTask },
+}
+
+/// The result of one [`BatchTask`].
+enum TaskOut {
+    Whole(PtkResult, Option<Snapshot>),
+    Segment(SegmentOutcome),
+}
+
+/// Publishes runtime scheduling facts into a snapshot's `scheduler`
+/// section — diagnostics excluded from deterministic renderings, since
+/// steal counts depend on OS timing.
+fn publish_scheduler(
+    snapshot: &mut Snapshot,
+    steal: StealStats,
+    segments: u64,
+    segmented_queries: u64,
+) {
+    snapshot
+        .scheduler
+        .insert("batch.workers_spawned", steal.workers_spawned);
+    snapshot.scheduler.insert("batch.tasks", steal.tasks);
+    snapshot.scheduler.insert("batch.steals", steal.stolen);
+    snapshot.scheduler.insert("batch.segments", segments);
+    snapshot
+        .scheduler
+        .insert("batch.segmented_queries", segmented_queries);
+}
+
+/// Partitions `layout` at rule-closed cuts and seeds each non-initial
+/// segment with its boundary DP row — one `O(n·k)` chain of exactly the
+/// convolutions the sequential scan performs over the stable items in
+/// availability order, so each seeded row is bit-identical to the
+/// sequential row it stands in for. Returns an empty vector when the
+/// layout is not worth partitioning.
+fn plan_segment_tasks(layout: &ScanLayout, k: usize) -> Vec<SegmentTask> {
+    let cuts = layout.plan_segments(MIN_SEGMENT_TUPLES, MAX_SEGMENTS);
+    if cuts.is_empty() {
+        return Vec::new();
+    }
+    let n = layout.len();
+    let mut tasks = Vec::with_capacity(cuts.len() + 1);
+    let mut row = dp::unit_row(k);
+    let mut folded = 0usize;
+    let mut start = 0usize;
+    for &end in cuts.iter().chain(std::iter::once(&n)) {
+        let (entry_count, boundary_row) = if start == 0 {
+            (0, Vec::new())
+        } else {
+            let m = layout.stable_before(start - 1);
+            while folded < m {
+                let mass = match layout.stable[folded].seed {
+                    StableSeed::Indep { prob, .. } => prob,
+                    StableSeed::Rule { mass, .. } => mass,
+                };
+                dp::convolve_in_place(&mut row, mass);
+                folded += 1;
+            }
+            (m, row.clone())
+        };
+        tasks.push(SegmentTask {
+            start,
+            end,
+            entry_count,
+            boundary_row,
+        });
+        start = end;
+    }
+    tasks
+}
+
+/// Runs one segment of a pruning-off scan over the shared layout,
+/// replaying the recorded per-rank hints. Bit-identical to the sequential
+/// scan over the same ranks by the [`Compressor::from_boundary`] argument.
+fn run_segment(
+    plan: &PtkPlan,
+    layout: &ScanLayout,
+    task: &SegmentTask,
+    clocks_live: bool,
+) -> SegmentOutcome {
+    let threshold = plan.scan_threshold();
+    let mut comp = if task.start == 0 {
+        Compressor::new(plan.k(), plan.options().variant)
+    } else {
+        Compressor::from_boundary(
+            plan.k(),
+            plan.options().variant,
+            &layout.stable[..layout.stable_before(task.start)],
+            task.entry_count,
+            &task.boundary_row,
+        )
+    };
+    let seeded_rules = comp.rules_compressed();
+    let mut reorder_clock = PhaseClock::enabled_if(clocks_live);
+    let mut dp_clock = PhaseClock::enabled_if(clocks_live);
+    let mut probabilities = Vec::with_capacity(task.end - task.start);
+    let mut answers = Vec::new();
+    for rank in task.start..task.end {
+        let rec = &layout.tuples[rank];
+        let tuple = rec.tuple;
+        let desired = reorder_clock.time(|| comp.desired_list(tuple.rule));
+        dp_clock.time(|| comp.recompute(desired));
+        let prk = tuple.prob * dp::partial_sum(comp.last_row());
+        probabilities.push(prk);
+        if prk >= threshold {
+            answers.push(AnswerTuple {
+                rank,
+                id: tuple.id,
+                score: tuple.score,
+                probability: prk,
+            });
+        }
+        comp.absorb(AbsorbSpec {
+            tag: rank,
+            prob: tuple.prob,
+            rule: tuple.rule,
+            rule_len: rec.rule_len,
+            next_member_rank: rec.next_member_rank,
+        });
+    }
+    SegmentOutcome {
+        probabilities,
+        answers,
+        dp_cells: comp.dp_cells(),
+        entries_recomputed: comp.entries_recomputed(),
+        new_rules: comp.rules_compressed() - seeded_rules,
+        reorder_nanos: reorder_clock.nanos(),
+        dp_nanos: dp_clock.nanos(),
+    }
+}
+
+/// Concatenates segment outcomes into the sequential result shape,
+/// returning the summed reorder / DP nanos alongside.
+fn stitch_segments(n: usize, segments: Vec<SegmentOutcome>) -> (PtkResult, u64, u64) {
+    let mut stats = ExecStats {
+        scanned: n,
+        evaluated: n,
+        ..ExecStats::default()
+    };
+    let mut probabilities = Vec::with_capacity(n);
+    let mut answers = Vec::new();
+    let (mut reorder_nanos, mut dp_nanos) = (0u64, 0u64);
+    for seg in segments {
+        stats.dp_cells += seg.dp_cells;
+        stats.entries_recomputed += seg.entries_recomputed;
+        stats.rules_compressed += seg.new_rules;
+        probabilities.extend(seg.probabilities.into_iter().map(Some));
+        answers.extend(seg.answers);
+        reorder_nanos += seg.reorder_nanos;
+        dp_nanos += seg.dp_nanos;
+    }
+    (
+        PtkResult {
+            answers,
+            probabilities,
+            stats,
+        },
+        reorder_nanos,
+        dp_nanos,
+    )
 }

@@ -51,6 +51,7 @@
 pub mod dp;
 mod exact;
 mod exec;
+mod layout;
 mod plan;
 mod scanner;
 mod stats;

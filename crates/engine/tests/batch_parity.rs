@@ -236,3 +236,232 @@ fn batch_works_over_sorted_vec_snapshots() {
         }
     }
 }
+
+/// A deep ranked view with *clustered* rules (members a few ranks apart),
+/// so the scan has plenty of rule-closed cuts and the partitioned DP path
+/// actually engages — wide random rules would keep some rule open across
+/// every candidate boundary.
+fn deep_view(rng: &mut StdRng, n: usize) -> RankedView {
+    let mut probs: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..=0.95f64)).collect();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut pos = 0usize;
+    while pos + 12 < n {
+        if rng.random_bool(0.3) {
+            let size = rng.random_range(2..=4usize);
+            let stride = rng.random_range(1..=3usize);
+            let group: Vec<usize> = (0..size).map(|j| pos + j * stride).collect();
+            for &g in &group {
+                // Keep every rule's mass safely below 1.
+                probs[g] = rng.random_range(0.05..=0.24);
+            }
+            pos = group.last().copied().unwrap() + 1 + rng.random_range(0..=2usize);
+            groups.push(group);
+        } else {
+            pos += 1;
+        }
+    }
+    RankedView::from_ranked_probs(&probs, &groups).unwrap()
+}
+
+#[test]
+fn skewed_batch_with_deep_scan_is_bit_identical_under_stealing() {
+    // The issue's adversarial shape: one k=50 pruning-off deep scan among
+    // cheap k=2 queries. The deep query is partitioned into segment tasks
+    // and the cheap ones run whole; under deterministic stealing the
+    // answers, stats, merged snapshot and logical traces must all be
+    // bit-identical at every pool width.
+    let mut rng = StdRng::seed_from_u64(0x5eed_0b4c);
+    let view = deep_view(&mut rng, 600);
+    let plans = vec![
+        PtkPlan::new(2, 0.3, &EngineOptions::default()),
+        PtkPlan::new(2, 0.3, &EngineOptions::without_pruning(SharingVariant::Rc)),
+        PtkPlan::new(
+            2,
+            0.4,
+            &EngineOptions::without_pruning(SharingVariant::Aggressive),
+        ),
+        PtkPlan::new(
+            50,
+            0.2,
+            &EngineOptions::without_pruning(SharingVariant::Lazy),
+        ),
+        PtkPlan::new(2, 0.5, &EngineOptions::with_variant(SharingVariant::Lazy)),
+        PtkPlan::new(
+            3,
+            0.25,
+            &EngineOptions::without_pruning(SharingVariant::Lazy),
+        ),
+    ];
+    let batch = PtkPlan::batch(&plans);
+
+    let sequential: Vec<PtkResult> = plans
+        .iter()
+        .map(|plan| {
+            let mut source = ptk_access::ViewSource::new(&view);
+            PtkExecutor::new(plan).execute(&mut source)
+        })
+        .collect();
+    let mut reference = ptk_obs::Snapshot::default();
+    for plan in &plans {
+        let metrics = Metrics::new();
+        let mut source = ptk_access::ViewSource::new(&view);
+        let _ = PtkExecutor::with_recorder(plan, &metrics).execute(&mut source);
+        reference.merge(&metrics.snapshot());
+    }
+    let (_, _, trace_reference) =
+        PtkExecutor::execute_batch_traced(&batch, &view, &ThreadPool::new(1), 1 << 14);
+    let trace_reference = ptk_obs::render_logical(&trace_reference);
+
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        let results = PtkExecutor::execute_batch(&batch, &view, &pool);
+        for (q, (a, b)) in results.iter().zip(&sequential).enumerate() {
+            assert_results_bit_identical(a, b, &format!("skewed threads {threads} query {q}"));
+        }
+
+        let (recorded, merged) = PtkExecutor::execute_batch_recorded(&batch, &view, &pool);
+        for (q, (a, b)) in recorded.iter().zip(&sequential).enumerate() {
+            assert_results_bit_identical(
+                a,
+                b,
+                &format!("skewed recorded threads {threads} query {q}"),
+            );
+        }
+        assert_eq!(
+            merged.to_json(false),
+            reference.to_json(false),
+            "skewed merged snapshot, threads {threads}"
+        );
+        if threads > 1 {
+            // The four pruning-off plans really were partitioned.
+            assert_eq!(
+                merged.scheduler_value("batch.segmented_queries"),
+                4,
+                "threads {threads}"
+            );
+            assert!(
+                merged.scheduler_value("batch.segments") >= 8,
+                "threads {threads}: {}",
+                merged.scheduler_value("batch.segments")
+            );
+        } else {
+            assert_eq!(merged.scheduler_value("batch.workers_spawned"), 0);
+        }
+
+        let (traced, _, events) = PtkExecutor::execute_batch_traced(&batch, &view, &pool, 1 << 14);
+        for (q, (a, b)) in traced.iter().zip(&sequential).enumerate() {
+            assert_results_bit_identical(
+                a,
+                b,
+                &format!("skewed traced threads {threads} query {q}"),
+            );
+        }
+        assert_eq!(
+            ptk_obs::render_logical(&events),
+            trace_reference,
+            "skewed traces, threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn partitioned_deep_scan_matches_sequential_for_every_variant() {
+    // Intra-query parallelism: a single pruning-off deep scan, partitioned
+    // at rule-closed cuts, must reproduce the sequential executor bit for
+    // bit — probabilities, answers, and the full ExecStats (dp_cells,
+    // entries_recomputed, rules_compressed), whose sums are the sharp
+    // check of the boundary-row seeding — for all three sharing variants.
+    let mut rng = StdRng::seed_from_u64(0x5eed_0b4d);
+    let view = deep_view(&mut rng, 640);
+    for variant in [
+        SharingVariant::Rc,
+        SharingVariant::Aggressive,
+        SharingVariant::Lazy,
+    ] {
+        let options = EngineOptions::without_pruning(variant);
+        for k in [1usize, 2, 7, 50] {
+            let plan = PtkPlan::new(k, 0.25, &options);
+            let mut source = ptk_access::ViewSource::new(&view);
+            let sequential = PtkExecutor::new(&plan).execute(&mut source);
+            for threads in [1usize, 2, 4, 8] {
+                let pool = ThreadPool::new(threads);
+                let result = PtkExecutor::new(&plan).execute_snapshot(&view, &pool);
+                assert_results_bit_identical(
+                    &result,
+                    &sequential,
+                    &format!("{variant:?} k={k} threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn partitioned_scan_records_and_traces_segments() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0b4e);
+    let view = deep_view(&mut rng, 600);
+    let plan = PtkPlan::new(
+        10,
+        0.2,
+        &EngineOptions::without_pruning(SharingVariant::Lazy),
+    );
+    let pool = ThreadPool::new(4);
+
+    // Recorded: the partitioned path runs (it records the DP phase but has
+    // no retrieval phase of its own — the layout was shared).
+    let metrics = Metrics::new();
+    let _ = PtkExecutor::with_recorder(&plan, &metrics).execute_snapshot(&view, &pool);
+    let snap = metrics.snapshot();
+    assert!(snap.timings.contains_key("engine.query"));
+    assert!(snap.timings.contains_key("engine.phase.dp"));
+    assert!(
+        !snap.timings.contains_key("engine.phase.retrieval"),
+        "partitioned path should not have run the sequential scan"
+    );
+    assert!(snap.counter("engine.scanned") > 0);
+
+    // Traced: segment spans appear, and the logical rendering is identical
+    // at every parallel width (segment boundaries are a pure function of
+    // the rule layout, never the pool width).
+    let render_at = |threads: usize| {
+        let sink = std::sync::Arc::new(ptk_obs::RingSink::new(1 << 14));
+        let tracer =
+            ptk_obs::Tracer::new(std::sync::Arc::clone(&sink) as ptk_obs::SharedSink, 0, 0);
+        let _ = PtkExecutor::new(&plan)
+            .with_tracer(&tracer)
+            .execute_snapshot(&view, &ThreadPool::new(threads));
+        ptk_obs::render_logical(&sink.events())
+    };
+    let reference = render_at(2);
+    assert!(
+        reference.contains("B segment"),
+        "expected segment spans in: {reference}"
+    );
+    assert!(reference.contains("B query"));
+    for threads in [4usize, 8] {
+        assert_eq!(render_at(threads), reference, "threads {threads}");
+    }
+}
+
+#[test]
+fn single_thread_recorded_batch_never_touches_the_pool() {
+    // Satellite: at one worker the batch executor short-circuits to a
+    // sequential loop with one shared registry — the scheduler section
+    // proves no worker was spawned, and the snapshot still matches the
+    // per-query merge bit for bit.
+    let mut rng = StdRng::seed_from_u64(0x5eed_0b4f);
+    let view = random_view(&mut rng, 14);
+    let batch = PtkPlan::batch(&matrix_batch(&mut rng));
+    let (_, merged) = PtkExecutor::execute_batch_recorded(&batch, &view, &ThreadPool::new(1));
+    assert_eq!(merged.scheduler_value("batch.workers_spawned"), 0);
+    assert_eq!(merged.scheduler_value("batch.steals"), 0);
+    assert_eq!(merged.scheduler_value("batch.tasks"), batch.len() as u64);
+
+    let (_, wide) = PtkExecutor::execute_batch_recorded(&batch, &view, &ThreadPool::new(4));
+    assert!(wide.scheduler_value("batch.workers_spawned") > 0);
+    assert_eq!(
+        wide.to_json(false),
+        merged.to_json(false),
+        "scheduler facts must stay out of deterministic renderings"
+    );
+}

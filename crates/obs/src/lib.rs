@@ -196,6 +196,9 @@ impl Metrics {
                     )
                 })
                 .collect(),
+            // Scheduler facts are reported by the batch executor after the
+            // fact, not recorded through the registry.
+            scheduler: BTreeMap::new(),
         }
     }
 }
@@ -339,6 +342,14 @@ pub struct Snapshot {
     pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
     /// Span timings by name (wall-clock; never part of golden output).
     pub timings: BTreeMap<&'static str, TimingSnapshot>,
+    /// Runtime scheduling facts by name (workers spawned, items stolen,
+    /// segments dispatched, …). Like `timings`, these describe *how* the
+    /// run was scheduled, not *what* it computed, and depend on OS timing —
+    /// so they are excluded from the deterministic rendering
+    /// ([`Snapshot::to_json`] with `include_timings = false`) and may
+    /// differ across pool widths while the deterministic sections stay
+    /// bit-identical.
+    pub scheduler: BTreeMap<&'static str, u64>,
 }
 
 /// Minimal JSON string escape for metric names (which are identifiers, but
@@ -382,14 +393,23 @@ impl Snapshot {
 
     /// Whether nothing at all was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.timings.is_empty()
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.timings.is_empty()
+            && self.scheduler.is_empty()
+    }
+
+    /// The named scheduler fact, or 0 if it was never reported.
+    pub fn scheduler_value(&self, name: &str) -> u64 {
+        self.scheduler.get(name).copied().unwrap_or(0)
     }
 
     /// Renders the snapshot as a single-line JSON object. With
     /// `include_timings = false` the output is a pure function of the
     /// recorded counters and histograms — this is the form golden tests
-    /// compare. With `true`, a `"timings"` section (span name →
-    /// `{count, total_nanos}`) is appended for human consumption.
+    /// compare. With `true`, `"timings"` (span name →
+    /// `{count, total_nanos}`) and `"scheduler"` (fact → value) sections
+    /// are appended for human consumption.
     pub fn to_json(&self, include_timings: bool) -> String {
         let mut out = String::with_capacity(256);
         out.push_str("{\"counters\":{");
@@ -434,6 +454,15 @@ impl Snapshot {
                     ":{{\"count\":{},\"total_nanos\":{}}}",
                     t.count, t.total_nanos
                 );
+            }
+            out.push('}');
+            out.push_str(",\"scheduler\":{");
+            for (i, (name, value)) in self.scheduler.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_json_str(&mut out, name);
+                let _ = write!(out, ":{value}");
             }
             out.push('}');
         }
@@ -489,6 +518,9 @@ impl Snapshot {
             mine.count += t.count;
             mine.total_nanos += t.total_nanos;
         }
+        for (&name, &value) in &other.scheduler {
+            *self.scheduler.entry(name).or_insert(0) += value;
+        }
     }
 
     /// Renders the snapshot in the Prometheus text exposition format
@@ -538,6 +570,11 @@ impl Snapshot {
             let _ = writeln!(out, "# TYPE {name}_spans_total counter");
             let _ = writeln!(out, "{name}_spans_total {}", t.count);
         }
+        for (name, value) in &self.scheduler {
+            let name = sanitized(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
         out
     }
 
@@ -565,6 +602,9 @@ impl Snapshot {
                 t.count,
                 t.total_nanos as f64 / 1e6
             );
+        }
+        for (name, value) in &self.scheduler {
+            let _ = writeln!(out, "sched     {name} = {value}");
         }
         out
     }
@@ -648,6 +688,39 @@ mod tests {
             json.contains("\"timings\":{\"phase\":{\"count\":2,\"total_nanos\":150}}"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn scheduler_section_is_diagnostic_only() {
+        let mut s = Snapshot::default();
+        s.counters.insert("engine.scanned", 7);
+        s.scheduler.insert("batch.steals", 3);
+        s.scheduler.insert("batch.workers_spawned", 4);
+        // Excluded from the deterministic rendering: scheduler facts vary
+        // with OS timing and pool width while golden output must not.
+        assert!(!s.to_json(false).contains("scheduler"));
+        assert!(
+            s.to_json(true)
+                .contains("\"scheduler\":{\"batch.steals\":3,\"batch.workers_spawned\":4}"),
+            "{}",
+            s.to_json(true)
+        );
+        // Published through the scrape + text renderings.
+        let prom = s.to_prometheus();
+        assert!(prom.contains("ptk_batch_steals 3"), "{prom}");
+        assert!(prom.contains("ptk_batch_workers_spawned 4"), "{prom}");
+        assert!(s.to_text().contains("sched     batch.steals = 3"));
+        // Merge sums, like every other section.
+        let mut other = Snapshot::default();
+        other.scheduler.insert("batch.steals", 2);
+        s.merge(&other);
+        assert_eq!(s.scheduler_value("batch.steals"), 5);
+        assert_eq!(s.scheduler_value("missing"), 0);
+        let sched_only = Snapshot {
+            scheduler: [("batch.tasks", 1u64)].into_iter().collect(),
+            ..Snapshot::default()
+        };
+        assert!(!sched_only.is_empty());
     }
 
     #[test]

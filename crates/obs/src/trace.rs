@@ -52,6 +52,11 @@ pub enum Stage {
     SourceOpen,
     /// A sampling run (§5): unit generation and progressive stopping.
     Sampling,
+    /// One rule-closed segment of a partitioned deep scan: the per-segment
+    /// subset-probability DP of the intra-query parallel path. Segment
+    /// boundaries are a pure function of the rule layout, never of the
+    /// pool width, so segment spans are safe for the logical rendering.
+    Segment,
 }
 
 impl Stage {
@@ -65,6 +70,7 @@ impl Stage {
             Stage::Bound => "bound",
             Stage::SourceOpen => "source-open",
             Stage::Sampling => "sampling",
+            Stage::Segment => "segment",
         }
     }
 }
@@ -166,6 +172,15 @@ pub enum Payload {
         units: u64,
         /// Ranked positions visited across all units.
         positions: u64,
+    },
+    /// Per-segment totals for [`Stage::Segment`].
+    Segment {
+        /// Segment index within the partitioned scan.
+        index: u64,
+        /// First global rank covered by the segment.
+        start_rank: u64,
+        /// Tuples evaluated in the segment.
+        tuples: u64,
     },
 }
 
@@ -278,6 +293,15 @@ fn for_each_field(kind: &EventKind, mut f: impl FnMut(&'static str, FieldVal)) {
             Payload::Sampling { units, positions } => {
                 f("units", FieldVal::U64(units));
                 f("positions", FieldVal::U64(positions));
+            }
+            Payload::Segment {
+                index,
+                start_rank,
+                tuples,
+            } => {
+                f("index", FieldVal::U64(index));
+                f("start_rank", FieldVal::U64(start_rank));
+                f("tuples", FieldVal::U64(tuples));
             }
         },
         EventKind::Instant(mark) => match *mark {

@@ -1,12 +1,16 @@
 //! # `ptk-par` — the zero-dependency parallel runtime
 //!
-//! A scoped thread pool over [`std::thread`] with **deterministic chunked
-//! scheduling**: the assignment of work items to workers is a pure function
-//! of `(n_items, threads)`, there is no work stealing, and results are
-//! always collected in item order. Two runs of the same workload on the
-//! same pool therefore produce bit-identical result vectors regardless of
-//! how the OS schedules the workers — the repo-wide determinism policy
-//! (DESIGN.md §7/§10) extends to every parallel path built on this crate.
+//! A scoped thread pool over [`std::thread`] with **deterministic
+//! scheduling**: the *initial* assignment of work items to workers is a
+//! pure function of `(n_items, threads)`, the work-stealing victim order is
+//! a pure function of `(round, worker id)`, and results are always
+//! collected in item order. Because every work item is a pure function of
+//! its index and input, *which* worker ends up running an item can never
+//! leak into the result vector — two runs of the same workload on the same
+//! pool produce bit-identical results regardless of how the OS schedules
+//! the workers, and regardless of who stole what. The repo-wide
+//! determinism policy (DESIGN.md §7/§10) extends to every parallel path
+//! built on this crate.
 //!
 //! The pool is *scoped*: workers are spawned inside [`std::thread::scope`]
 //! per parallel region, so closures may borrow from the caller's stack
@@ -23,6 +27,10 @@
 //! * [`ThreadPool::parallel_map_strided`] — one result per item, worker `w`
 //!   takes items `w, w + T, w + 2T, …` (better balance when item cost
 //!   grows monotonically along the slice), results still in item order;
+//! * [`ThreadPool::parallel_map_stealing`] — one result per item; workers
+//!   start from the strided assignment and then *steal* unclaimed items
+//!   from the other lanes in a fixed victim order, so skewed per-item
+//!   costs no longer serialize on the slowest lane;
 //! * [`ThreadPool::parallel_chunks`] — one result per *chunk*, for workers
 //!   that carry per-worker state (samplers, recorders) across their items.
 //!
@@ -38,21 +46,37 @@
 #![forbid(unsafe_code)]
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
 
 /// The environment variable consulted by [`threads_from_env`] (and through
 /// it the CLI's `--threads` default): the number of worker threads parallel
 /// paths should use when the caller does not say otherwise.
 pub const THREADS_ENV: &str = "PTK_THREADS";
 
+/// Emits the lenient-fallback warning at most once per process: batch and
+/// bench entry points call [`threads_from_env`] repeatedly, and a malformed
+/// `PTK_THREADS` should not flood stderr.
+static LENIENT_WARNING: Once = Once::new();
+
 /// The number of worker threads requested via [`THREADS_ENV`], or
-/// `default` when the variable is unset, empty, zero or unparsable.
+/// `default` when the variable is unset or empty. A set-but-malformed value
+/// (`"abc"`, `"0"`) also falls back to `default`, but *warns on stderr
+/// once per process* — a typo in the environment must not silently
+/// single-thread (or mis-size) a production deployment. On every input the
+/// strict reader accepts, this lenient reader returns the same count.
 pub fn threads_from_env(default: usize) -> usize {
     match std::env::var(THREADS_ENV) {
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => default,
+        Ok(raw) if !raw.trim().is_empty() => match parse_thread_count(&raw) {
+            Ok(n) => n,
+            Err(e) => {
+                LENIENT_WARNING.call_once(|| {
+                    eprintln!("warning: {THREADS_ENV}: {e}; falling back to {default} thread(s)");
+                });
+                default
+            }
         },
-        Err(_) => default,
+        _ => default,
     }
 }
 
@@ -115,6 +139,22 @@ pub fn chunk_ranges(n_items: usize, threads: usize) -> Vec<Range<usize>> {
     }
     debug_assert_eq!(start, n_items);
     ranges
+}
+
+/// Scheduling facts from one [`ThreadPool::parallel_map_stealing_stats`]
+/// region. These describe *runtime* behaviour — `stolen` depends on OS
+/// timing — so they are reported out-of-band and must never feed into
+/// deterministic results (the PT-k snapshot keeps them in a separate
+/// scheduler section excluded from deterministic renderings).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Workers actually spawned (0 when the region ran inline on the
+    /// caller's thread). Never exceeds `min(threads, n_items)`.
+    pub workers_spawned: u64,
+    /// Total items executed in the region.
+    pub tasks: u64,
+    /// Items that ran on a thief instead of their home lane.
+    pub stolen: u64,
 }
 
 /// A scoped thread pool: a fixed worker budget plus the deterministic
@@ -214,6 +254,119 @@ impl ThreadPool {
             out.push(streams[i % workers].next().expect("worker covered item"));
         }
         out
+    }
+
+    /// Like [`ThreadPool::parallel_map_strided`], but with **deterministic
+    /// work stealing**: after a worker drains its own strided lane it
+    /// claims leftover items from the other lanes instead of idling, so a
+    /// batch with skewed per-item costs (one deep-scan query among cheap
+    /// ones) no longer serializes on the slowest lane.
+    ///
+    /// Scheduling is deterministic in the only sense that matters for this
+    /// stack: the *initial* lane assignment is a pure function of
+    /// `(len, threads)` (item `i` belongs to lane `i % workers`), the
+    /// *victim order* is a pure function of `(round, worker id)` — worker
+    /// `w` steals from lane `(w + r) % workers` in round `r`, scanning the
+    /// victim's lane back to front — and every item is claimed exactly once
+    /// through an atomic flag. Which worker ends up running an item *does*
+    /// depend on timing, but `f` must be a pure function of `(index, item)`
+    /// (as everywhere in this crate), and results are scattered back into
+    /// item order, so the returned vector is bit-identical across runs,
+    /// pool widths, and steal interleavings.
+    pub fn parallel_map_stealing<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> Vec<R> {
+        self.parallel_map_stealing_stats(items, f).0
+    }
+
+    /// [`ThreadPool::parallel_map_stealing`] plus a [`StealStats`] report
+    /// for observability: how many workers were actually spawned and how
+    /// many items ran on a thief instead of their home lane. The stats are
+    /// runtime scheduling facts — *not* deterministic — and must never be
+    /// folded into deterministic outputs.
+    pub fn parallel_map_stealing_stats<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> (Vec<R>, StealStats) {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let stats = StealStats {
+                workers_spawned: 0,
+                tasks: items.len() as u64,
+                stolen: 0,
+            };
+            return (out, stats);
+        }
+        // One claim flag per item. A relaxed swap is sufficient: the single
+        // atomic RMW decides which worker runs the item, and the scope join
+        // publishes every worker's results before they are read.
+        let claims: Vec<AtomicBool> = (0..items.len()).map(|_| AtomicBool::new(false)).collect();
+        let claims = &claims;
+        let f = &f;
+        let per_worker: Vec<(Vec<(usize, R)>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut got: Vec<(usize, R)> =
+                            Vec::with_capacity(items.len() / workers + 1);
+                        let mut stolen = 0u64;
+                        // Own lane first, front to back.
+                        let mut i = w;
+                        while i < items.len() {
+                            if !claims[i].swap(true, Ordering::Relaxed) {
+                                got.push((i, f(i, &items[i])));
+                            }
+                            i += workers;
+                        }
+                        // Then steal: round r targets lane (w + r) % workers,
+                        // scanned back to front so thieves collide with the
+                        // victim's own front-to-back progress as late as
+                        // possible.
+                        for r in 1..workers {
+                            let v = (w + r) % workers;
+                            let lane_len = (items.len() - v).div_ceil(workers);
+                            for j in (0..lane_len).rev() {
+                                let i = v + j * workers;
+                                if !claims[i].swap(true, Ordering::Relaxed) {
+                                    got.push((i, f(i, &items[i])));
+                                    stolen += 1;
+                                }
+                            }
+                        }
+                        (got, stolen)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool workers do not panic"))
+                .collect()
+        });
+        // Scatter back into item order: determinism lives here, not in who
+        // ran what.
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let mut stolen_total = 0u64;
+        for (got, stolen) in per_worker {
+            stolen_total += stolen;
+            for (i, r) in got {
+                debug_assert!(slots[i].is_none(), "item {i} claimed twice");
+                slots[i] = Some(r);
+            }
+        }
+        let out: Vec<R> = slots
+            .into_iter()
+            .map(|s| s.expect("every item is claimed exactly once"))
+            .collect();
+        let stats = StealStats {
+            workers_spawned: workers as u64,
+            tasks: items.len() as u64,
+            stolen: stolen_total,
+        };
+        (out, stats)
     }
 
     /// Partitions `items` by [`chunk_ranges`] and applies `f` once per
@@ -369,9 +522,121 @@ mod tests {
         assert_eq!(threads_from_env_strict(3), Ok(5));
         std::env::set_var(THREADS_ENV, "  ");
         assert_eq!(threads_from_env_strict(3), Ok(3), "empty acts as unset");
+        assert_eq!(threads_from_env(3), 3, "lenient agrees: empty is unset");
+        // On every input the strict path accepts, the lenient path must
+        // return the same count — the two readers may only diverge on how
+        // they *report* malformed input (error vs. warn-and-default).
+        for raw in ["1", "2", "5", " 16 ", "64", "\t8\n"] {
+            std::env::set_var(THREADS_ENV, raw);
+            let strict = threads_from_env_strict(3).expect("valid input");
+            assert_eq!(
+                threads_from_env(3),
+                strict,
+                "lenient and strict disagree on valid input {raw:?}"
+            );
+        }
+        // Malformed input: strict errors, lenient falls back (warning once
+        // on stderr — the value contract is what we can assert here).
+        for raw in ["abc", "0", "-2", "1.5"] {
+            std::env::set_var(THREADS_ENV, raw);
+            assert!(
+                threads_from_env_strict(3).is_err(),
+                "strict rejects {raw:?}"
+            );
+            assert_eq!(threads_from_env(3), 3, "lenient defaults on {raw:?}");
+        }
         std::env::remove_var(THREADS_ENV);
         assert_eq!(threads_from_env_strict(3), Ok(3));
         assert_eq!(ThreadPool::from_env().threads(), 1);
+    }
+
+    #[test]
+    fn stealing_matches_sequential_at_every_width() {
+        let items: Vec<f64> = (0..97).map(|i| i as f64 * 0.37 - 3.0).collect();
+        let work = |i: usize, &x: &f64| (x.sin() * (i as f64 + 1.0).ln()).to_bits();
+        let reference: Vec<u64> = items.iter().enumerate().map(|(i, x)| work(i, x)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = ThreadPool::new(threads);
+            let (got, stats) = pool.parallel_map_stealing_stats(&items, work);
+            assert_eq!(got, reference, "threads={threads}");
+            assert_eq!(stats.tasks, items.len() as u64);
+            assert!(stats.workers_spawned <= threads.min(items.len()) as u64);
+            assert!(stats.stolen <= stats.tasks);
+            if threads == 1 {
+                assert_eq!(stats.workers_spawned, 0, "width 1 runs inline");
+                assert_eq!(stats.stolen, 0);
+            }
+            // And repeated runs are bit-identical whatever was stolen.
+            assert_eq!(pool.parallel_map_stealing(&items, work), reference);
+        }
+        // Degenerate shapes.
+        let empty: Vec<f64> = Vec::new();
+        assert!(ThreadPool::new(4)
+            .parallel_map_stealing(&empty, work)
+            .is_empty());
+        let one = [2.0f64];
+        assert_eq!(
+            ThreadPool::new(4).parallel_map_stealing(&one, work),
+            vec![work(0, &2.0)]
+        );
+    }
+
+    #[test]
+    fn stealing_balances_adversarially_skewed_costs() {
+        // One very expensive item among trivial ones: under static strided
+        // assignment every other lane idles; under stealing the other
+        // workers drain the cheap items. We can only assert values here
+        // (timing is the bench's job), but this shape is the motivating
+        // case so it gets its own correctness pin.
+        let mut costs = vec![1u64; 33];
+        costs[4] = 200_000;
+        let work =
+            |_: usize, &c: &u64| (0..c).fold(0u64, |acc, v| acc ^ v.wrapping_mul(2654435761));
+        let reference: Vec<u64> = costs.iter().map(|c| work(0, c)).collect();
+        for threads in [2, 4, 8] {
+            let got = ThreadPool::new(threads).parallel_map_stealing(&costs, work);
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn no_primitive_spawns_more_workers_than_items() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+        // Satellite pin for min(threads, n_items) scope sizing: with 3
+        // items and a 64-thread budget, every primitive must touch at most
+        // 3 distinct threads (workers run on their own thread; an inline
+        // region runs on the caller's, still one thread).
+        let items = [10u8, 20, 30];
+        let pool = ThreadPool::new(64);
+        assert_eq!(chunk_ranges(items.len(), 64).len(), items.len());
+        let run = |region: &str, go: &dyn Fn(&(dyn Fn() + Sync))| {
+            let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+            let note = || {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            };
+            go(&note);
+            let distinct = seen.lock().unwrap().len();
+            assert!(
+                distinct <= items.len(),
+                "{region}: {distinct} workers for {} items",
+                items.len()
+            );
+        };
+        run("parallel_map", &|note| {
+            pool.parallel_map(&items, |_, _| note());
+        });
+        run("parallel_map_strided", &|note| {
+            pool.parallel_map_strided(&items, |_, _| note());
+        });
+        run("parallel_map_stealing", &|note| {
+            let (_, stats) = pool.parallel_map_stealing_stats(&items, |_, _| note());
+            assert!(stats.workers_spawned <= items.len() as u64);
+        });
+        run("parallel_chunks", &|note| {
+            pool.parallel_chunks(&items, |_, _, _| note());
+        });
     }
 
     #[test]
