@@ -18,6 +18,7 @@ mod gen;
 mod query;
 mod render;
 mod scan;
+mod serve;
 mod sql;
 mod trace;
 
@@ -127,6 +128,12 @@ impl Flags {
         raw.split(',')
             .map(|part| {
                 let part = part.trim();
+                if part.is_empty() {
+                    return Err(format!(
+                        "--{name}: empty item in list '{raw}' — remove the \
+                         stray comma"
+                    ));
+                }
                 part.parse()
                     .map_err(|_| format!("--{name}: cannot parse '{part}'"))
             })
@@ -231,6 +238,7 @@ pub fn dispatch_to(args: &[String], out: &mut dyn Write) -> Result<(), CmdError>
         Some("worlds") => query::cmd_worlds(&flags, out),
         Some("erank") => query::cmd_erank(&flags, out),
         Some("sql") => sql::cmd_sql(&flags, out),
+        Some("serve") => serve::cmd_serve(&flags, out),
         Some("pack") => scan::cmd_pack(&flags, out),
         Some("scan") => scan::cmd_scan(&flags, out),
         Some("trace-check") => trace::cmd_trace_check(&flags, out),
@@ -487,7 +495,43 @@ mod tests {
             "duration",
         ]))
         .unwrap_err();
-        assert!(err.contains("--k: cannot parse ''"), "{err}");
+        assert!(err.contains("--k: empty item in list '2,,3'"), "{err}");
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2,3,",
+            "--p",
+            "0.35",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--k: empty item in list '2,3,'"), "{err}");
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.35,",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--p: empty item in list '0.35,'"), "{err}");
+        let err = dispatch(&args(&[
+            "query",
+            file.as_str(),
+            "--k",
+            "2",
+            "--p",
+            ",0.35",
+            "--rank-by",
+            "duration",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--p: empty item in list ',0.35'"), "{err}");
         let err = dispatch(&args(&[
             "query",
             file.as_str(),
@@ -785,6 +829,20 @@ mod tests {
         assert!(!err.is_empty());
         let err = dispatch(&args(&["pack", file.as_str(), "--rank-by", "duration"])).unwrap_err();
         assert!(err.contains("--out is required"), "{err}");
+    }
+
+    /// `scan` feeds --k/--p straight into the streaming engine, which
+    /// planned infallibly before `PtkPlan::try_new` existed: `--k 0` or a
+    /// threshold outside (0, 1] was a panic, not an error.
+    #[test]
+    fn scan_rejects_invalid_k_and_p_without_panicking() {
+        let err = dispatch(&args(&["scan", "ignored.run", "--k", "0", "--p", "0.5"])).unwrap_err();
+        assert!(err.contains("k >= 1"), "{err}");
+        for bad_p in ["0", "1.5", "NaN"] {
+            let err =
+                dispatch(&args(&["scan", "ignored.run", "--k", "2", "--p", bad_p])).unwrap_err();
+            assert!(err.contains("(0, 1]"), "--p {bad_p}: {err}");
+        }
     }
 
     #[test]

@@ -64,7 +64,12 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
     let mut analysis = String::new();
     let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match method {
         "exact" => {
-            let plan = PtkPlan::from_query(&ptk, &super::engine_options_from_flags(flags));
+            let plan = PtkPlan::try_new(
+                ptk.k(),
+                ptk.threshold().value(),
+                &super::engine_options_from_flags(flags),
+            )
+            .map_err(|e| e.to_string())?;
             let mut executor = PtkExecutor::with_recorder(&plan, recorder);
             if let Some(t) = tracer.as_ref() {
                 executor = executor.with_tracer(t);
@@ -168,7 +173,10 @@ fn query_batch(
         for &p in ps {
             let query = TopKQuery::new(k, predicate.clone(), ranking).map_err(|e| e.to_string())?;
             let ptk = PtkQuery::new(query, p).map_err(|e| e.to_string())?;
-            plans.push(PtkPlan::from_query(&ptk, &options));
+            plans.push(
+                PtkPlan::try_new(ptk.k(), ptk.threshold().value(), &options)
+                    .map_err(|e| e.to_string())?,
+            );
             labels.push((k, p));
         }
     }

@@ -44,6 +44,10 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
     let path = flags.positional.get(1).ok_or("missing run file argument")?;
     let k: usize = flags.require("k")?;
     let p: f64 = flags.require("p")?;
+    // Validate up front: the streaming entry point plans internally and
+    // would panic on k == 0 or a threshold outside (0, 1] (NaN included).
+    ptk_engine::PtkPlan::try_new(k, p, &ptk_engine::EngineOptions::default())
+        .map_err(|e| e.to_string())?;
     let stats = stats_mode(flags)?;
     let trace = trace_opts(flags)?;
     let metrics = Arc::new(Metrics::new());

@@ -1,0 +1,155 @@
+//! The `serve` command: load a CSV once, then answer the SQL dialect over
+//! HTTP until a `POST /shutdown` arrives.
+//!
+//! The daemon machinery (admission control, result cache, metrics,
+//! routing) lives in `ptk-serve`; this module supplies the
+//! [`ptk_serve::QueryHandler`] that owns the loaded table and executes
+//! statements through [`run_sql`] — the exact function behind one-shot
+//! `ptk sql` — so a served response body is byte-identical to what the
+//! CLI prints for the same statement.
+
+use std::io::Write;
+
+use ptk_core::UncertainTable;
+use ptk_engine::{EngineOptions, PtkPlan};
+use ptk_par::ThreadPool;
+use ptk_serve::{QueryHandler, Server, ServerConfig};
+
+use super::render::StatsMode;
+use super::sql::{run_sql, SqlOptions};
+use super::{load_from_flags, pool_from_flags, CmdError, Flags};
+
+pub(super) fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    if flags.positional.get(1).is_none() {
+        return Err(
+            "usage: ptk serve <file.csv> [--addr HOST:PORT] [--threads N] \
+                    [--queue N] [--timeout-ms N] [--cache N] [--seed S] [--no-prune] \
+                    [--ready-file <path>]"
+                .into(),
+        );
+    }
+    let pool = pool_from_flags(flags)?;
+    let engine = super::engine_options_from_flags(flags);
+    let seed = flags.get("seed")?.unwrap_or(0);
+    let addr: String = flags
+        .get("addr")?
+        .unwrap_or_else(|| "127.0.0.1:7071".to_owned());
+    let config = ServerConfig {
+        threads: pool.threads(),
+        queue_capacity: flags.get("queue")?.unwrap_or(64),
+        timeout_ms: flags.get("timeout-ms")?.unwrap_or(10_000),
+        cache_capacity: flags.get("cache")?.unwrap_or(256),
+        ..ServerConfig::default()
+    };
+    if config.queue_capacity == 0 {
+        return Err("--queue must be >= 1 (0 would reject every request)".into());
+    }
+
+    // Load once: every request shares this immutable snapshot.
+    let table = load_from_flags(flags)?;
+    let handler = SqlHandler {
+        table,
+        pool,
+        engine,
+        seed,
+    };
+    let server = Server::new(handler, config);
+    let listener =
+        std::net::TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(path) = flags.named.get("ready-file") {
+        // Written only after the socket is bound, so a script that waits
+        // for this file can connect immediately.
+        std::fs::write(path, format!("{local}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    writeln!(
+        out,
+        "serving on http://{local} ({} threads)",
+        pool.threads()
+    )?;
+    out.flush()?;
+    server.run(listener)?;
+    writeln!(out, "shutdown complete")?;
+    Ok(())
+}
+
+/// The daemon's bridge to the CLI execution path: an immutable loaded
+/// table plus the per-daemon options, executing every statement through
+/// [`run_sql`].
+struct SqlHandler {
+    table: UncertainTable,
+    pool: ThreadPool,
+    engine: EngineOptions,
+    seed: u64,
+}
+
+impl SqlHandler {
+    fn options(&self, stats: Option<StatsMode>) -> SqlOptions {
+        SqlOptions {
+            pool: self.pool,
+            engine: self.engine,
+            stats,
+            seed: self.seed,
+        }
+    }
+}
+
+impl QueryHandler for SqlHandler {
+    fn execute(&self, statement: &str, stats: Option<&str>) -> Result<String, String> {
+        let mode = match stats {
+            None => None,
+            Some("text") => Some(StatsMode::Text),
+            Some("json") => Some(StatsMode::Json),
+            Some("prom") => Some(StatsMode::Prom),
+            Some(other) => return Err(format!("stats must be text, json or prom, got '{other}'")),
+        };
+        let mut body = Vec::new();
+        match run_sql(&self.table, statement, &self.options(mode), &mut body) {
+            Ok(()) => String::from_utf8(body).map_err(|e| e.to_string()),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Cache key material. `None` (uncacheable) whenever the response
+    /// embeds wall-clock timings (`?stats=`, `EXPLAIN ANALYZE`) or the
+    /// statement does not survive parse/bind — error responses are never
+    /// cached. Otherwise an FNV-1a hash folding the statement text, the
+    /// pool width (it appears in batch headers), the sampling seed, and
+    /// each exact PT-k statement's [`PtkPlan::fingerprint`] so everything
+    /// the planner sees is covered.
+    fn fingerprint(&self, statement: &str, stats: Option<&str>) -> Option<u64> {
+        if stats.is_some() {
+            return None;
+        }
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mix_bytes = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        mix_bytes(&mut h, statement.as_bytes());
+        mix_bytes(&mut h, &(self.pool.threads() as u64).to_le_bytes());
+        mix_bytes(&mut h, &self.seed.to_le_bytes());
+        for text in statement.split(';') {
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let parsed = ptk_sql::parse_statement(text).ok()?;
+            if parsed.analyze {
+                return None;
+            }
+            if parsed.kind == ptk_sql::QueryKind::Ptk
+                && parsed.query.method == ptk_sql::Method::Exact
+            {
+                let bound = parsed.query.bind(&self.table).ok()?;
+                let plan =
+                    PtkPlan::try_new(bound.k(), bound.threshold().value(), &self.engine).ok()?;
+                mix_bytes(&mut h, &plan.fingerprint().to_le_bytes());
+            }
+        }
+        Some(h)
+    }
+}

@@ -1,45 +1,95 @@
 //! The `sql` command: parse a statement, bind it to the table, and route
 //! it to the matching engine or ranker.
+//!
+//! The execution path is deliberately split from flag handling:
+//! [`run_sql`] takes an already-loaded table plus [`SqlOptions`] and does
+//! everything after that — parse, bind, plan, execute, render. `ptk sql`
+//! wraps it for one-shot use; the `ptk serve` daemon calls the same
+//! function per request, which is what makes served responses
+//! byte-identical to one-shot output.
 
 use std::io::Write;
 
-use ptk_core::RankedView;
-use ptk_engine::{PtkExecutor, PtkPlan};
+use ptk_core::{RankedView, UncertainTable};
+use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan};
 use ptk_obs::{Metrics, Noop, Recorder};
+use ptk_par::ThreadPool;
 use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
 use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
 use ptk_worlds::naive;
 
 use super::render::{
     attrs_of, ptk_header, stats_mode, write_batch_answers, write_membership_row, write_ptk_rows,
-    write_snapshot, write_stats,
+    write_snapshot, write_stats, StatsMode,
 };
 use super::{load_from_flags, pool_from_flags, CmdError, Flags};
+
+/// Everything [`run_sql`] needs besides the table and the statement:
+/// the worker pool, engine options, the stats surface to append, and the
+/// sampling seed. One-shot invocations build it from flags; the daemon
+/// builds it once at startup and swaps `stats` per request.
+pub(super) struct SqlOptions {
+    pub(super) pool: ThreadPool,
+    pub(super) engine: EngineOptions,
+    pub(super) stats: Option<StatsMode>,
+    pub(super) seed: u64,
+}
+
+impl SqlOptions {
+    pub(super) fn from_flags(flags: &Flags) -> Result<SqlOptions, CmdError> {
+        Ok(SqlOptions {
+            pool: pool_from_flags(flags)?,
+            engine: super::engine_options_from_flags(flags),
+            stats: stats_mode(flags)?,
+            seed: flags.get("seed")?.unwrap_or(0),
+        })
+    }
+}
 
 pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let statement_text = flags
         .positional
         .get(2)
         .ok_or("usage: ptk sql <file.csv> '<statement>[; <statement> ...]'")?;
+    let options = SqlOptions::from_flags(flags)?;
+    let table = load_from_flags(flags)?;
+    run_sql(&table, statement_text, &options, out)
+}
+
+/// Executes one `ptk sql` invocation body — single statement or
+/// `;`-separated batch — against an already-loaded table, writing exactly
+/// what the one-shot CLI prints. Shared by `ptk sql` and `ptk serve`.
+pub(super) fn run_sql(
+    table: &UncertainTable,
+    statement_text: &str,
+    options: &SqlOptions,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
     let statements: Vec<&str> = statement_text
         .split(';')
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .collect();
     match statements.as_slice() {
-        [] => return Err("empty statement".into()),
-        [_single] => {}
-        many => return sql_batch(flags, out, many),
+        [] => Err("empty statement".into()),
+        [single] => sql_single(table, single, options, out),
+        many => sql_batch(table, options, out, many),
     }
-    let statement_text = statements[0];
+}
+
+fn sql_single(
+    table: &UncertainTable,
+    statement_text: &str,
+    options: &SqlOptions,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
     // A single statement can still use the pool: with --no-prune the
     // executor partitions the ranked scan itself at rule-closed cuts.
-    let pool = pool_from_flags(flags)?;
-    let table = load_from_flags(flags)?;
+    let pool = options.pool;
     let statement = ptk_sql::parse_statement(statement_text).map_err(|e| e.to_string())?;
     let parsed = statement.query.clone();
-    let query = parsed.bind(&table).map_err(|e| e.to_string())?;
-    let view = RankedView::build(&table, query.query()).map_err(|e| e.to_string())?;
+    let query = parsed.bind(table).map_err(|e| e.to_string())?;
+    let view = RankedView::build(table, query.query()).map_err(|e| e.to_string())?;
     let k = query.k();
     let p = query.threshold().value();
 
@@ -60,7 +110,7 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
                 answer.probability
             )?;
             for &pos in &answer.vector {
-                write_membership_row(out, &view, &table, pos)?;
+                write_membership_row(out, &view, table, pos)?;
             }
             if statement.explain {
                 writeln!(out, "plan: RankedView::build -> utopk best-first search")?;
@@ -83,7 +133,7 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
                     entry.rank,
                     entry.position + 1,
                     entry.probability,
-                    attrs_of(&view, &table, entry.position)
+                    attrs_of(&view, table, entry.position)
                 )?;
             }
             if statement.explain {
@@ -102,7 +152,7 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
                     "  expected rank {:>8.2}  ranked position {:>4}  [{}]",
                     e.expected_rank,
                     e.position + 1,
-                    attrs_of(&view, &table, e.position)
+                    attrs_of(&view, table, e.position)
                 )?;
             }
             if statement.explain {
@@ -115,7 +165,7 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
         }
     }
 
-    let stats = stats_mode(flags)?;
+    let stats = options.stats;
     let metrics = Metrics::new();
     // EXPLAIN ANALYZE annotates the plan with the run's actual counters and
     // phase timings, so it records even without --stats.
@@ -129,7 +179,7 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
     let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match parsed.method
     {
         ptk_sql::Method::Exact => {
-            let plan = PtkPlan::new(k, p, &super::engine_options_from_flags(flags));
+            let plan = PtkPlan::try_new(k, p, &options.engine).map_err(|e| e.to_string())?;
             let mut result =
                 PtkExecutor::with_recorder(&plan, recorder).execute_snapshot(&view, &pool);
             result.probabilities.resize(view.len(), None);
@@ -162,12 +212,11 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
             (result.answer_ranks(), result.probabilities, note)
         }
         ptk_sql::Method::Sampling => {
-            let seed = flags.get("seed")?.unwrap_or(0u64);
-            let options = SamplingOptions {
-                seed,
+            let sampling = SamplingOptions {
+                seed: options.seed,
                 ..Default::default()
             };
-            let (answers, estimate) = sample_ptk_recorded(&view, k, p, &options, recorder);
+            let (answers, estimate) = sample_ptk_recorded(&view, k, p, &sampling, recorder);
             recorder.add(ptk_engine::counters::ANSWERS, answers.len() as u64);
             let probabilities = estimate.probabilities.iter().map(|&x| Some(x)).collect();
             (
@@ -188,7 +237,7 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
     };
 
     writeln!(out, "{}", ptk_header(k, p, &note, answers.len()))?;
-    write_ptk_rows(out, &view, &table, &answers, &probabilities)?;
+    write_ptk_rows(out, &view, table, &answers, &probabilities)?;
     if !explain_note.is_empty() {
         writeln!(out, "{explain_note}")?;
     }
@@ -200,8 +249,12 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
 /// must be an exact PT-k query with the same `WHERE` and `ORDER BY` — the
 /// batch executor scans a single snapshot, so predicate and ranking are
 /// per-batch, while `k` and the probability threshold vary per statement.
-fn sql_batch(flags: &Flags, out: &mut dyn Write, statements: &[&str]) -> Result<(), CmdError> {
-    let table = load_from_flags(flags)?;
+fn sql_batch(
+    table: &UncertainTable,
+    options: &SqlOptions,
+    out: &mut dyn Write,
+    statements: &[&str],
+) -> Result<(), CmdError> {
     let mut parsed = Vec::with_capacity(statements.len());
     for (i, text) in statements.iter().enumerate() {
         let n = i + 1;
@@ -236,24 +289,26 @@ fn sql_batch(flags: &Flags, out: &mut dyn Write, statements: &[&str]) -> Result<
         }
     }
 
-    let options = super::engine_options_from_flags(flags);
     let mut plans = Vec::with_capacity(parsed.len());
     let mut labels = Vec::with_capacity(parsed.len());
     let mut view = None;
     for (i, q) in parsed.iter().enumerate() {
         let bound = q
-            .bind(&table)
+            .bind(table)
             .map_err(|e| format!("statement {}: {e}", i + 1))?;
-        plans.push(PtkPlan::from_query(&bound, &options));
+        plans.push(
+            PtkPlan::try_new(bound.k(), bound.threshold().value(), &options.engine)
+                .map_err(|e| format!("statement {}: {e}", i + 1))?,
+        );
         labels.push((bound.k(), bound.threshold().value()));
         if view.is_none() {
-            view = Some(RankedView::build(&table, bound.query()).map_err(|e| e.to_string())?);
+            view = Some(RankedView::build(table, bound.query()).map_err(|e| e.to_string())?);
         }
     }
     let view = view.expect("at least two statements were parsed");
     let batch = PtkPlan::batch(&plans);
-    let pool = pool_from_flags(flags)?;
-    let stats = stats_mode(flags)?;
+    let pool = options.pool;
+    let stats = options.stats;
 
     let (results, snapshot) = if stats.is_some() {
         let (results, snapshot) = PtkExecutor::execute_batch_recorded(&batch, &view, &pool);
@@ -269,7 +324,7 @@ fn sql_batch(flags: &Flags, out: &mut dyn Write, statements: &[&str]) -> Result<
         view.len(),
         pool.threads()
     )?;
-    write_batch_answers(out, &view, &table, results, &labels)?;
+    write_batch_answers(out, &view, table, results, &labels)?;
     match snapshot {
         Some(snapshot) => write_snapshot(out, stats, &snapshot),
         None => Ok(()),

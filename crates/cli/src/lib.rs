@@ -44,6 +44,9 @@ USAGE:
   ptk worlds  <file.csv> --rank-by <col> [--limit N] [--max-worlds N]
   ptk sql     <file.csv> '<[EXPLAIN [ANALYZE]] SELECT TOP k … statement>[; …]'
               [--stats text|json|prom] [--threads N] [--no-prune]
+  ptk serve   <file.csv> [--addr HOST:PORT] [--threads N] [--queue N]
+              [--timeout-ms N] [--cache N] [--seed S] [--no-prune]
+              [--ready-file <path>]
   ptk pack    <file.csv> --rank-by <col> --out <file.run>
   ptk scan    <file.run> --k <K> --p <P> [--stats text|json|prom]
               [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
@@ -85,6 +88,16 @@ still bit-identical to the sequential answer. Such cuts exist when rules
 are rank-local; `generate synthetic --rule-span W` produces that regime
 (each rule's members inside a random W-rank window) where the default
 uniform scatter does not.
+
+`serve` loads the CSV once and answers the same SQL dialect over a minimal
+HTTP/1.1 + JSON surface until `POST /shutdown`: `POST /sql` (statement in
+the body, optional `?stats=text|json|prom`), `GET /metrics` (Prometheus),
+`GET /health`. Responses are byte-identical to `ptk sql` output; errors are
+`{\"error\":{\"code\":…,\"message\":…}}`. `--queue` bounds the admission
+queue (overflow → 429), `--timeout-ms` bounds queue wait + request read
+(→ 408), `--cache` sizes the result cache keyed on (snapshot epoch, plan
+fingerprint). `--ready-file` writes the bound address after listen, for
+scripts using `--addr 127.0.0.1:0`.
 
 EXAMPLES:
   ptk query sightings.csv --k 10 --p 0.5 --rank-by drifted_days

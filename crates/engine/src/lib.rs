@@ -62,7 +62,7 @@ pub use exact::{
     topk_probabilities, topk_probability_profile,
 };
 pub use exec::{AnswerTuple, PtkExecutor, PtkResult};
-pub use plan::{EngineOptions, PlanStage, PtkBatch, PtkPlan, SharingVariant};
+pub use plan::{EngineOptions, PlanError, PlanStage, PtkBatch, PtkPlan, SharingVariant};
 pub use scanner::{Entry, Scanner, StepRow};
 pub use stats::{counters, ExecStats, StopReason};
 pub use stream::{

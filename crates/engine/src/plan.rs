@@ -124,12 +124,47 @@ pub enum PlanStage {
     },
 }
 
+/// A malformed PT-k request, rejected before any retrieval happens.
+///
+/// Returned by the fallible plan constructors ([`PtkPlan::try_new`],
+/// [`PtkPlan::try_multi`]); the panicking constructors ([`PtkPlan::new`],
+/// [`PtkPlan::multi`]) abort with the same messages. Long-lived callers —
+/// the SQL layer, the `ptk serve` daemon — must use the fallible forms so
+/// user-supplied parameters yield a clean error, never a process abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The query depth was zero.
+    ZeroK,
+    /// A multi-threshold plan was requested with no thresholds at all.
+    EmptyThresholds,
+    /// A threshold was NaN or outside `(0, 1]`.
+    InvalidThreshold {
+        /// The offending value (NaN-safe: rendered verbatim).
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ZeroK => f.write_str("top-k queries require k >= 1"),
+            PlanError::EmptyThresholds => f.write_str("at least one threshold is required"),
+            PlanError::InvalidThreshold { value } => {
+                write!(f, "PT-k thresholds must be in (0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// A validated, executable PT-k query plan.
 ///
-/// Build one with [`PtkPlan::new`] (single threshold),
-/// [`PtkPlan::multi`] (one scan serving a threshold sweep), or
+/// Build one with [`PtkPlan::try_new`] (single threshold),
+/// [`PtkPlan::try_multi`] (one scan serving a threshold sweep), or
 /// [`PtkPlan::from_query`] (from a parsed [`PtkQuery`]), then run it with
-/// [`PtkExecutor`](crate::PtkExecutor).
+/// [`PtkExecutor`](crate::PtkExecutor). [`PtkPlan::new`] and
+/// [`PtkPlan::multi`] are the historical panicking equivalents.
 #[derive(Debug, Clone)]
 pub struct PtkPlan {
     k: usize,
@@ -141,7 +176,8 @@ impl PtkPlan {
     /// Plans a PT-k query with a single threshold.
     ///
     /// # Panics
-    /// Panics if `k == 0` or `threshold` is not in `(0, 1]`.
+    /// Panics if `k == 0` or `threshold` is not in `(0, 1]`. Use
+    /// [`PtkPlan::try_new`] when the parameters come from user input.
     pub fn new(k: usize, threshold: f64, options: &EngineOptions) -> PtkPlan {
         PtkPlan::multi(k, &[threshold], options)
     }
@@ -154,28 +190,83 @@ impl PtkPlan {
     ///
     /// # Panics
     /// Panics if `k == 0`, `thresholds` is empty, or any threshold is
-    /// outside `(0, 1]`.
+    /// outside `(0, 1]`. Use [`PtkPlan::try_multi`] when the parameters
+    /// come from user input.
     pub fn multi(k: usize, thresholds: &[f64], options: &EngineOptions) -> PtkPlan {
-        assert!(k > 0, "top-k queries require k >= 1");
-        assert!(!thresholds.is_empty(), "at least one threshold is required");
-        for &p in thresholds {
-            assert!(
-                p > 0.0 && p <= 1.0,
-                "PT-k thresholds must be in (0, 1], got {p}"
-            );
+        match PtkPlan::try_multi(k, thresholds, options) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
         }
-        PtkPlan {
+    }
+
+    /// Fallible form of [`PtkPlan::new`]: rejects `k == 0` and thresholds
+    /// outside `(0, 1]` (including NaN) with a typed [`PlanError`].
+    pub fn try_new(
+        k: usize,
+        threshold: f64,
+        options: &EngineOptions,
+    ) -> Result<PtkPlan, PlanError> {
+        PtkPlan::try_multi(k, &[threshold], options)
+    }
+
+    /// Fallible form of [`PtkPlan::multi`]: rejects `k == 0`, an empty
+    /// threshold list, and any threshold outside `(0, 1]` (including NaN)
+    /// with a typed [`PlanError`].
+    pub fn try_multi(
+        k: usize,
+        thresholds: &[f64],
+        options: &EngineOptions,
+    ) -> Result<PtkPlan, PlanError> {
+        if k == 0 {
+            return Err(PlanError::ZeroK);
+        }
+        if thresholds.is_empty() {
+            return Err(PlanError::EmptyThresholds);
+        }
+        for &p in thresholds {
+            // NaN fails `p > 0.0`, so it is rejected here too.
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(PlanError::InvalidThreshold { value: p });
+            }
+        }
+        Ok(PtkPlan {
             k,
             thresholds: thresholds.to_vec(),
             options: *options,
-        }
+        })
     }
 
     /// Plans a parsed [`PtkQuery`]. The query's predicate and ranking are
     /// applied when the view/source is built; the plan takes the depth and
-    /// threshold.
+    /// threshold. Infallible because [`PtkQuery`] enforces the same
+    /// invariants at construction.
     pub fn from_query(query: &PtkQuery, options: &EngineOptions) -> PtkPlan {
         PtkPlan::new(query.k(), query.threshold().value(), options)
+    }
+
+    /// A stable 64-bit fingerprint of the plan: FNV-1a over `k`, the
+    /// thresholds (exact bit patterns, in the caller's order) and every
+    /// [`EngineOptions`] field. Two plans with equal fingerprints execute
+    /// the identical stage pipeline over whatever source they are given,
+    /// so the fingerprint — combined with an identifier for the data
+    /// snapshot (the serve daemon's snapshot epoch) — keys a result cache.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: &mut u64, v: u64) {
+            const PRIME: u64 = 0x0000_0100_0000_01b3;
+            for b in v.to_le_bytes() {
+                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        mix(&mut h, self.k as u64);
+        mix(&mut h, self.thresholds.len() as u64);
+        for &p in &self.thresholds {
+            mix(&mut h, p.to_bits());
+        }
+        mix(&mut h, self.options.variant as u64);
+        mix(&mut h, u64::from(self.options.pruning));
+        mix(&mut h, self.options.ub_check_interval as u64);
+        h
     }
 
     /// The query depth `k`.
@@ -473,6 +564,69 @@ mod tests {
         );
         let timed = plan.explain_analyze(&metrics.snapshot(), true);
         assert!(timed.contains("total: scanned=10 evaluated=6 answers=4"));
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        let opts = EngineOptions::default();
+        assert_eq!(
+            PtkPlan::try_new(0, 0.5, &opts).unwrap_err(),
+            PlanError::ZeroK
+        );
+        assert_eq!(
+            PtkPlan::try_multi(2, &[], &opts).unwrap_err(),
+            PlanError::EmptyThresholds
+        );
+        for bad in [0.0, -0.25, 1.5, f64::NAN, f64::INFINITY] {
+            let err = PtkPlan::try_new(2, bad, &opts).unwrap_err();
+            match err {
+                PlanError::InvalidThreshold { value } => {
+                    assert_eq!(value.to_bits(), bad.to_bits());
+                }
+                other => panic!("expected InvalidThreshold, got {other:?}"),
+            }
+            // The rendering keeps the historical panic wording, so callers
+            // that matched on messages see no change.
+            assert!(err.to_string().contains("(0, 1]"), "{err}");
+        }
+        assert!(PtkPlan::try_new(1, 1.0, &opts).is_ok());
+        assert!(PtkPlan::try_multi(3, &[0.2, 0.9], &opts).is_ok());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_separates_plans() {
+        let opts = EngineOptions::default();
+        let a = PtkPlan::new(2, 0.35, &opts);
+        // Same parameters, same fingerprint — across independent builds.
+        assert_eq!(a.fingerprint(), PtkPlan::new(2, 0.35, &opts).fingerprint());
+        // Any parameter change moves the fingerprint.
+        let variants = [
+            PtkPlan::new(3, 0.35, &opts),
+            PtkPlan::new(2, 0.36, &opts),
+            PtkPlan::multi(2, &[0.35, 0.5], &opts),
+            PtkPlan::new(2, 0.35, &EngineOptions::with_variant(SharingVariant::Rc)),
+            PtkPlan::new(
+                2,
+                0.35,
+                &EngineOptions::without_pruning(SharingVariant::Lazy),
+            ),
+            PtkPlan::new(
+                2,
+                0.35,
+                &EngineOptions {
+                    ub_check_interval: 128,
+                    ..EngineOptions::default()
+                },
+            ),
+        ];
+        for (i, other) in variants.iter().enumerate() {
+            assert_ne!(a.fingerprint(), other.fingerprint(), "variant {i}");
+        }
+        // Threshold order matters (answers come back in threshold order).
+        assert_ne!(
+            PtkPlan::multi(2, &[0.2, 0.8], &opts).fingerprint(),
+            PtkPlan::multi(2, &[0.8, 0.2], &opts).fingerprint()
+        );
     }
 
     #[test]

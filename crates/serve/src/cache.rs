@@ -1,0 +1,132 @@
+//! The daemon's result cache.
+//!
+//! Responses are keyed on `(snapshot epoch, plan fingerprint)`. The epoch
+//! identifies the immutable data snapshot the daemon is serving (today it
+//! never changes after startup; the dynamic-updates roadmap item bumps it
+//! on every mutation, which implicitly invalidates all cached results).
+//! The fingerprint is supplied by the query handler — for PT-k statements
+//! it folds in `PtkPlan::fingerprint()`, which covers `k`, the thresholds
+//! and every engine option, plus a hash of the statement text for the
+//! predicate and ranking.
+//!
+//! Eviction is FIFO with a fixed capacity: the workload this serves is
+//! "millions of users asking the same handful of dashboards", where
+//! recency sophistication buys little over a bounded map.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The cache key: `(snapshot epoch, plan fingerprint)`.
+pub type CacheKey = (u64, u64);
+
+/// A bounded map from [`CacheKey`] to rendered response bodies.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Arc<String>>,
+    order: VecDeque<CacheKey>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` responses. Zero disables caching
+    /// entirely ([`ResultCache::get`] always misses, inserts are dropped).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The cached body for `key`, if present.
+    pub fn get(&self, key: CacheKey) -> Option<Arc<String>> {
+        self.inner
+            .lock()
+            .expect("cache lock")
+            .map
+            .get(&key)
+            .cloned()
+    }
+
+    /// Inserts `body` under `key`, evicting the oldest entry at capacity.
+    /// Re-inserting an existing key refreshes the body without growing the
+    /// queue.
+    pub fn insert(&self, key: CacheKey, body: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key, body).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_owned())
+    }
+
+    #[test]
+    fn hit_after_insert_and_epoch_separation() {
+        let cache = ResultCache::new(4);
+        cache.insert((1, 42), body("a"));
+        assert_eq!(cache.get((1, 42)).unwrap().as_str(), "a");
+        // A different epoch is a different snapshot: no hit.
+        assert!(cache.get((2, 42)).is_none());
+        assert!(cache.get((1, 43)).is_none());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let cache = ResultCache::new(2);
+        cache.insert((1, 1), body("a"));
+        cache.insert((1, 2), body("b"));
+        cache.insert((1, 3), body("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get((1, 1)).is_none(), "oldest evicted");
+        assert!(cache.get((1, 2)).is_some());
+        assert!(cache.get((1, 3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating() {
+        let cache = ResultCache::new(2);
+        cache.insert((1, 1), body("a"));
+        cache.insert((1, 1), body("a2"));
+        cache.insert((1, 2), body("b"));
+        assert_eq!(cache.get((1, 1)).unwrap().as_str(), "a2");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::new(0);
+        cache.insert((1, 1), body("a"));
+        assert!(cache.get((1, 1)).is_none());
+        assert!(cache.is_empty());
+    }
+}

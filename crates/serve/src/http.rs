@@ -1,0 +1,296 @@
+//! A deliberately minimal HTTP/1.1 codec over blocking `std::net` streams.
+//!
+//! Only what the daemon needs: one request per connection
+//! (`Connection: close` on every response), request bodies sized by
+//! `Content-Length`, a byte cap on the whole request, and structured JSON
+//! error bodies. No chunked encoding, no keep-alive, no TLS — the point is
+//! zero dependencies and a codec small enough to audit.
+
+use std::io::{self, Read, Write};
+
+/// A parsed request: method, path, query string, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the request target, without the query string.
+    pub path: String,
+    /// The raw query string (after `?`), if any.
+    pub query: Option<String>,
+    /// The request body (UTF-8; non-UTF-8 bodies are a bad request).
+    pub body: String,
+}
+
+impl Request {
+    /// The value of query parameter `name`, if present (`?stats=json`).
+    /// No percent-decoding — the daemon's parameters are plain tokens.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be read off the wire.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The bytes received do not form a valid HTTP/1.1 request (including
+    /// a request truncated mid-header or mid-body).
+    BadRequest(String),
+    /// The request exceeded the configured byte cap.
+    TooLarge,
+    /// The socket read timed out before a full request arrived.
+    Timeout,
+    /// The client hung up before sending anything useful.
+    Disconnect,
+}
+
+/// Reads one HTTP/1.1 request, enforcing `max_bytes` over the head and
+/// body combined. Socket timeouts must already be set by the caller.
+pub fn read_request(stream: &mut dyn Read, max_bytes: usize) -> Result<Request, ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > max_bytes {
+            return Err(ReadError::TooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(ReadError::Disconnect)
+            } else {
+                Err(ReadError::BadRequest("truncated request head".into()))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ReadError::BadRequest("empty request line".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::BadRequest("request line has no target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ReadError::BadRequest("expected an HTTP/1.x request".into())),
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::BadRequest("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if head_end + 4 + content_length > max_bytes {
+        return Err(ReadError::TooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(classify_io)?;
+        if n == 0 {
+            return Err(ReadError::BadRequest("truncated request body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| ReadError::BadRequest("request body is not UTF-8".into()))?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target.to_owned(), None),
+    };
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        body,
+    })
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn classify_io(e: io::Error) -> ReadError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::Timeout,
+        _ => ReadError::Disconnect,
+    }
+}
+
+/// Writes a full response. Every response closes the connection; extra
+/// headers are `(name, value)` pairs.
+pub fn write_response(
+    stream: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The daemon's structured JSON error schema:
+/// `{"error":{"code":"…","message":"…"}}`.
+pub fn error_body(code: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}\n",
+        json_escape(code),
+        json_escape(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(bytes: &[u8]) -> Result<Request, ReadError> {
+        let mut cursor = std::io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor, 64 * 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req =
+            read(b"POST /sql?stats=json HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sql");
+        assert_eq!(req.param("stats"), Some("json"));
+        assert_eq!(req.param("nope"), None);
+        assert_eq!(req.body, "hello");
+    }
+
+    #[test]
+    fn parses_bodyless_get() {
+        let req = read(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, None);
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn truncated_and_garbage_requests_are_bad_requests() {
+        assert!(matches!(
+            read(b"POST /sql HTTP/1.1\r\nContent-Le"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read(b"POST /sql HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read(b"not an http request\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read(b"POST /sql HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"),
+            Err(ReadError::BadRequest(_))
+        ));
+        assert!(matches!(read(b""), Err(ReadError::Disconnect)));
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected() {
+        let body = "x".repeat(100);
+        let raw = format!("POST /sql HTTP/1.1\r\nContent-Length: 100\r\n\r\n{body}");
+        let mut cursor = std::io::Cursor::new(raw.into_bytes());
+        assert!(matches!(
+            read_request(&mut cursor, 64),
+            Err(ReadError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "text/plain",
+            &[("X-Ptk-Cache", "hit")],
+            "ok\n",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.contains("X-Ptk-Cache: hit\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok\n"), "{text}");
+    }
+
+    #[test]
+    fn error_bodies_escape_json() {
+        let body = error_body("query", "bad \"stuff\"\nline two");
+        assert_eq!(
+            body,
+            "{\"error\":{\"code\":\"query\",\"message\":\"bad \\\"stuff\\\"\\nline two\"}}\n"
+        );
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,526 @@
+//! The resident query daemon: accept loop, admission control, worker pool,
+//! routing, and the result cache.
+//!
+//! ## Architecture
+//!
+//! One acceptor thread pushes connections into a bounded queue; `threads`
+//! workers (scheduled on the `ptk-par` pool, one lane per worker) pop and
+//! serve them, one request per connection. Admission control is the queue
+//! bound (overflow is answered `429` immediately) plus a per-request
+//! timeout covering queue wait and request read (`408`). Execution itself
+//! is never preempted — a query that has started runs to completion, which
+//! keeps the engine free of cancellation points.
+//!
+//! The daemon is generic over a [`QueryHandler`] so the HTTP machinery,
+//! admission control and cache stay zero-dependency; the `ptk serve` CLI
+//! command supplies the handler that parses the SQL dialect and routes
+//! statements through `PtkPlan`/`PtkExecutor`, byte-identical to the
+//! one-shot `ptk sql` path.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ptk_obs::{Metrics, Recorder, Snapshot};
+use ptk_par::ThreadPool;
+
+use crate::cache::ResultCache;
+use crate::http::{self, ReadError, Request};
+
+/// Metric names recorded by the daemon (all under the `serve.` prefix, so
+/// `/metrics` renders them as `ptk_serve_*`).
+pub mod counters {
+    /// Requests fully read off the wire.
+    pub const REQUESTS: &str = "serve.requests";
+    /// Requests answered `200`.
+    pub const RESPONSES_OK: &str = "serve.responses_ok";
+    /// Statements the handler rejected (answered `400` with a structured
+    /// JSON error).
+    pub const QUERY_ERRORS: &str = "serve.query_errors";
+    /// Malformed HTTP requests (truncated, garbage, oversized).
+    pub const HTTP_ERRORS: &str = "serve.http_errors";
+    /// Connections rejected `429` because the admission queue was full.
+    pub const REJECTED_QUEUE_FULL: &str = "serve.rejected.queue_full";
+    /// Requests rejected `408` (queue wait or request read exceeded the
+    /// per-request timeout).
+    pub const REJECTED_TIMEOUT: &str = "serve.rejected.timeout";
+    /// Clients that hung up mid-request or mid-response. Never fatal.
+    pub const CLIENT_DISCONNECTS: &str = "serve.client_disconnects";
+    /// Result-cache hits.
+    pub const CACHE_HITS: &str = "serve.cache.hits";
+    /// Cacheable requests that had to execute.
+    pub const CACHE_MISSES: &str = "serve.cache.misses";
+    /// Requests that can never be cached (non-deterministic surfaces:
+    /// `?stats=`, `EXPLAIN ANALYZE`).
+    pub const CACHE_UNCACHEABLE: &str = "serve.cache.uncacheable";
+    /// Admission-queue depth observed at enqueue time (histogram).
+    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Wall-clock execution time of handled statements (span timing).
+    pub const REQUEST_SPAN: &str = "serve.request";
+}
+
+/// Executes statements for the daemon. Implementations must be callable
+/// from many worker threads at once (`Sync`).
+pub trait QueryHandler: Sync {
+    /// Executes `statement`, returning the full response body — exactly
+    /// the text the one-shot CLI would print for the same statement.
+    /// `stats` is the validated `?stats=` parameter (`text`, `json` or
+    /// `prom`), appended to the body the same way the `--stats` flag is.
+    ///
+    /// # Errors
+    /// A human-readable message for any parse, bind, plan or execution
+    /// failure; the daemon renders it as a structured `400` JSON error.
+    fn execute(&self, statement: &str, stats: Option<&str>) -> Result<String, String>;
+
+    /// A stable fingerprint of the request, or `None` when the response is
+    /// not cacheable (it embeds wall-clock timings, or the statement does
+    /// not even parse). Combined with the snapshot epoch as the result
+    /// cache key, so it must cover everything the response depends on
+    /// besides the data snapshot.
+    fn fingerprint(&self, statement: &str, stats: Option<&str>) -> Option<u64> {
+        let _ = (statement, stats);
+        None
+    }
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads serving requests (the `ptk-par` pool width).
+    pub threads: usize,
+    /// Bounded admission queue: connections waiting for a worker beyond
+    /// this are answered `429` without queuing.
+    pub queue_capacity: usize,
+    /// Per-request budget in milliseconds, covering admission-queue wait
+    /// plus reading the request; exceeding it yields `408`.
+    pub timeout_ms: u64,
+    /// Result-cache capacity in responses; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Upper bound on a request's total size in bytes.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 2,
+            queue_capacity: 64,
+            timeout_ms: 10_000,
+            cache_capacity: 256,
+            max_request_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// What a worker tells the dispatch loop after a connection.
+enum Disposition {
+    /// Keep serving.
+    Continue,
+    /// A `POST /shutdown` was served: stop accepting, drain, exit.
+    Shutdown,
+}
+
+/// The resident query daemon. See the module docs for the architecture.
+pub struct Server<H> {
+    handler: H,
+    config: ServerConfig,
+    metrics: Metrics,
+    cache: ResultCache,
+    epoch: AtomicU64,
+    stop: AtomicBool,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    available: Condvar,
+}
+
+impl<H: QueryHandler> Server<H> {
+    /// A daemon serving `handler` under `config`. Nothing listens until
+    /// [`Server::run`] or [`Server::spawn`].
+    pub fn new(handler: H, config: ServerConfig) -> Server<H> {
+        Server {
+            handler,
+            config,
+            metrics: Metrics::new(),
+            cache: ResultCache::new(config.cache_capacity),
+            epoch: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The snapshot epoch the daemon is serving. Fixed at `1` today; the
+    /// dynamic-updates roadmap item bumps it on every mutation, which
+    /// implicitly invalidates the result cache (its key embeds the epoch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// A point-in-time copy of the daemon's metrics (what `/metrics`
+    /// renders via `Snapshot::to_prometheus`).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Serves on `listener` until a `POST /shutdown` request arrives,
+    /// then drains the admission queue and returns.
+    pub fn run(&self, listener: TcpListener) -> io::Result<()> {
+        let addr = listener.local_addr()?;
+        let pool = ThreadPool::new(self.config.threads);
+        std::thread::scope(|scope| {
+            let acceptor = scope.spawn(|| self.accept_loop(&listener));
+            let lanes: Vec<usize> = (0..self.config.threads).collect();
+            // One item per worker: each pool lane runs a drain loop until
+            // shutdown. With a single thread the loop runs inline here.
+            pool.parallel_map(&lanes, |_, _| self.worker_loop(addr));
+            acceptor.join().expect("acceptor thread panicked");
+        });
+        Ok(())
+    }
+
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves on a background
+    /// thread. The returned handle knows the bound address and can shut
+    /// the daemon down cleanly.
+    pub fn spawn(self, addr: &str) -> io::Result<ServerHandle>
+    where
+        H: Send + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let join = std::thread::spawn(move || self.run(listener));
+        Ok(ServerHandle { addr: local, join })
+    }
+
+    fn accept_loop(&self, listener: &TcpListener) {
+        for stream in listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let mut queue = self.queue.lock().expect("admission queue lock");
+            if queue.len() >= self.config.queue_capacity {
+                drop(queue);
+                self.reject_overloaded(stream);
+                continue;
+            }
+            self.metrics
+                .observe(counters::QUEUE_DEPTH, queue.len() as f64);
+            queue.push_back((stream, Instant::now()));
+            drop(queue);
+            self.available.notify_one();
+        }
+        // Wake every parked worker so all observe the stop flag.
+        self.available.notify_all();
+    }
+
+    /// Answers `429` on the acceptor thread without queuing. The request
+    /// is drained best-effort first so the close does not race the
+    /// client's own write with a TCP reset.
+    fn reject_overloaded(&self, mut stream: TcpStream) {
+        self.metrics.add(counters::REJECTED_QUEUE_FULL, 1);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+        let mut scratch = [0u8; 4096];
+        let _ = stream.read(&mut scratch);
+        let body = http::error_body("overloaded", "admission queue is full; retry with backoff");
+        if http::write_response(&mut stream, 429, "application/json", &[], &body).is_ok() {
+            drain(&stream);
+        }
+    }
+
+    fn worker_loop(&self, addr: SocketAddr) {
+        while let Some((stream, enqueued)) = self.next_connection() {
+            if let Disposition::Shutdown = self.handle_connection(stream, enqueued) {
+                self.stop.store(true, Ordering::SeqCst);
+                // Unblock the acceptor (it may be parked in accept()).
+                let _ = TcpStream::connect(addr);
+                self.available.notify_all();
+            }
+        }
+    }
+
+    /// Pops the next queued connection; returns `None` once the daemon is
+    /// stopping and the queue has drained.
+    fn next_connection(&self) -> Option<(TcpStream, Instant)> {
+        let mut queue = self.queue.lock().expect("admission queue lock");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            // The timeout guards the startup race where stop is set between
+            // the emptiness check and the wait.
+            let (guard, _) = self
+                .available
+                .wait_timeout(queue, Duration::from_millis(50))
+                .expect("admission queue lock");
+            queue = guard;
+        }
+    }
+
+    fn handle_connection(&self, mut stream: TcpStream, enqueued: Instant) -> Disposition {
+        let timeout = Duration::from_millis(self.config.timeout_ms.max(1));
+        let waited = enqueued.elapsed();
+        if waited >= timeout {
+            self.metrics.add(counters::REJECTED_TIMEOUT, 1);
+            self.respond(
+                &mut stream,
+                408,
+                "application/json",
+                &[],
+                &http::error_body("timeout", "request timed out in the admission queue"),
+            );
+            return Disposition::Continue;
+        }
+        let _ = stream.set_read_timeout(Some(timeout - waited));
+        let _ = stream.set_write_timeout(Some(timeout));
+
+        let request = match http::read_request(&mut stream, self.config.max_request_bytes) {
+            Ok(request) => request,
+            Err(ReadError::Disconnect) => {
+                self.metrics.add(counters::CLIENT_DISCONNECTS, 1);
+                return Disposition::Continue;
+            }
+            Err(ReadError::Timeout) => {
+                self.metrics.add(counters::REJECTED_TIMEOUT, 1);
+                self.respond(
+                    &mut stream,
+                    408,
+                    "application/json",
+                    &[],
+                    &http::error_body("timeout", "timed out reading the request"),
+                );
+                return Disposition::Continue;
+            }
+            Err(ReadError::TooLarge) => {
+                self.metrics.add(counters::HTTP_ERRORS, 1);
+                self.respond(
+                    &mut stream,
+                    413,
+                    "application/json",
+                    &[],
+                    &http::error_body(
+                        "too_large",
+                        &format!("request exceeds {} bytes", self.config.max_request_bytes),
+                    ),
+                );
+                drain(&stream);
+                return Disposition::Continue;
+            }
+            Err(ReadError::BadRequest(message)) => {
+                self.metrics.add(counters::HTTP_ERRORS, 1);
+                self.respond(
+                    &mut stream,
+                    400,
+                    "application/json",
+                    &[],
+                    &http::error_body("bad_request", &message),
+                );
+                drain(&stream);
+                return Disposition::Continue;
+            }
+        };
+
+        self.metrics.add(counters::REQUESTS, 1);
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/sql") => {
+                self.serve_sql(&mut stream, &request);
+                Disposition::Continue
+            }
+            ("GET", "/metrics") => {
+                self.metrics.add(counters::RESPONSES_OK, 1);
+                let body = self.metrics.snapshot().to_prometheus();
+                self.respond(&mut stream, 200, "text/plain; version=0.0.4", &[], &body);
+                Disposition::Continue
+            }
+            ("GET", "/health") => {
+                self.metrics.add(counters::RESPONSES_OK, 1);
+                let body = format!(
+                    "{{\"status\":\"ok\",\"epoch\":{},\"cached\":{}}}\n",
+                    self.epoch(),
+                    self.cache.len()
+                );
+                self.respond(&mut stream, 200, "application/json", &[], &body);
+                Disposition::Continue
+            }
+            ("POST", "/shutdown") => {
+                self.metrics.add(counters::RESPONSES_OK, 1);
+                self.respond(&mut stream, 200, "application/json", &[], "{\"ok\":true}\n");
+                Disposition::Shutdown
+            }
+            (_, "/sql" | "/metrics" | "/health" | "/shutdown") => {
+                self.metrics.add(counters::HTTP_ERRORS, 1);
+                self.respond(
+                    &mut stream,
+                    405,
+                    "application/json",
+                    &[],
+                    &http::error_body("method_not_allowed", "wrong method for this endpoint"),
+                );
+                Disposition::Continue
+            }
+            (_, path) => {
+                self.metrics.add(counters::HTTP_ERRORS, 1);
+                self.respond(
+                    &mut stream,
+                    404,
+                    "application/json",
+                    &[],
+                    &http::error_body("not_found", &format!("no such endpoint: {path}")),
+                );
+                Disposition::Continue
+            }
+        }
+    }
+
+    fn serve_sql(&self, stream: &mut TcpStream, request: &Request) {
+        let statement = request.body.trim();
+        if statement.is_empty() {
+            self.metrics.add(counters::QUERY_ERRORS, 1);
+            self.respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                &http::error_body("query", "empty statement"),
+            );
+            return;
+        }
+        let stats = request.param("stats");
+        if let Some(mode) = stats {
+            if !matches!(mode, "text" | "json" | "prom") {
+                self.metrics.add(counters::QUERY_ERRORS, 1);
+                self.respond(
+                    stream,
+                    400,
+                    "application/json",
+                    &[],
+                    &http::error_body(
+                        "query",
+                        &format!("stats must be text, json or prom, got '{mode}'"),
+                    ),
+                );
+                return;
+            }
+        }
+
+        let key = self
+            .handler
+            .fingerprint(statement, stats)
+            .map(|fp| (self.epoch(), fp));
+        if let Some(key) = key {
+            if let Some(body) = self.cache.get(key) {
+                self.metrics.add(counters::CACHE_HITS, 1);
+                self.metrics.add(counters::RESPONSES_OK, 1);
+                self.respond(stream, 200, "text/plain", &[("X-Ptk-Cache", "hit")], &body);
+                return;
+            }
+        }
+
+        let started = Instant::now();
+        let outcome = self.handler.execute(statement, stats);
+        self.metrics.record_nanos(
+            counters::REQUEST_SPAN,
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+        match outcome {
+            Ok(body) => {
+                let cache_state = match key {
+                    Some(key) => {
+                        self.metrics.add(counters::CACHE_MISSES, 1);
+                        self.cache.insert(key, Arc::new(body.clone()));
+                        "miss"
+                    }
+                    None => {
+                        self.metrics.add(counters::CACHE_UNCACHEABLE, 1);
+                        "uncacheable"
+                    }
+                };
+                self.metrics.add(counters::RESPONSES_OK, 1);
+                self.respond(
+                    stream,
+                    200,
+                    "text/plain",
+                    &[("X-Ptk-Cache", cache_state)],
+                    &body,
+                );
+            }
+            Err(message) => {
+                self.metrics.add(counters::QUERY_ERRORS, 1);
+                self.respond(
+                    stream,
+                    400,
+                    "application/json",
+                    &[],
+                    &http::error_body("query", &message),
+                );
+            }
+        }
+    }
+
+    /// Writes a response; a failed write is a client disconnect — counted,
+    /// never propagated, so one hung-up client cannot take the daemon or
+    /// its worker down (the same policy as the CLI's EPIPE handling).
+    fn respond(
+        &self,
+        stream: &mut TcpStream,
+        status: u16,
+        content_type: &str,
+        extra_headers: &[(&str, &str)],
+        body: &str,
+    ) {
+        if http::write_response(stream, status, content_type, extra_headers, body).is_err() {
+            self.metrics.add(counters::CLIENT_DISCONNECTS, 1);
+        }
+    }
+}
+
+/// Half-closes the write side, then reads off anything the client sent
+/// that the request parser never consumed (an oversized body, say). A
+/// close with unread bytes in the receive buffer becomes a TCP reset that
+/// can destroy the response before the client reads it; this keeps error
+/// replies deliverable. Bounded so a firehosing client cannot pin a
+/// worker.
+fn drain(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut scratch = [0u8; 4096];
+    let mut reference = stream;
+    for _ in 0..16 {
+        match reference.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// A running daemon started by [`Server::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a clean shutdown (`POST /shutdown`) and waits for the
+    /// daemon to drain and exit.
+    pub fn shutdown(self) -> io::Result<()> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.write_all(b"POST /shutdown HTTP/1.1\r\nContent-Length: 0\r\n\r\n")?;
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        drop(stream);
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}

@@ -214,6 +214,29 @@ mod tests {
         assert!(err.message.contains("ORDER BY column 'nope'"), "{err}");
     }
 
+    /// The parser rejects out-of-range thresholds before binding, but
+    /// `ParsedQuery`'s fields are public: an embedder can hand the binder
+    /// any value, and the answer must be a clean [`SqlError`] from the
+    /// model's own validation, never a downstream panic.
+    #[test]
+    fn programmatic_invalid_parameters_bind_to_clean_errors() {
+        let table = panda_table();
+        let base = parse("SELECT TOP 2 FROM panda ORDER BY duration").unwrap();
+        for bad in [0.0, 1.5, -0.25, f64::NAN, f64::INFINITY] {
+            let mut q = base.clone();
+            q.threshold = bad;
+            let err = q.bind(&table).unwrap_err();
+            assert!(
+                err.message.contains("threshold") || err.message.contains("probability"),
+                "threshold {bad}: {err}"
+            );
+        }
+        let mut q = base.clone();
+        q.k = 0;
+        let err = q.bind(&table).unwrap_err();
+        assert!(err.message.contains("k"), "{err}");
+    }
+
     #[test]
     fn integral_literals_become_ints() {
         assert_eq!(Literal::Number(3.0).to_value(), Value::Int(3));

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Smoke test for the `ptk serve` daemon, exactly as CI runs it:
+# start the daemon on a generated dataset, run real queries, sweep
+# malformed inputs (bad thresholds, k = 0, garbage SQL, a truncated
+# request), scrape /metrics, and shut down cleanly — asserting the
+# process stays up with structured errors throughout.
+#
+# Usage: scripts/serve_smoke.sh [path-to-ptk-binary]
+set -euo pipefail
+
+PTK="${1:-./target/release/ptk}"
+WORK="$(mktemp -d)"
+READY="$WORK/ready"
+CSV="$WORK/data.csv"
+SERVER_LOG="$WORK/server.log"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$SERVER_LOG" >&2 || true
+  exit 1
+}
+
+echo "== generate dataset"
+"$PTK" generate synthetic --tuples 400 --rules 50 --seed 7 > "$CSV"
+
+echo "== start daemon"
+"$PTK" serve "$CSV" --addr 127.0.0.1:0 --threads 2 --ready-file "$READY" \
+  > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$READY" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon died before becoming ready"
+  sleep 0.1
+done
+[[ -s "$READY" ]] || fail "daemon never wrote the ready file"
+ADDR="$(cat "$READY")"
+echo "   daemon at $ADDR (pid $SERVER_PID)"
+
+post_sql() {
+  curl -sS -o "$WORK/body" -w '%{http_code}' --data-binary "$1" "http://$ADDR/sql"
+}
+
+assert_up() {
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "daemon is no longer running ($1)"
+}
+
+echo "== good queries"
+STMT='SELECT TOP 10 FROM t ORDER BY score DESC WITH PROBABILITY >= 0.3'
+code="$(post_sql "$STMT")"
+[[ "$code" == 200 ]] || fail "good query returned $code: $(cat "$WORK/body")"
+grep -q "pass Pr" "$WORK/body" || fail "unexpected answer body: $(cat "$WORK/body")"
+cp "$WORK/body" "$WORK/first"
+
+# Served bytes must equal one-shot CLI output for the same statement.
+"$PTK" sql "$CSV" "$STMT" > "$WORK/oneshot"
+cmp "$WORK/first" "$WORK/oneshot" || fail "served body differs from one-shot ptk sql output"
+
+# Identical repeat: the daemon must flag a cache hit and serve the
+# identical bytes.
+hit_header="$(curl -sS -D - -o "$WORK/body" --data-binary "$STMT" "http://$ADDR/sql" \
+  | tr -d '\r' | grep -i '^x-ptk-cache:')"
+[[ "$hit_header" == *hit* ]] || fail "expected a cache hit, got: $hit_header"
+cmp "$WORK/body" "$WORK/first" || fail "cache hit served different bytes"
+
+# A batch statement and a stats surface.
+code="$(post_sql "$STMT; SELECT TOP 5 FROM t ORDER BY score DESC WITH PROBABILITY >= 0.5")"
+[[ "$code" == 200 ]] || fail "batch returned $code: $(cat "$WORK/body")"
+code="$(curl -sS -o "$WORK/body" -w '%{http_code}' --data-binary "$STMT" "http://$ADDR/sql?stats=json")"
+[[ "$code" == 200 ]] || fail "stats surface returned $code"
+grep -q '"engine.scanned"' "$WORK/body" || fail "stats body missing counters: $(cat "$WORK/body")"
+assert_up "good queries"
+
+echo "== malformed sweep"
+for bad in \
+  'SELECT TOP 10 FROM t ORDER BY score DESC WITH PROBABILITY >= 0' \
+  'SELECT TOP 10 FROM t ORDER BY score DESC WITH PROBABILITY >= 1.5' \
+  'SELECT TOP 10 FROM t ORDER BY score DESC WITH PROBABILITY >= NaN' \
+  'SELECT TOP 0 FROM t ORDER BY score DESC WITH PROBABILITY >= 0.5' \
+  'complete garbage' \
+  ''; do
+  code="$(post_sql "$bad")"
+  [[ "$code" == 400 ]] || fail "malformed '$bad' returned $code"
+  grep -q '"error":{"code":"query"' "$WORK/body" \
+    || fail "no structured error for '$bad': $(cat "$WORK/body")"
+  assert_up "malformed '$bad'"
+done
+
+# Truncated request: promise 50 body bytes, send 5, hang up.
+printf 'POST /sql HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort' \
+  | timeout 10 curl -sS -o /dev/null telnet://"$ADDR" 2>/dev/null || true
+assert_up "truncated request"
+
+# Wrong method and unknown path keep structured shapes.
+code="$(curl -sS -o "$WORK/body" -w '%{http_code}' "http://$ADDR/sql")"
+[[ "$code" == 405 ]] || fail "GET /sql returned $code"
+code="$(curl -sS -o "$WORK/body" -w '%{http_code}' "http://$ADDR/nope")"
+[[ "$code" == 404 ]] || fail "GET /nope returned $code"
+assert_up "routing errors"
+
+echo "== metrics scrape"
+curl -sS "http://$ADDR/metrics" > "$WORK/metrics"
+for metric in ptk_serve_requests ptk_serve_query_errors ptk_serve_cache_hits; do
+  grep -q "^$metric " "$WORK/metrics" || fail "/metrics missing $metric"
+done
+grep -q '^ptk_serve_panics' "$WORK/metrics" && fail "daemon recorded panics"
+
+echo "== clean shutdown"
+code="$(curl -sS -o "$WORK/body" -w '%{http_code}' -X POST "http://$ADDR/shutdown")"
+[[ "$code" == 200 ]] || fail "shutdown returned $code"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  fail "daemon did not exit after /shutdown"
+fi
+wait "$SERVER_PID" || fail "daemon exited non-zero"
+SERVER_PID=""
+grep -q "shutdown complete" "$SERVER_LOG" || fail "missing shutdown message in log"
+grep -qiE "panic" "$SERVER_LOG" && fail "panic in server log"
+
+echo "serve smoke: OK"

@@ -45,7 +45,8 @@
 //! [`datagen`], [`access`] (progressive retrieval: TA middleware, disk
 //! runs), [`sql`] (the statement language), [`obs`] (the metrics and
 //! tracing layer behind `--stats` and the bench artifacts) and [`par`]
-//! (the deterministic scoped thread pool behind batch execution). The
+//! (the deterministic scoped thread pool behind batch execution) and
+//! [`serve`] (the resident query daemon behind `ptk serve`). The
 //! in-repo infrastructure that keeps the build hermetic is re-exported
 //! too: [`rng`] (seedable PRNGs) and [`check`] (the deterministic
 //! property-test harness).
@@ -62,6 +63,7 @@ pub use ptk_obs as obs;
 pub use ptk_par as par;
 pub use ptk_rankers as rankers;
 pub use ptk_sampling as sampling;
+pub use ptk_serve as serve;
 pub use ptk_sql as sql;
 pub use ptk_worlds as worlds;
 
