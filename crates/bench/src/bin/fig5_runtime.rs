@@ -3,9 +3,12 @@
 //! as Figure 4. Also reports the number of subset-probability entries
 //! recomputed — the paper notes its trends match runtime exactly.
 
+use ptk_access::ViewSource;
 use ptk_bench::{sweeps, time_ms, BenchRecord, Report};
 use ptk_core::RankedView;
-use ptk_engine::{evaluate_ptk, EngineOptions, SharingVariant};
+use ptk_engine::{
+    evaluate_ptk, EngineOptions, PtkExecutor, PtkPlan, RankSemantics, SharingVariant,
+};
 use ptk_sampling::sample_topk;
 
 fn measure(
@@ -113,5 +116,107 @@ fn main() {
     bench.set_metrics(metrics.snapshot());
     bench.write();
 
+    measure_semantics(&ds.view);
+
     println!("\nfig5_runtime: done");
+}
+
+/// Every ranking semantics through the executor's one-scan entry point on
+/// the reference dataset, plus the PT-k regression gate: PT-k dispatched
+/// through `execute_semantics` must stay within 5% of the direct
+/// `evaluate_ptk` path (enforced when `PTK_BENCH_GATE` is set, reported
+/// otherwise — unloaded machines only, scheduler noise fails honest runs).
+fn measure_semantics(view: &RankedView) {
+    const REPS: usize = 7;
+    let options = EngineOptions::default();
+    let mut report = Report::new("fig5e_runtime_by_semantics", &["semantics", "median_ms"]);
+    let mut bench = BenchRecord::new("semantics");
+
+    let mut baseline = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let (_, ms) =
+            time_ms(|| evaluate_ptk(view, sweeps::DEFAULT_K, sweeps::DEFAULT_P, &options));
+        baseline.push(ms);
+    }
+    report.row(&[
+        &format!("ptk direct (k={})", sweeps::DEFAULT_K),
+        &format!("{:.1}", median(&mut baseline)),
+    ]);
+
+    let mut ptk_dispatched = f64::NAN;
+    for semantics in [
+        RankSemantics::Ptk,
+        RankSemantics::UTopK,
+        RankSemantics::UKRanks,
+        RankSemantics::GlobalTopk,
+        RankSemantics::ExpectedRank,
+    ] {
+        // U-TopK's best-first vector search is exponential in k on dense
+        // probability mass — k=200 exhausts any sane state cap. Bench it
+        // at the small-k regime the semantics is used in.
+        let k = match semantics {
+            RankSemantics::UTopK => 10,
+            _ => sweeps::DEFAULT_K,
+        };
+        let plan = match semantics {
+            RankSemantics::Ptk => PtkPlan::new(k, sweeps::DEFAULT_P, &options),
+            other => PtkPlan::try_semantics(other, k, None, &options).unwrap(),
+        };
+        let executor = PtkExecutor::new(&plan);
+        let mut laps = Vec::with_capacity(REPS);
+        let mut exhausted = false;
+        for _ in 0..REPS {
+            let mut source = ViewSource::new(view);
+            let (answer, ms) = time_ms(|| executor.execute_semantics(&mut source));
+            match answer {
+                Ok(_) => {
+                    laps.push(ms);
+                    bench.lap_ms(ms);
+                }
+                Err(e) => {
+                    println!("{}: {e}", semantics.keyword());
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        let label = format!("{} (k={k})", semantics.keyword().to_lowercase());
+        if exhausted {
+            report.row(&[&label, &"state cap"]);
+            continue;
+        }
+        let med = median(&mut laps);
+        if semantics == RankSemantics::Ptk {
+            ptk_dispatched = med;
+        }
+        report.row(&[&label, &format!("{med:.1}")]);
+    }
+    report.finish();
+
+    // Timing-free counters of one gf-scan semantics for the artifact.
+    let metrics = ptk_obs::Metrics::new();
+    let plan = PtkPlan::try_semantics(RankSemantics::GlobalTopk, sweeps::DEFAULT_K, None, &options)
+        .unwrap();
+    let mut source = ViewSource::new(view);
+    PtkExecutor::with_recorder(&plan, &metrics)
+        .execute_semantics(&mut source)
+        .unwrap();
+    bench.set_metrics(metrics.snapshot());
+    bench.write();
+
+    let base = median(&mut baseline);
+    let ratio = ptk_dispatched / base;
+    println!("ptk via execute_semantics: {ratio:.3}x the direct path (gate: <= 1.05)");
+    if std::env::var_os("PTK_BENCH_GATE").is_some() {
+        assert!(
+            ratio <= 1.05,
+            "PT-k regression: dispatched {ptk_dispatched:.2} ms vs direct {base:.2} ms \
+             ({ratio:.3}x > 1.05x)"
+        );
+    }
+}
+
+fn median(laps: &mut [f64]) -> f64 {
+    laps.sort_by(f64::total_cmp);
+    laps[laps.len() / 2]
 }

@@ -172,6 +172,21 @@ fn engine_options_from_flags(flags: &Flags) -> ptk_engine::EngineOptions {
     }
 }
 
+/// The ranking semantics selected by `--semantics` (default: PT-k). The
+/// parser folds case and `_`/`-` separators, so `u_topk`, `U-TopK` and
+/// `UTOPK` all name the same semantics.
+fn semantics_from_flags(flags: &Flags) -> Result<ptk_engine::RankSemantics, String> {
+    match flags.named.get("semantics") {
+        None => Ok(ptk_engine::RankSemantics::Ptk),
+        Some(raw) => ptk_engine::RankSemantics::parse(raw).ok_or_else(|| {
+            format!(
+                "--semantics: unknown ranking semantics '{raw}' \
+                 (ptk | u_topk | u_kranks | global_topk | expected_rank)"
+            )
+        }),
+    }
+}
+
 /// Parses a `--where` clause of the form `<column><op><value>`.
 fn parse_where(clause: &str, table: &UncertainTable) -> Result<Predicate, String> {
     // Longest operators first so `<=` wins over `<`.
@@ -1309,13 +1324,20 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("requires the exact method"), "{err}");
-        let err = dispatch(&args(&[
+        // EXPLAIN ANALYZE covers the non-PT-k semantics too, annotating the
+        // generating-function stage with the run's counters.
+        let out = dispatch(&args(&[
             "sql",
             file.as_str(),
             "EXPLAIN ANALYZE SELECT UTOPK 2 FROM panda ORDER BY duration",
         ]))
-        .unwrap_err();
-        assert!(err.contains("only SELECT TOP"), "{err}");
+        .unwrap();
+        assert!(out.contains("probability 0.280000"), "{out}");
+        assert!(out.contains("gf[RC+LR, k=2]:"), "{out}");
+        assert!(
+            out.contains("u-topk[best-first vector] (unpruned: no sound bounds): answers=2"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -1391,6 +1413,204 @@ mod tests {
         assert!(!out.contains("slow query"), "{out}");
         let err = dispatch(&query_args(file.as_str(), &["--slow-ms", "fast"])).unwrap_err();
         assert!(err.contains("--slow-ms: cannot parse 'fast'"), "{err}");
+    }
+
+    /// Golden EXPLAIN output for a `RANK BY` statement: the plan line must
+    /// render the actual generating-function semantics stage, not the PT-k
+    /// `dp[..]` pipeline, and must say the scan runs unpruned.
+    #[test]
+    fn sql_explain_renders_the_semantics_stage() {
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "EXPLAIN SELECT TOP 2 FROM panda ORDER BY duration RANK BY U_KRANKS",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains(
+                "plan: RankedView::build (predicate + sort + rule projection) -> \
+                 ranked-retrieval -> rule-compression -> gf[RC+LR, k=2] -> \
+                 u-kranks[argmax per rank] (unpruned: no sound bounds)"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("stats: view of 6 tuples / 2 rules"), "{out}");
+        // The PT-k EXPLAIN stays byte-for-byte on its historical pipeline.
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "EXPLAIN SELECT TOP 2 FROM panda ORDER BY duration RANK BY PTK WITH PROBABILITY >= 0.35",
+        ]))
+        .unwrap();
+        assert!(out.contains("dp[RC+LR, k=2]"), "{out}");
+        assert!(out.contains("emit[p >= 0.35]"), "{out}");
+    }
+
+    #[test]
+    fn sql_rank_by_matches_legacy_kind_keywords() {
+        // `RANK BY <semantics>` on a TOP statement answers identically to
+        // the legacy kind keyword — same engine path, same bytes.
+        let file = panda_file();
+        for (legacy, rank_by) in [
+            ("SELECT UTOPK 2 FROM panda ORDER BY duration", "U_TOPK"),
+            ("SELECT UKRANKS 2 FROM panda ORDER BY duration", "U_KRANKS"),
+            (
+                "SELECT ERANK 2 FROM panda ORDER BY duration",
+                "EXPECTED_RANK",
+            ),
+            (
+                "SELECT GLOBALTOPK 2 FROM panda ORDER BY duration",
+                "GLOBAL_TOPK",
+            ),
+        ] {
+            let a = dispatch(&args(&["sql", file.as_str(), legacy])).unwrap();
+            let b = dispatch(&args(&[
+                "sql",
+                file.as_str(),
+                &format!("SELECT TOP 2 FROM panda ORDER BY duration RANK BY {rank_by}"),
+            ]))
+            .unwrap();
+            assert_eq!(a, b, "RANK BY {rank_by}");
+        }
+    }
+
+    #[test]
+    fn sql_global_topk_matches_table_3() {
+        // Global-Top2 on the panda data: R5 (Pr^2 = 0.704), then R2 (0.4).
+        let file = panda_file();
+        let out = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration RANK BY GLOBAL_TOPK",
+        ]))
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "top-2 by top-k probability:", "{out}");
+        assert!(
+            lines[1].contains("Pr^k = 0.7040") && lines[1].contains("R5"),
+            "{out}"
+        );
+        assert!(
+            lines[2].contains("Pr^k = 0.4000") && lines[2].contains("R2"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn query_semantics_flag_answers_each_semantics() {
+        let file = panda_file();
+        let run = |semantics: &str, k: &str| {
+            dispatch(&args(&[
+                "query",
+                file.as_str(),
+                "--k",
+                k,
+                "--rank-by",
+                "duration",
+                "--semantics",
+                semantics,
+            ]))
+            .unwrap()
+        };
+        let out = run("u_topk", "2");
+        assert!(out.contains("probability 0.280000"), "{out}");
+        assert!(out.contains("R5") && out.contains("R3"), "{out}");
+        let out = run("u_kranks", "2");
+        assert!(out.contains("rank   1") && out.contains("0.3360"), "{out}");
+        let out = run("global_topk", "2");
+        assert!(out.contains("Pr^k = 0.7040"), "{out}");
+        let out = run("expected_rank", "3");
+        assert!(out.contains("expected rank"), "{out}");
+        // The flag output matches the equivalent RANK BY statement.
+        let flag = run("u_kranks", "2");
+        let stmt = dispatch(&args(&[
+            "sql",
+            file.as_str(),
+            "SELECT TOP 2 FROM panda ORDER BY duration RANK BY U_KRANKS",
+        ]))
+        .unwrap();
+        assert_eq!(flag, stmt);
+    }
+
+    #[test]
+    fn query_semantics_flag_validation() {
+        let file = panda_file();
+        let base = |extra: &[&str]| {
+            let mut argv = args(&["query", file.as_str(), "--rank-by", "duration"]);
+            argv.extend(extra.iter().map(|s| (*s).to_owned()));
+            dispatch(&argv)
+        };
+        let err = base(&["--k", "2", "--semantics", "nonsense"]).unwrap_err();
+        assert!(
+            err.contains("unknown ranking semantics 'nonsense'"),
+            "{err}"
+        );
+        let err = base(&["--k", "2", "--p", "0.3", "--semantics", "u_topk"]).unwrap_err();
+        assert!(err.contains("takes no --p"), "{err}");
+        let err = base(&["--k", "2,3", "--semantics", "u_topk"]).unwrap_err();
+        assert!(err.contains("batch executor is PT-k only"), "{err}");
+        let err = base(&["--k", "2", "--semantics", "u_topk", "--method", "naive"]).unwrap_err();
+        assert!(err.contains("only on the exact engine"), "{err}");
+        let err = base(&["--k", "0", "--semantics", "u_topk"]).unwrap_err();
+        assert!(err.contains("k >= 1"), "{err}");
+    }
+
+    #[test]
+    fn scan_semantics_flag_streams_the_run_file() {
+        let file = panda_file();
+        let run = tempfile::path("run");
+        dispatch(&args(&[
+            "pack",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--out",
+            run.as_str(),
+        ]))
+        .unwrap();
+        let out = dispatch(&args(&[
+            "scan",
+            run.as_str(),
+            "--k",
+            "2",
+            "--semantics",
+            "u_topk",
+        ]))
+        .unwrap();
+        // R5 and R3 are CSV rows 4 and 2.
+        assert!(out.contains("probability 0.280000"), "{out}");
+        assert!(
+            out.contains("row      4") && out.contains("row      2"),
+            "{out}"
+        );
+        assert!(out.contains("streamed 6 of 6 records"), "{out}");
+        let out = dispatch(&args(&[
+            "scan",
+            run.as_str(),
+            "--k",
+            "2",
+            "--semantics",
+            "expected_rank",
+            "--stats",
+            "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("expected rank"), "{out}");
+        let json = out.lines().last().unwrap();
+        assert!(json.contains("\"engine.gf.rows_incremental\""), "{out}");
+        let err = dispatch(&args(&[
+            "scan",
+            run.as_str(),
+            "--k",
+            "2",
+            "--p",
+            "0.3",
+            "--semantics",
+            "u_topk",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("takes no --p"), "{err}");
     }
 
     #[test]

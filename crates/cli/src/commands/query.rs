@@ -5,7 +5,7 @@ use std::io::Write;
 use std::sync::Arc;
 
 use ptk_core::{Predicate, PtkQuery, RankedView, Ranking, TopKQuery, UncertainTable};
-use ptk_engine::{PtkExecutor, PtkPlan};
+use ptk_engine::{PtkExecutor, PtkPlan, RankSemantics};
 use ptk_obs::{Metrics, Noop, Recorder, SharedSink, Tracer};
 use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
 use ptk_sampling::{sample_topk_recorded, sample_topk_traced, SamplingOptions};
@@ -13,13 +13,20 @@ use ptk_worlds::naive;
 
 use super::render::{
     attrs_of, ptk_header, stats_mode, write_batch_answers, write_membership_row, write_ptk_rows,
-    write_snapshot, write_stats,
+    write_semantics_answer, write_snapshot, write_stats,
 };
 use super::trace::{trace_opts, RING_CAPACITY};
-use super::{build_ranking, load_from_flags, parse_where, pool_from_flags, CmdError, Flags};
+use super::{
+    build_ranking, load_from_flags, parse_where, pool_from_flags, semantics_from_flags, CmdError,
+    Flags,
+};
 
 pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
+    let semantics = semantics_from_flags(flags)?;
+    if semantics != RankSemantics::Ptk {
+        return query_semantics(flags, out, &table, semantics);
+    }
     let ks: Vec<usize> = flags.require_list("k")?;
     let ps: Vec<f64> = flags.require_list("p")?;
     let ranking = build_ranking(flags, &table)?;
@@ -231,6 +238,85 @@ fn query_batch(
         (Some(mode), Some(snapshot)) => write_snapshot(out, Some(mode), &snapshot),
         _ => Ok(()),
     }
+}
+
+/// The `--semantics` path of `ptk query`: a single non-PT-k ranking query
+/// answered through the engine's generating-function scan. Thresholds
+/// parameterize PT-k only, so `--p` is rejected, as are `--k` value lists
+/// (the batch executor is PT-k only) and non-exact methods.
+fn query_semantics(
+    flags: &Flags,
+    out: &mut dyn Write,
+    table: &UncertainTable,
+    semantics: RankSemantics,
+) -> Result<(), CmdError> {
+    let keyword = semantics.keyword();
+    if flags.named.contains_key("p") {
+        return Err(format!(
+            "--semantics {keyword} takes no --p; probability thresholds parameterize PT-k only"
+        )
+        .into());
+    }
+    let ks: Vec<usize> = flags.require_list("k")?;
+    if ks.len() > 1 {
+        return Err(format!(
+            "--semantics {keyword}: the batch executor is PT-k only; pass a single --k"
+        )
+        .into());
+    }
+    let method = flags.named.get("method").map_or("exact", String::as_str);
+    if method != "exact" {
+        return Err(format!(
+            "--semantics {keyword} runs only on the exact engine (drop --method '{method}')"
+        )
+        .into());
+    }
+    let k = ks[0];
+    let ranking = build_ranking(flags, table)?;
+    let predicate = match flags.named.get("where") {
+        Some(clause) => parse_where(clause, table)?,
+        None => Predicate::True,
+    };
+    let query = TopKQuery::new(k, predicate, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(table, &query).map_err(|e| e.to_string())?;
+    let plan = PtkPlan::try_semantics(semantics, k, None, &super::engine_options_from_flags(flags))
+        .map_err(|e| e.to_string())?;
+    let pool = pool_from_flags(flags)?;
+    let stats = stats_mode(flags)?;
+    let trace = trace_opts(flags)?;
+    let explain = flags.switch("explain");
+    let metrics = Metrics::new();
+    let recorder: &dyn Recorder = if stats.is_some() || explain {
+        &metrics
+    } else {
+        &Noop
+    };
+    let sink = trace.active().then(|| trace.sink());
+    let tracer = sink
+        .as_ref()
+        .map(|s| Tracer::new(Arc::clone(s) as SharedSink, 0, 0));
+    let mut executor = PtkExecutor::with_recorder(&plan, recorder);
+    if let Some(t) = tracer.as_ref() {
+        executor = executor.with_tracer(t);
+    }
+    let answer = executor
+        .execute_semantics_snapshot(&view, &pool)
+        .map_err(|e| e.to_string())?;
+    write_semantics_answer(out, &view, table, k, &answer)?;
+    if explain {
+        write!(out, "{}", plan.explain_analyze(&metrics.snapshot(), true))?;
+    }
+    if let (Some(sink), Some(tracer)) = (&sink, &tracer) {
+        let events = sink.events();
+        trace.write_file(&events)?;
+        trace.log_slow(
+            &format!("query --semantics {keyword} k={k}"),
+            tracer.elapsed_nanos(),
+            &events,
+            &mut std::io::stderr(),
+        );
+    }
+    write_stats(out, stats, &metrics)
 }
 
 pub(super) fn cmd_utopk(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {

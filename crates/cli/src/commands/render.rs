@@ -3,7 +3,7 @@
 use std::io::Write;
 
 use ptk_core::{RankedView, UncertainTable};
-use ptk_engine::PtkResult;
+use ptk_engine::{PtkResult, SemanticsAnswer};
 use ptk_obs::{Metrics, Snapshot};
 
 use super::{CmdError, Flags};
@@ -142,6 +142,76 @@ pub(super) fn write_membership_row(
         attrs.join(", ")
     )?;
     Ok(())
+}
+
+/// Renders a non-PT-k [`SemanticsAnswer`] over a ranked view — the answer
+/// formats shared by `ptk query --semantics` and the `RANK BY` statements
+/// of `ptk sql` (and therefore `ptk serve`). PT-k answers render through
+/// [`write_ptk_rows`] instead, so this rejects them.
+pub(super) fn write_semantics_answer(
+    out: &mut dyn Write,
+    view: &RankedView,
+    table: &UncertainTable,
+    k: usize,
+    answer: &SemanticsAnswer,
+) -> Result<(), CmdError> {
+    match answer {
+        SemanticsAnswer::Ptk(_) => {
+            Err("internal: PT-k answers render through write_ptk_rows".into())
+        }
+        SemanticsAnswer::UTopK {
+            rows, probability, ..
+        } => {
+            writeln!(
+                out,
+                "most probable top-{k} vector (probability {probability:.6}):"
+            )?;
+            for row in rows {
+                write_membership_row(out, view, table, row.position)?;
+            }
+            Ok(())
+        }
+        SemanticsAnswer::UKRanks(rows) => {
+            writeln!(out, "most probable tuple at each rank:")?;
+            for (j, row) in rows.iter().enumerate() {
+                writeln!(
+                    out,
+                    "  rank {:>3}: ranked position {:>4}, probability {:.4}  [{}]",
+                    j + 1,
+                    row.position + 1,
+                    row.value,
+                    attrs_of(view, table, row.position)
+                )?;
+            }
+            Ok(())
+        }
+        SemanticsAnswer::GlobalTopk(rows) => {
+            writeln!(out, "top-{k} by top-k probability:")?;
+            for row in rows {
+                writeln!(
+                    out,
+                    "  Pr^k = {:.4}  ranked position {:>4}  [{}]",
+                    row.value,
+                    row.position + 1,
+                    attrs_of(view, table, row.position)
+                )?;
+            }
+            Ok(())
+        }
+        SemanticsAnswer::ExpectedRank(rows) => {
+            writeln!(out, "top-{k} by expected rank:")?;
+            for row in rows {
+                writeln!(
+                    out,
+                    "  expected rank {:>8.2}  ranked position {:>4}  [{}]",
+                    row.value,
+                    row.position + 1,
+                    attrs_of(view, table, row.position)
+                )?;
+            }
+            Ok(())
+        }
+    }
 }
 
 /// The comma-joined attribute rendering of a ranked tuple's source row.

@@ -6,12 +6,15 @@ use std::sync::Arc;
 
 use ptk_access::{write_run, FileSource, RankedSource};
 use ptk_core::{Predicate, RankedView, TopKQuery};
-use ptk_engine::{evaluate_ptk_source_recorded, StreamOptions};
+use ptk_engine::{
+    evaluate_ptk_source_recorded, PtkExecutor, PtkPlan, RankSemantics, SemanticsAnswer,
+    StreamOptions,
+};
 use ptk_obs::{Metrics, Noop, Recorder, SharedRecorder, SharedSink, Tracer};
 
 use super::render::{stats_mode, write_stats};
 use super::trace::trace_opts;
-use super::{build_ranking, load_from_flags, CmdError, Flags};
+use super::{build_ranking, load_from_flags, semantics_from_flags, CmdError, Flags};
 
 pub(super) fn cmd_pack(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let table = load_from_flags(flags)?;
@@ -43,6 +46,10 @@ pub(super) fn cmd_pack(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
 pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
     let path = flags.positional.get(1).ok_or("missing run file argument")?;
     let k: usize = flags.require("k")?;
+    let semantics = semantics_from_flags(flags)?;
+    if semantics != RankSemantics::Ptk {
+        return scan_semantics(flags, out, path, k, semantics);
+    }
     let p: f64 = flags.require("p")?;
     // Validate up front: the streaming entry point plans internally and
     // would panic on k == 0 or a threshold outside (0, 1] (NaN included).
@@ -108,6 +115,110 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
             &events,
             &mut std::io::stderr(),
         );
+    }
+    write_stats(out, stats, &metrics)
+}
+
+/// The `--semantics` path of `ptk scan`: progressive retrieval over the run
+/// file feeding the engine's generating-function scan. Run files carry no
+/// attribute columns, so rows render by CSV row id and score.
+fn scan_semantics(
+    flags: &Flags,
+    out: &mut dyn Write,
+    path: &str,
+    k: usize,
+    semantics: RankSemantics,
+) -> Result<(), CmdError> {
+    if flags.named.contains_key("p") {
+        return Err(format!(
+            "--semantics {} takes no --p; probability thresholds parameterize PT-k only",
+            semantics.keyword()
+        )
+        .into());
+    }
+    let plan = PtkPlan::try_semantics(semantics, k, None, &ptk_engine::EngineOptions::default())
+        .map_err(|e| e.to_string())?;
+    let stats = stats_mode(flags)?;
+    let metrics = Arc::new(Metrics::new());
+    let recorder: &dyn Recorder = if stats.is_some() {
+        metrics.as_ref()
+    } else {
+        &Noop
+    };
+    let shared_recorder: SharedRecorder = if stats.is_some() {
+        Arc::clone(&metrics) as SharedRecorder
+    } else {
+        Arc::new(Noop)
+    };
+    let mut source = if stats.is_some() {
+        FileSource::open_recorded(std::path::Path::new(path), shared_recorder)
+    } else {
+        FileSource::open(std::path::Path::new(path))
+    }
+    .map_err(|e| e.to_string())?;
+    let total = source.remaining();
+    let answer = PtkExecutor::with_recorder(&plan, recorder)
+        .execute_semantics(&mut source)
+        .map_err(|e| e.to_string())?;
+    let streamed = format!("streamed {} of {total} records", source.retrieved());
+    match &answer {
+        SemanticsAnswer::Ptk(_) => {
+            return Err("internal: PT-k scans take the threshold path".into())
+        }
+        SemanticsAnswer::UTopK {
+            rows, probability, ..
+        } => {
+            writeln!(
+                out,
+                "most probable top-{k} vector (probability {probability:.6}, {streamed}):"
+            )?;
+            for row in rows {
+                writeln!(
+                    out,
+                    "  row {:>6}  score {:>12.4}  membership={:.3}",
+                    row.id.index(),
+                    row.score,
+                    row.membership
+                )?;
+            }
+        }
+        SemanticsAnswer::UKRanks(rows) => {
+            writeln!(out, "most probable tuple at each rank ({streamed}):")?;
+            for (j, row) in rows.iter().enumerate() {
+                writeln!(
+                    out,
+                    "  rank {:>3}: row {:>6}  score {:>12.4}  probability {:.4}",
+                    j + 1,
+                    row.id.index(),
+                    row.score,
+                    row.value
+                )?;
+            }
+        }
+        SemanticsAnswer::GlobalTopk(rows) => {
+            writeln!(out, "top-{k} by top-k probability ({streamed}):")?;
+            for row in rows {
+                writeln!(
+                    out,
+                    "  Pr^k = {:.4}  row {:>6}  score {:>12.4}",
+                    row.value,
+                    row.id.index(),
+                    row.score
+                )?;
+            }
+        }
+        SemanticsAnswer::ExpectedRank(rows) => {
+            writeln!(out, "top-{k} by expected rank ({streamed}):")?;
+            for row in rows {
+                writeln!(
+                    out,
+                    "  expected rank {:>8.2}  row {:>6}  score {:>12.4}",
+                    row.value,
+                    row.id.index(),
+                    row.score
+                )?;
+            }
+        }
     }
     write_stats(out, stats, &metrics)
 }

@@ -11,12 +11,12 @@
 use std::io::Write;
 
 use ptk_core::UncertainTable;
-use ptk_engine::{EngineOptions, PtkPlan};
+use ptk_engine::{EngineOptions, PtkPlan, RankSemantics};
 use ptk_par::ThreadPool;
 use ptk_serve::{QueryHandler, Server, ServerConfig};
 
 use super::render::StatsMode;
-use super::sql::{run_sql, SqlOptions};
+use super::sql::{run_sql, semantics_of, SqlOptions};
 use super::{load_from_flags, pool_from_flags, CmdError, Flags};
 
 pub(super) fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
@@ -115,8 +115,9 @@ impl QueryHandler for SqlHandler {
     /// statement does not survive parse/bind — error responses are never
     /// cached. Otherwise an FNV-1a hash folding the statement text, the
     /// pool width (it appears in batch headers), the sampling seed, and
-    /// each exact PT-k statement's [`PtkPlan::fingerprint`] so everything
-    /// the planner sees is covered.
+    /// each exact statement's [`PtkPlan::fingerprint`] — which itself
+    /// covers the ranking semantics, so two statements differing only in
+    /// `RANK BY` can never share a cache slot.
     fn fingerprint(&self, statement: &str, stats: Option<&str>) -> Option<u64> {
         if stats.is_some() {
             return None;
@@ -141,12 +142,15 @@ impl QueryHandler for SqlHandler {
             if parsed.analyze {
                 return None;
             }
-            if parsed.kind == ptk_sql::QueryKind::Ptk
-                && parsed.query.method == ptk_sql::Method::Exact
-            {
+            if parsed.query.method == ptk_sql::Method::Exact {
                 let bound = parsed.query.bind(&self.table).ok()?;
-                let plan =
-                    PtkPlan::try_new(bound.k(), bound.threshold().value(), &self.engine).ok()?;
+                let plan = match semantics_of(parsed.kind) {
+                    RankSemantics::Ptk => {
+                        PtkPlan::try_new(bound.k(), bound.threshold().value(), &self.engine)
+                    }
+                    semantics => PtkPlan::try_semantics(semantics, bound.k(), None, &self.engine),
+                }
+                .ok()?;
                 mix_bytes(&mut h, &plan.fingerprint().to_le_bytes());
             }
         }

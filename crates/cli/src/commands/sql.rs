@@ -11,18 +11,30 @@
 use std::io::Write;
 
 use ptk_core::{RankedView, UncertainTable};
-use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan};
+use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan, RankSemantics};
 use ptk_obs::{Metrics, Noop, Recorder};
 use ptk_par::ThreadPool;
-use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
 use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
 use ptk_worlds::naive;
 
 use super::render::{
-    attrs_of, ptk_header, stats_mode, write_batch_answers, write_membership_row, write_ptk_rows,
+    ptk_header, stats_mode, write_batch_answers, write_ptk_rows, write_semantics_answer,
     write_snapshot, write_stats, StatsMode,
 };
 use super::{load_from_flags, pool_from_flags, CmdError, Flags};
+
+/// Maps a parsed statement kind to the engine's ranking semantics. The SQL
+/// crate depends only on `ptk-core`, so the two enums are defined apart and
+/// joined here, at the layer that owns both dependencies.
+pub(super) fn semantics_of(kind: ptk_sql::QueryKind) -> RankSemantics {
+    match kind {
+        ptk_sql::QueryKind::Ptk => RankSemantics::Ptk,
+        ptk_sql::QueryKind::UTopK => RankSemantics::UTopK,
+        ptk_sql::QueryKind::UKRanks => RankSemantics::UKRanks,
+        ptk_sql::QueryKind::GlobalTopk => RankSemantics::GlobalTopk,
+        ptk_sql::QueryKind::ExpectedRank => RankSemantics::ExpectedRank,
+    }
+}
 
 /// Everything [`run_sql`] needs besides the table and the statement:
 /// the worker pool, engine options, the stats surface to append, and the
@@ -93,76 +105,13 @@ fn sql_single(
     let k = query.k();
     let p = query.threshold().value();
 
-    if statement.analyze && statement.kind != ptk_sql::QueryKind::Ptk {
-        return Err("EXPLAIN ANALYZE supports only SELECT TOP statements".into());
-    }
     if statement.analyze && parsed.method != ptk_sql::Method::Exact {
         return Err("EXPLAIN ANALYZE requires the exact method (drop the USING clause)".into());
     }
 
-    match statement.kind {
-        ptk_sql::QueryKind::Ptk => {}
-        ptk_sql::QueryKind::UTopK => {
-            let answer = utopk(&view, k, &UTopKOptions::default()).map_err(|e| e.to_string())?;
-            writeln!(
-                out,
-                "most probable top-{k} vector (probability {:.6}):",
-                answer.probability
-            )?;
-            for &pos in &answer.vector {
-                write_membership_row(out, &view, table, pos)?;
-            }
-            if statement.explain {
-                writeln!(out, "plan: RankedView::build -> utopk best-first search")?;
-                writeln!(
-                    out,
-                    "stats: {} states explored, view of {} tuples / {} rules",
-                    answer.states_explored,
-                    view.len(),
-                    view.rules().len()
-                )?;
-            }
-            return Ok(());
-        }
-        ptk_sql::QueryKind::UKRanks => {
-            writeln!(out, "most probable tuple at each rank:")?;
-            for entry in ukranks(&view, k) {
-                writeln!(
-                    out,
-                    "  rank {:>3}: ranked position {:>4}, probability {:.4}  [{}]",
-                    entry.rank,
-                    entry.position + 1,
-                    entry.probability,
-                    attrs_of(&view, table, entry.position)
-                )?;
-            }
-            if statement.explain {
-                writeln!(
-                    out,
-                    "plan: RankedView::build -> position probabilities (full scan, RC+LR)"
-                )?;
-            }
-            return Ok(());
-        }
-        ptk_sql::QueryKind::ExpectedRank => {
-            writeln!(out, "top-{k} by expected rank:")?;
-            for e in expected_rank_topk(&view, k) {
-                writeln!(
-                    out,
-                    "  expected rank {:>8.2}  ranked position {:>4}  [{}]",
-                    e.expected_rank,
-                    e.position + 1,
-                    attrs_of(&view, table, e.position)
-                )?;
-            }
-            if statement.explain {
-                writeln!(
-                    out,
-                    "plan: RankedView::build -> closed-form expected ranks (O(n))"
-                )?;
-            }
-            return Ok(());
-        }
+    let semantics = semantics_of(statement.kind);
+    if semantics != RankSemantics::Ptk {
+        return sql_semantics(table, &view, semantics, k, &statement, options, out);
     }
 
     let stats = options.stats;
@@ -244,6 +193,55 @@ fn sql_single(
     write_stats(out, stats, &metrics)
 }
 
+/// The non-PT-k single-statement path: one `RANK BY` (or legacy kind
+/// keyword) statement lowered through [`PtkPlan::try_semantics`] and
+/// answered by [`PtkExecutor::execute_semantics_snapshot`] — the same
+/// generating-function scan for every semantics, one pass over the view.
+fn sql_semantics(
+    table: &UncertainTable,
+    view: &RankedView,
+    semantics: RankSemantics,
+    k: usize,
+    statement: &ptk_sql::Statement,
+    options: &SqlOptions,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
+    let plan =
+        PtkPlan::try_semantics(semantics, k, None, &options.engine).map_err(|e| e.to_string())?;
+    let stats = options.stats;
+    let metrics = Metrics::new();
+    let recorder: &dyn Recorder = if stats.is_some() || statement.analyze {
+        &metrics
+    } else {
+        &Noop
+    };
+    let answer = PtkExecutor::with_recorder(&plan, recorder)
+        .execute_semantics_snapshot(view, &options.pool)
+        .map_err(|e| e.to_string())?;
+    write_semantics_answer(out, view, table, k, &answer)?;
+    if statement.analyze {
+        writeln!(
+            out,
+            "{}",
+            plan.explain_analyze(&metrics.snapshot(), true).trim_end()
+        )?;
+    } else if statement.explain {
+        writeln!(
+            out,
+            "plan: RankedView::build (predicate + sort + rule projection) -> {}",
+            plan.describe()
+        )?;
+        writeln!(
+            out,
+            "stats: view of {} tuples / {} rules, {} answer rows",
+            view.len(),
+            view.rules().len(),
+            answer.answer_count()
+        )?;
+    }
+    write_stats(out, stats, &metrics)
+}
+
 /// The multi-statement path of `ptk sql`: `;`-separated `SELECT TOP`
 /// statements become one plan batch over a shared view. Every statement
 /// must be an exact PT-k query with the same `WHERE` and `ORDER BY` — the
@@ -261,7 +259,11 @@ fn sql_batch(
         let statement =
             ptk_sql::parse_statement(text).map_err(|e| format!("statement {n}: {e}"))?;
         if statement.kind != ptk_sql::QueryKind::Ptk {
-            return Err(format!("statement {n}: only SELECT TOP statements can be batched").into());
+            return Err(format!(
+                "statement {n}: only SELECT TOP (PT-k) statements can be batched; \
+                 other ranking semantics run single-statement"
+            )
+            .into());
         }
         if statement.explain {
             return Err(format!("statement {n}: EXPLAIN cannot be batched").into());

@@ -34,6 +34,7 @@ ptk — probabilistic threshold top-k queries on uncertain data
 
 USAGE:
   ptk query   <file.csv> --k <K[,K…]> --p <P[,P…]> --rank-by <col> [--asc]
+              [--semantics ptk|u_topk|u_kranks|global_topk|expected_rank]
               [--method exact|sampling|naive] [--where <col><op><value>]
               [--stats text|json|prom] [--threads N] [--no-prune] [--explain]
               [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
@@ -49,6 +50,7 @@ USAGE:
               [--ready-file <path>]
   ptk pack    <file.csv> --rank-by <col> --out <file.run>
   ptk scan    <file.run> --k <K> --p <P> [--stats text|json|prom]
+              [--semantics ptk|u_topk|u_kranks|global_topk|expected_rank]
               [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
   ptk trace-check <trace.json>
   ptk generate synthetic [--tuples N] [--rules M] [--seed S] [--rule-span W]
@@ -61,6 +63,16 @@ The CSV must have a `prob` column (membership probability) and may have a
 =, !=, <, <=, >, >=). `generate` writes CSV to stdout. `--stats` appends
 the run's metrics snapshot (counters, histograms, phase timings) after the
 answer, as aligned text, one JSON line, or a Prometheus exposition page.
+
+`--semantics` (query, scan) selects the ranking semantics the engine
+answers with: `ptk` (the default, needs `--p`), `u_topk`, `u_kranks`,
+`global_topk` or `expected_rank`. Under `ptk sql` the same choice is the
+statement's `RANK BY <semantics>` clause on a `SELECT TOP` query (the
+legacy `SELECT UTOPK|UKRANKS|GLOBALTOPK|ERANK` kind keywords still parse).
+Every semantics runs through one generating-function scan of the ranked
+view; only PT-k has sound pruning bounds, so the others scan unpruned —
+EXPLAIN says so. Thresholds (`--p` / `WITH PROBABILITY`) parameterize
+PT-k only.
 
 `--explain` (or the `EXPLAIN ANALYZE` statement prefix under `ptk sql`)
 executes the query and prints the plan annotated per stage with the run's

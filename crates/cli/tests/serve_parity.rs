@@ -19,14 +19,16 @@ const PANDA_CSV: &str = "prob,rule,duration,rid
 ";
 
 /// The mixed statement batch every client fires: single exact queries, a
-/// `;`-batch, an ascending scan, and an EXPLAIN.
-const STATEMENTS: [&str; 5] = [
+/// `;`-batch, an ascending scan, an EXPLAIN, and two non-PT-k semantics.
+const STATEMENTS: [&str; 7] = [
     "SELECT TOP 2 FROM t ORDER BY duration DESC WITH PROBABILITY >= 0.35",
     "SELECT TOP 1 FROM t ORDER BY duration DESC WITH PROBABILITY >= 0.5",
     "SELECT TOP 2 FROM t ORDER BY duration DESC WITH PROBABILITY >= 0.35; \
      SELECT TOP 3 FROM t ORDER BY duration DESC WITH PROBABILITY >= 0.2",
     "SELECT TOP 2 FROM t ORDER BY duration ASC WITH PROBABILITY >= 0.3",
     "EXPLAIN SELECT TOP 2 FROM t ORDER BY duration DESC WITH PROBABILITY >= 0.35",
+    "SELECT TOP 2 FROM t ORDER BY duration DESC RANK BY U_TOPK",
+    "SELECT TOP 2 FROM t ORDER BY duration DESC RANK BY GLOBAL_TOPK",
 ];
 
 struct TempFile(PathBuf);
@@ -226,6 +228,36 @@ fn second_identical_request_is_a_cache_hit_with_identical_body() {
 }
 
 #[test]
+fn statements_differing_only_in_semantics_never_share_a_cache_slot() {
+    let file = write_csv();
+    let daemon = start_daemon(file.as_str(), 2, &[]);
+    let addr = &daemon.addr;
+    // Identical except for the RANK BY clause: each must miss on first
+    // sight (distinct plan fingerprints) and return distinct bodies.
+    let ukranks = "SELECT TOP 2 FROM t ORDER BY duration DESC RANK BY U_KRANKS";
+    let global = "SELECT TOP 2 FROM t ORDER BY duration DESC RANK BY GLOBAL_TOPK";
+
+    let first = post_sql(addr, ukranks);
+    assert_eq!(status_of(&first), 200, "{first}");
+    assert!(first.contains("X-Ptk-Cache: miss\r\n"), "{first}");
+
+    let other = post_sql(addr, global);
+    assert_eq!(status_of(&other), 200, "{other}");
+    assert!(other.contains("X-Ptk-Cache: miss\r\n"), "{other}");
+    assert_ne!(
+        body_of(&first),
+        body_of(&other),
+        "different semantics must serve different answers"
+    );
+
+    // Re-asking the first statement is a hit with the same bytes.
+    let again = post_sql(addr, ukranks);
+    assert!(again.contains("X-Ptk-Cache: hit\r\n"), "{again}");
+    assert_eq!(body_of(&first), body_of(&again));
+    daemon.shutdown();
+}
+
+#[test]
 fn malformed_sweep_yields_structured_errors_and_daemon_survives() {
     let file = write_csv();
     let daemon = start_daemon(file.as_str(), 2, &["--timeout-ms", "30000"]);
@@ -238,6 +270,9 @@ fn malformed_sweep_yields_structured_errors_and_daemon_survives() {
         "SELECT TOP 2 FROM t ORDER BY duration DESC WITH PROBABILITY >= NaN",
         "SELECT TOP 0 FROM t ORDER BY duration DESC WITH PROBABILITY >= 0.5",
         "SELECT TOP 2 FROM t ORDER BY no_such_column DESC WITH PROBABILITY >= 0.5",
+        "SELECT TOP 2 FROM t ORDER BY duration DESC RANK BY NONSENSE",
+        "SELECT UTOPK 2 FROM t ORDER BY duration DESC RANK BY U_TOPK",
+        "SELECT TOP 2 FROM t ORDER BY duration DESC RANK BY U_TOPK WITH PROBABILITY >= 0.5",
         "completely not sql",
         "",
     ] {

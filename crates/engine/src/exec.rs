@@ -30,8 +30,12 @@ use ptk_obs::{
 use ptk_par::{StealStats, ThreadPool};
 
 use crate::dp;
-use crate::layout::{LayoutCursor, ScanLayout, StableRecord, StableSeed};
-use crate::plan::{PtkBatch, PtkPlan, SharingVariant};
+use crate::gf::{
+    expected_ranks_closed, utopk_search, AbsorbSpec, Compressor, GfState, RankSemantics,
+    ScanRecord, SemanticsAnswer, SemanticsError, SemanticsRow, UTOPK_MAX_STATES,
+};
+use crate::layout::{LayoutCursor, ScanLayout, StableSeed};
+use crate::plan::{PtkBatch, PtkPlan};
 use crate::stats::{counters, ExecStats, StopReason};
 
 /// One answer of a PT-k evaluation.
@@ -86,547 +90,6 @@ impl PtkResult {
             .filter(|a| a.probability >= threshold)
             .collect()
     }
-}
-
-/// One element of a compressed dominant set, as tracked by [`Compressor`].
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) enum PoolEntry {
-    /// An independent tuple. `tag` is caller-assigned and unique per scan
-    /// (the scan rank for the executor, the ranked position for `Scanner`).
-    Indep {
-        /// Caller-assigned unique identity.
-        tag: usize,
-        /// Membership probability.
-        prob: f64,
-    },
-    /// A rule-tuple: the scanned members of one rule compressed into a
-    /// single pseudo-tuple (Corollary 1).
-    Rule {
-        /// The rule's identity.
-        key: RuleKey,
-        /// Dense slot of the rule's state inside the owning [`Compressor`]
-        /// (assigned at first absorption), so per-entry state checks are
-        /// array lookups on the hot path.
-        idx: u32,
-        /// Members absorbed so far; two rule-tuples for the same rule are
-        /// interchangeable iff this matches.
-        absorbed: u32,
-        /// Sum of the absorbed members' probabilities.
-        mass: f64,
-    },
-}
-
-impl PoolEntry {
-    /// The probability this entry contributes to the DP.
-    pub(crate) fn mass(&self) -> f64 {
-        match self {
-            PoolEntry::Indep { prob, .. } => *prob,
-            PoolEntry::Rule { mass, .. } => *mass,
-        }
-    }
-
-    /// Whether two entries denote the same pseudo-tuple with the same mass
-    /// (so a DP row computed through one is valid for the other). Uses the
-    /// absorbed-member count rather than float mass comparison.
-    fn same(&self, other: &PoolEntry) -> bool {
-        match (self, other) {
-            (PoolEntry::Indep { tag: a, .. }, PoolEntry::Indep { tag: b, .. }) => a == b,
-            (
-                PoolEntry::Rule {
-                    key: ka,
-                    absorbed: ca,
-                    ..
-                },
-                PoolEntry::Rule {
-                    key: kb,
-                    absorbed: cb,
-                    ..
-                },
-            ) => ka == kb && ca == cb,
-            _ => false,
-        }
-    }
-}
-
-/// Per-rule absorption state.
-#[derive(Debug, Clone)]
-struct RuleState {
-    /// The rule's identity (the reverse of the dense-slot mapping).
-    key: RuleKey,
-    /// Sum of absorbed members' probabilities.
-    mass: f64,
-    /// Number of absorbed members.
-    absorbed: u32,
-    /// Absorption step of the most recent member (recency ordering when the
-    /// rule's layout is unknown).
-    last_touch: usize,
-    /// Scan rank of the next unabsorbed member, when the source knows it.
-    next_rank: Option<usize>,
-    /// Total member count, when the source knows it.
-    len: Option<usize>,
-    /// Whether every member has been absorbed (requires `len`). Completed
-    /// rule-tuples join the stable group and never change again.
-    completed: bool,
-    /// Lazy-variant scratch: stamp marking membership in the kept prefix.
-    kept_stamp: u64,
-}
-
-/// An item of the "stable" group: independents and completed rule-tuples,
-/// in the order they became available (observation 1 of §4.3.2).
-#[derive(Debug, Clone, Copy)]
-enum StableItem {
-    Indep {
-        tag: usize,
-        prob: f64,
-    },
-    /// A completed rule, by its dense state slot.
-    CompletedRule(u32),
-}
-
-/// What the executor (or the [`Scanner`](crate::Scanner) adapter) tells the
-/// compressor about the tuple being folded into the pool.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct AbsorbSpec {
-    /// Unique identity for independents (scan rank / ranked position).
-    pub tag: usize,
-    /// Membership probability.
-    pub prob: f64,
-    /// The tuple's rule, if any.
-    pub rule: Option<RuleKey>,
-    /// The rule's total member count, if known.
-    pub rule_len: Option<usize>,
-    /// Scan rank of the rule's next member *after* this one, if known.
-    pub next_member_rank: Option<usize>,
-}
-
-/// The incremental compressed dominant set plus its prefix-shared DP rows —
-/// the shared core behind the executor and the view [`Scanner`](crate::Scanner).
-///
-/// Ordering invariants (the source of the bit-for-bit view/source parity):
-/// the stable group keeps availability order; open rule-tuples are ordered
-/// by next-member rank descending when the layout is known (the paper's
-/// aggressive policy), falling back to absorption recency otherwise; and
-/// rules iterate in ascending `RuleKey` order (`rule_order` is kept sorted
-/// by key), which for dense view-derived keys is exactly the view's
-/// rule-index order.
-#[derive(Debug)]
-pub(crate) struct Compressor {
-    k: usize,
-    variant: SharingVariant,
-    /// Entry list of the most recent *built* step.
-    entries: Vec<PoolEntry>,
-    /// `rows[m]` is the DP row after `entries[..m]`; `rows.len() == entries.len() + 1`.
-    rows: Vec<Vec<f64>>,
-    /// Freelist of retired row buffers (all length `k`), so recomputing a
-    /// suffix recycles the truncated rows' allocations instead of hitting
-    /// the allocator once per entry.
-    spare_rows: Vec<Vec<f64>>,
-    /// Stable-group items in availability order.
-    stable: Vec<StableItem>,
-    /// Rule states in first-absorption order; `PoolEntry::Rule::idx` and
-    /// `StableItem::CompletedRule` index into this, so the hot per-entry
-    /// checks never touch a map.
-    rule_states: Vec<RuleState>,
-    /// `RuleKey` → dense slot in `rule_states`.
-    rule_index: HashMap<RuleKey, u32>,
-    /// Dense slots sorted by ascending `RuleKey` — the canonical rule
-    /// iteration order.
-    rule_order: Vec<u32>,
-    /// DP cells computed so far (`k` per recomputed entry).
-    dp_cells: u64,
-    /// Entries recomputed so far (the paper's Eq. 5 cost itself).
-    entries_recomputed: u64,
-    /// Lazy-variant scratch: stamps marking independents (by tag) already
-    /// in the kept prefix, so membership tests are O(1).
-    kept_indep_stamp: Vec<u64>,
-    stamp: u64,
-    /// Absorption counter driving `last_touch`.
-    step: usize,
-}
-
-impl Compressor {
-    pub(crate) fn new(k: usize, variant: SharingVariant) -> Compressor {
-        assert!(k > 0, "top-k queries require k >= 1");
-        Compressor {
-            k,
-            variant,
-            entries: Vec::new(),
-            rows: vec![dp::unit_row(k)],
-            spare_rows: Vec::new(),
-            stable: Vec::new(),
-            rule_states: Vec::new(),
-            rule_index: HashMap::new(),
-            rule_order: Vec::new(),
-            dp_cells: 0,
-            entries_recomputed: 0,
-            kept_indep_stamp: Vec::new(),
-            stamp: 0,
-            step: 0,
-        }
-    }
-
-    /// A compressor positioned exactly where a sequential scan would be
-    /// after absorbing ranks `0..boundary` at a **rule-closed cut**: every
-    /// absorbed tuple is stable (an independent or a completed rule), and
-    /// the last *built* entry list is the availability-ordered stable
-    /// prefix `stables[..entry_count]` — the `entry_count` items available
-    /// before rank `boundary - 1` — whose DP row is `boundary_row`.
-    ///
-    /// Why that is the sequential state: with pruning off, the list built
-    /// while evaluating the tuple at `boundary - 1` excludes that tuple's
-    /// own rule (Corollary 2) and contains no other open rule (any rule
-    /// open after rank `boundary - 2` must have its next member at
-    /// `boundary - 1` — making it the own rule — or at `>= boundary`,
-    /// contradicting rule closure), so it is precisely the stable items
-    /// available through rank `boundary - 2`, in availability order, for
-    /// every [`SharingVariant`]. The DP rows *under* the last one are
-    /// seeded as placeholders: `RC` rebuilds from `rows[0]` (the unit row)
-    /// anyway, and the prefix-sharing variants keep `rows[..=entry_count]`
-    /// intact and only ever read the last, so no placeholder is read and
-    /// the forked state stays bit-identical to the sequential one.
-    ///
-    /// Counters start at zero: the seeded prefix's DP work was already
-    /// counted by whoever produced `boundary_row` (the preceding
-    /// segments), so per-segment counters sum to the sequential totals.
-    pub(crate) fn from_boundary(
-        k: usize,
-        variant: SharingVariant,
-        stables: &[StableRecord],
-        entry_count: usize,
-        boundary_row: &[f64],
-    ) -> Compressor {
-        let mut comp = Compressor::new(k, variant);
-        for rec in stables {
-            match rec.seed {
-                StableSeed::Indep { tag, prob } => {
-                    comp.stable.push(StableItem::Indep { tag, prob });
-                }
-                StableSeed::Rule {
-                    key,
-                    absorbed,
-                    mass,
-                } => {
-                    let idx = comp.rule_states.len() as u32;
-                    let states = &comp.rule_states;
-                    let pos = comp
-                        .rule_order
-                        .partition_point(|&j| states[j as usize].key < key);
-                    comp.rule_states.push(RuleState {
-                        key,
-                        mass,
-                        absorbed,
-                        last_touch: 0,
-                        next_rank: None,
-                        len: Some(absorbed as usize),
-                        completed: true,
-                        kept_stamp: 0,
-                    });
-                    comp.rule_order.insert(pos, idx);
-                    comp.rule_index.insert(key, idx);
-                    comp.stable.push(StableItem::CompletedRule(idx));
-                }
-            }
-        }
-        debug_assert!(entry_count <= comp.stable.len());
-        comp.entries = comp.stable[..entry_count]
-            .iter()
-            .map(|item| match *item {
-                StableItem::Indep { tag, prob } => PoolEntry::Indep { tag, prob },
-                StableItem::CompletedRule(idx) => {
-                    let rs = &comp.rule_states[idx as usize];
-                    PoolEntry::Rule {
-                        key: rs.key,
-                        idx,
-                        absorbed: rs.absorbed,
-                        mass: rs.mass,
-                    }
-                }
-            })
-            .collect();
-        if entry_count > 0 {
-            // `rows[0]` stays the unit row; only the last row is real.
-            comp.rows.extend((1..entry_count).map(|_| Vec::new()));
-            comp.rows.push(boundary_row.to_vec());
-        }
-        comp
-    }
-
-    /// How many members of `rule` have been absorbed so far.
-    pub(crate) fn absorbed(&self, rule: RuleKey) -> u32 {
-        self.rule_index
-            .get(&rule)
-            .map_or(0, |&i| self.rule_states[i as usize].absorbed)
-    }
-
-    pub(crate) fn dp_cells(&self) -> u64 {
-        self.dp_cells
-    }
-
-    pub(crate) fn entries_recomputed(&self) -> u64 {
-        self.entries_recomputed
-    }
-
-    /// Distinct rules compressed into rule-tuples so far (Corollary 2).
-    pub(crate) fn rules_compressed(&self) -> u64 {
-        self.rule_states.len() as u64
-    }
-
-    /// The entry list of the most recently built step.
-    pub(crate) fn entries(&self) -> &[PoolEntry] {
-        &self.entries
-    }
-
-    /// The DP row of the most recently built step:
-    /// `row[j] = Pr(T(t_i), j)` for `j < k`.
-    pub(crate) fn last_row(&self) -> &[f64] {
-        self.rows.last().expect("rows never empty")
-    }
-
-    /// Builds the desired (ordered) compressed dominant set for a tuple
-    /// belonging to `own_rule`, per the configured [`SharingVariant`].
-    pub(crate) fn desired_list(&mut self, own_rule: Option<RuleKey>) -> Vec<PoolEntry> {
-        match self.variant {
-            SharingVariant::Rc | SharingVariant::Aggressive => self.canonical_list(own_rule, None),
-            SharingVariant::Lazy => {
-                // Keep the longest still-valid prefix of the previous list.
-                let valid_len = self
-                    .entries
-                    .iter()
-                    .take_while(|e| self.entry_still_valid(e, own_rule))
-                    .count();
-                // Mark the kept prefix so membership tests are O(1).
-                self.stamp += 1;
-                let stamp = self.stamp;
-                for i in 0..valid_len {
-                    match self.entries[i] {
-                        PoolEntry::Indep { tag, .. } => {
-                            if self.kept_indep_stamp.len() <= tag {
-                                self.kept_indep_stamp.resize(tag + 1, 0);
-                            }
-                            self.kept_indep_stamp[tag] = stamp;
-                        }
-                        PoolEntry::Rule { idx, .. } => {
-                            self.rule_states[idx as usize].kept_stamp = stamp;
-                        }
-                    }
-                }
-                let mut list = self.entries[..valid_len].to_vec();
-                // Append everything not already kept, in canonical order.
-                list.extend(self.canonical_list(own_rule, Some(stamp)));
-                list
-            }
-        }
-    }
-
-    /// Recomputes the DP rows for `desired`, reusing the rows of the
-    /// longest common prefix with the previous list (none under `RC`).
-    pub(crate) fn recompute(&mut self, desired: Vec<PoolEntry>) {
-        let prefix = match self.variant {
-            SharingVariant::Rc => 0,
-            SharingVariant::Aggressive | SharingVariant::Lazy => {
-                common_prefix(&self.entries, &desired)
-            }
-        };
-        let recomputed = desired.len() - prefix;
-        self.entries_recomputed += recomputed as u64;
-        self.dp_cells += (recomputed * self.k) as u64;
-        self.spare_rows.extend(self.rows.drain(prefix + 1..));
-        for e in &desired[prefix..] {
-            // Recycle a retired buffer when one is free; copying the last
-            // row into it is the same f64 sequence as cloning it, so the
-            // DP stays bit-identical either way.
-            let spare = self.spare_rows.pop();
-            let last = self.rows.last().expect("rows never empty");
-            let mut row = match spare {
-                Some(mut buf) => {
-                    buf.clear();
-                    buf.extend_from_slice(last);
-                    buf
-                }
-                None => last.clone(),
-            };
-            dp::convolve_in_place(&mut row, e.mass());
-            self.rows.push(row);
-        }
-        self.entries = desired;
-    }
-
-    /// Folds a scanned tuple into the pool (after its evaluation, or as the
-    /// only action when it was pruned).
-    pub(crate) fn absorb(&mut self, spec: AbsorbSpec) {
-        self.step += 1;
-        match spec.rule {
-            None => self.stable.push(StableItem::Indep {
-                tag: spec.tag,
-                prob: spec.prob,
-            }),
-            Some(key) => {
-                let idx = match self.rule_index.get(&key) {
-                    Some(&i) => i,
-                    None => {
-                        let i = self.rule_states.len() as u32;
-                        let states = &self.rule_states;
-                        let pos = self
-                            .rule_order
-                            .partition_point(|&j| states[j as usize].key < key);
-                        self.rule_states.push(RuleState {
-                            key,
-                            mass: 0.0,
-                            absorbed: 0,
-                            last_touch: 0,
-                            next_rank: None,
-                            len: None,
-                            completed: false,
-                            kept_stamp: 0,
-                        });
-                        self.rule_order.insert(pos, i);
-                        self.rule_index.insert(key, i);
-                        i
-                    }
-                };
-                let rs = &mut self.rule_states[idx as usize];
-                // A rule's mass is a probability: member probabilities that
-                // mathematically sum to 1 can overshoot by an ulp in f64,
-                // and the DP rejects q > 1. Clamp exactly as the view does
-                // (`RankedView` tolerates mass <= 1 + 1e-9 and stores
-                // `min(1.0)`). `ScanLayout::materialize` mirrors this
-                // operation bit for bit.
-                rs.mass = (rs.mass + spec.prob).min(1.0);
-                rs.absorbed += 1;
-                rs.last_touch = self.step;
-                rs.next_rank = spec.next_member_rank;
-                if rs.len.is_none() {
-                    rs.len = spec.rule_len;
-                }
-                if rs.len == Some(rs.absorbed as usize) {
-                    // The rule just completed: it joins the stable group at
-                    // this availability point. Without a known length the
-                    // rule-tuple simply stays open, which is equally
-                    // correct (it contributes the same mass either way).
-                    rs.completed = true;
-                    self.stable.push(StableItem::CompletedRule(idx));
-                }
-            }
-        }
-    }
-
-    /// The subset-probability row over the *entire current pool* — every
-    /// absorbed tuple compressed, no rule excluded. This is what a future
-    /// independent tuple's dominant set would contain if scanning stopped
-    /// here; used by the early-exit upper bound.
-    pub(crate) fn pool_row(&self) -> Vec<f64> {
-        let mut row = dp::unit_row(self.k);
-        for item in &self.stable {
-            let mass = match *item {
-                StableItem::Indep { prob, .. } => prob,
-                StableItem::CompletedRule(idx) => self.rule_states[idx as usize].mass,
-            };
-            dp::convolve_in_place(&mut row, mass);
-        }
-        for &idx in &self.rule_order {
-            let rs = &self.rule_states[idx as usize];
-            if !rs.completed {
-                dp::convolve_in_place(&mut row, rs.mass);
-            }
-        }
-        row
-    }
-
-    /// Rules that currently have absorbed members but are not (known to be)
-    /// complete, with their absorbed mass. Used by the early-exit upper
-    /// bound: a future member of such a rule excludes this mass from its
-    /// dominant set.
-    pub(crate) fn open_rules(&self) -> Vec<(RuleKey, f64)> {
-        self.rule_order
-            .iter()
-            .map(|&idx| &self.rule_states[idx as usize])
-            .filter(|rs| !rs.completed)
-            .map(|rs| (rs.key, rs.mass))
-            .collect()
-    }
-
-    /// Whether a previously-built entry still denotes a live, unchanged
-    /// pseudo-tuple for a step whose tuple belongs to `own_rule`.
-    fn entry_still_valid(&self, e: &PoolEntry, own_rule: Option<RuleKey>) -> bool {
-        match e {
-            PoolEntry::Indep { .. } => true,
-            PoolEntry::Rule {
-                key, idx, absorbed, ..
-            } => Some(*key) != own_rule && self.rule_states[*idx as usize].absorbed == *absorbed,
-        }
-    }
-
-    /// The canonical (aggressive) ordering of the current pool, excluding
-    /// `own_rule` (Corollary 2) and — when `skip_stamp` is set — every
-    /// entry already stamped into the lazy kept prefix: stable group first
-    /// in availability order, then open rule-tuples by next-member rank
-    /// descending (falling back to absorption recency, oldest first, when
-    /// the layout is unknown).
-    fn canonical_list(&self, own_rule: Option<RuleKey>, skip_stamp: Option<u64>) -> Vec<PoolEntry> {
-        let mut list = Vec::with_capacity(self.stable.len() + 4);
-        for item in &self.stable {
-            let (kept, e) = match *item {
-                StableItem::Indep { tag, prob } => (
-                    self.kept_indep_stamp.get(tag).copied().unwrap_or(0),
-                    PoolEntry::Indep { tag, prob },
-                ),
-                StableItem::CompletedRule(idx) => {
-                    let rs = &self.rule_states[idx as usize];
-                    (
-                        rs.kept_stamp,
-                        PoolEntry::Rule {
-                            key: rs.key,
-                            idx,
-                            absorbed: rs.absorbed,
-                            mass: rs.mass,
-                        },
-                    )
-                }
-            };
-            // `skip_stamp` is always >= 1 when set, so an unstamped entry
-            // (kept == 0) is never skipped.
-            if skip_stamp != Some(kept) {
-                list.push(e);
-            }
-        }
-        let mut open: Vec<((u8, usize), PoolEntry)> = Vec::new();
-        for &idx in &self.rule_order {
-            let rs = &self.rule_states[idx as usize];
-            if rs.completed || Some(rs.key) == own_rule {
-                continue;
-            }
-            if skip_stamp.is_some_and(|s| rs.kept_stamp == s) {
-                continue;
-            }
-            // Known next-member ranks sort descending ahead of the
-            // recency-ordered remainder (oldest touch first).
-            let order = match rs.next_rank {
-                Some(rank) => (0u8, usize::MAX - rank),
-                None => (1u8, rs.last_touch),
-            };
-            open.push((
-                order,
-                PoolEntry::Rule {
-                    key: rs.key,
-                    idx,
-                    absorbed: rs.absorbed,
-                    mass: rs.mass,
-                },
-            ));
-        }
-        open.sort_by_key(|(order, _)| *order);
-        list.extend(open.into_iter().map(|(_, e)| e));
-        list
-    }
-}
-
-/// Length of the longest common prefix of two entry lists (by
-/// [`PoolEntry::same`]).
-fn common_prefix(a: &[PoolEntry], b: &[PoolEntry]) -> usize {
-    a.iter()
-        .zip(b.iter())
-        .take_while(|(x, y)| x.same(y))
-        .count()
 }
 
 /// Theorem 3(2)/4 pruning state for one rule.
@@ -993,6 +456,270 @@ impl<'a> PtkExecutor<'a> {
             return self.execute(&mut cursor);
         }
         self.run_partitioned(&layout, &tasks, pool)
+    }
+
+    /// Runs the plan under its [`RankSemantics`] over any [`RankedSource`].
+    ///
+    /// PT-k delegates to [`PtkExecutor::execute`] unchanged — same float
+    /// operations in the same order, bit-identical answers, pruning and
+    /// all. Every other semantics runs the unpruned generating-function
+    /// scan (`GfState`, the `gf` module's core): one pass in ranking
+    /// order maintaining the
+    /// full-pool coefficient row incrementally, then the semantics'
+    /// finisher over the collected per-rank data. Recording and tracing
+    /// work exactly as for PT-k (same counter names and span layout, plus
+    /// the `engine.gf.*` row counters).
+    ///
+    /// # Panics
+    /// Panics if the source delivers scores out of order.
+    pub fn execute_semantics<S: RankedSource + ?Sized>(
+        &self,
+        source: &mut S,
+    ) -> Result<SemanticsAnswer, SemanticsError> {
+        match self.plan.semantics() {
+            RankSemantics::Ptk => Ok(SemanticsAnswer::Ptk(self.execute(source))),
+            semantics => self.gf_scan(source, semantics),
+        }
+    }
+
+    /// Like [`PtkExecutor::execute_semantics`], over a shared snapshot.
+    ///
+    /// PT-k keeps its partitioned [`PtkExecutor::execute_snapshot`] path.
+    /// The other semantics fork a cursor and run the sequential gf scan
+    /// whatever the pool width: their finishers are global functions of
+    /// the whole scan (a vector search, a per-rank argmax, a top-k
+    /// selection, an expectation), so one deterministic pass is both the
+    /// simplest and a trivially bit-identical answer at every width.
+    pub fn execute_semantics_snapshot<S: SnapshotSource + ?Sized>(
+        &self,
+        source: &S,
+        pool: &ThreadPool,
+    ) -> Result<SemanticsAnswer, SemanticsError> {
+        match self.plan.semantics() {
+            RankSemantics::Ptk => Ok(SemanticsAnswer::Ptk(self.execute_snapshot(source, pool))),
+            semantics => {
+                let mut cursor = source.fork();
+                self.gf_scan(cursor.as_mut(), semantics)
+            }
+        }
+    }
+
+    /// The one generating-function scan behind every non-PT-k semantics.
+    fn gf_scan<S: RankedSource + ?Sized>(
+        &self,
+        source: &mut S,
+        semantics: RankSemantics,
+    ) -> Result<SemanticsAnswer, SemanticsError> {
+        debug_assert!(semantics != RankSemantics::Ptk);
+        let options = *self.plan.options();
+        let k = self.plan.k();
+        let recorder = self.recorder;
+        let tracer = self.tracer.filter(|t| t.enabled());
+        let _query_span = ptk_obs::span(recorder, "engine.query");
+        let clocks_live = recorder.enabled() || tracer.is_some();
+        let mut retrieval_clock = PhaseClock::enabled_if(clocks_live);
+        let mut dp_clock = PhaseClock::enabled_if(clocks_live);
+        let mut finish_clock = PhaseClock::enabled_if(clocks_live);
+        let query_begin = tracer.map_or(0, |t| t.begin(Stage::Query));
+
+        // Whether the finisher consumes the per-rank coefficient rows
+        // (U-KRanks / Global-Topk) or only the scan records (U-TopK's
+        // conditional factors, expected-rank's closed form).
+        let wants_rows = matches!(
+            semantics,
+            RankSemantics::UKRanks | RankSemantics::GlobalTopk
+        );
+        let mut gf = GfState::new(k, options.variant);
+        let mut stats = ExecStats::default();
+        let mut records: Vec<ScanRecord> = Vec::new();
+        // Per-rule absorbed mass so far, for `mates_above`.
+        let mut rule_seen: HashMap<RuleKey, f64> = HashMap::new();
+        let mut prefix_above = 0.0f64;
+        // U-KRanks streaming argmax: winner per rank j, scanned positions
+        // ascending, strictly-better-by-1e-15 to win (ties keep the
+        // earlier position — the literature's convention and the worlds
+        // oracle's).
+        let mut ukr_best_prob = vec![f64::NEG_INFINITY; if wants_rows { k } else { 0 }];
+        let mut ukr_best_pos = vec![0usize; ukr_best_prob.len()];
+        // Global-Topk: every tuple's `Pr^k`.
+        let mut prks: Vec<f64> = Vec::new();
+        let mut last_score = f64::INFINITY;
+
+        while let Some(tuple) = retrieval_clock.time(|| source.next_ranked()) {
+            assert!(
+                tuple.score <= last_score + 1e-9,
+                "source delivered scores out of order: {} after {last_score}",
+                tuple.score
+            );
+            last_score = tuple.score;
+            let rank = stats.scanned;
+            stats.scanned += 1;
+            stats.evaluated += 1;
+
+            let mates_above = tuple
+                .rule
+                .map_or(0.0, |key| rule_seen.get(&key).copied().unwrap_or(0.0));
+            records.push(ScanRecord {
+                id: tuple.id,
+                score: tuple.score,
+                prob: tuple.prob,
+                rule: tuple.rule,
+                mates_above,
+                prefix_above,
+            });
+
+            if wants_rows {
+                // The coefficient row over the dominant set T(t): the pool
+                // so far, own rule excluded (Corollary 2).
+                let row = dp_clock.time(|| gf.row_excluding(tuple.rule));
+                match semantics {
+                    RankSemantics::UKRanks => {
+                        for j in 0..k {
+                            let pr = tuple.prob * row[j];
+                            if pr > ukr_best_prob[j] + 1e-15 {
+                                ukr_best_prob[j] = pr;
+                                ukr_best_pos[j] = rank;
+                            }
+                        }
+                    }
+                    RankSemantics::GlobalTopk => {
+                        prks.push(tuple.prob * dp::partial_sum(&row));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+
+            // Fold the tuple into the pool, with whatever layout hints the
+            // source can give (they drive the refold fallback's ordering).
+            let (rule_len, next_member_rank) = match tuple.rule {
+                Some(key) => (
+                    source.rule_len(key),
+                    source.rule_member_rank(key, gf.absorbed(key) as usize + 1),
+                ),
+                None => (None, None),
+            };
+            dp_clock.time(|| {
+                gf.absorb(AbsorbSpec {
+                    tag: rank,
+                    prob: tuple.prob,
+                    rule: tuple.rule,
+                    rule_len,
+                    next_member_rank,
+                })
+            });
+            if let Some(key) = tuple.rule {
+                // Mirror the view's mass clamp so `mates_above` agrees
+                // with the compressed pool bit for bit.
+                let seen = rule_seen.entry(key).or_insert(0.0);
+                *seen = (*seen + tuple.prob).min(1.0);
+            }
+            prefix_above += tuple.prob;
+        }
+
+        let make_row = |pos: usize, value: f64| SemanticsRow {
+            position: pos,
+            id: records[pos].id,
+            score: records[pos].score,
+            membership: records[pos].prob,
+            value,
+        };
+        let answer = finish_clock.time(|| match semantics {
+            RankSemantics::UTopK => {
+                let (chosen, probability, states) = utopk_search(&records, k, UTOPK_MAX_STATES)?;
+                Ok(SemanticsAnswer::UTopK {
+                    rows: chosen
+                        .into_iter()
+                        .map(|pos| make_row(pos, records[pos].prob))
+                        .collect(),
+                    probability,
+                    states_explored: states,
+                })
+            }
+            RankSemantics::UKRanks => Ok(SemanticsAnswer::UKRanks(if records.is_empty() {
+                Vec::new()
+            } else {
+                // One winner per rank, even when no tuple can occupy it
+                // (probability clamps to 0) — the answer shape callers and
+                // the oracle expect.
+                (0..k)
+                    .map(|j| make_row(ukr_best_pos[j], ukr_best_prob[j].max(0.0)))
+                    .collect()
+            })),
+            RankSemantics::GlobalTopk => {
+                let mut order: Vec<usize> = (0..prks.len()).collect();
+                order.sort_by(|&a, &b| prks[b].total_cmp(&prks[a]).then(a.cmp(&b)));
+                order.truncate(k);
+                Ok(SemanticsAnswer::GlobalTopk(
+                    order
+                        .into_iter()
+                        .map(|pos| make_row(pos, prks[pos]))
+                        .collect(),
+                ))
+            }
+            RankSemantics::ExpectedRank => {
+                let ranks = expected_ranks_closed(&records);
+                let mut order: Vec<usize> = (0..ranks.len()).collect();
+                order.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]).then(a.cmp(&b)));
+                order.truncate(k);
+                Ok(SemanticsAnswer::ExpectedRank(
+                    order
+                        .into_iter()
+                        .map(|pos| make_row(pos, ranks[pos]))
+                        .collect(),
+                ))
+            }
+            RankSemantics::Ptk => unreachable!(),
+        });
+        let answer = answer?;
+
+        stats.dp_cells = gf.dp_cells();
+        stats.entries_recomputed = gf.entries_recomputed();
+        stats.rules_compressed = gf.rules_compressed();
+        if let Some(t) = tracer {
+            // Same synthetic back-to-back phase layout as the PT-k scan;
+            // the finisher's time rides under the DP stage (it is the
+            // semantics' "evaluation" phase).
+            let mut at = query_begin;
+            let phases = [
+                (
+                    Stage::Retrieval,
+                    retrieval_clock.nanos(),
+                    Payload::Retrieval {
+                        tuples: stats.scanned as u64,
+                    },
+                ),
+                (
+                    Stage::Dp,
+                    dp_clock.nanos() + finish_clock.nanos(),
+                    Payload::Dp {
+                        cells: stats.dp_cells,
+                        entries: stats.entries_recomputed,
+                    },
+                ),
+            ];
+            for (stage, nanos, payload) in phases {
+                t.span_at(stage, at, at + nanos, payload);
+                at += nanos;
+            }
+            t.end(
+                Stage::Query,
+                Payload::Scan {
+                    scanned: stats.scanned as u64,
+                    evaluated: stats.evaluated as u64,
+                    pruned_membership: 0,
+                    pruned_rule: 0,
+                    answers: answer.answer_count() as u64,
+                },
+            );
+        }
+        retrieval_clock.flush(recorder, "engine.phase.retrieval");
+        dp_clock.flush(recorder, "engine.phase.dp");
+        finish_clock.flush(recorder, "engine.phase.bound");
+        stats.record_to(recorder);
+        recorder.add(counters::GF_ROWS_INCREMENTAL, gf.rows_incremental());
+        recorder.add(counters::GF_ROWS_REFOLDED, gf.rows_refolded());
+        recorder.add(counters::ANSWERS, answer.answer_count() as u64);
+        Ok(answer)
     }
 
     /// The partitioned deep-scan path of [`PtkExecutor::execute_snapshot`].

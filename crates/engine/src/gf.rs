@@ -1,0 +1,1175 @@
+//! The generating-function ranking core.
+//!
+//! The PT-k subset-probability DP is one instance of a Poisson-binomial
+//! generating function over the compressed dominant set: the coefficient
+//! row `Pr(T(t), j)` that Eq. 4 reads is the degree-`j` coefficient of
+//! `Π (1 − q_i + q_i·x)` over the pool. Li, Saha & Deshpande and Chang,
+//! Yu & Qin observe that U-TopK, U-KRanks, Global-Topk and expected ranks
+//! all factor through the same coefficients, so this module hosts:
+//!
+//! * the dominant-set bookkeeping ([`Compressor`]) shared by the executor
+//!   and the view [`Scanner`](crate::Scanner) — rule-tuple compression
+//!   (Corollaries 1–2) plus the §4.3.2 prefix-shared refold;
+//! * [`GfState`], the Chang et al. O(n·k) *incremental* layer on top: one
+//!   full-pool coefficient row maintained by O(k) convolve/deconvolve per
+//!   absorbed tuple, with the per-rank row served by deconvolving the own
+//!   rule out — falling back to the prefix-shared refold only when the
+//!   inversion cannot certify its accuracy ("where applicable");
+//! * [`RankSemantics`] and the per-semantics finishers (the U-TopK
+//!   best-first vector search, the U-KRanks argmax, the Global-Topk
+//!   selection, the Cormode-style expected-rank closed form) that turn one
+//!   scan's coefficients into each answer shape.
+//!
+//! PT-k keeps its original [`Compressor`]-driven path untouched — same
+//! float operations in the same order, so answers stay bit-identical to
+//! the pre-refactor engine — and the pruning bounds of Theorems 3–5 remain
+//! PT-k-only: they bound `Pr^k`, not vector probabilities or expectations,
+//! so every other semantics runs unpruned (and says so in `EXPLAIN`).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use ptk_access::RuleKey;
+use ptk_core::TupleId;
+
+use crate::dp;
+use crate::exec::PtkResult;
+use crate::layout::{StableRecord, StableSeed};
+use crate::plan::SharingVariant;
+
+/// The ranking semantics a plan answers — which consumer of the
+/// generating-function core interprets the scan's coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankSemantics {
+    /// PT-k (the paper): every tuple whose top-k probability `Pr^k` passes
+    /// a threshold. The only semantics with sound pruning bounds
+    /// (Theorems 3–5 bound `Pr^k` directly).
+    #[default]
+    Ptk,
+    /// U-TopK (Soliman et al.): the most probable top-k *vector*.
+    UTopK,
+    /// U-KRanks (Soliman et al.): per rank `j`, the tuple most likely to be
+    /// ranked exactly `j`-th.
+    UKRanks,
+    /// Global-Topk (Zhang & Chomicki): the k tuples with the highest top-k
+    /// probability `Pr^k`.
+    GlobalTopk,
+    /// Expected rank (Cormode et al.): the k tuples with the smallest
+    /// expected rank over possible worlds (absent tuples rank last).
+    ExpectedRank,
+}
+
+impl RankSemantics {
+    /// Every semantics, in fingerprint-discriminant order.
+    pub const ALL: [RankSemantics; 5] = [
+        RankSemantics::Ptk,
+        RankSemantics::UTopK,
+        RankSemantics::UKRanks,
+        RankSemantics::GlobalTopk,
+        RankSemantics::ExpectedRank,
+    ];
+
+    /// The literature's name for the semantics.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            RankSemantics::Ptk => "PT-k",
+            RankSemantics::UTopK => "U-TopK",
+            RankSemantics::UKRanks => "U-KRanks",
+            RankSemantics::GlobalTopk => "Global-Topk",
+            RankSemantics::ExpectedRank => "expected-rank",
+        }
+    }
+
+    /// The SQL `RANK BY` keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            RankSemantics::Ptk => "PTK",
+            RankSemantics::UTopK => "U_TOPK",
+            RankSemantics::UKRanks => "U_KRANKS",
+            RankSemantics::GlobalTopk => "GLOBAL_TOPK",
+            RankSemantics::ExpectedRank => "EXPECTED_RANK",
+        }
+    }
+
+    /// Parses a user-facing name: the `RANK BY` keywords and the common
+    /// flag spellings (`u-topk`, `utopk`, `erank`, …), case-insensitive.
+    pub fn parse(name: &str) -> Option<RankSemantics> {
+        let folded: String = name
+            .chars()
+            .filter(|c| *c != '_' && *c != '-')
+            .flat_map(char::to_lowercase)
+            .collect();
+        match folded.as_str() {
+            "ptk" => Some(RankSemantics::Ptk),
+            "utopk" => Some(RankSemantics::UTopK),
+            "ukranks" => Some(RankSemantics::UKRanks),
+            "globaltopk" => Some(RankSemantics::GlobalTopk),
+            "expectedrank" | "erank" => Some(RankSemantics::ExpectedRank),
+            _ => None,
+        }
+    }
+
+    /// Whether the §4.4 pruning bounds are sound for this semantics.
+    /// Theorems 3–5 bound the top-k probability `Pr^k` of unseen tuples;
+    /// vector probabilities, exact-rank probabilities and expectations are
+    /// not monotone in `Pr^k`, so every other semantics must scan the full
+    /// ranked input.
+    pub fn has_pruning_bounds(self) -> bool {
+        matches!(self, RankSemantics::Ptk)
+    }
+
+    /// The `EXPLAIN` stage label of the semantics' finisher.
+    pub fn stage_label(self) -> &'static str {
+        match self {
+            RankSemantics::Ptk => "ptk[threshold emit]",
+            RankSemantics::UTopK => "u-topk[best-first vector]",
+            RankSemantics::UKRanks => "u-kranks[argmax per rank]",
+            RankSemantics::GlobalTopk => "global-topk[top-k by Pr^k]",
+            RankSemantics::ExpectedRank => "expected-rank[closed form]",
+        }
+    }
+}
+
+impl std::fmt::Display for RankSemantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// One element of a compressed dominant set, as tracked by [`Compressor`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PoolEntry {
+    /// An independent tuple. `tag` is caller-assigned and unique per scan
+    /// (the scan rank for the executor, the ranked position for `Scanner`).
+    Indep {
+        /// Caller-assigned unique identity.
+        tag: usize,
+        /// Membership probability.
+        prob: f64,
+    },
+    /// A rule-tuple: the scanned members of one rule compressed into a
+    /// single pseudo-tuple (Corollary 1).
+    Rule {
+        /// The rule's identity.
+        key: RuleKey,
+        /// Dense slot of the rule's state inside the owning [`Compressor`]
+        /// (assigned at first absorption), so per-entry state checks are
+        /// array lookups on the hot path.
+        idx: u32,
+        /// Members absorbed so far; two rule-tuples for the same rule are
+        /// interchangeable iff this matches.
+        absorbed: u32,
+        /// Sum of the absorbed members' probabilities.
+        mass: f64,
+    },
+}
+
+impl PoolEntry {
+    /// The probability this entry contributes to the DP.
+    pub(crate) fn mass(&self) -> f64 {
+        match self {
+            PoolEntry::Indep { prob, .. } => *prob,
+            PoolEntry::Rule { mass, .. } => *mass,
+        }
+    }
+
+    /// Whether two entries denote the same pseudo-tuple with the same mass
+    /// (so a DP row computed through one is valid for the other). Uses the
+    /// absorbed-member count rather than float mass comparison.
+    fn same(&self, other: &PoolEntry) -> bool {
+        match (self, other) {
+            (PoolEntry::Indep { tag: a, .. }, PoolEntry::Indep { tag: b, .. }) => a == b,
+            (
+                PoolEntry::Rule {
+                    key: ka,
+                    absorbed: ca,
+                    ..
+                },
+                PoolEntry::Rule {
+                    key: kb,
+                    absorbed: cb,
+                    ..
+                },
+            ) => ka == kb && ca == cb,
+            _ => false,
+        }
+    }
+}
+
+/// Per-rule absorption state.
+#[derive(Debug, Clone)]
+struct RuleState {
+    /// The rule's identity (the reverse of the dense-slot mapping).
+    key: RuleKey,
+    /// Sum of absorbed members' probabilities.
+    mass: f64,
+    /// Number of absorbed members.
+    absorbed: u32,
+    /// Absorption step of the most recent member (recency ordering when the
+    /// rule's layout is unknown).
+    last_touch: usize,
+    /// Scan rank of the next unabsorbed member, when the source knows it.
+    next_rank: Option<usize>,
+    /// Total member count, when the source knows it.
+    len: Option<usize>,
+    /// Whether every member has been absorbed (requires `len`). Completed
+    /// rule-tuples join the stable group and never change again.
+    completed: bool,
+    /// Lazy-variant scratch: stamp marking membership in the kept prefix.
+    kept_stamp: u64,
+}
+
+/// An item of the "stable" group: independents and completed rule-tuples,
+/// in the order they became available (observation 1 of §4.3.2).
+#[derive(Debug, Clone, Copy)]
+enum StableItem {
+    Indep {
+        tag: usize,
+        prob: f64,
+    },
+    /// A completed rule, by its dense state slot.
+    CompletedRule(u32),
+}
+
+/// What the executor (or the [`Scanner`](crate::Scanner) adapter) tells the
+/// compressor about the tuple being folded into the pool.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AbsorbSpec {
+    /// Unique identity for independents (scan rank / ranked position).
+    pub tag: usize,
+    /// Membership probability.
+    pub prob: f64,
+    /// The tuple's rule, if any.
+    pub rule: Option<RuleKey>,
+    /// The rule's total member count, if known.
+    pub rule_len: Option<usize>,
+    /// Scan rank of the rule's next member *after* this one, if known.
+    pub next_member_rank: Option<usize>,
+}
+
+/// The incremental compressed dominant set plus its prefix-shared DP rows —
+/// the shared core behind the executor and the view [`Scanner`](crate::Scanner).
+///
+/// Ordering invariants (the source of the bit-for-bit view/source parity):
+/// the stable group keeps availability order; open rule-tuples are ordered
+/// by next-member rank descending when the layout is known (the paper's
+/// aggressive policy), falling back to absorption recency otherwise; and
+/// rules iterate in ascending `RuleKey` order (`rule_order` is kept sorted
+/// by key), which for dense view-derived keys is exactly the view's
+/// rule-index order.
+#[derive(Debug)]
+pub(crate) struct Compressor {
+    k: usize,
+    variant: SharingVariant,
+    /// Entry list of the most recent *built* step.
+    entries: Vec<PoolEntry>,
+    /// `rows[m]` is the DP row after `entries[..m]`; `rows.len() == entries.len() + 1`.
+    rows: Vec<Vec<f64>>,
+    /// Freelist of retired row buffers (all length `k`), so recomputing a
+    /// suffix recycles the truncated rows' allocations instead of hitting
+    /// the allocator once per entry.
+    spare_rows: Vec<Vec<f64>>,
+    /// Stable-group items in availability order.
+    stable: Vec<StableItem>,
+    /// Rule states in first-absorption order; `PoolEntry::Rule::idx` and
+    /// `StableItem::CompletedRule` index into this, so the hot per-entry
+    /// checks never touch a map.
+    rule_states: Vec<RuleState>,
+    /// `RuleKey` → dense slot in `rule_states`.
+    rule_index: HashMap<RuleKey, u32>,
+    /// Dense slots sorted by ascending `RuleKey` — the canonical rule
+    /// iteration order.
+    rule_order: Vec<u32>,
+    /// DP cells computed so far (`k` per recomputed entry).
+    dp_cells: u64,
+    /// Entries recomputed so far (the paper's Eq. 5 cost itself).
+    entries_recomputed: u64,
+    /// Lazy-variant scratch: stamps marking independents (by tag) already
+    /// in the kept prefix, so membership tests are O(1).
+    kept_indep_stamp: Vec<u64>,
+    stamp: u64,
+    /// Absorption counter driving `last_touch`.
+    step: usize,
+}
+
+impl Compressor {
+    pub(crate) fn new(k: usize, variant: SharingVariant) -> Compressor {
+        assert!(k > 0, "top-k queries require k >= 1");
+        Compressor {
+            k,
+            variant,
+            entries: Vec::new(),
+            rows: vec![dp::unit_row(k)],
+            spare_rows: Vec::new(),
+            stable: Vec::new(),
+            rule_states: Vec::new(),
+            rule_index: HashMap::new(),
+            rule_order: Vec::new(),
+            dp_cells: 0,
+            entries_recomputed: 0,
+            kept_indep_stamp: Vec::new(),
+            stamp: 0,
+            step: 0,
+        }
+    }
+
+    /// A compressor positioned exactly where a sequential scan would be
+    /// after absorbing ranks `0..boundary` at a **rule-closed cut**: every
+    /// absorbed tuple is stable (an independent or a completed rule), and
+    /// the last *built* entry list is the availability-ordered stable
+    /// prefix `stables[..entry_count]` — the `entry_count` items available
+    /// before rank `boundary - 1` — whose DP row is `boundary_row`.
+    ///
+    /// Why that is the sequential state: with pruning off, the list built
+    /// while evaluating the tuple at `boundary - 1` excludes that tuple's
+    /// own rule (Corollary 2) and contains no other open rule (any rule
+    /// open after rank `boundary - 2` must have its next member at
+    /// `boundary - 1` — making it the own rule — or at `>= boundary`,
+    /// contradicting rule closure), so it is precisely the stable items
+    /// available through rank `boundary - 2`, in availability order, for
+    /// every [`SharingVariant`]. The DP rows *under* the last one are
+    /// seeded as placeholders: `RC` rebuilds from `rows[0]` (the unit row)
+    /// anyway, and the prefix-sharing variants keep `rows[..=entry_count]`
+    /// intact and only ever read the last, so no placeholder is read and
+    /// the forked state stays bit-identical to the sequential one.
+    ///
+    /// Counters start at zero: the seeded prefix's DP work was already
+    /// counted by whoever produced `boundary_row` (the preceding
+    /// segments), so per-segment counters sum to the sequential totals.
+    pub(crate) fn from_boundary(
+        k: usize,
+        variant: SharingVariant,
+        stables: &[StableRecord],
+        entry_count: usize,
+        boundary_row: &[f64],
+    ) -> Compressor {
+        let mut comp = Compressor::new(k, variant);
+        for rec in stables {
+            match rec.seed {
+                StableSeed::Indep { tag, prob } => {
+                    comp.stable.push(StableItem::Indep { tag, prob });
+                }
+                StableSeed::Rule {
+                    key,
+                    absorbed,
+                    mass,
+                } => {
+                    let idx = comp.rule_states.len() as u32;
+                    let states = &comp.rule_states;
+                    let pos = comp
+                        .rule_order
+                        .partition_point(|&j| states[j as usize].key < key);
+                    comp.rule_states.push(RuleState {
+                        key,
+                        mass,
+                        absorbed,
+                        last_touch: 0,
+                        next_rank: None,
+                        len: Some(absorbed as usize),
+                        completed: true,
+                        kept_stamp: 0,
+                    });
+                    comp.rule_order.insert(pos, idx);
+                    comp.rule_index.insert(key, idx);
+                    comp.stable.push(StableItem::CompletedRule(idx));
+                }
+            }
+        }
+        debug_assert!(entry_count <= comp.stable.len());
+        comp.entries = comp.stable[..entry_count]
+            .iter()
+            .map(|item| match *item {
+                StableItem::Indep { tag, prob } => PoolEntry::Indep { tag, prob },
+                StableItem::CompletedRule(idx) => {
+                    let rs = &comp.rule_states[idx as usize];
+                    PoolEntry::Rule {
+                        key: rs.key,
+                        idx,
+                        absorbed: rs.absorbed,
+                        mass: rs.mass,
+                    }
+                }
+            })
+            .collect();
+        if entry_count > 0 {
+            // `rows[0]` stays the unit row; only the last row is real.
+            comp.rows.extend((1..entry_count).map(|_| Vec::new()));
+            comp.rows.push(boundary_row.to_vec());
+        }
+        comp
+    }
+
+    /// How many members of `rule` have been absorbed so far.
+    pub(crate) fn absorbed(&self, rule: RuleKey) -> u32 {
+        self.rule_index
+            .get(&rule)
+            .map_or(0, |&i| self.rule_states[i as usize].absorbed)
+    }
+
+    /// The absorbed mass of `rule` (0 when the rule has not been seen).
+    pub(crate) fn rule_mass(&self, rule: RuleKey) -> f64 {
+        self.rule_index
+            .get(&rule)
+            .map_or(0.0, |&i| self.rule_states[i as usize].mass)
+    }
+
+    pub(crate) fn dp_cells(&self) -> u64 {
+        self.dp_cells
+    }
+
+    pub(crate) fn entries_recomputed(&self) -> u64 {
+        self.entries_recomputed
+    }
+
+    /// Distinct rules compressed into rule-tuples so far (Corollary 2).
+    pub(crate) fn rules_compressed(&self) -> u64 {
+        self.rule_states.len() as u64
+    }
+
+    /// The entry list of the most recently built step.
+    pub(crate) fn entries(&self) -> &[PoolEntry] {
+        &self.entries
+    }
+
+    /// The DP row of the most recently built step:
+    /// `row[j] = Pr(T(t_i), j)` for `j < k`.
+    pub(crate) fn last_row(&self) -> &[f64] {
+        self.rows.last().expect("rows never empty")
+    }
+
+    /// Builds the desired (ordered) compressed dominant set for a tuple
+    /// belonging to `own_rule`, per the configured [`SharingVariant`].
+    pub(crate) fn desired_list(&mut self, own_rule: Option<RuleKey>) -> Vec<PoolEntry> {
+        match self.variant {
+            SharingVariant::Rc | SharingVariant::Aggressive => self.canonical_list(own_rule, None),
+            SharingVariant::Lazy => {
+                // Keep the longest still-valid prefix of the previous list.
+                let valid_len = self
+                    .entries
+                    .iter()
+                    .take_while(|e| self.entry_still_valid(e, own_rule))
+                    .count();
+                // Mark the kept prefix so membership tests are O(1).
+                self.stamp += 1;
+                let stamp = self.stamp;
+                for i in 0..valid_len {
+                    match self.entries[i] {
+                        PoolEntry::Indep { tag, .. } => {
+                            if self.kept_indep_stamp.len() <= tag {
+                                self.kept_indep_stamp.resize(tag + 1, 0);
+                            }
+                            self.kept_indep_stamp[tag] = stamp;
+                        }
+                        PoolEntry::Rule { idx, .. } => {
+                            self.rule_states[idx as usize].kept_stamp = stamp;
+                        }
+                    }
+                }
+                let mut list = self.entries[..valid_len].to_vec();
+                // Append everything not already kept, in canonical order.
+                list.extend(self.canonical_list(own_rule, Some(stamp)));
+                list
+            }
+        }
+    }
+
+    /// Recomputes the DP rows for `desired`, reusing the rows of the
+    /// longest common prefix with the previous list (none under `RC`).
+    pub(crate) fn recompute(&mut self, desired: Vec<PoolEntry>) {
+        let prefix = match self.variant {
+            SharingVariant::Rc => 0,
+            SharingVariant::Aggressive | SharingVariant::Lazy => {
+                common_prefix(&self.entries, &desired)
+            }
+        };
+        let recomputed = desired.len() - prefix;
+        self.entries_recomputed += recomputed as u64;
+        self.dp_cells += (recomputed * self.k) as u64;
+        self.spare_rows.extend(self.rows.drain(prefix + 1..));
+        for e in &desired[prefix..] {
+            // Recycle a retired buffer when one is free; copying the last
+            // row into it is the same f64 sequence as cloning it, so the
+            // DP stays bit-identical either way.
+            let spare = self.spare_rows.pop();
+            let last = self.rows.last().expect("rows never empty");
+            let mut row = match spare {
+                Some(mut buf) => {
+                    buf.clear();
+                    buf.extend_from_slice(last);
+                    buf
+                }
+                None => last.clone(),
+            };
+            dp::convolve_in_place(&mut row, e.mass());
+            self.rows.push(row);
+        }
+        self.entries = desired;
+    }
+
+    /// Folds a scanned tuple into the pool (after its evaluation, or as the
+    /// only action when it was pruned).
+    pub(crate) fn absorb(&mut self, spec: AbsorbSpec) {
+        self.step += 1;
+        match spec.rule {
+            None => self.stable.push(StableItem::Indep {
+                tag: spec.tag,
+                prob: spec.prob,
+            }),
+            Some(key) => {
+                let idx = match self.rule_index.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        let i = self.rule_states.len() as u32;
+                        let states = &self.rule_states;
+                        let pos = self
+                            .rule_order
+                            .partition_point(|&j| states[j as usize].key < key);
+                        self.rule_states.push(RuleState {
+                            key,
+                            mass: 0.0,
+                            absorbed: 0,
+                            last_touch: 0,
+                            next_rank: None,
+                            len: None,
+                            completed: false,
+                            kept_stamp: 0,
+                        });
+                        self.rule_order.insert(pos, i);
+                        self.rule_index.insert(key, i);
+                        i
+                    }
+                };
+                let rs = &mut self.rule_states[idx as usize];
+                // A rule's mass is a probability: member probabilities that
+                // mathematically sum to 1 can overshoot by an ulp in f64,
+                // and the DP rejects q > 1. Clamp exactly as the view does
+                // (`RankedView` tolerates mass <= 1 + 1e-9 and stores
+                // `min(1.0)`). `ScanLayout::materialize` mirrors this
+                // operation bit for bit.
+                rs.mass = (rs.mass + spec.prob).min(1.0);
+                rs.absorbed += 1;
+                rs.last_touch = self.step;
+                rs.next_rank = spec.next_member_rank;
+                if rs.len.is_none() {
+                    rs.len = spec.rule_len;
+                }
+                if rs.len == Some(rs.absorbed as usize) {
+                    // The rule just completed: it joins the stable group at
+                    // this availability point. Without a known length the
+                    // rule-tuple simply stays open, which is equally
+                    // correct (it contributes the same mass either way).
+                    rs.completed = true;
+                    self.stable.push(StableItem::CompletedRule(idx));
+                }
+            }
+        }
+    }
+
+    /// The subset-probability row over the *entire current pool* — every
+    /// absorbed tuple compressed, no rule excluded. This is what a future
+    /// independent tuple's dominant set would contain if scanning stopped
+    /// here; used by the early-exit upper bound.
+    pub(crate) fn pool_row(&self) -> Vec<f64> {
+        let mut row = dp::unit_row(self.k);
+        for item in &self.stable {
+            let mass = match *item {
+                StableItem::Indep { prob, .. } => prob,
+                StableItem::CompletedRule(idx) => self.rule_states[idx as usize].mass,
+            };
+            dp::convolve_in_place(&mut row, mass);
+        }
+        for &idx in &self.rule_order {
+            let rs = &self.rule_states[idx as usize];
+            if !rs.completed {
+                dp::convolve_in_place(&mut row, rs.mass);
+            }
+        }
+        row
+    }
+
+    /// Rules that currently have absorbed members but are not (known to be)
+    /// complete, with their absorbed mass. Used by the early-exit upper
+    /// bound: a future member of such a rule excludes this mass from its
+    /// dominant set.
+    pub(crate) fn open_rules(&self) -> Vec<(RuleKey, f64)> {
+        self.rule_order
+            .iter()
+            .map(|&idx| &self.rule_states[idx as usize])
+            .filter(|rs| !rs.completed)
+            .map(|rs| (rs.key, rs.mass))
+            .collect()
+    }
+
+    /// Whether a previously-built entry still denotes a live, unchanged
+    /// pseudo-tuple for a step whose tuple belongs to `own_rule`.
+    fn entry_still_valid(&self, e: &PoolEntry, own_rule: Option<RuleKey>) -> bool {
+        match e {
+            PoolEntry::Indep { .. } => true,
+            PoolEntry::Rule {
+                key, idx, absorbed, ..
+            } => Some(*key) != own_rule && self.rule_states[*idx as usize].absorbed == *absorbed,
+        }
+    }
+
+    /// The canonical (aggressive) ordering of the current pool, excluding
+    /// `own_rule` (Corollary 2) and — when `skip_stamp` is set — every
+    /// entry already stamped into the lazy kept prefix: stable group first
+    /// in availability order, then open rule-tuples by next-member rank
+    /// descending (falling back to absorption recency, oldest first, when
+    /// the layout is unknown).
+    fn canonical_list(&self, own_rule: Option<RuleKey>, skip_stamp: Option<u64>) -> Vec<PoolEntry> {
+        let mut list = Vec::with_capacity(self.stable.len() + 4);
+        for item in &self.stable {
+            let (kept, e) = match *item {
+                StableItem::Indep { tag, prob } => (
+                    self.kept_indep_stamp.get(tag).copied().unwrap_or(0),
+                    PoolEntry::Indep { tag, prob },
+                ),
+                StableItem::CompletedRule(idx) => {
+                    let rs = &self.rule_states[idx as usize];
+                    (
+                        rs.kept_stamp,
+                        PoolEntry::Rule {
+                            key: rs.key,
+                            idx,
+                            absorbed: rs.absorbed,
+                            mass: rs.mass,
+                        },
+                    )
+                }
+            };
+            // `skip_stamp` is always >= 1 when set, so an unstamped entry
+            // (kept == 0) is never skipped.
+            if skip_stamp != Some(kept) {
+                list.push(e);
+            }
+        }
+        let mut open: Vec<((u8, usize), PoolEntry)> = Vec::new();
+        for &idx in &self.rule_order {
+            let rs = &self.rule_states[idx as usize];
+            if rs.completed || Some(rs.key) == own_rule {
+                continue;
+            }
+            if skip_stamp.is_some_and(|s| rs.kept_stamp == s) {
+                continue;
+            }
+            // Known next-member ranks sort descending ahead of the
+            // recency-ordered remainder (oldest touch first).
+            let order = match rs.next_rank {
+                Some(rank) => (0u8, usize::MAX - rank),
+                None => (1u8, rs.last_touch),
+            };
+            open.push((
+                order,
+                PoolEntry::Rule {
+                    key: rs.key,
+                    idx,
+                    absorbed: rs.absorbed,
+                    mass: rs.mass,
+                },
+            ));
+        }
+        open.sort_by_key(|(order, _)| *order);
+        list.extend(open.into_iter().map(|(_, e)| e));
+        list
+    }
+}
+
+/// Length of the longest common prefix of two entry lists (by
+/// [`PoolEntry::same`]).
+pub(crate) fn common_prefix(a: &[PoolEntry], b: &[PoolEntry]) -> usize {
+    a.iter()
+        .zip(b.iter())
+        .take_while(|(x, y)| x.same(y))
+        .count()
+}
+
+/// The Chang et al. incremental layer over [`Compressor`]: one full-pool
+/// coefficient row maintained in O(k) per absorbed tuple.
+///
+/// Absorbing an independent tuple convolves its probability in; absorbing
+/// a further member of an already-open rule deconvolves the rule-tuple's
+/// previous mass out and convolves the grown mass back in — both O(k), so
+/// a full unpruned scan is O(n·k) instead of the refold's worst-case
+/// O(n²·k). The per-rank row `Pr(T(t), j)` (the own rule excluded,
+/// Corollary 2) is served by one more deconvolve. Whenever
+/// [`dp::deconvolve`] declines to certify an inversion the state falls
+/// back to the exact prefix-shared refold — the "where applicable" of the
+/// incremental recurrences — so the answer is always well-defined.
+#[derive(Debug)]
+pub(crate) struct GfState {
+    comp: Compressor,
+    /// The coefficient row over the entire absorbed pool.
+    pool_row: Vec<f64>,
+    rows_incremental: u64,
+    rows_refolded: u64,
+    dp_cells: u64,
+}
+
+impl GfState {
+    pub(crate) fn new(k: usize, variant: SharingVariant) -> GfState {
+        GfState {
+            comp: Compressor::new(k, variant),
+            pool_row: dp::unit_row(k),
+            rows_incremental: 0,
+            rows_refolded: 0,
+            dp_cells: 0,
+        }
+    }
+
+    /// The coefficient row `Pr(T(t), j)` for a tuple of `own_rule` — the
+    /// whole pool with the own rule-tuple deconvolved out. O(k) on the
+    /// incremental path; refolds through the [`Compressor`] when the
+    /// inversion cannot certify its accuracy.
+    pub(crate) fn row_excluding(&mut self, own_rule: Option<RuleKey>) -> Vec<f64> {
+        let own_mass = own_rule.map_or(0.0, |key| self.comp.rule_mass(key));
+        if own_mass <= 0.0 {
+            self.rows_incremental += 1;
+            return self.pool_row.clone();
+        }
+        self.dp_cells += self.pool_row.len() as u64;
+        if let Some(row) = dp::deconvolve(&self.pool_row, own_mass) {
+            self.rows_incremental += 1;
+            return row;
+        }
+        self.rows_refolded += 1;
+        let desired = self.comp.desired_list(own_rule);
+        self.comp.recompute(desired);
+        self.comp.last_row().to_vec()
+    }
+
+    /// Folds a scanned tuple into the pool and advances the incremental
+    /// row: convolve for a new element, deconvolve-then-convolve when a
+    /// rule-tuple's mass grows, full refold when the inversion declines.
+    pub(crate) fn absorb(&mut self, spec: AbsorbSpec) {
+        let old_mass = spec.rule.map_or(0.0, |key| self.comp.rule_mass(key));
+        self.comp.absorb(spec);
+        let new_mass = match spec.rule {
+            None => spec.prob,
+            Some(key) => self.comp.rule_mass(key),
+        };
+        self.dp_cells += self.pool_row.len() as u64;
+        if old_mass <= 0.0 {
+            dp::convolve_in_place(&mut self.pool_row, new_mass);
+            return;
+        }
+        match dp::deconvolve(&self.pool_row, old_mass) {
+            Some(mut row) => {
+                self.dp_cells += row.len() as u64;
+                dp::convolve_in_place(&mut row, new_mass);
+                self.pool_row = row;
+            }
+            None => {
+                // Uncertifiable inversion: rebuild the row from the exact
+                // compressed pool (O(|pool|·k), rare by construction).
+                self.rows_refolded += 1;
+                self.dp_cells += (self.comp.stable.len() * self.pool_row.len()) as u64;
+                self.pool_row = self.comp.pool_row();
+            }
+        }
+    }
+
+    /// How many members of `rule` have been absorbed so far.
+    pub(crate) fn absorbed(&self, rule: RuleKey) -> u32 {
+        self.comp.absorbed(rule)
+    }
+
+    /// Rows served through the O(k) incremental recurrence.
+    pub(crate) fn rows_incremental(&self) -> u64 {
+        self.rows_incremental
+    }
+
+    /// Rows (or pool rebuilds) that fell back to the exact refold.
+    pub(crate) fn rows_refolded(&self) -> u64 {
+        self.rows_refolded
+    }
+
+    /// DP cells touched: incremental convolve/deconvolve passes plus any
+    /// refold work done through the inner [`Compressor`].
+    pub(crate) fn dp_cells(&self) -> u64 {
+        self.dp_cells + self.comp.dp_cells()
+    }
+
+    pub(crate) fn entries_recomputed(&self) -> u64 {
+        self.comp.entries_recomputed()
+    }
+
+    pub(crate) fn rules_compressed(&self) -> u64 {
+        self.comp.rules_compressed()
+    }
+}
+
+/// One emitted row of a non-PT-k semantics answer.
+///
+/// `value` is the semantics' figure of merit for the row: the exact-rank
+/// probability for U-KRanks, the top-k probability `Pr^k` for Global-Topk,
+/// the expected rank for expected-rank, and the membership probability for
+/// U-TopK vector members (a vector has one joint probability, not per-row
+/// ones).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SemanticsRow {
+    /// 0-based scan rank (for a view, the tuple's ranked position).
+    pub position: usize,
+    /// The tuple's id as reported by the source.
+    pub id: TupleId,
+    /// Its ranking score.
+    pub score: f64,
+    /// Its membership probability.
+    pub membership: f64,
+    /// The semantics' per-row value (see the type docs).
+    pub value: f64,
+}
+
+/// The answer of [`PtkExecutor::execute_semantics`](crate::PtkExecutor::execute_semantics):
+/// one variant per [`RankSemantics`].
+#[derive(Debug, Clone)]
+pub enum SemanticsAnswer {
+    /// The PT-k answer, exactly as the threshold path produces it.
+    Ptk(PtkResult),
+    /// The most probable top-k vector, in ranking order.
+    UTopK {
+        /// The vector's members (`value` = membership probability).
+        rows: Vec<SemanticsRow>,
+        /// The probability that this vector is exactly the top-k list.
+        probability: f64,
+        /// States popped by the best-first search.
+        states_explored: u64,
+    },
+    /// Per rank `j ∈ 1..=k` (in order), the winning tuple
+    /// (`value` = probability of being ranked exactly `j`-th).
+    UKRanks(Vec<SemanticsRow>),
+    /// The k tuples with the highest `Pr^k`, descending
+    /// (`value` = `Pr^k`; ties broken toward the smaller position).
+    GlobalTopk(Vec<SemanticsRow>),
+    /// The k tuples with the smallest expected rank, ascending
+    /// (`value` = expected rank; ties broken toward the smaller position).
+    ExpectedRank(Vec<SemanticsRow>),
+}
+
+impl SemanticsAnswer {
+    /// Which semantics produced this answer.
+    pub fn semantics(&self) -> RankSemantics {
+        match self {
+            SemanticsAnswer::Ptk(_) => RankSemantics::Ptk,
+            SemanticsAnswer::UTopK { .. } => RankSemantics::UTopK,
+            SemanticsAnswer::UKRanks(_) => RankSemantics::UKRanks,
+            SemanticsAnswer::GlobalTopk(_) => RankSemantics::GlobalTopk,
+            SemanticsAnswer::ExpectedRank(_) => RankSemantics::ExpectedRank,
+        }
+    }
+
+    /// Number of emitted answer rows (PT-k: answers passing the threshold).
+    pub fn answer_count(&self) -> usize {
+        match self {
+            SemanticsAnswer::Ptk(result) => result.answers.len(),
+            SemanticsAnswer::UTopK { rows, .. } => rows.len(),
+            SemanticsAnswer::UKRanks(rows)
+            | SemanticsAnswer::GlobalTopk(rows)
+            | SemanticsAnswer::ExpectedRank(rows) => rows.len(),
+        }
+    }
+
+    /// The non-PT-k answer rows, when this is not a PT-k answer.
+    pub fn rows(&self) -> Option<&[SemanticsRow]> {
+        match self {
+            SemanticsAnswer::Ptk(_) => None,
+            SemanticsAnswer::UTopK { rows, .. } => Some(rows),
+            SemanticsAnswer::UKRanks(rows)
+            | SemanticsAnswer::GlobalTopk(rows)
+            | SemanticsAnswer::ExpectedRank(rows) => Some(rows),
+        }
+    }
+}
+
+/// A semantics evaluation that could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemanticsError {
+    /// The U-TopK best-first search popped more than `max_states` states.
+    SearchExhausted {
+        /// The configured cap that was hit.
+        max_states: u64,
+    },
+}
+
+impl std::fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SemanticsError::SearchExhausted { max_states } => {
+                write!(f, "U-TopK search exceeded {max_states} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {}
+
+/// Hard cap on states popped by the in-engine U-TopK search; the search is
+/// exponential in the worst case (inherent to the vector semantics), though
+/// it behaves well on realistic inputs.
+pub const UTOPK_MAX_STATES: u64 = 20_000_000;
+
+/// What the one gf scan records per rank, for the post-scan finishers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ScanRecord {
+    pub id: TupleId,
+    pub score: f64,
+    pub prob: f64,
+    pub rule: Option<RuleKey>,
+    /// Sum of same-rule member probabilities ranked strictly above.
+    pub mates_above: f64,
+    /// Sum of every membership probability ranked strictly above.
+    pub prefix_above: f64,
+}
+
+/// A partial state of the U-TopK best-first search: the scan has consumed
+/// ranks `0..depth`, the tuples in `chosen` are present, every other
+/// consumed tuple is absent. `prob` is the exact probability of that event,
+/// an upper bound on any completion (future factors are at most 1).
+#[derive(Debug, Clone)]
+struct VectorState {
+    depth: usize,
+    prob: f64,
+    chosen: Vec<usize>,
+    /// Rules (by dense first-appearance index) with a chosen member.
+    rules_chosen: Vec<u32>,
+}
+
+impl PartialEq for VectorState {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for VectorState {}
+impl PartialOrd for VectorState {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for VectorState {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Highest probability pops first; among equals, the
+        // lexicographically smaller vector pops first (deterministic
+        // tie-breaking, matching the enumeration oracle).
+        self.prob
+            .total_cmp(&other.prob)
+            .then_with(|| other.chosen.cmp(&self.chosen))
+            .then_with(|| other.depth.cmp(&self.depth))
+    }
+}
+
+/// The U-TopK best-first vector search over one scan's records.
+///
+/// The state probability is admissible (future factors ≤ 1), so the first
+/// complete state popped is optimal; a greedy completion seeds a lower
+/// bound that keeps the frontier small on high-probability inputs.
+pub(crate) fn utopk_search(
+    records: &[ScanRecord],
+    k: usize,
+    max_states: u64,
+) -> Result<(Vec<usize>, f64, u64), SemanticsError> {
+    let n = records.len();
+    // Rules by dense first-appearance index, so rule membership checks in
+    // states are small-vector scans.
+    let mut rule_idx: HashMap<RuleKey, u32> = HashMap::new();
+    let rule_of: Vec<Option<u32>> = records
+        .iter()
+        .map(|rec| {
+            rec.rule.map(|key| {
+                let next = rule_idx.len() as u32;
+                *rule_idx.entry(key).or_insert(next)
+            })
+        })
+        .collect();
+
+    // Seed a lower bound with the greedy completion (include every tuple
+    // the rules allow until the vector is full): any state whose upper
+    // bound falls below a known complete vector's probability can never be
+    // optimal, so it is not even pushed.
+    let lower_bound = {
+        let mut prob = 1.0f64;
+        let mut chosen = 0usize;
+        let mut taken: Vec<u32> = Vec::new();
+        for (pos, rec) in records.iter().enumerate() {
+            if chosen == k {
+                break;
+            }
+            let p = rec.prob;
+            match rule_of[pos] {
+                None => {
+                    prob *= p;
+                    chosen += 1;
+                }
+                Some(idx) => {
+                    if taken.contains(&idx) {
+                        continue; // forced exclusion, factor 1
+                    }
+                    let remaining = 1.0 - rec.mates_above;
+                    if remaining > 1e-12 {
+                        prob *= (p / remaining).min(1.0);
+                        chosen += 1;
+                        taken.push(idx);
+                    }
+                    // remaining ~ 0: the tuple cannot exist; skip.
+                }
+            }
+            if prob == 0.0 {
+                break;
+            }
+        }
+        prob
+    };
+
+    let push_state = |heap: &mut BinaryHeap<VectorState>, s: VectorState| {
+        if s.prob >= lower_bound {
+            heap.push(s);
+        }
+    };
+    let mut heap = BinaryHeap::new();
+    heap.push(VectorState {
+        depth: 0,
+        prob: 1.0,
+        chosen: Vec::new(),
+        rules_chosen: Vec::new(),
+    });
+    let mut popped: u64 = 0;
+
+    while let Some(state) = heap.pop() {
+        popped += 1;
+        if popped > max_states {
+            return Err(SemanticsError::SearchExhausted { max_states });
+        }
+        if state.chosen.len() == k || state.depth == n {
+            return Ok((state.chosen, state.prob, popped));
+        }
+        let pos = state.depth;
+        let p = records[pos].prob;
+        match rule_of[pos] {
+            None => {
+                // Include.
+                if p > 0.0 {
+                    let mut chosen = state.chosen.clone();
+                    chosen.push(pos);
+                    push_state(
+                        &mut heap,
+                        VectorState {
+                            depth: pos + 1,
+                            prob: state.prob * p,
+                            chosen,
+                            rules_chosen: state.rules_chosen.clone(),
+                        },
+                    );
+                }
+                // Exclude.
+                if p < 1.0 {
+                    push_state(
+                        &mut heap,
+                        VectorState {
+                            depth: pos + 1,
+                            prob: state.prob * (1.0 - p),
+                            chosen: state.chosen,
+                            rules_chosen: state.rules_chosen,
+                        },
+                    );
+                }
+            }
+            Some(idx) => {
+                if state.rules_chosen.contains(&idx) {
+                    // Another member of the rule is already in the vector:
+                    // this tuple is absent with conditional probability 1.
+                    push_state(
+                        &mut heap,
+                        VectorState {
+                            depth: pos + 1,
+                            prob: state.prob,
+                            chosen: state.chosen,
+                            rules_chosen: state.rules_chosen,
+                        },
+                    );
+                } else {
+                    // No member chosen yet: condition on "no member of the
+                    // rule ranked above this one appeared".
+                    let remaining = 1.0 - records[pos].mates_above;
+                    debug_assert!(remaining > -1e-12);
+                    let include = if remaining > 1e-12 {
+                        p / remaining
+                    } else {
+                        0.0
+                    };
+                    if include > 0.0 {
+                        let mut chosen = state.chosen.clone();
+                        chosen.push(pos);
+                        let mut rules_chosen = state.rules_chosen.clone();
+                        rules_chosen.push(idx);
+                        push_state(
+                            &mut heap,
+                            VectorState {
+                                depth: pos + 1,
+                                prob: state.prob * include.min(1.0),
+                                chosen,
+                                rules_chosen,
+                            },
+                        );
+                    }
+                    let exclude = if remaining > 1e-12 {
+                        ((remaining - p) / remaining).max(0.0)
+                    } else {
+                        1.0
+                    };
+                    if exclude > 0.0 {
+                        push_state(
+                            &mut heap,
+                            VectorState {
+                                depth: pos + 1,
+                                prob: state.prob * exclude,
+                                chosen: state.chosen,
+                                rules_chosen: state.rules_chosen,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Heap drained without a complete state: only possible on an empty scan
+    // (the initial state is complete there) or if every branch had
+    // probability zero — the empty vector.
+    Ok((Vec::new(), 0.0, popped))
+}
+
+/// The Cormode et al. closed-form expected rank of every scanned tuple
+/// (0-based; a tuple absent from a world ranks at the bottom, `|W|`).
+///
+/// * present: the higher-ranked co-occurring mass, `prefix − mates_above`
+///   (rule-mates cannot appear with the tuple);
+/// * absent: every other tuple with its conditional probability — each
+///   rule-mate `u` has `Pr(u | t absent) = Pr(u) / (1 − Pr(t))`.
+///
+/// Plain sums over the scan's records: O(n), no coefficients needed.
+pub(crate) fn expected_ranks_closed(records: &[ScanRecord]) -> Vec<f64> {
+    let total_mass: f64 = records.iter().map(|rec| rec.prob).sum();
+    // Per rule: total member mass, clamped to 1 exactly as a view stores it.
+    let mut rule_total: HashMap<RuleKey, f64> = HashMap::new();
+    for rec in records {
+        if let Some(key) = rec.rule {
+            let mass = rule_total.entry(key).or_insert(0.0);
+            *mass = (*mass + rec.prob).min(1.0);
+        }
+    }
+    records
+        .iter()
+        .map(|rec| {
+            let p = rec.prob;
+            let (mates_above, mates_total) = match rec.rule {
+                None => (0.0, 0.0),
+                Some(key) => (rec.mates_above, rule_total[&key] - p),
+            };
+            let rank_if_present = rec.prefix_above - mates_above;
+            let rank_if_absent = if p >= 1.0 {
+                0.0 // never absent; the term is weighted by zero anyway
+            } else {
+                (total_mass - p - mates_total) + mates_total / (1.0 - p)
+            };
+            p * rank_if_present + (1.0 - p) * rank_if_absent
+        })
+        .collect()
+}

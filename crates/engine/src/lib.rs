@@ -51,6 +51,7 @@
 pub mod dp;
 mod exact;
 mod exec;
+mod gf;
 mod layout;
 mod plan;
 mod scanner;
@@ -62,6 +63,7 @@ pub use exact::{
     topk_probabilities, topk_probability_profile,
 };
 pub use exec::{AnswerTuple, PtkExecutor, PtkResult};
+pub use gf::{RankSemantics, SemanticsAnswer, SemanticsError, SemanticsRow, UTOPK_MAX_STATES};
 pub use plan::{EngineOptions, PlanError, PlanStage, PtkBatch, PtkPlan, SharingVariant};
 pub use scanner::{Entry, Scanner, StepRow};
 pub use stats::{counters, ExecStats, StopReason};

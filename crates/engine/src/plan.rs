@@ -16,6 +16,7 @@ use std::fmt::Write as _;
 use ptk_core::PtkQuery;
 use ptk_obs::Snapshot;
 
+use crate::gf::RankSemantics;
 use crate::stats::{counters, ExecStats};
 
 /// How the compressed dominant set is ordered between consecutive steps
@@ -122,6 +123,21 @@ pub enum PlanStage {
         /// Number of thresholds served by the single scan.
         thresholds: usize,
     },
+    /// Maintain the generating-function coefficient row over the compressed
+    /// pool with the O(k) incremental convolve/deconvolve recurrence
+    /// (non-PT-k semantics; replaces [`PlanStage::PrefixSharedDp`], which
+    /// remains the refold fallback).
+    GfRows {
+        /// The refold fallback's prefix-sharing policy.
+        variant: SharingVariant,
+    },
+    /// The non-PT-k semantics' finisher over the scan's coefficients:
+    /// always unpruned — the §4.4 bounds are sound for `Pr^k` thresholds
+    /// only.
+    SemanticsFinish {
+        /// The semantics being answered.
+        semantics: RankSemantics,
+    },
 }
 
 /// A malformed PT-k request, rejected before any retrieval happens.
@@ -142,6 +158,14 @@ pub enum PlanError {
         /// The offending value (NaN-safe: rendered verbatim).
         value: f64,
     },
+    /// A PT-k plan was requested without any probability threshold.
+    MissingThreshold,
+    /// A probability threshold was supplied for a semantics that takes
+    /// none (thresholds parameterize PT-k only).
+    ThresholdNotApplicable {
+        /// The semantics the threshold was (wrongly) attached to.
+        semantics: RankSemantics,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -151,6 +175,15 @@ impl std::fmt::Display for PlanError {
             PlanError::EmptyThresholds => f.write_str("at least one threshold is required"),
             PlanError::InvalidThreshold { value } => {
                 write!(f, "PT-k thresholds must be in (0, 1], got {value}")
+            }
+            PlanError::MissingThreshold => {
+                f.write_str("PT-k requires a probability threshold in (0, 1]")
+            }
+            PlanError::ThresholdNotApplicable { semantics } => {
+                write!(
+                    f,
+                    "{semantics} takes no probability threshold; thresholds parameterize PTK only"
+                )
             }
         }
     }
@@ -170,6 +203,7 @@ pub struct PtkPlan {
     k: usize,
     thresholds: Vec<f64>,
     options: EngineOptions,
+    semantics: RankSemantics,
 }
 
 impl PtkPlan {
@@ -233,7 +267,39 @@ impl PtkPlan {
             k,
             thresholds: thresholds.to_vec(),
             options: *options,
+            semantics: RankSemantics::Ptk,
         })
+    }
+
+    /// Plans a query under an explicit [`RankSemantics`].
+    ///
+    /// PT-k requires a threshold (its answer *is* "every tuple passing
+    /// `p`"); every other semantics takes none — its answer shape is fixed
+    /// by `k` alone — and runs unpruned, because the §4.4 bounds are sound
+    /// for `Pr^k` thresholds only (the executor enforces this regardless
+    /// of `options.pruning`).
+    pub fn try_semantics(
+        semantics: RankSemantics,
+        k: usize,
+        threshold: Option<f64>,
+        options: &EngineOptions,
+    ) -> Result<PtkPlan, PlanError> {
+        match (semantics, threshold) {
+            (RankSemantics::Ptk, Some(p)) => PtkPlan::try_new(k, p, options),
+            (RankSemantics::Ptk, None) => Err(PlanError::MissingThreshold),
+            (_, Some(_)) => Err(PlanError::ThresholdNotApplicable { semantics }),
+            (_, None) => {
+                if k == 0 {
+                    return Err(PlanError::ZeroK);
+                }
+                Ok(PtkPlan {
+                    k,
+                    thresholds: Vec::new(),
+                    options: *options,
+                    semantics,
+                })
+            }
+        }
     }
 
     /// Plans a parsed [`PtkQuery`]. The query's predicate and ranking are
@@ -244,9 +310,9 @@ impl PtkPlan {
         PtkPlan::new(query.k(), query.threshold().value(), options)
     }
 
-    /// A stable 64-bit fingerprint of the plan: FNV-1a over `k`, the
-    /// thresholds (exact bit patterns, in the caller's order) and every
-    /// [`EngineOptions`] field. Two plans with equal fingerprints execute
+    /// A stable 64-bit fingerprint of the plan: FNV-1a over the ranking
+    /// semantics, `k`, the thresholds (exact bit patterns, in the caller's
+    /// order) and every [`EngineOptions`] field. Two plans with equal fingerprints execute
     /// the identical stage pipeline over whatever source they are given,
     /// so the fingerprint — combined with an identifier for the data
     /// snapshot (the serve daemon's snapshot epoch) — keys a result cache.
@@ -258,6 +324,11 @@ impl PtkPlan {
             }
         }
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let semantics_tag = RankSemantics::ALL
+            .iter()
+            .position(|&s| s == self.semantics)
+            .expect("every semantics is in ALL") as u64;
+        mix(&mut h, semantics_tag);
         mix(&mut h, self.k as u64);
         mix(&mut h, self.thresholds.len() as u64);
         for &p in &self.thresholds {
@@ -284,6 +355,11 @@ impl PtkPlan {
         &self.options
     }
 
+    /// The ranking semantics this plan answers.
+    pub fn semantics(&self) -> RankSemantics {
+        self.semantics
+    }
+
     /// The threshold the scan's pruning machinery is keyed to: the smallest
     /// one requested.
     pub fn scan_threshold(&self) -> f64 {
@@ -295,6 +371,18 @@ impl PtkPlan {
 
     /// The lowered stage pipeline, in execution order.
     pub fn stages(&self) -> Vec<PlanStage> {
+        if self.semantics != RankSemantics::Ptk {
+            return vec![
+                PlanStage::RankedRetrieval,
+                PlanStage::RuleCompression,
+                PlanStage::GfRows {
+                    variant: self.options.variant,
+                },
+                PlanStage::SemanticsFinish {
+                    semantics: self.semantics,
+                },
+            ];
+        }
         let mut stages = vec![
             PlanStage::RankedRetrieval,
             PlanStage::RuleCompression,
@@ -314,7 +402,18 @@ impl PtkPlan {
     }
 
     /// A one-line rendering of the pipeline, for `EXPLAIN`-style output.
+    /// Renders the actual semantics stage: PT-k keeps its historical
+    /// `dp[...]`/pruning/emit pipeline verbatim; the other semantics show
+    /// the generating-function stage and say they run unpruned.
     pub fn describe(&self) -> String {
+        if self.semantics != RankSemantics::Ptk {
+            return format!(
+                "ranked-retrieval -> rule-compression -> gf[{}, k={}] -> {} (unpruned: no sound bounds)",
+                self.options.variant.paper_name(),
+                self.k,
+                self.semantics.stage_label()
+            );
+        }
         let mut out = format!(
             "ranked-retrieval -> rule-compression -> dp[{}, k={}]",
             self.options.variant.paper_name(),
@@ -411,6 +510,28 @@ impl PtkPlan {
                         self.scan_threshold(),
                         snapshot.counter(counters::ANSWERS)
                     );
+                }
+                PlanStage::GfRows { variant } => {
+                    let _ = write!(
+                        out,
+                        "gf[{}, k={}]: evaluated={} dp_cells={} rows_incremental={} rows_refolded={}",
+                        variant.paper_name(),
+                        self.k,
+                        stats.evaluated,
+                        stats.dp_cells,
+                        snapshot.counter(counters::GF_ROWS_INCREMENTAL),
+                        snapshot.counter(counters::GF_ROWS_REFOLDED)
+                    );
+                    push_timing(&mut out, snapshot, "engine.phase.dp", include_timings);
+                }
+                PlanStage::SemanticsFinish { semantics } => {
+                    let _ = write!(
+                        out,
+                        "{} (unpruned: no sound bounds): answers={}",
+                        semantics.stage_label(),
+                        snapshot.counter(counters::ANSWERS)
+                    );
+                    push_timing(&mut out, snapshot, "engine.phase.bound", include_timings);
                 }
             }
             out.push('\n');

@@ -24,7 +24,7 @@
 use ptk_core::{RankedView, RuleHandle};
 
 use crate::dp;
-use crate::exec::{AbsorbSpec, Compressor, PoolEntry};
+use crate::gf::{AbsorbSpec, Compressor, PoolEntry};
 use crate::plan::SharingVariant;
 
 /// One element of a compressed dominant set, in view terms.

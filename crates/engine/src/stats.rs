@@ -28,6 +28,13 @@ pub mod counters {
     pub const RULES_COMPRESSED: &str = "engine.rules_compressed";
     /// Tuples in the answer set.
     pub const ANSWERS: &str = "engine.answers";
+    /// Generating-function coefficient rows served through the O(k)
+    /// incremental convolve/deconvolve recurrence (non-PT-k scans).
+    pub const GF_ROWS_INCREMENTAL: &str = "engine.gf.rows_incremental";
+    /// Generating-function rows (or pool rebuilds) that fell back to the
+    /// exact prefix-shared refold because the inversion could not certify
+    /// its accuracy.
+    pub const GF_ROWS_REFOLDED: &str = "engine.gf.rows_refolded";
     /// 1 when the scan stopped early via Theorem 5.
     pub const STOP_TOTAL_TOPK: &str = "engine.stop.total_topk";
     /// 1 when the scan stopped early via the upper-bound test.

@@ -47,6 +47,37 @@ pub enum Method {
     Naive,
 }
 
+/// The ranking semantics selected by `RANK BY` (mirrors the engine's
+/// `RankSemantics`; kept separate so the SQL front end stays
+/// engine-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RankBy {
+    /// `RANK BY PTK` — the paper's probabilistic threshold top-k (default).
+    #[default]
+    Ptk,
+    /// `RANK BY U_TOPK` — the most probable top-k vector.
+    UTopK,
+    /// `RANK BY U_KRANKS` — the most probable tuple at each rank.
+    UKRanks,
+    /// `RANK BY GLOBAL_TOPK` — the k tuples with the highest `Pr^k`.
+    GlobalTopk,
+    /// `RANK BY EXPECTED_RANK` — the k tuples with the lowest expected rank.
+    ExpectedRank,
+}
+
+impl RankBy {
+    /// The canonical `RANK BY` keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            RankBy::Ptk => "PTK",
+            RankBy::UTopK => "U_TOPK",
+            RankBy::UKRanks => "U_KRANKS",
+            RankBy::GlobalTopk => "GLOBAL_TOPK",
+            RankBy::ExpectedRank => "EXPECTED_RANK",
+        }
+    }
+}
+
 /// A parsed PT-k statement, before column names are resolved.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedQuery {
@@ -69,4 +100,6 @@ pub struct ParsedQuery {
     /// Whether `WITH PROBABILITY`/`WITH THRESHOLD` appeared explicitly
     /// (rank-sensitive statement kinds reject it).
     pub explicit_threshold: bool,
+    /// The `RANK BY` semantics, when the clause appeared.
+    pub rank_by: Option<RankBy>,
 }

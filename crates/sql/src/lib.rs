@@ -56,7 +56,7 @@ mod render;
 mod statement;
 mod token;
 
-pub use ast::{Condition, Literal, Method, ParsedQuery};
+pub use ast::{Condition, Literal, Method, ParsedQuery, RankBy};
 pub use parser::parse;
 pub use statement::{parse_statement, QueryKind, Statement};
 pub use token::{tokenize, Token};

@@ -2,7 +2,7 @@
 
 use ptk_core::SortDirection;
 
-use crate::ast::{Condition, Literal, Method, ParsedQuery};
+use crate::ast::{Condition, Literal, Method, ParsedQuery, RankBy};
 use crate::token::{tokenize, Spanned, Token};
 use crate::SqlError;
 
@@ -135,6 +135,12 @@ pub fn parse(input: &str) -> Result<ParsedQuery, SqlError> {
             "expected a TOP query; use parse_statement for SELECT {kind}"
         )));
     }
+    if matches!(query.rank_by, Some(rb) if rb != RankBy::Ptk) {
+        return Err(SqlError::general(format!(
+            "RANK BY {} is a ranked-semantics statement; use parse_statement",
+            query.rank_by.expect("checked above").keyword()
+        )));
+    }
     Ok(query)
 }
 
@@ -178,6 +184,34 @@ pub(crate) fn parse_body(
         let _ = p.eat_keyword("DESC");
         SortDirection::Descending
     };
+
+    let mut rank_by = None;
+    if p.eat_keyword("RANK") {
+        p.expect_keyword("BY")?;
+        let at = p.offset();
+        let name = p.expect_ident("a ranking semantics after RANK BY")?;
+        let folded: String = name
+            .chars()
+            .filter(|c| *c != '_' && *c != '-')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        rank_by = Some(match folded.as_str() {
+            "ptk" => RankBy::Ptk,
+            "utopk" => RankBy::UTopK,
+            "ukranks" => RankBy::UKRanks,
+            "globaltopk" => RankBy::GlobalTopk,
+            "expectedrank" | "erank" => RankBy::ExpectedRank,
+            _ => {
+                return Err(SqlError::at(
+                    at,
+                    format!(
+                        "unknown ranking semantics '{name}' \
+                         (PTK | U_TOPK | U_KRANKS | GLOBAL_TOPK | EXPECTED_RANK)"
+                    ),
+                ))
+            }
+        });
+    }
 
     let mut threshold = 0.5;
     let mut explicit_threshold = false;
@@ -237,6 +271,7 @@ pub(crate) fn parse_body(
             threshold,
             method,
             explicit_threshold,
+            rank_by,
         },
     ))
 }

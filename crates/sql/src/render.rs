@@ -89,6 +89,9 @@ impl ParsedQuery {
             SortDirection::Descending => write!(f, " DESC")?,
             SortDirection::Ascending => write!(f, " ASC")?,
         }
+        if let Some(rank_by) = self.rank_by {
+            write!(f, " RANK BY {}", rank_by.keyword())?;
+        }
         if kind == "TOP" {
             if self.explicit_threshold {
                 write!(f, " WITH PROBABILITY >= {}", self.threshold)?;
@@ -116,11 +119,19 @@ impl fmt::Display for Statement {
         } else if self.explain {
             write!(f, "EXPLAIN ")?;
         }
-        let kind = match self.kind {
-            QueryKind::Ptk => "TOP",
-            QueryKind::UTopK => "UTOPK",
-            QueryKind::UKRanks => "UKRANKS",
-            QueryKind::ExpectedRank => "ERANK",
+        // A RANK BY statement parsed from a TOP body: render the body
+        // back as TOP (the RANK BY clause carries the semantics; the
+        // mapped kind keyword would reject the clause on re-parse).
+        let kind = if self.query.rank_by.is_some() {
+            "TOP"
+        } else {
+            match self.kind {
+                QueryKind::Ptk => "TOP",
+                QueryKind::UTopK => "UTOPK",
+                QueryKind::UKRanks => "UKRANKS",
+                QueryKind::GlobalTopk => "GLOBALTOPK",
+                QueryKind::ExpectedRank => "ERANK",
+            }
         };
         self.query.render(f, kind)
     }

@@ -7,15 +7,23 @@
 //!              [WHERE <cond>] ORDER BY <ident> [ASC | DESC]
 //!              [WITH PROBABILITY >= <number>]   -- TOP only
 //!              [USING <method>]                  -- TOP only
-//! kind      := TOP | UTOPK | UKRANKS | ERANK
+//! kind      := TOP | UTOPK | UKRANKS | GLOBALTOPK | ERANK
 //! ```
 //!
 //! `TOP` is the PT-k query of the paper; `UTOPK` and `UKRANKS` are the
-//! rank-sensitive semantics of Soliman et al.; `ERANK` ranks by expected
-//! rank (Cormode et al.). `EXPLAIN` asks the executor to report its plan
-//! and execution statistics instead of only the answers.
+//! rank-sensitive semantics of Soliman et al.; `GLOBALTOPK` is Zhang &
+//! Chomicki's top-k by `Pr^k`; `ERANK` ranks by expected rank (Cormode et
+//! al.). `EXPLAIN` asks the executor to report its plan and execution
+//! statistics instead of only the answers.
+//!
+//! A `TOP` query may also carry a `RANK BY` clause
+//! (`RANK BY PTK | U_TOPK | U_KRANKS | GLOBAL_TOPK | EXPECTED_RANK`,
+//! after the `ORDER BY` direction), which selects the same semantics by
+//! name: `SELECT TOP 3 … RANK BY U_TOPK` is `SELECT UTOPK 3 …`. The
+//! non-PTK semantics take no probability threshold and no `USING` method
+//! (they always run the exact generating-function engine).
 
-use crate::ast::{Method, ParsedQuery};
+use crate::ast::{Method, ParsedQuery, RankBy};
 use crate::parser::parse_body;
 use crate::token::tokenize;
 use crate::SqlError;
@@ -29,17 +37,31 @@ pub enum QueryKind {
     UTopK,
     /// The most probable tuple at each rank (Soliman et al.).
     UKRanks,
+    /// The k tuples with the highest top-k probability (Zhang & Chomicki).
+    GlobalTopk,
     /// Lowest expected rank (Cormode et al.).
     ExpectedRank,
 }
 
 impl QueryKind {
-    fn keyword(self) -> &'static str {
+    pub(crate) fn keyword(self) -> &'static str {
         match self {
             QueryKind::Ptk => "TOP",
             QueryKind::UTopK => "UTOPK",
             QueryKind::UKRanks => "UKRANKS",
+            QueryKind::GlobalTopk => "GLOBALTOPK",
             QueryKind::ExpectedRank => "ERANK",
+        }
+    }
+
+    /// The kind a `RANK BY` semantics maps to.
+    fn from_rank_by(rank_by: RankBy) -> QueryKind {
+        match rank_by {
+            RankBy::Ptk => QueryKind::Ptk,
+            RankBy::UTopK => QueryKind::UTopK,
+            RankBy::UKRanks => QueryKind::UKRanks,
+            RankBy::GlobalTopk => QueryKind::GlobalTopk,
+            RankBy::ExpectedRank => QueryKind::ExpectedRank,
         }
     }
 }
@@ -84,29 +106,53 @@ pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
         }
     }
     let (kind_token, query) = parse_body(&tokens[start..], input.len())?;
-    let kind = match kind_token.to_ascii_uppercase().as_str() {
+    let base_kind = match kind_token.to_ascii_uppercase().as_str() {
         "TOP" => QueryKind::Ptk,
         "UTOPK" => QueryKind::UTopK,
         "UKRANKS" => QueryKind::UKRanks,
+        "GLOBALTOPK" => QueryKind::GlobalTopk,
         "ERANK" => QueryKind::ExpectedRank,
         other => {
             return Err(SqlError::general(format!(
-                "unknown query kind '{other}' (TOP | UTOPK | UKRANKS | ERANK)"
+                "unknown query kind '{other}' (TOP | UTOPK | UKRANKS | GLOBALTOPK | ERANK)"
             )))
+        }
+    };
+    let kind = match query.rank_by {
+        None => base_kind,
+        Some(rank_by) => {
+            // RANK BY names the semantics; it composes with the TOP kind
+            // only (the other kind keywords *are* semantics selections).
+            if base_kind != QueryKind::Ptk {
+                return Err(SqlError::general(format!(
+                    "RANK BY applies only to TOP queries, not {} (the kind already names the semantics)",
+                    base_kind.keyword()
+                )));
+            }
+            QueryKind::from_rank_by(rank_by)
         }
     };
     if kind != QueryKind::Ptk {
         if query.explicit_threshold {
-            return Err(SqlError::general(format!(
-                "WITH PROBABILITY applies only to TOP queries, not {}",
-                kind.keyword()
-            )));
+            return Err(SqlError::general(match query.rank_by {
+                Some(rank_by) => format!(
+                    "RANK BY {} takes no probability threshold; WITH PROBABILITY parameterizes RANK BY PTK only",
+                    rank_by.keyword()
+                ),
+                None => format!(
+                    "WITH PROBABILITY applies only to TOP queries, not {}",
+                    kind.keyword()
+                ),
+            }));
         }
         if query.method != Method::Exact {
-            return Err(SqlError::general(format!(
-                "USING applies only to TOP queries, not {}",
-                kind.keyword()
-            )));
+            return Err(SqlError::general(match query.rank_by {
+                Some(rank_by) => format!(
+                    "RANK BY {} always runs the exact engine; USING parameterizes RANK BY PTK only",
+                    rank_by.keyword()
+                ),
+                None => format!("USING applies only to TOP queries, not {}", kind.keyword()),
+            }));
         }
     }
     Ok(Statement {
@@ -188,5 +234,82 @@ mod tests {
     fn unknown_kind_errors() {
         let err = parse_statement("SELECT BOTTOM 2 FROM t ORDER BY x").unwrap_err();
         assert!(err.message.contains("unknown query kind"), "{err}");
+    }
+
+    #[test]
+    fn rank_by_selects_the_semantics() {
+        use crate::ast::RankBy;
+        for (kw, kind) in [
+            ("PTK", QueryKind::Ptk),
+            ("U_TOPK", QueryKind::UTopK),
+            ("U_KRANKS", QueryKind::UKRanks),
+            ("GLOBAL_TOPK", QueryKind::GlobalTopk),
+            ("EXPECTED_RANK", QueryKind::ExpectedRank),
+        ] {
+            let s =
+                parse_statement(&format!("SELECT TOP 3 FROM t ORDER BY x RANK BY {kw}")).unwrap();
+            assert_eq!(s.kind, kind, "RANK BY {kw}");
+            assert!(s.query.rank_by.is_some());
+        }
+        // RANK BY PTK composes with a threshold.
+        let s =
+            parse_statement("SELECT TOP 3 FROM t ORDER BY x RANK BY PTK WITH PROBABILITY >= 0.4")
+                .unwrap();
+        assert_eq!(s.kind, QueryKind::Ptk);
+        assert_eq!(s.query.rank_by, Some(RankBy::Ptk));
+        assert_eq!(s.query.threshold, 0.4);
+    }
+
+    #[test]
+    fn rank_by_statements_render_back_as_top() {
+        let s = parse_statement("SELECT TOP 3 FROM t ORDER BY x RANK BY U_TOPK").unwrap();
+        let rendered = s.to_string();
+        assert_eq!(
+            rendered,
+            "SELECT TOP 3 FROM t ORDER BY x DESC RANK BY U_TOPK"
+        );
+        assert_eq!(parse_statement(&rendered).unwrap(), s);
+    }
+
+    #[test]
+    fn rank_by_mismatches_get_pointed_errors() {
+        // Unknown semantics name.
+        let err = parse_statement("SELECT TOP 2 FROM t ORDER BY x RANK BY NONSENSE").unwrap_err();
+        assert!(err.message.contains("unknown ranking semantics"), "{err}");
+        assert!(err.message.contains("GLOBAL_TOPK"), "lists options: {err}");
+        // RANK BY on a kind that already names the semantics.
+        let err = parse_statement("SELECT UKRANKS 2 FROM t ORDER BY x RANK BY PTK").unwrap_err();
+        assert!(err.message.contains("RANK BY applies only to TOP"), "{err}");
+        // A threshold on a threshold-free semantics.
+        let err = parse_statement(
+            "SELECT TOP 2 FROM t ORDER BY x RANK BY U_KRANKS WITH PROBABILITY >= 0.5",
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("takes no probability threshold"),
+            "{err}"
+        );
+        assert!(err.message.contains("U_KRANKS"), "{err}");
+        // USING on a non-PTK semantics.
+        let err =
+            parse_statement("SELECT TOP 2 FROM t ORDER BY x RANK BY EXPECTED_RANK USING sampling")
+                .unwrap_err();
+        assert!(
+            err.message.contains("always runs the exact engine"),
+            "{err}"
+        );
+        // The plain PT-k entry point rejects non-PTK RANK BY.
+        let err = crate::parse("SELECT TOP 2 FROM t ORDER BY x RANK BY U_TOPK").unwrap_err();
+        assert!(err.message.contains("use parse_statement"), "{err}");
+        assert!(crate::parse("SELECT TOP 2 FROM t ORDER BY x RANK BY PTK").is_ok());
+    }
+
+    #[test]
+    fn globaltopk_kind_keyword_parses() {
+        let s = parse_statement("SELECT GLOBALTOPK 4 FROM t ORDER BY x").unwrap();
+        assert_eq!(s.kind, QueryKind::GlobalTopk);
+        assert!(s.query.rank_by.is_none());
+        let rendered = s.to_string();
+        assert_eq!(parse_statement(&rendered).unwrap(), s);
     }
 }

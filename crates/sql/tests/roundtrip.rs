@@ -6,7 +6,9 @@
 use ptk_core::check::{check, Config};
 use ptk_core::rng::{RngExt, StdRng};
 use ptk_core::{prop_assert, prop_assert_eq, SortDirection};
-use ptk_sql::{parse_statement, Condition, Literal, Method, ParsedQuery, QueryKind, Statement};
+use ptk_sql::{
+    parse_statement, Condition, Literal, Method, ParsedQuery, QueryKind, RankBy, Statement,
+};
 
 const KEYWORDS: &[&str] = &[
     "select",
@@ -31,6 +33,12 @@ const KEYWORDS: &[&str] = &[
     "utopk",
     "ukranks",
     "erank",
+    "rank",
+    "globaltopk",
+    "global_topk",
+    "u_topk",
+    "u_kranks",
+    "expected_rank",
 ];
 
 /// `[a-z][a-z0-9_]{0,8}`, never a keyword.
@@ -95,11 +103,26 @@ fn condition(rng: &mut StdRng, depth: usize) -> Condition {
 }
 
 fn statement(rng: &mut StdRng) -> Statement {
-    let kind = match rng.random_range(0..4u32) {
+    let kind = match rng.random_range(0..5u32) {
         0 => QueryKind::Ptk,
         1 => QueryKind::UTopK,
         2 => QueryKind::UKRanks,
+        3 => QueryKind::GlobalTopk,
         _ => QueryKind::ExpectedRank,
+    };
+    // Either spelling of the semantics: the legacy kind keyword
+    // (`SELECT UTOPK 3 …`) or the RANK BY clause (`SELECT TOP 3 … RANK BY
+    // U_TOPK`).
+    let rank_by = if rng.random_bool(0.5) {
+        Some(match kind {
+            QueryKind::Ptk => RankBy::Ptk,
+            QueryKind::UTopK => RankBy::UTopK,
+            QueryKind::UKRanks => RankBy::UKRanks,
+            QueryKind::GlobalTopk => RankBy::GlobalTopk,
+            QueryKind::ExpectedRank => RankBy::ExpectedRank,
+        })
+    } else {
+        None
     };
     let is_ptk = kind == QueryKind::Ptk;
     let condition = if rng.random_bool(0.5) {
@@ -135,6 +158,7 @@ fn statement(rng: &mut StdRng) -> Statement {
                 _ => Method::Exact,
             },
             explicit_threshold: is_ptk && explicit_threshold,
+            rank_by,
         },
         explain,
         analyze,

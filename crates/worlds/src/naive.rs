@@ -109,6 +109,63 @@ pub fn ukranks(view: &RankedView, k: usize) -> Result<Vec<(usize, f64)>, TooMany
     Ok(answer)
 }
 
+/// The exact Global-Topk answer: the `k` ranked positions with the highest
+/// top-k probability `Pr^k`, in descending `Pr^k` order, each with its
+/// probability.
+///
+/// Ties are broken toward the higher-ranked (smaller) position.
+///
+/// # Errors
+/// Returns [`TooManyWorlds`] if the view exceeds the enumeration budget.
+pub fn global_topk(view: &RankedView, k: usize) -> Result<Vec<(usize, f64)>, TooManyWorlds> {
+    let pr = topk_probabilities(view, k)?;
+    let mut order: Vec<usize> = (0..view.len()).collect();
+    order.sort_by(|&a, &b| pr[b].total_cmp(&pr[a]).then(a.cmp(&b)));
+    order.truncate(k);
+    Ok(order.into_iter().map(|pos| (pos, pr[pos])).collect())
+}
+
+/// The exact expected rank of every tuple (indexed by ranked position), by
+/// enumeration: in a world containing the tuple its rank is the (0-based)
+/// number of tuples above it; in a world missing the tuple its rank is the
+/// world's size `|W|` (Cormode et al.'s bottom-rank convention).
+///
+/// # Errors
+/// Returns [`TooManyWorlds`] if the view exceeds the enumeration budget.
+pub fn expected_ranks(view: &RankedView) -> Result<Vec<f64>, TooManyWorlds> {
+    let mut out = vec![0.0; view.len()];
+    for world in enumerate(view)? {
+        // `world.members` holds present positions in ranking order.
+        let mut present = vec![false; view.len()];
+        for (rank, &pos) in world.members.iter().enumerate() {
+            present[pos] = true;
+            out[pos] += world.prob * rank as f64;
+        }
+        let size = world.members.len() as f64;
+        for (pos, was_present) in present.iter().enumerate() {
+            if !was_present {
+                out[pos] += world.prob * size;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The exact expected-rank top-k answer: the `k` ranked positions with the
+/// smallest expected rank (see [`expected_ranks`]), ascending, each with
+/// its expected rank. Ties are broken toward the higher-ranked (smaller)
+/// position.
+///
+/// # Errors
+/// Returns [`TooManyWorlds`] if the view exceeds the enumeration budget.
+pub fn expected_rank_topk(view: &RankedView, k: usize) -> Result<Vec<(usize, f64)>, TooManyWorlds> {
+    let ranks = expected_ranks(view)?;
+    let mut order: Vec<usize> = (0..view.len()).collect();
+    order.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]).then(a.cmp(&b)));
+    order.truncate(k);
+    Ok(order.into_iter().map(|pos| (pos, ranks[pos])).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
