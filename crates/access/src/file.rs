@@ -26,6 +26,7 @@ use std::sync::Arc;
 use ptk_core::TupleId;
 use ptk_obs::{Mark, Noop, Payload, SharedRecorder, Stage, Tracer};
 
+use crate::block::corrupt;
 use crate::bytebuf::ByteBuf;
 use crate::counters;
 use crate::source::{RankedSource, RuleKey, SourceTuple};
@@ -151,14 +152,31 @@ impl FileSource {
         let file_len = file.metadata()?.len();
         let mut reader = BufReader::new(file);
         let mut header = [0u8; HEADER_BYTES as usize];
-        reader
-            .read_exact(&mut header)
-            .map_err(|_| invalid("truncated header"))?;
+        reader.read_exact(&mut header).map_err(|_| {
+            corrupt(
+                0,
+                "header",
+                format!("{HEADER_BYTES} bytes"),
+                format!("{file_len} (truncated header)"),
+            )
+        })?;
         let mut head = ByteBuf::from_vec(header.to_vec());
         let mut magic = [0u8; 8];
         head.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(invalid("not a ptk run file (bad magic)"));
+            if &magic == b"PTKRUN02" {
+                return Err(invalid(
+                    "block-native run file (magic PTKRUN02): FileSource reads the v1 format — \
+                     open it with the paged reader (PagedRun), which `ptk scan` selects \
+                     automatically",
+                ));
+            }
+            return Err(corrupt(
+                0,
+                "magic",
+                "\"PTKRUN01\"",
+                format!("{magic:02x?} (not a ptk run file, bad magic)"),
+            ));
         }
         let remaining = head.get_u64_le();
         let rule_count = head.get_u32_le() as usize;
@@ -173,15 +191,25 @@ impl FileSource {
                 ))
             })?;
         if expected != file_len {
-            return Err(invalid(format!(
-                "corrupt run file: header promises {remaining} records and {rule_count} rules \
-                 ({expected} bytes) but the file holds {file_len} bytes"
-            )));
+            return Err(corrupt(
+                8,
+                "record/rule counts",
+                format!(
+                    "a {expected}-byte file ({remaining} records at byte 8, {rule_count} rules \
+                     at byte 16)"
+                ),
+                format!("{file_len} bytes"),
+            ));
         }
         let mut mass_bytes = vec![0u8; rule_count * 8];
-        reader
-            .read_exact(&mut mass_bytes)
-            .map_err(|_| invalid("truncated rule table"))?;
+        reader.read_exact(&mut mass_bytes).map_err(|_| {
+            corrupt(
+                HEADER_BYTES,
+                "rule mass table",
+                format!("{rule_count}x8 bytes"),
+                "end of file (truncated rule table)",
+            )
+        })?;
         let mut masses = ByteBuf::from_vec(mass_bytes);
         let rule_masses: Vec<f64> = (0..rule_count).map(|_| masses.get_f64_le()).collect();
         recorder.add(counters::FILE_OPENS, 1);
@@ -237,12 +265,26 @@ impl FileSource {
         self.remaining
     }
 
+    /// File offset of the next record to decode (the record about to be
+    /// delivered), for error reporting.
+    fn record_offset(&self) -> u64 {
+        HEADER_BYTES
+            + self.rule_masses.len() as u64 * 8
+            + self.retrieved as u64 * RECORD_BYTES as u64
+    }
+
     fn refill(&mut self) -> io::Result<()> {
         let want = (self.remaining as usize).min(READ_CHUNK) * RECORD_BYTES;
         let mut chunk = vec![0u8; want];
-        self.reader
-            .read_exact(&mut chunk)
-            .map_err(|_| invalid("truncated records"))?;
+        let at = self.record_offset() + self.buffer.len() as u64;
+        self.reader.read_exact(&mut chunk).map_err(|_| {
+            corrupt(
+                at,
+                "records",
+                format!("{want} bytes"),
+                "end of file (truncated records)",
+            )
+        })?;
         self.recorder.add(counters::FILE_BYTES_READ, want as u64);
         if let Some(t) = &self.tracer {
             t.instant(Mark::FileRead { bytes: want as u64 });
@@ -263,20 +305,37 @@ impl FileSource {
         if self.buffer.len() < RECORD_BYTES {
             self.refill()?;
         }
+        let rec_off = self.record_offset();
         let id = self.buffer.get_u32_le();
         let rule = self.buffer.get_u32_le();
         let score = self.buffer.get_f64_le();
         let prob = self.buffer.get_f64_le();
         if !(prob > 0.0 && prob <= 1.0) {
-            return Err(invalid(format!("corrupt record: probability {prob}")));
+            return Err(corrupt(
+                rec_off + 16,
+                format!("record {} probability", self.retrieved),
+                "a value in (0, 1]",
+                prob,
+            ));
         }
         if score > self.last_score {
-            return Err(invalid("corrupt run: scores out of order"));
+            return Err(corrupt(
+                rec_off + 8,
+                format!("record {} score", self.retrieved),
+                format!(
+                    "<= previous score {} (scores out of order)",
+                    self.last_score
+                ),
+                score,
+            ));
         }
         if rule != NO_RULE && rule as usize >= self.rule_masses.len() {
-            return Err(invalid(format!(
-                "corrupt record: rule key {rule} out of range"
-            )));
+            return Err(corrupt(
+                rec_off + 4,
+                format!("record {} rule key", self.retrieved),
+                format!("< {} or u32::MAX", self.rule_masses.len()),
+                rule,
+            ));
         }
         self.last_score = score;
         self.remaining -= 1;
@@ -393,6 +452,34 @@ mod tests {
         std::fs::write(&f.0, b"NOTARUN!xxxxxxxxxxxxxxxxxxx").unwrap();
         let err = FileSource::open(&f.0).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn open_rejects_v2_files_with_a_pointed_error() {
+        let f = temp();
+        crate::block::write_run_blocked(&f.0, &panda_rows(), 4096).unwrap();
+        let err = FileSource::open(&f.0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("PTKRUN02"), "{err}");
+        assert!(err.to_string().contains("paged reader"), "{err}");
+    }
+
+    #[test]
+    fn errors_name_the_offending_byte_offset() {
+        let f = temp();
+        write_run(&f.0, &panda_rows()).unwrap();
+        let mut bytes = std::fs::read(&f.0).unwrap();
+        // Record 1 (after the 20-byte header and two rule masses) starts at
+        // byte 60; its probability field sits at byte 76.
+        bytes[76..84].copy_from_slice(&7.0f64.to_le_bytes());
+        std::fs::write(&f.0, &bytes).unwrap();
+        let mut src = FileSource::open(&f.0).unwrap();
+        assert!(src.try_next().unwrap().is_some());
+        let err = src.try_next().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("at byte 76"), "{msg}");
+        assert!(msg.contains("expected a value in (0, 1]"), "{msg}");
+        assert!(msg.contains("found 7"), "{msg}");
     }
 
     #[test]

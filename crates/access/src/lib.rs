@@ -18,8 +18,13 @@
 //!   function, and an emit-in-order loop that only descends the lists as
 //!   far as the consumer actually pulls;
 //! * [`FileSource`] / [`write_run`] — on-disk sorted runs in a compact
-//!   binary format, streamed back with a bounded read buffer, so tables
-//!   larger than memory can still be scanned in ranking order;
+//!   binary format (v1), streamed back with a bounded read buffer, so
+//!   tables larger than memory can still be scanned in ranking order;
+//! * [`PagedRun`] / [`write_run_blocked`] — block-native runs (format v2):
+//!   fixed-size blocks carrying per-block record counts, max membership
+//!   probability, score ranges and rule flags, read through a pinned
+//!   [`BufferPool`] so the executor can *skip a block's decode* when the
+//!   paper's Theorem 3(1) bound already prunes everything in it;
 //! * [`ByteBuf`] — the in-repo byte read/write cursor behind the run-file
 //!   codec (the workspace builds hermetically, without the `bytes` crate).
 //!
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod block;
 mod bytebuf;
 mod file;
 mod source;
@@ -53,6 +59,18 @@ pub mod counters {
     pub const FILE_RECORDS: &str = "access.file.records";
     /// Run files opened.
     pub const FILE_OPENS: &str = "access.file.opens";
+    /// Blocks of a v2 run file entered for full decode.
+    pub const BLOCK_READ: &str = "access.block.read";
+    /// Blocks of a v2 run file whose decode was skipped (only the
+    /// probability stripe was read, under a block-level pruning bound).
+    pub const BLOCK_SKIP: &str = "access.block.skip";
+    /// Bytes actually decoded from v2 block frames (24 per full record,
+    /// 8 per stripe-skipped record) — the savings a block skip buys.
+    pub const BLOCK_DECODE_BYTES: &str = "access.block.decode_bytes";
+    /// Buffer-pool lookups served by a resident frame.
+    pub const POOL_HIT: &str = "access.block.pool_hit";
+    /// Buffer-pool lookups that had to fetch the block from disk.
+    pub const POOL_MISS: &str = "access.block.pool_miss";
     /// TA rounds of sorted access (one cursor step on every list).
     pub const TA_ROUNDS: &str = "access.ta.rounds";
     /// Individual sorted accesses across all lists.
@@ -61,10 +79,15 @@ pub mod counters {
     pub const TA_EMITTED: &str = "access.ta.emitted";
 }
 
+pub use block::{
+    crc32, run_format, write_run_blocked, BlockMeta, BufferPool, PagedCursor, PagedRun, PoolConfig,
+    DEFAULT_BLOCK_BYTES, DEFAULT_FRAME_BYTES, DEFAULT_POOL_FRAMES, MAX_BLOCK_BYTES,
+    MIN_BLOCK_BYTES,
+};
 pub use bytebuf::ByteBuf;
 pub use file::{write_run, FileSource};
 pub use source::{
-    RankedSource, RuleKey, SnapshotSource, SortedVecCursor, SortedVecSource, SourceTuple,
-    ViewSource,
+    BlockBounds, RankedSource, RuleKey, SnapshotSource, SortedVecCursor, SortedVecSource,
+    SourceTuple, ViewSource,
 };
 pub use ta::{AggregateFn, SortedList, TaSource};

@@ -9,6 +9,31 @@ use ptk_core::{ModelError, Probability, RankedView, TupleId};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RuleKey(pub u32);
 
+/// Bounds over the records remaining in a block-native source's current
+/// block (see the `block` module), exposed so the executor can decide to
+/// skip the block's decode *before* touching any record in it.
+///
+/// The soundness contract: every remaining record in the block has
+/// membership probability `<= max_prob`, and — when `rule_free` — none of
+/// them belongs to a generation rule. Under Theorem 3(1), a rule-free
+/// record whose probability is at most the largest failed independent
+/// membership probability is pruned without evaluation; when `max_prob`
+/// clears that bar for the whole block, every remaining record would be
+/// pruned, so only the probabilities (which still feed the dominant-set
+/// pool) need decoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockBounds {
+    /// Records remaining in the current block (from the cursor position to
+    /// the block's end).
+    pub records: usize,
+    /// Upper bound on the membership probability of every remaining record
+    /// in the block.
+    pub max_prob: f64,
+    /// Whether every remaining record in the block is rule-free (belongs to
+    /// no generation rule).
+    pub rule_free: bool,
+}
+
 /// One tuple delivered by a [`RankedSource`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SourceTuple {
@@ -67,6 +92,32 @@ pub trait RankedSource {
     /// affects answers, only allocation and scheduling.
     fn len_hint(&self) -> Option<usize> {
         None
+    }
+
+    /// Bounds over the records remaining in the source's current storage
+    /// block, when the source is block-native and knows them ahead of
+    /// decode (see [`BlockBounds`] for the contract). Returning `None` —
+    /// the default for non-blocked sources — simply disables block-grain
+    /// pruning; answers never depend on it.
+    fn block_bounds(&self) -> Option<BlockBounds> {
+        None
+    }
+
+    /// Consumes up to `max` records of the current block *without decoding
+    /// them into tuples*, appending only their membership probabilities to
+    /// `probs` (the executor still needs those: pruned tuples join later
+    /// tuples' dominant sets). Returns the number of records consumed;
+    /// entries appended beyond that count are unspecified. Never crosses a
+    /// block boundary, so the bounds from [`RankedSource::block_bounds`]
+    /// stay valid for everything consumed. The default — for sources with
+    /// no block structure — consumes nothing and returns 0.
+    ///
+    /// Callers must only invoke this after [`RankedSource::block_bounds`]
+    /// certifies the remaining records are prunable; the source itself does
+    /// not re-check.
+    fn skip_block(&mut self, max: usize, probs: &mut Vec<f64>) -> usize {
+        let _ = (max, probs);
+        0
     }
 
     /// Number of tuples retrieved so far (the paper's *scan depth*).

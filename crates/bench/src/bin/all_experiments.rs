@@ -7,13 +7,14 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 8] = [
+const EXPERIMENTS: [&str; 9] = [
     "table1_3",
     "table4_walkthrough",
     "fig2_reorder",
     "table5_6_iip",
     "fig4_scan_depth",
     "fig5_runtime",
+    "fig5_block_scan",
     "fig6_quality",
     "fig7_scalability",
 ];

@@ -1,0 +1,163 @@
+//! Block-native paged scan vs. the in-memory streamed baseline on the
+//! clustered deep-scan workload: a short strong head keeps the retained
+//! mass under `k`, a few decoy failures raise the Theorem 3(1)
+//! membership bound over the whole tail, after which every rule-free
+//! low-probability block can skip its full decode (only the 8-byte
+//! probability stripe of each record is read, of 24). The run reports,
+//! per block size, the blocks read vs. skipped and the decoded bytes
+//! against what a skip-free scan of the same depth would decode, and
+//! writes `BENCH_block_scan.json`.
+//!
+//! Gate (enforced when `PTK_BENCH_GATE` is set, reported otherwise):
+//! at the default 4 KiB block size the paged scan must skip at least one
+//! block and decode <= 70% of the bytes a full decode of the same scan
+//! depth costs — i.e. the stripe-skip must save >= 30%.
+
+use std::sync::Arc;
+
+use ptk_access::{
+    counters, write_run_blocked, PagedRun, PoolConfig, RankedSource, SortedVecSource,
+    DEFAULT_FRAME_BYTES,
+};
+use ptk_bench::{time_ms, BenchRecord, Report};
+use ptk_datagen::{deep_scan_rows, DeepScanConfig};
+use ptk_engine::{evaluate_ptk_source, EngineOptions};
+use ptk_obs::{Metrics, SharedRecorder};
+
+const K: usize = 100;
+const P: f64 = 0.5;
+const REPS: usize = 5;
+/// Small on purpose: fewer frames than blocks, so the pool evicts.
+const POOL_FRAMES: usize = 8;
+
+fn main() {
+    let config = DeepScanConfig {
+        head: 48,
+        decoys: 4,
+        tail: 100_000,
+        head_rules: 4,
+        seed: 17,
+    };
+    let rows = deep_scan_rows(&config);
+    let options = EngineOptions::default();
+
+    // In-memory streamed baseline (also the parity oracle).
+    let mut baseline_ms = Vec::with_capacity(REPS);
+    let mut oracle = None;
+    let mut oracle_depth = 0usize;
+    for _ in 0..REPS {
+        let mut source = SortedVecSource::from_unsorted(rows.clone()).unwrap();
+        let (result, ms) = time_ms(|| evaluate_ptk_source(&mut source, K, P, &options));
+        baseline_ms.push(ms);
+        oracle_depth = source.retrieved();
+        oracle = Some(result);
+    }
+    let oracle = oracle.unwrap();
+
+    let mut report = Report::new(
+        "fig5_block_scan",
+        &[
+            "block size",
+            "blocks read",
+            "blocks skipped",
+            "decoded B",
+            "full-decode B",
+            "saved",
+            "median_ms",
+        ],
+    );
+    report.row(&[
+        &"in-memory",
+        &"-",
+        &"-",
+        &"-",
+        &"-",
+        &"-",
+        &format!("{:.1}", median(&mut baseline_ms)),
+    ]);
+
+    let mut bench = BenchRecord::new("block_scan");
+    let mut gate_saved = f64::NAN;
+    let mut gate_skips = 0u64;
+    for block_size in [1u32 << 10, 4 << 10, 64 << 10] {
+        let path = std::env::temp_dir().join(format!(
+            "ptk-bench-block-scan-{}-{block_size}.run",
+            std::process::id()
+        ));
+        write_run_blocked(&path, &rows, block_size).unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let run = PagedRun::open_recorded(
+            &path,
+            PoolConfig {
+                frames: POOL_FRAMES,
+                frame_bytes: DEFAULT_FRAME_BYTES,
+            },
+            Arc::clone(&metrics) as SharedRecorder,
+        )
+        .unwrap();
+        let mut laps = Vec::with_capacity(REPS);
+        for _ in 0..REPS {
+            let mut cursor = run.cursor();
+            let (result, ms) = time_ms(|| evaluate_ptk_source(&mut cursor, K, P, &options));
+            laps.push(ms);
+            if block_size == 4 << 10 {
+                bench.lap_ms(ms);
+            }
+            // Paged answers are bit-identical to the in-memory path.
+            assert_eq!(result.stats, oracle.stats, "stats diverged");
+            assert_eq!(cursor.retrieved(), oracle_depth, "scan depth diverged");
+            assert_eq!(result.answers.len(), oracle.answers.len());
+            for (a, b) in result.answers.iter().zip(&oracle.answers) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+            }
+        }
+        let snapshot = metrics.snapshot();
+        // Counters accumulate across reps; report one rep's share.
+        let read = snapshot.counter(counters::BLOCK_READ) / REPS as u64;
+        let skipped = snapshot.counter(counters::BLOCK_SKIP) / REPS as u64;
+        let decoded = snapshot.counter(counters::BLOCK_DECODE_BYTES) / REPS as u64;
+        let full = oracle_depth as u64 * 24;
+        let saved = 1.0 - decoded as f64 / full as f64;
+        if block_size == 4 << 10 {
+            bench.set_metrics(snapshot);
+            gate_saved = saved;
+            gate_skips = skipped;
+        }
+        report.row(&[
+            &format!("{block_size} B"),
+            &read,
+            &skipped,
+            &decoded,
+            &full,
+            &format!("{:.1}%", saved * 100.0),
+            &format!("{:.1}", median(&mut laps)),
+        ]);
+        let _ = std::fs::remove_file(&path);
+    }
+    report.finish();
+    bench.write();
+
+    println!(
+        "\nblock skip at 4 KiB: {gate_skips} blocks skipped, {:.1}% of decode bytes saved \
+         (gate: skips > 0, saved >= 30%)",
+        gate_saved * 100.0
+    );
+    if std::env::var_os("PTK_BENCH_GATE").is_some() {
+        assert!(
+            gate_skips > 0,
+            "paged scan skipped no blocks on the deep-scan workload"
+        );
+        assert!(
+            gate_saved >= 0.30,
+            "decode-byte saving {:.1}% < 30%",
+            gate_saved * 100.0
+        );
+    }
+    println!("fig5_block_scan: done");
+}
+
+fn median(laps: &mut [f64]) -> f64 {
+    laps.sort_by(f64::total_cmp);
+    laps[laps.len() / 2]
+}

@@ -1,7 +1,10 @@
-//! The `generate` command: synthetic and IIP dataset generation to CSV.
+//! The `generate` command: synthetic and IIP dataset generation to CSV,
+//! or straight to a block-native run file with `--out` (+ `--block-size`).
 
 use std::io::Write;
 
+use ptk_access::DEFAULT_BLOCK_BYTES;
+use ptk_core::{Predicate, RankedView, Ranking, SortDirection, TopKQuery};
 use ptk_datagen::{IipConfig, IipDataset, RulePlacement, SyntheticConfig, SyntheticDataset};
 
 use crate::load::save_table;
@@ -44,6 +47,31 @@ pub(super) fn cmd_generate(flags: &Flags, out: &mut dyn Write) -> Result<(), Cmd
         }
         other => return Err(format!("unknown generator '{other}' (synthetic | iip)").into()),
     };
+    // `--out <file.run>` packs the dataset directly into a block-native
+    // run file (default block size, override with --block-size), skipping
+    // the CSV round-trip `ptk generate … | ptk pack` would take.
+    if let Some(out_path) = flags.get::<String>("out")? {
+        let block_size = flags.get("block-size")?.unwrap_or(DEFAULT_BLOCK_BYTES);
+        let column_name: String = flags.get("rank-by")?.unwrap_or_else(|| "score".to_owned());
+        let column = table
+            .column_index(&column_name)
+            .ok_or_else(|| format!("unknown column '{column_name}'"))?;
+        let ranking = Ranking::by_column(column, SortDirection::Descending);
+        let query = TopKQuery::new(1, Predicate::True, ranking).map_err(|e| e.to_string())?;
+        let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+        let rows = super::scan::rows_of_view(&view)?;
+        let shape = super::scan::write_packed(&out_path, &rows, Some(block_size))?;
+        writeln!(
+            out,
+            "generated and packed {} tuples ({} rules) into {out_path} ({shape})",
+            view.len(),
+            view.rules().len()
+        )?;
+        return Ok(());
+    }
+    if flags.named.contains_key("block-size") {
+        return Err("--block-size requires --out <file.run>".into());
+    }
     out.write_all(save_table(&table).as_bytes())?;
     Ok(())
 }

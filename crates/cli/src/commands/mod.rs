@@ -816,6 +816,201 @@ mod tests {
     }
 
     #[test]
+    fn pack_block_size_scans_paged_and_bit_identical_to_v1() {
+        let file = panda_file();
+        let (v1, v2) = (tempfile::path("run"), tempfile::path("run"));
+        dispatch(&args(&[
+            "pack",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--out",
+            v1.as_str(),
+        ]))
+        .unwrap();
+        let out = dispatch(&args(&[
+            "pack",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--out",
+            v2.as_str(),
+            "--block-size",
+            "48",
+        ]))
+        .unwrap();
+        // 6 records at 2 per 48-byte block.
+        assert!(
+            out.contains("packed 6 tuples (2 rules)") && out.contains("3 blocks of 48 B"),
+            "{out}"
+        );
+        let scan = |run: &str, extra: &[&str]| {
+            let mut argv = args(&["scan", run, "--k", "2", "--p", "0.35"]);
+            argv.extend(extra.iter().map(|s| (*s).to_owned()));
+            dispatch(&argv)
+        };
+        // The paged scan answers byte-for-byte like the flat scan.
+        assert_eq!(
+            scan(v1.as_str(), &[]).unwrap(),
+            scan(v2.as_str(), &[]).unwrap()
+        );
+        // Even with a single-frame pool forcing eviction on every block.
+        assert_eq!(
+            scan(v1.as_str(), &[]).unwrap(),
+            scan(v2.as_str(), &["--pool-frames", "1"]).unwrap()
+        );
+        // Stats surface the block counters.
+        let out = scan(v2.as_str(), &["--stats", "json"]).unwrap();
+        let json = out.lines().last().unwrap();
+        assert!(json.contains("\"access.block.read\""), "{out}");
+        assert!(json.contains("\"access.block.pool_miss\""), "{out}");
+        assert!(json.contains("\"access.block.decode_bytes\""), "{out}");
+        // Flag validation.
+        let err = scan(v2.as_str(), &["--pool-frames", "0"]).unwrap_err();
+        assert!(err.contains("--pool-frames must be at least 1"), "{err}");
+        let err = scan(v1.as_str(), &["--pool-frames", "2"]).unwrap_err();
+        assert!(err.contains("applies to block-native"), "{err}");
+        // The semantics path pages too, identically to the flat file.
+        let sem = |run: &str| {
+            dispatch(&args(&[
+                "scan",
+                run,
+                "--k",
+                "2",
+                "--semantics",
+                "u_topk",
+                "--stats",
+                "json",
+            ]))
+            .unwrap()
+        };
+        let (a, b) = (sem(v1.as_str()), sem(v2.as_str()));
+        assert_eq!(a.lines().next().unwrap(), b.lines().next().unwrap());
+        assert!(
+            b.lines().last().unwrap().contains("access.block.read"),
+            "{b}"
+        );
+    }
+
+    #[test]
+    fn corrupt_block_is_an_error_not_a_short_answer() {
+        let file = panda_file();
+        let run = tempfile::path("run");
+        dispatch(&args(&[
+            "pack",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--out",
+            run.as_str(),
+            "--block-size",
+            "48",
+        ]))
+        .unwrap();
+        // Flip a byte inside block 0's records (the data section is the
+        // trailing 3 x 48 B): the cursor dies at rank 0 and the scan must
+        // report the checksum, not "0 tuples pass".
+        let mut bytes = std::fs::read(run.as_str()).unwrap();
+        let n = bytes.len();
+        bytes[n - 144] ^= 0xFF;
+        std::fs::write(run.as_str(), &bytes).unwrap();
+        let err = dispatch(&args(&["scan", run.as_str(), "--k", "2", "--p", "0.35"])).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        let err = dispatch(&args(&[
+            "scan",
+            run.as_str(),
+            "--k",
+            "2",
+            "--semantics",
+            "u_topk",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn inspect_prints_the_block_directory() {
+        let file = panda_file();
+        let run = tempfile::path("run");
+        dispatch(&args(&[
+            "pack",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--out",
+            run.as_str(),
+            "--block-size",
+            "48",
+        ]))
+        .unwrap();
+        let out = dispatch(&args(&["inspect", run.as_str()])).unwrap();
+        assert!(out.contains("run file (v2, block-native)"), "{out}");
+        assert!(out.contains("tuples:     6"), "{out}");
+        assert!(out.contains("block size: 48 B (2 records/block)"), "{out}");
+        assert!(out.contains("blocks:     3"), "{out}");
+        // Ranked order is R1(25) R2(21) R5(17) R3(13) R4(12) R6(11): rule
+        // b spans blocks 0-1, rule e spans 1-2, so only the final block is
+        // a rule-closed cut and none is rule-free.
+        assert!(out.contains("block    0: ranks        0..1"), "{out}");
+        assert!(out.contains("max-p 0.4000"), "{out}");
+        assert!(out.contains("rule-closed"), "{out}");
+        // A v1 file reports its shape and the repack hint.
+        let v1 = tempfile::path("run");
+        dispatch(&args(&[
+            "pack",
+            file.as_str(),
+            "--rank-by",
+            "duration",
+            "--out",
+            v1.as_str(),
+        ]))
+        .unwrap();
+        let out = dispatch(&args(&["inspect", v1.as_str()])).unwrap();
+        assert!(out.contains("run file (v1, flat)"), "{out}");
+        assert!(out.contains("repack with `ptk pack --block-size`"), "{out}");
+    }
+
+    #[test]
+    fn generate_packs_directly_to_a_run_file() {
+        let run = tempfile::path("run");
+        let out = dispatch(&args(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "200",
+            "--rules",
+            "10",
+            "--seed",
+            "7",
+            "--out",
+            run.as_str(),
+            "--block-size",
+            "1024",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("generated and packed 200 tuples (10 rules)"),
+            "{out}"
+        );
+        assert!(out.contains("5 blocks of 1024 B"), "{out}");
+        let out = dispatch(&args(&["scan", run.as_str(), "--k", "5", "--p", "0.2"])).unwrap();
+        assert!(out.contains("tuples pass"), "{out}");
+        // --block-size alone is an error, not silently ignored.
+        let err = dispatch(&args(&[
+            "generate",
+            "synthetic",
+            "--tuples",
+            "10",
+            "--rules",
+            "1",
+            "--block-size",
+            "1024",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--block-size requires --out"), "{err}");
+    }
+
+    #[test]
     fn missing_file_and_flag_errors_are_clear() {
         let err = dispatch(&args(&[
             "query",

@@ -409,6 +409,13 @@ pub(super) fn cmd_worlds(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdEr
 }
 
 pub(super) fn cmd_inspect(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    // A run-file argument (either format, by magic) prints the file's
+    // shape — for v2, the block directory — instead of table statistics.
+    if let Some(path) = flags.positional.get(1) {
+        if let Some(format) = ptk_access::run_format(std::path::Path::new(path)) {
+            return super::scan::cmd_inspect_run(path, format, out);
+        }
+    }
     let table = load_from_flags(flags)?;
     let independent = (0..table.len())
         .filter(|&i| !table.is_dependent(ptk_core::TupleId::new(i)))

@@ -1,10 +1,15 @@
-//! Packed run files: `pack` (CSV -> binary run) and `scan` (progressive
-//! PT-k retrieval over a run file without materializing a view).
+//! Packed run files: `pack` (CSV -> binary run, v1 or block-native v2),
+//! `scan` (progressive PT-k retrieval over a run file without
+//! materializing a view; v2 files stream through the pinned buffer pool)
+//! and the run-file half of `inspect` (header + block directory).
 
 use std::io::Write;
 use std::sync::Arc;
 
-use ptk_access::{write_run, FileSource, RankedSource};
+use ptk_access::{
+    run_format, write_run, write_run_blocked, FileSource, PagedRun, PoolConfig, RankedSource,
+    DEFAULT_FRAME_BYTES, DEFAULT_POOL_FRAMES,
+};
 use ptk_core::{Predicate, RankedView, TopKQuery};
 use ptk_engine::{
     evaluate_ptk_source_recorded, PtkExecutor, PtkPlan, RankSemantics, SemanticsAnswer,
@@ -16,14 +21,9 @@ use super::render::{stats_mode, write_stats};
 use super::trace::trace_opts;
 use super::{build_ranking, load_from_flags, semantics_from_flags, CmdError, Flags};
 
-pub(super) fn cmd_pack(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
-    let table = load_from_flags(flags)?;
-    let out_path: String = flags.require("out")?;
-    let ranking = build_ranking(flags, &table)?;
-    let query = TopKQuery::new(1, Predicate::True, ranking).map_err(|e| e.to_string())?;
-    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
-    // Rows in CSV order: score from the ranked column, rule keys from the
-    // view's dense handles.
+/// Run-file rows in CSV order: score from the ranked column, rule keys
+/// from the view's dense handles. Shared by `pack` and `generate --out`.
+pub(super) fn rows_of_view(view: &RankedView) -> Result<Vec<(f64, f64, Option<u32>)>, String> {
     let mut rows: Vec<(f64, f64, Option<u32>)> = vec![(0.0, 0.0, None); view.len()];
     for pos in 0..view.len() {
         let t = view.tuple(pos);
@@ -33,13 +33,74 @@ pub(super) fn cmd_pack(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
             t.rule.map(|h| h.index() as u32),
         );
     }
-    write_run(std::path::Path::new(&out_path), &rows).map_err(|e| e.to_string())?;
+    Ok(rows)
+}
+
+/// Writes `rows` at `out_path` — block-native v2 when a block size is
+/// given, the flat v1 format otherwise — and describes the file written.
+pub(super) fn write_packed(
+    out_path: &str,
+    rows: &[(f64, f64, Option<u32>)],
+    block_size: Option<u32>,
+) -> Result<String, String> {
+    let path = std::path::Path::new(out_path);
+    match block_size {
+        Some(size) => {
+            write_run_blocked(path, rows, size).map_err(|e| e.to_string())?;
+            let capacity = size as usize / 24;
+            let blocks = rows.len().div_ceil(capacity).max(1);
+            Ok(format!("{blocks} blocks of {size} B"))
+        }
+        None => {
+            write_run(path, rows).map_err(|e| e.to_string())?;
+            Ok("v1".to_owned())
+        }
+    }
+}
+
+pub(super) fn cmd_pack(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
+    let table = load_from_flags(flags)?;
+    let out_path: String = flags.require("out")?;
+    let ranking = build_ranking(flags, &table)?;
+    let query = TopKQuery::new(1, Predicate::True, ranking).map_err(|e| e.to_string())?;
+    let view = RankedView::build(&table, &query).map_err(|e| e.to_string())?;
+    let rows = rows_of_view(&view)?;
+    let shape = write_packed(&out_path, &rows, flags.get("block-size")?)?;
     writeln!(
         out,
-        "packed {} tuples ({} rules) into {out_path}",
+        "packed {} tuples ({} rules) into {out_path} ({shape})",
         view.len(),
         view.rules().len()
     )?;
+    Ok(())
+}
+
+/// The buffer-pool shape `scan` hands to [`PagedRun`]: `--pool-frames`
+/// bounds resident frames (default [`DEFAULT_POOL_FRAMES`]); the frame
+/// size stays at [`DEFAULT_FRAME_BYTES`], so a run packed with larger
+/// blocks gets the reader's pointed repack-or-raise error at open.
+fn pool_from_scan_flags(flags: &Flags) -> Result<PoolConfig, String> {
+    let frames = match flags.get::<usize>("pool-frames")? {
+        Some(0) => return Err("--pool-frames must be at least 1".into()),
+        Some(n) => n,
+        None => DEFAULT_POOL_FRAMES,
+    };
+    Ok(PoolConfig {
+        frames,
+        frame_bytes: DEFAULT_FRAME_BYTES,
+    })
+}
+
+/// Rejects `--pool-frames` on files the pool cannot serve, so the flag is
+/// never a silent no-op.
+fn check_pool_flags(flags: &Flags, paged: bool) -> Result<(), String> {
+    if !paged && flags.named.contains_key("pool-frames") {
+        return Err(
+            "--pool-frames applies to block-native (v2) run files; repack this file with \
+             `ptk pack --block-size` first"
+                .into(),
+        );
+    }
     Ok(())
 }
 
@@ -74,24 +135,45 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
     } else {
         Arc::new(Noop)
     };
-    let mut source = match &tracer {
-        Some(t) => {
-            FileSource::open_traced(std::path::Path::new(path), shared_recorder, Arc::clone(t))
+    let file_path = std::path::Path::new(path);
+    let paged = run_format(file_path) == Some(2);
+    check_pool_flags(flags, paged)?;
+    let mut file_source;
+    let paged_run;
+    let mut paged_cursor = None;
+    let (source, total): (&mut dyn RankedSource, u64) = if paged {
+        let pool = pool_from_scan_flags(flags)?;
+        paged_run = match &tracer {
+            Some(t) => PagedRun::open_traced(file_path, pool, shared_recorder, Arc::clone(t)),
+            None if stats.is_some() => PagedRun::open_recorded(file_path, pool, shared_recorder),
+            None => PagedRun::open(file_path, pool),
         }
-        None if stats.is_some() => {
-            FileSource::open_recorded(std::path::Path::new(path), shared_recorder)
+        .map_err(|e| e.to_string())?;
+        let total = paged_run.tuples();
+        (paged_cursor.insert(paged_run.cursor()), total)
+    } else {
+        file_source = match &tracer {
+            Some(t) => FileSource::open_traced(file_path, shared_recorder, Arc::clone(t)),
+            None if stats.is_some() => FileSource::open_recorded(file_path, shared_recorder),
+            None => FileSource::open(file_path),
         }
-        None => FileSource::open(std::path::Path::new(path)),
-    }
-    .map_err(|e| e.to_string())?;
-    let total = source.remaining();
+        .map_err(|e| e.to_string())?;
+        let total = file_source.remaining();
+        (&mut file_source, total)
+    };
     let result =
-        evaluate_ptk_source_recorded(&mut source, k, p, &StreamOptions::default(), recorder);
+        evaluate_ptk_source_recorded(&mut *source, k, p, &StreamOptions::default(), recorder);
+    let retrieved = source.retrieved();
+    // The engine sees a cursor IO/corruption error as end-of-stream; a
+    // silent short answer must not pass for a clean early stop.
+    if let Some(e) = paged_cursor.as_mut().and_then(|c| c.take_error()) {
+        return Err(e.to_string().into());
+    }
     writeln!(
         out,
         "{} tuples pass Pr^{k} >= {p} (streamed {} of {total} records{})",
         result.answers.len(),
-        source.retrieved(),
+        retrieved,
         result
             .stats
             .stop
@@ -150,17 +232,41 @@ fn scan_semantics(
     } else {
         Arc::new(Noop)
     };
-    let mut source = if stats.is_some() {
-        FileSource::open_recorded(std::path::Path::new(path), shared_recorder)
+    let file_path = std::path::Path::new(path);
+    let paged = run_format(file_path) == Some(2);
+    check_pool_flags(flags, paged)?;
+    let mut file_source;
+    let paged_run;
+    let mut paged_cursor = None;
+    let (source, total): (&mut dyn RankedSource, u64) = if paged {
+        let pool = pool_from_scan_flags(flags)?;
+        paged_run = if stats.is_some() {
+            PagedRun::open_recorded(file_path, pool, shared_recorder)
+        } else {
+            PagedRun::open(file_path, pool)
+        }
+        .map_err(|e| e.to_string())?;
+        let total = paged_run.tuples();
+        (paged_cursor.insert(paged_run.cursor()), total)
     } else {
-        FileSource::open(std::path::Path::new(path))
-    }
-    .map_err(|e| e.to_string())?;
-    let total = source.remaining();
+        file_source = if stats.is_some() {
+            FileSource::open_recorded(file_path, shared_recorder)
+        } else {
+            FileSource::open(file_path)
+        }
+        .map_err(|e| e.to_string())?;
+        let total = file_source.remaining();
+        (&mut file_source, total)
+    };
     let answer = PtkExecutor::with_recorder(&plan, recorder)
-        .execute_semantics(&mut source)
+        .execute_semantics(&mut *source)
         .map_err(|e| e.to_string())?;
     let streamed = format!("streamed {} of {total} records", source.retrieved());
+    // The engine sees a cursor IO/corruption error as end-of-stream; a
+    // silent short answer must not pass for a clean early stop.
+    if let Some(e) = paged_cursor.as_mut().and_then(|c| c.take_error()) {
+        return Err(e.to_string().into());
+    }
     match &answer {
         SemanticsAnswer::Ptk(_) => {
             return Err("internal: PT-k scans take the threshold path".into())
@@ -221,4 +327,68 @@ fn scan_semantics(
         }
     }
     write_stats(out, stats, &metrics)
+}
+
+/// The run-file half of `ptk inspect`: a v2 file prints its header and
+/// block directory (per block: rank range, score range, max membership
+/// probability and rule flags — exactly what the executor's block-level
+/// Theorem 3 bound consults); a v1 file prints its shape and how to
+/// repack it.
+pub(super) fn cmd_inspect_run(
+    path: &str,
+    format: u32,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
+    let file_path = std::path::Path::new(path);
+    if format == 1 {
+        let source = FileSource::open(file_path).map_err(|e| e.to_string())?;
+        writeln!(out, "run file (v1, flat)")?;
+        writeln!(out, "tuples:     {}", source.remaining())?;
+        writeln!(
+            out,
+            "no block directory; repack with `ptk pack --block-size` for paged scans"
+        )?;
+        return Ok(());
+    }
+    let run = PagedRun::open(
+        file_path,
+        PoolConfig {
+            frames: 1,
+            frame_bytes: DEFAULT_FRAME_BYTES,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let capacity = (run.block_size() / 24).max(1) as u64;
+    writeln!(out, "run file (v2, block-native)")?;
+    writeln!(out, "tuples:     {}", run.tuples())?;
+    writeln!(out, "rules:      {}", run.rules())?;
+    writeln!(
+        out,
+        "block size: {} B ({capacity} records/block)",
+        run.block_size()
+    )?;
+    writeln!(out, "blocks:     {}", run.directory().len())?;
+    for (b, meta) in run.directory().iter().enumerate() {
+        let first = b as u64 * capacity;
+        let last = first + u64::from(meta.records).saturating_sub(1);
+        let mut flags = Vec::new();
+        if meta.rule_free {
+            flags.push("rule-free");
+        }
+        if meta.rule_closed {
+            flags.push("rule-closed");
+        }
+        let flags = if flags.is_empty() {
+            "-".to_owned()
+        } else {
+            flags.join(",")
+        };
+        writeln!(
+            out,
+            "  block {b:>4}: ranks {first:>8}..{last:<8} scores {:>12.4}..{:<12.4} \
+             max-p {:.4}  {flags}",
+            meta.score_first, meta.score_last, meta.max_prob
+        )?;
+    }
+    Ok(())
 }

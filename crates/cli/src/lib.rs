@@ -41,20 +41,22 @@ USAGE:
   ptk utopk   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk ukranks <file.csv> --k <K> --rank-by <col> [--asc]
   ptk erank   <file.csv> --k <K> --rank-by <col> [--asc]
-  ptk inspect <file.csv>
+  ptk inspect <file.csv | file.run>
   ptk worlds  <file.csv> --rank-by <col> [--limit N] [--max-worlds N]
   ptk sql     <file.csv> '<[EXPLAIN [ANALYZE]] SELECT TOP k … statement>[; …]'
               [--stats text|json|prom] [--threads N] [--no-prune]
   ptk serve   <file.csv> [--addr HOST:PORT] [--threads N] [--queue N]
               [--timeout-ms N] [--cache N] [--seed S] [--no-prune]
               [--ready-file <path>]
-  ptk pack    <file.csv> --rank-by <col> --out <file.run>
+  ptk pack    <file.csv> --rank-by <col> --out <file.run> [--block-size B]
   ptk scan    <file.run> --k <K> --p <P> [--stats text|json|prom]
               [--semantics ptk|u_topk|u_kranks|global_topk|expected_rank]
+              [--pool-frames N]
               [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
   ptk trace-check <trace.json>
   ptk generate synthetic [--tuples N] [--rules M] [--seed S] [--rule-span W]
   ptk generate iip       [--tuples N] [--rules M] [--seed S]
+              [--out <file.run> [--block-size B] [--rank-by <col>]]
   ptk help
 
 The CSV must have a `prob` column (membership probability) and may have a
@@ -100,6 +102,16 @@ still bit-identical to the sequential answer. Such cuts exist when rules
 are rank-local; `generate synthetic --rule-span W` produces that regime
 (each rule's members inside a random W-rank window) where the default
 uniform scatter does not.
+
+`pack --block-size B` writes the block-native run format (v2): fixed
+B-byte blocks, each with a directory entry carrying its record count, max
+membership probability, score range and rule flags. `scan` detects the
+format by magic; v2 files stream through a pinned buffer pool
+(`--pool-frames` bounds resident frames) and the PT-k executor skips the
+full decode of rule-free blocks whose max probability is already under
+the Theorem 3(1) bound — bit-identical answers, fewer decoded bytes
+(`--stats` counters `access.block.*`). `inspect <file.run>` prints the
+block directory. `generate … --out file.run` packs a dataset directly.
 
 `serve` loads the CSV once and answers the same SQL dialect over a minimal
 HTTP/1.1 + JSON surface until `POST /shutdown`: `POST /sql` (statement in

@@ -23,4 +23,7 @@ mod normal;
 pub mod synthetic;
 
 pub use iip::{IipConfig, IipDataset};
-pub use synthetic::{RulePlacement, ScoreProbCorrelation, SyntheticConfig, SyntheticDataset};
+pub use synthetic::{
+    deep_scan_rows, DeepScanConfig, RulePlacement, ScoreProbCorrelation, SyntheticConfig,
+    SyntheticDataset, DEEP_SCAN_DECOY_PROB,
+};

@@ -278,6 +278,94 @@ impl SyntheticDataset {
     }
 }
 
+/// Membership probability of the decoy tuples [`deep_scan_rows`] places
+/// right after the head: low enough to fail the threshold immediately,
+/// strictly above every tail probability — their failures push the
+/// Theorem 3(1) membership bound over the whole tail.
+pub const DEEP_SCAN_DECOY_PROB: f64 = 0.05;
+
+/// Configuration of [`deep_scan_rows`]: a clustered deep-scan run
+/// workload. The head's strong tuples answer the query but keep the
+/// retained probability mass well under `k`, so the Theorem 5 /
+/// upper-bound stops stay quiet; the decoys fail at once and raise the
+/// Theorem 3(1) membership bound; the long rule-free low-probability
+/// tail then accumulates mass only slowly, forcing a scan thousands of
+/// ranks deep in which every tail tuple is membership-pruned — the
+/// regime where a block-native scan skips whole blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepScanConfig {
+    /// Strong tuples (probability in `[0.8, 0.95)`) at the top of the
+    /// ranking.
+    pub head: usize,
+    /// Decoy tuples at [`DEEP_SCAN_DECOY_PROB`] right after the head.
+    pub decoys: usize,
+    /// Rule-free tail tuples, probability in
+    /// `[0.0005, DEEP_SCAN_DECOY_PROB - 0.005)`.
+    pub tail: usize,
+    /// Adjacent-pair generation rules placed inside the head.
+    pub head_rules: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeepScanConfig {
+    fn default() -> DeepScanConfig {
+        DeepScanConfig {
+            head: 48,
+            decoys: 4,
+            tail: 20_000,
+            head_rules: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates `(score, probability, rule)` run rows (ready for
+/// `ptk_access::write_run` / `write_run_blocked`) in strictly decreasing
+/// score order per [`DeepScanConfig`]. Pair a `head` of `H` strong
+/// tuples with `k` well above the head's probability mass (e.g.
+/// `k >= 2 × H`) so the scan has to dig into the tail before the
+/// upper-bound stop can fire.
+pub fn deep_scan_rows(config: &DeepScanConfig) -> Vec<(f64, f64, Option<u32>)> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.head + config.decoys + config.tail;
+    let mut rows: Vec<(f64, f64, Option<u32>)> = Vec::with_capacity(n);
+    // Rule pairs are spread evenly across the head.
+    let stride = if config.head_rules > 0 {
+        (config.head / (2 * config.head_rules).max(1)).max(2)
+    } else {
+        usize::MAX
+    };
+    let mut next_rule = 0u32;
+    while rows.len() < config.head {
+        let i = rows.len();
+        let score = (n - i) as f64;
+        if next_rule < config.head_rules as u32
+            && i % stride == stride - 1
+            && rows.len() + 1 < config.head
+        {
+            rows.push((score, rng.random_range(0.2..0.45), Some(next_rule)));
+            rows.push((score - 0.5, rng.random_range(0.2..0.45), Some(next_rule)));
+            next_rule += 1;
+        } else {
+            rows.push((score, rng.random_range(0.8..0.95), None));
+        }
+    }
+    while rows.len() < config.head + config.decoys {
+        let i = rows.len();
+        rows.push(((n - i) as f64, DEEP_SCAN_DECOY_PROB, None));
+    }
+    while rows.len() < n {
+        let i = rows.len();
+        rows.push((
+            (n - i) as f64,
+            rng.random_range(0.0005..DEEP_SCAN_DECOY_PROB - 0.005),
+            None,
+        ));
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +377,39 @@ mod tests {
             seed: 42,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn deep_scan_rows_shape_is_head_decoys_then_rule_free_tail() {
+        let config = DeepScanConfig {
+            head: 40,
+            decoys: 3,
+            tail: 500,
+            head_rules: 4,
+            seed: 9,
+        };
+        let rows = deep_scan_rows(&config);
+        assert_eq!(rows.len(), 543);
+        // Strictly decreasing scores; probabilities legal.
+        for pair in rows.windows(2) {
+            assert!(pair[0].0 > pair[1].0);
+        }
+        assert!(rows.iter().all(|r| r.1 > 0.0 && r.1 <= 1.0));
+        // Exactly head_rules pair rules, all inside the head.
+        let ruled: Vec<usize> = (0..rows.len()).filter(|&i| rows[i].2.is_some()).collect();
+        assert_eq!(ruled.len(), 2 * config.head_rules);
+        assert!(ruled.iter().all(|&i| i < config.head));
+        // Decoys sit at the documented bound probability.
+        assert!(rows[config.head..config.head + config.decoys]
+            .iter()
+            .all(|r| r.1 == DEEP_SCAN_DECOY_PROB && r.2.is_none()));
+        // The tail is rule-free and entirely below the decoy probability,
+        // so Theorem 3(1) covers all of it once a decoy fails.
+        assert!(rows[config.head + config.decoys..]
+            .iter()
+            .all(|r| r.2.is_none() && r.1 < DEEP_SCAN_DECOY_PROB));
+        // Deterministic for a fixed seed.
+        assert_eq!(rows, deep_scan_rows(&config));
     }
 
     #[test]

@@ -217,8 +217,77 @@ impl<'a> PtkExecutor<'a> {
         // Theorem 3(2) / Theorem 4 state, per rule.
         let mut rule_fail: HashMap<RuleKey, RuleFail> = HashMap::new();
         let mut last_score = f64::INFINITY;
+        // Probability stripe of block-skipped records (reused across skips).
+        let mut skip_probs: Vec<f64> = Vec::new();
 
-        while let Some(tuple) = retrieval_clock.time(|| source.next_ranked()) {
+        'scan: loop {
+            // Block-grain Theorem 3(1): when a block-native source reports
+            // that every remaining record in its current block is rule-free
+            // with membership probability at most `failed_member_max`, the
+            // per-tuple path below would prune each of them — so skip the
+            // block's decode and replay exactly the effects the per-tuple
+            // path would have had: per-record scan/prune counters, a `None`
+            // probability, absorption into the pool (pruned tuples are in
+            // later tuples' dominant sets), and the periodic upper-bound
+            // check at the very same ranks. Theorem 5 cannot newly fire
+            // here (the answer mass is unchanged), so answers, stats and
+            // stop reasons stay bit-identical to the in-memory path.
+            if options.pruning && failed_member_max > 0.0 {
+                while let Some(bounds) = source.block_bounds() {
+                    if bounds.records == 0
+                        || !bounds.rule_free
+                        || bounds.max_prob > failed_member_max
+                    {
+                        break;
+                    }
+                    let interval = options.ub_check_interval.max(1);
+                    // Stop the batch at the next upper-bound checkpoint so
+                    // the check runs against the same pool state (and at
+                    // the same rank) as in the per-tuple path.
+                    let until_check = interval - stats.scanned % interval;
+                    skip_probs.clear();
+                    let taken = retrieval_clock.time(|| {
+                        source.skip_block(until_check.min(bounds.records), &mut skip_probs)
+                    });
+                    if taken == 0 {
+                        break;
+                    }
+                    for &prob in &skip_probs[..taken] {
+                        let rank = stats.scanned;
+                        stats.scanned += 1;
+                        stats.pruned_membership += 1;
+                        if let Some(t) = tracer {
+                            t.instant(Mark::Prune {
+                                rank: rank as u64,
+                                rule: PruneRule::Theorem3Membership,
+                            });
+                        }
+                        probabilities.push(None);
+                        comp.absorb(AbsorbSpec {
+                            tag: rank,
+                            prob,
+                            rule: None,
+                            rule_len: None,
+                            next_member_rank: None,
+                        });
+                    }
+                    if stats.scanned % interval == 0 {
+                        bound_checks += 1;
+                        if bound_clock.time(|| future_upper_bound(&comp)) < threshold {
+                            stats.stop = Some(StopReason::UpperBound);
+                            if let Some(t) = tracer {
+                                t.instant(Mark::Stop {
+                                    rule: StopRule::UpperBound,
+                                });
+                            }
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            let Some(tuple) = retrieval_clock.time(|| source.next_ranked()) else {
+                break;
+            };
             assert!(
                 tuple.score <= last_score + 1e-9,
                 "source delivered scores out of order: {} after {last_score}",

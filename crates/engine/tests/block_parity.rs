@@ -1,0 +1,281 @@
+//! Block-boundary pruning parity: a paged scan over a block-native v2 run
+//! file must be bit-identical to the in-memory paths — same answers, same
+//! `Pr^k` bits, same `ExecStats` (scan depth, prune counters, stop reason)
+//! — across RC / RC+AR / RC+LR × pruning on/off × block sizes
+//! {1 KiB, 4 KiB, 64 KiB}, and the block-skip fast path must actually
+//! fire (non-vacuously) on the skewed workload.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ptk_access::{counters, PagedRun, PoolConfig, RankedSource, SortedVecSource};
+use ptk_core::rng::{RngExt, SeedableRng, StdRng};
+use ptk_core::RankedView;
+use ptk_engine::{evaluate_ptk, evaluate_ptk_source, EngineOptions, SharingVariant};
+use ptk_obs::{Metrics, SharedRecorder};
+
+struct TempFile(PathBuf);
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+fn temp() -> TempFile {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    TempFile(std::env::temp_dir().join(format!("ptk-parity-{}-{n}.run", std::process::id())))
+}
+
+/// Random rows: (score, prob, rule). Rules pair adjacent rows with legal
+/// mass; scores are distinct so the ranked order is unambiguous.
+fn random_rows(rng: &mut StdRng, max_n: usize) -> Vec<(f64, f64, Option<u32>)> {
+    let n = rng.random_range(1..=max_n);
+    let mut rows = Vec::with_capacity(n);
+    let mut next_rule = 0u32;
+    let mut i = 0;
+    while i < n {
+        let score = (n - i) as f64 + rng.random_range(0.0..0.5f64);
+        if i + 1 < n && rng.random_range(0.0..1.0f64) < 0.4 {
+            let a = rng.random_range(0.05..0.5f64);
+            let b = rng.random_range(0.05..0.5f64);
+            let score2 = score - rng.random_range(0.1..0.4f64);
+            rows.push((score, a, Some(next_rule)));
+            rows.push((score2, b, Some(next_rule)));
+            next_rule += 1;
+            i += 2;
+        } else {
+            rows.push((score, rng.random_range(0.05..=1.0f64), None));
+            i += 1;
+        }
+    }
+    rows
+}
+
+/// A deep-scan workload shaped to trigger block skips: a head of
+/// high-probability tuples (whose failures raise the Theorem 3 bound)
+/// with a few rule pairs, then a long rule-free tail of low-probability
+/// tuples — rank-clustered exactly like the bench's clustered regime.
+fn skewed_rows(rng: &mut StdRng, tail: usize) -> Vec<(f64, f64, Option<u32>)> {
+    let head = rng.random_range(8..=16usize);
+    let n = head + tail;
+    let mut rows = Vec::with_capacity(n);
+    let mut next_rule = 0u32;
+    for i in 0..head {
+        let score = (n - i) as f64;
+        if i % 5 == 3 {
+            rows.push((score, rng.random_range(0.2..0.45f64), Some(next_rule)));
+            rows.push((score - 0.5, rng.random_range(0.2..0.45f64), Some(next_rule)));
+            next_rule += 1;
+        } else {
+            rows.push((score, rng.random_range(0.6..=1.0f64), None));
+        }
+    }
+    while rows.len() < n {
+        let i = rows.len();
+        rows.push(((n - i) as f64, rng.random_range(0.01..0.2f64), None));
+    }
+    rows
+}
+
+/// Builds the equivalent RankedView for the materialized-engine oracle.
+fn view_of(rows: &[(f64, f64, Option<u32>)]) -> (RankedView, Vec<usize>) {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    order.sort_by(|&a, &b| rows[b].0.total_cmp(&rows[a].0).then(a.cmp(&b)));
+    let probs: Vec<f64> = order.iter().map(|&i| rows[i].1).collect();
+    let mut groups_by_key: std::collections::HashMap<u32, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (pos, &i) in order.iter().enumerate() {
+        if let Some(key) = rows[i].2 {
+            groups_by_key.entry(key).or_default().push(pos);
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = groups_by_key.into_values().collect();
+    groups.sort();
+    (
+        RankedView::from_ranked_probs(&probs, &groups).unwrap(),
+        order,
+    )
+}
+
+const BLOCK_SIZES: [u32; 3] = [1 << 10, 4 << 10, 64 << 10];
+
+/// Runs one (rows, k, p, options, block size) cell: paged scan vs.
+/// `SortedVecSource` vs. the materialized view engine, all bit-compared.
+/// Returns the number of block skips the paged scan recorded.
+fn check_cell(
+    rows: &[(f64, f64, Option<u32>)],
+    k: usize,
+    p: f64,
+    options: &EngineOptions,
+    block_size: u32,
+    ctx: &str,
+) -> u64 {
+    let (view, order) = view_of(rows);
+    let batch = evaluate_ptk(&view, k, p, options);
+    let mut vec_source = SortedVecSource::from_unsorted(rows.to_vec()).unwrap();
+    let stream = evaluate_ptk_source(&mut vec_source, k, p, options);
+
+    let f = temp();
+    ptk_access::write_run_blocked(&f.0, rows, block_size).unwrap();
+    let metrics = Arc::new(Metrics::new());
+    let run = PagedRun::open_recorded(
+        &f.0,
+        PoolConfig {
+            frames: 3,
+            frame_bytes: 64 << 10,
+        },
+        Arc::clone(&metrics) as SharedRecorder,
+    )
+    .unwrap();
+    let mut cursor = run.cursor();
+    let paged = evaluate_ptk_source(&mut cursor, k, p, options);
+
+    // Paged vs. streamed over the same raw rows: everything bit-identical,
+    // including the scores carried on answers and the scan depth the
+    // source itself reports.
+    assert_eq!(paged.stats, stream.stats, "{ctx}: stats (paged vs stream)");
+    assert_eq!(cursor.retrieved(), vec_source.retrieved(), "{ctx}: depth");
+    assert_eq!(paged.answers.len(), stream.answers.len(), "{ctx}");
+    for (a, b) in paged.answers.iter().zip(&stream.answers) {
+        assert_eq!(a.rank, b.rank, "{ctx}: answer rank");
+        assert_eq!(a.id, b.id, "{ctx}: answer id");
+        assert_eq!(a.score.to_bits(), b.score.to_bits(), "{ctx}: score bits");
+        assert_eq!(
+            a.probability.to_bits(),
+            b.probability.to_bits(),
+            "{ctx}: Pr^k bits {} vs {}",
+            a.probability,
+            b.probability
+        );
+    }
+    assert_eq!(
+        paged.probabilities.len(),
+        stream.probabilities.len(),
+        "{ctx}: probabilities length"
+    );
+    for (rank, (a, b)) in paged
+        .probabilities
+        .iter()
+        .zip(&stream.probabilities)
+        .enumerate()
+    {
+        assert_eq!(
+            a.map(f64::to_bits),
+            b.map(f64::to_bits),
+            "{ctx}: Pr^k at rank {rank}"
+        );
+    }
+
+    // Paged vs. the materialized view engine (the ISSUE's in-memory
+    // `RankedView` oracle): same stats, ranks, ids and probability bits
+    // (view scores are position stand-ins, so they are not compared).
+    assert_eq!(paged.stats, batch.stats, "{ctx}: stats (paged vs view)");
+    assert_eq!(paged.answers.len(), batch.answers.len(), "{ctx}");
+    for (a, b) in paged.answers.iter().zip(&batch.answers) {
+        assert_eq!(a.rank, b.rank, "{ctx}: view answer rank");
+        assert_eq!(a.id.index(), order[b.rank], "{ctx}: view answer id");
+        assert_eq!(
+            a.probability.to_bits(),
+            b.probability.to_bits(),
+            "{ctx}: view Pr^k bits"
+        );
+    }
+
+    let snap = metrics.snapshot();
+    let skipped = snap.counter(counters::BLOCK_SKIP);
+    let read = snap.counter(counters::BLOCK_READ);
+    if !options.pruning {
+        assert_eq!(skipped, 0, "{ctx}: skips need pruning");
+    }
+    // Every consumed record was either fully decoded or stripe-skipped.
+    assert!(
+        snap.counter(counters::BLOCK_DECODE_BYTES) <= cursor.retrieved() as u64 * 24,
+        "{ctx}: decode bytes bounded by full decode"
+    );
+    assert!(
+        read + skipped > 0 || rows.is_empty(),
+        "{ctx}: blocks touched"
+    );
+    skipped
+}
+
+#[test]
+fn paged_scan_is_bit_identical_across_the_matrix() {
+    let mut rng = StdRng::seed_from_u64(0xb10c);
+    for trial in 0..10 {
+        let rows = random_rows(&mut rng, 120);
+        let k = rng.random_range(1..=4usize);
+        let p = rng.random_range(0.1..0.9f64);
+        for pruning in [false, true] {
+            for variant in [
+                SharingVariant::Rc,
+                SharingVariant::Aggressive,
+                SharingVariant::Lazy,
+            ] {
+                let options = EngineOptions {
+                    variant,
+                    pruning,
+                    ub_check_interval: 2,
+                };
+                for bs in BLOCK_SIZES {
+                    let ctx = format!(
+                        "trial {trial} k={k} p={p:.3} {variant:?} pruning={pruning} bs={bs}"
+                    );
+                    check_cell(&rows, k, p, &options, bs, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn block_skips_fire_and_answers_stay_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(0xb10d);
+    let mut total_skips = 0u64;
+    for trial in 0..8 {
+        let rows = skewed_rows(&mut rng, 300);
+        let k = rng.random_range(2..=4usize);
+        // Threshold-heavy: high p makes the high-probability head fail,
+        // raising the Theorem 3 bound over the whole tail.
+        let p = rng.random_range(0.75..0.95f64);
+        for variant in [
+            SharingVariant::Rc,
+            SharingVariant::Aggressive,
+            SharingVariant::Lazy,
+        ] {
+            let options = EngineOptions {
+                variant,
+                pruning: true,
+                ub_check_interval: 64,
+            };
+            for bs in BLOCK_SIZES {
+                let ctx = format!("trial {trial} k={k} p={p:.3} {variant:?} bs={bs}");
+                total_skips += check_cell(&rows, k, p, &options, bs, &ctx);
+            }
+        }
+    }
+    assert!(
+        total_skips > 0,
+        "the skewed workload must exercise the block-skip fast path"
+    );
+}
+
+#[test]
+fn skip_decisions_respect_upper_bound_checkpoints() {
+    // A tighter upper-bound interval forces the skip path to chunk blocks
+    // at checkpoint boundaries; answers and stop reasons must not move.
+    let mut rng = StdRng::seed_from_u64(0xb10e);
+    for trial in 0..6 {
+        let rows = skewed_rows(&mut rng, 200);
+        for interval in [1usize, 3, 7, 64] {
+            let options = EngineOptions {
+                variant: SharingVariant::Lazy,
+                pruning: true,
+                ub_check_interval: interval,
+            };
+            let ctx = format!("trial {trial} interval={interval}");
+            check_cell(&rows, 3, 0.85, &options, 1 << 10, &ctx);
+        }
+    }
+}
