@@ -348,6 +348,7 @@ struct Frame {
 pub struct BufferPool {
     frames: Vec<Frame>,
     tick: u64,
+    evictions: u64,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -372,6 +373,7 @@ impl BufferPool {
                 })
                 .collect(),
             tick: 0,
+            evictions: 0,
         }
     }
 
@@ -427,9 +429,18 @@ impl BufferPool {
                 self.frames.len()
             )));
         };
+        if self.frames[idx].block != EMPTY_FRAME {
+            self.evictions += 1;
+        }
         self.frames[idx].block = block;
         self.touch(idx);
         Ok(idx)
+    }
+
+    /// Resident blocks displaced so far to make room for a fetch — the
+    /// price of a frame budget smaller than the working set.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Pins frame `idx` (a pinned frame is never evicted).
@@ -865,11 +876,17 @@ impl PagedRun {
         let mut pool = self.pool.borrow_mut();
         if let Some(idx) = pool.get(b) {
             self.recorder.add(counters::POOL_HIT, 1);
+            self.recorder.add(counters::POOL_PIN, 1);
             pool.pin(idx);
             return Ok(idx);
         }
         self.recorder.add(counters::POOL_MISS, 1);
+        let before = pool.evictions();
         let idx = pool.assign(b)?;
+        let displaced = pool.evictions() - before;
+        if displaced > 0 {
+            self.recorder.add(counters::POOL_EVICT, displaced);
+        }
         let off = self.data_start + b * self.block_size as u64;
         let fill = (|| -> io::Result<()> {
             let mut file = self.file.borrow_mut();
@@ -909,6 +926,7 @@ impl PagedRun {
                 bytes: self.block_size as u64,
             });
         }
+        self.recorder.add(counters::POOL_PIN, 1);
         pool.pin(idx);
         Ok(idx)
     }
@@ -1417,7 +1435,27 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 50);
-        assert_eq!(metrics.snapshot().counter(counters::POOL_MISS), 25);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(counters::POOL_MISS), 25);
+        // 25 blocks enter the single frame: the first fill is free, the
+        // other 24 displace the previous resident.
+        assert_eq!(snap.counter(counters::POOL_EVICT), 24);
+        // One pin per block entered (hit or miss).
+        assert_eq!(snap.counter(counters::POOL_PIN), 25);
+    }
+
+    #[test]
+    fn pool_counts_evictions_but_not_initial_fills() {
+        let mut pool = BufferPool::new(&PoolConfig {
+            frames: 2,
+            frame_bytes: 64,
+        });
+        pool.assign(10).unwrap();
+        pool.assign(11).unwrap();
+        assert_eq!(pool.evictions(), 0, "filling empty frames is not eviction");
+        pool.assign(12).unwrap();
+        pool.assign(13).unwrap();
+        assert_eq!(pool.evictions(), 2);
     }
 
     #[test]

@@ -71,6 +71,11 @@ pub mod counters {
     pub const POOL_HIT: &str = "access.block.pool_hit";
     /// Buffer-pool lookups that had to fetch the block from disk.
     pub const POOL_MISS: &str = "access.block.pool_miss";
+    /// Frame pins taken by scan cursors (each pin is matched by an unpin
+    /// when the cursor moves on).
+    pub const POOL_PIN: &str = "access.block.pin";
+    /// Resident frames evicted to make room for a fetched block.
+    pub const POOL_EVICT: &str = "access.block.evict";
     /// TA rounds of sorted access (one cursor step on every list).
     pub const TA_ROUNDS: &str = "access.ta.rounds";
     /// Individual sorted accesses across all lists.

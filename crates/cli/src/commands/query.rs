@@ -6,15 +6,16 @@ use std::sync::Arc;
 
 use ptk_core::{Predicate, PtkQuery, RankedView, Ranking, TopKQuery, UncertainTable};
 use ptk_engine::{PtkExecutor, PtkPlan, RankSemantics};
-use ptk_obs::{Metrics, Noop, Recorder, SharedSink, Tracer};
+use ptk_obs::{Metrics, Noop, QueryFlight, Recorder, SharedSink, Tracer};
 use ptk_rankers::{expected_rank_topk, ukranks, utopk, UTopKOptions};
 use ptk_sampling::{sample_topk_recorded, sample_topk_traced, SamplingOptions};
 use ptk_worlds::naive;
 
 use super::render::{
-    attrs_of, ptk_header, stats_mode, write_batch_answers, write_membership_row, write_ptk_rows,
-    write_semantics_answer, write_snapshot, write_stats,
+    attrs_of, ptk_header, stats_mode, write_audit, write_batch_answers, write_membership_row,
+    write_ptk_rows, write_semantics_answer, write_snapshot, write_stats,
 };
+use super::sql::flight_fingerprint;
 use super::trace::{trace_opts, RING_CAPACITY};
 use super::{
     build_ranking, load_from_flags, parse_where, pool_from_flags, semantics_from_flags, CmdError,
@@ -55,14 +56,23 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
     if trace.active() && method == "naive" {
         return Err("--trace/--slow-ms: the naive method is not instrumented".into());
     }
+    let audit = flags.switch("audit");
     let metrics = Metrics::new();
     // EXPLAIN ANALYZE annotates the plan with the run's actual counters, so
-    // it needs a live recorder even without --stats.
-    let recorder: &dyn Recorder = if stats.is_some() || explain {
+    // it needs a live recorder even without --stats; so does the --audit
+    // flight record, which carries the per-query counter delta.
+    let recorder: &dyn Recorder = if stats.is_some() || explain || audit {
         &metrics
     } else {
         &Noop
     };
+    let mut flight = audit.then(|| QueryFlight {
+        label: format!("query k={k} p={p}"),
+        semantics: RankSemantics::Ptk.keyword().to_owned(),
+        ks: vec![k as u64],
+        thresholds: vec![p],
+        ..QueryFlight::default()
+    });
     let sink = trace.active().then(|| trace.sink());
     let tracer = sink
         .as_ref()
@@ -77,11 +87,21 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
                 &super::engine_options_from_flags(flags),
             )
             .map_err(|e| e.to_string())?;
+            if let Some(f) = flight.as_mut() {
+                f.plan = plan.describe();
+                f.fingerprint = Some(flight_fingerprint(&f.label, &[plan.fingerprint()]));
+            }
             let mut executor = PtkExecutor::with_recorder(&plan, recorder);
             if let Some(t) = tracer.as_ref() {
                 executor = executor.with_tracer(t);
             }
             let mut result = executor.execute_snapshot(&view, &pool);
+            if let Some(f) = flight.as_mut() {
+                f.stop = result
+                    .stats
+                    .stop
+                    .map_or(String::new(), |s| format!("{s:?}"));
+            }
             result.probabilities.resize(view.len(), None);
             let note = format!(
                 "scanned {} of {} tuples{}",
@@ -98,6 +118,9 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
             (result.answer_ranks(), result.probabilities, note)
         }
         "sampling" => {
+            if let Some(f) = flight.as_mut() {
+                f.plan = format!("monte-carlo sampling (k={k})");
+            }
             let seed = flags.get("seed")?.unwrap_or(0u64);
             let options = SamplingOptions {
                 seed,
@@ -117,6 +140,9 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
             )
         }
         "naive" => {
+            if let Some(f) = flight.as_mut() {
+                f.plan = format!("naive possible-world enumeration (k={k})");
+            }
             let pr = naive::topk_probabilities(&view, k).map_err(|e| e.to_string())?;
             let answers: Vec<usize> = (0..view.len()).filter(|&i| pr[i] >= p).collect();
             recorder.add(ptk_engine::counters::SCANNED, view.len() as u64);
@@ -147,7 +173,12 @@ pub(super) fn cmd_query(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
             &mut std::io::stderr(),
         );
     }
-    write_stats(out, stats, &metrics)
+    write_stats(out, stats, &metrics)?;
+    if let Some(mut f) = flight {
+        f.absorb_counters(&metrics.snapshot());
+        write_audit(out, f)?;
+    }
+    Ok(())
 }
 
 /// The multi-query path of `ptk query`: comma lists in `--k`/`--p` form a
@@ -202,12 +233,37 @@ fn query_batch(
                 .into(),
         );
     }
+    let audit = flags.switch("audit");
+    let flight = audit.then(|| {
+        let fingerprints: Vec<u64> = plans.iter().map(PtkPlan::fingerprint).collect();
+        let label = format!(
+            "query batch k={} p={}",
+            ks.iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+            ps.iter().map(f64::to_string).collect::<Vec<_>>().join(",")
+        );
+        QueryFlight {
+            plan: plans
+                .iter()
+                .map(PtkPlan::describe)
+                .collect::<Vec<_>>()
+                .join(" | "),
+            semantics: RankSemantics::Ptk.keyword().to_owned(),
+            ks: labels.iter().map(|&(k, _)| k as u64).collect(),
+            thresholds: labels.iter().map(|&(_, p)| p).collect(),
+            fingerprint: Some(flight_fingerprint(&label, &fingerprints)),
+            label,
+            ..QueryFlight::default()
+        }
+    });
 
     let (results, snapshot, events) = if trace.active() {
         let (results, snapshot, events) =
             PtkExecutor::execute_batch_traced(&batch, &view, &pool, RING_CAPACITY);
         (results, Some(snapshot), Some(events))
-    } else if stats.is_some() {
+    } else if stats.is_some() || audit {
         let (results, snapshot) = PtkExecutor::execute_batch_recorded(&batch, &view, &pool);
         (results, Some(snapshot), None)
     } else {
@@ -234,10 +290,16 @@ fn query_batch(
             &mut std::io::stderr(),
         );
     }
-    match (stats, snapshot) {
-        (Some(mode), Some(snapshot)) => write_snapshot(out, Some(mode), &snapshot),
-        _ => Ok(()),
+    if let (Some(mode), Some(snapshot)) = (stats, snapshot.as_ref()) {
+        write_snapshot(out, Some(mode), snapshot)?;
     }
+    if let Some(mut f) = flight {
+        if let Some(snapshot) = snapshot.as_ref() {
+            f.absorb_counters(snapshot);
+        }
+        write_audit(out, f)?;
+    }
+    Ok(())
 }
 
 /// The `--semantics` path of `ptk query`: a single non-PT-k ranking query
@@ -285,12 +347,24 @@ fn query_semantics(
     let stats = stats_mode(flags)?;
     let trace = trace_opts(flags)?;
     let explain = flags.switch("explain");
+    let audit = flags.switch("audit");
     let metrics = Metrics::new();
-    let recorder: &dyn Recorder = if stats.is_some() || explain {
+    let recorder: &dyn Recorder = if stats.is_some() || explain || audit {
         &metrics
     } else {
         &Noop
     };
+    let flight = audit.then(|| {
+        let label = format!("query --semantics {keyword} k={k}");
+        QueryFlight {
+            plan: plan.describe(),
+            semantics: semantics.keyword().to_owned(),
+            ks: vec![k as u64],
+            fingerprint: Some(flight_fingerprint(&label, &[plan.fingerprint()])),
+            label,
+            ..QueryFlight::default()
+        }
+    });
     let sink = trace.active().then(|| trace.sink());
     let tracer = sink
         .as_ref()
@@ -316,7 +390,12 @@ fn query_semantics(
             &mut std::io::stderr(),
         );
     }
-    write_stats(out, stats, &metrics)
+    write_stats(out, stats, &metrics)?;
+    if let Some(mut f) = flight {
+        f.absorb_counters(&metrics.snapshot());
+        write_audit(out, f)?;
+    }
+    Ok(())
 }
 
 pub(super) fn cmd_utopk(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {

@@ -4,7 +4,7 @@ use std::io::Write;
 
 use ptk_core::{RankedView, UncertainTable};
 use ptk_engine::{PtkResult, SemanticsAnswer};
-use ptk_obs::{Metrics, Snapshot};
+use ptk_obs::{Metrics, QueryFlight, QueryRecord, Snapshot};
 
 use super::{CmdError, Flags};
 
@@ -57,6 +57,23 @@ pub(super) fn write_snapshot(
             }
         }
     }
+    Ok(())
+}
+
+/// The `--audit` tail line: the query's flight record rendered in the
+/// timing-free JSON form — the same split `GET /debug/queries` serves —
+/// so the line is bit-identical at every thread count.
+pub(super) fn write_audit(out: &mut dyn Write, flight: QueryFlight) -> Result<(), CmdError> {
+    let record = QueryRecord {
+        id: 1,
+        outcome: "ok".to_owned(),
+        cache: "none".to_owned(),
+        flight,
+        queue_wait_nanos: 0,
+        exec_nanos: 0,
+        total_nanos: 0,
+    };
+    writeln!(out, "audit: {}", record.to_json(false))?;
     Ok(())
 }
 

@@ -15,9 +15,10 @@ use ptk_engine::{
     evaluate_ptk_source_recorded, PtkExecutor, PtkPlan, RankSemantics, SemanticsAnswer,
     StreamOptions,
 };
-use ptk_obs::{Metrics, Noop, Recorder, SharedRecorder, SharedSink, Tracer};
+use ptk_obs::{Metrics, Noop, QueryFlight, Recorder, SharedRecorder, SharedSink, Tracer};
 
-use super::render::{stats_mode, write_stats};
+use super::render::{stats_mode, write_audit, write_stats};
+use super::sql::flight_fingerprint;
 use super::trace::trace_opts;
 use super::{build_ranking, load_from_flags, semantics_from_flags, CmdError, Flags};
 
@@ -114,23 +115,35 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
     let p: f64 = flags.require("p")?;
     // Validate up front: the streaming entry point plans internally and
     // would panic on k == 0 or a threshold outside (0, 1] (NaN included).
-    ptk_engine::PtkPlan::try_new(k, p, &ptk_engine::EngineOptions::default())
+    // The plan also feeds the --audit flight record (description and
+    // fingerprint) — it is exactly what the streaming evaluator builds.
+    let plan = ptk_engine::PtkPlan::try_new(k, p, &ptk_engine::EngineOptions::default())
         .map_err(|e| e.to_string())?;
     let stats = stats_mode(flags)?;
     let trace = trace_opts(flags)?;
+    let audit = flags.switch("audit");
+    let recording = stats.is_some() || audit;
     let metrics = Arc::new(Metrics::new());
-    let recorder: &dyn Recorder = if stats.is_some() {
-        metrics.as_ref()
-    } else {
-        &Noop
-    };
+    let recorder: &dyn Recorder = if recording { metrics.as_ref() } else { &Noop };
+    let mut flight = audit.then(|| {
+        let label = format!("scan k={k} p={p}");
+        QueryFlight {
+            plan: plan.describe(),
+            semantics: RankSemantics::Ptk.keyword().to_owned(),
+            ks: vec![k as u64],
+            thresholds: vec![p],
+            fingerprint: Some(flight_fingerprint(&label, &[plan.fingerprint()])),
+            label,
+            ..QueryFlight::default()
+        }
+    });
     // Tracing instruments the file source itself (source-open span and
     // per-refill read marks), so the tracer is threaded into the source.
     let sink = trace.active().then(|| trace.sink());
     let tracer = sink
         .as_ref()
         .map(|s| Arc::new(Tracer::new(Arc::clone(s) as SharedSink, 0, 0)));
-    let shared_recorder: SharedRecorder = if stats.is_some() {
+    let shared_recorder: SharedRecorder = if recording {
         Arc::clone(&metrics) as SharedRecorder
     } else {
         Arc::new(Noop)
@@ -145,7 +158,7 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
         let pool = pool_from_scan_flags(flags)?;
         paged_run = match &tracer {
             Some(t) => PagedRun::open_traced(file_path, pool, shared_recorder, Arc::clone(t)),
-            None if stats.is_some() => PagedRun::open_recorded(file_path, pool, shared_recorder),
+            None if recording => PagedRun::open_recorded(file_path, pool, shared_recorder),
             None => PagedRun::open(file_path, pool),
         }
         .map_err(|e| e.to_string())?;
@@ -154,7 +167,7 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
     } else {
         file_source = match &tracer {
             Some(t) => FileSource::open_traced(file_path, shared_recorder, Arc::clone(t)),
-            None if stats.is_some() => FileSource::open_recorded(file_path, shared_recorder),
+            None if recording => FileSource::open_recorded(file_path, shared_recorder),
             None => FileSource::open(file_path),
         }
         .map_err(|e| e.to_string())?;
@@ -163,6 +176,12 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
     };
     let result =
         evaluate_ptk_source_recorded(&mut *source, k, p, &StreamOptions::default(), recorder);
+    if let Some(f) = flight.as_mut() {
+        f.stop = result
+            .stats
+            .stop
+            .map_or(String::new(), |s| format!("{s:?}"));
+    }
     let retrieved = source.retrieved();
     // The engine sees a cursor IO/corruption error as end-of-stream; a
     // silent short answer must not pass for a clean early stop.
@@ -198,7 +217,12 @@ pub(super) fn cmd_scan(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErro
             &mut std::io::stderr(),
         );
     }
-    write_stats(out, stats, &metrics)
+    write_stats(out, stats, &metrics)?;
+    if let Some(mut f) = flight {
+        f.absorb_counters(&metrics.snapshot());
+        write_audit(out, f)?;
+    }
+    Ok(())
 }
 
 /// The `--semantics` path of `ptk scan`: progressive retrieval over the run
@@ -221,13 +245,22 @@ fn scan_semantics(
     let plan = PtkPlan::try_semantics(semantics, k, None, &ptk_engine::EngineOptions::default())
         .map_err(|e| e.to_string())?;
     let stats = stats_mode(flags)?;
+    let audit = flags.switch("audit");
+    let recording = stats.is_some() || audit;
     let metrics = Arc::new(Metrics::new());
-    let recorder: &dyn Recorder = if stats.is_some() {
-        metrics.as_ref()
-    } else {
-        &Noop
-    };
-    let shared_recorder: SharedRecorder = if stats.is_some() {
+    let recorder: &dyn Recorder = if recording { metrics.as_ref() } else { &Noop };
+    let flight = audit.then(|| {
+        let label = format!("scan --semantics {} k={k}", semantics.keyword());
+        QueryFlight {
+            plan: plan.describe(),
+            semantics: semantics.keyword().to_owned(),
+            ks: vec![k as u64],
+            fingerprint: Some(flight_fingerprint(&label, &[plan.fingerprint()])),
+            label,
+            ..QueryFlight::default()
+        }
+    });
+    let shared_recorder: SharedRecorder = if recording {
         Arc::clone(&metrics) as SharedRecorder
     } else {
         Arc::new(Noop)
@@ -240,7 +273,7 @@ fn scan_semantics(
     let mut paged_cursor = None;
     let (source, total): (&mut dyn RankedSource, u64) = if paged {
         let pool = pool_from_scan_flags(flags)?;
-        paged_run = if stats.is_some() {
+        paged_run = if recording {
             PagedRun::open_recorded(file_path, pool, shared_recorder)
         } else {
             PagedRun::open(file_path, pool)
@@ -249,7 +282,7 @@ fn scan_semantics(
         let total = paged_run.tuples();
         (paged_cursor.insert(paged_run.cursor()), total)
     } else {
-        file_source = if stats.is_some() {
+        file_source = if recording {
             FileSource::open_recorded(file_path, shared_recorder)
         } else {
             FileSource::open(file_path)
@@ -326,7 +359,12 @@ fn scan_semantics(
             }
         }
     }
-    write_stats(out, stats, &metrics)
+    write_stats(out, stats, &metrics)?;
+    if let Some(mut f) = flight {
+        f.absorb_counters(&metrics.snapshot());
+        write_audit(out, f)?;
+    }
+    Ok(())
 }
 
 /// The run-file half of `ptk inspect`: a v2 file prints its header and

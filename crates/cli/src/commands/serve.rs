@@ -12,11 +12,13 @@ use std::io::Write;
 
 use ptk_core::UncertainTable;
 use ptk_engine::{EngineOptions, PtkPlan, RankSemantics};
+use ptk_obs::QueryFlight;
 use ptk_par::ThreadPool;
 use ptk_serve::{QueryHandler, Server, ServerConfig};
 
 use super::render::StatsMode;
 use super::sql::{run_sql, semantics_of, SqlOptions};
+use super::trace::parse_slow_ms;
 use super::{load_from_flags, pool_from_flags, CmdError, Flags};
 
 pub(super) fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError> {
@@ -24,7 +26,7 @@ pub(super) fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
         return Err(
             "usage: ptk serve <file.csv> [--addr HOST:PORT] [--threads N] \
                     [--queue N] [--timeout-ms N] [--cache N] [--seed S] [--no-prune] \
-                    [--ready-file <path>]"
+                    [--slow-ms N] [--flight-capacity N] [--ready-file <path>]"
                 .into(),
         );
     }
@@ -34,15 +36,26 @@ pub(super) fn cmd_serve(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdErr
     let addr: String = flags
         .get("addr")?
         .unwrap_or_else(|| "127.0.0.1:7071".to_owned());
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         threads: pool.threads(),
         queue_capacity: flags.get("queue")?.unwrap_or(64),
         timeout_ms: flags.get("timeout-ms")?.unwrap_or(10_000),
         cache_capacity: flags.get("cache")?.unwrap_or(256),
-        ..ServerConfig::default()
+        // The same validated parse as the one-shot commands' --slow-ms, so
+        // the daemon and the CLI can never disagree on what a legal
+        // threshold is.
+        slow_ms: parse_slow_ms(flags)?,
+        flight_capacity: flags
+            .get("flight-capacity")?
+            .unwrap_or(defaults.flight_capacity),
+        ..defaults
     };
     if config.queue_capacity == 0 {
         return Err("--queue must be >= 1 (0 would reject every request)".into());
+    }
+    if config.flight_capacity == 0 {
+        return Err("--flight-capacity must be >= 1 (the recorder is always on)".into());
     }
 
     // Load once: every request shares this immutable snapshot.
@@ -95,7 +108,12 @@ impl SqlHandler {
 }
 
 impl QueryHandler for SqlHandler {
-    fn execute(&self, statement: &str, stats: Option<&str>) -> Result<String, String> {
+    fn execute(
+        &self,
+        statement: &str,
+        stats: Option<&str>,
+        flight: &mut QueryFlight,
+    ) -> Result<String, String> {
         let mode = match stats {
             None => None,
             Some("text") => Some(StatsMode::Text),
@@ -104,7 +122,13 @@ impl QueryHandler for SqlHandler {
             Some(other) => return Err(format!("stats must be text, json or prom, got '{other}'")),
         };
         let mut body = Vec::new();
-        match run_sql(&self.table, statement, &self.options(mode), &mut body) {
+        match run_sql(
+            &self.table,
+            statement,
+            &self.options(mode),
+            Some(flight),
+            &mut body,
+        ) {
             Ok(()) => String::from_utf8(body).map_err(|e| e.to_string()),
             Err(e) => Err(e.to_string()),
         }

@@ -12,16 +12,36 @@ use std::io::Write;
 
 use ptk_core::{RankedView, UncertainTable};
 use ptk_engine::{EngineOptions, PtkExecutor, PtkPlan, RankSemantics};
-use ptk_obs::{Metrics, Noop, Recorder};
+use ptk_obs::{Metrics, Noop, QueryFlight, Recorder};
 use ptk_par::ThreadPool;
 use ptk_sampling::{sample_ptk_recorded, SamplingOptions};
 use ptk_worlds::naive;
 
 use super::render::{
-    ptk_header, stats_mode, write_batch_answers, write_ptk_rows, write_semantics_answer,
-    write_snapshot, write_stats, StatsMode,
+    ptk_header, stats_mode, write_audit, write_batch_answers, write_ptk_rows,
+    write_semantics_answer, write_snapshot, write_stats, StatsMode,
 };
 use super::{load_from_flags, pool_from_flags, CmdError, Flags};
+
+/// The flight record's width-independent fingerprint: FNV-1a over the
+/// statement (or command label) text plus each executed plan's
+/// [`PtkPlan::fingerprint`]. Deliberately narrower than the daemon's
+/// result-cache key, which also folds in the pool width and sampling
+/// seed: flight records must stay bit-identical across thread counts.
+pub(super) fn flight_fingerprint(label: &str, plan_fingerprints: &[u64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in label.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    for fp in plan_fingerprints {
+        for b in fp.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
 
 /// Maps a parsed statement kind to the engine's ranking semantics. The SQL
 /// crate depends only on `ptk-core`, so the two enums are defined apart and
@@ -65,7 +85,15 @@ pub(super) fn cmd_sql(flags: &Flags, out: &mut dyn Write) -> Result<(), CmdError
         .ok_or("usage: ptk sql <file.csv> '<statement>[; <statement> ...]'")?;
     let options = SqlOptions::from_flags(flags)?;
     let table = load_from_flags(flags)?;
-    run_sql(&table, statement_text, &options, out)
+    if flags.switch("audit") {
+        let mut flight = QueryFlight {
+            label: statement_text.clone(),
+            ..QueryFlight::default()
+        };
+        run_sql(&table, statement_text, &options, Some(&mut flight), out)?;
+        return write_audit(out, flight);
+    }
+    run_sql(&table, statement_text, &options, None, out)
 }
 
 /// Executes one `ptk sql` invocation body — single statement or
@@ -75,6 +103,7 @@ pub(super) fn run_sql(
     table: &UncertainTable,
     statement_text: &str,
     options: &SqlOptions,
+    flight: Option<&mut QueryFlight>,
     out: &mut dyn Write,
 ) -> Result<(), CmdError> {
     let statements: Vec<&str> = statement_text
@@ -84,8 +113,8 @@ pub(super) fn run_sql(
         .collect();
     match statements.as_slice() {
         [] => Err("empty statement".into()),
-        [single] => sql_single(table, single, options, out),
-        many => sql_batch(table, options, out, many),
+        [single] => sql_single(table, single, options, flight, out),
+        many => sql_batch(table, options, flight, out, many),
     }
 }
 
@@ -93,6 +122,7 @@ fn sql_single(
     table: &UncertainTable,
     statement_text: &str,
     options: &SqlOptions,
+    mut flight: Option<&mut QueryFlight>,
     out: &mut dyn Write,
 ) -> Result<(), CmdError> {
     // A single statement can still use the pool: with --no-prune the
@@ -111,26 +141,52 @@ fn sql_single(
 
     let semantics = semantics_of(statement.kind);
     if semantics != RankSemantics::Ptk {
-        return sql_semantics(table, &view, semantics, k, &statement, options, out);
+        return sql_semantics(
+            table,
+            &view,
+            semantics,
+            k,
+            statement_text,
+            &statement,
+            options,
+            flight,
+            out,
+        );
     }
 
     let stats = options.stats;
     let metrics = Metrics::new();
     // EXPLAIN ANALYZE annotates the plan with the run's actual counters and
-    // phase timings, so it records even without --stats.
-    let recorder: &dyn Recorder = if stats.is_some() || statement.analyze {
+    // phase timings, so it records even without --stats; a flight record
+    // carries the per-query counter delta, so it forces recording too.
+    let recorder: &dyn Recorder = if stats.is_some() || statement.analyze || flight.is_some() {
         &metrics
     } else {
         &Noop
     };
+    if let Some(f) = flight.as_deref_mut() {
+        f.semantics = semantics.keyword().to_owned();
+        f.ks = vec![k as u64];
+        f.thresholds = vec![p];
+    }
 
     let mut explain_note = String::new();
     let (answers, probabilities, note): (Vec<usize>, Vec<Option<f64>>, String) = match parsed.method
     {
         ptk_sql::Method::Exact => {
             let plan = PtkPlan::try_new(k, p, &options.engine).map_err(|e| e.to_string())?;
+            if let Some(f) = flight.as_deref_mut() {
+                f.plan = plan.describe();
+                f.fingerprint = Some(flight_fingerprint(statement_text, &[plan.fingerprint()]));
+            }
             let mut result =
                 PtkExecutor::with_recorder(&plan, recorder).execute_snapshot(&view, &pool);
+            if let Some(f) = flight.as_deref_mut() {
+                f.stop = result
+                    .stats
+                    .stop
+                    .map_or(String::new(), |s| format!("{s:?}"));
+            }
             result.probabilities.resize(view.len(), None);
             let note = format!(
                 "exact; scanned {} of {} tuples",
@@ -161,6 +217,9 @@ fn sql_single(
             (result.answer_ranks(), result.probabilities, note)
         }
         ptk_sql::Method::Sampling => {
+            if let Some(f) = flight.as_deref_mut() {
+                f.plan = format!("monte-carlo sampling (k={k})");
+            }
             let sampling = SamplingOptions {
                 seed: options.seed,
                 ..Default::default()
@@ -175,6 +234,9 @@ fn sql_single(
             )
         }
         ptk_sql::Method::Naive => {
+            if let Some(f) = flight.as_deref_mut() {
+                f.plan = format!("naive possible-world enumeration (k={k})");
+            }
             let pr = naive::topk_probabilities(&view, k).map_err(|e| e.to_string())?;
             let answers: Vec<usize> = (0..view.len()).filter(|&i| pr[i] >= p).collect();
             recorder.add(ptk_engine::counters::SCANNED, view.len() as u64);
@@ -185,6 +247,9 @@ fn sql_single(
         }
     };
 
+    if let Some(f) = flight {
+        f.absorb_counters(&metrics.snapshot());
+    }
     writeln!(out, "{}", ptk_header(k, p, &note, answers.len()))?;
     write_ptk_rows(out, &view, table, &answers, &probabilities)?;
     if !explain_note.is_empty() {
@@ -197,27 +262,39 @@ fn sql_single(
 /// keyword) statement lowered through [`PtkPlan::try_semantics`] and
 /// answered by [`PtkExecutor::execute_semantics_snapshot`] — the same
 /// generating-function scan for every semantics, one pass over the view.
+#[allow(clippy::too_many_arguments)]
 fn sql_semantics(
     table: &UncertainTable,
     view: &RankedView,
     semantics: RankSemantics,
     k: usize,
+    statement_text: &str,
     statement: &ptk_sql::Statement,
     options: &SqlOptions,
+    mut flight: Option<&mut QueryFlight>,
     out: &mut dyn Write,
 ) -> Result<(), CmdError> {
     let plan =
         PtkPlan::try_semantics(semantics, k, None, &options.engine).map_err(|e| e.to_string())?;
     let stats = options.stats;
     let metrics = Metrics::new();
-    let recorder: &dyn Recorder = if stats.is_some() || statement.analyze {
+    let recorder: &dyn Recorder = if stats.is_some() || statement.analyze || flight.is_some() {
         &metrics
     } else {
         &Noop
     };
+    if let Some(f) = flight.as_deref_mut() {
+        f.plan = plan.describe();
+        f.semantics = semantics.keyword().to_owned();
+        f.ks = vec![k as u64];
+        f.fingerprint = Some(flight_fingerprint(statement_text, &[plan.fingerprint()]));
+    }
     let answer = PtkExecutor::with_recorder(&plan, recorder)
         .execute_semantics_snapshot(view, &options.pool)
         .map_err(|e| e.to_string())?;
+    if let Some(f) = flight {
+        f.absorb_counters(&metrics.snapshot());
+    }
     write_semantics_answer(out, view, table, k, &answer)?;
     if statement.analyze {
         writeln!(
@@ -250,6 +327,7 @@ fn sql_semantics(
 fn sql_batch(
     table: &UncertainTable,
     options: &SqlOptions,
+    mut flight: Option<&mut QueryFlight>,
     out: &mut dyn Write,
     statements: &[&str],
 ) -> Result<(), CmdError> {
@@ -311,13 +389,28 @@ fn sql_batch(
     let batch = PtkPlan::batch(&plans);
     let pool = options.pool;
     let stats = options.stats;
+    if let Some(f) = flight.as_deref_mut() {
+        f.plan = plans
+            .iter()
+            .map(PtkPlan::describe)
+            .collect::<Vec<_>>()
+            .join(" | ");
+        f.semantics = RankSemantics::Ptk.keyword().to_owned();
+        f.ks = labels.iter().map(|&(k, _)| k as u64).collect();
+        f.thresholds = labels.iter().map(|&(_, p)| p).collect();
+        let fingerprints: Vec<u64> = plans.iter().map(PtkPlan::fingerprint).collect();
+        f.fingerprint = Some(flight_fingerprint(&statements.join("; "), &fingerprints));
+    }
 
-    let (results, snapshot) = if stats.is_some() {
+    let (results, snapshot) = if stats.is_some() || flight.is_some() {
         let (results, snapshot) = PtkExecutor::execute_batch_recorded(&batch, &view, &pool);
         (results, Some(snapshot))
     } else {
         (PtkExecutor::execute_batch(&batch, &view, &pool), None)
     };
+    if let (Some(f), Some(snapshot)) = (flight, snapshot.as_ref()) {
+        f.absorb_counters(snapshot);
+    }
 
     writeln!(
         out,

@@ -35,6 +35,23 @@ pub(super) struct TraceOpts {
     pub(super) slow_ms: Option<u64>,
 }
 
+/// Parses and validates `--slow-ms` — shared by the query commands and
+/// `ptk serve`, so the two surfaces can never drift on what a legal
+/// threshold is. Zero is rejected alongside negatives and garbage: a
+/// 0 ms threshold would log every query, which is what the flight
+/// recorder (`--audit`, `/debug/queries`) is for.
+pub(super) fn parse_slow_ms(flags: &Flags) -> Result<Option<u64>, String> {
+    match flags.named.get("slow-ms") {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!(
+                "--slow-ms must be a positive integer (milliseconds), got '{raw}'"
+            )),
+        },
+    }
+}
+
 pub(super) fn trace_opts(flags: &Flags) -> Result<TraceOpts, String> {
     let format = match flags.named.get("trace-format").map(String::as_str) {
         None | Some("chrome") => TraceFormat::Chrome,
@@ -49,7 +66,7 @@ pub(super) fn trace_opts(flags: &Flags) -> Result<TraceOpts, String> {
     if path.is_none() && flags.named.contains_key("trace-format") {
         return Err("--trace-format requires --trace <file>".to_owned());
     }
-    let slow_ms = flags.get("slow-ms")?;
+    let slow_ms = parse_slow_ms(flags)?;
     Ok(TraceOpts {
         path,
         format,
@@ -176,6 +193,22 @@ mod tests {
             },
         );
         sink.events()
+    }
+
+    #[test]
+    fn parse_slow_ms_rejects_zero_negative_and_garbage() {
+        let mut flags = Flags::default();
+        assert_eq!(parse_slow_ms(&flags), Ok(None));
+        for bad in ["0", "-5", "fast", "1.5", ""] {
+            flags.named.insert("slow-ms".to_owned(), bad.to_owned());
+            let err = parse_slow_ms(&flags).unwrap_err();
+            assert!(
+                err.contains("--slow-ms must be a positive integer") && err.contains(bad),
+                "{err}"
+            );
+        }
+        flags.named.insert("slow-ms".to_owned(), "25".to_owned());
+        assert_eq!(parse_slow_ms(&flags), Ok(Some(25)));
     }
 
     #[test]

@@ -38,21 +38,23 @@ USAGE:
               [--method exact|sampling|naive] [--where <col><op><value>]
               [--stats text|json|prom] [--threads N] [--no-prune] [--explain]
               [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
+              [--audit]
   ptk utopk   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk ukranks <file.csv> --k <K> --rank-by <col> [--asc]
   ptk erank   <file.csv> --k <K> --rank-by <col> [--asc]
   ptk inspect <file.csv | file.run>
   ptk worlds  <file.csv> --rank-by <col> [--limit N] [--max-worlds N]
   ptk sql     <file.csv> '<[EXPLAIN [ANALYZE]] SELECT TOP k … statement>[; …]'
-              [--stats text|json|prom] [--threads N] [--no-prune]
+              [--stats text|json|prom] [--threads N] [--no-prune] [--audit]
   ptk serve   <file.csv> [--addr HOST:PORT] [--threads N] [--queue N]
               [--timeout-ms N] [--cache N] [--seed S] [--no-prune]
-              [--ready-file <path>]
+              [--slow-ms N] [--flight-capacity N] [--ready-file <path>]
   ptk pack    <file.csv> --rank-by <col> --out <file.run> [--block-size B]
   ptk scan    <file.run> --k <K> --p <P> [--stats text|json|prom]
               [--semantics ptk|u_topk|u_kranks|global_topk|expected_rank]
               [--pool-frames N]
               [--trace <file> [--trace-format chrome|logical]] [--slow-ms N]
+              [--audit]
   ptk trace-check <trace.json>
   ptk generate synthetic [--tuples N] [--rules M] [--seed S] [--rule-span W]
   ptk generate iip       [--tuples N] [--rules M] [--seed S]
@@ -83,7 +85,13 @@ actual counters and wall time — the same counter names `--stats` renders.
 format is Chrome trace-event JSON (load it in Perfetto or chrome://tracing;
 validate it offline with `ptk trace-check`), `logical` is a timing-free
 text rendering that is bit-identical at every thread count. `--slow-ms N`
-prints a per-stage trace summary to stderr when the run takes >= N ms.
+(N >= 1 — the same validation `serve --slow-ms` runs) prints a per-stage
+trace summary to stderr when the run takes >= N ms. `--audit` (query, sql,
+scan) appends the query's flight record as one timing-free JSON line —
+statement label, plan, semantics, k/thresholds, plan fingerprint, stop
+reason and the full per-query counter delta (pruning attribution included)
+— bit-identical at every thread count; the same record every served query
+leaves in the daemon's flight ring.
 
 Comma lists in --k/--p (query) or `;`-separated SELECT TOP statements
 (sql) form a batch: every (k, p) combination is planned up front and the
@@ -121,7 +129,13 @@ the body, optional `?stats=text|json|prom`), `GET /metrics` (Prometheus),
 queue (overflow → 429), `--timeout-ms` bounds queue wait + request read
 (→ 408), `--cache` sizes the result cache keyed on (snapshot epoch, plan
 fingerprint). `--ready-file` writes the bound address after listen, for
-scripts using `--addr 127.0.0.1:0`.
+scripts using `--addr 127.0.0.1:0`. Every request (successes, errors,
+rejections) leaves a flight record in a bounded ring (`--flight-capacity`,
+default 256) served timing-free by `GET /debug/queries`, next to
+`GET /debug/pool` (pool/queue/cache occupancy) and `GET /debug/config`;
+`/metrics` adds per-request latency percentile gauges (p50/p95/p99/max),
+and `--slow-ms N` logs each request at or over N ms to stderr with its
+full flight record and plan.
 
 EXAMPLES:
   ptk query sightings.csv --k 10 --p 0.5 --rank-by drifted_days

@@ -256,6 +256,7 @@ impl<'a> PtkExecutor<'a> {
                         let rank = stats.scanned;
                         stats.scanned += 1;
                         stats.pruned_membership += 1;
+                        stats.pruned_membership_block += 1;
                         if let Some(t) = tracer {
                             t.instant(Mark::Prune {
                                 rank: rank as u64,
@@ -334,9 +335,15 @@ impl<'a> PtkExecutor<'a> {
 
             if pruned_membership || pruned_rule {
                 if pruned_membership {
+                    // Attribution: this branch decoded the tuple, so the
+                    // prune is tuple-grained (the block-grain counterpart
+                    // bumps pruned_membership_block in the skip loop).
                     stats.pruned_membership += 1;
                 } else {
                     stats.pruned_rule += 1;
+                    if prune_rule_fired == Some(PruneRule::Theorem3WholeRule) {
+                        stats.pruned_rule_whole += 1;
+                    }
                 }
                 if let (Some(t), Some(rule)) = (tracer, prune_rule_fired) {
                     t.instant(Mark::Prune {

@@ -659,7 +659,9 @@ mod tests {
             scanned: 10,
             evaluated: 6,
             pruned_membership: 3,
+            pruned_membership_block: 1,
             pruned_rule: 1,
+            pruned_rule_whole: 0,
             dp_cells: 42,
             entries_recomputed: 21,
             rules_compressed: 2,

@@ -18,8 +18,21 @@ pub mod counters {
     pub const EVALUATED: &str = "engine.evaluated";
     /// Tuples skipped by Theorem 3 (membership pruning).
     pub const PRUNED_MEMBERSHIP: &str = "engine.pruned_membership";
+    /// Membership prunes decided per tuple, after its decode
+    /// (attribution split of [`PRUNED_MEMBERSHIP`]).
+    pub const PRUNED_MEMBERSHIP_TUPLE: &str = "engine.pruned_membership.tuple";
+    /// Membership prunes decided per block by the block-level skip,
+    /// without decoding the tuple (attribution split of
+    /// [`PRUNED_MEMBERSHIP`]).
+    pub const PRUNED_MEMBERSHIP_BLOCK: &str = "engine.pruned_membership.block";
     /// Tuples skipped by Theorem 4 / Theorem 3(2) (rule pruning).
     pub const PRUNED_RULE: &str = "engine.pruned_rule";
+    /// Rule prunes where Theorem 3(2) failed the whole rule at first
+    /// encounter (attribution split of [`PRUNED_RULE`]).
+    pub const PRUNED_RULE_WHOLE: &str = "engine.pruned_rule.whole";
+    /// Rule prunes where Theorem 4 failed the tuple against a failed
+    /// sibling of its rule (attribution split of [`PRUNED_RULE`]).
+    pub const PRUNED_RULE_MEMBER: &str = "engine.pruned_rule.member";
     /// Subset-probability DP cells computed.
     pub const DP_CELLS: &str = "engine.dp_cells";
     /// Compressed-dominant-set entries recomputed.
@@ -64,9 +77,20 @@ pub struct ExecStats {
     pub evaluated: usize,
     /// Tuples skipped by Theorem 3 (membership-probability pruning).
     pub pruned_membership: usize,
+    /// How many of [`ExecStats::pruned_membership`] were decided at block
+    /// grain by the block-level skip (PR 9), without decoding the tuple.
+    /// The remainder (`pruned_membership − pruned_membership_block`) were
+    /// decided per tuple, so the attribution sums to the total by
+    /// construction.
+    pub pruned_membership_block: usize,
     /// Tuples skipped by Theorem 4 (same-rule pruning) or because their
     /// whole rule was pruned by Theorem 3(2).
     pub pruned_rule: usize,
+    /// How many of [`ExecStats::pruned_rule`] fired because Theorem 3(2)
+    /// failed the whole rule at first encounter; the remainder
+    /// (`pruned_rule − pruned_rule_whole`) are Theorem 4 rule-member
+    /// prunes, so the attribution sums to the total by construction.
+    pub pruned_rule_whole: usize,
     /// Subset-probability DP cells computed (`k` per recomputed entry).
     pub dp_cells: u64,
     /// Compressed-dominant-set entries whose DP row was recomputed — the
@@ -85,6 +109,19 @@ impl ExecStats {
         self.pruned_membership + self.pruned_rule
     }
 
+    /// Membership prunes decided per tuple (the complement of the
+    /// block-grain split; the two sum to
+    /// [`ExecStats::pruned_membership`]).
+    pub fn pruned_membership_tuple(&self) -> usize {
+        self.pruned_membership - self.pruned_membership_block
+    }
+
+    /// Theorem 4 rule-member prunes (the complement of the whole-rule
+    /// split; the two sum to [`ExecStats::pruned_rule`]).
+    pub fn pruned_rule_member(&self) -> usize {
+        self.pruned_rule - self.pruned_rule_whole
+    }
+
     /// Whether the scan terminated before reading the whole ranked list.
     pub fn stopped_early(&self) -> bool {
         self.stop.is_some()
@@ -97,7 +134,20 @@ impl ExecStats {
         recorder.add(counters::SCANNED, self.scanned as u64);
         recorder.add(counters::EVALUATED, self.evaluated as u64);
         recorder.add(counters::PRUNED_MEMBERSHIP, self.pruned_membership as u64);
+        recorder.add(
+            counters::PRUNED_MEMBERSHIP_TUPLE,
+            self.pruned_membership_tuple() as u64,
+        );
+        recorder.add(
+            counters::PRUNED_MEMBERSHIP_BLOCK,
+            self.pruned_membership_block as u64,
+        );
         recorder.add(counters::PRUNED_RULE, self.pruned_rule as u64);
+        recorder.add(counters::PRUNED_RULE_WHOLE, self.pruned_rule_whole as u64);
+        recorder.add(
+            counters::PRUNED_RULE_MEMBER,
+            self.pruned_rule_member() as u64,
+        );
         recorder.add(counters::DP_CELLS, self.dp_cells);
         recorder.add(counters::ENTRIES_RECOMPUTED, self.entries_recomputed);
         recorder.add(counters::RULES_COMPRESSED, self.rules_compressed);
@@ -123,7 +173,9 @@ impl ExecStats {
             scanned: snapshot.counter(counters::SCANNED) as usize,
             evaluated: snapshot.counter(counters::EVALUATED) as usize,
             pruned_membership: snapshot.counter(counters::PRUNED_MEMBERSHIP) as usize,
+            pruned_membership_block: snapshot.counter(counters::PRUNED_MEMBERSHIP_BLOCK) as usize,
             pruned_rule: snapshot.counter(counters::PRUNED_RULE) as usize,
+            pruned_rule_whole: snapshot.counter(counters::PRUNED_RULE_WHOLE) as usize,
             dp_cells: snapshot.counter(counters::DP_CELLS),
             entries_recomputed: snapshot.counter(counters::ENTRIES_RECOMPUTED),
             rules_compressed: snapshot.counter(counters::RULES_COMPRESSED),
@@ -148,6 +200,24 @@ mod tests {
     }
 
     #[test]
+    fn attribution_splits_sum_to_the_totals_by_construction() {
+        let s = ExecStats {
+            pruned_membership: 5,
+            pruned_membership_block: 2,
+            pruned_rule: 7,
+            pruned_rule_whole: 3,
+            ..Default::default()
+        };
+        assert_eq!(
+            s.pruned_membership_tuple() + s.pruned_membership_block,
+            s.pruned_membership
+        );
+        assert_eq!(s.pruned_rule_whole + s.pruned_rule_member(), s.pruned_rule);
+        assert_eq!(s.pruned_membership_tuple(), 3);
+        assert_eq!(s.pruned_rule_member(), 4);
+    }
+
+    #[test]
     fn stop_reason_reports_early_stop() {
         let s = ExecStats {
             stop: Some(StopReason::TotalTopK),
@@ -167,7 +237,9 @@ mod tests {
                 scanned: 10,
                 evaluated: 6,
                 pruned_membership: 3,
+                pruned_membership_block: 2,
                 pruned_rule: 1,
+                pruned_rule_whole: 1,
                 dp_cells: 42,
                 entries_recomputed: 21,
                 rules_compressed: 5,

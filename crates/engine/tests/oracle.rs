@@ -115,6 +115,31 @@ fn ptk_answers_match_enumeration_with_and_without_pruning() {
                     result.stats.evaluated + result.stats.pruned(),
                     "trial {trial} {variant:?} pruning={pruning}: scanned ≠ evaluated + pruned"
                 );
+                // Pruning attribution: the per-bound splits sum exactly to
+                // the pre-existing totals, both on the struct and through
+                // the recorded counter names flight records carry.
+                assert_eq!(
+                    result.stats.pruned_membership_tuple() + result.stats.pruned_membership_block,
+                    result.stats.pruned_membership,
+                    "trial {trial} {variant:?} pruning={pruning}: membership attribution"
+                );
+                assert_eq!(
+                    result.stats.pruned_rule_whole + result.stats.pruned_rule_member(),
+                    result.stats.pruned_rule,
+                    "trial {trial} {variant:?} pruning={pruning}: rule attribution"
+                );
+                assert_eq!(
+                    snapshot.counter("engine.pruned_membership.tuple")
+                        + snapshot.counter("engine.pruned_membership.block"),
+                    snapshot.counter("engine.pruned_membership"),
+                    "trial {trial} {variant:?} pruning={pruning}: recorded membership attribution"
+                );
+                assert_eq!(
+                    snapshot.counter("engine.pruned_rule.whole")
+                        + snapshot.counter("engine.pruned_rule.member"),
+                    snapshot.counter("engine.pruned_rule"),
+                    "trial {trial} {variant:?} pruning={pruning}: recorded rule attribution"
+                );
                 assert!(result.stats.scanned <= view.len());
                 if result.stats.stop.is_none() {
                     assert_eq!(

@@ -32,8 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
 mod trace;
 
+pub use flight::{FlightRecorder, QueryFlight, QueryRecord};
 pub use trace::{
     render_logical, to_chrome_json, validate_chrome_trace, EventKind, Mark, NoopSink, Payload,
     PruneRule, RingSink, SharedSink, Stage, StopRule, TraceCheck, TraceEvent, TraceSink, Tracer,
@@ -321,6 +323,64 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(i32, u64)>,
 }
 
+/// Log-bucket quantile estimates of a histogram (see
+/// [`HistogramSnapshot::quantiles`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    /// Upper-bound estimate of the 50th percentile.
+    pub p50: f64,
+    /// Upper-bound estimate of the 95th percentile.
+    pub p95: f64,
+    /// Upper-bound estimate of the 99th percentile.
+    pub p99: f64,
+    /// The largest observed value (exact).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// An upper-bound estimate of the `q`-quantile (`0 < q <= 1`) derived
+    /// from the log-scale buckets: the exclusive top `2^(e+1)` of the
+    /// bucket holding the quantile's rank, clamped to the observed
+    /// maximum. Because bucket `e` holds values in `[2^e, 2^(e+1))`, the
+    /// estimate never undershoots the true quantile and overshoots it by
+    /// less than one power of two (for positive normal values; zeros,
+    /// negatives and denormals all share the lowest bucket, where only
+    /// the upper-bound guarantee holds). Purely a function of the bucket
+    /// counts and `max`, so the view is deterministic and merges exactly
+    /// along with the buckets.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(exp, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= target {
+                // The top bucket is clamped (it holds everything at or
+                // above 2^MAX_EXP), so its nominal top is not an upper
+                // bound; the exact max is.
+                if exp >= MAX_EXP {
+                    return self.max;
+                }
+                return 2f64.powi(exp + 1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The p50/p95/p99/max view rendered by the text, JSON and Prometheus
+    /// snapshot formats.
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
 /// One span's timing in a [`Snapshot`] — excluded from deterministic
 /// output (see [`Snapshot::to_json`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -354,7 +414,7 @@ pub struct Snapshot {
 
 /// Minimal JSON string escape for metric names (which are identifiers, but
 /// defensiveness is cheap).
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -372,11 +432,77 @@ fn push_json_str(out: &mut String, s: &str) {
 /// Formats an f64 for JSON. Finite values use Rust's shortest round-trip
 /// `Display`; non-finite values (which valid JSON cannot carry) become
 /// quoted strings.
-fn push_json_f64(out: &mut String, value: f64) {
+pub(crate) fn push_json_f64(out: &mut String, value: f64) {
     if value.is_finite() {
         let _ = write!(out, "{value}");
     } else {
         let _ = write!(out, "\"{value}\"");
+    }
+}
+
+/// One-line `# HELP` description for a metric name, used by
+/// [`Snapshot::to_prometheus`]. Curated text for the names the stack
+/// records today; prefix fallbacks keep future names presentable without
+/// another table entry.
+fn metric_help(name: &str) -> &'static str {
+    match name {
+        "engine.scanned" => "Tuples retrieved from the ranked list (scan depth).",
+        "engine.evaluated" => "Tuples whose exact top-k probability was computed.",
+        "engine.pruned_membership" => "Tuples skipped by Theorem 3(1) membership pruning.",
+        "engine.pruned_membership.tuple" => "Theorem 3(1) prunes decided per tuple after a decode.",
+        "engine.pruned_membership.block" => {
+            "Theorem 3(1) prunes decided per block, skipping the decode."
+        }
+        "engine.pruned_rule" => "Tuples skipped by rule pruning (Theorem 3(2) or Theorem 4).",
+        "engine.pruned_rule.whole" => "Tuples pruned because Theorem 3(2) failed their whole rule.",
+        "engine.pruned_rule.member" => "Tuples pruned by Theorem 4 against a failed rule sibling.",
+        "engine.dp_cells" => "Subset-probability dynamic-programming cells computed.",
+        "engine.entries_recomputed" => {
+            "Compressed-dominant-set entries whose DP row was recomputed."
+        }
+        "engine.rules_compressed" => "Distinct rules compressed into rule-tuples during the scan.",
+        "engine.answers" => "Tuples in the answer set.",
+        "engine.gf.rows_incremental" => {
+            "Generating-function rows served by the incremental recurrence."
+        }
+        "engine.gf.rows_refolded" => "Generating-function rows refolded exactly as a fallback.",
+        "engine.stop.total_topk" => "Scans stopped early by Theorem 5 (total top-k mass).",
+        "engine.stop.upper_bound" => "Scans stopped early by the upper-bound check.",
+        "serve.requests" => "Requests fully read off the wire.",
+        "serve.responses_ok" => "Requests answered 200.",
+        "serve.query_errors" => "Statements rejected by the handler (400).",
+        "serve.http_errors" => "Malformed HTTP requests (truncated, garbage, oversized).",
+        "serve.rejected.queue_full" => "Connections rejected 429 by admission control.",
+        "serve.rejected.timeout" => "Requests rejected 408 after the per-request timeout.",
+        "serve.client_disconnects" => "Clients that hung up mid-request or mid-response.",
+        "serve.cache.hits" => "Result-cache hits.",
+        "serve.cache.misses" => "Cacheable requests that had to execute.",
+        "serve.cache.uncacheable" => "Requests that can never be cached.",
+        "serve.queue_depth" => "Admission-queue depth observed at enqueue time.",
+        "serve.latency_ms" => "Request latency in milliseconds, admission to response.",
+        "serve.request" => "Wall-clock execution time of handled statements.",
+        "access.file.bytes_read" => "Bytes read from run files.",
+        "access.file.records" => "Records decoded from run files.",
+        "access.file.opens" => "Run files opened.",
+        "access.block.read" => "Blocks fetched and decoded.",
+        "access.block.skip" => "Blocks skipped whole under the block-level membership bound.",
+        "access.block.decode_bytes" => "Bytes actually decoded from fetched blocks.",
+        "access.block.pool_hit" => "Block fetches served by a resident pool frame.",
+        "access.block.pool_miss" => "Block fetches that had to read the file.",
+        "access.block.pin" => "Frame pins taken by scan cursors.",
+        "access.block.evict" => "Resident frames evicted to make room for a fetch.",
+        "batch.workers_spawned" => "Worker threads the batch scheduler spawned.",
+        "batch.tasks" => "Tasks executed by the batch scheduler.",
+        "batch.steals" => "Tasks stolen from another worker's deque.",
+        "batch.segments" => "Rule-closed segments dispatched by intra-query partitioning.",
+        "batch.segmented_queries" => "Queries executed through segment partitioning.",
+        n if n.starts_with("engine.phase.") => "Wall-clock time of one engine phase.",
+        n if n.starts_with("engine.") => "Engine execution metric.",
+        n if n.starts_with("serve.") => "Daemon metric.",
+        n if n.starts_with("access.") => "Storage access metric.",
+        n if n.starts_with("sampling.") => "Sampling engine metric.",
+        n if n.starts_with("batch.") => "Batch scheduler metric.",
+        _ => "PT-k runtime metric.",
     }
 }
 
@@ -439,6 +565,17 @@ impl Snapshot {
                 }
                 let _ = write!(out, "\"2^{exp}\":{count}");
             }
+            // The quantile view is derived from the buckets and max, so it
+            // stays inside the deterministic section.
+            let q = h.quantiles();
+            out.push_str("},\"q\":{\"p50\":");
+            push_json_f64(&mut out, q.p50);
+            out.push_str(",\"p95\":");
+            push_json_f64(&mut out, q.p95);
+            out.push_str(",\"p99\":");
+            push_json_f64(&mut out, q.p99);
+            out.push_str(",\"max\":");
+            push_json_f64(&mut out, q.max);
             out.push_str("}}");
         }
         out.push('}');
@@ -544,13 +681,15 @@ impl Snapshot {
             out
         }
         let mut out = String::with_capacity(256);
-        for (name, value) in &self.counters {
-            let name = sanitized(name);
+        for (raw, value) in &self.counters {
+            let name = sanitized(raw);
+            let _ = writeln!(out, "# HELP {name} {}", metric_help(raw));
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
-        for (name, h) in &self.histograms {
-            let name = sanitized(name);
+        for (raw, h) in &self.histograms {
+            let name = sanitized(raw);
+            let _ = writeln!(out, "# HELP {name} {}", metric_help(raw));
             let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
             for &(exp, count) in &h.buckets {
@@ -562,16 +701,40 @@ impl Snapshot {
             let _ = write!(out, "{name}_sum ");
             let _ = writeln!(out, "{}", h.sum);
             let _ = writeln!(out, "{name}_count {}", h.count);
+            // Percentile exposition: log-bucket upper-bound estimates as
+            // companion gauges (see HistogramSnapshot::quantile).
+            let q = h.quantiles();
+            for (suffix, value, help) in [
+                ("p50", q.p50, "Log-bucket upper-bound estimate of the p50."),
+                ("p95", q.p95, "Log-bucket upper-bound estimate of the p95."),
+                ("p99", q.p99, "Log-bucket upper-bound estimate of the p99."),
+                ("max", q.max, "Largest observed value."),
+            ] {
+                let _ = writeln!(out, "# HELP {name}_{suffix} {help}");
+                let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+                let _ = writeln!(out, "{name}_{suffix} {value}");
+            }
         }
-        for (name, t) in &self.timings {
-            let name = sanitized(name);
+        for (raw, t) in &self.timings {
+            let name = sanitized(raw);
+            let _ = writeln!(
+                out,
+                "# HELP {name}_nanos_total Total wall-clock nanoseconds in this span. {}",
+                metric_help(raw)
+            );
             let _ = writeln!(out, "# TYPE {name}_nanos_total counter");
             let _ = writeln!(out, "{name}_nanos_total {}", t.total_nanos);
+            let _ = writeln!(
+                out,
+                "# HELP {name}_spans_total Number of recorded spans. {}",
+                metric_help(raw)
+            );
             let _ = writeln!(out, "# TYPE {name}_spans_total counter");
             let _ = writeln!(out, "{name}_spans_total {}", t.count);
         }
-        for (name, value) in &self.scheduler {
-            let name = sanitized(name);
+        for (raw, value) in &self.scheduler {
+            let name = sanitized(raw);
+            let _ = writeln!(out, "# HELP {name} {}", metric_help(raw));
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
@@ -594,6 +757,12 @@ impl Snapshot {
             for (exp, count) in &h.buckets {
                 let _ = writeln!(out, "          [2^{exp}, 2^{}): {count}", exp + 1);
             }
+            let q = h.quantiles();
+            let _ = writeln!(
+                out,
+                "          p50<={} p95<={} p99<={} max={}",
+                q.p50, q.p95, q.p99, q.max
+            );
         }
         for (name, t) in &self.timings {
             let _ = writeln!(
@@ -673,7 +842,8 @@ mod tests {
         assert_eq!(
             json,
             "{\"counters\":{\"a\":1,\"b\":1},\"histograms\":{\"len\":{\"count\":1,\
-             \"sum\":3,\"min\":3,\"max\":3,\"buckets\":{\"2^1\":1}}}}"
+             \"sum\":3,\"min\":3,\"max\":3,\"buckets\":{\"2^1\":1},\
+             \"q\":{\"p50\":3,\"p95\":3,\"p99\":3,\"max\":3}}}}"
         );
         assert!(!json.contains("nanos"));
     }
@@ -905,6 +1075,83 @@ mod tests {
     }
 
     #[test]
+    fn quantile_view_is_bucket_upper_bound() {
+        let m = Metrics::new();
+        for v in [1.0, 1.5, 3.0, 0.5] {
+            m.observe("len", v);
+        }
+        let s = m.snapshot();
+        let q = s.histogram("len").unwrap().quantiles();
+        // p50 rank 2 lands in [1,2) → bound 2; p95/p99 rank 4 lands in
+        // [2,4) → bound 4, clamped to the exact max 3.
+        assert_eq!(q.p50, 2.0);
+        assert_eq!(q.p95, 3.0);
+        assert_eq!(q.p99, 3.0);
+        assert_eq!(q.max, 3.0);
+        // Text and prom renderings carry the view.
+        assert!(
+            s.to_text().contains("p50<=2 p95<=3 p99<=3 max=3"),
+            "{}",
+            s.to_text()
+        );
+        assert!(
+            s.to_prometheus().contains("ptk_len_p50 2\n"),
+            "{}",
+            s.to_prometheus()
+        );
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_clamped_histograms() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantiles().p99, 0.0);
+        // Values above 2^MAX_EXP live in a clamped open-top bucket: the
+        // estimate must fall back to the exact max, never undershoot.
+        let m = Metrics::new();
+        m.observe("big", 1e300);
+        m.observe("big", 2e300);
+        let s = m.snapshot();
+        let q = s.histogram("big").unwrap().quantiles();
+        assert_eq!(q.p50, 2e300);
+        assert_eq!(q.p99, 2e300);
+        // Zeros and negatives share the lowest bucket; the estimate still
+        // bounds them from above.
+        let m = Metrics::new();
+        m.observe("low", 0.0);
+        m.observe("low", -5.0);
+        let s = m.snapshot();
+        let q = s.histogram("low").unwrap().quantiles();
+        assert!(q.p50 >= -5.0 && q.p99 >= 0.0, "{q:?}");
+    }
+
+    #[test]
+    fn quantile_view_merges_exactly() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        let combined = Metrics::new();
+        for v in [0.25, 1.0, 7.0] {
+            a.observe("len", v);
+            combined.observe("len", v);
+        }
+        for v in [2.0, 1024.0] {
+            b.observe("len", v);
+            combined.observe("len", v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(
+            merged.histogram("len").unwrap().quantiles(),
+            combined.snapshot().histogram("len").unwrap().quantiles()
+        );
+    }
+
+    #[test]
     fn prometheus_rendering_matches_golden() {
         let m = Metrics::new();
         m.add("engine.scanned", 6);
@@ -915,17 +1162,32 @@ mod tests {
         let text = m.snapshot().to_prometheus();
         assert_eq!(
             text,
-            "# TYPE ptk_engine_answers counter\n\
+            "# HELP ptk_engine_answers Tuples in the answer set.\n\
+             # TYPE ptk_engine_answers counter\n\
              ptk_engine_answers 3\n\
+             # HELP ptk_engine_scanned Tuples retrieved from the ranked list (scan depth).\n\
              # TYPE ptk_engine_scanned counter\n\
              ptk_engine_scanned 6\n\
+             # HELP ptk_sampling_unit_len Sampling engine metric.\n\
              # TYPE ptk_sampling_unit_len histogram\n\
              ptk_sampling_unit_len_bucket{le=\"1\"} 1\n\
              ptk_sampling_unit_len_bucket{le=\"2\"} 3\n\
              ptk_sampling_unit_len_bucket{le=\"4\"} 4\n\
              ptk_sampling_unit_len_bucket{le=\"+Inf\"} 4\n\
              ptk_sampling_unit_len_sum 6\n\
-             ptk_sampling_unit_len_count 4\n"
+             ptk_sampling_unit_len_count 4\n\
+             # HELP ptk_sampling_unit_len_p50 Log-bucket upper-bound estimate of the p50.\n\
+             # TYPE ptk_sampling_unit_len_p50 gauge\n\
+             ptk_sampling_unit_len_p50 2\n\
+             # HELP ptk_sampling_unit_len_p95 Log-bucket upper-bound estimate of the p95.\n\
+             # TYPE ptk_sampling_unit_len_p95 gauge\n\
+             ptk_sampling_unit_len_p95 3\n\
+             # HELP ptk_sampling_unit_len_p99 Log-bucket upper-bound estimate of the p99.\n\
+             # TYPE ptk_sampling_unit_len_p99 gauge\n\
+             ptk_sampling_unit_len_p99 3\n\
+             # HELP ptk_sampling_unit_len_max Largest observed value.\n\
+             # TYPE ptk_sampling_unit_len_max gauge\n\
+             ptk_sampling_unit_len_max 3\n"
         );
     }
 

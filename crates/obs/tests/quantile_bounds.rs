@@ -1,0 +1,133 @@
+//! Property test: the log-bucket quantile view brackets true quantiles.
+//!
+//! The flight recorder's percentile exposition is derived purely from the
+//! power-of-two histogram buckets, so it can only promise a *bracket*:
+//! the estimate never undershoots the true quantile, and for positive
+//! normal values inside the unclamped bucket range it overshoots by less
+//! than one power of two (estimate ≤ 2 × true). This suite drives those
+//! two guarantees through adversarial distributions — point masses,
+//! two-sided spikes, zeros, negatives, denormals, and values beyond both
+//! bucket clamps.
+
+use ptk_core::check::{check, Config};
+use ptk_core::prop_assert;
+use ptk_core::rng::{RngExt, StdRng};
+use ptk_obs::{Metrics, Recorder};
+
+/// Lowest unclamped bucket bound (`MIN_EXP = -32` in ptk-obs): below this
+/// every value shares the clamped bottom bucket and only the upper-bound
+/// half of the bracket holds.
+const MIN_NORMAL_BUCKET: f64 = 2.3283064365386963e-10; // 2^-32
+/// Top of the unclamped range (`MAX_EXP = 31`): at or above this values
+/// share the clamped open-top bucket.
+const MAX_NORMAL_BUCKET: f64 = 2147483648.0; // 2^31
+
+/// The true `q`-quantile at the same rank definition the view uses:
+/// the `ceil(q·n)`-th smallest value.
+fn true_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One adversarial value: point masses, denormals, zeros, negatives,
+/// two-sided spikes and huge outliers, weighted so every regime appears.
+fn adversarial_value(rng: &mut StdRng) -> f64 {
+    match rng.random_range(0..8u32) {
+        0 => 1.0,                                   // point mass
+        1 => 0.0,                                   // zero (clamped bucket)
+        2 => -rng.random_range(0.001..=100.0f64),   // negative
+        3 => f64::MIN_POSITIVE / 2.0,               // denormal
+        4 => rng.random_range(1e-15..=1e-9f64),     // tiny spike side
+        5 => rng.random_range(1e9..=1e18f64),       // huge spike side
+        6 => rng.random_range(0.01..=4.0f64),       // ordinary
+        _ => 2f64.powi(rng.random_range(-40..=40)), // exact powers of two
+    }
+}
+
+#[test]
+fn quantile_estimates_bracket_true_quantiles() {
+    check(
+        "log-bucket quantiles bracket the truth",
+        Config::cases(300).sizes(1, 64).seed(0xf11_9487),
+        |rng, size| {
+            let n = rng.random_range(1..=size.max(1));
+            let metrics = Metrics::new();
+            let mut values: Vec<f64> = (0..n).map(|_| adversarial_value(rng)).collect();
+            for &v in &values {
+                metrics.observe("lat", v);
+            }
+            values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN generated"));
+            let snapshot = metrics.snapshot();
+            let h = snapshot.histogram("lat").expect("observed");
+            for q in [0.5, 0.95, 0.99] {
+                let truth = true_quantile(&values, q);
+                let estimate = h.quantile(q);
+                prop_assert!(
+                    estimate >= truth,
+                    "estimate {estimate} undershoots true q{q} = {truth} of {values:?}"
+                );
+                prop_assert!(
+                    estimate <= *values.last().expect("non-empty"),
+                    "estimate {estimate} exceeds the max of {values:?}"
+                );
+                // Tightness: within one power-of-two bucket, but only
+                // where the bucket lattice is unclamped and ordered.
+                if (MIN_NORMAL_BUCKET..MAX_NORMAL_BUCKET).contains(&truth) {
+                    prop_assert!(
+                        estimate <= truth * 2.0,
+                        "estimate {estimate} beyond one bucket of true q{q} = {truth}"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn point_mass_quantiles_are_exact() {
+    // Every quantile of a point mass collapses to the mass itself: the
+    // upper bound clamps to the observed max.
+    for mass in [1.0, 0.37, 1e-30, 1e30, 0.0, -2.5] {
+        let metrics = Metrics::new();
+        for _ in 0..100 {
+            metrics.observe("lat", mass);
+        }
+        let snapshot = metrics.snapshot();
+        let h = snapshot.histogram("lat").expect("observed");
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(h.quantile(q), mass, "point mass at {mass}, q{q}");
+        }
+    }
+}
+
+#[test]
+fn two_sided_spikes_keep_the_median_in_the_low_spike() {
+    // 60 tiny values and 40 huge ones: p50 must answer from the tiny
+    // spike, p95/p99 from the huge one — merging the two spikes from
+    // separate registries must agree with one registry.
+    let tiny = Metrics::new();
+    let huge = Metrics::new();
+    let combined = Metrics::new();
+    for i in 0..60 {
+        let v = 1e-12 * (i + 1) as f64;
+        tiny.observe("lat", v);
+        combined.observe("lat", v);
+    }
+    for i in 0..40 {
+        let v = 1e12 * (i + 1) as f64;
+        huge.observe("lat", v);
+        combined.observe("lat", v);
+    }
+    let mut merged = tiny.snapshot();
+    merged.merge(&huge.snapshot());
+    let (m, c) = (
+        merged.histogram("lat").unwrap().quantiles(),
+        combined.snapshot().histogram("lat").unwrap().quantiles(),
+    );
+    assert_eq!(m, c, "quantile view must merge exactly");
+    assert!(m.p50 < 1.0, "median answered from the tiny spike: {m:?}");
+    assert!(m.p95 > 1e12, "p95 answered from the huge spike: {m:?}");
+    assert_eq!(m.max, 40e12);
+}

@@ -17,7 +17,10 @@
 //! * [`server`] — the daemon: bounded admission queue feeding workers on
 //!   the `ptk-par` pool, per-request timeouts (`408`), queue-overflow
 //!   rejection (`429`), `/sql` `/metrics` `/health` `/shutdown` routing,
-//!   and disconnect-tolerant response writing.
+//!   disconnect-tolerant response writing, and an always-on query flight
+//!   recorder behind `GET /debug/queries` / `/debug/pool` /
+//!   `/debug/config`, with per-request latency percentiles on `/metrics`
+//!   and an opt-in slow-query log.
 //!
 //! The daemon is generic over a [`QueryHandler`]; the `ptk` CLI supplies
 //! the implementation that owns the loaded snapshot and the SQL front-end,

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use ptk_obs::{Metrics, Recorder, Snapshot};
+use ptk_obs::{FlightRecorder, Metrics, QueryFlight, QueryRecord, Recorder, Snapshot};
 use ptk_par::ThreadPool;
 
 use crate::cache::ResultCache;
@@ -60,6 +60,11 @@ pub mod counters {
     pub const QUEUE_DEPTH: &str = "serve.queue_depth";
     /// Wall-clock execution time of handled statements (span timing).
     pub const REQUEST_SPAN: &str = "serve.request";
+    /// End-to-end request latency in milliseconds (histogram; the
+    /// `/metrics` exposition derives `_p50`/`_p95`/`_p99`/`_max` gauges
+    /// from its log-scale buckets). Observed for *every* response the
+    /// daemon writes, including rejections.
+    pub const LATENCY_MS: &str = "serve.latency_ms";
 }
 
 /// Executes statements for the daemon. Implementations must be callable
@@ -70,10 +75,22 @@ pub trait QueryHandler: Sync {
     /// `stats` is the validated `?stats=` parameter (`text`, `json` or
     /// `prom`), appended to the body the same way the `--stats` flag is.
     ///
+    /// `flight` is the request's flight record in progress: the handler
+    /// fills in what only it can know — plan description, semantics,
+    /// `k`/thresholds, the width-independent plan fingerprint, the stop
+    /// reason and the per-query counter delta. The daemon has already set
+    /// the label and owns the envelope (outcome, cache state, timings).
+    /// Implementations that track nothing can leave it untouched.
+    ///
     /// # Errors
     /// A human-readable message for any parse, bind, plan or execution
     /// failure; the daemon renders it as a structured `400` JSON error.
-    fn execute(&self, statement: &str, stats: Option<&str>) -> Result<String, String>;
+    fn execute(
+        &self,
+        statement: &str,
+        stats: Option<&str>,
+        flight: &mut QueryFlight,
+    ) -> Result<String, String>;
 
     /// A stable fingerprint of the request, or `None` when the response is
     /// not cacheable (it embeds wall-clock timings, or the statement does
@@ -101,6 +118,13 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Upper bound on a request's total size in bytes.
     pub max_request_bytes: usize,
+    /// Slow-query threshold in milliseconds: a request whose end-to-end
+    /// latency reaches it is logged to stderr with its full flight record
+    /// (timings included) and plan description. `None` disables the log.
+    pub slow_ms: Option<u64>,
+    /// Capacity of the query flight-recorder ring served by
+    /// `GET /debug/queries` (clamped to ≥ 1; the recorder is always on).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +135,8 @@ impl Default for ServerConfig {
             timeout_ms: 10_000,
             cache_capacity: 256,
             max_request_bytes: 64 * 1024,
+            slow_ms: None,
+            flight_capacity: 256,
         }
     }
 }
@@ -129,6 +155,7 @@ pub struct Server<H> {
     config: ServerConfig,
     metrics: Metrics,
     cache: ResultCache,
+    flight: FlightRecorder,
     epoch: AtomicU64,
     stop: AtomicBool,
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
@@ -144,6 +171,7 @@ impl<H: QueryHandler> Server<H> {
             config,
             metrics: Metrics::new(),
             cache: ResultCache::new(config.cache_capacity),
+            flight: FlightRecorder::new(config.flight_capacity),
             epoch: AtomicU64::new(1),
             stop: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
@@ -162,6 +190,12 @@ impl<H: QueryHandler> Server<H> {
     /// renders via `Snapshot::to_prometheus`).
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.metrics.snapshot()
+    }
+
+    /// The daemon's query flight recorder (what `GET /debug/queries`
+    /// renders, timing-free).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Serves on `listener` until a `POST /shutdown` request arrives,
@@ -219,11 +253,22 @@ impl<H: QueryHandler> Server<H> {
     /// is drained best-effort first so the close does not race the
     /// client's own write with a TCP reset.
     fn reject_overloaded(&self, mut stream: TcpStream) {
+        let started = Instant::now();
         self.metrics.add(counters::REJECTED_QUEUE_FULL, 1);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
         let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
         let mut scratch = [0u8; 4096];
         let _ = stream.read(&mut scratch);
+        // Recorded before the 429 is written (the convention everywhere:
+        // a client that saw the response can trust the record exists).
+        self.finish(
+            "rejected",
+            "none",
+            control_flight("(admission queue full)"),
+            Duration::ZERO,
+            Duration::ZERO,
+            started.elapsed(),
+        );
         let body = http::error_body("overloaded", "admission queue is full; retry with backoff");
         if http::write_response(&mut stream, 429, "application/json", &[], &body).is_ok() {
             drain(&stream);
@@ -264,9 +309,17 @@ impl<H: QueryHandler> Server<H> {
 
     fn handle_connection(&self, mut stream: TcpStream, enqueued: Instant) -> Disposition {
         let timeout = Duration::from_millis(self.config.timeout_ms.max(1));
-        let waited = enqueued.elapsed();
-        if waited >= timeout {
+        let queue_wait = enqueued.elapsed();
+        if queue_wait >= timeout {
             self.metrics.add(counters::REJECTED_TIMEOUT, 1);
+            self.finish(
+                "timeout",
+                "none",
+                control_flight("(admission queue timeout)"),
+                queue_wait,
+                Duration::ZERO,
+                enqueued.elapsed(),
+            );
             self.respond(
                 &mut stream,
                 408,
@@ -276,17 +329,33 @@ impl<H: QueryHandler> Server<H> {
             );
             return Disposition::Continue;
         }
-        let _ = stream.set_read_timeout(Some(timeout - waited));
+        let _ = stream.set_read_timeout(Some(timeout - queue_wait));
         let _ = stream.set_write_timeout(Some(timeout));
 
         let request = match http::read_request(&mut stream, self.config.max_request_bytes) {
             Ok(request) => request,
             Err(ReadError::Disconnect) => {
                 self.metrics.add(counters::CLIENT_DISCONNECTS, 1);
+                self.finish(
+                    "disconnect",
+                    "none",
+                    control_flight("(client hung up mid-request)"),
+                    queue_wait,
+                    Duration::ZERO,
+                    enqueued.elapsed(),
+                );
                 return Disposition::Continue;
             }
             Err(ReadError::Timeout) => {
                 self.metrics.add(counters::REJECTED_TIMEOUT, 1);
+                self.finish(
+                    "timeout",
+                    "none",
+                    control_flight("(request read timeout)"),
+                    queue_wait,
+                    Duration::ZERO,
+                    enqueued.elapsed(),
+                );
                 self.respond(
                     &mut stream,
                     408,
@@ -298,6 +367,14 @@ impl<H: QueryHandler> Server<H> {
             }
             Err(ReadError::TooLarge) => {
                 self.metrics.add(counters::HTTP_ERRORS, 1);
+                self.finish(
+                    "http_error",
+                    "none",
+                    control_flight("(oversized request)"),
+                    queue_wait,
+                    Duration::ZERO,
+                    enqueued.elapsed(),
+                );
                 self.respond(
                     &mut stream,
                     413,
@@ -313,6 +390,14 @@ impl<H: QueryHandler> Server<H> {
             }
             Err(ReadError::BadRequest(message)) => {
                 self.metrics.add(counters::HTTP_ERRORS, 1);
+                self.finish(
+                    "http_error",
+                    "none",
+                    control_flight("(malformed request)"),
+                    queue_wait,
+                    Duration::ZERO,
+                    enqueued.elapsed(),
+                );
                 self.respond(
                     &mut stream,
                     400,
@@ -326,19 +411,22 @@ impl<H: QueryHandler> Server<H> {
         };
 
         self.metrics.add(counters::REQUESTS, 1);
+        let label = format!("{} {}", request.method, request.path);
         match (request.method.as_str(), request.path.as_str()) {
             ("POST", "/sql") => {
-                self.serve_sql(&mut stream, &request);
+                self.serve_sql(&mut stream, &request, queue_wait, enqueued);
                 Disposition::Continue
             }
             ("GET", "/metrics") => {
                 self.metrics.add(counters::RESPONSES_OK, 1);
+                self.finish_control("ok", &label, queue_wait, enqueued);
                 let body = self.metrics.snapshot().to_prometheus();
                 self.respond(&mut stream, 200, "text/plain; version=0.0.4", &[], &body);
                 Disposition::Continue
             }
             ("GET", "/health") => {
                 self.metrics.add(counters::RESPONSES_OK, 1);
+                self.finish_control("ok", &label, queue_wait, enqueued);
                 let body = format!(
                     "{{\"status\":\"ok\",\"epoch\":{},\"cached\":{}}}\n",
                     self.epoch(),
@@ -347,13 +435,55 @@ impl<H: QueryHandler> Server<H> {
                 self.respond(&mut stream, 200, "application/json", &[], &body);
                 Disposition::Continue
             }
+            ("GET", "/debug/queries") => {
+                self.metrics.add(counters::RESPONSES_OK, 1);
+                // Rendered before this request is itself recorded, so a
+                // scrape never observes itself.
+                let mut body = self.flight.to_json(false);
+                body.push('\n');
+                self.finish_control("ok", &label, queue_wait, enqueued);
+                self.respond(&mut stream, 200, "application/json", &[], &body);
+                Disposition::Continue
+            }
+            ("GET", "/debug/pool") => {
+                self.metrics.add(counters::RESPONSES_OK, 1);
+                let queue_depth = self.queue.lock().expect("admission queue lock").len();
+                let body = format!(
+                    "{{\"threads\":{},\"queue_capacity\":{},\"queue_depth\":{},\
+                     \"cache_entries\":{},\"cache_capacity\":{},\
+                     \"flight_records\":{},\"flight_capacity\":{}}}\n",
+                    self.config.threads,
+                    self.config.queue_capacity,
+                    queue_depth,
+                    self.cache.len(),
+                    self.config.cache_capacity,
+                    self.flight.len(),
+                    self.flight.capacity()
+                );
+                self.finish_control("ok", &label, queue_wait, enqueued);
+                self.respond(&mut stream, 200, "application/json", &[], &body);
+                Disposition::Continue
+            }
+            ("GET", "/debug/config") => {
+                self.metrics.add(counters::RESPONSES_OK, 1);
+                self.finish_control("ok", &label, queue_wait, enqueued);
+                let body = self.config_json();
+                self.respond(&mut stream, 200, "application/json", &[], &body);
+                Disposition::Continue
+            }
             ("POST", "/shutdown") => {
                 self.metrics.add(counters::RESPONSES_OK, 1);
+                self.finish_control("ok", &label, queue_wait, enqueued);
                 self.respond(&mut stream, 200, "application/json", &[], "{\"ok\":true}\n");
                 Disposition::Shutdown
             }
-            (_, "/sql" | "/metrics" | "/health" | "/shutdown") => {
+            (
+                _,
+                "/sql" | "/metrics" | "/health" | "/shutdown" | "/debug/queries" | "/debug/pool"
+                | "/debug/config",
+            ) => {
                 self.metrics.add(counters::HTTP_ERRORS, 1);
+                self.finish_control("http_error", &label, queue_wait, enqueued);
                 self.respond(
                     &mut stream,
                     405,
@@ -365,6 +495,7 @@ impl<H: QueryHandler> Server<H> {
             }
             (_, path) => {
                 self.metrics.add(counters::HTTP_ERRORS, 1);
+                self.finish_control("http_error", &label, queue_wait, enqueued);
                 self.respond(
                     &mut stream,
                     404,
@@ -377,10 +508,28 @@ impl<H: QueryHandler> Server<H> {
         }
     }
 
-    fn serve_sql(&self, stream: &mut TcpStream, request: &Request) {
+    /// Serves `POST /sql`, recording the flight (before the response is
+    /// written, so records of a sequential client land in request order).
+    fn serve_sql(
+        &self,
+        stream: &mut TcpStream,
+        request: &Request,
+        queue_wait: Duration,
+        enqueued: Instant,
+    ) {
         let statement = request.body.trim();
+        let mut flight = control_flight(&bounded_label(statement));
         if statement.is_empty() {
             self.metrics.add(counters::QUERY_ERRORS, 1);
+            flight.label = "(empty statement)".to_owned();
+            self.finish(
+                "query_error",
+                "none",
+                flight,
+                queue_wait,
+                Duration::ZERO,
+                enqueued.elapsed(),
+            );
             self.respond(
                 stream,
                 400,
@@ -394,6 +543,14 @@ impl<H: QueryHandler> Server<H> {
         if let Some(mode) = stats {
             if !matches!(mode, "text" | "json" | "prom") {
                 self.metrics.add(counters::QUERY_ERRORS, 1);
+                self.finish(
+                    "query_error",
+                    "none",
+                    flight,
+                    queue_wait,
+                    Duration::ZERO,
+                    enqueued.elapsed(),
+                );
                 self.respond(
                     stream,
                     400,
@@ -416,16 +573,25 @@ impl<H: QueryHandler> Server<H> {
             if let Some(body) = self.cache.get(key) {
                 self.metrics.add(counters::CACHE_HITS, 1);
                 self.metrics.add(counters::RESPONSES_OK, 1);
+                self.finish(
+                    "ok",
+                    "hit",
+                    flight,
+                    queue_wait,
+                    Duration::ZERO,
+                    enqueued.elapsed(),
+                );
                 self.respond(stream, 200, "text/plain", &[("X-Ptk-Cache", "hit")], &body);
                 return;
             }
         }
 
         let started = Instant::now();
-        let outcome = self.handler.execute(statement, stats);
+        let outcome = self.handler.execute(statement, stats, &mut flight);
+        let exec = started.elapsed();
         self.metrics.record_nanos(
             counters::REQUEST_SPAN,
-            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            u64::try_from(exec.as_nanos()).unwrap_or(u64::MAX),
         );
         match outcome {
             Ok(body) => {
@@ -441,6 +607,14 @@ impl<H: QueryHandler> Server<H> {
                     }
                 };
                 self.metrics.add(counters::RESPONSES_OK, 1);
+                self.finish(
+                    "ok",
+                    cache_state,
+                    flight,
+                    queue_wait,
+                    exec,
+                    enqueued.elapsed(),
+                );
                 self.respond(
                     stream,
                     200,
@@ -451,6 +625,14 @@ impl<H: QueryHandler> Server<H> {
             }
             Err(message) => {
                 self.metrics.add(counters::QUERY_ERRORS, 1);
+                self.finish(
+                    "query_error",
+                    "none",
+                    flight,
+                    queue_wait,
+                    exec,
+                    enqueued.elapsed(),
+                );
                 self.respond(
                     stream,
                     400,
@@ -460,6 +642,86 @@ impl<H: QueryHandler> Server<H> {
                 );
             }
         }
+    }
+
+    /// Records one finished request into the flight ring, feeds the
+    /// end-to-end latency histogram, and emits the slow-query log line
+    /// when the configured threshold is reached. Every response path —
+    /// including rejections written on the acceptor thread — funnels
+    /// through here, so the recorder misses nothing.
+    fn finish(
+        &self,
+        outcome: &str,
+        cache: &str,
+        flight: QueryFlight,
+        queue_wait: Duration,
+        exec: Duration,
+        total: Duration,
+    ) {
+        let total_ms = total.as_secs_f64() * 1e3;
+        self.metrics.observe(counters::LATENCY_MS, total_ms);
+        let slow = self.config.slow_ms.filter(|&t| total_ms >= t as f64);
+        let logged = slow.map(|_| flight.clone());
+        let queue_wait_nanos = duration_nanos(queue_wait);
+        let exec_nanos = duration_nanos(exec);
+        let total_nanos = duration_nanos(total);
+        let id = self.flight.record(
+            outcome,
+            cache,
+            flight,
+            queue_wait_nanos,
+            exec_nanos,
+            total_nanos,
+        );
+        if let (Some(threshold), Some(flight)) = (slow, logged) {
+            let record = QueryRecord {
+                id,
+                outcome: outcome.to_owned(),
+                cache: cache.to_owned(),
+                flight,
+                queue_wait_nanos,
+                exec_nanos,
+                total_nanos,
+            };
+            eprintln!(
+                "[ptk-serve] slow query #{id}: {total_ms:.3} ms (threshold {threshold} ms) {}",
+                record.to_json(true)
+            );
+        }
+    }
+
+    /// [`Server::finish`] for requests that never reached the SQL surface
+    /// (metrics scrapes, debug endpoints, routing errors).
+    fn finish_control(&self, outcome: &str, label: &str, queue_wait: Duration, enqueued: Instant) {
+        self.finish(
+            outcome,
+            "none",
+            control_flight(label),
+            queue_wait,
+            Duration::ZERO,
+            enqueued.elapsed(),
+        );
+    }
+
+    /// The daemon's effective configuration as one JSON object (what
+    /// `GET /debug/config` serves).
+    fn config_json(&self) -> String {
+        let c = &self.config;
+        let slow_ms = match c.slow_ms {
+            Some(v) => v.to_string(),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"threads\":{},\"queue_capacity\":{},\"timeout_ms\":{},\
+             \"cache_capacity\":{},\"max_request_bytes\":{},\
+             \"slow_ms\":{slow_ms},\"flight_capacity\":{}}}\n",
+            c.threads,
+            c.queue_capacity,
+            c.timeout_ms,
+            c.cache_capacity,
+            c.max_request_bytes,
+            c.flight_capacity
+        )
     }
 
     /// Writes a response; a failed write is a client disconnect — counted,
@@ -477,6 +739,35 @@ impl<H: QueryHandler> Server<H> {
             self.metrics.add(counters::CLIENT_DISCONNECTS, 1);
         }
     }
+}
+
+/// A flight carrying only a label: what the recorder keeps for requests
+/// that never reached the SQL surface.
+fn control_flight(label: &str) -> QueryFlight {
+    QueryFlight {
+        label: label.to_owned(),
+        ..QueryFlight::default()
+    }
+}
+
+/// Truncates a statement for use as a flight label, so one enormous
+/// request cannot bloat the bounded ring (the full statement still
+/// executes).
+fn bounded_label(statement: &str) -> String {
+    const MAX_LABEL_BYTES: usize = 200;
+    if statement.len() <= MAX_LABEL_BYTES {
+        return statement.to_owned();
+    }
+    let mut cut = MAX_LABEL_BYTES;
+    while !statement.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &statement[..cut])
+}
+
+/// Saturating nanosecond count of a duration.
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Half-closes the write side, then reads off anything the client sent

@@ -7,6 +7,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use ptk_obs::QueryFlight;
 use ptk_serve::{QueryHandler, Server, ServerConfig, ServerHandle};
 
 /// Echoes statements; errors on `boom`; counts executions so cache tests
@@ -40,8 +41,16 @@ impl StubHandler {
 }
 
 impl QueryHandler for &'static StubHandler {
-    fn execute(&self, statement: &str, stats: Option<&str>) -> Result<String, String> {
+    fn execute(
+        &self,
+        statement: &str,
+        stats: Option<&str>,
+        flight: &mut QueryFlight,
+    ) -> Result<String, String> {
         self.entered.fetch_add(1, Ordering::SeqCst);
+        flight.plan = format!("stub({statement})");
+        flight.semantics = "stub".to_owned();
+        flight.counters.insert("stub.calls".to_owned(), 1);
         let mut blocked = self.gate.lock().unwrap();
         while *blocked {
             let (guard, timeout) = self
@@ -366,6 +375,286 @@ fn oversized_requests_get_413() {
         "{response}"
     );
 
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// A minimal JSON syntax checker (values, objects, arrays, strings with
+/// escapes, numbers, literals). Returns the rest of the input after one
+/// complete value; the caller asserts it is empty.
+fn json_value(s: &str) -> Result<&str, String> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next().map(|(_, c)| c) {
+        Some('{') => {
+            let mut rest = s[1..].trim_start();
+            if let Some(after) = rest.strip_prefix('}') {
+                return Ok(after);
+            }
+            loop {
+                rest = json_value(rest)?; // key (validated as a value; must be a string in practice)
+                rest = rest.trim_start();
+                rest = rest
+                    .strip_prefix(':')
+                    .ok_or_else(|| format!("expected ':' at {rest:.20}"))?;
+                rest = json_value(rest)?;
+                rest = rest.trim_start();
+                if let Some(after) = rest.strip_prefix(',') {
+                    rest = after.trim_start();
+                    continue;
+                }
+                return rest
+                    .strip_prefix('}')
+                    .ok_or_else(|| format!("expected '}}' at {rest:.20}"));
+            }
+        }
+        Some('[') => {
+            let mut rest = s[1..].trim_start();
+            if let Some(after) = rest.strip_prefix(']') {
+                return Ok(after);
+            }
+            loop {
+                rest = json_value(rest)?;
+                rest = rest.trim_start();
+                if let Some(after) = rest.strip_prefix(',') {
+                    rest = after.trim_start();
+                    continue;
+                }
+                return rest
+                    .strip_prefix(']')
+                    .ok_or_else(|| format!("expected ']' at {rest:.20}"));
+            }
+        }
+        Some('"') => {
+            let mut escaped = false;
+            for (i, c) in chars {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    return Ok(&s[i + 1..]);
+                }
+            }
+            Err("unterminated string".to_owned())
+        }
+        Some(c) if c == '-' || c.is_ascii_digit() => {
+            let end = s
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(s.len());
+            s[..end]
+                .parse::<f64>()
+                .map_err(|e| format!("bad number {}: {e}", &s[..end]))?;
+            Ok(&s[end..])
+        }
+        _ => {
+            for lit in ["true", "false", "null"] {
+                if let Some(rest) = s.strip_prefix(lit) {
+                    return Ok(rest);
+                }
+            }
+            Err(format!("unexpected token at {s:.20}"))
+        }
+    }
+}
+
+fn assert_valid_json(body: &str) {
+    match json_value(body) {
+        Ok(rest) => assert!(rest.trim().is_empty(), "trailing garbage: {rest:.40}"),
+        Err(e) => panic!("invalid JSON ({e}): {body:.200}"),
+    }
+}
+
+#[test]
+fn debug_endpoints_expose_pool_config_and_queries() {
+    let config = ServerConfig {
+        threads: 2,
+        flight_capacity: 8,
+        slow_ms: Some(5_000),
+        ..ServerConfig::default()
+    };
+    let handle = spawn(leak_handler(), config);
+    let addr = handle.addr();
+
+    let ok = post_sql(addr, "SELECT traced");
+    assert_eq!(status_of(&ok), 200);
+    let err = post_sql(addr, "boom");
+    assert_eq!(status_of(&err), 400);
+
+    let queries = roundtrip(addr, "GET /debug/queries HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&queries), 200);
+    let body = body_of(&queries);
+    assert_valid_json(body);
+    assert!(
+        body.contains("\"label\":\"SELECT traced\"")
+            && body.contains("\"plan\":\"stub(SELECT traced)\"")
+            && body.contains("\"counters\":{\"stub.calls\":1}"),
+        "handler-filled flight fields must surface: {body}"
+    );
+    assert!(
+        body.contains("\"outcome\":\"query_error\""),
+        "failed statements leave records too: {body}"
+    );
+    assert!(
+        !body.contains("nanos"),
+        "/debug/queries must be timing-free: {body}"
+    );
+
+    let pool = roundtrip(addr, "GET /debug/pool HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&pool), 200);
+    assert_valid_json(body_of(&pool));
+    assert!(
+        body_of(&pool).contains("\"threads\":2")
+            && body_of(&pool).contains("\"flight_capacity\":8"),
+        "{pool}"
+    );
+
+    let config_body = roundtrip(addr, "GET /debug/config HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&config_body), 200);
+    assert_valid_json(body_of(&config_body));
+    assert!(
+        body_of(&config_body).contains("\"slow_ms\":5000"),
+        "{config_body}"
+    );
+
+    let wrong_method = roundtrip(addr, "POST /debug/queries HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&wrong_method), 405);
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn debug_queries_is_byte_stable_across_pool_widths() {
+    let mut renderings = Vec::new();
+    for threads in [1, 2, 4] {
+        let config = ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        };
+        let handle = spawn(leak_handler(), config);
+        let addr = handle.addr();
+        // The same strictly sequential request mix on every width: two
+        // misses, one hit, one query error, one 404.
+        assert_eq!(status_of(&post_sql(addr, "SELECT a")), 200);
+        assert_eq!(status_of(&post_sql(addr, "SELECT b")), 200);
+        assert_eq!(status_of(&post_sql(addr, "SELECT a")), 200);
+        assert_eq!(status_of(&post_sql(addr, "boom")), 400);
+        assert_eq!(
+            status_of(&roundtrip(addr, "GET /nope HTTP/1.1\r\n\r\n")),
+            404
+        );
+        let queries = roundtrip(addr, "GET /debug/queries HTTP/1.1\r\n\r\n");
+        assert_eq!(status_of(&queries), 200);
+        renderings.push((threads, body_of(&queries).to_owned()));
+        handle.shutdown().expect("clean shutdown");
+    }
+    let (_, reference) = &renderings[0];
+    assert!(reference.contains("\"cache\":\"hit\""), "{reference}");
+    for (threads, rendering) in &renderings[1..] {
+        assert_eq!(
+            rendering, reference,
+            "flight records must be bit-identical at width {threads}"
+        );
+    }
+}
+
+#[test]
+fn admission_overflow_records_outcome_rejected() {
+    let handler = leak_handler();
+    let config = ServerConfig {
+        threads: 1,
+        queue_capacity: 1,
+        timeout_ms: 30_000,
+        ..ServerConfig::default()
+    };
+    let handle = spawn(handler, config);
+    let addr = handle.addr();
+
+    handler.close_gate();
+    let wedged = std::thread::spawn(move || post_sql(addr, "SELECT wedged"));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handler.entered.load(Ordering::SeqCst) == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never picked up the wedge request"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let overflow: Vec<_> = (0..5)
+        .map(|_| std::thread::spawn(move || post_sql(addr, "SELECT overflow")))
+        .collect();
+    std::thread::sleep(Duration::from_millis(200));
+    handler.open_gate();
+    assert_eq!(status_of(&wedged.join().unwrap()), 200);
+    let rejected_responses = overflow
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .filter(|r| status_of(r) == 429)
+        .count();
+    assert!(rejected_responses >= 1, "at least one 429 expected");
+
+    let queries = roundtrip(addr, "GET /debug/queries HTTP/1.1\r\n\r\n");
+    let body = body_of(&queries);
+    assert_valid_json(body);
+    let recorded_rejections = body.matches("\"outcome\":\"rejected\"").count();
+    assert_eq!(
+        recorded_rejections, rejected_responses,
+        "every 429 must leave a flight record: {body}"
+    );
+    assert!(
+        body.contains("\"label\":\"(admission queue full)\""),
+        "{body}"
+    );
+
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn latency_percentiles_appear_on_metrics() {
+    let handle = spawn(leak_handler(), ServerConfig::default());
+    let addr = handle.addr();
+    assert_eq!(status_of(&post_sql(addr, "SELECT timed")), 200);
+    let metrics = metrics_text(addr);
+    for series in [
+        "ptk_serve_latency_ms_p50",
+        "ptk_serve_latency_ms_p95",
+        "ptk_serve_latency_ms_p99",
+        "ptk_serve_latency_ms_max",
+    ] {
+        assert!(
+            metrics.lines().any(|l| l.starts_with(series)),
+            "missing {series}:\n{metrics}"
+        );
+    }
+    assert!(
+        metrics.contains("# HELP ptk_serve_latency_ms "),
+        "histogram HELP line missing:\n{metrics}"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn flight_ring_stays_bounded_under_load() {
+    let config = ServerConfig {
+        flight_capacity: 4,
+        ..ServerConfig::default()
+    };
+    let handle = spawn(leak_handler(), config);
+    let addr = handle.addr();
+    for i in 0..10 {
+        assert_eq!(status_of(&post_sql(addr, &format!("SELECT {i}"))), 200);
+    }
+    let queries = roundtrip(addr, "GET /debug/queries HTTP/1.1\r\n\r\n");
+    let body = body_of(&queries);
+    assert_valid_json(body);
+    assert_eq!(
+        body.matches("\"id\":").count(),
+        4,
+        "ring must hold exactly its capacity: {body}"
+    );
+    assert!(
+        body.contains("\"label\":\"SELECT 9\""),
+        "newest records survive: {body}"
+    );
     handle.shutdown().expect("clean shutdown");
 }
 

@@ -108,12 +108,65 @@ code="$(curl -sS -o "$WORK/body" -w '%{http_code}' "http://$ADDR/nope")"
 [[ "$code" == 404 ]] || fail "GET /nope returned $code"
 assert_up "routing errors"
 
+echo "== debug endpoints"
+curl -sS "http://$ADDR/debug/queries" > "$WORK/flights"
+head -c1 "$WORK/flights" | grep -q '\[' || fail "/debug/queries is not a JSON array"
+grep -q '"outcome":"ok"' "$WORK/flights" || fail "no ok flight record: $(cat "$WORK/flights")"
+grep -q '"outcome":"query_error"' "$WORK/flights" \
+  || fail "malformed sweep left no query_error records"
+grep -q '"cache":"hit"' "$WORK/flights" || fail "cache hit left no flight record"
+grep -q '"plan":"' "$WORK/flights" || fail "flight records carry no plan"
+grep -q 'nanos' "$WORK/flights" && fail "/debug/queries leaked wall-clock timings"
+curl -sS "http://$ADDR/debug/pool" > "$WORK/pool"
+grep -q '"threads":2' "$WORK/pool" || fail "/debug/pool missing threads: $(cat "$WORK/pool")"
+grep -q '"flight_capacity"' "$WORK/pool" || fail "/debug/pool missing flight_capacity"
+curl -sS "http://$ADDR/debug/config" > "$WORK/config"
+grep -q '"slow_ms":null' "$WORK/config" || fail "/debug/config missing slow_ms: $(cat "$WORK/config")"
+assert_up "debug endpoints"
+
 echo "== metrics scrape"
 curl -sS "http://$ADDR/metrics" > "$WORK/metrics"
-for metric in ptk_serve_requests ptk_serve_query_errors ptk_serve_cache_hits; do
+for metric in ptk_serve_requests ptk_serve_query_errors ptk_serve_cache_hits \
+  ptk_serve_latency_ms_p50 ptk_serve_latency_ms_p95 ptk_serve_latency_ms_p99 \
+  ptk_serve_latency_ms_max; do
   grep -q "^$metric " "$WORK/metrics" || fail "/metrics missing $metric"
 done
+grep -q '^# HELP ptk_serve_latency_ms ' "$WORK/metrics" \
+  || fail "/metrics missing the latency HELP line"
 grep -q '^ptk_serve_panics' "$WORK/metrics" && fail "daemon recorded panics"
+
+echo "== slow-query log"
+# A second daemon with a 1 ms threshold over a larger dataset, unpruned,
+# so the full-scan DP reliably crosses the threshold and the slow log
+# must fire — carrying the flight record (with its plan) for the query.
+CSV_BIG="$WORK/big.csv"
+READY2="$WORK/ready2"
+SLOW_LOG="$WORK/slow.log"
+"$PTK" generate synthetic --tuples 30000 --rules 3000 --seed 9 > "$CSV_BIG"
+"$PTK" serve "$CSV_BIG" --addr 127.0.0.1:0 --threads 1 --no-prune --slow-ms 1 \
+  --ready-file "$READY2" > "$SLOW_LOG" 2>&1 &
+SLOW_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$READY2" ]] && break
+  kill -0 "$SLOW_PID" 2>/dev/null || { cat "$SLOW_LOG" >&2; fail "slow daemon died before ready"; }
+  sleep 0.1
+done
+[[ -s "$READY2" ]] || fail "slow daemon never wrote the ready file"
+ADDR2="$(cat "$READY2")"
+code="$(curl -sS -o "$WORK/body" -w '%{http_code}' \
+  --data-binary 'SELECT TOP 50 FROM t ORDER BY score DESC WITH PROBABILITY >= 0.3' \
+  "http://$ADDR2/sql")"
+[[ "$code" == 200 ]] || fail "slow daemon query returned $code: $(cat "$WORK/body")"
+curl -sS "http://$ADDR2/debug/config" | grep -q '"slow_ms":1' \
+  || fail "slow daemon /debug/config does not show slow_ms 1"
+curl -sS -o /dev/null -X POST "http://$ADDR2/shutdown"
+for _ in $(seq 1 100); do
+  kill -0 "$SLOW_PID" 2>/dev/null || break
+  sleep 0.1
+done
+grep -q "slow query" "$SLOW_LOG" || { cat "$SLOW_LOG" >&2; fail "slow-query log never fired"; }
+grep -q '"plan":"' "$SLOW_LOG" || fail "slow-query log entry carries no plan"
+grep -q '"total_nanos":' "$SLOW_LOG" || fail "slow-query log entry carries no timings"
 
 echo "== clean shutdown"
 code="$(curl -sS -o "$WORK/body" -w '%{http_code}' -X POST "http://$ADDR/shutdown")"
